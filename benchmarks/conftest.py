@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the corresponding rows/series (captured by ``pytest -s`` or the
+``--capture=no`` flag).  Heavy experiments run a single round — the
+interesting output is the experiment result, not the wall time — but
+timing still flows through pytest-benchmark so regressions show up.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the contribution of each
+Procrustes mechanism by switching it off or sweeping its knob:
+
+* load balancing (none / half-tile / chip-wide-complex),
+* the register-file size that sets work-tile granularity,
+* the QE unit's parallel width,
+* the tracked-set hysteresis band,
+* minibatch size (the dimension the K,N dataflow leans on).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.tracking import ThresholdTracker
+from repro.dataflow.latency import network_latency
+from repro.harness.common import render_table, sparse_profile_for
+from repro.hw.config import PROCRUSTES_16x16, ArchConfig
+from repro.hw.qe_unit import QuantileEngine
+
+
+def test_ablation_load_balancing(benchmark):
+    """Half-tile balancing is the speedup's load-bearing piece."""
+    profile = sparse_profile_for("vgg-s")
+
+    def sweep():
+        results = {}
+        for label, mapping, balance in (
+            ("KN unbalanced", "KN", False),
+            ("KN half-tile", "KN", True),
+            ("CK complex-net", "CK", True),
+        ):
+            lat = network_latency(
+                profile, mapping, PROCRUSTES_16x16, 64,
+                sparse=True, balance=balance,
+            )
+            results[label] = lat.total_cycles
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["configuration", "cycles"],
+        [[k, f"{v:.3e}"] for k, v in results.items()],
+    ))
+    assert results["KN half-tile"] < results["KN unbalanced"]
+    assert results["KN half-tile"] < results["CK complex-net"]
+
+
+def test_ablation_rf_size(benchmark):
+    """Bigger register files mean bigger work tiles, less relative
+    sparsity variance, and less imbalance — at area cost (Table III's
+    RF dominates PE area)."""
+    profile = sparse_profile_for("vgg-s")
+
+    def sweep():
+        cycles = {}
+        for rf_bytes in (512, 1024, 2048):
+            arch = ArchConfig(
+                name=f"rf{rf_bytes}",
+                rf_bytes_per_pe=rf_bytes,
+                sparse_training_support=True,
+            )
+            lat = network_latency(
+                profile, "KN", arch, 64, sparse=True, balance=False,
+                phases=("fw",),
+            )
+            cycles[rf_bytes] = lat.total_cycles
+        return cycles
+
+    cycles = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["RF bytes/PE", "fw cycles (unbalanced)"],
+        [[k, f"{v:.3e}"] for k, v in cycles.items()],
+    ))
+    assert cycles[2048] <= cycles[512] * 1.02
+
+
+def test_ablation_qe_width(benchmark):
+    """The 4-wide QE keeps pace with the datapath at nearly the scalar
+    unit's filtering quality."""
+    rng = np.random.default_rng(0)
+    stream = rng.lognormal(-4, 1.2, size=(40, 20_000))
+
+    def sweep():
+        rows = []
+        for width in (1, 2, 4, 8):
+            qe = QuantileEngine(sparsity_factor=7.5, updates_per_cycle=width)
+            for burst in stream:
+                qe.filter(burst)
+            rows.append(
+                (width, qe.stats.retain_fraction, qe.stats.cycles)
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["width", "retained fraction", "cycles"],
+        [[w, f"{f:.3f}", c] for w, f, c in rows],
+    ))
+    by_width = {w: (f, c) for w, f, c in rows}
+    # Wider units consume proportionally fewer cycles...
+    assert by_width[4][1] == pytest.approx(by_width[1][1] / 4, rel=0.01)
+    # ...while retaining a similar fraction (target 1/7.5 = 0.133).
+    assert by_width[4][0] == pytest.approx(by_width[1][0], abs=0.1)
+
+
+def test_ablation_hysteresis(benchmark):
+    """The keep-until-evicted band controls the sparsity giveaway
+    (requested vs realized factor)."""
+    rng = np.random.default_rng(1)
+
+    def sweep():
+        realized = {}
+        for hysteresis in (0.0, 0.3, 0.6, 0.9):
+            tracker = ThresholdTracker(7.5, hysteresis=hysteresis)
+            tracked = np.zeros(20_000, dtype=bool)
+            for _ in range(40):
+                mags = np.abs(
+                    rng.normal(size=20_000) * (0.5 + tracked)
+                )
+                tracked = tracker.select(mags, tracked)
+            realized[hysteresis] = 20_000 / max(1, tracked.sum())
+        return realized
+
+    realized = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["hysteresis", "realized factor (requested 7.5x)"],
+        [[h, f"{f:.2f}x"] for h, f in realized.items()],
+    ))
+    # Wider bands (smaller hysteresis value) track more extra weights.
+    assert realized[0.0] <= realized[0.9] + 1e-9
+
+
+def test_ablation_minibatch(benchmark):
+    """K,N needs a minibatch to fill its second dimension: tiny N
+    starves columns, large N just adds tiles."""
+    profile = sparse_profile_for("resnet18")
+
+    def sweep():
+        per_sample = {}
+        for n in (4, 16, 64):
+            lat = network_latency(
+                profile, "KN", PROCRUSTES_16x16, n, sparse=True,
+                phases=("fw",),
+            )
+            per_sample[n] = lat.total_cycles / n
+        return per_sample
+
+    per_sample = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["minibatch", "fw cycles per sample"],
+        [[n, f"{v:.3e}"] for n, v in per_sample.items()],
+    ))
+    assert per_sample[64] < per_sample[4]

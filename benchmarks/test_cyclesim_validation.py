@@ -1,0 +1,103 @@
+"""Cycle-level validation of the analytical latency model.
+
+The paper's evaluation (Figs 17-20) uses Timeloop-style analytical
+accounting that assumes the simple three-interconnect fabric never
+starves the PEs.  This bench runs the cycle-level simulator on a
+VGG-S-shaped conv layer and checks the assumption:
+
+* with an ideal fabric, simulated cycles equal the analytical
+  max-over-PEs accounting (model validation);
+* with single-word buses, the KN dataflow's fills stay largely hidden
+  behind compute, balanced KN improves latency at identical bus
+  traffic (Figure 12), and chip-balancing CK backfires because its
+  duplicated activation traffic stalls the fabric (Figure 10).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.hw.config import PROCRUSTES_16x16
+from repro.hw.cyclesim import (
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
+    CycleLevelSimulator,
+)
+from repro.hw.pe import PEArraySimulator
+
+
+def _vgg_like_layer(seed=11, density=0.19):
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=(64, 64, 3, 3)) < density
+    return mask
+
+
+def _run_validation():
+    mask = _vgg_like_layer()
+    p = q = 8
+    n = 16
+    # The analytical model holds a whole k-tile's weights resident; a
+    # big-RF configuration isolates that assumption for the equality
+    # check, while the paper's 1 KB RF quantifies chunking overhead.
+    from dataclasses import replace
+
+    big_rf = replace(PROCRUSTES_16x16, name="big-rf", rf_bytes_per_pe=1 << 20)
+    sim_exact = CycleLevelSimulator(big_rf, IDEAL_FABRIC)
+    sim_ideal = CycleLevelSimulator(PROCRUSTES_16x16, IDEAL_FABRIC)
+    sim_real = CycleLevelSimulator(PROCRUSTES_16x16, SINGLE_WORD_FABRIC)
+
+    rng = np.random.default_rng(0)
+    weight = np.where(mask, rng.normal(size=mask.shape), 0.0)
+    x = rng.normal(size=(n, mask.shape[1], p + 2, q + 2))
+    _, analytical = PEArraySimulator(PROCRUSTES_16x16).run_conv_kn(x, weight)
+
+    rows = {}
+    rows["analytical KN"] = {
+        "cycles": float(analytical.cycles),
+        "stall%": 0.0,
+        "util%": 100.0 * analytical.utilization,
+    }
+    for label, sim, mapping, balance in [
+        ("cyclesim KN bigRF", sim_exact, "KN", False),
+        ("cyclesim KN 1KB-RF", sim_ideal, "KN", False),
+        ("cyclesim KN", sim_real, "KN", False),
+        ("cyclesim KN bal", sim_real, "KN", True),
+        ("cyclesim CK", sim_real, "CK", False),
+        ("cyclesim CK bal", sim_real, "CK", True),
+    ]:
+        r = sim.run_conv(mask, p=p, q=q, n=n, mapping=mapping, balance=balance)
+        rows[label] = {
+            "cycles": r.cycles,
+            "stall%": 100.0 * r.stall_fraction,
+            "util%": 100.0 * r.utilization,
+        }
+    return rows
+
+
+def test_cyclesim_validates_analytical_model(benchmark):
+    rows = run_once(benchmark, _run_validation)
+    print()
+    print("Cycle-level validation (VGG-S-shaped conv, 16x16 PEs)")
+    print(f"{'configuration':22} {'cycles':>12} {'stall%':>8} {'util%':>8}")
+    for label, row in rows.items():
+        print(
+            f"{label:22} {row['cycles']:>12.0f} "
+            f"{row['stall%']:>8.1f} {row['util%']:>8.1f}"
+        )
+    # Model validation: with resident weights and an ideal fabric the
+    # cycle simulation reproduces the analytical accounting exactly.
+    np.testing.assert_allclose(
+        rows["cyclesim KN bigRF"]["cycles"],
+        rows["analytical KN"]["cycles"],
+        rtol=5e-3,
+    )
+    # The paper's 1 KB RF forces input-channel chunking the analytical
+    # model does not see; the overhead is real but bounded (<25%).
+    chunking = (
+        rows["cyclesim KN 1KB-RF"]["cycles"] / rows["analytical KN"]["cycles"]
+    )
+    assert 1.0 <= chunking < 1.25
+    # Realistic fabric: KN stalls stay modest; balancing helps.
+    assert rows["cyclesim KN"]["stall%"] < 35.0
+    assert rows["cyclesim KN bal"]["cycles"] < rows["cyclesim KN"]["cycles"]
+    # Figure 10: balanced CK is still worse than balanced KN.
+    assert rows["cyclesim KN bal"]["cycles"] < rows["cyclesim CK bal"]["cycles"]

@@ -1,0 +1,17 @@
+"""Figure 1: ideal energy savings and speedup of sparse training.
+
+Paper: leveraging 5x sparsity on VGG-S with perfect load balancing,
+zero-overhead compression, and free selection yields up to 2.6x
+speedup and 2.3x energy savings over the whole network.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import format_fig01, run_fig01_potential
+
+
+def test_fig01_ideal_potential(benchmark):
+    result = run_once(benchmark, run_fig01_potential, "vgg-s", 5.0)
+    print()
+    print(format_fig01(result))
+    assert 1.8 < result.speedup() < 4.0
+    assert 1.8 < result.energy_saving() < 3.5

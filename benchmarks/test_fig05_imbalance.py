@@ -1,0 +1,24 @@
+"""Figure 5: load-imbalance histogram without balancing.
+
+Paper: weight-stationary C,K work tiles on Dropback-sparse VGG-S
+frequently exceed 50% execution overhead, sometimes 100%+.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import (
+    format_histogram,
+    run_imbalance_histogram,
+)
+
+
+def test_fig05_unbalanced_ck_histogram(benchmark):
+    result = run_once(
+        benchmark, run_imbalance_histogram, "vgg-s", "CK", False
+    )
+    print()
+    print(format_histogram(result, "Figure 5"))
+    above_50 = sum(
+        frac for center, frac in result.fractions.items() if center >= 0.625
+    )
+    assert result.mean_overhead > 0.3
+    assert above_50 > 0.2

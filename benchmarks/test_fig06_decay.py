@@ -1,0 +1,21 @@
+"""Figure 6: validation accuracy with and without initial-weight decay.
+
+Paper: decaying initial weights 0.9x per iteration (zero by iteration
+1,000) affects neither accuracy nor convergence time, while creating
+computation sparsity (60% of MACs skippable in 99.5% of iterations).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.training_experiments import format_curves, run_fig06_decay
+
+
+def test_fig06_decay_costs_no_accuracy(benchmark):
+    decayed, plain = run_once(benchmark, run_fig06_decay, 8)
+    print()
+    print(format_curves([decayed, plain], "Figure 6 — init decay vs none"))
+    assert (
+        decayed.history.best_val_accuracy
+        >= plain.history.best_val_accuracy - 0.15
+    )
+    # Decay is what makes pruned weights exact zeros.
+    assert decayed.achieved_sparsity > 1.5

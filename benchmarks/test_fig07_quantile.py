@@ -1,0 +1,27 @@
+"""Figure 7: quantile estimation versus exact sorting.
+
+Paper: selecting weights against the DUMIQUE threshold instead of the
+global sort leaves validation accuracy unaffected; the estimation
+error only tracks extra weights, relaxing 7.5x requested sparsity to
+5.2x realized.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.training_experiments import (
+    format_curves,
+    run_fig07_quantile,
+)
+
+
+def test_fig07_quantile_matches_sort(benchmark):
+    quantile, exact = run_once(benchmark, run_fig07_quantile, 8)
+    print()
+    print(format_curves([quantile, exact], "Figure 7 — quantile vs sort"))
+    assert (
+        quantile.history.best_val_accuracy
+        >= exact.history.best_val_accuracy - 0.15
+    )
+    # The sparsity giveaway: realized factor below the 7.5x request
+    # (the paper measures 5.2x), while exact sort hits it exactly.
+    assert exact.achieved_sparsity > 7.0
+    assert 3.0 < quantile.achieved_sparsity < 7.0

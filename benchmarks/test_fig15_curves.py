@@ -1,0 +1,25 @@
+"""Figure 15: Procrustes vs. unpruned SGD on the CIFAR-10 stand-ins.
+
+Paper: on VGG-S, DenseNet and WRN, Procrustes converges as fast as (or
+faster than) the dense baseline while training a pruned model.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.training_experiments import (
+    format_curves,
+    run_fig15_cifar_curves,
+)
+
+
+def test_fig15_procrustes_tracks_sgd(benchmark):
+    results = run_once(
+        benchmark, run_fig15_cifar_curves, ("vgg-s", "densenet"), 6
+    )
+    print()
+    for network, (procrustes, baseline) in results.items():
+        print(format_curves([procrustes, baseline], f"Figure 15 — {network}"))
+        assert (
+            procrustes.history.best_val_accuracy
+            >= baseline.history.best_val_accuracy - 0.2
+        ), network
+        assert procrustes.achieved_sparsity > 2.0, network

@@ -1,0 +1,27 @@
+"""Figure 16: accuracy at several pruning ratios (ResNet18-style).
+
+Paper: ResNet18 trains to baseline accuracy at 2.9x/5.8x/11.7x pruning
+(and MobileNet v2 at 7x/10x); higher ratios are not slower to converge.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.training_experiments import (
+    format_curves,
+    run_fig16_sparsity_sweep,
+)
+
+
+def test_fig16_sparsity_sweep(benchmark):
+    results = run_once(
+        benchmark, run_fig16_sparsity_sweep, "resnet18", (2.9, 5.8), 6
+    )
+    print()
+    print(format_curves(list(results.values()), "Figure 16 — ResNet18"))
+    baseline = results["baseline (SGD)"]
+    for label, run in results.items():
+        if label == "baseline (SGD)":
+            continue
+        assert (
+            run.history.best_val_accuracy
+            >= baseline.history.best_val_accuracy - 0.25
+        ), label

@@ -1,0 +1,27 @@
+"""Figure 17: energy breakdown with the K,N dataflow, all five CNNs.
+
+Paper: Procrustes saves 2.27x-3.26x energy; most savings come from
+skipped FP32 MACs; MobileNet v2 benefits least because depthwise
+convolutions limit reuse and DRAM looms larger.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import (
+    format_fig17,
+    run_fig17_energy_breakdown,
+)
+
+
+def test_fig17_energy_breakdown(benchmark):
+    result = run_once(benchmark, run_fig17_energy_breakdown)
+    print()
+    print(format_fig17(result))
+    savings = result.savings()
+    # Band check (paper: 2.27-3.26) with modelling slack.
+    for network, ratio in savings.items():
+        assert 1.7 < ratio < 4.2, (network, ratio)
+    # MobileNet v2 benefits least (DRAM-bound depthwise convolutions).
+    assert savings["mobilenet-v2"] == min(savings.values())
+    # The high-sparsity ImageNet models save the most.
+    best = max(savings, key=savings.get)
+    assert best in ("resnet18", "wrn-28-10")

@@ -1,0 +1,23 @@
+"""Figure 18: energy across the four spatial mappings.
+
+Paper: because MAC count and the memory hierarchy are fixed, the
+dataflow choice has negligible impact on energy — which frees the
+design to pick the mapping by performance alone.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import (
+    format_fig18,
+    run_fig18_fig19_dataflows,
+)
+
+NETWORKS = ("wrn-28-10", "densenet", "vgg-s", "resnet18", "mobilenet-v2")
+
+
+def test_fig18_energy_across_dataflows(benchmark):
+    result = run_once(benchmark, run_fig18_fig19_dataflows, NETWORKS)
+    print()
+    print(format_fig18(result))
+    for network in NETWORKS:
+        assert result.energy_spread(network, sparse=True) < 1.3, network
+        assert result.energy_spread(network, sparse=False) < 1.3, network

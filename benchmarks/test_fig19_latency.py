@@ -1,0 +1,51 @@
+"""Figure 19: training latency across the four spatial mappings.
+
+Paper: the minibatch-spatial mappings (C,N and K,N) are fastest, with
+K,N slightly ahead (better first-layer utilization); C,K lags even
+with its complex interconnect (few-channel layers); activation-
+stationary P,Q is slowest overall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import (
+    format_fig19,
+    run_fig18_fig19_dataflows,
+)
+
+NETWORKS = ("wrn-28-10", "densenet", "vgg-s", "resnet18", "mobilenet-v2")
+
+
+def test_fig19_latency_across_dataflows(benchmark):
+    result = run_once(benchmark, run_fig18_fig19_dataflows, NETWORKS)
+    print()
+    print(format_fig19(result))
+    for network in NETWORKS:
+        cycles = {
+            str(r["mapping"]): float(r["total_cycles"])
+            for r in result.rows
+            if r["network"] == network and r["sparse"]
+        }
+        # Minibatch mappings beat PQ everywhere.
+        assert cycles["KN"] < cycles["PQ"], network
+        assert cycles["CN"] < cycles["PQ"], network
+        # The overall fastest mapping is a minibatch mapping.
+        assert result.fastest_mapping(network) in ("KN", "CN"), network
+
+
+def test_fig19_speedup_band(benchmark):
+    """Paper headline: 2.28x-4x speedup, WRN best."""
+    result = run_once(benchmark, run_fig18_fig19_dataflows, NETWORKS, ("KN",))
+    speedups = {}
+    for network in NETWORKS:
+        cycles = {
+            bool(r["sparse"]): float(r["total_cycles"])
+            for r in result.rows
+            if r["network"] == network and r["mapping"] == "KN"
+        }
+        speedups[network] = cycles[False] / cycles[True]
+    print()
+    print("KN speedups:", {k: round(v, 2) for k, v in speedups.items()})
+    for network, speedup in speedups.items():
+        assert 1.8 < speedup < 4.3, (network, speedup)
+    best = max(speedups, key=speedups.get)
+    assert best in ("wrn-28-10", "resnet18")

@@ -1,0 +1,24 @@
+"""Figure 20: scaling from 256 PEs (16x16) to 1024 PEs (32x32).
+
+Paper: latency scales near-ideally (~3.9x on 4x cores) for the K,N
+mapping; other mappings trade utilization for reuse and scale worse;
+energy barely moves because the MAC count is unchanged.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import (
+    format_fig20,
+    run_fig20_scalability,
+)
+
+
+def test_fig20_scalability(benchmark):
+    result = run_once(benchmark, run_fig20_scalability)
+    print()
+    print(format_fig20(result))
+    for network in ("resnet18", "mobilenet-v2"):
+        kn = result.latency_scaling(network, "KN")
+        pq = result.latency_scaling(network, "PQ")
+        assert 3.0 < kn <= 4.05, (network, kn)
+        assert kn > pq, network
+        assert abs(result.energy_scaling(network, "KN") - 1.0) < 0.3

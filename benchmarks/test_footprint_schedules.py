@@ -1,0 +1,85 @@
+"""Introduction claims (i)-(iii): why gradual pruning saves less.
+
+The intro argues that gradually-pruning sparse trainers imply "(i) no
+peak memory footprint reduction, (ii) mediocre energy savings because
+the average sparsity is low during most of the training process, and
+(iii) the need to support two weight storage formats ... and switch
+formats mid-way during training", while Dropback/Procrustes hold the
+target sparsity from iteration zero.
+
+This bench tabulates all three quantities for the published schedules
+of every surveyed method, on a ResNet18-scale run (90 epochs x 5,005
+iterations at minibatch 256 — the standard ImageNet recipe).
+Expected shape: Procrustes/Dropback/DSR have flat low density and
+switch-free storage; lottery/eager peak at dense, average >60 %
+density, and must switch formats mid-run.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.schedules import PAPER_SCHEDULES
+from repro.hw.memory import training_footprint, weight_footprint, weight_traffic
+from repro.models.zoo import get_specs
+
+RESNET18_ITERATIONS = 90 * 5_005
+
+
+def _survey():
+    specs = get_specs("resnet18")
+    weight_count = sum(s.weight_count for s in specs)
+    rows = {}
+    for name, schedule in PAPER_SCHEDULES.items():
+        wf = weight_footprint(schedule, weight_count, RESNET18_ITERATIONS)
+        tf = training_footprint(
+            schedule, specs, n=64, total_iterations=RESNET18_ITERATIONS
+        )
+        traffic = weight_traffic(schedule, weight_count, RESNET18_ITERATIONS)
+        rows[name] = {
+            "avg_density": schedule.average_density(RESNET18_ITERATIONS),
+            "peak_reduction": wf.peak_reduction,
+            "switch_at": wf.switch_iteration,
+            "weight_MB": (tf.weight_peak_bits + tf.optimizer_state_bits) / 8e6,
+            "total_MB": tf.total_bits / 8e6,
+            "traffic_MB": traffic.total_bits / 8e6,
+        }
+    return rows
+
+
+def test_schedule_claims(benchmark):
+    rows = run_once(benchmark, _survey)
+    print()
+    print("Sparse-training schedules on ResNet18 (450k iterations)")
+    print(
+        f"{'method':14} {'avg density':>12} {'peak redux':>11} "
+        f"{'format switch':>14} {'wgt+state MB':>13} {'total MB':>9} "
+        f"{'traffic MB/it':>13}"
+    )
+    for name, row in rows.items():
+        switch = (
+            "never" if row["switch_at"] is None
+            else f"@{row['switch_at']:,}"
+        )
+        print(
+            f"{name:14} {row['avg_density']:>12.3f} "
+            f"{row['peak_reduction']:>10.2f}x {switch:>14} "
+            f"{row['weight_MB']:>13.1f} {row['total_MB']:>9.1f} "
+            f"{row['traffic_MB']:>13.2f}"
+        )
+    # Claim (i): gradual pruning has no peak-memory reduction.
+    assert rows["lottery"]["peak_reduction"] == 1.0
+    assert rows["eager-pruning"]["peak_reduction"] == 1.0
+    assert rows["procrustes"]["peak_reduction"] > 3.5
+    # Claim (ii): average density stays high for gradual methods.
+    assert rows["eager-pruning"]["avg_density"] > 0.6
+    assert rows["procrustes"]["avg_density"] < 0.1
+    # Claim (iii): gradual methods switch formats mid-training;
+    # sparse-from-scratch methods never store dense.
+    assert rows["lottery"]["switch_at"] > 100_000
+    assert rows["procrustes"]["switch_at"] == 0
+    assert rows["dsr"]["switch_at"] == 0
+    # Net effect: weights+optimizer state shrink >4x; the total is
+    # dominated by activations (held fw-to-wu at ImageNet scale), so
+    # it moves less — an honest caveat the intro's framing skips.
+    assert rows["procrustes"]["weight_MB"] < 0.25 * rows["lottery"]["weight_MB"]
+    assert rows["procrustes"]["total_MB"] < rows["lottery"]["total_MB"]
+    # Per-iteration weight DRAM traffic follows average stored size.
+    assert rows["procrustes"]["traffic_MB"] < 0.35 * rows["eager-pruning"]["traffic_MB"]

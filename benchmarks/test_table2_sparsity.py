@@ -1,0 +1,36 @@
+"""Table II: model sizes, MAC counts, sparsity, and accuracy parity.
+
+Paper: 3.9x-11.7x weight sparsity at unpruned accuracy across the five
+CNNs; surviving MACs shrink 2.4x-5x.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import format_table2, run_table2
+
+
+def test_table2_model_statistics(benchmark):
+    result = run_once(benchmark, run_table2, None, False)
+    print()
+    print(format_table2(result))
+    for row in result.rows:
+        assert float(row["dense_size"]) == pytest.approx(
+            float(row["paper_dense_size"]), rel=0.03
+        )
+        assert float(row["sparsity"]) == pytest.approx(
+            float(row["paper_sparsity"]), rel=0.1
+        )
+
+
+def test_table2_accuracy_parity(benchmark):
+    result = run_once(
+        benchmark, run_table2, ("vgg-s", "resnet18"), True, 6
+    )
+    print()
+    print(format_table2(result))
+    for network, (procrustes, baseline) in result.training.items():
+        assert (
+            procrustes.history.best_val_accuracy
+            >= baseline.history.best_val_accuracy - 0.2
+        ), network

@@ -1,0 +1,27 @@
+"""Table III: silicon area and power costs of the Procrustes units.
+
+Paper: 14% area and 11% power overhead versus the equivalent dense
+accelerator, dominated by the per-PE mask memory; the WR PRNG pales
+next to the FP32 MAC.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import format_table3, run_table3
+
+
+def test_table3_overheads(benchmark):
+    result = run_once(benchmark, run_table3)
+    print()
+    print(format_table3(result))
+    assert result.area_overhead == pytest.approx(0.14, abs=0.01)
+    assert result.power_overhead == pytest.approx(0.11, abs=0.01)
+
+
+def test_table3_scaling_with_array_size(benchmark):
+    """Per-PE overheads stay proportionate as the array grows."""
+    result = run_once(benchmark, run_table3, 1024)
+    print(f"\n1024-PE overheads: area {result.area_overhead:.1%}, "
+          f"power {result.power_overhead:.1%}")
+    assert result.area_overhead == pytest.approx(0.16, abs=0.03)

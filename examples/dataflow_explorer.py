@@ -1,0 +1,67 @@
+"""Dataflow exploration: why Procrustes picks the K,N mapping.
+
+Sweeps the four spatial mappings (activation-stationary P,Q; the
+classic weight-stationary C,K; and the two spatial-minibatch mappings
+C,N and K,N) over ResNet18 and MobileNet v2, dense and sparse,
+reproducing the reasoning behind Figures 18 and 19: energy barely
+moves with the mapping, so pick the fastest — which is K,N, because it
+load-balances on the simple interconnect and keeps utilization high in
+every layer (including MobileNet's depthwise convolutions, where C,K
+starves).
+
+Run:  python examples/dataflow_explorer.py
+"""
+
+from repro.dataflow import simulate
+from repro.harness.common import (
+    dense_profile_for,
+    render_table,
+    sparse_profile_for,
+)
+from repro.hw import BASELINE_16x16, PROCRUSTES_16x16
+
+
+def main() -> None:
+    rows = []
+    for network in ("resnet18", "mobilenet-v2"):
+        sparse_profile = sparse_profile_for(network)
+        dense_profile = dense_profile_for(network)
+        for mapping in ("PQ", "CK", "CN", "KN"):
+            dense = simulate(
+                dense_profile, mapping, arch=BASELINE_16x16, n=64,
+                sparse=False,
+            )
+            sparse = simulate(
+                sparse_profile, mapping, arch=PROCRUSTES_16x16, n=64
+            )
+            rows.append(
+                [
+                    network,
+                    mapping,
+                    f"{dense.total_cycles:.3e}",
+                    f"{sparse.total_cycles:.3e}",
+                    f"{dense.total_cycles / sparse.total_cycles:.2f}x",
+                    f"{sparse.total_energy_j:.2f}",
+                ]
+            )
+    print(
+        render_table(
+            [
+                "network",
+                "mapping",
+                "dense cycles",
+                "sparse cycles",
+                "speedup",
+                "sparse J",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Note how the energy column barely moves with the mapping while")
+    print("cycles swing by an order of magnitude — the paper's argument for")
+    print("choosing the spatial-minibatch K,N dataflow by speed alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Training-memory planning across sparse-training methods.
+
+Uses the sparsity-schedule library and the footprint model to answer
+the practical question behind the paper's introduction: *if I train
+ResNet18 with each published sparse-training method, what do weights,
+optimizer state, and activations cost in memory — and when does sparse
+storage start paying?*
+
+Also prices the interconnect options with the fabric cost model,
+showing why balancing the C,K dataflow (Figure 10) would cost more
+silicon than all Procrustes additions combined.
+
+Run:  python examples/memory_planner.py
+"""
+
+from repro.core import PAPER_SCHEDULES
+from repro.hw import (
+    BASELINE_16x16,
+    FabricCostModel,
+    training_footprint,
+    weight_footprint,
+)
+from repro.models import get_specs
+from repro.report import bar_chart, sparkline
+
+ITERATIONS = 90 * 5_005  # the standard 90-epoch ImageNet recipe
+
+
+def main() -> None:
+    specs = get_specs("resnet18")
+    weight_count = sum(s.weight_count for s in specs)
+    print(f"ResNet18: {weight_count / 1e6:.1f}M weights, "
+          f"{ITERATIONS:,} training iterations\n")
+
+    # ------------------------------------------------------------------
+    # 1. Weight-storage trajectory per method.
+    # ------------------------------------------------------------------
+    print("Weight storage over training (sparkline, MB):")
+    for name, schedule in PAPER_SCHEDULES.items():
+        wf = weight_footprint(schedule, weight_count, ITERATIONS, samples=60)
+        mb = wf.bits / 8e6
+        switch = ("no format switch" if wf.switch_iteration == 0
+                  else "never compressed" if wf.switch_iteration is None
+                  else f"switches at iter {wf.switch_iteration:,}")
+        print(f"  {name:14} {sparkline(mb.tolist())}  "
+              f"peak {wf.peak_bits / 8e6:6.1f} MB  ({switch})")
+
+    # ------------------------------------------------------------------
+    # 2. Peak training memory, all components.
+    # ------------------------------------------------------------------
+    print("\nPeak training memory (weights + optimizer state + acts):")
+    totals = {}
+    for name, schedule in PAPER_SCHEDULES.items():
+        tf = training_footprint(schedule, specs, n=64,
+                                total_iterations=ITERATIONS)
+        totals[name] = tf.total_bits / 8e6
+    print(bar_chart(list(totals), list(totals.values()), unit=" MB"))
+
+    # ------------------------------------------------------------------
+    # 3. What the "complex interconnect" would cost instead.
+    # ------------------------------------------------------------------
+    model = FabricCostModel(BASELINE_16x16)
+    print("\nInterconnect options at 16x16 (area, mm^2):")
+    options = model.options()
+    print(bar_chart(
+        [f.name for f in options],
+        [f.area_mm2() for f in options],
+        unit=" mm2",
+    ))
+    simple, balanced_ck = options[0], options[1]
+    print(f"\nBalancing C,K needs {balanced_ck.area_mm2() - simple.area_mm2():.1f} "
+          f"mm^2 of extra fabric — Procrustes balances K,N for free.")
+
+
+if __name__ == "__main__":
+    main()

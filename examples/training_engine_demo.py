@@ -1,0 +1,118 @@
+"""Behavioural engine demo: training iterations through CSB weights.
+
+Part 1 runs the forward, backward, and weight-update phases of a
+sparse conv layer with the weights held *only* in compressed-sparse-
+block form, on a 16x16 PE array with the quantile engine filtering the
+outgoing gradients — the complete Procrustes datapath for one layer,
+with cycle counts, compared against its dense twin.
+
+Part 2 chains a whole conv stack through the multi-layer engine:
+compressed activations bridge the forward-to-weight-update window
+(Section IV-A), and masked SGD updates land directly on the
+CSB-resident weights across iterations.
+
+Run:  python examples/training_engine_demo.py
+"""
+
+import numpy as np
+
+from repro.hw import (
+    PROCRUSTES_16x16,
+    NetworkTrainingEngine,
+    QuantileEngine,
+    SparseTrainingEngine,
+)
+from repro.sparse import CSBTensor
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    k, c, size, n = 64, 32, 16, 16
+    density = 0.2
+
+    dense_w = rng.normal(size=(k, c, 3, 3)) * 0.1
+    sparse_w = dense_w * (rng.uniform(size=dense_w.shape) < density)
+    x = np.maximum(rng.normal(size=(n, c, size, size)), 0.0)  # post-ReLU
+    dy = rng.normal(size=(n, k, size, size)) * 0.01  # post-BN: dense
+
+    qe = QuantileEngine(sparsity_factor=5.0)
+    # Warm the threshold with a few gradient bursts, as a real run's
+    # earlier iterations would have.
+    for _ in range(30):
+        qe.filter(rng.normal(size=8192) * 0.05)
+    engine = SparseTrainingEngine(PROCRUSTES_16x16, qe=qe)
+
+    sparse_csb = CSBTensor.from_dense(sparse_w)
+    dense_csb = CSBTensor.from_dense(dense_w)
+    print(f"layer: {k}x{c}x3x3, input {size}x{size}, minibatch {n}")
+    print(f"CSB: nnz={sparse_csb.nnz} ({sparse_csb.density:.0%} dense), "
+          f"compression {sparse_csb.compression_ratio():.1f}x\n")
+
+    print(f"{'phase':6s} {'dense cycles':>14s} {'sparse cycles':>14s} "
+          f"{'speedup':>8s}")
+    dense_phases = engine.train_step(x, dy, dense_csb, padding=1)
+    sparse_phases = engine.train_step(x, dy, sparse_csb, padding=1)
+    for phase in ("fw", "bw", "wu"):
+        d, s = dense_phases[phase], sparse_phases[phase]
+        print(f"{phase:6s} {d.cycles:14,d} {s.cycles:14,d} "
+              f"{d.cycles / s.cycles:7.2f}x")
+    print("(wu is identical in both columns: the weight-update phase "
+          "exploits *activation* sparsity, not weight sparsity —")
+    dense_x = rng.normal(size=x.shape)  # a hypothetical dense input
+    wu_dense_x, _, _ = engine.weight_update(dense_x, dy, sparse_csb, padding=1)
+    wu_sparse_x = sparse_phases["wu"]
+    print(f" with dense activations wu would cost "
+          f"{wu_dense_x.cycles:,} cycles vs {wu_sparse_x.cycles:,} "
+          f"with the {np.count_nonzero(x)/x.size:.0%}-dense ReLU output)")
+
+    # The weight-update write-back, QE-filtered and compressed.
+    _, keep, surviving = engine.weight_update(x, dy, sparse_csb, padding=1)
+    print(f"\nQE write-back: kept {keep.mean():.1%} of gradients "
+          f"(threshold {qe.threshold:.2e}); compressed gradient tensor "
+          f"holds {surviving.nnz:,} values")
+
+    # Fidelity: the backward pass through the rotated CSB equals the
+    # autograd reference exactly.
+    from repro.nn import functional as F
+
+    y, cache = F.conv2d(x, sparse_w, padding=1)
+    ref_dx, _, _ = F.conv2d_backward(dy, cache)
+    engine_dx = engine.backward(dy, sparse_csb, padding=1).tensor
+    print(f"backward-pass max deviation from autograd: "
+          f"{np.abs(engine_dx - ref_dx).max():.2e}")
+
+    # ------------------------------------------------------------------
+    # Part 2: a whole network, iterating.
+    # ------------------------------------------------------------------
+    print("\n--- multi-layer engine: 3-conv stack, 5 iterations ---")
+
+    def sparse(shape, density=0.3):
+        w = rng.normal(size=shape) * 0.2
+        return w * (rng.uniform(size=shape) < density)
+
+    net = NetworkTrainingEngine(
+        PROCRUSTES_16x16,
+        [
+            ("c0", sparse((16, 8, 3, 3)), 1),
+            ("c1", sparse((16, 16, 3, 3)), 1),
+            ("c2", sparse((8, 16, 3, 3)), 1),
+        ],
+        lr=0.01,
+    )
+    xs = rng.normal(size=(8, 8, 12, 12))
+    print(f"weight density: {net.weight_density():.1%}")
+    for it in range(5):
+        out, _ = net.forward(xs)
+        dy_net = (out - 1.0) / out.size  # pull outputs toward 1.0
+        result = net.train_step(xs, dy_net)
+        print(f"iter {it}: {result.total_cycles:>9,} cycles, "
+              f"{result.total_macs:>11,} MACs, "
+              f"acts compressed {result.activation_compression:.2f}x, "
+              f"density {net.weight_density():.1%}")
+    print("pruned positions remain exactly zero across all iterations;")
+    print("stored activations round-trip bit-exactly through the")
+    print("compressed fw->wu buffer (asserted in tests/test_network_engine.py)")
+
+
+if __name__ == "__main__":
+    main()

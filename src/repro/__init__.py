@@ -1,0 +1,55 @@
+"""repro — reproduction of Procrustes (MICRO 2020).
+
+A from-scratch Python implementation of the Procrustes sparse-training
+system: the hardware-friendly Dropback variant (initial-weight decay +
+streaming quantile estimation), the compressed-sparse-block weight
+format, the spatial-minibatch dataflow with half-tile load balancing,
+and an analytical accelerator model that regenerates every table and
+figure of the paper's evaluation.
+
+Subpackages
+-----------
+``repro.core``
+    The sparse-training algorithm (Dropback, decay, quantile).
+``repro.nn``
+    NumPy DNN training substrate (layers, optimizers, datasets).
+``repro.models``
+    The five paper CNNs: paper-scale specs and mini trainable variants.
+``repro.sparse``
+    Compressed-sparse-block weight representation, the rival EIE/SCNN
+    formats, and compressed activation storage.
+``repro.workloads``
+    Layer specs, per-phase operation spaces, sparsity profiles.
+``repro.dataflow``
+    Mappings, tiling, load balancing, latency and energy models, and
+    the Eager Pruning accelerator model.
+``repro.hw``
+    Hardware unit models (PRNG/WR, QE), energy and area tables, the
+    cycle-level array simulator, fabric cost and memory footprint
+    models, and the behavioural CSB training engines.
+``repro.report``
+    ASCII plotting and CSV/JSON experiment export.
+``repro.harness``
+    One experiment driver per table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    DropbackConfig,
+    DropbackOptimizer,
+    DumiqueEstimator,
+    InitialWeightDecay,
+    ParallelQuantileEstimator,
+    ThresholdTracker,
+)
+
+__all__ = [
+    "DropbackConfig",
+    "DropbackOptimizer",
+    "DumiqueEstimator",
+    "InitialWeightDecay",
+    "ParallelQuantileEstimator",
+    "ThresholdTracker",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: hardware-friendly sparse training.
+
+Exports the Dropback/Procrustes optimizer, the initial-weight decay
+schedule, streaming quantile estimation, and tracked-set selection.
+"""
+
+from repro.core.baselines import (
+    DynamicSparseReparameterization,
+    GradualMagnitudePruning,
+    GradualMagnitudePruningConfig,
+)
+from repro.core.decay import InitialWeightDecay
+from repro.core.dropback import DropbackConfig, DropbackOptimizer
+from repro.core.schedules import (
+    PAPER_SCHEDULES,
+    ConstantSparsity,
+    SparseFromScratch,
+    SparsitySchedule,
+    StepwisePruning,
+    paper_schedule,
+)
+from repro.core.quantile import (
+    DumiqueEstimator,
+    ParallelQuantileEstimator,
+    quantile_for_sparsity,
+    sparsity_for_quantile,
+)
+from repro.core.quantile_variants import (
+    P2Estimator,
+    SetPointThreshold,
+    estimator_hardware_cost,
+)
+from repro.core.tracking import ThresholdTracker, select_topk, topk_threshold
+
+__all__ = [
+    "DynamicSparseReparameterization",
+    "GradualMagnitudePruning",
+    "GradualMagnitudePruningConfig",
+    "InitialWeightDecay",
+    "DropbackConfig",
+    "DropbackOptimizer",
+    "PAPER_SCHEDULES",
+    "ConstantSparsity",
+    "SparseFromScratch",
+    "SparsitySchedule",
+    "StepwisePruning",
+    "paper_schedule",
+    "DumiqueEstimator",
+    "ParallelQuantileEstimator",
+    "quantile_for_sparsity",
+    "sparsity_for_quantile",
+    "ThresholdTracker",
+    "select_topk",
+    "topk_threshold",
+    "P2Estimator",
+    "SetPointThreshold",
+    "estimator_hardware_cost",
+]

@@ -1,0 +1,241 @@
+"""Baseline sparse-training algorithms the paper compares against.
+
+Section II-E/VII-B of the paper surveys the landscape Procrustes
+competes with; this module implements the two representative families
+on the same substrate, so the comparisons (and the paper's generality
+claim — Section VI-G: quantile selection applies to *all* sparse
+training algorithms) are directly runnable:
+
+* :class:`GradualMagnitudePruning` — the lottery-ticket / Eager
+  Pruning recipe: start dense, periodically remove the
+  lowest-magnitude fraction of the remaining weights until the target
+  sparsity is reached.  Selection uses either an exact sort or the
+  same streaming-quantile threshold Procrustes uses (the paper notes
+  Eager Pruning's sorting cost is unaccounted in its hardware).
+* :class:`DynamicSparseReparameterization` — Mostafa & Wang's scheme:
+  start sparse at the target level, periodically prune
+  smallest-magnitude survivors and regrow an equal number of randomly
+  chosen pruned weights (zero-initialized), letting zeros redistribute.
+
+Both optimizers share the interface of
+:class:`repro.core.dropback.DropbackOptimizer` (``step()``, ``masks()``,
+``achieved_sparsity_factor()``), so trainers and the architecture model
+consume them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dropback import ParameterLike
+from repro.core.quantile import DumiqueEstimator
+from repro.core.tracking import select_topk
+
+__all__ = [
+    "GradualMagnitudePruningConfig",
+    "GradualMagnitudePruning",
+    "DynamicSparseReparameterization",
+]
+
+
+@dataclass
+class GradualMagnitudePruningConfig:
+    """Eager-Pruning-style schedule.
+
+    Every ``prune_interval`` iterations, ``prune_fraction`` of the
+    *remaining* weights are removed (lowest magnitude first) until the
+    overall ``target_sparsity_factor`` is reached.  The paper's Eager
+    Pruning removes ~0.8 % every 24k iterations and tops out at modest
+    factors; the defaults here are scaled for mini runs.
+    """
+
+    target_sparsity_factor: float = 3.0
+    prune_interval: int = 10
+    prune_fraction: float = 0.2
+    lr: float = 0.05
+    momentum: float = 0.9
+    selection: str = "sort"  # or "quantile" (Procrustes-style, no sort)
+    quantile_rho: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.target_sparsity_factor < 1.0:
+            raise ValueError("target_sparsity_factor must be >= 1")
+        if not 0.0 < self.prune_fraction < 1.0:
+            raise ValueError("prune_fraction must lie in (0, 1)")
+        if self.prune_interval < 1:
+            raise ValueError("prune_interval must be >= 1")
+        if self.selection not in ("sort", "quantile"):
+            raise ValueError("selection must be 'sort' or 'quantile'")
+
+
+class _MaskedSGD:
+    """Shared machinery: SGD over parameters with persistent masks."""
+
+    def __init__(self, parameters, lr: float, momentum: float) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self.prunable = [p for p in parameters if getattr(p, "prunable", False)]
+        self.dense = [p for p in parameters if not getattr(p, "prunable", False)]
+        self.masks_: dict[int, np.ndarray] = {
+            id(p): np.ones_like(p.data, dtype=bool) for p in self.prunable
+        }
+        self._velocity: dict[int, np.ndarray] = {}
+        self.iteration = 0
+
+    def _sgd_step(self, param: ParameterLike) -> None:
+        if param.grad is None:
+            raise ValueError(
+                f"parameter {param.name!r} has no gradient; run backward "
+                "before step()"
+            )
+        grad = param.grad
+        if self.momentum > 0.0:
+            velocity = self._velocity.setdefault(
+                id(param), np.zeros_like(param.data)
+            )
+            velocity *= self.momentum
+            velocity += grad
+            grad = velocity
+        param.data = param.data - self.lr * grad
+
+    def _apply_masks(self) -> None:
+        for param in self.prunable:
+            param.data = param.data * self.masks_[id(param)]
+
+    # -- common reporting (mirrors DropbackOptimizer) -------------------
+    def masks(self) -> dict[str, np.ndarray]:
+        return {p.name: self.masks_[id(p)].copy() for p in self.prunable}
+
+    def tracked_count(self) -> int:
+        return sum(int(m.sum()) for m in self.masks_.values())
+
+    def achieved_sparsity_factor(self) -> float:
+        total = sum(p.data.size for p in self.prunable)
+        tracked = self.tracked_count()
+        return total / tracked if tracked else float("inf")
+
+
+class GradualMagnitudePruning(_MaskedSGD):
+    """Start dense; periodically drop the smallest surviving weights."""
+
+    def __init__(
+        self,
+        parameters,
+        config: GradualMagnitudePruningConfig | None = None,
+    ) -> None:
+        self.config = config or GradualMagnitudePruningConfig()
+        super().__init__(parameters, self.config.lr, self.config.momentum)
+        self._estimator: DumiqueEstimator | None = None
+        if self.config.selection == "quantile":
+            self._estimator = DumiqueEstimator(
+                self.config.prune_fraction,
+                rho=self.config.quantile_rho,
+                initial=1e-6,
+            )
+
+    @property
+    def at_target(self) -> bool:
+        return (
+            self.achieved_sparsity_factor()
+            >= self.config.target_sparsity_factor
+        )
+
+    def step(self) -> None:
+        for param in self.prunable + self.dense:
+            self._sgd_step(param)
+        self._apply_masks()
+        self.iteration += 1
+        if self.iteration % self.config.prune_interval == 0 and not self.at_target:
+            self._prune_round()
+
+    def _prune_round(self) -> None:
+        """Remove ``prune_fraction`` of the surviving weights."""
+        survivors = np.concatenate(
+            [
+                np.abs(p.data[self.masks_[id(p)]]).ravel()
+                for p in self.prunable
+            ]
+        )
+        if survivors.size == 0:
+            return
+        if self._estimator is not None:
+            # Procrustes-style: one comparison per weight against the
+            # streamed low-quantile estimate — no sort.
+            self._estimator.update_many(survivors)
+            threshold = self._estimator.estimate
+        else:
+            k_drop = int(round(survivors.size * self.config.prune_fraction))
+            keep = select_topk(survivors, survivors.size - k_drop)
+            threshold = (
+                survivors[~keep].max() if (~keep).any() else -np.inf
+            )
+        for param in self.prunable:
+            mask = self.masks_[id(param)]
+            mask &= np.abs(param.data) > threshold
+        self._apply_masks()
+
+
+class DynamicSparseReparameterization(_MaskedSGD):
+    """Sparse-from-scratch with prune-and-regrow redistribution.
+
+    Starts at the target sparsity with a random mask; every
+    ``rewire_interval`` iterations the ``rewire_fraction`` smallest
+    surviving weights are pruned and the same number of currently
+    pruned positions regrow at zero.
+    """
+
+    def __init__(
+        self,
+        parameters,
+        target_sparsity_factor: float = 3.0,
+        rewire_interval: int = 10,
+        rewire_fraction: float = 0.1,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if target_sparsity_factor < 1.0:
+            raise ValueError("target_sparsity_factor must be >= 1")
+        super().__init__(parameters, lr, momentum)
+        self.target_sparsity_factor = target_sparsity_factor
+        self.rewire_interval = rewire_interval
+        self.rewire_fraction = rewire_fraction
+        self._rng = np.random.default_rng(seed)
+        density = 1.0 / target_sparsity_factor
+        for param in self.prunable:
+            mask = self._rng.uniform(size=param.data.shape) < density
+            if not mask.any():
+                mask.flat[0] = True
+            self.masks_[id(param)] = mask
+        self._apply_masks()
+
+    def step(self) -> None:
+        for param in self.prunable + self.dense:
+            self._sgd_step(param)
+        self._apply_masks()
+        self.iteration += 1
+        if self.iteration % self.rewire_interval == 0:
+            self._rewire_round()
+
+    def _rewire_round(self) -> None:
+        for param in self.prunable:
+            mask = self.masks_[id(param)]
+            surviving = np.flatnonzero(mask.ravel())
+            if surviving.size < 2:
+                continue
+            n_move = max(1, int(round(surviving.size * self.rewire_fraction)))
+            magnitudes = np.abs(param.data.ravel()[surviving])
+            drop = surviving[np.argsort(magnitudes)[:n_move]]
+            pruned = np.flatnonzero(~mask.ravel())
+            if pruned.size == 0:
+                continue
+            grow = self._rng.choice(
+                pruned, size=min(n_move, pruned.size), replace=False
+            )
+            flat_mask = mask.ravel()
+            flat_mask[drop] = False
+            flat_mask[grow] = True
+            self.masks_[id(param)] = flat_mask.reshape(mask.shape)
+        self._apply_masks()

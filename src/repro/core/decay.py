@@ -1,0 +1,89 @@
+"""Initial-weight decay schedule (Algorithm 3 of the paper).
+
+Dropback resets pruned weights to their *initialization values* rather
+than to zero, which preserves accuracy but destroys computation
+sparsity: a pruned weight still multiplies.  Procrustes observes that
+initial values only matter early in training — once accumulated
+gradients dominate, the initial "scaffolding" can be removed — and
+decays every initial weight by a factor ``lambda`` (0.9 in the paper)
+each iteration, flushing it to exactly zero once it falls below FP32
+resolution (the paper quotes 1,000 iterations, i.e. early in the
+second epoch of VGG-S/CIFAR-10 training).
+
+After the flush point a pruned weight is exactly zero and its MAC can
+be skipped, which is what converts Dropback's *representation* sparsity
+into *computation* sparsity.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["InitialWeightDecay"]
+
+
+class InitialWeightDecay:
+    """Multiplier schedule ``lambda ** t`` with a hard zero after a cutoff.
+
+    Parameters
+    ----------
+    decay:
+        Per-iteration multiplicative decay ``lambda`` (paper: 0.9).
+        ``decay=1.0`` disables decay entirely (original Dropback).
+    zero_after:
+        Iteration index at and beyond which the multiplier is exactly
+        0.0 (paper: 1,000).  At ``lambda=0.9`` the analytic value at
+        iteration 1,000 is ~1e-46, far below FP32 denormal range, so
+        the hard zero matches what the hardware's integer scaling
+        factor produces.  ``None`` derives the cutoff automatically as
+        the first iteration where the multiplier underflows FP32
+        (``lambda ** t < 2 ** -149``).
+    """
+
+    #: Smallest positive FP32 subnormal; once the analytic multiplier
+    #: drops below this the hardware scaling factor is exactly zero.
+    FP32_TINY = 2.0 ** -149
+
+    def __init__(self, decay: float = 0.9, zero_after: int | None = 1000) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1] (got {decay})")
+        self.decay = float(decay)
+        if zero_after is None:
+            zero_after = self._underflow_iteration(self.decay)
+        if zero_after is not None and zero_after < 0:
+            raise ValueError(f"zero_after must be >= 0 (got {zero_after})")
+        self.zero_after = zero_after
+
+    @staticmethod
+    def _underflow_iteration(decay: float) -> int | None:
+        """First iteration where ``decay ** t`` underflows FP32."""
+        if decay >= 1.0:
+            return None
+        return int(
+            math.ceil(math.log(InitialWeightDecay.FP32_TINY) / math.log(decay))
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any decay happens at all (``decay < 1``)."""
+        return self.decay < 1.0
+
+    def multiplier(self, iteration: int) -> float:
+        """Return ``lambda ** iteration``, hard-zeroed past the cutoff."""
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0 (got {iteration})")
+        if not self.enabled:
+            return 1.0
+        if self.zero_after is not None and iteration >= self.zero_after:
+            return 0.0
+        return self.decay ** iteration
+
+    def is_zero(self, iteration: int) -> bool:
+        """True once initial weights have fully decayed away."""
+        return self.multiplier(iteration) == 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"InitialWeightDecay(decay={self.decay}, "
+            f"zero_after={self.zero_after})"
+        )

@@ -1,0 +1,209 @@
+"""Alternative threshold estimators, for comparison with DUMIQUE.
+
+Section III-B motivates the choice of DUMIQUE [45] over the obvious
+alternatives; this module implements those alternatives so the choice
+is an experiment rather than an assertion:
+
+* :class:`SetPointThreshold` — the feedback scheme of dynamic sparse
+  reparameterization [33]: a value threshold adjusted periodically to
+  steer the *count* of surviving weights toward a set point.  Works,
+  "however, the initial value of this threshold becomes a
+  hyperparameter" — the comparison bench sweeps that initial value to
+  show the sensitivity DUMIQUE avoids.
+* :class:`P2Estimator` — Jain & Chlamtac's P-squared estimator, the
+  classic streaming-quantile algorithm.  More accurate per update but
+  needs five marker registers, sorting of markers, and a parabolic
+  update — substantially more hardware than DUMIQUE's single register
+  and two multiplies.
+
+All three estimators (including DUMIQUE from :mod:`.quantile`) share
+the ``update(value) -> estimate`` protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SetPointThreshold", "P2Estimator", "estimator_hardware_cost"]
+
+
+class SetPointThreshold:
+    """DSR-style multiplicative set-point controller.
+
+    Observations accumulate counts above/below the current threshold;
+    every ``adjust_every`` observations the threshold moves by a
+    multiplicative step proportional to the tracking error between the
+    observed above-threshold fraction and the target ``1 - q``.
+
+    Parameters
+    ----------
+    q:
+        Target quantile (fraction that should fall *below*).
+    initial:
+        Initial threshold — the hyperparameter the paper criticizes;
+        convergence time depends strongly on how well it is chosen.
+    adjust_every:
+        Observations between adjustments (DSR adjusts per prune round).
+    gain:
+        Step size of the multiplicative correction.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        initial: float,
+        adjust_every: int = 1000,
+        gain: float = 0.5,
+    ) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1) (got {q})")
+        if initial <= 0.0:
+            raise ValueError(f"initial threshold must be positive (got {initial})")
+        if adjust_every < 1:
+            raise ValueError("adjust_every must be >= 1")
+        if gain <= 0.0:
+            raise ValueError("gain must be positive")
+        self.q = float(q)
+        self.adjust_every = int(adjust_every)
+        self.gain = float(gain)
+        self._estimate = float(initial)
+        self._above = 0
+        self._seen = 0
+        self._count = 0
+
+    @property
+    def estimate(self) -> float:
+        return self._estimate
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> float:
+        if value > self._estimate:
+            self._above += 1
+        self._seen += 1
+        self._count += 1
+        if self._seen >= self.adjust_every:
+            observed_above = self._above / self._seen
+            target_above = 1.0 - self.q
+            # Too many survivors -> raise the bar; too few -> lower it.
+            error = observed_above - target_above
+            self._estimate *= float(np.exp(self.gain * error))
+            self._above = 0
+            self._seen = 0
+        return self._estimate
+
+    def update_many(self, values: np.ndarray) -> float:
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(value))
+        return self._estimate
+
+
+class P2Estimator:
+    """Jain & Chlamtac's P-squared streaming quantile estimator.
+
+    Maintains five markers whose heights approximate the quantile
+    curve; marker heights move by a piecewise-parabolic rule as
+    observations arrive.  The reference accuracy bar for streaming
+    estimators — at the cost of hardware DUMIQUE does not need.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1) (got {q})")
+        self.q = float(q)
+        self._initial: list[float] = []
+        self._heights = np.zeros(5)
+        self._positions = np.arange(1.0, 6.0)
+        self._desired = np.array([1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0])
+        self._increments = np.array([0.0, q / 2.0, q, (1 + q) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def estimate(self) -> float:
+        if self._count < 5:
+            if not self._initial:
+                return 0.0
+            ordered = sorted(self._initial)
+            index = min(
+                len(ordered) - 1, int(round(self.q * (len(ordered) - 1)))
+            )
+            return ordered[index]
+        return float(self._heights[2])
+
+    def update(self, value: float) -> float:
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(float(value))
+            if self._count == 5:
+                self._heights = np.sort(np.asarray(self._initial))
+            return self.estimate
+
+        h = self._heights
+        # Locate the cell and bump marker positions above it.
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = int(np.searchsorted(h, value, side="right")) - 1
+        self._positions[cell + 1 :] += 1.0
+        self._desired += self._increments
+
+        # Adjust the three interior markers.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            left = self._positions[i] - self._positions[i - 1]
+            right = self._positions[i + 1] - self._positions[i]
+            if (d >= 1.0 and right > 1.0) or (d <= -1.0 and left > 1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                self._positions[i] += step
+        return self.estimate
+
+    def _parabolic(self, i: int, step: float) -> float:
+        n, h = self._positions, self._heights
+        span = n[i + 1] - n[i - 1]
+        a = (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+        b = (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        return float(h[i] + step / span * (a + b))
+
+    def _linear(self, i: int, step: float) -> float:
+        n, h = self._positions, self._heights
+        j = i + int(step)
+        return float(h[i] + step * (h[j] - h[i]) / (n[j] - n[i]))
+
+    def update_many(self, values: np.ndarray) -> float:
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(value))
+        return self.estimate
+
+
+def estimator_hardware_cost(kind: str) -> dict[str, int]:
+    """First-order hardware inventory of each estimator option.
+
+    Registers and arithmetic ops per update; the basis of the paper's
+    preference for DUMIQUE (one register, one compare, one multiply).
+    """
+    inventory = {
+        "dumique": {"registers": 1, "compares": 1, "multiplies": 1, "divides": 0},
+        "set-point": {"registers": 3, "compares": 1, "multiplies": 1, "divides": 1},
+        "p2": {"registers": 15, "compares": 7, "multiplies": 8, "divides": 4},
+    }
+    key = kind.lower()
+    if key not in inventory:
+        raise ValueError(
+            f"unknown estimator {kind!r}; expected one of {sorted(inventory)}"
+        )
+    return inventory[key]

@@ -1,0 +1,255 @@
+"""Sparsity-over-training schedules of the surveyed algorithms.
+
+The introduction argues that *when* sparsity arrives matters as much
+as how much arrives: gradual pruning approaches [8, 33, 49] imply
+"(i) no peak memory footprint reduction, (ii) mediocre energy savings
+because the average sparsity is low during most of the training
+process, and (iii) the need to support two weight storage formats
+... and switch formats mid-way during training", whereas Dropback and
+Procrustes "maintain the target weight sparsity throughout training".
+
+This module captures each method's weight-density trajectory as an
+analytic :class:`SparsitySchedule`, from which those three claims
+become measurable quantities:
+
+* :meth:`SparsitySchedule.peak_density` — claim (i);
+* :meth:`SparsitySchedule.average_density` (energy is roughly
+  proportional to density iteration by iteration) — claim (ii);
+* :meth:`SparsitySchedule.format_switch_iteration` — claim (iii): the
+  iteration where compressed storage first beats dense storage.
+
+The schedules are *density* models, deliberately decoupled from the
+trainable optimizers in :mod:`repro.core.baselines`: the footprint and
+energy analyses sweep millions of iterations, which only an analytic
+model can afford, while the optimizers validate dynamics on mini runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SparsitySchedule",
+    "ConstantSparsity",
+    "StepwisePruning",
+    "SparseFromScratch",
+    "PAPER_SCHEDULES",
+    "paper_schedule",
+]
+
+
+@dataclass(frozen=True)
+class SparsitySchedule:
+    """Base class: weight density as a function of training iteration.
+
+    Density is the surviving fraction ``nnz / total`` in ``(0, 1]``;
+    the paper's "sparsity factor" is its reciprocal.
+    """
+
+    name: str
+
+    def density(self, iteration: int) -> float:
+        """*Computation* density: fraction of MACs that must execute."""
+        raise NotImplementedError
+
+    def storage_density(self, iteration: int) -> float:
+        """*Storage* density: fraction of weights that must be stored.
+
+        Identical to :meth:`density` for most methods; Dropback-style
+        schedules override it, because pruned weights are regenerated
+        from the PRNG and never stored even while their initial values
+        still participate in computation.
+        """
+        return self.density(iteration)
+
+    # ------------------------------------------------------------------
+    # derived quantities used by the footprint/energy analyses
+    # ------------------------------------------------------------------
+    def density_curve(self, total_iterations: int) -> np.ndarray:
+        """Density at every iteration in ``[0, total_iterations)``."""
+        if total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        return np.asarray(
+            [self.density(t) for t in range(total_iterations)]
+        )
+
+    def average_density(self, total_iterations: int) -> float:
+        """Mean density over a full run — the MAC-energy proxy.
+
+        Training MAC count per iteration scales with weight density
+        (forward and backward passes), so a method's energy saving
+        over dense training is roughly ``1 / average_density``.
+        """
+        return float(self.density_curve(total_iterations).mean())
+
+    def peak_density(self, total_iterations: int) -> float:
+        """Maximum *storage* density over the run — the memory peak."""
+        if total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        return max(
+            self.storage_density(t) for t in range(total_iterations)
+        )
+
+    def format_switch_iteration(
+        self, total_iterations: int, switch_density: float = 0.5
+    ) -> int | None:
+        """First iteration where compressed storage beats dense.
+
+        A sparse format with per-value index overhead only wins once
+        density falls below ``switch_density`` (~0.5 for 32-bit values
+        with mask+pointer overhead).  Methods that start dense must
+        store weights densely until then and re-encode everything at
+        the switch; methods that start sparse return 0 — no switch.
+        Returns ``None`` if the density never drops that far.
+        """
+        if not 0.0 < switch_density <= 1.0:
+            raise ValueError("switch_density must lie in (0, 1]")
+        if total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        for t in range(total_iterations):
+            if self.storage_density(t) < switch_density:
+                return t
+        return None
+
+    def final_sparsity_factor(self, total_iterations: int) -> float:
+        return 1.0 / self.density(total_iterations - 1)
+
+
+@dataclass(frozen=True)
+class ConstantSparsity(SparsitySchedule):
+    """Dropback / Procrustes: target density from iteration zero.
+
+    (Procrustes reaches computation sparsity once the initial weights
+    decay to zero at ~iteration 1,000 — ``decay_iterations`` models
+    that brief dense-computation prefix; storage is sparse throughout.)
+    """
+
+    sparsity_factor: float = 10.0
+    decay_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sparsity_factor < 1.0:
+            raise ValueError("sparsity_factor must be >= 1")
+        if self.decay_iterations < 0:
+            raise ValueError("decay_iterations must be >= 0")
+
+    def density(self, iteration: int) -> float:
+        if iteration < self.decay_iterations:
+            return 1.0
+        return 1.0 / self.sparsity_factor
+
+    def storage_density(self, iteration: int) -> float:
+        # Only tracked accumulated gradients are ever stored; pruned
+        # weights are recomputed from the WR unit's PRNG (Section V).
+        return 1.0 / self.sparsity_factor
+
+
+@dataclass(frozen=True)
+class StepwisePruning(SparsitySchedule):
+    """Lottery-ticket / Eager-Pruning-style gradual magnitude pruning.
+
+    Every ``interval`` iterations, ``prune_fraction`` of the currently
+    surviving weights are removed, until ``target_factor`` is reached.
+    The lottery ticket prunes 20 % every 50,000 iterations; Eager
+    Pruning 0.8 % every 24,000.
+    """
+
+    prune_fraction: float = 0.2
+    interval: int = 50_000
+    target_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prune_fraction < 1.0:
+            raise ValueError("prune_fraction must lie in (0, 1)")
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+        if self.target_factor < 1.0:
+            raise ValueError("target_factor must be >= 1")
+
+    def density(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        rounds = iteration // self.interval
+        return max(
+            (1.0 - self.prune_fraction) ** rounds, 1.0 / self.target_factor
+        )
+
+    def rounds_to_target(self) -> int:
+        """Pruning rounds needed to reach the target factor."""
+        return int(
+            np.ceil(
+                np.log(1.0 / self.target_factor)
+                / np.log(1.0 - self.prune_fraction)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SparseFromScratch(SparsitySchedule):
+    """Dynamic sparse reparameterization: constant target density.
+
+    Like Dropback the density never exceeds the target, but zeros
+    *redistribute* every ``rewire_interval`` iterations — the storage
+    footprint is flat while the mask churns (which is why its format
+    must support cheap re-encoding; the churn rate is exposed for the
+    traffic model).
+    """
+
+    sparsity_factor: float = 3.5
+    rewire_interval: int = 4_000
+    rewire_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.sparsity_factor < 1.0:
+            raise ValueError("sparsity_factor must be >= 1")
+        if self.rewire_interval < 1:
+            raise ValueError("rewire_interval must be >= 1")
+
+    def density(self, iteration: int) -> float:
+        return 1.0 / self.sparsity_factor
+
+    def mask_churn_per_iteration(self, total_weights: int) -> float:
+        """Average mask positions rewritten per iteration."""
+        survivors = total_weights / self.sparsity_factor
+        return survivors * self.rewire_fraction / self.rewire_interval
+
+
+def paper_schedule(method: str) -> SparsitySchedule:
+    """The published schedule of each surveyed method (Section II-E).
+
+    ``lottery``            20 % every 50k iterations, 5-10x targets [8]
+    ``eager-pruning``      0.8 % every 24k iterations, 2.4x on ResNet50 [49]
+    ``dsr``                3.5x from scratch, rewiring every 1k-8k [33]
+    ``dropback``           constant target density, e.g. 11.7x [10]
+    ``procrustes``         dropback + 1,000-iteration init decay
+    """
+    key = method.lower()
+    if key not in PAPER_SCHEDULES:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of "
+            f"{sorted(PAPER_SCHEDULES)}"
+        )
+    return PAPER_SCHEDULES[key]
+
+
+#: Published per-method schedules, at ResNet-class operating points.
+PAPER_SCHEDULES: dict[str, SparsitySchedule] = {
+    "lottery": StepwisePruning(
+        name="lottery", prune_fraction=0.2, interval=50_000, target_factor=5.0
+    ),
+    "eager-pruning": StepwisePruning(
+        name="eager-pruning",
+        prune_fraction=0.008,
+        interval=24_000,
+        target_factor=2.4,
+    ),
+    "dsr": SparseFromScratch(
+        name="dsr", sparsity_factor=3.5, rewire_interval=4_000
+    ),
+    "dropback": ConstantSparsity(name="dropback", sparsity_factor=11.7),
+    "procrustes": ConstantSparsity(
+        name="procrustes", sparsity_factor=11.7, decay_iterations=1_000
+    ),
+}

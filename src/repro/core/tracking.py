@@ -1,0 +1,170 @@
+"""Tracked-set selection: which weights survive each iteration.
+
+Dropback keeps, at every iteration, only the weights with the largest
+accumulated-gradient magnitudes; everything else is reset (to its
+initial value in Algorithm 2, to a decayed initial value in
+Algorithm 3).  The selection itself can be done two ways:
+
+* :func:`select_topk` — the exact, sort-based selection of the original
+  algorithm (``S = sort(T ∪ P); mask = 1(S > S[k])``).  This is what
+  a GPU implementation does, and what the paper argues is too
+  expensive in hardware (log2(n!) comparisons).
+* :class:`ThresholdTracker` — the hardware-friendly replacement: a
+  single comparison per gradient against a streaming quantile estimate
+  (:mod:`repro.core.quantile`).  The estimate lags the true quantile
+  slightly, so a few extra weights are tracked — the paper measures the
+  effective sparsity of a 7.5x target dropping to 5.2x — but no sort is
+  needed and selection is a constant-work-per-gradient operation.
+
+Both operate on *flat magnitude arrays*; the optimizer handles
+splitting/joining per-parameter tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantile import ParallelQuantileEstimator, quantile_for_sparsity
+
+__all__ = ["select_topk", "topk_threshold", "ThresholdTracker"]
+
+
+def topk_threshold(magnitudes: np.ndarray, k: int) -> float:
+    """Return the magnitude of the ``k``-th largest element.
+
+    Selecting ``mask = magnitudes >= threshold`` keeps at least ``k``
+    elements (more under ties).  ``k`` is clamped to the array size.
+    """
+    magnitudes = np.asarray(magnitudes).ravel()
+    n = magnitudes.shape[0]
+    if k <= 0:
+        return float("inf")
+    if k >= n:
+        return float("-inf")
+    # np.partition puts the (n-k)-th smallest at index n-k; everything
+    # right of it is >= it, so index n-k holds the k-th largest value.
+    return float(np.partition(magnitudes, n - k)[n - k])
+
+
+def select_topk(magnitudes: np.ndarray, k: int) -> np.ndarray:
+    """Exact top-``k`` selection mask (the sort in Algorithm 2).
+
+    Returns a boolean mask with exactly ``min(k, n)`` True entries.
+    Ties at the threshold are broken by index order so the budget is
+    met exactly, matching a stable sort.
+    """
+    magnitudes = np.asarray(magnitudes).ravel()
+    n = magnitudes.shape[0]
+    if k <= 0:
+        return np.zeros(n, dtype=bool)
+    if k >= n:
+        return np.ones(n, dtype=bool)
+    threshold = topk_threshold(magnitudes, k)
+    mask = magnitudes > threshold
+    selected = int(np.count_nonzero(mask))
+    if selected < k:
+        # Admit just enough threshold-valued entries to hit the budget.
+        ties = np.flatnonzero(magnitudes == threshold)
+        mask[ties[: k - selected]] = True
+    return mask
+
+
+class ThresholdTracker:
+    """Quantile-threshold selection (Section III-B of the paper).
+
+    Maintains a :class:`ParallelQuantileEstimator` targeting the
+    quantile that corresponds to the requested sparsity factor.  Each
+    iteration, :meth:`select` compares every candidate
+    accumulated-gradient magnitude against the current estimate
+    ``theta`` and returns the survivors' mask; all observed magnitudes
+    are then streamed into the estimator, exactly as the hardware QE
+    unit sees the gradients flow from the GLB to DRAM.
+
+    Because the estimate starts tiny (1e-6) and adapts multiplicatively,
+    early iterations track more weights than the target — the same
+    "extra weights tracked" effect the paper reports (7.5x requested,
+    5.2x realized).
+    """
+
+    def __init__(
+        self,
+        sparsity_factor: float,
+        rho: float = 1e-3,
+        initial: float = 1e-6,
+        width: int = 4,
+        hysteresis: float = 0.5,
+    ) -> None:
+        if not 0.0 <= hysteresis <= 1.0:
+            raise ValueError(
+                f"hysteresis must lie in [0, 1] (got {hysteresis})"
+            )
+        self.sparsity_factor = float(sparsity_factor)
+        self.hysteresis = float(hysteresis)
+        q = quantile_for_sparsity(sparsity_factor)
+        self._estimator = ParallelQuantileEstimator(
+            q, width=width, rho=rho, initial=initial
+        )
+
+    @property
+    def threshold(self) -> float:
+        """Current value threshold ``theta``."""
+        return self._estimator.estimate
+
+    @property
+    def quantile(self) -> float:
+        return self._estimator.q
+
+    @property
+    def estimator_cycles(self) -> int:
+        """Hardware cycles the QE unit has consumed."""
+        return self._estimator.cycles
+
+    def select(
+        self,
+        magnitudes: np.ndarray,
+        tracked: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return the survivor mask and fold the stream into the estimate.
+
+        The mask is computed against the threshold *before* this
+        iteration's updates, matching the hardware where the QE unit
+        lags the datapath by design.
+
+        ``tracked`` is the previous iteration's mask.  Entry and exit
+        use different bars, modeling the hardware's keep-until-evicted
+        tracked-set storage (Section III-B): an untracked weight enters
+        only when its gradient exceeds ``theta``, but a tracked weight
+        keeps accumulating until it falls below ``hysteresis * theta``.
+        The band between the bars is what tracks *extra* weights and
+        drifts the realized sparsity below the request (the paper's
+        7.5x -> 5.2x).
+        """
+        magnitudes = np.asarray(magnitudes).ravel()
+        mask = np.zeros(magnitudes.shape[0], dtype=bool)
+        # Stream in hardware-sized bursts: each burst is compared
+        # against the threshold as of its arrival, so the estimate
+        # adapts *during* the pass (per-layer thresholds emerge
+        # naturally, the deviation source Figure 7's caption names).
+        burst = 256
+        for start in range(0, magnitudes.shape[0], burst):
+            stop = start + burst
+            chunk = magnitudes[start:stop]
+            theta = self.threshold
+            chunk_mask = chunk > theta
+            if tracked is not None:
+                chunk_mask |= tracked[start:stop] & (
+                    chunk > self.hysteresis * theta
+                )
+            mask[start:stop] = chunk_mask
+            self._estimator.update_many(chunk)
+        return mask
+
+    def observe(self, magnitudes: np.ndarray) -> None:
+        """Stream magnitudes into the estimator without selecting."""
+        self._estimator.update_many(np.asarray(magnitudes).ravel())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ThresholdTracker(sparsity_factor={self.sparsity_factor}, "
+            f"theta={self.threshold:.3e})"
+        )

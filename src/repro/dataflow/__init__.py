@@ -1,0 +1,45 @@
+"""Mappings, tiling, load balancing, and the latency/energy models."""
+
+from repro.dataflow.eager_accel import (
+    EagerPruningAccelerator,
+    EagerRound,
+    EagerRunResult,
+    sorting_cycles,
+)
+from repro.dataflow.energy_model import layer_phase_energy, network_energy
+from repro.dataflow.latency import LayerLatency, PhaseLatency, network_latency
+from repro.dataflow.loadbalance import balance_sets, pair_halves, split_halves
+from repro.dataflow.mapper import MappingChoice, choose_mapping
+from repro.dataflow.mapping import (
+    MAPPINGS,
+    Mapping,
+    allowed_balancing,
+    spatial_dims,
+)
+from repro.dataflow.simulator import SimulationResult, simulate
+from repro.dataflow.tiling import SetStats, build_sets
+
+__all__ = [
+    "EagerPruningAccelerator",
+    "EagerRound",
+    "EagerRunResult",
+    "sorting_cycles",
+    "MappingChoice",
+    "choose_mapping",
+    "layer_phase_energy",
+    "network_energy",
+    "LayerLatency",
+    "PhaseLatency",
+    "network_latency",
+    "balance_sets",
+    "pair_halves",
+    "split_halves",
+    "MAPPINGS",
+    "Mapping",
+    "allowed_balancing",
+    "spatial_dims",
+    "SimulationResult",
+    "simulate",
+    "SetStats",
+    "build_sets",
+]

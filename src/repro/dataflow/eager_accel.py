@@ -1,0 +1,188 @@
+"""Model of the Eager Pruning training accelerator (Section VII-A).
+
+Eager Pruning [49] is the only prior sparse-*training* accelerator
+proposal the paper compares against.  Its design differs from
+Procrustes on every axis the paper argues about:
+
+* it keeps the **weight-stationary** dataflow but balances load by
+  giving *denser filters more PEs* — each output channel's work is
+  split across a variable number of PEs;
+* because one filter's partial sums are then produced on several PEs,
+  a **combining module** ("can either accumulate or route partial
+  sums") must merge them — extra traffic and hardware Procrustes
+  avoids by balancing along the minibatch dimension;
+* its *algorithm* relies on **sorting weights**, a cost the paper
+  notes "does not appear to be considered in the hardware or the
+  latency and energy measurements" — exposed here so the omission can
+  be priced;
+* it only reaches **1.5-3.5x** sparsity, vs. Procrustes' 3.9-11.7x.
+
+The model allocates PEs per filter proportionally to the filter's
+non-zero count (integer granularity, first-fit packed into array-sized
+rounds), charges the per-round latency as the slowest PE, and counts
+the psum words crossing the combining module.  It is deliberately
+charitable — perfect knowledge of filter densities, zero allocation
+overhead — so the comparison isolates the dataflow itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.config import ArchConfig
+
+__all__ = [
+    "EagerRound",
+    "EagerRunResult",
+    "EagerPruningAccelerator",
+    "sorting_cycles",
+]
+
+
+def sorting_cycles(weight_count: int, comparators: int = 256) -> float:
+    """Cycles to sort all weights, the cost Eager Pruning leaves out.
+
+    A comparison sort needs at least ``log2(n!)`` comparisons
+    (Section III-B works the same bound); with ``comparators``
+    hardware comparators the cycle count divides accordingly.
+    """
+    if weight_count < 2:
+        return 0.0
+    if comparators < 1:
+        raise ValueError(f"comparators must be >= 1 (got {comparators})")
+    # Stirling: log2(n!) ~ n log2 n - n / ln 2.
+    n = float(weight_count)
+    comparisons = n * math.log2(n) - n / math.log(2.0)
+    return max(0.0, comparisons) / comparators
+
+
+@dataclass
+class EagerRound:
+    """One array-filling round: filters, their PE shares, and cycles."""
+
+    filters: list[int]
+    pes_per_filter: list[int]
+    cycles_per_sample: float
+    router_words_per_sample: int
+
+    @property
+    def pes_used(self) -> int:
+        return sum(self.pes_per_filter)
+
+
+@dataclass
+class EagerRunResult:
+    """Whole-layer outcome of the Eager-Pruning dataflow."""
+
+    cycles: float = 0.0
+    macs: int = 0
+    router_words: int = 0
+    n_pes: int = 256
+    rounds: list[EagerRound] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.macs / (self.cycles * self.n_pes)
+
+    @property
+    def router_words_per_mac(self) -> float:
+        """Combining-module traffic intensity (Procrustes: zero)."""
+        return self.router_words / self.macs if self.macs else 0.0
+
+
+class EagerPruningAccelerator:
+    """Weight-stationary array with density-proportional PE allocation."""
+
+    def __init__(self, arch: ArchConfig) -> None:
+        self.arch = arch
+
+    def run_conv(
+        self, mask: np.ndarray, p: int, q: int, n: int
+    ) -> EagerRunResult:
+        """Execute one conv layer forward pass from its weight mask.
+
+        ``mask`` is the ``(K, C, R, S)`` non-zero map.  Filters are
+        packed into array-filling rounds in output-channel order; in
+        each round every filter first receives PEs in proportion to its
+        non-zero count (floor allocation, minimum one), then leftover
+        PEs go to whichever filter currently bounds the round's
+        makespan — denser filters get more PEs, which is the Eager
+        Pruning load-balancing scheme, modelled charitably.
+        """
+        if mask.ndim != 4:
+            raise ValueError(f"mask must be (K, C, R, S), got {mask.ndim}-D")
+        if min(p, q, n) < 1:
+            raise ValueError("p, q, n must all be >= 1")
+        k = mask.shape[0]
+        nnz = mask.reshape(k, -1).sum(axis=1).astype(np.int64)
+        n_pes = self.arch.n_pes
+        total = int(nnz.sum())
+        result = EagerRunResult(n_pes=n_pes)
+        if total == 0:
+            return result
+
+        # Proportional PE demand per filter, from the layer-wide ideal
+        # per-PE work; rounds are packed first-fit in channel order.
+        target = max(1.0, total / n_pes)
+        pending = [
+            (ki, int(nz), min(n_pes, max(1, round(nz / target))))
+            for ki, nz in enumerate(nnz)
+            if nz > 0
+        ]
+        index = 0
+        while index < len(pending):
+            filters: list[int] = []
+            works: list[int] = []
+            shares: list[int] = []
+            used = 0
+            while index < len(pending):
+                ki, nz, want = pending[index]
+                if used + want > n_pes and filters:
+                    break
+                filters.append(ki)
+                works.append(nz)
+                shares.append(want)
+                used += want
+                index += 1
+            # Hand leftover PEs to the current makespan filter.
+            while sum(shares) < n_pes:
+                worst = max(
+                    range(len(works)),
+                    key=lambda i: math.ceil(works[i] / shares[i]),
+                )
+                if math.ceil(works[worst] / shares[worst]) <= 1:
+                    break  # nothing left to gain
+                shares[worst] += 1
+            cycles_per_sample = float(
+                max(
+                    math.ceil(nz / share) * p * q
+                    for nz, share in zip(works, shares)
+                )
+            )
+            # Each filter's psums are produced on `share` PEs; merging
+            # them funnels (share - 1) partial streams of p*q words
+            # through the combining module.
+            router = sum((share - 1) * p * q for share in shares)
+            result.rounds.append(
+                EagerRound(
+                    filters=filters,
+                    pes_per_filter=shares,
+                    cycles_per_sample=cycles_per_sample,
+                    router_words_per_sample=router,
+                )
+            )
+            result.cycles += cycles_per_sample * n
+            result.router_words += router * n
+        result.macs = total * p * q * n
+        return result
+
+    def algorithm_sorting_cycles(
+        self, weight_count: int, comparators: int = 256
+    ) -> float:
+        """Unaccounted per-prune-round sorting cost of the algorithm."""
+        return sorting_cycles(weight_count, comparators)

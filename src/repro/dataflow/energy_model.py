@@ -1,0 +1,167 @@
+"""Energy model: DRAM / GLB / RF / MAC accounting per phase.
+
+A first-order hierarchical traffic model in the spirit of the paper's
+extended Timeloop + Accelergy flow:
+
+* **MAC** — one event per surviving multiply-accumulate.
+* **RF** — each MAC reads two operands and updates a partial sum from
+  the PE-local register file (~3 word events per MAC).
+* **GLB** — refills of the per-PE tiles.  Weights are re-fetched once
+  per minibatch tile (KN/CN), once total (CK, truly stationary), or
+  once per spatial set (PQ); activations are re-fetched once per
+  channel-tile pass; outputs spill once.  Sparse tensors move in CSB
+  form (values + 1/32 word of mask per dense position).
+* **DRAM** — each phase streams its operand tensors once: weights
+  compressed, activations dense for the immediate next layer plus
+  compressed for the weight-update reuse (the Gist-style scheme of
+  Section IV-A), gradients filtered by the QE unit on the way out.
+
+The Procrustes-specific events (WR regeneration, QE updates) are
+charged to ``overhead`` and are negligible by construction, matching
+Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.mapping import spatial_dims
+from repro.hw.config import ArchConfig
+from repro.hw.energy import EnergyBreakdown, EnergyTable
+from repro.workloads.phases import PhaseOp
+from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
+
+__all__ = ["layer_phase_energy", "network_energy"]
+
+#: Average RF word events per MAC (two operand reads + psum update
+#: amortized over the stationary operand's residence).
+RF_EVENTS_PER_MAC = 3.0
+
+#: Mask overhead of the CSB format: one bit per dense position.
+MASK_WORDS_PER_DENSE = 1.0 / 32.0
+
+_PJ = 1e-12
+
+
+def _weight_refetch(op: PhaseOp, mapping: str, arch: ArchConfig) -> float:
+    """How many times each weight word crosses GLB->RF."""
+    dims = spatial_dims(op, mapping)
+    if mapping in ("KN", "CN"):
+        return max(1.0, np.ceil(dims.size2 / arch.pe_cols))
+    if mapping == "CK":
+        return 1.0
+    # PQ: weights stream to the array once per spatial working set.
+    p, q = op.spatial
+    return max(
+        1.0,
+        np.ceil(p / arch.pe_rows) * np.ceil(q / arch.pe_cols),
+    )
+
+
+def _iact_refetch(op: PhaseOp, mapping: str, arch: ArchConfig) -> float:
+    """How many times each input-activation word crosses GLB->RF."""
+    if mapping in ("KN", "CN", "CK"):
+        dims = spatial_dims(op, mapping)
+        channel_dim = dims.size1 if mapping != "CK" else dims.size2
+        return max(1.0, np.ceil(channel_dim / arch.pe_rows))
+    return 1.0  # PQ: activation-stationary
+
+
+def layer_phase_energy(
+    op: PhaseOp,
+    mapping: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    table: EnergyTable,
+    sparse: bool = True,
+) -> EnergyBreakdown:
+    """Energy of one layer in one phase for one training iteration."""
+    layer = op.layer
+    n = op.n
+    weight_density = ls.weight_density if sparse else 1.0
+    iact_density = ls.iact_density if sparse else 1.0
+    mac_density = weight_density if op.sparse_operand == "weights" else iact_density
+
+    macs = op.dense_macs * mac_density
+    glb_pj = table.glb_word_pj_at(arch.glb_bytes)
+
+    # --- compute + RF -------------------------------------------------
+    mac_j = macs * table.mac_fp32_pj * _PJ
+    rf_j = macs * RF_EVENTS_PER_MAC * table.rf_word_pj * _PJ
+
+    # --- GLB traffic ---------------------------------------------------
+    weight_words = layer.weight_count * (
+        weight_density + MASK_WORDS_PER_DENSE if sparse else 1.0
+    )
+    iact_words = layer.iact_count(n) * (
+        iact_density + MASK_WORDS_PER_DENSE
+        if sparse and op.phase == "wu"
+        else 1.0
+    )
+    oact_words = layer.oact_count(n)
+    glb_events = (
+        weight_words * _weight_refetch(op, mapping, arch)
+        + iact_words * _iact_refetch(op, mapping, arch)
+        + oact_words * 2.0  # psum write + downstream read
+    )
+    glb_j = glb_events * glb_pj * _PJ
+
+    # --- DRAM traffic ----------------------------------------------------
+    # Activations cross DRAM in the compressed zero-free format of
+    # Section IV-A (dense only for immediate on-chip reuse); loss
+    # gradients dL/dy and dL/dx stay dense because batch normalization
+    # destroys their sparsity (Section II-B).
+    act_ratio = iact_density + MASK_WORDS_PER_DENSE if sparse else 1.0
+    dram_words = weight_words  # weights (or gradients) stream once
+    if op.phase == "fw":
+        # Read compressed x (previous layer's post-ReLU output), write
+        # y compressed for both the next layer and the wu-phase reuse.
+        dram_words += (layer.iact_count(n) + oact_words) * act_ratio
+    elif op.phase == "bw":
+        # Read dL/dy, write dL/dx (both dense).
+        dram_words += oact_words + layer.iact_count(n)
+    else:  # wu
+        # Read compressed x and dense dL/dy; write back surviving
+        # accumulated gradients (the QE unit filters the rest).
+        dram_words += iact_words + oact_words + weight_words
+    dram_j = dram_words * table.dram_word_pj * _PJ
+
+    # --- Procrustes unit overheads --------------------------------------
+    overhead_j = 0.0
+    if arch.sparse_training_support:
+        if op.phase in ("fw", "bw"):
+            overhead_j += layer.weight_count * table.wr_regen_pj * _PJ
+        else:
+            overhead_j += layer.weight_count * table.qe_update_pj * _PJ
+
+    return EnergyBreakdown(
+        dram_j=dram_j,
+        glb_j=glb_j,
+        rf_j=rf_j,
+        mac_j=mac_j,
+        overhead_j=overhead_j,
+    )
+
+
+def network_energy(
+    profile: NetworkSparsity,
+    mapping: str,
+    arch: ArchConfig,
+    n: int,
+    table: EnergyTable,
+    sparse: bool = True,
+    phases: tuple[str, ...] = ("fw", "bw", "wu"),
+) -> dict[str, EnergyBreakdown]:
+    """Per-phase energy of one training iteration of a network."""
+    from repro.workloads.phases import phase_op  # local: avoid cycle
+
+    result: dict[str, EnergyBreakdown] = {}
+    for phase in phases:
+        total = EnergyBreakdown()
+        for ls in profile.layers:
+            op = phase_op(ls.layer, phase, n)
+            total = total + layer_phase_energy(
+                op, mapping, arch, ls, table, sparse=sparse
+            )
+        result[phase] = total
+    return result

@@ -1,0 +1,106 @@
+"""Cycle-level latency model.
+
+Execution is synchronized per working set (Figure 4): the array moves
+to the next set only when the slowest PE finishes, so a layer's cycles
+are the sum over sets of the per-set maximum work.  Idle PEs (spatial
+dimensions smaller than the array, cross-group channel pairs, partial
+edge tiles) inflate latency naturally because the same work spreads
+over fewer PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataflow.mapping import allowed_balancing
+from repro.dataflow.tiling import SetStats, build_sets
+from repro.hw.config import ArchConfig
+from repro.workloads.phases import PHASES, phase_op
+from repro.workloads.sparsity import NetworkSparsity
+
+__all__ = ["LayerLatency", "PhaseLatency", "network_latency"]
+
+
+@dataclass
+class LayerLatency:
+    """One layer's cycles and working-set statistics for one phase."""
+
+    layer_name: str
+    cycles: float
+    macs: float
+    sets: SetStats
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Achieved throughput; divide by the PE count for utilization."""
+        return self.macs / max(self.cycles, 1.0)
+
+
+@dataclass
+class PhaseLatency:
+    """Cycles per phase for a whole network under one mapping."""
+
+    mapping: str
+    sparse: bool
+    balanced: bool
+    cycles: dict[str, float] = field(default_factory=dict)
+    layers: dict[str, list[LayerLatency]] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    def overheads(self, phase: str | None = None) -> np.ndarray:
+        """Per-working-set imbalance overheads (Figures 5/13)."""
+        phases = [phase] if phase else list(self.layers)
+        parts = [
+            layer.sets.overheads()
+            for ph in phases
+            for layer in self.layers.get(ph, [])
+        ]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+
+def network_latency(
+    profile: NetworkSparsity,
+    mapping: str,
+    arch: ArchConfig,
+    n: int,
+    sparse: bool = True,
+    balance: bool = True,
+    seed: int = 0,
+    phases: tuple[str, ...] = PHASES,
+) -> PhaseLatency:
+    """Cycles for one training iteration of a network.
+
+    ``balance=True`` applies the strongest balancing the mapping
+    supports (half-tile for KN/CN, chip-wide for CK, none for PQ).
+    """
+    rng = np.random.default_rng(seed)
+    result = PhaseLatency(mapping=mapping, sparse=sparse, balanced=balance)
+    for phase in phases:
+        total = 0.0
+        layer_results = []
+        for ls in profile.layers:
+            op = phase_op(ls.layer, phase, n)
+            mode = allowed_balancing(mapping, phase) if balance else "none"
+            sets = build_sets(
+                op, mapping, arch, ls, rng, sparse=sparse, balance=mode
+            )
+            cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
+            total += cycles
+            layer_results.append(
+                LayerLatency(
+                    layer_name=ls.layer.name,
+                    cycles=cycles,
+                    macs=sets.total_macs(),
+                    sets=sets,
+                )
+            )
+        result.cycles[phase] = total
+        result.layers[phase] = layer_results
+    return result

@@ -1,0 +1,69 @@
+"""Mapping search: the "optimal dataflow via Timeloop" of Table I.
+
+The paper's dense baseline uses whatever spatial mapping Timeloop
+finds fastest per network, and Procrustes picks K,N after the sweep of
+Figure 19.  This module automates that selection: evaluate every
+mapping under the latency model and return the fastest (optionally
+restricted to mappings the simple 3-interconnect fabric can balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.latency import network_latency
+from repro.dataflow.mapping import MAPPINGS
+from repro.hw.config import ArchConfig
+from repro.hw.interconnect import traffic_pattern
+from repro.workloads.sparsity import NetworkSparsity
+
+__all__ = ["MappingChoice", "choose_mapping"]
+
+
+@dataclass(frozen=True)
+class MappingChoice:
+    """Result of a mapping search."""
+
+    mapping: str
+    cycles: float
+    cycles_by_mapping: dict[str, float]
+
+    def advantage_over(self, mapping: str) -> float:
+        """Speedup of the chosen mapping versus another candidate."""
+        return self.cycles_by_mapping[mapping] / self.cycles
+
+
+def choose_mapping(
+    profile: NetworkSparsity,
+    arch: ArchConfig,
+    n: int = 64,
+    sparse: bool = True,
+    simple_fabric_only: bool = False,
+    seed: int = 0,
+) -> MappingChoice:
+    """Pick the fastest spatial mapping for a network.
+
+    ``simple_fabric_only=True`` excludes mappings whose load balancing
+    needs the complex interconnect (C,K under sparsity) — the
+    constraint Procrustes designs for.
+    """
+    cycles_by_mapping: dict[str, float] = {}
+    for mapping in MAPPINGS:
+        if simple_fabric_only and sparse:
+            needs_complex = any(
+                traffic_pattern(mapping, phase)
+                .needs_complex_interconnect_for_balancing
+                for phase in ("fw", "bw", "wu")
+            )
+            if needs_complex:
+                continue
+        latency = network_latency(
+            profile, mapping, arch, n, sparse=sparse, seed=seed
+        )
+        cycles_by_mapping[mapping] = latency.total_cycles
+    best = min(cycles_by_mapping, key=cycles_by_mapping.get)
+    return MappingChoice(
+        mapping=best,
+        cycles=cycles_by_mapping[best],
+        cycles_by_mapping=cycles_by_mapping,
+    )

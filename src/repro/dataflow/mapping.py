@@ -1,0 +1,67 @@
+"""Spatial mappings of the operation space onto the PE array.
+
+A mapping names the two loop dimensions distributed across the array
+(Section II-C): ``CK`` is the classic weight-stationary mapping of
+Figure 3, ``KN``/``CN`` are the spatial-minibatch mappings of
+Figure 11, and ``PQ`` is the activation-stationary mapping.  The
+mapping names are *phase-relative*: in the backward pass the layer's
+input channels play the K role (the backward convolution produces
+dL/dx with C channels), matching the tables in Figures 3 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.interconnect import traffic_pattern
+from repro.workloads.phases import PhaseOp
+
+__all__ = ["MAPPINGS", "Mapping", "spatial_dims", "allowed_balancing"]
+
+MAPPINGS = ("PQ", "CK", "CN", "KN")
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A named spatial mapping with its phase-relative dimension sizes."""
+
+    name: str
+    dim1: str  # loop dimension on array rows
+    dim2: str  # loop dimension on array cols
+    size1: int
+    size2: int
+
+
+def spatial_dims(op: PhaseOp, mapping: str) -> Mapping:
+    """Resolve a mapping name to its dimensions for one phase op."""
+    if mapping == "KN":
+        return Mapping("KN", "out_ch", "N", op.out_channels, op.n)
+    if mapping == "CN":
+        return Mapping("CN", "in_ch", "N", op.in_channels, op.n)
+    if mapping == "CK":
+        return Mapping("CK", "in_ch", "out_ch", op.in_channels, op.out_channels)
+    if mapping == "PQ":
+        p, q = op.spatial
+        return Mapping("PQ", "P", "Q", p, q)
+    raise ValueError(f"unknown mapping {mapping!r} (expected one of {MAPPINGS})")
+
+
+def allowed_balancing(mapping: str, phase: str) -> str:
+    """Which balancing the simple 3-interconnect fabric supports.
+
+    * ``KN``/``CN`` — half-tile balancing along the sparse dimension
+      (the paper's scheme), on the simple fabric.
+    * ``CK`` — balancing requires the complex interconnect (Figure 10);
+      following Figure 19 we model it as perfect chip-wide balancing,
+      flagged as needing that extra hardware.
+    * ``PQ`` — naturally balanced in fw/bw (every PE sees the whole
+      filter set); unbalanceable in wu.
+    """
+    if mapping in ("KN", "CN"):
+        return "half"
+    if mapping == "CK":
+        return "perfect"
+    pattern = traffic_pattern(mapping, phase)
+    if pattern.needs_complex_interconnect_for_balancing:
+        return "none"
+    return "none"  # PQ fw/bw needs no balancing; work is uniform

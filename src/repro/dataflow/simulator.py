@@ -1,0 +1,97 @@
+"""Top-level accelerator simulation: one call per experiment condition.
+
+Combines the latency model (:mod:`repro.dataflow.latency`) and the
+energy model (:mod:`repro.dataflow.energy_model`) into the quantities
+the paper plots: per-phase cycles and per-phase energy breakdowns for
+a (network, mapping, density, array size) condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.energy_model import network_energy
+from repro.dataflow.latency import PhaseLatency, network_latency
+from repro.hw.config import ArchConfig
+from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
+from repro.workloads.phases import PHASES
+from repro.workloads.sparsity import NetworkSparsity
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """One training iteration's cost under one condition."""
+
+    network: str
+    mapping: str
+    sparse: bool
+    arch: ArchConfig
+    latency: PhaseLatency
+    energy: dict[str, EnergyBreakdown]
+
+    @property
+    def total_cycles(self) -> float:
+        return self.latency.total_cycles
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(e.total_j for e in self.energy.values())
+
+    def cycles_by_phase(self) -> dict[str, float]:
+        return dict(self.latency.cycles)
+
+    def energy_by_phase(self) -> dict[str, float]:
+        return {phase: e.total_j for phase, e in self.energy.items()}
+
+    def energy_components(self) -> dict[str, float]:
+        """Whole-iteration DRAM/GLB/RF/MAC split (Figure 17's stacks)."""
+        total = EnergyBreakdown()
+        for e in self.energy.values():
+            total = total + e
+        return total.as_dict()
+
+
+def simulate(
+    profile: NetworkSparsity,
+    mapping: str = "KN",
+    arch: ArchConfig | None = None,
+    n: int = 64,
+    sparse: bool = True,
+    balance: bool = True,
+    table: EnergyTable | None = None,
+    seed: int = 0,
+    phases: tuple[str, ...] = PHASES,
+) -> SimulationResult:
+    """Simulate one training iteration of ``profile``'s network.
+
+    The dense baseline is obtained with ``sparse=False`` (densities all
+    treated as 1); Procrustes is ``sparse=True, balance=True`` with a
+    sparse profile.
+    """
+    from repro.hw.config import PROCRUSTES_16x16
+
+    arch = arch or PROCRUSTES_16x16
+    table = table or DEFAULT_ENERGY_TABLE
+    latency = network_latency(
+        profile,
+        mapping,
+        arch,
+        n,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+        phases=phases,
+    )
+    energy = network_energy(
+        profile, mapping, arch, n, table, sparse=sparse, phases=phases
+    )
+    return SimulationResult(
+        network=profile.name,
+        mapping=mapping,
+        sparse=sparse,
+        arch=arch,
+        latency=latency,
+        energy=energy,
+    )

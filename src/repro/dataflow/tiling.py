@@ -1,0 +1,563 @@
+"""Work-tile generation: per-PE work for every full-array working set.
+
+This is the heart of the Timeloop substitution.  For a (layer, phase,
+mapping) triple it derives the sequence of *full-PE-array working
+sets* (the columns of Figure 4) and, for each, the per-PE MAC counts
+under the sparse operand's non-zero distribution.  Latency is then the
+sum over sets of the slowest PE (synchronized execution), and the
+imbalance histograms of Figures 5/13 are the per-set ``max/mean - 1``.
+
+Tile sizing follows the hardware: the stationary operand tile per PE
+is bounded by the register file (Table I: 1 KB, half of it budgeted to
+the stationary tile), so a unit whose weights exceed that budget is
+processed in multiple temporal chunks, each a separate working set —
+smaller chunks mean more relative sparsity variance, which is exactly
+why real working sets show the heavy imbalance tail of Figure 5.
+
+Non-zero counts are *sampled* from the layer's channel-density profile
+(binomial within a chunk) rather than materialized from full boolean
+masks, so ImageNet-scale networks simulate in seconds; with a measured
+profile (``profile_from_masks``) the channel densities come from real
+Dropback masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.loadbalance import balance_sets
+from repro.dataflow.mapping import spatial_dims
+from repro.hw.config import ArchConfig
+from repro.workloads.phases import PhaseOp
+from repro.workloads.sparsity import LayerSparsity
+
+__all__ = ["SetStats", "build_sets"]
+
+#: Cycle tax on chip-wide ("perfect") balancing over the complex
+#: interconnect: the accumulate-or-route partial-sum network that CK
+#: balancing requires (Figure 10, and Eager Pruning's collection
+#: module) serializes reductions that the simple fabric pipelines.
+COMPLEX_BALANCE_OVERHEAD = 0.10
+
+#: Beta concentration for per-sample activation density variation.
+SAMPLE_ACT_CONCENTRATION = 60.0
+#: Beta concentration for per-chunk activation density variation.
+CHUNK_ACT_CONCENTRATION = 24.0
+#: Beta concentration for spatial activation clustering (PQ mapping).
+SPATIAL_ACT_CONCENTRATION = 4.0
+
+
+@dataclass
+class SetStats:
+    """Summary of all working sets of one (layer, phase, mapping).
+
+    Arrays are per *distinct* set; ``weight`` counts how many identical
+    copies of each distinct set execute (e.g. a weight tile re-runs for
+    every minibatch tile).
+    """
+
+    max_work: np.ndarray  # slowest PE's MACs per set
+    mean_work: np.ndarray  # mean MACs over busy PEs per set
+    sum_work: np.ndarray  # total MACs per set (all busy PEs)
+    busy_pes: np.ndarray  # PEs with work assigned per set
+    weight: np.ndarray  # replication count per distinct set
+
+    def __post_init__(self) -> None:
+        n = self.max_work.shape[0]
+        for arr in (self.mean_work, self.sum_work, self.busy_pes, self.weight):
+            if arr.shape[0] != n:
+                raise ValueError("SetStats arrays must have equal length")
+
+    @property
+    def n_distinct(self) -> int:
+        return int(self.max_work.shape[0])
+
+    def total_sets(self) -> int:
+        return int(self.weight.sum())
+
+    def total_cycles(self, macs_per_pe_per_cycle: int = 1) -> float:
+        """Latency: every set runs until its slowest PE finishes."""
+        return float((self.max_work * self.weight).sum()) / macs_per_pe_per_cycle
+
+    def total_macs(self) -> float:
+        return float((self.sum_work * self.weight).sum())
+
+    def overheads(self) -> np.ndarray:
+        """Per-set execution overhead ``max/mean - 1`` (Figures 5/13),
+        repeated per replication so histograms weight sets correctly."""
+        valid = self.mean_work > 0
+        over = np.zeros_like(self.max_work)
+        over[valid] = self.max_work[valid] / self.mean_work[valid] - 1.0
+        return np.repeat(over, self.weight.astype(int))
+
+    @staticmethod
+    def concatenate(parts: list["SetStats"]) -> "SetStats":
+        return SetStats(
+            max_work=np.concatenate([p.max_work for p in parts]),
+            mean_work=np.concatenate([p.mean_work for p in parts]),
+            sum_work=np.concatenate([p.sum_work for p in parts]),
+            busy_pes=np.concatenate([p.busy_pes for p in parts]),
+            weight=np.concatenate([p.weight for p in parts]),
+        )
+
+
+def _from_vectors(
+    work: np.ndarray, busy_cols: int, replication: int
+) -> SetStats:
+    """Summarize sets given per-row work vectors ``(n_sets, A1)``.
+
+    Rows carry distinct work; every busy column replicates its row's
+    work, so the set total is ``row_sum * busy_cols`` and the slowest
+    PE is the slowest row.
+    """
+    busy_rows = (work > 0).sum(axis=1)
+    mean = np.zeros(work.shape[0])
+    nonzero = busy_rows > 0
+    mean[nonzero] = work.sum(axis=1)[nonzero] / busy_rows[nonzero]
+    return SetStats(
+        max_work=work.max(axis=1),
+        mean_work=mean,
+        sum_work=work.sum(axis=1) * busy_cols,
+        busy_pes=busy_rows * busy_cols,
+        weight=np.full(work.shape[0], replication, dtype=np.int64),
+    )
+
+
+def _from_matrices(work: np.ndarray, replication: int = 1) -> SetStats:
+    """Summarize sets given full per-PE matrices ``(n_sets, A1, A2)``."""
+    flat = work.reshape(work.shape[0], -1)
+    busy = (flat > 0).sum(axis=1)
+    mean = np.zeros(flat.shape[0])
+    nonzero = busy > 0
+    mean[nonzero] = flat.sum(axis=1)[nonzero] / busy[nonzero]
+    return SetStats(
+        max_work=flat.max(axis=1),
+        mean_work=mean,
+        sum_work=flat.sum(axis=1),
+        busy_pes=busy,
+        weight=np.full(flat.shape[0], replication, dtype=np.int64),
+    )
+
+
+def _beta_around(
+    rng: np.random.Generator,
+    mean: float | np.ndarray,
+    concentration: float,
+    size: tuple[int, ...],
+) -> np.ndarray:
+    """Beta draws with the given mean and concentration, clipped."""
+    mean = np.clip(np.broadcast_to(np.asarray(mean, dtype=float), size),
+                   1e-4, 1.0 - 1e-4)
+    a = mean * concentration
+    b = (1.0 - mean) * concentration
+    return np.clip(rng.beta(a, b), 0.0, 1.0)
+
+
+def _phase_channel_densities(
+    op: PhaseOp, ls: LayerSparsity
+) -> tuple[np.ndarray, np.ndarray]:
+    """(out_ch, in_ch) densities in phase-relative order.
+
+    In the backward pass the layer's input channels play the
+    out-channel role, so the density arrays swap.
+    """
+    if op.phase == "bw":
+        return ls.in_channel_density, ls.out_channel_density
+    return ls.out_channel_density, ls.in_channel_density
+
+
+# ----------------------------------------------------------------------
+# fw / bw: weight sparsity
+# ----------------------------------------------------------------------
+def _weight_sets_channel_minibatch(
+    op: PhaseOp,
+    mapping_name: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """KN / CN mappings in fw/bw: channel dim on rows, minibatch on cols."""
+    dims = spatial_dims(op, mapping_name)
+    out_d, in_d = _phase_channel_densities(op, ls)
+    densities = out_d if mapping_name == "KN" else in_d
+    s1 = dims.size1
+    layer = op.layer
+    # Dense weights per channel unit of the spatial dimension.
+    weights_per_unit = layer.weight_count / s1
+    uses_per_weight = op.dense_macs / (layer.weight_count * op.n)
+    budget = max(1, arch.rf_words // 2)
+    chunks = max(1, -(-int(round(weights_per_unit)) // budget))
+    chunk_size = weights_per_unit / chunks
+
+    if sparse:
+        probs = np.repeat(
+            np.clip(densities[:s1], 0.0, 1.0), chunks
+        ).reshape(s1, chunks)
+        nnz = rng.binomial(
+            max(1, int(round(chunk_size))), probs
+        ).astype(float)
+        nnz *= chunk_size / max(1, int(round(chunk_size)))
+    else:
+        nnz = np.full((s1, chunks), chunk_size)
+
+    work = nnz * uses_per_weight  # MACs per PE per set, shape (s1, chunks)
+    # Group channel units into array-row tiles; pad idle rows with 0.
+    tiles = -(-s1 // arch.pe_rows)
+    row_padded = np.zeros((tiles * arch.pe_rows, chunks))
+    row_padded[:s1] = work
+    vectors = (
+        row_padded.reshape(tiles, arch.pe_rows, chunks)
+        .transpose(0, 2, 1)
+        .reshape(tiles * chunks, arch.pe_rows)
+    )
+    if sparse and balance == "half":
+        vectors = balance_sets(vectors, rng)
+    replication = -(-op.n // arch.pe_cols)
+    busy_cols = min(op.n, arch.pe_cols)
+    return _from_vectors(vectors, busy_cols, replication)
+
+
+def _weight_sets_ck(
+    op: PhaseOp,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """CK mapping in fw/bw: in-channels on rows, out-channels on cols.
+
+    Each PE holds a rectangular block of channel pairs sized to the
+    register file; grouped convolutions leave cross-group pairs empty
+    (which is what collapses utilization for depthwise layers).
+    """
+    out_d, in_d = _phase_channel_densities(op, ls)
+    layer = op.layer
+    taps = op.reduction_taps
+    budget = max(1, arch.rf_words)
+    block = max(1, int(np.sqrt(budget / taps)))
+    b_c = min(block, op.in_channels)
+    b_k = min(block, op.out_channels)
+    uses_per_weight = op.dense_macs / max(1, layer.weight_count)
+
+    groups = layer.groups
+    s_c, s_k = op.in_channels, op.out_channels
+    c_units = -(-s_c // b_c)
+    k_units = -(-s_k // b_k)
+    # A (c, k) channel pair holds weights only when both channels fall
+    # in the same convolution group (depthwise layers keep only the
+    # diagonal, which is what starves the CK mapping's utilization).
+    c_group = (np.arange(s_c) * groups) // s_c
+    k_group = (np.arange(s_k) * groups) // s_k
+    valid = (c_group[:, None] == k_group[None, :]).astype(float)
+    base = max(ls.weight_density, 1e-4)
+    pair_density = (
+        np.clip(np.outer(in_d[:s_c], out_d[:s_k]) / base, 0.0, 1.0) * valid
+    )
+
+    def _block_sum(matrix: np.ndarray) -> np.ndarray:
+        padded = np.zeros((c_units * b_c, k_units * b_k))
+        padded[:s_c, :s_k] = matrix
+        return (
+            padded.reshape(c_units, b_c, k_units, b_k)
+            .sum(axis=(1, 3))
+        )
+
+    block_weights = _block_sum(valid) * taps
+    block_expected_nnz = _block_sum(pair_density) * taps
+    if sparse:
+        trials = np.maximum(block_weights.astype(int), 0)
+        probs = np.divide(
+            block_expected_nnz,
+            np.maximum(block_weights, 1.0),
+        ).clip(0.0, 1.0)
+        nnz = rng.binomial(np.maximum(trials, 1), probs).astype(float)
+        nnz[trials == 0] = 0.0
+    else:
+        nnz = block_weights.astype(float)
+    work = nnz * uses_per_weight
+
+    rows = -(-c_units // arch.pe_rows)
+    cols = -(-k_units // arch.pe_cols)
+    grid = np.zeros((rows * arch.pe_rows, cols * arch.pe_cols))
+    grid[:c_units, :k_units] = work
+    matrices = (
+        grid.reshape(rows, arch.pe_rows, cols, arch.pe_cols)
+        .transpose(0, 2, 1, 3)
+        .reshape(rows * cols, arch.pe_rows, arch.pe_cols)
+    )
+    stats = _from_matrices(matrices)
+    if sparse and balance == "perfect":
+        # Chip-wide balancing over the complex interconnect: every busy
+        # PE gets the mean work (Figure 10's costly alternative), but
+        # the accumulate-or-route psum network adds a cycle tax.
+        stats = SetStats(
+            max_work=stats.mean_work * (1.0 + COMPLEX_BALANCE_OVERHEAD),
+            mean_work=stats.mean_work,
+            sum_work=stats.sum_work,
+            busy_pes=stats.busy_pes,
+            weight=stats.weight,
+        )
+    return stats
+
+
+def _weight_sets_pq(
+    op: PhaseOp,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    sparse: bool,
+) -> SetStats:
+    """PQ mapping in fw/bw: output positions on the array.
+
+    Every PE processes the entire filter set for its position, so work
+    is uniform (no imbalance) but utilization collapses when the
+    output extent is smaller than the array — the tail-layer problem
+    of activation-stationary dataflows (Section II-C).
+    """
+    p, q = op.spatial
+    density = ls.weight_density if sparse else 1.0
+    work_per_position = op.dense_macs * density / (p * q)
+    t_p = -(-p // arch.pe_rows)
+    t_q = -(-q // arch.pe_cols)
+    # Distinct sets differ only in how many positions are busy.
+    sets_full = (p // arch.pe_rows) * (q // arch.pe_cols)
+    stats_parts = []
+    if sets_full:
+        stats_parts.append(
+            SetStats(
+                max_work=np.array([work_per_position]),
+                mean_work=np.array([work_per_position]),
+                sum_work=np.array([work_per_position * arch.n_pes]),
+                busy_pes=np.array([arch.n_pes]),
+                weight=np.array([sets_full], dtype=np.int64),
+            )
+        )
+    # Edge sets (partial rows/cols of positions).
+    edge_sets = t_p * t_q - sets_full
+    if edge_sets:
+        busy_r = p - (p // arch.pe_rows) * arch.pe_rows or arch.pe_rows
+        busy_c = q - (q // arch.pe_cols) * arch.pe_cols or arch.pe_cols
+        busy = min(busy_r * arch.pe_cols, busy_c * arch.pe_rows,
+                   busy_r * busy_c if busy_r and busy_c else arch.n_pes)
+        busy = max(1, busy)
+        stats_parts.append(
+            SetStats(
+                max_work=np.array([work_per_position]),
+                mean_work=np.array([work_per_position]),
+                sum_work=np.array([work_per_position * busy]),
+                busy_pes=np.array([busy]),
+                weight=np.array([edge_sets], dtype=np.int64),
+            )
+        )
+    return SetStats.concatenate(stats_parts)
+
+
+# ----------------------------------------------------------------------
+# wu: activation sparsity
+# ----------------------------------------------------------------------
+def _wu_sets_channel_minibatch(
+    op: PhaseOp,
+    mapping_name: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """KN / CN mappings in wu: activation sparsity varies along N
+    (per-sample) and along C (per-channel)."""
+    dims = spatial_dims(op, mapping_name)
+    layer = op.layer
+    act_density = ls.iact_density if sparse else 1.0
+    n = op.n
+    s1 = dims.size1
+    dense_per_pair = op.dense_macs / (s1 * n)
+    # Temporal chunks: the PE walks its sample's activation slice.
+    x_per_sample = layer.c * layer.h * layer.w
+    budget = max(1, arch.rf_words // 2)
+    chunks = max(1, min(64, -(-x_per_sample // budget)))
+
+    cols = min(n, arch.pe_cols)
+    n_tiles = -(-n // arch.pe_cols)
+
+    if not sparse:
+        work = np.full((n_tiles * chunks, arch.pe_cols), dense_per_pair / chunks)
+        if n < arch.pe_cols:
+            work[:, n:] = 0.0
+        stats = _from_vectors(work, min(s1, arch.pe_rows), -(-s1 // arch.pe_rows))
+        return stats
+
+    sample_density = _beta_around(
+        rng, act_density, SAMPLE_ACT_CONCENTRATION, (n_tiles * arch.pe_cols,)
+    )
+    if n < n_tiles * arch.pe_cols:
+        sample_density[n:] = 0.0
+    chunk_density = _beta_around(
+        rng,
+        np.repeat(sample_density, chunks),
+        CHUNK_ACT_CONCENTRATION,
+        (n_tiles * arch.pe_cols * chunks,),
+    ).reshape(n_tiles * arch.pe_cols, chunks)
+    chunk_density[sample_density == 0.0] = 0.0
+
+    if mapping_name == "KN":
+        # Rows carry K (uniform): per-set work varies along columns.
+        work = (
+            chunk_density.reshape(n_tiles, arch.pe_cols, chunks)
+            .transpose(0, 2, 1)
+            .reshape(n_tiles * chunks, arch.pe_cols)
+            * dense_per_pair
+            / chunks
+        )
+        if balance == "half":
+            work = balance_sets(work, rng)
+        return _from_vectors(
+            work, min(s1, arch.pe_rows), -(-s1 // arch.pe_rows)
+        )
+    # CN: rows carry C with per-channel activation density variance.
+    c_density = _beta_around(
+        rng, act_density, CHUNK_ACT_CONCENTRATION, (s1,)
+    )
+    c_density *= act_density / max(c_density.mean(), 1e-9)
+    c_density = np.clip(c_density, 0.0, 1.0)
+    rows = -(-s1 // arch.pe_rows)
+    row_padded = np.zeros(rows * arch.pe_rows)
+    row_padded[:s1] = c_density
+    # Work(c, n) multiplicative in the two densities.
+    matrices = []
+    base = max(act_density, 1e-4)
+    sample_tiles = chunk_density.reshape(n_tiles, arch.pe_cols, chunks)
+    for r in range(rows):
+        c_slice = row_padded[r * arch.pe_rows : (r + 1) * arch.pe_rows]
+        for t in range(n_tiles):
+            for f in range(chunks):
+                rho = np.clip(
+                    np.outer(c_slice, sample_tiles[t, :, f]) / base, 0.0, 1.0
+                )
+                matrices.append(rho * dense_per_pair / chunks)
+    work = np.asarray(matrices)
+    if balance == "half":
+        # Balance along the row (channel) dimension per column.
+        flat = work.transpose(0, 2, 1).reshape(-1, work.shape[1])
+        flat = balance_sets(flat, rng)
+        work = flat.reshape(
+            work.shape[0], work.shape[2], work.shape[1]
+        ).transpose(0, 2, 1)
+    return _from_matrices(work)
+
+
+def _wu_sets_ck(
+    op: PhaseOp,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """CK mapping in wu: per-channel activation variance on rows."""
+    act_density = ls.iact_density if sparse else 1.0
+    s1, s2 = op.in_channels, op.out_channels
+    dense_per_pair = op.dense_macs / (s1 * s2)
+    rows = -(-s1 // arch.pe_rows)
+    if sparse:
+        c_density = _beta_around(
+            rng, act_density, CHUNK_ACT_CONCENTRATION, (rows * arch.pe_rows,)
+        )
+        if s1 < rows * arch.pe_rows:
+            c_density[s1:] = 0.0
+    else:
+        c_density = np.zeros(rows * arch.pe_rows)
+        c_density[:s1] = 1.0
+    work = (
+        c_density.reshape(rows, arch.pe_rows) * dense_per_pair
+    )
+    stats = _from_vectors(
+        work, min(s2, arch.pe_cols), -(-s2 // arch.pe_cols)
+    )
+    if sparse and balance == "perfect":
+        stats = SetStats(
+            max_work=stats.mean_work * (1.0 + COMPLEX_BALANCE_OVERHEAD),
+            mean_work=stats.mean_work,
+            sum_work=stats.sum_work,
+            busy_pes=stats.busy_pes,
+            weight=stats.weight,
+        )
+    return stats
+
+
+def _wu_sets_pq(
+    op: PhaseOp,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+) -> SetStats:
+    """PQ mapping in wu: spatially clustered activation sparsity with no
+    way to rebalance on the simple fabric (Section II-C)."""
+    p, q = op.spatial
+    act_density = ls.iact_density if sparse else 1.0
+    dense_per_position = op.dense_macs / (p * q)
+    t_p = -(-p // arch.pe_rows)
+    t_q = -(-q // arch.pe_cols)
+    grid_p = t_p * arch.pe_rows
+    grid_q = t_q * arch.pe_cols
+    if sparse:
+        density = _beta_around(
+            rng, act_density, SPATIAL_ACT_CONCENTRATION, (grid_p, grid_q)
+        )
+    else:
+        density = np.ones((grid_p, grid_q))
+    density[p:, :] = 0.0
+    density[:, q:] = 0.0
+    work = density * dense_per_position
+    matrices = (
+        work.reshape(t_p, arch.pe_rows, t_q, arch.pe_cols)
+        .transpose(0, 2, 1, 3)
+        .reshape(t_p * t_q, arch.pe_rows, arch.pe_cols)
+    )
+    return _from_matrices(matrices)
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def build_sets(
+    op: PhaseOp,
+    mapping: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool = True,
+    balance: str = "none",
+) -> SetStats:
+    """Working-set statistics for one (layer, phase, mapping).
+
+    ``balance`` is ``'none'``, ``'half'`` (half-tile pairing on the
+    simple fabric) or ``'perfect'`` (chip-wide, complex interconnect).
+    """
+    if balance not in ("none", "half", "perfect"):
+        raise ValueError(f"unknown balance mode {balance!r}")
+    if op.sparse_operand == "weights":
+        if mapping in ("KN", "CN"):
+            return _weight_sets_channel_minibatch(
+                op, mapping, arch, ls, rng, sparse, balance
+            )
+        if mapping == "CK":
+            return _weight_sets_ck(op, arch, ls, rng, sparse, balance)
+        if mapping == "PQ":
+            return _weight_sets_pq(op, arch, ls, sparse)
+        raise ValueError(f"unknown mapping {mapping!r}")
+    # wu phase: activation sparsity.
+    if mapping in ("KN", "CN"):
+        return _wu_sets_channel_minibatch(
+            op, mapping, arch, ls, rng, sparse, balance
+        )
+    if mapping == "CK":
+        return _wu_sets_ck(op, arch, ls, rng, sparse, balance)
+    if mapping == "PQ":
+        return _wu_sets_pq(op, arch, ls, rng, sparse)
+    raise ValueError(f"unknown mapping {mapping!r}")

@@ -1,0 +1,65 @@
+"""Experiment drivers: one per table and figure of the paper."""
+
+from repro.harness.arch_experiments import (
+    format_fig01,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_fig20,
+    format_histogram,
+    run_fig01_potential,
+    run_fig17_energy_breakdown,
+    run_fig18_fig19_dataflows,
+    run_fig20_scalability,
+    run_imbalance_histogram,
+)
+from repro.harness.common import (
+    dense_profile_for,
+    histogram_fractions,
+    model_entry,
+    render_table,
+    sparse_profile_for,
+)
+from repro.harness.tables import (
+    format_table2,
+    format_table3,
+    run_table2,
+    run_table3,
+)
+from repro.harness.training_experiments import (
+    format_curves,
+    run_fig06_decay,
+    run_fig07_quantile,
+    run_fig15_cifar_curves,
+    run_fig16_sparsity_sweep,
+    train_mini,
+)
+
+__all__ = [
+    "format_fig01",
+    "format_fig17",
+    "format_fig18",
+    "format_fig19",
+    "format_fig20",
+    "format_histogram",
+    "run_fig01_potential",
+    "run_fig17_energy_breakdown",
+    "run_fig18_fig19_dataflows",
+    "run_fig20_scalability",
+    "run_imbalance_histogram",
+    "dense_profile_for",
+    "histogram_fractions",
+    "model_entry",
+    "render_table",
+    "sparse_profile_for",
+    "format_table2",
+    "format_table3",
+    "run_table2",
+    "run_table3",
+    "format_curves",
+    "run_fig06_decay",
+    "run_fig07_quantile",
+    "run_fig15_cifar_curves",
+    "run_fig16_sparsity_sweep",
+    "train_mini",
+]

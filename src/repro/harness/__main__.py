@@ -1,0 +1,151 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.harness            # everything (training runs too)
+    python -m repro.harness arch       # architecture-model experiments
+    python -m repro.harness training   # training-dynamics experiments
+    python -m repro.harness tables     # Tables II (stats) and III
+    python -m repro.harness beyond     # beyond-the-paper analyses
+    python -m repro.harness export [dir]  # persist results as JSON/CSV
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.arch_experiments import (
+    format_fig01,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_fig20,
+    format_histogram,
+    run_fig01_potential,
+    run_fig17_energy_breakdown,
+    run_fig18_fig19_dataflows,
+    run_fig20_scalability,
+    run_imbalance_histogram,
+)
+from repro.harness.tables import (
+    format_table2,
+    format_table3,
+    run_table2,
+    run_table3,
+)
+from repro.harness.training_experiments import (
+    format_curves,
+    run_fig06_decay,
+    run_fig07_quantile,
+    run_fig15_cifar_curves,
+    run_fig16_sparsity_sweep,
+)
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_arch() -> None:
+    _banner("Figure 1 — idealized potential")
+    print(format_fig01(run_fig01_potential()))
+    _banner("Figure 5 — imbalance, weight-stationary C,K, no balancing")
+    print(format_histogram(
+        run_imbalance_histogram("vgg-s", "CK", balanced=False), "Figure 5"
+    ))
+    _banner("Figure 13 — imbalance, K,N with half-tile balancing")
+    print(format_histogram(
+        run_imbalance_histogram("vgg-s", "KN", balanced=True), "Figure 13"
+    ))
+    _banner("Figure 17 — energy breakdown (K,N)")
+    print(format_fig17(run_fig17_energy_breakdown()))
+    _banner("Figures 18/19 — dataflow sweep")
+    sweep = run_fig18_fig19_dataflows()
+    print(format_fig18(sweep))
+    print()
+    print(format_fig19(sweep))
+    _banner("Figure 20 — scalability 16x16 -> 32x32")
+    print(format_fig20(run_fig20_scalability()))
+
+
+def run_training() -> None:
+    _banner("Figure 6 — initial-weight decay")
+    decayed, plain = run_fig06_decay(epochs=8)
+    print(format_curves([decayed, plain], "init decay vs none"))
+    _banner("Figure 7 — quantile estimation vs exact sort")
+    quantile, exact = run_fig07_quantile(epochs=8)
+    print(format_curves([quantile, exact], "quantile vs sort"))
+    _banner("Figure 15 — Procrustes vs SGD (CIFAR-10 stand-ins)")
+    for network, (p, b) in run_fig15_cifar_curves(epochs=6).items():
+        print(format_curves([p, b], network))
+    _banner("Figure 16 — sparsity sweep (ResNet18 stand-in)")
+    sweep = run_fig16_sparsity_sweep(epochs=6)
+    print(format_curves(list(sweep.values()), "resnet18 sweep"))
+
+
+def run_tables() -> None:
+    _banner("Table II — model statistics")
+    print(format_table2(run_table2(with_training=False)))
+    _banner("Table III — silicon costs")
+    print(format_table3(run_table3()))
+
+
+def run_beyond() -> None:
+    from repro.harness.beyond_experiments import (
+        format_eager_comparison,
+        format_fabric_pricing,
+        format_format_costs,
+        format_schedule_survey,
+        run_eager_comparison,
+        run_fabric_pricing,
+        run_format_costs,
+        run_schedule_survey,
+    )
+
+    _banner("Section II-D — sparse formats under training access patterns")
+    print(format_format_costs(run_format_costs()))
+    _banner("Intro claims (i)-(iii) — schedules and memory (ResNet18)")
+    print(format_schedule_survey(run_schedule_survey()))
+    _banner("Section IV-C — interconnect area fraction vs. array size")
+    print(format_fabric_pricing(run_fabric_pricing()))
+    _banner("Section VII-A — Eager Pruning dataflow vs. Procrustes K,N")
+    print(format_eager_comparison(*run_eager_comparison()))
+
+
+def run_export(root: str = "results") -> None:
+    from repro.harness.export_all import export_all
+
+    _banner(f"Exporting analytical experiments to {root}/")
+    for experiment_id in export_all(root):
+        print(f"  wrote {root}/{experiment_id}/")
+
+
+def main(argv: list[str]) -> int:
+    start = time.time()
+    what = argv[1] if len(argv) > 1 else "all"
+    if what == "export":
+        run_export(*(argv[2:3] or ["results"]))
+        print(f"\ndone in {time.time() - start:.1f}s")
+        return 0
+    runners = {
+        "arch": (run_arch,),
+        "training": (run_training,),
+        "tables": (run_tables,),
+        "beyond": (run_beyond,),
+        "all": (run_tables, run_arch, run_beyond, run_training),
+    }
+    if what not in runners:
+        print(f"unknown selection {what!r}; choose from {sorted(runners)}")
+        return 2
+    for runner in runners[what]:
+        runner()
+    print(f"\ndone in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,496 @@
+"""Architecture-model experiments: Figures 1, 5, 13, 17, 18, 19, 20.
+
+Each ``run_*`` function returns a small result object; each
+``format_*`` renders the same rows/series the paper's figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataflow.latency import network_latency
+from repro.dataflow.simulator import SimulationResult, simulate
+from repro.harness.common import (
+    dense_profile_for,
+    histogram_fractions,
+    model_entry,
+    render_table,
+    sparse_profile_for,
+)
+from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16, ArchConfig
+from repro.workloads.phases import PHASES
+
+__all__ = [
+    "run_fig01_potential",
+    "format_fig01",
+    "run_imbalance_histogram",
+    "format_histogram",
+    "run_fig17_energy_breakdown",
+    "format_fig17",
+    "run_fig18_fig19_dataflows",
+    "format_fig18",
+    "format_fig19",
+    "run_fig20_scalability",
+    "format_fig20",
+]
+
+_ALL_MAPPINGS = ("PQ", "CK", "CN", "KN")
+
+
+# ----------------------------------------------------------------------
+# Figure 1: idealized potential of sparse training
+# ----------------------------------------------------------------------
+@dataclass
+class Fig01Result:
+    """Dense vs. idealized-sparse energy and cycles per phase (VGG-S)."""
+
+    network: str
+    sparsity_factor: float
+    dense_energy: dict[str, dict[str, float]]
+    sparse_energy: dict[str, dict[str, float]]
+    dense_cycles: dict[str, float]
+    sparse_cycles: dict[str, float]
+
+    def speedup(self) -> float:
+        return sum(self.dense_cycles.values()) / sum(self.sparse_cycles.values())
+
+    def energy_saving(self) -> float:
+        dense = sum(sum(v.values()) for v in self.dense_energy.values())
+        sparse = sum(sum(v.values()) for v in self.sparse_energy.values())
+        return dense / sparse
+
+
+def run_fig01_potential(
+    network: str = "vgg-s", sparsity_factor: float = 5.0, seed: int = 1
+) -> Fig01Result:
+    """Figure 1: ideal savings from 5x sparsity on VGG-S.
+
+    The idealized system assumes (i) perfectly even sparsity (no load
+    imbalance: cycles follow *mean* per-PE work), (ii) zero-overhead
+    compressed storage, and (iii) free retained-weight selection —
+    matching the figure's setup.
+    """
+    from repro.workloads.sparsity import synthetic_profile
+
+    entry = model_entry(network)
+    t2 = entry.table2
+    specs = entry.specs()
+    dense = dense_profile_for(network)
+    # The figure's assumption (i): sparsity evenly distributed *within*
+    # each layer (infinite channel concentration), with the per-layer
+    # allocation still matching the trained model's MAC reduction
+    # (Table II), scaled to the requested factor.
+    mac_ratio = (
+        t2.dense_macs / t2.sparse_macs
+        * sparsity_factor / t2.sparsity_factor
+    )
+    uniform = synthetic_profile(
+        network,
+        specs,
+        sparsity_factor,
+        seed=seed,
+        target_mac_ratio=max(mac_ratio, 1.05),
+        channel_concentration=1e9,
+        act_density_range=entry.act_density_range,
+    )
+    arch = BASELINE_16x16
+    d = simulate(dense, "KN", arch=arch, sparse=False, seed=seed)
+    s = simulate(uniform, "KN", arch=PROCRUSTES_16x16, sparse=True, seed=seed)
+    # Ideal latency: no imbalance — every set costs its mean work.
+    sparse_cycles = {}
+    for phase in PHASES:
+        ideal = sum(
+            float((layer.sets.mean_work * layer.sets.weight).sum())
+            for layer in s.latency.layers[phase]
+        )
+        sparse_cycles[phase] = ideal
+    return Fig01Result(
+        network=network,
+        sparsity_factor=sparsity_factor,
+        dense_energy={p: d.energy[p].as_dict() for p in PHASES},
+        sparse_energy={p: s.energy[p].as_dict() for p in PHASES},
+        dense_cycles=dict(d.latency.cycles),
+        sparse_cycles=sparse_cycles,
+    )
+
+
+def format_fig01(result: Fig01Result) -> str:
+    rows = []
+    for phase in PHASES:
+        de = result.dense_energy[phase]
+        se = result.sparse_energy[phase]
+        rows.append(
+            [
+                phase,
+                sum(de.values()),
+                sum(se.values()),
+                result.dense_cycles[phase],
+                result.sparse_cycles[phase],
+            ]
+        )
+    table = render_table(
+        ["phase", "dense J", "sparse J", "dense cycles", "sparse cycles"],
+        rows,
+    )
+    return (
+        f"Figure 1 — ideal potential, {result.network} at "
+        f"{result.sparsity_factor:.1f}x sparsity\n{table}\n"
+        f"overall speedup {result.speedup():.2f}x, "
+        f"energy saving {result.energy_saving():.2f}x "
+        "(paper: up to 2.6x speedup, 2.3x energy)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 13: load-imbalance histograms
+# ----------------------------------------------------------------------
+@dataclass
+class HistogramResult:
+    """Imbalance histogram of full-array working sets."""
+
+    network: str
+    mapping: str
+    balanced: bool
+    fractions: dict[float, float]
+    mean_overhead: float
+    p90_overhead: float
+    max_overhead: float
+
+
+def run_imbalance_histogram(
+    network: str = "vgg-s",
+    mapping: str = "CK",
+    balanced: bool = False,
+    phase: str = "fw",
+    seed: int = 1,
+    arch: ArchConfig = PROCRUSTES_16x16,
+    n: int = 64,
+) -> HistogramResult:
+    """Figure 5 (CK, unbalanced) / Figure 13 (KN, balanced) histograms."""
+    profile = sparse_profile_for(network, seed=seed)
+    latency = network_latency(
+        profile,
+        mapping,
+        arch,
+        n,
+        sparse=True,
+        balance=balanced,
+        seed=seed,
+        phases=(phase,),
+    )
+    overheads = latency.overheads(phase)
+    return HistogramResult(
+        network=network,
+        mapping=mapping,
+        balanced=balanced,
+        fractions=histogram_fractions(overheads),
+        mean_overhead=float(overheads.mean()),
+        p90_overhead=float(np.percentile(overheads, 90)),
+        max_overhead=float(overheads.max()),
+    )
+
+
+def format_histogram(result: HistogramResult, figure: str) -> str:
+    rows = [
+        [f"{center:.0%}", f"{frac:.1%}"]
+        for center, frac in result.fractions.items()
+    ]
+    table = render_table(["overhead bin", "fraction of working sets"], rows)
+    return (
+        f"{figure} — {result.network}, {result.mapping} mapping, "
+        f"{'with' if result.balanced else 'no'} load balancing\n{table}\n"
+        f"mean {result.mean_overhead:.1%}, p90 {result.p90_overhead:.1%}, "
+        f"max {result.max_overhead:.1%}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 17: energy breakdown with the KN dataflow
+# ----------------------------------------------------------------------
+@dataclass
+class Fig17Result:
+    """Per-network, per-phase, per-component energy (dense and sparse)."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def savings(self) -> dict[str, float]:
+        """Dense/sparse total-energy ratio per network."""
+        totals: dict[str, dict[bool, float]] = {}
+        for row in self.rows:
+            per_net = totals.setdefault(str(row["network"]), {True: 0.0, False: 0.0})
+            per_net[bool(row["sparse"])] += float(row["total_j"])  # type: ignore[index]
+        return {
+            net: vals[False] / vals[True] for net, vals in totals.items()
+        }
+
+
+def run_fig17_energy_breakdown(
+    networks: tuple[str, ...] | None = None, seed: int = 1
+) -> Fig17Result:
+    """Figure 17: DRAM/GLB/RF/MAC energy, KN dataflow, D vs S."""
+    from repro.models.zoo import PAPER_MODELS
+
+    networks = networks or tuple(PAPER_MODELS)
+    result = Fig17Result()
+    for network in networks:
+        entry = model_entry(network)
+        for sparse in (False, True):
+            profile = (
+                sparse_profile_for(network, seed=seed)
+                if sparse
+                else dense_profile_for(network)
+            )
+            arch = PROCRUSTES_16x16 if sparse else BASELINE_16x16
+            sim = simulate(
+                profile, "KN", arch=arch, n=entry.minibatch, sparse=sparse,
+                seed=seed,
+            )
+            for phase in PHASES:
+                breakdown = sim.energy[phase].as_dict()
+                result.rows.append(
+                    {
+                        "network": network,
+                        "sparse": sparse,
+                        "phase": phase,
+                        **breakdown,
+                        "total_j": sim.energy[phase].total_j,
+                    }
+                )
+    return result
+
+
+def format_fig17(result: Fig17Result) -> str:
+    rows = [
+        [
+            r["network"],
+            "S" if r["sparse"] else "D",
+            r["phase"],
+            r["DRAM"],
+            r["GLB"],
+            r["RF"],
+            r["MAC"],
+            r["total_j"],
+        ]
+        for r in result.rows
+    ]
+    table = render_table(
+        ["network", "D/S", "phase", "DRAM J", "GLB J", "RF J", "MAC J", "total J"],
+        rows,
+    )
+    savings = ", ".join(
+        f"{net}: {ratio:.2f}x" for net, ratio in result.savings().items()
+    )
+    return (
+        f"Figure 17 — energy breakdown, KN dataflow\n{table}\n"
+        f"energy savings: {savings} (paper: 2.27x-3.26x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 18 and 19: energy and latency across dataflows
+# ----------------------------------------------------------------------
+@dataclass
+class DataflowSweepResult:
+    """Per (network, mapping, D/S): per-phase energy and cycles."""
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def fastest_mapping(self, network: str) -> str:
+        sparse_rows = [
+            r
+            for r in self.rows
+            if r["network"] == network and r["sparse"]
+        ]
+        best = min(sparse_rows, key=lambda r: float(r["total_cycles"]))  # type: ignore[arg-type]
+        return str(best["mapping"])
+
+    def energy_spread(self, network: str, sparse: bool = True) -> float:
+        """Max/min total energy across simple-fabric mappings.
+
+        The paper reports dataflow choice has negligible energy impact;
+        this quantifies the spread (should stay close to 1).
+        """
+        values = [
+            float(r["total_j"])  # type: ignore[arg-type]
+            for r in self.rows
+            if r["network"] == network and r["sparse"] == sparse
+        ]
+        return max(values) / min(values)
+
+
+def run_fig18_fig19_dataflows(
+    networks: tuple[str, ...] | None = None,
+    mappings: tuple[str, ...] = _ALL_MAPPINGS,
+    seed: int = 1,
+) -> DataflowSweepResult:
+    """Figures 18/19: sweep the four spatial mappings, dense and sparse."""
+    from repro.models.zoo import PAPER_MODELS
+
+    networks = networks or tuple(PAPER_MODELS)
+    result = DataflowSweepResult()
+    for network in networks:
+        entry = model_entry(network)
+        for sparse in (False, True):
+            profile = (
+                sparse_profile_for(network, seed=seed)
+                if sparse
+                else dense_profile_for(network)
+            )
+            arch = PROCRUSTES_16x16 if sparse else BASELINE_16x16
+            for mapping in mappings:
+                sim = simulate(
+                    profile,
+                    mapping,
+                    arch=arch,
+                    n=entry.minibatch,
+                    sparse=sparse,
+                    seed=seed,
+                )
+                result.rows.append(
+                    {
+                        "network": network,
+                        "mapping": mapping,
+                        "sparse": sparse,
+                        "cycles_by_phase": sim.cycles_by_phase(),
+                        "energy_by_phase": sim.energy_by_phase(),
+                        "total_cycles": sim.total_cycles,
+                        "total_j": sim.total_energy_j,
+                    }
+                )
+    return result
+
+
+def _sweep_rows(result: DataflowSweepResult, key: str) -> list[list[object]]:
+    rows = []
+    for r in result.rows:
+        by_phase = r[key]
+        rows.append(
+            [
+                r["network"],
+                r["mapping"],
+                "S" if r["sparse"] else "D",
+                by_phase["fw"],  # type: ignore[index]
+                by_phase["bw"],  # type: ignore[index]
+                by_phase["wu"],  # type: ignore[index]
+                r["total_cycles" if key == "cycles_by_phase" else "total_j"],
+            ]
+        )
+    return rows
+
+
+def format_fig18(result: DataflowSweepResult) -> str:
+    table = render_table(
+        ["network", "mapping", "D/S", "fw J", "bw J", "wu J", "total J"],
+        _sweep_rows(result, "energy_by_phase"),
+    )
+    networks = sorted({str(r["network"]) for r in result.rows})
+    spreads = ", ".join(
+        f"{net}: {result.energy_spread(net):.3f}" for net in networks
+    )
+    return (
+        f"Figure 18 — energy across dataflows\n{table}\n"
+        f"sparse energy max/min across mappings: {spreads} "
+        "(paper: negligible variation)"
+    )
+
+
+def format_fig19(result: DataflowSweepResult) -> str:
+    table = render_table(
+        ["network", "mapping", "D/S", "fw cyc", "bw cyc", "wu cyc", "total cyc"],
+        _sweep_rows(result, "cycles_by_phase"),
+    )
+    networks = sorted({str(r["network"]) for r in result.rows})
+    fastest = ", ".join(
+        f"{net}: {result.fastest_mapping(net)}" for net in networks
+    )
+    return (
+        f"Figure 19 — training latency across dataflows\n{table}\n"
+        f"fastest sparse mapping: {fastest} (paper: KN for all)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 20: scalability 16x16 -> 32x32
+# ----------------------------------------------------------------------
+@dataclass
+class Fig20Result:
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def latency_scaling(self, network: str, mapping: str = "KN") -> float:
+        """Cycles(16x16) / cycles(32x32): ideal is 4.0."""
+        per_size = {
+            int(r["array"]): float(r["total_cycles"])  # type: ignore[arg-type]
+            for r in self.rows
+            if r["network"] == network and r["mapping"] == mapping
+        }
+        return per_size[16] / per_size[32]
+
+    def energy_scaling(self, network: str, mapping: str = "KN") -> float:
+        per_size = {
+            int(r["array"]): float(r["total_j"])  # type: ignore[arg-type]
+            for r in self.rows
+            if r["network"] == network and r["mapping"] == mapping
+        }
+        return per_size[32] / per_size[16]
+
+
+def run_fig20_scalability(
+    networks: tuple[str, ...] = ("resnet18", "mobilenet-v2"),
+    mappings: tuple[str, ...] = _ALL_MAPPINGS,
+    seed: int = 1,
+) -> Fig20Result:
+    """Figure 20: quadruple the PEs (and double the GLB), sparse runs."""
+    result = Fig20Result()
+    for network in networks:
+        entry = model_entry(network)
+        profile = sparse_profile_for(network, seed=seed)
+        for arch, size in ((PROCRUSTES_16x16, 16), (PROCRUSTES_16x16.scaled(2), 32)):
+            for mapping in mappings:
+                sim = simulate(
+                    profile,
+                    mapping,
+                    arch=arch,
+                    n=entry.minibatch,
+                    sparse=True,
+                    seed=seed,
+                )
+                result.rows.append(
+                    {
+                        "network": network,
+                        "mapping": mapping,
+                        "array": size,
+                        "cycles_by_phase": sim.cycles_by_phase(),
+                        "energy_by_phase": sim.energy_by_phase(),
+                        "total_cycles": sim.total_cycles,
+                        "total_j": sim.total_energy_j,
+                    }
+                )
+    return result
+
+
+def format_fig20(result: Fig20Result) -> str:
+    rows = [
+        [
+            r["network"],
+            r["mapping"],
+            f"{r['array']}x{r['array']}",
+            r["total_cycles"],
+            r["total_j"],
+        ]
+        for r in result.rows
+    ]
+    table = render_table(
+        ["network", "mapping", "array", "total cycles", "total J"], rows
+    )
+    networks = sorted({str(r["network"]) for r in result.rows})
+    scaling = ", ".join(
+        f"{net}: {result.latency_scaling(net):.2f}x cycles, "
+        f"{result.energy_scaling(net):.2f}x energy"
+        for net in networks
+    )
+    return (
+        f"Figure 20 — scaling 256 -> 1024 PEs (KN)\n{table}\n"
+        f"{scaling} (paper: ~3.9x cycles on 4x cores, energy ~unchanged)"
+    )

@@ -1,0 +1,200 @@
+"""Experiment drivers for the beyond-the-paper analyses.
+
+These drivers expose, through the CLI (``python -m repro.harness
+beyond``), the quantitative versions of arguments the paper makes
+qualitatively:
+
+* Section II-D — sparse-format access costs (CSB vs. EIE vs. SCNN);
+* intro claims (i)-(iii) — schedule/footprint survey of all methods;
+* Section IV-C — interconnect options priced vs. array size;
+* Section VII-A — the Eager Pruning dataflow head-to-head;
+* cycle-level validation of the analytical latency model.
+
+Each ``run_*`` returns plain data; each ``format_*`` renders it for
+the terminal.  The benches under ``benchmarks/`` assert the claims;
+these drivers only present them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedules import PAPER_SCHEDULES
+from repro.dataflow.eager_accel import EagerPruningAccelerator, sorting_cycles
+from repro.harness.common import render_table
+from repro.hw.config import ArchConfig, PROCRUSTES_16x16
+from repro.hw.cyclesim import (
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
+    CycleLevelSimulator,
+)
+from repro.hw.fabric_cost import FabricCostModel
+from repro.hw.memory import training_footprint, weight_footprint
+from repro.models.zoo import get_specs
+from repro.sparse.rivals import access_costs
+
+__all__ = [
+    "run_format_costs",
+    "format_format_costs",
+    "run_schedule_survey",
+    "format_schedule_survey",
+    "run_fabric_pricing",
+    "format_fabric_pricing",
+    "run_eager_comparison",
+    "format_eager_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# Section II-D: format access costs
+# ----------------------------------------------------------------------
+def run_format_costs(seed: int = 7, density: float = 0.19):
+    rng = np.random.default_rng(seed)
+    conv = rng.normal(size=(64, 64, 3, 3))
+    conv[rng.uniform(size=conv.shape) > density] = 0.0
+    fc = rng.normal(size=(256, 128))
+    fc[rng.uniform(size=fc.shape) > density] = 0.0
+    return {"conv": access_costs(conv), "fc": access_costs(fc)}
+
+
+def format_format_costs(results) -> str:
+    rows = []
+    for layer, table in results.items():
+        for c in table:
+            rows.append(
+                [
+                    layer,
+                    c.format_name,
+                    c.forward,
+                    c.backward,
+                    f"{c.backward_penalty:.2f}",
+                    f"{c.storage_bits / 1024:.1f}",
+                    "yes" if c.updatable else "no",
+                ]
+            )
+    return render_table(
+        ["layer", "format", "fw", "bw", "bw/fw", "KB", "in-place wu"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Intro claims: schedule survey
+# ----------------------------------------------------------------------
+def run_schedule_survey(
+    network: str = "resnet18", total_iterations: int = 90 * 5_005
+):
+    specs = get_specs(network)
+    weight_count = sum(s.weight_count for s in specs)
+    rows = {}
+    for name, schedule in PAPER_SCHEDULES.items():
+        wf = weight_footprint(schedule, weight_count, total_iterations)
+        tf = training_footprint(
+            schedule, specs, n=64, total_iterations=total_iterations
+        )
+        rows[name] = {
+            "avg_density": schedule.average_density(total_iterations),
+            "peak_reduction": wf.peak_reduction,
+            "switch_at": wf.switch_iteration,
+            "weight_mb": (tf.weight_peak_bits + tf.optimizer_state_bits) / 8e6,
+            "total_mb": tf.total_bits / 8e6,
+        }
+    return rows
+
+
+def format_schedule_survey(rows) -> str:
+    table = []
+    for name, row in rows.items():
+        switch = (
+            "never" if row["switch_at"] is None else f"@{row['switch_at']:,}"
+        )
+        table.append(
+            [
+                name,
+                f"{row['avg_density']:.3f}",
+                f"{row['peak_reduction']:.2f}x",
+                switch,
+                f"{row['weight_mb']:.1f}",
+                f"{row['total_mb']:.1f}",
+            ]
+        )
+    return render_table(
+        [
+            "method", "avg density", "peak redux", "format switch",
+            "wgt+state MB", "total MB",
+        ],
+        table,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section IV-C: fabric pricing
+# ----------------------------------------------------------------------
+def run_fabric_pricing(sides=(8, 16, 32, 64)):
+    table = {}
+    for side in sides:
+        arch = ArchConfig(name=f"{side}x{side}", pe_rows=side, pe_cols=side)
+        model = FabricCostModel(arch)
+        table[side] = {
+            f.name: model.fabric_area_fraction(f) for f in model.options()
+        }
+    return table
+
+
+def format_fabric_pricing(table) -> str:
+    names = next(iter(table.values())).keys()
+    rows = [
+        [f"{side}x{side}"] + [f"{fracs[n]:.1%}" for n in names]
+        for side, fracs in table.items()
+    ]
+    return render_table(["array"] + list(names), rows)
+
+
+# ----------------------------------------------------------------------
+# Section VII-A: Eager Pruning head-to-head
+# ----------------------------------------------------------------------
+def run_eager_comparison(seed: int = 5):
+    rng = np.random.default_rng(seed)
+    p = q = 8
+    n = 16
+    eager = EagerPruningAccelerator(PROCRUSTES_16x16)
+    kn = CycleLevelSimulator(PROCRUSTES_16x16, IDEAL_FABRIC)
+    rows = {}
+    for label, density in (
+        ("eager@2.4x", 1 / 2.4),
+        ("both@5.2x", 1 / 5.2),
+        ("procrustes@11.7x", 1 / 11.7),
+    ):
+        mask = rng.uniform(size=(64, 64, 3, 3)) < density
+        e = eager.run_conv(mask, p=p, q=q, n=n)
+        k = kn.run_conv(mask, p=p, q=q, n=n, mapping="KN", balance=True)
+        rows[label] = {
+            "eager_cycles": e.cycles,
+            "eager_util": e.utilization,
+            "router_words": e.router_words,
+            "kn_cycles": k.cycles,
+            "kn_util": k.utilization,
+        }
+    return rows, sorting_cycles(15_000_000) / 1e6
+
+
+def format_eager_comparison(rows, sorting_mcycles) -> str:
+    table = [
+        [
+            label,
+            f"{row['eager_cycles']:.0f}",
+            f"{row['eager_util']:.1%}",
+            f"{row['router_words']:.0f}",
+            f"{row['kn_cycles']:.0f}",
+            f"{row['kn_util']:.1%}",
+        ]
+        for label, row in rows.items()
+    ]
+    rendered = render_table(
+        ["sparsity", "eager cyc", "util", "router wd", "KN cyc", "util"],
+        table,
+    )
+    return (
+        rendered
+        + f"\nunaccounted sort per prune round (VGG-S): "
+        f"{sorting_mcycles:.1f} Mcycles"
+    )

@@ -1,0 +1,127 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment driver in :mod:`repro.harness` builds on the same
+canonical inputs: the calibrated sparsity profile of each registry
+network (Table II-matched weight sparsity *and* MAC reduction) and a
+plain-text table renderer for printing paper-style rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.zoo import PAPER_MODELS, ModelEntry
+from repro.workloads.sparsity import (
+    NetworkSparsity,
+    dense_profile,
+    synthetic_profile,
+)
+
+__all__ = [
+    "model_entry",
+    "sparse_profile_for",
+    "dense_profile_for",
+    "render_table",
+    "histogram_fractions",
+    "PAPER_BINS",
+]
+
+#: Bin centers of the paper's imbalance histograms (Figures 5 and 13).
+PAPER_BINS = (0.0, 0.3125, 0.625, 0.9375, 1.25)
+
+
+def model_entry(name: str) -> ModelEntry:
+    try:
+        return PAPER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(PAPER_MODELS)}"
+        ) from None
+
+
+def sparse_profile_for(
+    name: str, seed: int = 1, sparsity_factor: float | None = None
+) -> NetworkSparsity:
+    """The canonical calibrated sparse profile for a registry network.
+
+    Matches both published Table II numbers: the weight sparsity factor
+    and the MAC reduction (via the fitted allocation exponent).  An
+    explicit ``sparsity_factor`` overrides the table for sweeps
+    (Figure 16's 2.9x/5.8x/11.7x ResNet18 points).
+    """
+    entry = model_entry(name)
+    t2 = entry.table2
+    factor = sparsity_factor or t2.sparsity_factor
+    target_mac_ratio = t2.dense_macs / t2.sparse_macs
+    if sparsity_factor is not None:
+        # Keep the same allocation shape, scaled to the new factor.
+        target_mac_ratio *= factor / t2.sparsity_factor
+        target_mac_ratio = max(target_mac_ratio, 1.05)
+    return synthetic_profile(
+        name,
+        entry.specs(),
+        factor,
+        seed=seed,
+        target_mac_ratio=target_mac_ratio,
+        act_density_range=entry.act_density_range,
+    )
+
+
+def dense_profile_for(name: str) -> NetworkSparsity:
+    entry = model_entry(name)
+    return dense_profile(name, entry.specs())
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width plain-text table (what the benches print)."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:,.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    table = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in table
+    )
+    return "\n".join(lines)
+
+
+def histogram_fractions(
+    overheads: np.ndarray, bins: Sequence[float] = PAPER_BINS
+) -> dict[float, float]:
+    """Fraction of working sets per paper-style overhead bin.
+
+    Bin centers follow Figures 5/13; values beyond the last center
+    accumulate into it, mirroring the figures' final bar.
+    """
+    centers = np.asarray(bins)
+    edges = np.concatenate(
+        [
+            [-np.inf],
+            (centers[:-1] + centers[1:]) / 2.0,
+            [np.inf],
+        ]
+    )
+    counts, _ = np.histogram(overheads, bins=edges)
+    total = max(1, overheads.size)
+    return {
+        float(center): float(count) / total
+        for center, count in zip(centers, counts)
+    }

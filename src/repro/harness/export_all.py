@@ -1,0 +1,193 @@
+"""Persist every architecture-model experiment as JSON/CSV records.
+
+``python -m repro.harness export [directory]`` regenerates the fast
+(analytical) tables and figures and writes one record per experiment
+under the given directory (default ``./results``), using the canonical
+:mod:`repro.report.export` layout.  The training-dynamics experiments
+(Figs 6/7/15/16) are excluded because they train networks; run them
+via ``python -m repro.harness training`` and the benches instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.harness.arch_experiments import (
+    run_fig01_potential,
+    run_fig17_energy_breakdown,
+    run_fig18_fig19_dataflows,
+    run_fig20_scalability,
+    run_imbalance_histogram,
+)
+from repro.harness.tables import run_table2, run_table3
+from repro.report.export import ResultsDirectory, experiment_record
+
+__all__ = ["export_all"]
+
+
+def _save_rows(
+    results: ResultsDirectory,
+    experiment_id: str,
+    rows: Sequence[Mapping[str, object]],
+    params: Mapping[str, object],
+    notes: str,
+) -> None:
+    """Row-list results become one CSV plus the JSON record."""
+    results.save_record(
+        experiment_record(
+            experiment_id, params, {"rows": [dict(r) for r in rows]},
+            notes=notes,
+        )
+    )
+    if rows:
+        headers = list(rows[0].keys())
+        results.save_table(
+            experiment_id,
+            "rows",
+            headers,
+            [[row.get(h) for h in headers] for row in rows],
+        )
+
+
+def _export_fig01(results: ResultsDirectory) -> None:
+    fig01 = run_fig01_potential()
+    results.save_record(
+        experiment_record(
+            "fig01",
+            {"network": fig01.network, "sparsity": fig01.sparsity_factor},
+            {
+                "dense_energy": fig01.dense_energy,
+                "sparse_energy": fig01.sparse_energy,
+                "dense_cycles": fig01.dense_cycles,
+                "sparse_cycles": fig01.sparse_cycles,
+                "speedup": fig01.speedup(),
+                "energy_saving": fig01.energy_saving(),
+            },
+            notes="idealized potential (Figure 1)",
+        )
+    )
+
+
+def _export_histograms(results: ResultsDirectory) -> None:
+    for exp_id, mapping, balanced in (
+        ("fig05", "CK", False),
+        ("fig13", "KN", True),
+    ):
+        hist = run_imbalance_histogram("vgg-s", mapping, balanced)
+        results.save_record(
+            experiment_record(
+                exp_id,
+                {
+                    "network": hist.network,
+                    "mapping": hist.mapping,
+                    "balanced": hist.balanced,
+                },
+                {
+                    "fractions": {
+                        str(center): frac
+                        for center, frac in hist.fractions.items()
+                    },
+                    "mean_overhead": hist.mean_overhead,
+                    "p90_overhead": hist.p90_overhead,
+                    "max_overhead": hist.max_overhead,
+                },
+                notes=f"imbalance histogram ({exp_id})",
+            )
+        )
+
+
+def _export_tables(results: ResultsDirectory) -> None:
+    table2 = run_table2(with_training=False)
+    _save_rows(
+        results, "table2", table2.rows, {},
+        notes="model statistics (Table II)",
+    )
+    table3 = run_table3()
+    results.save_record(
+        experiment_record(
+            "table3",
+            {"n_pes": table3.model.n_pes},
+            {
+                "components": [vars(c) for c in table3.model.components],
+                "area_overhead": table3.area_overhead,
+                "power_overhead": table3.power_overhead,
+            },
+            notes="silicon costs (Table III)",
+        )
+    )
+
+
+def _export_beyond(results: ResultsDirectory) -> None:
+    from repro.harness.beyond_experiments import (
+        run_fabric_pricing,
+        run_format_costs,
+        run_schedule_survey,
+    )
+
+    costs = run_format_costs()
+    results.save_record(
+        experiment_record(
+            "format-costs",
+            {"density": 0.19},
+            {
+                layer: [
+                    {
+                        "format": c.format_name,
+                        "forward": c.forward,
+                        "backward": c.backward,
+                        "storage_bits": c.storage_bits,
+                        "updatable": c.updatable,
+                    }
+                    for c in table
+                ]
+                for layer, table in costs.items()
+            },
+            notes="Section II-D format access costs",
+        )
+    )
+    results.save_record(
+        experiment_record(
+            "schedule-survey",
+            {"network": "resnet18", "iterations": 90 * 5_005},
+            run_schedule_survey(),
+            notes="intro claims (i)-(iii): schedules and memory",
+        )
+    )
+    results.save_record(
+        experiment_record(
+            "fabric-pricing",
+            {"sides": [8, 16, 32, 64]},
+            {str(side): fracs for side, fracs in run_fabric_pricing().items()},
+            notes="Section IV-C interconnect area fractions",
+        )
+    )
+
+
+def export_all(root: str | Path = "results") -> list[str]:
+    """Run and persist the analytical experiments; returns the ids."""
+    results = ResultsDirectory(root)
+    _export_fig01(results)
+    _export_histograms(results)
+    _export_beyond(results)
+    _save_rows(
+        results,
+        "fig17",
+        run_fig17_energy_breakdown().rows,
+        {"mapping": "KN"},
+        notes="energy breakdown per phase (Figure 17)",
+    )
+    sweep = run_fig18_fig19_dataflows()
+    _save_rows(
+        results, "fig18-19", sweep.rows, {},
+        notes="dataflow sweep: energy and cycles (Figures 18/19)",
+    )
+    _save_rows(
+        results,
+        "fig20",
+        run_fig20_scalability().rows,
+        {"scales": [16, 32]},
+        notes="scalability 16x16 vs 32x32 (Figure 20)",
+    )
+    _export_tables(results)
+    return results.list_experiments()

@@ -1,0 +1,87 @@
+"""Hardware unit models, energy/area tables, and array configurations."""
+
+from repro.hw.area import TABLE_III_COMPONENTS, AreaModel, Component
+from repro.hw.capacity import MaskResidency, check_mask_residency
+from repro.hw.config import (
+    BASELINE_16x16,
+    PROCRUSTES_16x16,
+    PROCRUSTES_32x32,
+    ArchConfig,
+)
+from repro.hw.cyclesim import (
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
+    CycleLevelSimulator,
+    CycleSimResult,
+    FabricConfig,
+    SetTrace,
+)
+from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
+from repro.hw.engine import PhaseResult, SparseTrainingEngine
+from repro.hw.fabric_cost import FabricCostModel, FabricCostParams, FabricCosts
+from repro.hw.interconnect import Flow, TrafficPattern, traffic_pattern
+from repro.hw.memory import (
+    ActivationFootprint,
+    TrainingFootprint,
+    WeightFootprint,
+    activation_footprint,
+    training_footprint,
+    weight_bits_csb,
+    weight_bits_dense,
+    weight_footprint,
+)
+from repro.hw.network_engine import (
+    LayerSlot,
+    NetworkTrainingEngine,
+    StepResult,
+)
+from repro.hw.pe import PEArraySimulator, PEArrayStats
+from repro.hw.prng import WeightRecomputeUnit, xorshift32, xorshift32_stream
+from repro.hw.qe_unit import QEUnitStats, QuantileEngine
+
+__all__ = [
+    "TABLE_III_COMPONENTS",
+    "AreaModel",
+    "Component",
+    "MaskResidency",
+    "check_mask_residency",
+    "PhaseResult",
+    "SparseTrainingEngine",
+    "BASELINE_16x16",
+    "PROCRUSTES_16x16",
+    "PROCRUSTES_32x32",
+    "ArchConfig",
+    "IDEAL_FABRIC",
+    "SINGLE_WORD_FABRIC",
+    "CycleLevelSimulator",
+    "CycleSimResult",
+    "FabricConfig",
+    "SetTrace",
+    "DEFAULT_ENERGY_TABLE",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "Flow",
+    "TrafficPattern",
+    "traffic_pattern",
+    "FabricCostModel",
+    "FabricCostParams",
+    "FabricCosts",
+    "ActivationFootprint",
+    "TrainingFootprint",
+    "WeightFootprint",
+    "activation_footprint",
+    "training_footprint",
+    "weight_bits_csb",
+    "weight_bits_dense",
+    "weight_footprint",
+    "PEArraySimulator",
+    "PEArrayStats",
+    "LayerSlot",
+    "NetworkTrainingEngine",
+    "StepResult",
+    "WeightRecomputeUnit",
+    "xorshift32",
+    "xorshift32_stream",
+    "QEUnitStats",
+    "QuantileEngine",
+]

@@ -1,0 +1,66 @@
+"""On-chip capacity checks for the CSB metadata.
+
+Section IV-B notes that "in all of our simulations, mask arrays fit in
+the on-chip GLB".  The masks resident at any instant are those of the
+*active working set* (the weight tiles currently held by the PE
+array), not the whole model, so the check is per working set: the
+bits of mask for one array-pass of weight tiles must fit in the GLB
+share reserved for metadata, alongside the per-PE mask memories listed
+in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import ArchConfig
+from repro.workloads.phases import phase_op
+from repro.workloads.sparsity import NetworkSparsity
+
+__all__ = ["MaskResidency", "check_mask_residency"]
+
+#: Fraction of the GLB budgeted to CSB metadata (masks + pointers).
+GLB_METADATA_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class MaskResidency:
+    """Mask-storage requirement of one layer's working sets."""
+
+    layer_name: str
+    working_set_mask_bits: int
+    layer_mask_bits: int
+    fits_working_set: bool
+    fits_whole_layer: bool
+
+
+def check_mask_residency(
+    profile: NetworkSparsity,
+    arch: ArchConfig,
+    n: int = 64,
+    phase: str = "fw",
+) -> list[MaskResidency]:
+    """Validate GLB mask residency for every layer of a network.
+
+    A working set holds one weight tile per PE row group: for the K,N
+    mapping that is ``pe_rows`` output channels' worth of kernels, so
+    its mask costs ``pe_rows * weights_per_out_channel`` bits (one bit
+    per dense weight position, Figure 8).
+    """
+    budget_bits = int(arch.glb_bytes * 8 * GLB_METADATA_FRACTION)
+    results = []
+    for ls in profile.layers:
+        op = phase_op(ls.layer, phase, n)
+        per_channel_bits = ls.layer.weights_per_out_channel
+        working = min(arch.pe_rows, op.out_channels) * per_channel_bits
+        whole = ls.layer.weight_count
+        results.append(
+            MaskResidency(
+                layer_name=ls.layer.name,
+                working_set_mask_bits=working,
+                layer_mask_bits=whole,
+                fits_working_set=working <= budget_bits,
+                fits_whole_layer=whole <= budget_bits,
+            )
+        )
+    return results

@@ -1,0 +1,85 @@
+"""Accelerator configuration (Table I of the paper).
+
+The baseline dense training accelerator is a 16x16 PE array of FP32
+MAC units with 1 KB register files, a 128 KB shared global buffer, and
+three simple interconnects (two one-dimensional flows plus unicast).
+Procrustes adds a per-PE weight-recompute PRNG, a global quantile
+engine, and the load balancer; none of those change the base geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ArchConfig", "BASELINE_16x16", "PROCRUSTES_16x16", "PROCRUSTES_32x32"]
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Geometry and capacities of the 2-D PE-array accelerator."""
+
+    name: str = "baseline-16x16"
+    pe_rows: int = 16
+    pe_cols: int = 16
+    glb_bytes: int = 128 * 1024
+    rf_bytes_per_pe: int = 1024
+    word_bytes: int = 4  # FP32 training datatype
+    macs_per_pe_per_cycle: int = 1
+    #: Procrustes additions present? (WR unit, QE unit, load balancer)
+    sparse_training_support: bool = False
+    #: QE unit peak throughput (gradient updates per cycle).
+    qe_updates_per_cycle: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError(
+                f"PE array must be at least 1x1 "
+                f"(got {self.pe_rows}x{self.pe_cols})"
+            )
+        if self.rf_bytes_per_pe < self.word_bytes:
+            raise ValueError("register file smaller than one word")
+
+    @property
+    def n_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def rf_words(self) -> int:
+        """Register-file capacity in datatype words."""
+        return self.rf_bytes_per_pe // self.word_bytes
+
+    @property
+    def glb_words(self) -> int:
+        return self.glb_bytes // self.word_bytes
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.n_pes * self.macs_per_pe_per_cycle
+
+    def scaled(self, factor: int) -> "ArchConfig":
+        """Scale the PE array by ``factor`` per side (Figure 20).
+
+        Following the paper's scalability study, quadrupling the cores
+        (2x per side) doubles the global buffer (a sqrt(4) factor).
+        """
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1 (got {factor})")
+        return replace(
+            self,
+            name=f"{self.name}-x{factor}",
+            pe_rows=self.pe_rows * factor,
+            pe_cols=self.pe_cols * factor,
+            glb_bytes=self.glb_bytes * factor,
+        )
+
+
+#: The paper's dense baseline (Table I).
+BASELINE_16x16 = ArchConfig(name="baseline-16x16")
+
+#: Procrustes: same geometry plus sparse-training hardware.
+PROCRUSTES_16x16 = ArchConfig(
+    name="procrustes-16x16", sparse_training_support=True
+)
+
+#: The scaled configuration of Figure 20 (1024 PEs, 256 KB GLB).
+PROCRUSTES_32x32 = PROCRUSTES_16x16.scaled(2)

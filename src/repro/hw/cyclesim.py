@@ -1,0 +1,450 @@
+"""Cycle-level simulation of the PE array and its three interconnects.
+
+The paper's headline numbers come from an analytical model (our
+:mod:`repro.dataflow`), which assumes that per-working-set latency is
+the maximum per-PE MAC count — i.e. that the simple fabric of
+Figure 14 keeps every PE fed.  This module checks that assumption from
+below: it walks a conv layer working set by working set, modelling
+
+* the **horizontal** and **vertical** one-dimensional flows (one bus
+  per row / per column, finite words per cycle),
+* the **unicast** network (shared injection bandwidth),
+* per-PE register-file capacity (weights resident per PE must fit,
+  forcing input-channel chunking of large layers), and
+* **double buffering** (the next set's fill overlaps the current
+  set's compute; drains overlap the following set).
+
+Two mappings are simulated, matching the paper's central comparison:
+
+* ``KN`` (Figure 11): weights multicast along rows, iacts multicast
+  down columns, psums unicast out.  Half-tile balancing (Figure 12)
+  swaps work along K without changing the traffic pattern.
+* ``CK`` (Figure 3): weights unicast to every PE, iacts multicast
+  along rows, psums reduced down columns.  Chip-wide balancing
+  (Figure 10) equalizes work but duplicates activation traffic onto
+  both bus directions.
+
+The key validation, exercised in the test suite: with generous fabric
+bandwidth the simulated cycles equal the analytical model's
+max-over-PEs accounting; with realistic single-word buses, fills stay
+hidden behind compute for the multicast KN dataflow but surface as
+stalls for unicast-heavy CK — which is the paper's interconnect
+argument made cycle-accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.config import ArchConfig
+
+__all__ = [
+    "FabricConfig",
+    "SetTrace",
+    "CycleSimResult",
+    "CycleLevelSimulator",
+    "IDEAL_FABRIC",
+    "SINGLE_WORD_FABRIC",
+]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Interconnect bandwidths, in datatype words per cycle.
+
+    ``h_words`` / ``v_words`` are per-bus (each row / column has its
+    own one-dimensional flow); ``unicast_words`` is the aggregate
+    injection bandwidth of the any-to-any network.  ``double_buffered``
+    enables fill/compute overlap at the cost of halving the weight
+    space available in each register file.
+    """
+
+    h_words: float = 1.0
+    v_words: float = 1.0
+    unicast_words: float = 16.0
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.h_words, self.v_words, self.unicast_words) <= 0:
+            raise ValueError("bus bandwidths must be positive")
+
+
+#: Effectively infinite fabric — isolates the compute-bound behaviour
+#: the analytical model predicts.
+IDEAL_FABRIC = FabricConfig(
+    h_words=1e9, v_words=1e9, unicast_words=1e9, double_buffered=True
+)
+
+#: One word per bus per cycle, 16-word unicast: the realistic fabric.
+SINGLE_WORD_FABRIC = FabricConfig()
+
+
+@dataclass
+class SetTrace:
+    """Fill/compute/drain cycle breakdown of one working set."""
+
+    index: int
+    fill_cycles: float
+    compute_cycles: float
+    drain_cycles: float
+    macs: int
+    active_pes: int
+
+    @property
+    def bound(self) -> str:
+        """Which pipeline stage limits this set."""
+        worst = max(self.fill_cycles, self.compute_cycles, self.drain_cycles)
+        if worst == self.compute_cycles:
+            return "compute"
+        if worst == self.fill_cycles:
+            return "fill"
+        return "drain"
+
+
+@dataclass
+class CycleSimResult:
+    """Totals of one simulated layer phase."""
+
+    mapping: str
+    balanced: bool
+    cycles: float = 0.0
+    compute_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    macs: int = 0
+    n_pes: int = 256
+    bus_words: dict[str, float] = field(default_factory=dict)
+    traces: list[SetTrace] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Issued MACs over peak MAC slots."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.macs / (self.cycles * self.n_pes)
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    def bound_histogram(self) -> dict[str, int]:
+        """How many working sets are limited by each pipeline stage."""
+        hist = {"compute": 0, "fill": 0, "drain": 0}
+        for t in self.traces:
+            hist[t.bound] += 1
+        return hist
+
+    def fabric_energy_pj(self, costs) -> float:
+        """On-chip transfer energy of this run, priced by a fabric.
+
+        ``costs`` is a :class:`~repro.hw.fabric_cost.FabricCosts`;
+        every word counted on a bus pays that flow's per-word transfer
+        energy, tying the cycle simulation to the wire-level model.
+        """
+        return sum(
+            words * costs.energy_pj_per_word[flow]
+            for flow, words in self.bus_words.items()
+        )
+
+
+def _chunk_channels(kernel_nnz: np.ndarray, budget_words: int) -> list[np.ndarray]:
+    """Split input channels so per-PE resident weights fit the RF.
+
+    ``kernel_nnz`` is ``(K, C)`` non-zeros per kernel.  Channels are
+    accumulated greedily until the worst output channel's resident
+    word count would exceed ``budget_words``.  Every chunk holds at
+    least one channel — a kernel that alone exceeds the budget is
+    allowed through (the RF streams it), matching how the analytical
+    model degrades.
+    """
+    if budget_words < 1:
+        raise ValueError(f"RF weight budget must be >= 1 word (got {budget_words})")
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    resident = np.zeros(kernel_nnz.shape[0], dtype=np.int64)
+    for c in range(kernel_nnz.shape[1]):
+        col = kernel_nnz[:, c]
+        if current and (resident + col).max() > budget_words:
+            chunks.append(current)
+            current = []
+            resident = np.zeros_like(resident)
+        current.append(c)
+        resident = resident + col
+    if current:
+        chunks.append(current)
+    return [np.asarray(chunk, dtype=np.int64) for chunk in chunks]
+
+
+def _pair_halves_exact(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Sparsest-with-densest pairing of actual half-tile works.
+
+    Unlike :func:`repro.dataflow.loadbalance.pair_halves` (which draws
+    intra-tile splits from a Beta model), the cycle simulator has the
+    true per-half non-zero counts, so the pairing is exact.
+    """
+    halves = np.concatenate([first, second])
+    order = np.sort(halves)
+    return order[: len(first)] + order[::-1][: len(first)]
+
+
+class CycleLevelSimulator:
+    """Working-set-granular cycle simulation of one conv layer phase.
+
+    Parameters
+    ----------
+    arch:
+        PE-array geometry and register-file capacity.
+    fabric:
+        Interconnect bandwidths and buffering mode.
+    rf_weight_share:
+        Fraction of each register file reserved for weights (the rest
+        buffers activations and partial sums).  Halved again when
+        double buffering.
+    """
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        fabric: FabricConfig = SINGLE_WORD_FABRIC,
+        rf_weight_share: float = 0.5,
+    ) -> None:
+        if not 0.0 < rf_weight_share <= 1.0:
+            raise ValueError(
+                f"rf_weight_share must be in (0, 1] (got {rf_weight_share})"
+            )
+        self.arch = arch
+        self.fabric = fabric
+        self.rf_weight_share = rf_weight_share
+
+    @property
+    def weight_budget_words(self) -> int:
+        """Weight words a PE can hold resident per working set."""
+        words = int(self.arch.rf_words * self.rf_weight_share)
+        if self.fabric.double_buffered:
+            words //= 2
+        return max(1, words)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def run_conv(
+        self,
+        mask: np.ndarray,
+        p: int,
+        q: int,
+        n: int,
+        mapping: str = "KN",
+        balance: bool = False,
+        stride: int = 1,
+    ) -> CycleSimResult:
+        """Simulate one layer forward pass from its weight mask.
+
+        ``mask`` is the ``(K, C, R, S)`` boolean non-zero map; ``p, q``
+        the output activation dimensions; ``n`` the minibatch.
+        """
+        if mask.ndim != 4:
+            raise ValueError(f"mask must be (K, C, R, S), got {mask.ndim}-D")
+        if min(p, q, n) < 1:
+            raise ValueError("p, q, n must all be >= 1")
+        if mapping == "KN":
+            return self._run_kn(mask.astype(bool), p, q, n, balance, stride)
+        if mapping == "CK":
+            return self._run_ck(mask.astype(bool), p, q, n, balance, stride)
+        raise ValueError(
+            f"cycle simulator supports KN and CK mappings (got {mapping!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # KN: spatial-minibatch mapping (Figure 11 / 12)
+    # ------------------------------------------------------------------
+    def _run_kn(
+        self,
+        mask: np.ndarray,
+        p: int,
+        q: int,
+        n: int,
+        balance: bool,
+        stride: int,
+    ) -> CycleSimResult:
+        k, c, r, s = mask.shape
+        rows, cols = self.arch.pe_rows, self.arch.pe_cols
+        kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
+        chunks = _chunk_channels(kernel_nnz, self.weight_budget_words)
+        # Input window delivered per column per set (one sample's
+        # chunk-channels slab).
+        h_in = (p - 1) * stride + r
+        w_in = (q - 1) * stride + s
+
+        result = CycleSimResult(
+            mapping="KN", balanced=balance, n_pes=self.arch.n_pes
+        )
+        result.bus_words = {"horizontal": 0.0, "vertical": 0.0, "unicast": 0.0}
+        fills: list[float] = []
+        computes: list[float] = []
+        drains: list[float] = []
+
+        index = 0
+        for k0 in range(0, k, rows):
+            k_hi = min(k0 + rows, k)
+            for ci, chunk in enumerate(chunks):
+                last_chunk = ci == len(chunks) - 1
+                # Per-row resident weight words for this (k-tile, chunk).
+                per_row = kernel_nnz[k0:k_hi][:, chunk].sum(axis=1)
+                if balance and len(per_row) > 1:
+                    half = len(chunk) // 2
+                    if half:
+                        first = kernel_nnz[k0:k_hi][:, chunk[:half]].sum(axis=1)
+                        second = kernel_nnz[k0:k_hi][:, chunk[half:]].sum(axis=1)
+                        per_row = _pair_halves_exact(first, second)
+                iact_words = len(chunk) * h_in * w_in
+                for n0 in range(0, n, cols):
+                    n_active = min(cols, n - n0)
+                    # Weights multicast: each row bus carries its tile
+                    # once, buses run in parallel.
+                    w_fill = float(per_row.max()) / self.fabric.h_words
+                    # iacts multicast down columns, one sample each.
+                    x_fill = iact_words / self.fabric.v_words
+                    fill = max(w_fill, x_fill)
+                    compute = float(per_row.max()) * p * q
+                    macs = int(per_row.sum()) * p * q * n_active
+                    # Psums leave via unicast on the last chunk only
+                    # (output-stationary across chunks).
+                    drain_words = len(per_row) * n_active * p * q if last_chunk else 0
+                    drain = drain_words / self.fabric.unicast_words
+                    result.bus_words["horizontal"] += float(per_row.sum())
+                    result.bus_words["vertical"] += iact_words * n_active
+                    result.bus_words["unicast"] += drain_words
+                    fills.append(fill)
+                    computes.append(compute)
+                    drains.append(drain)
+                    result.macs += macs
+                    result.traces.append(
+                        SetTrace(
+                            index=index,
+                            fill_cycles=fill,
+                            compute_cycles=compute,
+                            drain_cycles=drain,
+                            macs=macs,
+                            active_pes=len(per_row) * n_active,
+                        )
+                    )
+                    index += 1
+        self._accumulate(result, fills, computes, drains)
+        return result
+
+    # ------------------------------------------------------------------
+    # CK: weight-stationary mapping (Figure 3 / 10)
+    # ------------------------------------------------------------------
+    def _run_ck(
+        self,
+        mask: np.ndarray,
+        p: int,
+        q: int,
+        n: int,
+        balance: bool,
+        stride: int,
+    ) -> CycleSimResult:
+        k, c, r, s = mask.shape
+        rows, cols = self.arch.pe_rows, self.arch.pe_cols
+        kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
+        h_in = (p - 1) * stride + r
+        w_in = (q - 1) * stride + s
+        iact_words_per_row = h_in * w_in  # one channel's slab
+
+        result = CycleSimResult(
+            mapping="CK", balanced=balance, n_pes=self.arch.n_pes
+        )
+        result.bus_words = {"horizontal": 0.0, "vertical": 0.0, "unicast": 0.0}
+        fills: list[float] = []
+        computes: list[float] = []
+        drains: list[float] = []
+
+        index = 0
+        for c0 in range(0, c, rows):
+            c_hi = min(c0 + rows, c)
+            for k0 in range(0, k, cols):
+                k_hi = min(k0 + cols, k)
+                tile = kernel_nnz[k0:k_hi, c0:c_hi].T  # (rows=C, cols=K)
+                total_w = int(tile.sum())
+                # Weights are stationary across the minibatch: unicast
+                # them once per (c-tile, k-tile).
+                w_fill = total_w / self.fabric.unicast_words
+                result.bus_words["unicast"] += total_w
+                if balance:
+                    # Chip-wide perfect balancing (Figure 10): equal
+                    # MACs per PE, but iacts must reach both rows and
+                    # columns — their words double.
+                    per_pe_macs = total_w * p * q / (rows * cols)
+                    iact_factor = 2.0
+                else:
+                    per_pe_macs = float(tile.max()) * p * q
+                    iact_factor = 1.0
+                n_rows_active = c_hi - c0
+                n_cols_active = k_hi - k0
+                iact_words = iact_words_per_row * iact_factor
+                for sample in range(n):
+                    x_fill = iact_words / self.fabric.h_words
+                    # First sample also waits on the weight fill.
+                    fill = max(x_fill, w_fill) if sample == 0 else x_fill
+                    compute = per_pe_macs
+                    macs = total_w * p * q
+                    # Psums reduce down columns every sample; the
+                    # vertical flow carries one reduced stream of
+                    # p*q words per column (pipelined, plus array
+                    # drain latency).
+                    drain = p * q / self.fabric.v_words + n_rows_active
+                    result.bus_words["horizontal"] += (
+                        iact_words * n_rows_active
+                    )
+                    result.bus_words["vertical"] += p * q * n_cols_active
+                    fills.append(fill)
+                    computes.append(compute)
+                    drains.append(drain)
+                    result.macs += macs
+                    result.traces.append(
+                        SetTrace(
+                            index=index,
+                            fill_cycles=fill,
+                            compute_cycles=compute,
+                            drain_cycles=drain,
+                            macs=macs,
+                            active_pes=n_rows_active * n_cols_active,
+                        )
+                    )
+                    index += 1
+        self._accumulate(result, fills, computes, drains)
+        return result
+
+    # ------------------------------------------------------------------
+    # pipeline composition
+    # ------------------------------------------------------------------
+    def _accumulate(
+        self,
+        result: CycleSimResult,
+        fills: list[float],
+        computes: list[float],
+        drains: list[float],
+    ) -> None:
+        """Compose per-set stage times into total cycles.
+
+        Double-buffered: set ``i``'s compute overlaps set ``i+1``'s
+        fill and set ``i-1``'s drain (each stage uses distinct
+        networks), so the steady-state cost per set is the max of the
+        three.  Without double buffering the stages serialize.
+        """
+        compute_total = float(np.sum(computes))
+        if not fills:
+            return
+        if self.fabric.double_buffered:
+            total = fills[0]
+            for i, compute in enumerate(computes):
+                next_fill = fills[i + 1] if i + 1 < len(fills) else 0.0
+                prev_drain = drains[i - 1] if i > 0 else 0.0
+                total += max(compute, next_fill, prev_drain)
+            total += drains[-1]
+        else:
+            total = float(np.sum(fills) + compute_total + np.sum(drains))
+        result.cycles = total
+        result.compute_cycles = compute_total
+        result.stall_cycles = total - compute_total

@@ -1,0 +1,261 @@
+"""Behavioural sparse-training engine: all three phases through CSB.
+
+The analytical model (:mod:`repro.dataflow`) produces the paper's
+evaluation numbers; this engine is its executable counterpart for one
+layer at a time.  It holds weights **only** in the compressed-sparse-
+block format and executes a full training iteration the way the
+Procrustes datapath does:
+
+* **forward** — decompress per-(k, c) kernel blocks through the
+  pointer/mask arrays (never touching stored zeros) and convolve;
+  cycles follow the K,N mapping's max-per-working-set rule.
+* **backward** — access the *same* CSB tensor through
+  :meth:`~repro.sparse.csb.CSBTensor.rotate_180` — the in-flight
+  rotation Section IV-B's format exists to support — and produce
+  dL/dx exactly equal to the autograd reference.
+* **weight update** — compute dL/dW skipping zero input activations,
+  then stream the gradients through the QE unit, which discards
+  everything below the sparsity threshold before "writing back".
+
+Every numerical result is asserted against :mod:`repro.nn.functional`
+in the test suite, so this engine is the proof that the CSB format
+supports all training access patterns without decompress-recompress
+round trips.  Strided convolutions are handled by dilating the
+back-propagated gradient (zero insertion) before the rotated-filter
+convolution, exactly as the dataflow's backward pass does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.config import ArchConfig
+from repro.hw.qe_unit import QuantileEngine
+from repro.nn import functional as F
+from repro.sparse.csb import CSBTensor
+
+__all__ = ["PhaseResult", "SparseTrainingEngine", "dilate_gradient"]
+
+
+def dilate_gradient(
+    dout: np.ndarray, stride: int, extra: tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """Insert ``stride - 1`` zeros between gradient elements.
+
+    The backward pass of a stride-``s`` convolution is a stride-1
+    convolution over the *dilated* gradient; ``extra`` appends zeros on
+    the high side to recover input extents that were not multiples of
+    the stride.
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1 (got {stride})")
+    n, k, p, q = dout.shape
+    eh, ew = extra
+    if stride == 1 and not (eh or ew):
+        return dout
+    out = np.zeros(
+        (n, k, (p - 1) * stride + 1 + eh, (q - 1) * stride + 1 + ew),
+        dtype=dout.dtype,
+    )
+    out[:, :, ::stride, ::stride][:, :, :p, :q] = dout
+    return out
+
+
+@dataclass
+class PhaseResult:
+    """Output tensor plus the cycle cost of one phase."""
+
+    tensor: np.ndarray
+    cycles: int
+    macs: int
+
+
+class SparseTrainingEngine:
+    """Executes one layer's training phases from CSB-resident weights."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        qe: QuantileEngine | None = None,
+    ) -> None:
+        self.config = config
+        self.qe = qe
+
+    # ------------------------------------------------------------------
+    # phase execution
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        weights: CSBTensor,
+        padding: int = 0,
+        stride: int = 1,
+        groups: int = 1,
+    ) -> PhaseResult:
+        """fw: ``x * W -> y`` with weight-sparse MAC skipping.
+
+        ``groups > 1`` covers MobileNet-style depthwise/grouped
+        convolution; the stored tensor shape is ``(K, C/groups, R, S)``
+        exactly as the substrate expects.
+        """
+        dense = weights.to_dense()
+        y, _ = F.conv2d(
+            x, dense, stride=stride, padding=padding, groups=groups
+        )
+        cycles, macs = self._kn_cycles(
+            weights, n=x.shape[0], uses=y.shape[2] * y.shape[3]
+        )
+        return PhaseResult(tensor=y, cycles=cycles, macs=macs)
+
+    def backward(
+        self,
+        dout: np.ndarray,
+        weights: CSBTensor,
+        padding: int = 0,
+        stride: int = 1,
+        input_hw: tuple[int, int] | None = None,
+        groups: int = 1,
+    ) -> PhaseResult:
+        """bw: ``dL/dy * rot180(W) -> dL/dx`` via the CSB rotation.
+
+        The engine never materializes an alternate weight layout: the
+        rotated view comes straight from the stored blocks (values
+        reversed in place), and the channel roles swap — exactly the
+        access pattern CSC-style formats cannot serve (Section II-D).
+        For strided layers the gradient is dilated first;
+        ``input_hw`` recovers input extents that were not stride
+        multiples (defaults to the exact-division size).
+        """
+        rotated = weights.rotate_180().to_dense()
+        r = rotated.shape[2]
+        if stride > 1:
+            p, q = dout.shape[2], dout.shape[3]
+            if input_hw is None:
+                h = (p - 1) * stride + r - 2 * padding
+                w = (q - 1) * stride + r - 2 * padding
+            else:
+                h, w = input_hw
+            extra = (
+                (h + 2 * padding - r) - (p - 1) * stride,
+                (w + 2 * padding - r) - (q - 1) * stride,
+            )
+            dout = dilate_gradient(dout, stride, extra=extra)
+        # dL/dx = "full" convolution of dL/dy with the rotated filters,
+        # channel-transposed: out-channels of this conv are the layer's
+        # input channels.  With groups, the swap happens within each
+        # group: the grouped conv's weight is (C, K/groups, R, S).
+        if groups == 1:
+            swapped = rotated.transpose(1, 0, 2, 3)
+        else:
+            k, cg, rr, ss = rotated.shape
+            kg = k // groups
+            swapped = (
+                rotated.reshape(groups, kg, cg, rr, ss)
+                .transpose(0, 2, 1, 3, 4)
+                .reshape(groups * cg, kg, rr, ss)
+            )
+        dx, _ = F.conv2d(
+            dout, swapped, padding=r - 1 - padding, groups=groups
+        )
+        cycles, macs = self._kn_cycles(
+            weights,
+            n=dout.shape[0],
+            uses=dx.shape[2] * dx.shape[3],
+            along="in",
+        )
+        return PhaseResult(tensor=dx, cycles=cycles, macs=macs)
+
+    def weight_update(
+        self,
+        x: np.ndarray,
+        dout: np.ndarray,
+        weights: CSBTensor,
+        padding: int = 0,
+        stride: int = 1,
+        groups: int = 1,
+    ) -> tuple[PhaseResult, np.ndarray, CSBTensor]:
+        """wu: ``x * dL/dy -> dL/dW``, QE-filtered on the way out.
+
+        Returns the raw-gradient phase result, the QE keep-mask, and
+        the *compressed* surviving gradient tensor as it would be
+        written back to DRAM.
+        """
+        r, s = weights.grid.block_shape
+        dweight = F.conv2d_weight_grad(
+            x, dout, (r, s), stride=stride, padding=padding, groups=groups
+        )
+        cycles, macs = self._wu_cycles(x, dout, taps=r * s)
+        if self.qe is not None:
+            keep = self.qe.filter(dweight.ravel()).reshape(dweight.shape)
+        else:
+            keep = np.ones_like(dweight, dtype=bool)
+        surviving = CSBTensor.from_dense(np.where(keep, dweight, 0.0))
+        return (
+            PhaseResult(tensor=dweight, cycles=cycles, macs=macs),
+            keep,
+            surviving,
+        )
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        dout: np.ndarray,
+        weights: CSBTensor,
+        padding: int = 0,
+    ) -> dict[str, PhaseResult]:
+        """All three phases of one layer's iteration (Figure 2)."""
+        fw = self.forward(x, weights, padding=padding)
+        bw = self.backward(dout, weights, padding=padding)
+        wu, _, _ = self.weight_update(x, dout, weights, padding=padding)
+        return {"fw": fw, "bw": bw, "wu": wu}
+
+    # ------------------------------------------------------------------
+    # cycle accounting (same rules as the analytical model)
+    # ------------------------------------------------------------------
+    def _kn_cycles(
+        self,
+        weights: CSBTensor,
+        n: int,
+        uses: int,
+        along: str = "out",
+    ) -> tuple[int, int]:
+        """K,N-mapping cycles: sum over working sets of the slowest PE.
+
+        Per-channel non-zero counts come from CSB pointer differences
+        (the hardware's tile-sizing trick); ``along`` picks the spatial
+        channel dimension — output channels in fw, input channels in
+        the backward pass (the rotated tensor's "K").
+        """
+        axis = 0 if along == "out" else 1
+        per_channel = weights.block_nnz().reshape(
+            weights.grid.grid_shape
+        ).sum(axis=1 - axis)
+        rows, cols = self.config.pe_rows, self.config.pe_cols
+        n_tiles = -(-n // cols)
+        cycles = 0
+        for start in range(0, per_channel.shape[0], rows):
+            tile = per_channel[start : start + rows]
+            cycles += int(tile.max()) * uses * n_tiles
+        macs = int(per_channel.sum()) * uses * n
+        return cycles, macs
+
+    def _wu_cycles(
+        self, x: np.ndarray, dout: np.ndarray, taps: int
+    ) -> tuple[int, int]:
+        """wu cycles: per-sample work follows input-activation nnz."""
+        n = x.shape[0]
+        k = dout.shape[1]
+        scale = dout.shape[2] * dout.shape[3] / (x.shape[2] * x.shape[3])
+        per_sample = np.count_nonzero(
+            x.reshape(n, -1), axis=1
+        ) * taps * max(scale, 1e-12)
+        rows, cols = self.config.pe_rows, self.config.pe_cols
+        k_tiles = -(-k // rows)
+        cycles = 0
+        for start in range(0, n, cols):
+            tile = per_sample[start : start + cols]
+            cycles += int(round(tile.max())) * k_tiles
+        macs = int(round(per_sample.sum())) * k
+        return cycles, macs

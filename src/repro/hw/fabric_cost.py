@@ -1,0 +1,234 @@
+"""Area and energy cost of on-chip interconnect alternatives.
+
+The paper's central hardware argument is qualitative: load-balancing
+the weight-stationary C,K mapping "requires more bandwidth and a more
+complex interconnect" (Figure 10), while the spatial-minibatch K,N
+mapping balances on the existing "three simple interconnects"
+(Figure 14).  This module prices both options so the argument can be
+checked quantitatively and swept with array size (Figure 20's
+scalability claim rests on the simple fabric staying cheap).
+
+The model is first-order and standard:
+
+* **wires** — cost scales with wire length; length scales with the PE
+  pitch, derived from Table III's per-PE component areas (a synthesis-
+  grounded number, not a guess).  Transfer energy uses a per-bit-mm
+  constant representative of 45 nm (~0.08 pJ/bit/mm).
+* **1-D flow networks** — one bus per row (or column): ``n`` buses of
+  length ``n * pitch`` each; drivers at each PE tap.
+* **unicast network** — modelled as column buses plus per-PE address
+  decoders (the Figure 14 fabric delivers unicast over a shared bus
+  with per-PE select).
+* **crossbar** — the complex alternative for chip-wide balancing /
+  arbitrary psum collection (the Eager Pruning router and Figure 10's
+  both-direction activation delivery): crosspoint area grows with
+  ``sources x sinks x word bits``, and per-word energy grows with the
+  traversal distance across the crossbar core.
+
+Everything is parameterized by :class:`ArchConfig`, so the same model
+prices the 16x16 and 32x32 arrays of Figure 20.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.area import TABLE_III_COMPONENTS
+from repro.hw.config import ArchConfig
+
+__all__ = ["FabricCostParams", "FabricCostModel", "FabricCosts"]
+
+
+def _pe_pitch_um() -> float:
+    """PE tile pitch from Table III's per-PE synthesized areas."""
+    per_pe_area = sum(
+        c.area_um2 for c in TABLE_III_COMPONENTS if c.per_pe
+    )
+    return math.sqrt(per_pe_area)
+
+
+@dataclass(frozen=True)
+class FabricCostParams:
+    """Process- and circuit-level constants of the cost model."""
+
+    #: Energy to move one bit one millimetre (45 nm class).
+    wire_pj_per_bit_mm: float = 0.08
+    #: Wire area per bit of bus width per micrometre of length
+    #: (metal track pitch ~0.4 um at 45 nm, one track per bit).
+    wire_um2_per_bit_um: float = 0.4
+    #: Area of one crossbar crosspoint, per bit (pass gate + control).
+    crosspoint_um2_per_bit: float = 1.2
+    #: Per-PE bus driver / receiver area (um^2), per bit.
+    driver_um2_per_bit: float = 0.6
+    #: Word width in bits (FP32 training datatype).
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(
+            self.wire_pj_per_bit_mm,
+            self.wire_um2_per_bit_um,
+            self.crosspoint_um2_per_bit,
+            self.driver_um2_per_bit,
+        ) <= 0:
+            raise ValueError("all cost constants must be positive")
+        if self.word_bits < 1:
+            raise ValueError("word_bits must be >= 1")
+
+
+@dataclass(frozen=True)
+class FabricCosts:
+    """Area and per-word transfer energy of one fabric option."""
+
+    name: str
+    area_um2: float
+    #: Energy to deliver one word to all its destinations, by flow.
+    energy_pj_per_word: dict[str, float]
+
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+
+class FabricCostModel:
+    """Prices the simple three-network fabric and its alternatives."""
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        params: FabricCostParams | None = None,
+    ) -> None:
+        self.arch = arch
+        self.params = params or FabricCostParams()
+        self.pitch_um = _pe_pitch_um()
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _bus_area(self, n_buses: int, length_um: float, taps: int) -> float:
+        p = self.params
+        wires = n_buses * length_um * p.wire_um2_per_bit_um * p.word_bits
+        drivers = n_buses * taps * p.driver_um2_per_bit * p.word_bits
+        return wires + drivers
+
+    def _bus_energy_per_word(self, length_um: float) -> float:
+        p = self.params
+        return p.wire_pj_per_bit_mm * p.word_bits * (length_um / 1000.0)
+
+    def _port_wiring_area(self, n_ports: int, avg_length_um: float) -> float:
+        """Point-to-point wires from PEs to a centralized structure."""
+        p = self.params
+        return n_ports * avg_length_um * p.wire_um2_per_bit_um * p.word_bits
+
+    # ------------------------------------------------------------------
+    # fabric options
+    # ------------------------------------------------------------------
+    def simple_fabric(self) -> FabricCosts:
+        """The Figure 14 fabric: H flows + V flows + shared unicast.
+
+        A multicast on a row bus costs one full-length traversal no
+        matter how many PEs listen — the reuse that makes the K,N
+        dataflow cheap.
+        """
+        rows, cols = self.arch.pe_rows, self.arch.pe_cols
+        h_len = cols * self.pitch_um
+        v_len = rows * self.pitch_um
+        area = (
+            self._bus_area(rows, h_len, taps=cols)  # horizontal flows
+            + self._bus_area(cols, v_len, taps=rows)  # vertical flows
+            + self._bus_area(cols, v_len, taps=rows)  # unicast columns
+        )
+        return FabricCosts(
+            name="simple-3net",
+            area_um2=area,
+            energy_pj_per_word={
+                "horizontal": self._bus_energy_per_word(h_len),
+                "vertical": self._bus_energy_per_word(v_len),
+                "unicast": self._bus_energy_per_word(v_len + h_len / 2),
+            },
+        )
+
+    def balanced_ck_fabric(self) -> FabricCosts:
+        """Figure 10's requirement: activations on rows *and* columns.
+
+        Chip-wide balancing of the C,K mapping means any activation
+        may be needed by any PE: both bus directions double in width
+        (or a second plane is added), PE buffers double, and a
+        psum-combining network (modelled as a reduced crossbar from
+        every PE to every column collector) replaces the simple
+        vertical reduction.
+        """
+        rows, cols = self.arch.pe_rows, self.arch.pe_cols
+        p = self.params
+        h_len = cols * self.pitch_um
+        v_len = rows * self.pitch_um
+        doubled_buses = 2.0 * (
+            self._bus_area(rows, h_len, taps=cols)
+            + self._bus_area(cols, v_len, taps=rows)
+        )
+        # Psum combiner: every PE must reach every column collector —
+        # crosspoints plus a dedicated wire per PE to the collectors.
+        crossbar = (
+            self.arch.n_pes * cols * p.crosspoint_um2_per_bit * p.word_bits
+        )
+        combiner_wiring = self._port_wiring_area(self.arch.n_pes, v_len / 2.0)
+        area = doubled_buses + crossbar + combiner_wiring
+        # A balanced delivery touches both directions on average.
+        return FabricCosts(
+            name="balanced-CK",
+            area_um2=area,
+            energy_pj_per_word={
+                "horizontal": 2.0 * self._bus_energy_per_word(h_len),
+                "vertical": 2.0 * self._bus_energy_per_word(v_len),
+                "unicast": self._bus_energy_per_word(
+                    math.hypot(h_len, v_len)
+                ),
+            },
+        )
+
+    def full_crossbar(self) -> FabricCosts:
+        """Any-to-any crossbar — the upper bound (SCNN-style scatter).
+
+        Crosspoint count is ``n_pes**2``, and every PE needs an input
+        and an output wire to the crossbar core (average length half
+        the array diagonal) — the port wiring dominates at realistic
+        PE pitches.  A word traverses its port wires plus the core.
+        """
+        p = self.params
+        n = self.arch.n_pes
+        crosspoints = n * n * p.crosspoint_um2_per_bit * p.word_bits
+        diag_um = math.hypot(
+            self.arch.pe_rows * self.pitch_um,
+            self.arch.pe_cols * self.pitch_um,
+        )
+        ports = self._port_wiring_area(2 * n, diag_um / 2.0)
+        area = crosspoints + ports
+        core_side_um = math.sqrt(crosspoints)
+        energy = (
+            p.wire_pj_per_bit_mm
+            * p.word_bits
+            * ((diag_um + core_side_um) / 1000.0)
+        )
+        return FabricCosts(
+            name="crossbar",
+            area_um2=area,
+            energy_pj_per_word={
+                "horizontal": energy,
+                "vertical": energy,
+                "unicast": energy,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def options(self) -> list[FabricCosts]:
+        return [
+            self.simple_fabric(),
+            self.balanced_ck_fabric(),
+            self.full_crossbar(),
+        ]
+
+    def fabric_area_fraction(self, fabric: FabricCosts) -> float:
+        """Fabric area relative to the PE array it serves."""
+        pe_array_area = self.arch.n_pes * self.pitch_um**2
+        return fabric.area_um2 / pe_array_area

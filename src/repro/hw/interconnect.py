@@ -1,0 +1,101 @@
+"""On-chip interconnect model.
+
+The baseline accelerator (and Procrustes) uses three simple networks
+(Table I / Figure 14): a horizontal one-dimensional flow, a vertical
+one-dimensional flow, and a unicast network to any PE.  A dataflow is
+implementable on this fabric iff each of its three datatypes maps to
+one of those flows (Figures 3 and 11).
+
+Load-balancing a weight-stationary C,K mapping breaks this property —
+activations would need to travel on rows *and* columns (Figure 10) —
+which is the paper's argument for the spatial-minibatch dataflow.
+:func:`traffic_pattern` encodes which flow each datatype uses per
+(mapping, phase) and whether the simple fabric suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Flow", "TrafficPattern", "traffic_pattern"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """How one datatype moves: 'horizontal', 'vertical', or 'unicast'."""
+
+    datatype: str  # 'weights', 'iacts', 'psums'
+    pattern: str
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("horizontal", "vertical", "unicast"):
+            raise ValueError(f"unknown flow pattern {self.pattern!r}")
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """The three flows of a (mapping, phase) pair plus feasibility."""
+
+    mapping: str
+    phase: str
+    flows: tuple[Flow, ...]
+    #: True when load balancing this mapping requires more than the
+    #: three simple interconnects (the C,K case of Figure 10).
+    needs_complex_interconnect_for_balancing: bool
+
+    def flow_for(self, datatype: str) -> Flow:
+        for flow in self.flows:
+            if flow.datatype == datatype:
+                return flow
+        raise KeyError(datatype)
+
+
+#: Which spatial dimension pair each named mapping uses.
+_MAPPING_DIMS = {
+    "CK": ("C", "K"),
+    "CN": ("C", "N"),
+    "KN": ("K", "N"),
+    "PQ": ("P", "Q"),
+}
+
+
+def traffic_pattern(mapping: str, phase: str) -> TrafficPattern:
+    """Flows for a mapping in a training phase (fw/bw/wu).
+
+    Encodes Figure 3 (weight-stationary C,K), Figure 11 (the
+    spatial-minibatch K,N / C,N family), and the activation-stationary
+    P,Q mapping discussed in Section II-C.
+    """
+    if mapping not in _MAPPING_DIMS:
+        raise ValueError(f"unknown mapping {mapping!r}")
+    if phase not in ("fw", "bw", "wu"):
+        raise ValueError(f"unknown phase {phase!r}")
+
+    if mapping == "CK":
+        # Figure 3: iacts multicast along rows, psums reduced along
+        # columns, weights unicast.  Balancing breaks the 1-D flows.
+        flows = (
+            Flow("iacts", "horizontal"),
+            Flow("psums", "vertical"),
+            Flow("weights", "unicast"),
+        )
+        return TrafficPattern(mapping, phase, flows, True)
+    if mapping in ("KN", "CN"):
+        # Figure 11: weights multicast along the minibatch dimension,
+        # iacts along the channel dimension, outputs unicast.
+        flows = (
+            Flow("weights", "horizontal"),
+            Flow("iacts", "vertical"),
+            Flow("psums", "unicast"),
+        )
+        return TrafficPattern(mapping, phase, flows, False)
+    # PQ (activation-stationary): iacts stay put (unicast fills),
+    # weights broadcast to everyone, psums local then drained.
+    flows = (
+        Flow("iacts", "unicast"),
+        Flow("weights", "horizontal"),
+        Flow("psums", "vertical"),
+    )
+    # Balancing is not needed in fw/bw (all PEs see all filters), but
+    # the wu phase cannot be balanced on this fabric.
+    return TrafficPattern(mapping, phase, flows, phase == "wu")

@@ -1,0 +1,297 @@
+"""Training-time memory footprint model.
+
+Quantifies the introduction's storage claims across sparse-training
+methods (see :mod:`repro.core.schedules` for the density trajectories):
+
+* **weight footprint over training** — gradual pruning methods carry
+  the full dense parameter set for most of the run (and accumulate
+  optimizer state for it), so their *peak* footprint equals dense
+  training's; sparse-from-scratch methods peak at the target density;
+* **format-switch overhead** — methods that start dense must store
+  weights densely until compression pays, then re-encode the whole
+  tensor mid-training;
+* **activation footprint per iteration** — every layer's iacts are
+  held from the forward pass until its weight update; Procrustes
+  stores the long-term copy compressed (Section IV-A / Gist [21]).
+
+All byte counts are analytic (density-parameterized), so whole
+networks sweep over millions of iterations instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schedules import SparsitySchedule
+from repro.sparse.activations import storage_bits_at_density
+from repro.workloads.layer_spec import LayerSpec
+
+__all__ = [
+    "WeightFootprint",
+    "ActivationFootprint",
+    "TrainingFootprint",
+    "WeightTraffic",
+    "weight_bits_dense",
+    "weight_bits_csb",
+    "weight_traffic",
+]
+
+
+def weight_bits_dense(weight_count: int, value_bits: int = 32) -> int:
+    """Bits to store a dense weight tensor."""
+    if weight_count < 0:
+        raise ValueError("weight_count must be >= 0")
+    return weight_count * value_bits
+
+
+def weight_bits_csb(
+    weight_count: int,
+    density: float,
+    value_bits: int = 32,
+    pointer_bits: int = 32,
+    block_size: int = 9,
+) -> int:
+    """Bits for CSB storage at a given density (Figure 8 components).
+
+    ``block_size`` is the dense region per block — 9 for the 3x3
+    kernels that dominate the paper's networks.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1] (got {density})")
+    if weight_count < 0:
+        raise ValueError("weight_count must be >= 0")
+    values = int(round(weight_count * density)) * value_bits
+    masks = weight_count  # one bit per dense position
+    n_blocks = weight_count // max(1, block_size)
+    pointers = (n_blocks + 1) * pointer_bits
+    return values + masks + pointers
+
+
+@dataclass
+class WeightFootprint:
+    """Weight-storage trajectory of one method on one network."""
+
+    method: str
+    iterations: np.ndarray  # sample points
+    bits: np.ndarray  # best-format storage at each sample point
+    dense_bits: int
+    switch_iteration: int | None  # None = never switches format
+
+    @property
+    def peak_bits(self) -> int:
+        return int(self.bits.max())
+
+    @property
+    def peak_reduction(self) -> float:
+        """Dense-peak over this method's peak (>1 = saves memory)."""
+        return self.dense_bits / self.peak_bits if self.peak_bits else float("inf")
+
+    @property
+    def average_bits(self) -> float:
+        return float(self.bits.mean())
+
+
+def weight_footprint(
+    schedule: SparsitySchedule,
+    weight_count: int,
+    total_iterations: int,
+    samples: int = 512,
+    value_bits: int = 32,
+) -> WeightFootprint:
+    """Sample a schedule's weight storage over a training run.
+
+    At each sampled iteration the cheaper of dense and CSB storage is
+    charged — modelling a system that switches formats when it pays
+    (the intro's claim (iii) overhead is the switch itself, reported
+    via ``switch_iteration``).
+    """
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    points = np.unique(
+        np.linspace(0, total_iterations - 1, min(samples, total_iterations))
+        .round()
+        .astype(np.int64)
+    )
+    dense_bits = weight_bits_dense(weight_count, value_bits)
+    bits = np.empty(points.shape, dtype=np.int64)
+    for i, t in enumerate(points):
+        density = schedule.storage_density(int(t))
+        bits[i] = min(
+            dense_bits, weight_bits_csb(weight_count, density, value_bits)
+        )
+    return WeightFootprint(
+        method=schedule.name,
+        iterations=points,
+        bits=bits,
+        dense_bits=dense_bits,
+        switch_iteration=schedule.format_switch_iteration(total_iterations),
+    )
+
+
+@dataclass
+class ActivationFootprint:
+    """Activation storage held live during one training iteration."""
+
+    network: str
+    n: int
+    dense_bits: int  # all layers' iacts stored uncompressed
+    compressed_bits: int  # Procrustes: long-term copies compressed
+    per_layer_bits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reduction(self) -> float:
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.dense_bits / self.compressed_bits
+
+
+def activation_footprint(
+    layers: list[LayerSpec],
+    n: int,
+    act_density: float = 0.5,
+    value_bits: int = 32,
+    name: str = "network",
+) -> ActivationFootprint:
+    """Live activation storage across the fw-to-wu window.
+
+    Every layer's input activations survive from its forward pass
+    until its weight update — in the worst case (the first layer) the
+    entire backward sweep.  The model charges all layers' iacts as
+    live simultaneously, which is the peak; ``act_density`` is the
+    post-relu non-zero fraction (~50 % is typical).
+    """
+    if n < 1:
+        raise ValueError("minibatch n must be >= 1")
+    dense_total = 0
+    compressed_total = 0
+    per_layer: dict[str, int] = {}
+    for spec in layers:
+        count = spec.iact_count(n)
+        dense_total += count * value_bits
+        slab = spec.h * spec.w
+        compressed = storage_bits_at_density(
+            count, act_density, value_bits, slab_size=max(1, slab)
+        )
+        compressed = min(compressed, count * value_bits)
+        compressed_total += compressed
+        per_layer[spec.name] = compressed
+    return ActivationFootprint(
+        network=name,
+        n=n,
+        dense_bits=dense_total,
+        compressed_bits=compressed_total,
+        per_layer_bits=per_layer,
+    )
+
+
+@dataclass
+class WeightTraffic:
+    """Average per-iteration DRAM weight traffic of one method."""
+
+    method: str
+    read_bits: float
+    write_bits: float
+    churn_bits: float  # re-encoding traffic from mask redistribution
+
+    @property
+    def total_bits(self) -> float:
+        return self.read_bits + self.write_bits + self.churn_bits
+
+
+def weight_traffic(
+    schedule: SparsitySchedule,
+    weight_count: int,
+    total_iterations: int,
+    value_bits: int = 32,
+    samples: int = 256,
+) -> WeightTraffic:
+    """Average weight DRAM traffic per training iteration.
+
+    Every iteration reads the stored weight set once (forward pass;
+    the backward pass re-reads from the GLB) and writes the updated
+    gradients back.  Methods whose masks churn (dynamic sparse
+    reparameterization) additionally re-encode the compressed tensor
+    around every rewire — charged here as one extra full write of the
+    stored set per rewire interval, amortized per iteration.
+    """
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    points = np.unique(
+        np.linspace(0, total_iterations - 1, min(samples, total_iterations))
+        .round()
+        .astype(np.int64)
+    )
+    stored_bits = np.asarray(
+        [
+            min(
+                weight_bits_dense(weight_count, value_bits),
+                weight_bits_csb(
+                    weight_count, schedule.storage_density(int(t)), value_bits
+                ),
+            )
+            for t in points
+        ],
+        dtype=np.float64,
+    )
+    mean_stored = float(stored_bits.mean())
+    churn = 0.0
+    rewire_interval = getattr(schedule, "rewire_interval", None)
+    if rewire_interval:
+        churn = mean_stored / float(rewire_interval)
+    return WeightTraffic(
+        method=schedule.name,
+        read_bits=mean_stored,
+        write_bits=mean_stored,
+        churn_bits=churn,
+    )
+
+
+@dataclass
+class TrainingFootprint:
+    """Peak training memory: weights + optimizer state + activations."""
+
+    method: str
+    weight_peak_bits: int
+    optimizer_state_bits: int
+    activation_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.weight_peak_bits
+            + self.optimizer_state_bits
+            + self.activation_bits
+        )
+
+
+def training_footprint(
+    schedule: SparsitySchedule,
+    layers: list[LayerSpec],
+    n: int,
+    total_iterations: int,
+    act_density: float = 0.5,
+    momentum_state: bool = True,
+    value_bits: int = 32,
+    name: str = "network",
+) -> TrainingFootprint:
+    """Peak memory of one method training one network.
+
+    Optimizer state (momentum / accumulated gradients) follows the
+    *stored* weight set: dense methods carry dense state, Dropback
+    tracks accumulated gradients only for surviving weights.
+    """
+    weight_count = sum(spec.weight_count for spec in layers)
+    wf = weight_footprint(schedule, weight_count, total_iterations,
+                          value_bits=value_bits)
+    state_bits = int(wf.peak_bits * (1 if momentum_state else 0))
+    acts = activation_footprint(
+        layers, n, act_density, value_bits, name=name
+    )
+    return TrainingFootprint(
+        method=schedule.name,
+        weight_peak_bits=wf.peak_bits,
+        optimizer_state_bits=state_bits,
+        activation_bits=acts.compressed_bits,
+    )

@@ -1,0 +1,141 @@
+"""xorshift PRNG and the weight-recompute (WR) unit.
+
+Dropback resets pruned weights to their *initial* values, so the
+accelerator must be able to regenerate any initial weight on demand
+without storing the dense initialization.  The Procrustes WR unit
+(Section V, Figure 14) does this with three xorshift generators whose
+outputs are summed to approximate a Gaussian, scaled by a per-layer
+factor implementing Xavier/Kaiming initialization and the
+initial-weight decay, and added to the stored accumulated gradient
+(tracked weights) or zero (pruned weights).
+
+Crucially, the unit holds **no hidden state**: the output is a pure
+function of the seed and the weight index, which is what makes pruned
+storage free.  The models here are vectorized over index arrays but
+bit-exact per element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import InitialWeightDecay
+
+__all__ = ["xorshift32", "xorshift32_stream", "WeightRecomputeUnit"]
+
+_U32 = np.uint32
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+def xorshift32(state: np.ndarray | int) -> np.ndarray:
+    """One step of Marsaglia's 32-bit xorshift (13, 17, 5 triple).
+
+    Accepts scalars or arrays of uint32; zero states are mapped to a
+    non-zero constant first (xorshift has a fixed point at 0).
+    """
+    x = np.atleast_1d(np.asarray(state, dtype=_U32)).copy()
+    x[x == 0] = _U32(0x6D2B79F5)
+    x ^= (x << _U32(13)) & _MASK32
+    x ^= x >> _U32(17)
+    x ^= (x << _U32(5)) & _MASK32
+    return x
+
+
+def xorshift32_stream(seed: int, length: int) -> np.ndarray:
+    """Sequential xorshift stream of ``length`` values from ``seed``."""
+    if length < 0:
+        raise ValueError(f"length must be >= 0 (got {length})")
+    out = np.empty(length, dtype=_U32)
+    state = np.asarray([seed], dtype=_U32)
+    for i in range(length):
+        state = xorshift32(state)
+        out[i] = state[0]
+    return out
+
+
+def _mix(seed: int, stream: int, indices: np.ndarray) -> np.ndarray:
+    """Derive per-index starting states for one of the three streams.
+
+    A multiplicative hash decorrelates adjacent indices so the three
+    summed streams behave like independent uniforms per index.
+    """
+    golden = _U32(0x9E3779B9)
+    x = (indices.astype(np.uint64) * np.uint64(0x85EBCA6B)) & np.uint64(0xFFFFFFFF)
+    x = x.astype(_U32)
+    x ^= _U32((seed * 0x27D4EB2F + stream * 0x165667B1) & 0xFFFFFFFF)
+    x = (x + golden) & _MASK32
+    return x
+
+
+class WeightRecomputeUnit:
+    """Behavioural model of the per-PE WR unit.
+
+    Parameters
+    ----------
+    seed:
+        Global initialization seed (shared by all PEs; the weight index
+        selects the value, so every PE regenerates identical weights).
+    sigma:
+        Initialization standard deviation for the layer (from
+        :mod:`repro.nn.init`'s Xavier/Kaiming formulae).
+    decay:
+        The initial-weight decay schedule (Algorithm 3); the decayed
+        sigma is folded into the unit's scaling factor each iteration.
+    rounds:
+        xorshift steps applied to each mixed state before use; a couple
+        of rounds suffice to whiten the hash.
+    """
+
+    #: Sum of three U(0,1) has variance 3/12; dividing by sqrt(1/4)
+    #: normalizes the Irwin-Hall(3) sum to unit variance.
+    _IRWIN_HALL_STD = 0.5
+
+    def __init__(
+        self,
+        seed: int,
+        sigma: float,
+        decay: InitialWeightDecay | None = None,
+        rounds: int = 2,
+    ) -> None:
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be >= 0 (got {sigma})")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1 (got {rounds})")
+        self.seed = int(seed)
+        self.sigma = float(sigma)
+        self.decay = decay or InitialWeightDecay(decay=1.0, zero_after=None)
+        self.rounds = rounds
+
+    def _uniforms(self, stream: int, indices: np.ndarray) -> np.ndarray:
+        state = _mix(self.seed, stream, indices)
+        for _ in range(self.rounds):
+            state = xorshift32(state)
+        return state.astype(np.float64) / 4294967296.0
+
+    def raw_gaussian(self, indices: np.ndarray) -> np.ndarray:
+        """Unscaled ~N(0, 1) values for the given weight indices."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        total = sum(self._uniforms(stream, indices) for stream in range(3))
+        return (total - 1.5) / self._IRWIN_HALL_STD
+
+    def scaling_factor(self, iteration: int) -> float:
+        """The unit's current multiplier: sigma times the decay."""
+        return self.sigma * self.decay.multiplier(iteration)
+
+    def initial_weights(
+        self, indices: np.ndarray, iteration: int = 0
+    ) -> np.ndarray:
+        """Regenerated (decayed) initial values, as FP32."""
+        scale = self.scaling_factor(iteration)
+        return (self.raw_gaussian(indices) * scale).astype(np.float32)
+
+    def materialize(
+        self,
+        indices: np.ndarray,
+        accumulated: np.ndarray,
+        tracked: np.ndarray,
+        iteration: int,
+    ) -> np.ndarray:
+        """Full WR datapath: ``decayed_init + (accum if tracked else 0)``."""
+        init = self.initial_weights(indices, iteration).astype(np.float64)
+        return init + np.where(tracked, accumulated, 0.0)

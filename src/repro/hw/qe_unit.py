@@ -1,0 +1,93 @@
+"""The global quantile-engine (QE) hardware unit.
+
+Sits between the global buffer and DRAM (Figure 14): it watches the
+accumulated gradients flowing out during the weight-update phase,
+maintains the streaming quantile estimate (Algorithm 4, parallelized
+four-wide), and discards every gradient whose magnitude falls below
+the current threshold — those weights revert to pruned status and are
+never written back, which is what keeps the weight storage compressed.
+
+This model wraps :class:`repro.core.quantile.ParallelQuantileEstimator`
+with the filtering datapath and cycle/energy accounting the
+architecture model charges for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantile import ParallelQuantileEstimator, quantile_for_sparsity
+
+__all__ = ["QEUnitStats", "QuantileEngine"]
+
+
+@dataclass
+class QEUnitStats:
+    """Cumulative activity counters for the QE unit."""
+
+    observed: int = 0
+    retained: int = 0
+    discarded: int = 0
+    cycles: int = 0
+
+    @property
+    def retain_fraction(self) -> float:
+        return self.retained / self.observed if self.observed else 0.0
+
+
+class QuantileEngine:
+    """Filter a gradient stream against the running quantile estimate."""
+
+    def __init__(
+        self,
+        sparsity_factor: float,
+        updates_per_cycle: int = 4,
+        rho: float = 1e-3,
+        initial: float = 1e-6,
+    ) -> None:
+        if updates_per_cycle < 1:
+            raise ValueError(
+                f"updates_per_cycle must be >= 1 (got {updates_per_cycle})"
+            )
+        self.sparsity_factor = float(sparsity_factor)
+        self.updates_per_cycle = int(updates_per_cycle)
+        self._estimator = ParallelQuantileEstimator(
+            quantile_for_sparsity(sparsity_factor),
+            width=updates_per_cycle,
+            rho=rho,
+            initial=initial,
+        )
+        self.stats = QEUnitStats()
+
+    @property
+    def threshold(self) -> float:
+        return self._estimator.estimate
+
+    def filter(self, gradients: np.ndarray) -> np.ndarray:
+        """Pass one burst of accumulated gradients through the unit.
+
+        Returns the boolean keep-mask (True = written back to DRAM).
+        The comparison uses the threshold as of the burst start — the
+        estimate update happens behind the comparator, as in hardware.
+        """
+        gradients = np.asarray(gradients, dtype=np.float64).ravel()
+        magnitudes = np.abs(gradients)
+        keep = magnitudes > self.threshold
+        self._estimator.update_many(magnitudes)
+        self.stats.observed += gradients.size
+        kept = int(np.count_nonzero(keep))
+        self.stats.retained += kept
+        self.stats.discarded += gradients.size - kept
+        self.stats.cycles = self._estimator.cycles
+        return keep
+
+    def keeps_up_with(self, gradients_per_cycle: float) -> bool:
+        """Whether the unit can absorb the datapath's peak rate.
+
+        The paper extends DUMIQUE to four updates per cycle precisely
+        because the last VGG-S conv layer produces up to four gradients
+        per cycle.
+        """
+        return gradients_per_cycle <= self.updates_per_cycle

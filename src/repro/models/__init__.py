@@ -1,0 +1,32 @@
+"""The five paper CNNs: paper-scale specs and mini trainable variants."""
+
+from repro.models.densenet import mini_densenet, paper_densenet
+from repro.models.mobilenet import mini_mobilenet_v2, paper_mobilenet_v2
+from repro.models.resnet import mini_resnet, paper_resnet18
+from repro.models.vgg import mini_vgg_s, paper_vgg_s
+from repro.models.wrn import mini_wrn, paper_wrn_28_10
+from repro.models.zoo import (
+    MINI_MODELS,
+    PAPER_MODELS,
+    ModelEntry,
+    Table2Row,
+    get_specs,
+)
+
+__all__ = [
+    "mini_densenet",
+    "paper_densenet",
+    "mini_mobilenet_v2",
+    "paper_mobilenet_v2",
+    "mini_resnet",
+    "paper_resnet18",
+    "mini_vgg_s",
+    "paper_vgg_s",
+    "mini_wrn",
+    "paper_wrn_28_10",
+    "MINI_MODELS",
+    "PAPER_MODELS",
+    "ModelEntry",
+    "Table2Row",
+    "get_specs",
+]

@@ -1,0 +1,123 @@
+"""The paper's small DenseNet: growth 24, 3 blocks x 10 layers, 2.7M
+weights, CIFAR-10.
+
+Plain (non-bottleneck) dense layers with transitions that keep the
+channel count (no compression) reproduce the quoted 2.7M total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.model import Network
+from repro.workloads.layer_spec import LayerSpec, conv, fc
+
+__all__ = ["paper_densenet", "mini_densenet"]
+
+
+def paper_densenet(
+    growth: int = 24, blocks: int = 3, layers_per_block: int = 10
+) -> list[LayerSpec]:
+    """Paper-scale layer specs (CIFAR-10 input, 32x32)."""
+    specs: list[LayerSpec] = [
+        conv("conv0", c=3, k=growth, h=32, r=3)
+    ]
+    channels = growth
+    size = 32
+    for block in range(blocks):
+        for layer in range(layers_per_block):
+            specs.append(
+                conv(
+                    f"block{block}.layer{layer}",
+                    c=channels,
+                    k=growth,
+                    h=size,
+                    r=3,
+                )
+            )
+            channels += growth
+        if block != blocks - 1:
+            specs.append(
+                conv(
+                    f"trans{block}",
+                    c=channels,
+                    k=channels,
+                    h=size,
+                    r=1,
+                    padding=0,
+                )
+            )
+            size //= 2
+    specs.append(fc("fc", channels, 10))
+    return specs
+
+
+def _dense_layer(
+    name: str, in_channels: int, growth: int, rng: np.random.Generator
+) -> Concat:
+    body = Sequential(
+        [
+            BatchNorm2d(f"{name}.bn", in_channels),
+            ReLU(f"{name}.relu"),
+            Conv2d(f"{name}.conv", in_channels, growth, kernel=3, padding=1,
+                   rng=rng),
+        ],
+        name=f"{name}.body",
+    )
+    return Concat(body, name=name)
+
+
+def mini_densenet(
+    n_classes: int = 10,
+    in_channels: int = 3,
+    growth: int = 8,
+    blocks: int = 2,
+    layers_per_block: int = 3,
+    seed: int = 0,
+) -> Network:
+    """A trainable scaled-down DenseNet (concat growth intact)."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d("conv0", in_channels, growth, kernel=3, padding=1, rng=rng)
+    ]
+    channels = growth
+    for block in range(blocks):
+        for index in range(layers_per_block):
+            layers.append(
+                _dense_layer(f"block{block}.layer{index}", channels, growth,
+                             rng)
+            )
+            channels += growth
+        if block != blocks - 1:
+            layers.extend(
+                [
+                    Conv2d(
+                        f"trans{block}",
+                        channels,
+                        channels,
+                        kernel=1,
+                        padding=0,
+                        rng=rng,
+                    ),
+                    MaxPool2d(f"trans{block}.pool"),
+                ]
+            )
+    layers.extend(
+        [
+            BatchNorm2d("bn_final", channels),
+            ReLU("relu_final"),
+            GlobalAvgPool("gap"),
+            Linear("fc", channels, n_classes, rng=rng),
+        ]
+    )
+    return Network("mini-densenet", Sequential(layers, name="mini-densenet"))

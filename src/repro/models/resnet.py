@@ -1,0 +1,155 @@
+"""ResNet-18 (11.7M weights, ImageNet) — the paper's highest-sparsity
+target (11.7x with Dropback) — plus a mini trainable variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.model import Network
+from repro.workloads.layer_spec import LayerSpec, conv, fc
+
+__all__ = ["paper_resnet18", "mini_resnet"]
+
+
+def paper_resnet18() -> list[LayerSpec]:
+    """Paper-scale layer specs (ImageNet input, 224x224)."""
+    specs: list[LayerSpec] = [
+        conv("conv1", c=3, k=64, h=224, r=7, stride=2, padding=3)
+    ]
+    size = 56  # after 3x3 max pooling with stride 2
+    channels = 64
+    plan = ((64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2))
+    for stage_index, (width, blocks, first_stride) in enumerate(plan):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            prefix = f"layer{stage_index + 1}.{block}"
+            specs.append(
+                conv(
+                    f"{prefix}.conv1",
+                    c=channels,
+                    k=width,
+                    h=size,
+                    r=3,
+                    stride=stride,
+                )
+            )
+            out_size = size // stride
+            specs.append(
+                conv(f"{prefix}.conv2", c=width, k=width, h=out_size, r=3)
+            )
+            if stride != 1 or channels != width:
+                specs.append(
+                    conv(
+                        f"{prefix}.downsample",
+                        c=channels,
+                        k=width,
+                        h=size,
+                        r=1,
+                        stride=stride,
+                        padding=0,
+                    )
+                )
+            channels = width
+            size = out_size
+    specs.append(fc("fc", 512, 1000))
+    return specs
+
+
+def _basic_block(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> Residual:
+    body = Sequential(
+        [
+            Conv2d(
+                f"{name}.conv1",
+                in_channels,
+                out_channels,
+                kernel=3,
+                stride=stride,
+                padding=1,
+                rng=rng,
+            ),
+            BatchNorm2d(f"{name}.bn1", out_channels),
+            ReLU(f"{name}.relu1"),
+            Conv2d(
+                f"{name}.conv2",
+                out_channels,
+                out_channels,
+                kernel=3,
+                padding=1,
+                rng=rng,
+            ),
+            BatchNorm2d(f"{name}.bn2", out_channels),
+        ],
+        name=f"{name}.body",
+    )
+    shortcut = None
+    if stride != 1 or in_channels != out_channels:
+        shortcut = Sequential(
+            [
+                Conv2d(
+                    f"{name}.down",
+                    in_channels,
+                    out_channels,
+                    kernel=1,
+                    stride=stride,
+                    padding=0,
+                    rng=rng,
+                ),
+                BatchNorm2d(f"{name}.down_bn", out_channels),
+            ],
+            name=f"{name}.shortcut",
+        )
+    return Residual(body, shortcut, name=name)
+
+
+def mini_resnet(
+    n_classes: int = 10,
+    in_channels: int = 3,
+    width: int = 16,
+    blocks_per_stage: int = 2,
+    seed: int = 0,
+) -> Network:
+    """A trainable two-stage basic-block ResNet (the ResNet-18 shape)."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2d("conv1", in_channels, width, kernel=3, padding=1, rng=rng),
+        BatchNorm2d("bn1", width),
+        ReLU("relu1"),
+    ]
+    channels = width
+    for stage, (stage_width, stride) in enumerate(
+        ((width, 1), (2 * width, 2))
+    ):
+        for block in range(blocks_per_stage):
+            layers.append(
+                _basic_block(
+                    f"stage{stage}.block{block}",
+                    channels,
+                    stage_width,
+                    stride if block == 0 else 1,
+                    rng,
+                )
+            )
+            channels = stage_width
+    layers.extend(
+        [
+            GlobalAvgPool("gap"),
+            Linear("fc", channels, n_classes, rng=rng),
+        ]
+    )
+    return Network("mini-resnet", Sequential(layers, name="mini-resnet"))

@@ -1,0 +1,151 @@
+"""WRN-28-10: the wide residual network (36M weights, CIFAR-10).
+
+Depth 28 means three groups of four basic blocks (two 3x3 convs each)
+at widths 160/320/640; the paper's largest model and the one with the
+best Procrustes speedup (4x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.model import Network
+from repro.workloads.layer_spec import LayerSpec, conv, fc
+
+__all__ = ["paper_wrn_28_10", "mini_wrn"]
+
+
+def paper_wrn_28_10(width_multiplier: int = 10) -> list[LayerSpec]:
+    """Paper-scale layer specs (CIFAR-10 input, 32x32)."""
+    widths = (16 * width_multiplier, 32 * width_multiplier, 64 * width_multiplier)
+    blocks_per_group = 4  # (28 - 4) / 6
+    specs: list[LayerSpec] = [conv("conv1", c=3, k=16, h=32, r=3)]
+    channels = 16
+    size = 32
+    for group, group_width in enumerate(widths):
+        for block in range(blocks_per_group):
+            stride = 2 if (group > 0 and block == 0) else 1
+            prefix = f"group{group}.block{block}"
+            specs.append(
+                conv(
+                    f"{prefix}.conv1",
+                    c=channels,
+                    k=group_width,
+                    h=size,
+                    r=3,
+                    stride=stride,
+                )
+            )
+            out_size = size // stride
+            specs.append(
+                conv(f"{prefix}.conv2", c=group_width, k=group_width,
+                     h=out_size, r=3)
+            )
+            if channels != group_width or stride != 1:
+                specs.append(
+                    conv(
+                        f"{prefix}.shortcut",
+                        c=channels,
+                        k=group_width,
+                        h=size,
+                        r=1,
+                        stride=stride,
+                        padding=0,
+                    )
+                )
+            channels = group_width
+            size = out_size
+    specs.append(fc("fc", channels, 10))
+    return specs
+
+
+def _wide_block(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> Residual:
+    body = Sequential(
+        [
+            BatchNorm2d(f"{name}.bn1", in_channels),
+            ReLU(f"{name}.relu1"),
+            Conv2d(
+                f"{name}.conv1",
+                in_channels,
+                out_channels,
+                kernel=3,
+                stride=stride,
+                padding=1,
+                rng=rng,
+            ),
+            BatchNorm2d(f"{name}.bn2", out_channels),
+            ReLU(f"{name}.relu2"),
+            Conv2d(
+                f"{name}.conv2", out_channels, out_channels, kernel=3,
+                padding=1, rng=rng,
+            ),
+        ],
+        name=f"{name}.body",
+    )
+    shortcut = None
+    if in_channels != out_channels or stride != 1:
+        shortcut = Conv2d(
+            f"{name}.shortcut",
+            in_channels,
+            out_channels,
+            kernel=1,
+            stride=stride,
+            padding=0,
+            rng=rng,
+        )
+    # Pre-activation blocks sum without a trailing ReLU.
+    return Residual(body, shortcut, name=name, final_relu=False)
+
+
+def mini_wrn(
+    n_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: int = 2,
+    blocks_per_group: int = 1,
+    seed: int = 0,
+) -> Network:
+    """A trainable scaled-down WRN (pre-activation wide blocks)."""
+    rng = np.random.default_rng(seed)
+    base = 8
+    widths = (base * width_multiplier, 2 * base * width_multiplier)
+    layers = [
+        Conv2d("conv1", in_channels, base, kernel=3, padding=1, rng=rng)
+    ]
+    channels = base
+    for group, group_width in enumerate(widths):
+        for block in range(blocks_per_group):
+            stride = 2 if (group > 0 and block == 0) else 1
+            layers.append(
+                _wide_block(
+                    f"group{group}.block{block}",
+                    channels,
+                    group_width,
+                    stride,
+                    rng,
+                )
+            )
+            channels = group_width
+    layers.extend(
+        [
+            BatchNorm2d("bn_final", channels),
+            ReLU("relu_final"),
+            GlobalAvgPool("gap"),
+            Linear("fc", channels, n_classes, rng=rng),
+        ]
+    )
+    return Network("mini-wrn", Sequential(layers, name="mini-wrn"))

@@ -1,0 +1,57 @@
+"""NumPy DNN training substrate (the paper's PyTorch stand-in).
+
+Layers with explicit forward/backward, a cross-entropy network
+container, SGD, synthetic datasets, and a measuring training loop.
+"""
+
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.data import Dataset, make_blob_images, make_striped_images, minibatches
+from repro.nn.layers import (
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.model import Network
+from repro.nn.optim import SGD, DropbackConfig, DropbackOptimizer
+from repro.nn.schedules import ScheduledLR, cosine_decay, step_decay, warmup
+from repro.nn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "Dataset",
+    "make_blob_images",
+    "make_striped_images",
+    "minibatches",
+    "BatchNorm2d",
+    "Concat",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "Parameter",
+    "ReLU",
+    "Residual",
+    "Sequential",
+    "Network",
+    "SGD",
+    "DropbackConfig",
+    "DropbackOptimizer",
+    "ScheduledLR",
+    "cosine_decay",
+    "step_decay",
+    "warmup",
+    "Trainer",
+    "TrainingHistory",
+]

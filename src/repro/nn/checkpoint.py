@@ -1,0 +1,81 @@
+"""Checkpointing: persist models and Dropback optimizer state.
+
+Saves to a single ``.npz`` — parameters (plus batch-norm running
+statistics) for any :class:`~repro.nn.model.Network`, and optionally
+the Dropback state needed to resume sparse training bit-exactly: the
+initial weights, accumulated gradients, iteration counter, and (in
+quantile mode) the tracked mask and the estimator's register.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dropback import DropbackOptimizer
+from repro.nn.layers import BatchNorm2d
+from repro.nn.model import Network
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_PARAM = "param/"
+_BN = "bn/"
+_OPT = "opt/"
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Network,
+    optimizer: DropbackOptimizer | None = None,
+) -> None:
+    """Write model (and optionally optimizer) state to ``path``."""
+    arrays: dict[str, np.ndarray] = {}
+    for param in model.parameters():
+        arrays[_PARAM + param.name] = param.data
+    for layer in model.all_layers():
+        if isinstance(layer, BatchNorm2d):
+            arrays[_BN + layer.name + ".mean"] = layer.running_mean
+            arrays[_BN + layer.name + ".var"] = layer.running_var
+    if optimizer is not None:
+        arrays[_OPT + "iteration"] = np.array([optimizer.iteration])
+        for state in optimizer._prunable:
+            arrays[_OPT + "initial/" + state.param.name] = state.initial
+            arrays[_OPT + "accum/" + state.param.name] = state.accumulated
+        if optimizer._tracked_mask is not None:
+            arrays[_OPT + "tracked_mask"] = optimizer._tracked_mask
+        if optimizer.threshold is not None:
+            arrays[_OPT + "threshold"] = np.array([optimizer.threshold])
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Network,
+    optimizer: DropbackOptimizer | None = None,
+) -> None:
+    """Restore state saved by :func:`save_checkpoint` in place.
+
+    The model (and optimizer, if given) must have the same structure
+    as at save time; mismatched names raise ``KeyError``.
+    """
+    with np.load(Path(path)) as data:
+        for param in model.parameters():
+            param.data = data[_PARAM + param.name].copy()
+        for layer in model.all_layers():
+            if isinstance(layer, BatchNorm2d):
+                layer.running_mean = data[_BN + layer.name + ".mean"].copy()
+                layer.running_var = data[_BN + layer.name + ".var"].copy()
+        if optimizer is not None:
+            optimizer.iteration = int(data[_OPT + "iteration"][0])
+            for state in optimizer._prunable:
+                state.initial = data[_OPT + "initial/" + state.param.name].copy()
+                state.accumulated = data[
+                    _OPT + "accum/" + state.param.name
+                ].copy()
+            if _OPT + "tracked_mask" in data:
+                optimizer._tracked_mask = data[_OPT + "tracked_mask"].copy()
+            if _OPT + "threshold" in data and optimizer._tracker is not None:
+                optimizer._tracker._estimator._scalar._estimate = float(
+                    data[_OPT + "threshold"][0]
+                )

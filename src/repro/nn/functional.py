@@ -1,0 +1,378 @@
+"""Low-level forward/backward kernels for the training substrate.
+
+The paper trains its models with PyTorch; offline we implement the
+needed operators from scratch on NumPy.  Layouts follow the paper's
+loop nest (Algorithm 1): activations are ``(N, C, H, W)``, convolution
+weights are ``(K, C/groups, R, S)``.
+
+Every forward function returns ``(output, cache)`` and has a matching
+``*_backward(dout, cache)`` that returns gradients in the same order
+as the forward inputs.  All kernels are batched and vectorized; the
+only Python-level loop is the R x S scatter in the convolution input
+gradient (at most ``R*S`` iterations).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "conv2d",
+    "conv2d_backward",
+    "conv2d_weight_grad",
+    "linear",
+    "linear_backward",
+    "batchnorm2d",
+    "batchnorm2d_backward",
+    "relu",
+    "relu_backward",
+    "maxpool2d",
+    "maxpool2d_backward",
+    "global_avgpool",
+    "global_avgpool_backward",
+    "softmax",
+    "cross_entropy",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapses to {out} "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+class _ConvCache(NamedTuple):
+    x_shape: tuple[int, ...]
+    windows: np.ndarray  # (N, G, Cg, P, Q, R, S) strided view into padded x
+    weight_shape: tuple[int, ...]
+    weight_grouped: np.ndarray  # (G, Kg, Cg, R, S)
+    stride: int
+    padding: int
+    groups: int
+
+
+def _grouped_windows(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int, groups: int
+) -> np.ndarray:
+    """Return strided sliding windows shaped ``(N, G, Cg, P, Q, R, S)``."""
+    n, c, _, _ = x.shape
+    if c % groups:
+        raise ValueError(f"channels {c} not divisible by groups {groups}")
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    windows = sliding_window_view(x, kernel, axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    _, _, p, q, r, s = windows.shape
+    return windows.reshape(n, groups, c // groups, p, q, r, s)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> tuple[np.ndarray, _ConvCache]:
+    """2-D convolution forward pass (Figure 2a).
+
+    ``x``: (N, C, H, W); ``weight``: (K, C/groups, R, S);
+    returns ``y``: (N, K, P, Q).
+    """
+    k, cg, r, s = weight.shape
+    if k % groups:
+        raise ValueError(f"out channels {k} not divisible by groups {groups}")
+    windows = _grouped_windows(x, (r, s), stride, padding, groups)
+    if windows.shape[2] != cg:
+        raise ValueError(
+            f"weight expects {cg} channels/group, input provides "
+            f"{windows.shape[2]}"
+        )
+    w_grouped = weight.reshape(groups, k // groups, cg, r, s)
+    y = np.einsum(
+        "ngcpqrs,gkcrs->ngkpq", windows, w_grouped, optimize=True
+    )
+    n = x.shape[0]
+    y = y.reshape(n, k, y.shape[3], y.shape[4])
+    if bias is not None:
+        y = y + bias[None, :, None, None]
+    cache = _ConvCache(
+        x_shape=x.shape,
+        windows=windows,
+        weight_shape=weight.shape,
+        weight_grouped=w_grouped,
+        stride=stride,
+        padding=padding,
+        groups=groups,
+    )
+    return y, cache
+
+
+def conv2d_backward(
+    dout: np.ndarray, cache: _ConvCache, need_dx: bool = True
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Gradients of :func:`conv2d`.
+
+    Returns ``(dx, dweight, dbias)``.  The input gradient corresponds
+    to the paper's backward pass (convolution with 180-degree-rotated
+    filters, Figure 2b) and the weight gradient to the weight-update
+    pass (Figure 2c); both fall out of the same cached windows.
+    ``need_dx=False`` skips the input gradient (first layer).
+    """
+    n, c, h, w = cache.x_shape
+    k, cg, r, s = cache.weight_shape
+    groups = cache.groups
+    stride = cache.stride
+    padding = cache.padding
+    kg = k // groups
+    p, q = dout.shape[2], dout.shape[3]
+    dout_g = dout.reshape(n, groups, kg, p, q)
+
+    dweight = np.einsum(
+        "ngcpqrs,ngkpq->gkcrs", cache.windows, dout_g, optimize=True
+    ).reshape(k, cg, r, s)
+    dbias = dout.sum(axis=(0, 2, 3))
+
+    dx = None
+    if need_dx:
+        hp, wp = h + 2 * padding, w + 2 * padding
+        dxp = np.zeros((n, groups, c // groups, hp, wp), dtype=dout.dtype)
+        wg = cache.weight_grouped
+        for ri in range(r):
+            for si in range(s):
+                # contribution of filter tap (ri, si) to every input
+                # position it touched: x[.., p*stride+ri, q*stride+si]
+                contrib = np.einsum(
+                    "gkc,ngkpq->ngcpq", wg[:, :, :, ri, si], dout_g,
+                    optimize=True,
+                )
+                dxp[
+                    :,
+                    :,
+                    :,
+                    ri : ri + stride * p : stride,
+                    si : si + stride * q : stride,
+                ] += contrib
+        dxp = dxp.reshape(n, c, hp, wp)
+        if padding:
+            dx = dxp[:, :, padding:-padding, padding:-padding]
+        else:
+            dx = dxp
+    return dx, dweight, dbias
+
+
+def conv2d_weight_grad(
+    x: np.ndarray,
+    dout: np.ndarray,
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Standalone weight-update convolution (Figure 2c).
+
+    Computes ``dL/dW = x * dL/dy`` without a cached forward pass — the
+    form the accelerator's weight-update phase executes.  ``x`` is
+    (N, C, H, W), ``dout`` is (N, K, P, Q); returns (K, C/groups, R, S).
+    """
+    r, s = kernel
+    windows = _grouped_windows(x, (r, s), stride, padding, groups)
+    n, k = dout.shape[0], dout.shape[1]
+    dout_g = dout.reshape(n, groups, k // groups, dout.shape[2], dout.shape[3])
+    dweight = np.einsum(
+        "ngcpqrs,ngkpq->gkcrs", windows, dout_g, optimize=True
+    )
+    return dweight.reshape(k, windows.shape[2], r, s)
+
+
+class _LinearCache(NamedTuple):
+    x: np.ndarray
+
+
+def linear(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> tuple[np.ndarray, _LinearCache]:
+    """Fully-connected forward: ``y = x @ W.T + b``.
+
+    ``x``: (N, C_in); ``weight``: (C_out, C_in).
+    """
+    y = x @ weight.T
+    if bias is not None:
+        y = y + bias
+    return y, _LinearCache(x=x)
+
+
+def linear_backward(
+    dout: np.ndarray, weight: np.ndarray, cache: _LinearCache
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of :func:`linear`: ``(dx, dweight, dbias)``.
+
+    ``dx = dout @ W`` is the fc analogue of the backward pass (the
+    transpose access the CSB format must support, Section II-D).
+    """
+    dx = dout @ weight
+    dweight = dout.T @ cache.x
+    dbias = dout.sum(axis=0)
+    return dx, dweight, dbias
+
+
+class _BatchNormCache(NamedTuple):
+    x_hat: np.ndarray
+    inv_std: np.ndarray
+    gamma: np.ndarray
+
+
+def batchnorm2d(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> tuple[np.ndarray, _BatchNormCache | None]:
+    """Batch normalization over (N, H, W) per channel.
+
+    In training mode the running statistics are updated in place.  The
+    paper leans on batch norm's ubiquity: it is what destroys gradient
+    sparsity in the backward pass (Section II-B), which is why
+    Procrustes does not try to exploit dL/dy sparsity.
+    """
+    if training:
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    y = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
+    cache = (
+        _BatchNormCache(x_hat=x_hat, inv_std=inv_std, gamma=gamma)
+        if training
+        else None
+    )
+    return y, cache
+
+
+def batchnorm2d_backward(
+    dout: np.ndarray, cache: _BatchNormCache
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of training-mode :func:`batchnorm2d`.
+
+    Returns ``(dx, dgamma, dbeta)``.  Note dx is dense even when dout
+    is sparse — the effect the paper highlights for dL/dy.
+    """
+    x_hat, inv_std, gamma = cache
+    dgamma = (dout * x_hat).sum(axis=(0, 2, 3))
+    dbeta = dout.sum(axis=(0, 2, 3))
+    dx_hat = dout * gamma[None, :, None, None]
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=(0, 2, 3), keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+    ) * inv_std[None, :, None, None]
+    return dx, dgamma, dbeta
+
+
+def relu(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """ReLU forward; the cache is the positive mask.
+
+    The mask's density is the activation sparsity the weight-update
+    phase exploits (Section II-B).
+    """
+    mask = x > 0.0
+    return x * mask, mask
+
+
+def relu_backward(dout: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return dout * mask
+
+
+class _MaxPoolCache(NamedTuple):
+    x_shape: tuple[int, ...]
+    argmax: np.ndarray
+    kernel: int
+
+
+def maxpool2d(x: np.ndarray, kernel: int = 2) -> tuple[np.ndarray, _MaxPoolCache]:
+    """Non-overlapping max pooling with ``stride == kernel``.
+
+    Spatial extents must be divisible by the kernel (all models in the
+    zoo are constructed to satisfy this).
+    """
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial dims ({h}, {w}) not divisible by pool kernel {kernel}"
+        )
+    ph, pw = h // kernel, w // kernel
+    tiles = x.reshape(n, c, ph, kernel, pw, kernel)
+    tiles = tiles.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, ph, pw, kernel * kernel)
+    argmax = tiles.argmax(axis=-1)
+    y = np.take_along_axis(tiles, argmax[..., None], axis=-1)[..., 0]
+    return y, _MaxPoolCache(x_shape=x.shape, argmax=argmax, kernel=kernel)
+
+
+def maxpool2d_backward(dout: np.ndarray, cache: _MaxPoolCache) -> np.ndarray:
+    n, c, h, w = cache.x_shape
+    kernel = cache.kernel
+    ph, pw = h // kernel, w // kernel
+    dtiles = np.zeros((n, c, ph, pw, kernel * kernel), dtype=dout.dtype)
+    np.put_along_axis(dtiles, cache.argmax[..., None], dout[..., None], axis=-1)
+    dtiles = dtiles.reshape(n, c, ph, pw, kernel, kernel)
+    dx = dtiles.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+    return dx
+
+
+def global_avgpool(x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Mean over spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3)), x.shape
+
+
+def global_avgpool_backward(dout: np.ndarray, x_shape: tuple[int, ...]) -> np.ndarray:
+    n, c, h, w = x_shape
+    scale = 1.0 / (h * w)
+    return np.broadcast_to(
+        dout[:, :, None, None] * scale, (n, c, h, w)
+    ).copy()
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    ``labels`` are integer class indices, shape (N,).
+    """
+    n = logits.shape[0]
+    probs = softmax(logits)
+    clipped = np.clip(probs[np.arange(n), labels], 1e-12, None)
+    loss = float(-np.log(clipped).mean())
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits

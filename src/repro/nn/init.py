@@ -1,0 +1,68 @@
+"""Weight initialization formulae.
+
+The WR unit in Procrustes (Section V) regenerates initial weights from
+a PRNG scaled to match "popular initialization formulae like Xavier or
+Kaiming".  This module provides those scale computations for both the
+software substrate (Gaussian draws from a seeded NumPy generator) and
+the hardware model (:mod:`repro.hw.prng`), so both agree on variance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "fan_in_fan_out",
+    "xavier_std",
+    "kaiming_std",
+    "gaussian_init",
+]
+
+
+def fan_in_fan_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in/fan-out of a weight tensor.
+
+    Linear weights are ``(out, in)``; conv weights are
+    ``(K, C/groups, R, S)`` with receptive-field size folded in.
+    """
+    if len(shape) == 2:
+        out_features, in_features = shape
+        return in_features, out_features
+    if len(shape) == 4:
+        k, cg, r, s = shape
+        receptive = r * s
+        return cg * receptive, k * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def xavier_std(shape: tuple[int, ...]) -> float:
+    """Glorot normal standard deviation: sqrt(2 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_fan_out(shape)
+    return math.sqrt(2.0 / (fan_in + fan_out))
+
+
+def kaiming_std(shape: tuple[int, ...]) -> float:
+    """He normal standard deviation for ReLU nets: sqrt(2 / fan_in)."""
+    fan_in, _ = fan_in_fan_out(shape)
+    return math.sqrt(2.0 / fan_in)
+
+
+def gaussian_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    scheme: str = "kaiming",
+) -> np.ndarray:
+    """Draw an initial weight tensor ``W(0) ~ N(0, sigma)``.
+
+    ``scheme`` is ``"kaiming"`` (default for the conv nets in the
+    paper's zoo) or ``"xavier"``.
+    """
+    if scheme == "kaiming":
+        std = kaiming_std(shape)
+    elif scheme == "xavier":
+        std = xavier_std(shape)
+    else:
+        raise ValueError(f"unknown init scheme {scheme!r}")
+    return rng.normal(0.0, std, size=shape)

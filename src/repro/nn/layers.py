@@ -1,0 +1,424 @@
+"""Layer classes for the training substrate.
+
+Each layer owns its :class:`Parameter` objects, caches what its
+backward pass needs during ``forward``, and implements ``backward``
+returning the gradient with respect to its input while filling
+``param.grad``.  There is no autograd tape — the composition rules of
+the five paper networks (sequential, residual add, dense concat) are
+expressed as composite layers, which keeps the substrate small and
+makes every gradient path explicit and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import gaussian_init
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Sequential",
+    "Residual",
+    "Concat",
+]
+
+
+class Parameter:
+    """A named trainable tensor.
+
+    ``prunable`` marks tensors that participate in Dropback tracking
+    (conv and fc weights); biases and batch-norm affine parameters are
+    dense, matching the paper's setup.
+    """
+
+    def __init__(self, name: str, data: np.ndarray, prunable: bool = False) -> None:
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.prunable = prunable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        tag = "prunable" if self.prunable else "dense"
+        return f"Parameter({self.name!r}, shape={self.shape}, {tag})"
+
+
+class Layer:
+    """Base class: a differentiable module with explicit state."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Conv2d(Layer):
+    """2-D convolution with optional grouping (depthwise for MobileNet)."""
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        groups: int = 1,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+        init_scheme: str = "kaiming",
+    ) -> None:
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}, {out_channels}) must divide "
+                f"groups {groups}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.name = name
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel, kernel)
+        self.weight = Parameter(
+            f"{name}.weight",
+            gaussian_init(shape, rng, scheme=init_scheme),
+            prunable=True,
+        )
+        self.bias = (
+            Parameter(f"{name}.bias", np.zeros(out_channels)) if bias else None
+        )
+        self._cache = None
+        self._needs_dx = True
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        y, cache = F.conv2d(
+            x,
+            self.weight.data,
+            bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+        self._cache = cache if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx, dweight, dbias = F.conv2d_backward(
+            dout, self._cache, need_dx=self._needs_dx
+        )
+        self.weight.grad = dweight
+        if self.bias is not None:
+            self.bias.grad = dbias
+        self._cache = None
+        return dx if dx is not None else np.zeros(0)
+
+    def mark_first_layer(self) -> None:
+        """Skip the input gradient (no layer upstream needs it)."""
+        self._needs_dx = False
+
+
+class Linear(Layer):
+    """Fully-connected layer."""
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        init_scheme: str = "kaiming",
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.name = name
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            f"{name}.weight",
+            gaussian_init((out_features, in_features), rng, scheme=init_scheme),
+            prunable=True,
+        )
+        self.bias = (
+            Parameter(f"{name}.bias", np.zeros(out_features)) if bias else None
+        )
+        self._cache = None
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        y, cache = F.linear(x, self.weight.data, bias)
+        self._cache = cache if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx, dweight, dbias = F.linear_backward(
+            dout, self.weight.data, self._cache
+        )
+        self.weight.grad = dweight
+        if self.bias is not None:
+            self.bias.grad = dbias
+        self._cache = None
+        return dx
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization with running statistics."""
+
+    def __init__(self, name: str, channels: int, momentum: float = 0.1) -> None:
+        self.name = name
+        self.channels = channels
+        self.momentum = momentum
+        self.gamma = Parameter(f"{name}.gamma", np.ones(channels))
+        self.beta = Parameter(f"{name}.beta", np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y, cache = F.batchnorm2d(
+            x,
+            self.gamma.data,
+            self.beta.data,
+            self.running_mean,
+            self.running_var,
+            training=training,
+            momentum=self.momentum,
+        )
+        self._cache = cache
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx, dgamma, dbeta = F.batchnorm2d_backward(dout, self._cache)
+        self.gamma.grad = dgamma
+        self.beta.grad = dbeta
+        self._cache = None
+        return dx
+
+
+class ReLU(Layer):
+    """ReLU; records output density for the activation-sparsity model."""
+
+    def __init__(self, name: str = "relu") -> None:
+        self.name = name
+        self.last_density: float | None = None
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y, mask = F.relu(x)
+        self.last_density = float(mask.mean())
+        self._mask = mask if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = F.relu_backward(dout, self._mask)
+        self._mask = None
+        return dx
+
+
+class MaxPool2d(Layer):
+    def __init__(self, name: str = "pool", kernel: int = 2) -> None:
+        self.name = name
+        self.kernel = kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y, cache = F.maxpool2d(x, kernel=self.kernel)
+        self._cache = cache if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = F.maxpool2d_backward(dout, self._cache)
+        self._cache = None
+        return dx
+
+
+class GlobalAvgPool(Layer):
+    def __init__(self, name: str = "gap") -> None:
+        self.name = name
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y, shape = F.global_avgpool(x)
+        self._shape = shape
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = F.global_avgpool_backward(dout, self._shape)
+        self._shape = None
+        return dx
+
+
+class Flatten(Layer):
+    def __init__(self, name: str = "flatten") -> None:
+        self.name = name
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = dout.reshape(self._shape)
+        self._shape = None
+        return dx
+
+
+class Sequential(Layer):
+    """Chain of layers, evaluated in order."""
+
+    def __init__(self, layers: list[Layer], name: str = "seq") -> None:
+        self.name = name
+        self.layers = list(layers)
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+
+class Residual(Layer):
+    """``y = relu(body(x) + shortcut(x))`` — the ResNet/WRN building block.
+
+    ``shortcut`` is identity when ``None``; otherwise a (projection)
+    layer applied to the skip path.
+    """
+
+    def __init__(
+        self,
+        body: Layer,
+        shortcut: Layer | None = None,
+        name: str = "res",
+        final_relu: bool = True,
+    ) -> None:
+        self.name = name
+        self.body = body
+        self.shortcut = shortcut
+        self.final_relu = ReLU(f"{name}.relu") if final_relu else None
+
+    def parameters(self) -> list[Parameter]:
+        params = self.body.parameters()
+        if self.shortcut is not None:
+            params.extend(self.shortcut.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        main = self.body.forward(x, training=training)
+        skip = (
+            self.shortcut.forward(x, training=training)
+            if self.shortcut is not None
+            else x
+        )
+        y = main + skip
+        if self.final_relu is not None:
+            y = self.final_relu.forward(y, training=training)
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self.final_relu is not None:
+            dout = self.final_relu.backward(dout)
+        dmain = self.body.backward(dout)
+        dskip = (
+            self.shortcut.backward(dout) if self.shortcut is not None else dout
+        )
+        return dmain + dskip
+
+
+class Concat(Layer):
+    """``y = concat([x, body(x)], channel_axis)`` — DenseNet's growth step."""
+
+    def __init__(self, body: Layer, name: str = "dense") -> None:
+        self.name = name
+        self.body = body
+        self._in_channels = None
+
+    def parameters(self) -> list[Parameter]:
+        return self.body.parameters()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._in_channels = x.shape[1]
+        new = self.body.forward(x, training=training)
+        return np.concatenate([x, new], axis=1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._in_channels is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        c = self._in_channels
+        dx_passthrough = dout[:, :c]
+        dnew = dout[:, c:]
+        dx_body = self.body.backward(dnew)
+        self._in_channels = None
+        return dx_passthrough + dx_body

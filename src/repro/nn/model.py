@@ -1,0 +1,143 @@
+"""Network container: a classifier built from substrate layers.
+
+Adds the conveniences the experiments need on top of
+:class:`~repro.nn.layers.Sequential`: loss-coupled forward/backward,
+parameter accounting (dense size / MACs, matching Table II's columns),
+and measurement of per-layer activation densities for the architecture
+model's weight-update phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Layer, Linear, Parameter, ReLU, Sequential
+
+__all__ = ["Network"]
+
+
+def _collect_layers(layer: Layer) -> list[Layer]:
+    """Depth-first flat list of all sub-layers."""
+    found = [layer]
+    for attr in ("layers",):
+        for child in getattr(layer, attr, []):
+            found.extend(_collect_layers(child))
+    for attr in ("body", "shortcut", "final_relu"):
+        child = getattr(layer, attr, None)
+        if isinstance(child, Layer):
+            found.extend(_collect_layers(child))
+    return found
+
+
+class Network:
+    """A classification network: layers plus a cross-entropy head."""
+
+    def __init__(self, name: str, trunk: Sequential) -> None:
+        self.name = name
+        self.trunk = trunk
+        first_conv = next(
+            (
+                layer
+                for layer in self.all_layers()
+                if isinstance(layer, Conv2d)
+            ),
+            None,
+        )
+        if first_conv is not None:
+            first_conv.mark_first_layer()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def all_layers(self) -> list[Layer]:
+        return _collect_layers(self.trunk)
+
+    def parameters(self) -> list[Parameter]:
+        return self.trunk.parameters()
+
+    def parameter_count(self) -> int:
+        """Total trainable scalars (the paper's "dense size" column)."""
+        return sum(p.size for p in self.parameters())
+
+    def prunable_count(self) -> int:
+        """Scalars subject to Dropback tracking (conv + fc weights)."""
+        return sum(p.size for p in self.parameters() if p.prunable)
+
+    def zero_grad(self) -> None:
+        self.trunk.zero_grad()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.trunk.forward(x, training=training)
+
+    def loss_and_grad(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, float]:
+        """One training step's forward+backward; fills ``.grad``.
+
+        Returns ``(loss, minibatch_accuracy)``.
+        """
+        logits = self.forward(x, training=True)
+        loss, dlogits = F.cross_entropy(logits, labels)
+        accuracy = float((logits.argmax(axis=1) == labels).mean())
+        self.trunk.backward(dlogits)
+        return loss, accuracy
+
+    def evaluate(
+        self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256
+    ) -> tuple[float, float]:
+        """Inference-mode loss and accuracy over a dataset."""
+        losses = []
+        correct = 0
+        for start in range(0, x.shape[0], batch_size):
+            xb = x[start : start + batch_size]
+            yb = labels[start : start + batch_size]
+            logits = self.forward(xb, training=False)
+            loss, _ = F.cross_entropy(logits, yb)
+            losses.append(loss * xb.shape[0])
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        n = x.shape[0]
+        return sum(losses) / n, correct / n
+
+    # ------------------------------------------------------------------
+    # measurement hooks for the architecture model
+    # ------------------------------------------------------------------
+    def activation_densities(self) -> dict[str, float]:
+        """Most recent post-ReLU densities, keyed by ReLU layer name.
+
+        These are the input-activation densities the weight-update
+        phase can exploit (Section II-B); feed them to
+        :mod:`repro.workloads.sparsity` to drive the energy model with
+        measured rather than assumed sparsity.
+        """
+        return {
+            layer.name: layer.last_density
+            for layer in self.all_layers()
+            if isinstance(layer, ReLU) and layer.last_density is not None
+        }
+
+    def weight_shapes(self) -> dict[str, tuple[int, ...]]:
+        """Shapes of all prunable tensors, keyed by parameter name."""
+        return {
+            p.name: p.shape for p in self.parameters() if p.prunable
+        }
+
+    def describe(self) -> str:
+        """One-line-per-layer structural summary."""
+        lines = [f"Network {self.name}: {self.parameter_count():,} params"]
+        for layer in self.all_layers():
+            if isinstance(layer, Conv2d):
+                lines.append(
+                    f"  conv {layer.name}: {layer.in_channels}->"
+                    f"{layer.out_channels} k{layer.kernel} s{layer.stride} "
+                    f"g{layer.groups}"
+                )
+            elif isinstance(layer, Linear):
+                lines.append(
+                    f"  fc {layer.name}: {layer.in_features}->"
+                    f"{layer.out_features}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Optimizers for the substrate.
+
+:class:`SGD` is the dense baseline (the paper's "baseline (SGD)"
+curves); the sparse-training optimizer lives in
+:mod:`repro.core.dropback` and is re-exported here so training code can
+import both from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dropback import DropbackConfig, DropbackOptimizer
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "DropbackOptimizer", "DropbackConfig"]
+
+
+class SGD:
+    """Plain minibatch SGD with optional momentum and L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError(f"lr must be positive (got {lr})")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1) (got {momentum})")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+        self.iteration = 0
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None:
+                raise ValueError(
+                    f"parameter {param.name!r} has no gradient; run backward "
+                    "before step()"
+                )
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum > 0.0:
+                velocity = self._velocity.setdefault(
+                    id(param), np.zeros_like(param.data)
+                )
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data = param.data - self.lr * grad
+        self.iteration += 1

@@ -1,0 +1,102 @@
+"""Learning-rate schedules for the substrate's optimizers.
+
+The paper trains hundreds of epochs with standard schedules; the mini
+runs mostly use constant rates, but the schedules are provided for the
+longer experiments and as library functionality.  A schedule is a
+callable ``iteration -> multiplier`` applied to the optimizer's base
+learning rate via :class:`ScheduledLR`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+__all__ = ["step_decay", "cosine_decay", "warmup", "ScheduledLR"]
+
+
+def step_decay(
+    boundaries: Sequence[int], factor: float = 0.1
+) -> Callable[[int], float]:
+    """Multiply the rate by ``factor`` at each boundary iteration."""
+    if factor <= 0.0:
+        raise ValueError(f"factor must be positive (got {factor})")
+    sorted_bounds = sorted(boundaries)
+
+    def schedule(iteration: int) -> float:
+        crossed = sum(1 for b in sorted_bounds if iteration >= b)
+        return factor ** crossed
+
+    return schedule
+
+
+def cosine_decay(
+    total_iterations: int, floor: float = 0.0
+) -> Callable[[int], float]:
+    """Cosine anneal from 1 to ``floor`` over ``total_iterations``."""
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    if not 0.0 <= floor <= 1.0:
+        raise ValueError(f"floor must lie in [0, 1] (got {floor})")
+
+    def schedule(iteration: int) -> float:
+        progress = min(iteration / total_iterations, 1.0)
+        return floor + (1.0 - floor) * 0.5 * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+    return schedule
+
+
+def warmup(
+    iterations: int, base: Callable[[int], float] | None = None
+) -> Callable[[int], float]:
+    """Linear ramp from 0 to 1 over ``iterations``, then ``base``."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    def schedule(iteration: int) -> float:
+        if iteration < iterations:
+            return (iteration + 1) / iterations
+        return base(iteration - iterations) if base else 1.0
+
+    return schedule
+
+
+class ScheduledLR:
+    """Wrap an optimizer so each ``step()`` applies a schedule.
+
+    Works with any optimizer exposing ``lr`` (``repro.nn.optim.SGD``)
+    or a ``config.lr`` (``DropbackOptimizer``).
+    """
+
+    def __init__(self, optimizer, schedule: Callable[[int], float]) -> None:
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self._base_lr = self._get_lr()
+        self._iteration = 0
+
+    def _get_lr(self) -> float:
+        if hasattr(self.optimizer, "lr"):
+            return self.optimizer.lr
+        return self.optimizer.config.lr
+
+    def _set_lr(self, value: float) -> None:
+        if hasattr(self.optimizer, "lr"):
+            self.optimizer.lr = value
+        else:
+            self.optimizer.config.lr = value
+
+    @property
+    def current_lr(self) -> float:
+        return self._base_lr * self.schedule(self._iteration)
+
+    def step(self) -> None:
+        self._set_lr(self.current_lr)
+        self.optimizer.step()
+        self._iteration += 1
+
+    def __getattr__(self, name: str):
+        # Delegate reporting helpers (masks, sparsity, ...) to the
+        # wrapped optimizer.
+        return getattr(self.optimizer, name)

@@ -1,0 +1,120 @@
+"""Training loop with the measurement hooks the experiments need.
+
+Produces the validation-accuracy-versus-epoch curves of Figures 6, 7,
+15 and 16, the achieved-sparsity column of Table II, and measured
+activation densities for the architecture model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import Dataset, minibatches
+from repro.nn.model import Network
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record."""
+
+    epochs: list[int] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    sparsity_factor: list[float] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def final_val_accuracy(self) -> float:
+        if not self.val_accuracy:
+            raise ValueError("no epochs recorded")
+        return self.val_accuracy[-1]
+
+    @property
+    def best_val_accuracy(self) -> float:
+        if not self.val_accuracy:
+            raise ValueError("no epochs recorded")
+        return max(self.val_accuracy)
+
+    def epochs_to_reach(self, accuracy: float) -> int | None:
+        """First epoch whose validation accuracy meets the target."""
+        for epoch, acc in zip(self.epochs, self.val_accuracy):
+            if acc >= accuracy:
+                return epoch
+        return None
+
+
+class Trainer:
+    """Runs epochs of minibatch training and records history.
+
+    The optimizer is any object with a ``step()`` method consuming the
+    ``.grad`` fields (``repro.nn.optim.SGD`` or
+    ``repro.core.DropbackOptimizer``).
+    """
+
+    def __init__(
+        self,
+        model: Network,
+        optimizer,
+        train: Dataset,
+        val: Dataset,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.train_set = train
+        self.val_set = val
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self.history = TrainingHistory()
+        #: mean post-ReLU densities observed during the last epoch,
+        #: keyed by layer name — input to the wu-phase sparsity model.
+        self.activation_densities: dict[str, list[float]] = {}
+
+    def run(self, epochs: int) -> TrainingHistory:
+        """Train for ``epochs`` epochs, evaluating after each."""
+        for _ in range(epochs):
+            self._run_epoch()
+        return self.history
+
+    def _run_epoch(self) -> None:
+        losses: list[float] = []
+        accs: list[float] = []
+        for images, labels in minibatches(
+            self.train_set, self.batch_size, self._rng
+        ):
+            self.model.zero_grad()
+            loss, acc = self.model.loss_and_grad(images, labels)
+            self.optimizer.step()
+            losses.append(loss)
+            accs.append(acc)
+            self.history.iterations += 1
+            self._record_densities()
+        _, val_acc = self.model.evaluate(
+            self.val_set.images, self.val_set.labels
+        )
+        epoch = len(self.history.epochs) + 1
+        self.history.epochs.append(epoch)
+        self.history.train_loss.append(float(np.mean(losses)))
+        self.history.train_accuracy.append(float(np.mean(accs)))
+        self.history.val_accuracy.append(val_acc)
+        sparsity = getattr(self.optimizer, "achieved_sparsity_factor", None)
+        self.history.sparsity_factor.append(
+            float(sparsity()) if callable(sparsity) else 1.0
+        )
+
+    def _record_densities(self) -> None:
+        for name, density in self.model.activation_densities().items():
+            self.activation_densities.setdefault(name, []).append(density)
+
+    def mean_activation_densities(self) -> dict[str, float]:
+        """Average observed post-ReLU density per layer."""
+        return {
+            name: float(np.mean(values))
+            for name, values in self.activation_densities.items()
+        }

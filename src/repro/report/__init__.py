@@ -1,0 +1,27 @@
+"""Result rendering and export: ASCII plots, CSV/JSON writers."""
+
+from repro.report.ascii_plot import (
+    bar_chart,
+    grouped_bars,
+    histogram,
+    line_plot,
+    sparkline,
+)
+from repro.report.export import (
+    ResultsDirectory,
+    experiment_record,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bars",
+    "histogram",
+    "line_plot",
+    "sparkline",
+    "ResultsDirectory",
+    "experiment_record",
+    "write_csv",
+    "write_json",
+]

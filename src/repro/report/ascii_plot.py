@@ -1,0 +1,161 @@
+"""Plain-text charts for terminal-rendered experiment output.
+
+The harness regenerates the paper's figures as data; these helpers
+make the shapes visible without matplotlib (offline environment):
+bar charts for the energy breakdowns (Figs 1/17/18), histograms for
+the imbalance distributions (Figs 5/13), and line plots for the
+accuracy-over-epoch curves (Figs 6/7/15/16).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "bar_chart",
+    "histogram",
+    "line_plot",
+    "grouped_bars",
+    "sparkline",
+]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ"
+        )
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines: list[str] = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(max(values), 1e-300)
+    label_w = max(len(s) for s in labels)
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError(f"bar values must be >= 0 (got {value})")
+        n = int(round(width * value / peak))
+        lines.append(
+            f"{label:<{label_w}} |{'█' * n:<{width}}| {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(
+    fractions: Mapping[float, float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Paper-style binned histogram (bin center -> fraction)."""
+    labels = [f"{center:7.1%}" for center in fractions]
+    values = [max(0.0, f) for f in fractions.values()]
+    chart = bar_chart(labels, values, width=width, title=title)
+    # Re-render values as percentages.
+    out = []
+    for line, frac in zip(
+        chart.splitlines()[1 if title else 0 :], fractions.values()
+    ):
+        head, _, _ = line.rpartition("| ")
+        out.append(f"{head}| {frac:.1%}")
+    prefix = [title] if title else []
+    return "\n".join(prefix + out)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 68,
+    height: int = 14,
+    title: str | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Multi-series character line plot (one glyph per series).
+
+    X is the sample index rescaled to ``width``; Y spans ``y_range``
+    (defaults to the data's min/max).  Used for the accuracy curves.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    if not series:
+        return title or "(no data)"
+    glyphs = "ox+*#@%&"
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        return title or "(no data)"
+    lo, hi = y_range if y_range else (min(all_values), max(all_values))
+    if hi <= lo:
+        hi = lo + 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), glyphs):
+        n = len(values)
+        if n == 0:
+            continue
+        for i, v in enumerate(values):
+            x = int(round((width - 1) * (i / max(1, n - 1))))
+            frac = (v - lo) / (hi - lo)
+            frac = min(1.0, max(0.0, frac))
+            y = height - 1 - int(round((height - 1) * frac))
+            grid[y][x] = glyph
+    lines: list[str] = [title] if title else []
+    lines.append(f"{hi:8.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.3f} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars: {group: {series: value}}.
+
+    Renders the Figure 17-style layout — one block per group, one bar
+    per series, all scaled to the global maximum so groups compare.
+    """
+    lines: list[str] = [title] if title else []
+    all_values = [v for g in groups.values() for v in g.values()]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(max(all_values), 1e-300)
+    series_w = max(
+        (len(s) for g in groups.values() for s in g), default=1
+    )
+    for group, bars in groups.items():
+        lines.append(f"{group}:")
+        for name, value in bars.items():
+            if value < 0:
+                raise ValueError(f"bar values must be >= 0 (got {value})")
+            n = int(round(width * value / peak))
+            lines.append(
+                f"  {name:<{series_w}} |{'█' * n:<{width}}| {value:g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend strip (eight-level block glyphs)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1e-9
+    levels = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[1 + int(round((levels - 1) * (v - lo) / span))]
+        for v in values
+    )

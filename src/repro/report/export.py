@@ -1,0 +1,126 @@
+"""Machine-readable experiment exports (CSV + JSON).
+
+Every harness experiment can persist its result as a canonical record:
+a JSON document carrying the experiment id, the parameters that
+produced it, and one or more named data series — plus flat CSV files
+for spreadsheet-style consumption.  :class:`ResultsDirectory` manages
+the on-disk layout (one subdirectory per experiment id).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "write_csv",
+    "write_json",
+    "experiment_record",
+    "ResultsDirectory",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and dataclasses to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write a table to CSV; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row width {len(row)} != header width {len(headers)}"
+                )
+            writer.writerow([_jsonable(v) for v in row])
+    return target
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write any JSON-able payload (numpy/dataclasses coerced)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(_jsonable(payload), indent=2) + "\n")
+    return target
+
+
+def experiment_record(
+    experiment_id: str,
+    params: Mapping[str, object],
+    series: Mapping[str, object],
+    notes: str = "",
+) -> dict[str, Any]:
+    """Canonical payload for one regenerated table/figure."""
+    if not experiment_id:
+        raise ValueError("experiment_id must be non-empty")
+    return {
+        "experiment": experiment_id,
+        "params": _jsonable(dict(params)),
+        "series": _jsonable(dict(series)),
+        "notes": notes,
+    }
+
+
+class ResultsDirectory:
+    """On-disk layout: ``<root>/<experiment_id>/record.json`` + CSVs."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, experiment_id: str, filename: str) -> Path:
+        safe = experiment_id.replace("/", "_")
+        return self.root / safe / filename
+
+    def save_record(self, record: Mapping[str, Any]) -> Path:
+        """Persist an :func:`experiment_record` payload."""
+        experiment_id = str(record.get("experiment", ""))
+        if not experiment_id:
+            raise ValueError("record is missing its 'experiment' id")
+        return write_json(self.path_for(experiment_id, "record.json"), record)
+
+    def save_table(
+        self,
+        experiment_id: str,
+        name: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> Path:
+        return write_csv(
+            self.path_for(experiment_id, f"{name}.csv"), headers, rows
+        )
+
+    def load_record(self, experiment_id: str) -> dict[str, Any]:
+        path = self.path_for(experiment_id, "record.json")
+        return json.loads(path.read_text())
+
+    def list_experiments(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if (p / "record.json").exists()
+        )

@@ -1,0 +1,31 @@
+"""Sparse weight representations: CSB (Figure 8) and inference rivals."""
+
+from repro.sparse.activations import (
+    CompressedActivations,
+    relu_density,
+    storage_bits_at_density,
+)
+from repro.sparse.blocks import BlockGrid, conv_grid, fc_grid
+from repro.sparse.csb import CSBTensor
+from repro.sparse.rivals import (
+    EIEMatrix,
+    FormatCosts,
+    SCNNFilterBank,
+    access_costs,
+    csb_costs,
+)
+
+__all__ = [
+    "CompressedActivations",
+    "relu_density",
+    "storage_bits_at_density",
+    "BlockGrid",
+    "conv_grid",
+    "fc_grid",
+    "CSBTensor",
+    "EIEMatrix",
+    "SCNNFilterBank",
+    "FormatCosts",
+    "access_costs",
+    "csb_costs",
+]

@@ -1,0 +1,149 @@
+"""Zero-free activation storage for cross-phase reuse (Section IV-A).
+
+During training, each layer's input activations are needed twice: once
+immediately (forward pass of the next layer) and once much later (the
+weight-update pass, after the whole forward and backward sweeps).
+Procrustes therefore keeps activations "uncompressed for immediate
+reuse and in a compressed format for long-term reuse" — the same idea
+as Gist [21], with the compressed copy exploiting relu-induced zeros.
+
+:class:`CompressedActivations` is that long-term copy: a CSB-style
+(mask + packed values) encoding over per-sample channel slabs.  The
+mask is all that the weight-update pass needs to *address* iacts, and
+the packed values stream in the same order the wu dataflow consumes
+them, so decompression is a scatter by mask — no pointer chasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CompressedActivations", "relu_density"]
+
+
+def relu_density(acts: np.ndarray) -> float:
+    """Fraction of non-zero entries (post-relu activation density)."""
+    if acts.size == 0:
+        return 0.0
+    return float(np.count_nonzero(acts) / acts.size)
+
+
+@dataclass
+class CompressedActivations:
+    """A zero-free activation tensor for forward-to-wu reuse.
+
+    Attributes
+    ----------
+    shape:
+        Dense ``(N, C, H, W)`` shape.
+    slab_pointers:
+        ``(N*C + 1,)`` offsets into ``values``; one slab is one
+        sample's channel plane, the granularity at which the weight
+        update pass fetches iacts.
+    masks:
+        ``(N*C, H*W)`` non-zero bitmap.
+    values:
+        Packed non-zero values in slab order.
+    """
+
+    shape: tuple[int, int, int, int]
+    slab_pointers: np.ndarray
+    masks: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_dense(cls, acts: np.ndarray) -> "CompressedActivations":
+        if acts.ndim != 4:
+            raise ValueError(
+                f"activations must be (N, C, H, W), got {acts.ndim}-D"
+            )
+        n, c, h, w = acts.shape
+        slabs = acts.reshape(n * c, h * w)
+        masks = slabs != 0.0
+        counts = masks.sum(axis=1)
+        pointers = np.zeros(n * c + 1, dtype=np.int64)
+        np.cumsum(counts, out=pointers[1:])
+        return cls(
+            shape=(n, c, h, w),
+            slab_pointers=pointers,
+            masks=masks,
+            values=slabs[masks],
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.slab_pointers[-1])
+
+    @property
+    def dense_size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.dense_size if self.dense_size else 0.0
+
+    def slab(self, sample: int, channel: int) -> np.ndarray:
+        """Decompress one (sample, channel) plane — the wu fetch unit."""
+        n, c, h, w = self.shape
+        if not (0 <= sample < n and 0 <= channel < c):
+            raise IndexError(f"slab ({sample}, {channel}) out of range")
+        index = sample * c + channel
+        lo, hi = self.slab_pointers[index], self.slab_pointers[index + 1]
+        plane = np.zeros(h * w, dtype=self.values.dtype)
+        plane[self.masks[index]] = self.values[lo:hi]
+        return plane.reshape(h, w)
+
+    def to_dense(self) -> np.ndarray:
+        n, c, h, w = self.shape
+        slabs = np.zeros((n * c, h * w), dtype=self.values.dtype)
+        slabs[self.masks] = self.values
+        return slabs.reshape(n, c, h, w)
+
+    # ------------------------------------------------------------------
+    # storage accounting (feeds the footprint model)
+    # ------------------------------------------------------------------
+    def storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> dict[str, int]:
+        n, c, h, w = self.shape
+        return {
+            "values": self.nnz * value_bits,
+            "masks": n * c * h * w,
+            "pointers": (n * c + 1) * pointer_bits,
+        }
+
+    def total_storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> int:
+        return sum(self.storage_bits(value_bits, pointer_bits).values())
+
+    def compression_ratio(self, value_bits: int = 32) -> float:
+        """Dense bits over compressed bits (>1 when compression wins)."""
+        return (
+            self.dense_size * value_bits
+            / self.total_storage_bits(value_bits)
+        )
+
+
+def storage_bits_at_density(
+    dense_count: int,
+    density: float,
+    value_bits: int = 32,
+    pointer_bits: int = 32,
+    slab_size: int = 64,
+) -> int:
+    """Analytic CSB-style activation storage without materializing data.
+
+    Used by the footprint model to sweep whole networks: ``values``
+    scale with density, the mask costs one bit per dense position, and
+    pointers one word per ``slab_size`` positions.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1] (got {density})")
+    if dense_count < 0:
+        raise ValueError("dense_count must be >= 0")
+    values = int(round(dense_count * density)) * value_bits
+    masks = dense_count
+    pointers = (dense_count // max(1, slab_size) + 1) * pointer_bits
+    return values + masks + pointers

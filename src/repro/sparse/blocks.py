@@ -1,0 +1,139 @@
+"""Block partitioning of dense weight tensors for the CSB format.
+
+The Procrustes compressed-sparse-block format (Figure 8) packs
+non-zero values block by block, where a block corresponds to a
+*fixed-size region of the dense weight space*:
+
+* for conv layers, one block per 2-D kernel — the ``(R, S)`` plane of
+  a single (output-channel, input-channel) pair, so blocks can be
+  rotated 180 degrees while being fetched (backward pass);
+* for fc layers, square fragments of the weight matrix, so the matrix
+  can be transposed by transposing sub-tensors piecewise.
+
+:class:`BlockGrid` captures that partitioning: how a dense tensor is
+carved into a grid of equally-shaped regions, including edge padding
+for fc matrices whose dimensions are not multiples of the block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockGrid", "conv_grid", "fc_grid"]
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """A partition of a dense tensor into a grid of fixed-size blocks.
+
+    Attributes
+    ----------
+    dense_shape:
+        Shape of the underlying dense tensor.
+    grid_shape:
+        Number of blocks along each grid axis.
+    block_shape:
+        Shape of each block region.
+    kind:
+        ``"conv"`` (grid over (K, C), blocks are kernels) or ``"fc"``
+        (grid over matrix tiles, blocks are square fragments).
+    """
+
+    dense_shape: tuple[int, ...]
+    grid_shape: tuple[int, ...]
+    block_shape: tuple[int, ...]
+    kind: str
+
+    @property
+    def n_blocks(self) -> int:
+        return int(np.prod(self.grid_shape))
+
+    @property
+    def block_size(self) -> int:
+        return int(np.prod(self.block_shape))
+
+    def to_blocks(self, dense: np.ndarray) -> np.ndarray:
+        """Rearrange a dense tensor into ``(n_blocks, block_size)`` rows.
+
+        fc tensors whose dimensions do not divide the block size are
+        zero-padded on the high side; the padding positions are always
+        zero and thus never stored by the CSB encoder.
+        """
+        if tuple(dense.shape) != self.dense_shape:
+            raise ValueError(
+                f"expected dense shape {self.dense_shape}, got {dense.shape}"
+            )
+        if self.kind == "conv":
+            k, c, r, s = dense.shape
+            return dense.reshape(k * c, r * s)
+        # fc: pad then tile.
+        rows, cols = dense.shape
+        br, bc = self.block_shape
+        gr, gc = self.grid_shape
+        padded = np.zeros((gr * br, gc * bc), dtype=dense.dtype)
+        padded[:rows, :cols] = dense
+        tiles = padded.reshape(gr, br, gc, bc).transpose(0, 2, 1, 3)
+        return tiles.reshape(gr * gc, br * bc)
+
+    def from_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_blocks`."""
+        if blocks.shape != (self.n_blocks, self.block_size):
+            raise ValueError(
+                f"expected blocks shape {(self.n_blocks, self.block_size)}, "
+                f"got {blocks.shape}"
+            )
+        if self.kind == "conv":
+            k, c, r, s = self.dense_shape
+            return blocks.reshape(k, c, r, s)
+        rows, cols = self.dense_shape
+        br, bc = self.block_shape
+        gr, gc = self.grid_shape
+        padded = (
+            blocks.reshape(gr, gc, br, bc)
+            .transpose(0, 2, 1, 3)
+            .reshape(gr * br, gc * bc)
+        )
+        return padded[:rows, :cols]
+
+    def block_index(self, *coords: int) -> int:
+        """Flat block index from grid coordinates."""
+        if len(coords) != len(self.grid_shape):
+            raise ValueError(
+                f"expected {len(self.grid_shape)} coordinates, got {len(coords)}"
+            )
+        return int(np.ravel_multi_index(coords, self.grid_shape))
+
+
+def conv_grid(weight_shape: tuple[int, int, int, int]) -> BlockGrid:
+    """Kernel-granularity grid for a conv weight ``(K, C, R, S)``.
+
+    The region size follows the layer's kernel dimensions, which is why
+    the pointer and mask arrays are decoupled (Section IV-B): each
+    layer may use a different mask length.
+    """
+    k, c, r, s = weight_shape
+    return BlockGrid(
+        dense_shape=(k, c, r, s),
+        grid_shape=(k, c),
+        block_shape=(r, s),
+        kind="conv",
+    )
+
+
+def fc_grid(
+    weight_shape: tuple[int, int], block_size: int = 8
+) -> BlockGrid:
+    """Square-fragment grid for an fc weight matrix ``(out, in)``."""
+    rows, cols = weight_shape
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1 (got {block_size})")
+    gr = -(-rows // block_size)
+    gc = -(-cols // block_size)
+    return BlockGrid(
+        dense_shape=(rows, cols),
+        grid_shape=(gr, gc),
+        block_shape=(block_size, block_size),
+        kind="fc",
+    )

@@ -1,0 +1,262 @@
+"""Compressed sparse block (CSB) weight representation (Figure 8).
+
+Three decoupled components:
+
+* **weight array** — the non-zero values of every block, packed
+  contiguously in block order;
+* **pointer array** — indexed by grid coordinates; entry ``b`` gives
+  the weight-array offset of block ``b`` (the density of a work tile
+  is the difference of adjacent pointers, which is how the load
+  balancer sizes tiles without touching the data);
+* **mask array** — one bit per dense position of each block,
+  identifying where the packed values belong.
+
+Unlike the CSC-style formats of inference accelerators (EIE, SCNN),
+this layout supports the *training* access patterns: kernels can be
+rotated 180 degrees for the backward pass and fc matrices transposed
+piecewise, because every block is a self-contained fixed dense region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.blocks import BlockGrid, conv_grid, fc_grid
+
+__all__ = ["CSBTensor"]
+
+
+@dataclass
+class CSBTensor:
+    """A sparse tensor in compressed-sparse-block form."""
+
+    grid: BlockGrid
+    pointers: np.ndarray  # (n_blocks + 1,) int64 offsets into values
+    masks: np.ndarray  # (n_blocks, block_size) bool
+    values: np.ndarray  # (nnz,) packed non-zero values
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, grid: BlockGrid | None = None,
+                   fc_block_size: int = 8) -> "CSBTensor":
+        """Encode a dense tensor; zeros are dropped.
+
+        The grid defaults to kernel blocks for 4-D tensors and square
+        ``fc_block_size`` fragments for matrices.
+        """
+        if grid is None:
+            if dense.ndim == 4:
+                grid = conv_grid(dense.shape)
+            elif dense.ndim == 2:
+                grid = fc_grid(dense.shape, block_size=fc_block_size)
+            else:
+                raise ValueError(
+                    f"no default grid for {dense.ndim}-D tensors"
+                )
+        blocks = grid.to_blocks(dense)
+        masks = blocks != 0.0
+        counts = masks.sum(axis=1)
+        pointers = np.zeros(grid.n_blocks + 1, dtype=np.int64)
+        np.cumsum(counts, out=pointers[1:])
+        values = blocks[masks]
+        return cls(grid=grid, pointers=pointers, masks=masks, values=values)
+
+    # ------------------------------------------------------------------
+    # structural validation (failure injection / corruption checks)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the three arrays are mutually consistent.
+
+        The decoupled pointer/mask/value layout (Section IV-B) admits
+        corruption modes a dense tensor cannot have: pointers that run
+        backwards, mask popcounts that disagree with pointer deltas,
+        or a value array of the wrong length.  Raises ``ValueError``
+        describing the first inconsistency found.
+        """
+        if self.pointers.shape != (self.grid.n_blocks + 1,):
+            raise ValueError(
+                f"pointer array has shape {self.pointers.shape}, expected "
+                f"{(self.grid.n_blocks + 1,)}"
+            )
+        if self.masks.shape != (self.grid.n_blocks, self.grid.block_size):
+            raise ValueError(
+                f"mask array has shape {self.masks.shape}, expected "
+                f"{(self.grid.n_blocks, self.grid.block_size)}"
+            )
+        if self.pointers[0] != 0:
+            raise ValueError(f"pointer array must start at 0, got {self.pointers[0]}")
+        deltas = np.diff(self.pointers)
+        if (deltas < 0).any():
+            block = int(np.argmax(deltas < 0))
+            raise ValueError(f"pointers decrease at block {block}")
+        counts = self.masks.sum(axis=1)
+        if not np.array_equal(deltas, counts):
+            block = int(np.argmax(deltas != counts))
+            raise ValueError(
+                f"block {block}: mask popcount {counts[block]} != "
+                f"pointer delta {deltas[block]}"
+            )
+        if self.values.shape != (int(self.pointers[-1]),):
+            raise ValueError(
+                f"value array has {self.values.shape[0]} entries, "
+                f"pointers imply {int(self.pointers[-1])}"
+            )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.pointers[-1])
+
+    @property
+    def dense_size(self) -> int:
+        return int(np.prod(self.grid.dense_shape))
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.dense_size if self.dense_size else 0.0
+
+    def block_nnz(self) -> np.ndarray:
+        """Non-zeros per block, from pointer differences (Section IV-B)."""
+        return np.diff(self.pointers)
+
+    def block_values(self, index: int) -> np.ndarray:
+        """Packed non-zero values of one block."""
+        return self.values[self.pointers[index] : self.pointers[index + 1]]
+
+    def gather_block(self, index: int) -> np.ndarray:
+        """Decompress one block to its dense region shape."""
+        dense = np.zeros(self.grid.block_size, dtype=self.values.dtype)
+        dense[self.masks[index]] = self.block_values(index)
+        return dense.reshape(self.grid.block_shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Full decompression."""
+        blocks = np.zeros(
+            (self.grid.n_blocks, self.grid.block_size), dtype=self.values.dtype
+        )
+        blocks[self.masks] = self.values
+        return self.grid.from_blocks(blocks)
+
+    # ------------------------------------------------------------------
+    # storage accounting (for the DRAM/GLB traffic model)
+    # ------------------------------------------------------------------
+    def storage_bits(
+        self, value_bits: int = 32, pointer_bits: int = 32
+    ) -> dict[str, int]:
+        """Bits used by each component of the representation."""
+        return {
+            "values": self.nnz * value_bits,
+            "masks": self.grid.n_blocks * self.grid.block_size,
+            "pointers": (self.grid.n_blocks + 1) * pointer_bits,
+        }
+
+    def total_storage_bits(
+        self, value_bits: int = 32, pointer_bits: int = 32
+    ) -> int:
+        return sum(self.storage_bits(value_bits, pointer_bits).values())
+
+    def compression_ratio(self, value_bits: int = 32) -> float:
+        """Dense bits over CSB bits."""
+        dense_bits = self.dense_size * value_bits
+        return dense_bits / self.total_storage_bits(value_bits)
+
+    # ------------------------------------------------------------------
+    # training-time access patterns (Section IV-B requirements)
+    # ------------------------------------------------------------------
+    def rotate_180(self) -> "CSBTensor":
+        """Rotate every conv kernel block 180 degrees (backward pass).
+
+        Because packed values follow the mask's scan order and a 180
+        degree rotation exactly reverses that order, each block's
+        values simply reverse in place — no decompression needed, which
+        is what lets the hardware rotate blocks on the fly while
+        fetching them from the GLB.
+        """
+        if self.grid.kind != "conv":
+            raise ValueError("rotate_180 applies to conv grids only")
+        masks = self.masks[:, ::-1].copy()
+        values = np.empty_like(self.values)
+        for b in range(self.grid.n_blocks):
+            lo, hi = self.pointers[b], self.pointers[b + 1]
+            values[lo:hi] = self.values[lo:hi][::-1]
+        return CSBTensor(
+            grid=self.grid,
+            pointers=self.pointers.copy(),
+            masks=masks,
+            values=values,
+        )
+
+    def transpose(self) -> "CSBTensor":
+        """Transpose an fc matrix piecewise (backward pass for fc).
+
+        The block grid transposes, and every block transposes
+        internally; pointer recomputation is a permutation of block
+        order, so the weight array is only re-packed, never searched.
+        """
+        if self.grid.kind != "fc":
+            raise ValueError("transpose applies to fc grids only")
+        rows, cols = self.grid.dense_shape
+        gr, gc = self.grid.grid_shape
+        br, bc = self.grid.block_shape
+        new_grid = BlockGrid(
+            dense_shape=(cols, rows),
+            grid_shape=(gc, gr),
+            block_shape=(bc, br),
+            kind="fc",
+        )
+        new_masks = np.zeros(
+            (new_grid.n_blocks, new_grid.block_size), dtype=bool
+        )
+        counts = np.zeros(new_grid.n_blocks, dtype=np.int64)
+        # First pass: masks and counts.
+        for bi in range(gr):
+            for bj in range(gc):
+                old = self.masks[self.grid.block_index(bi, bj)]
+                transposed = old.reshape(br, bc).T.reshape(-1)
+                new_index = new_grid.block_index(bj, bi)
+                new_masks[new_index] = transposed
+                counts[new_index] = transposed.sum()
+        pointers = np.zeros(new_grid.n_blocks + 1, dtype=np.int64)
+        np.cumsum(counts, out=pointers[1:])
+        values = np.empty_like(self.values)
+        # Second pass: re-pack values in the transposed scan order.
+        for bi in range(gr):
+            for bj in range(gc):
+                old_index = self.grid.block_index(bi, bj)
+                block = self.gather_block(old_index).T
+                new_index = new_grid.block_index(bj, bi)
+                lo = pointers[new_index]
+                packed = block.reshape(-1)[new_masks[new_index]]
+                values[lo : lo + packed.size] = packed
+        return CSBTensor(
+            grid=new_grid, pointers=pointers, masks=new_masks, values=values
+        )
+
+    # ------------------------------------------------------------------
+    # work-tile density queries (for the load balancer)
+    # ------------------------------------------------------------------
+    def tile_nnz(self, axis: int, tile: int) -> np.ndarray:
+        """Non-zeros per tile of ``tile`` consecutive grid rows/columns.
+
+        ``axis`` selects the grid dimension being tiled.  Used to size
+        PE work tiles from pointer arithmetic alone.
+        """
+        per_block = self.block_nnz().reshape(self.grid.grid_shape)
+        if axis < 0 or axis >= per_block.ndim:
+            raise ValueError(f"axis {axis} out of range")
+        n = per_block.shape[axis]
+        n_tiles = -(-n // tile)
+        pad = n_tiles * tile - n
+        if pad:
+            pad_widths = [(0, 0)] * per_block.ndim
+            pad_widths[axis] = (0, pad)
+            per_block = np.pad(per_block, pad_widths)
+        moved = np.moveaxis(per_block, axis, 0)
+        moved = moved.reshape(n_tiles, tile, -1).sum(axis=(1, 2))
+        return moved

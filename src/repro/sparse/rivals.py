@@ -1,0 +1,452 @@
+"""Inference-accelerator weight formats, for comparison with CSB.
+
+Section II-D argues that the linear run-length encodings used by sparse
+*inference* accelerators are tightly coupled to one dataflow and cannot
+serve the different weight access orders that arise across the three
+training phases.  This module implements the two formats the paper
+names so the argument can be made quantitative:
+
+* :class:`EIEMatrix` — the interleaved compressed sparse column (CSC)
+  layout of EIE [13].  Non-zeros are stored column by column with
+  small relative row offsets (zero-run lengths); streaming a column of
+  ``W`` (forward pass) is cheap, but reading a column of ``W**T`` — a
+  *row* of ``W`` — requires scanning every column, because row
+  positions are only recoverable by walking each column's runs.
+
+* :class:`SCNNFilterBank` — the compressed filter layout of SCNN [36].
+  All kernels that share an *input* channel sit adjacently so the
+  input-stationary forward dataflow can stream them; grouping by
+  *output* channel (the gradient-stationary backward order) requires
+  touching the whole bank.
+
+Both formats expose the same cost-accounting interface as
+:class:`~repro.sparse.csb.CSBTensor` gains via
+:func:`access_costs`, so a single experiment (the format-comparison
+bench) can tabulate elements touched per phase for every format.
+Costs are counted in *elements touched* — entries the decoder must
+read (including padding zeros inserted by EIE's bounded run lengths) —
+which is proportional to both latency and memory energy of the access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "EIEMatrix",
+    "SCNNFilterBank",
+    "FormatCosts",
+    "access_costs",
+    "csb_costs",
+]
+
+
+@dataclass
+class EIEMatrix:
+    """EIE's interleaved CSC encoding of an fc weight matrix.
+
+    Attributes
+    ----------
+    shape:
+        Dense ``(rows, cols)`` shape.
+    col_pointers:
+        ``(cols + 1,)`` offsets into the value/offset streams.
+    values:
+        Packed entries in column-major order.  Entries may include
+        *padding zeros*: when a zero run exceeds the representable
+        ``2**index_bits - 1``, EIE stores an explicit zero to restart
+        the run counter, so ``values`` can be longer than ``nnz``.
+    offsets:
+        Per-entry zero-run length preceding the entry (the EIE
+        4-bit relative row index).
+    index_bits:
+        Width of the run-length field.
+    """
+
+    shape: tuple[int, int]
+    col_pointers: np.ndarray
+    values: np.ndarray
+    offsets: np.ndarray
+    index_bits: int = 4
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, index_bits: int = 4) -> "EIEMatrix":
+        """Encode a dense matrix column by column.
+
+        Zero runs longer than ``2**index_bits - 1`` insert explicit
+        padding zeros, exactly as EIE does, so very sparse columns pay
+        a storage overhead that the bench makes visible.
+        """
+        if dense.ndim != 2:
+            raise ValueError(f"EIE CSC encodes matrices, got {dense.ndim}-D")
+        if index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1 (got {index_bits})")
+        max_run = (1 << index_bits) - 1
+        rows, cols = dense.shape
+        pointers = np.zeros(cols + 1, dtype=np.int64)
+        values: list[float] = []
+        offsets: list[int] = []
+        for j in range(cols):
+            run = 0
+            for i in range(rows):
+                v = dense[i, j]
+                if v == 0.0:
+                    run += 1
+                    if run > max_run:
+                        # Restart the run counter with a padding zero.
+                        values.append(0.0)
+                        offsets.append(max_run)
+                        run = 0
+                    continue
+                values.append(float(v))
+                offsets.append(run)
+                run = 0
+            pointers[j + 1] = len(values)
+        return cls(
+            shape=(rows, cols),
+            col_pointers=pointers,
+            values=np.asarray(values, dtype=np.float64),
+            offsets=np.asarray(offsets, dtype=np.int64),
+            index_bits=index_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Stored entries, padding zeros included."""
+        return int(self.col_pointers[-1])
+
+    @property
+    def nnz(self) -> int:
+        """True non-zeros (excludes padding)."""
+        return int(np.count_nonzero(self.values))
+
+    @property
+    def padding_entries(self) -> int:
+        return self.n_entries - self.nnz
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows, cols = self.shape
+        for j in range(cols):
+            i = 0
+            lo, hi = self.col_pointers[j], self.col_pointers[j + 1]
+            for e in range(lo, hi):
+                i += int(self.offsets[e])
+                if self.values[e] != 0.0:
+                    dense[i, j] = self.values[e]
+                i += 1
+        return dense
+
+    def storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> dict[str, int]:
+        """Bits per component (values + run lengths + column pointers)."""
+        return {
+            "values": self.n_entries * value_bits,
+            "offsets": self.n_entries * self.index_bits,
+            "pointers": (self.shape[1] + 1) * pointer_bits,
+        }
+
+    def total_storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> int:
+        return sum(self.storage_bits(value_bits, pointer_bits).values())
+
+    # ------------------------------------------------------------------
+    # access patterns
+    # ------------------------------------------------------------------
+    def read_column(self, j: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Stream one column (forward-pass order).
+
+        Returns ``(row_indices, values, elements_touched)``; cost is
+        the column's entry count — the cheap, dataflow-matched access.
+        """
+        if not 0 <= j < self.shape[1]:
+            raise IndexError(f"column {j} out of range")
+        lo, hi = int(self.col_pointers[j]), int(self.col_pointers[j + 1])
+        rows = np.empty(hi - lo, dtype=np.int64)
+        i = 0
+        for out, e in enumerate(range(lo, hi)):
+            i += int(self.offsets[e])
+            rows[out] = i
+            i += 1
+        keep = self.values[lo:hi] != 0.0
+        return rows[keep], self.values[lo:hi][keep], hi - lo
+
+    def read_row(self, i: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Read one row (a column of ``W**T`` — backward-pass order).
+
+        Row coordinates exist only implicitly as prefix sums of run
+        lengths, so *every column must be walked from its start* until
+        it reaches row ``i``; the returned cost is the sum of those
+        prefixes.  This is the Section II-D failure mode: the access
+        that costs ``nnz(column)`` in the forward order costs a large
+        fraction of ``n_entries`` in the transposed order.
+        """
+        if not 0 <= i < self.shape[0]:
+            raise IndexError(f"row {i} out of range")
+        cols: list[int] = []
+        vals: list[float] = []
+        touched = 0
+        for j in range(self.shape[1]):
+            lo, hi = int(self.col_pointers[j]), int(self.col_pointers[j + 1])
+            r = 0
+            for e in range(lo, hi):
+                touched += 1
+                r += int(self.offsets[e])
+                if r == i and self.values[e] != 0.0:
+                    cols.append(j)
+                    vals.append(float(self.values[e]))
+                if r >= i:
+                    # Entries are row-sorted within a column; once past
+                    # row i nothing below can match, but the decoder
+                    # has already touched everything up to here.
+                    break
+                r += 1
+        return (
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+            touched,
+        )
+
+    def transpose_reencode_cost(self) -> int:
+        """Elements touched to re-encode as CSC of ``W**T``.
+
+        The only way to serve the backward pass at streaming speed is
+        to build a second copy in transposed layout: decode everything
+        (``n_entries``), scatter to dense scratch, then scan the dense
+        space to re-encode (``rows * cols``).
+        """
+        rows, cols = self.shape
+        return self.n_entries + rows * cols
+
+
+@dataclass
+class SCNNFilterBank:
+    """SCNN's compressed conv filter layout, grouped by input channel.
+
+    For each input channel ``c``, the kernels of *all* output channels
+    are concatenated (in ``k``-major, then row-major kernel order) and
+    run-length encoded.  The input-stationary forward dataflow streams
+    one input-channel group at a time; the gradient-stationary
+    backward order needs all kernels of one *output* channel, which
+    are scattered across every group.
+    """
+
+    weight_shape: tuple[int, int, int, int]  # (K, C, R, S)
+    group_pointers: np.ndarray  # (C + 1,) offsets into values
+    values: np.ndarray
+    positions: np.ndarray  # flat (k, r, s) position of each value
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SCNNFilterBank":
+        if dense.ndim != 4:
+            raise ValueError(
+                f"SCNN layout encodes (K, C, R, S) tensors, got {dense.ndim}-D"
+            )
+        k, c, r, s = dense.shape
+        pointers = np.zeros(c + 1, dtype=np.int64)
+        values: list[float] = []
+        positions: list[int] = []
+        # Group by input channel: all output channels' kernels adjacent.
+        by_input = dense.transpose(1, 0, 2, 3).reshape(c, k * r * s)
+        for ci in range(c):
+            row = by_input[ci]
+            nz = np.nonzero(row)[0]
+            values.extend(row[nz].tolist())
+            positions.extend(nz.tolist())
+            pointers[ci + 1] = len(values)
+        return cls(
+            weight_shape=(k, c, r, s),
+            group_pointers=pointers,
+            values=np.asarray(values, dtype=np.float64),
+            positions=np.asarray(positions, dtype=np.int64),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.group_pointers[-1])
+
+    def to_dense(self) -> np.ndarray:
+        k, c, r, s = self.weight_shape
+        by_input = np.zeros((c, k * r * s), dtype=np.float64)
+        for ci in range(c):
+            lo, hi = self.group_pointers[ci], self.group_pointers[ci + 1]
+            by_input[ci, self.positions[lo:hi]] = self.values[lo:hi]
+        return by_input.reshape(c, k, r, s).transpose(1, 0, 2, 3)
+
+    def storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> dict[str, int]:
+        k, c, r, s = self.weight_shape
+        position_bits = max(1, int(np.ceil(np.log2(max(2, k * r * s)))))
+        return {
+            "values": self.nnz * value_bits,
+            "positions": self.nnz * position_bits,
+            "pointers": (c + 1) * pointer_bits,
+        }
+
+    def total_storage_bits(self, value_bits: int = 32, pointer_bits: int = 32) -> int:
+        return sum(self.storage_bits(value_bits, pointer_bits).values())
+
+    def read_input_group(self, c: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Stream the group for one input channel (forward order)."""
+        if not 0 <= c < self.weight_shape[1]:
+            raise IndexError(f"input channel {c} out of range")
+        lo, hi = int(self.group_pointers[c]), int(self.group_pointers[c + 1])
+        return self.positions[lo:hi], self.values[lo:hi], hi - lo
+
+    def read_output_group(self, k: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Gather all kernels of one output channel (backward order).
+
+        Output channel ``k`` owns positions ``[k*R*S, (k+1)*R*S)``
+        within every input-channel group, but because group contents
+        are packed by sparsity the decoder must scan each group to
+        find them — cost is the full bank, per output channel.
+        """
+        kk, c, r, s = self.weight_shape
+        if not 0 <= k < kk:
+            raise IndexError(f"output channel {k} out of range")
+        lo_pos, hi_pos = k * r * s, (k + 1) * r * s
+        vals: list[float] = []
+        pos: list[int] = []
+        touched = 0
+        for ci in range(c):
+            glo, ghi = int(self.group_pointers[ci]), int(self.group_pointers[ci + 1])
+            for e in range(glo, ghi):
+                touched += 1
+                p = int(self.positions[e])
+                if lo_pos <= p < hi_pos:
+                    pos.append(ci * r * s + (p - lo_pos))
+                    vals.append(float(self.values[e]))
+                if p >= hi_pos:
+                    break
+        return (
+            np.asarray(pos, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+            touched,
+        )
+
+
+@dataclass
+class FormatCosts:
+    """Elements touched per training phase, plus storage, per format.
+
+    ``forward``/``backward``/``weight_update`` are totals for streaming
+    the whole tensor once in that phase's access order.  The weight
+    update phase writes gradients back in the *same* order weights are
+    read (the QE unit filters them in flight), so its read cost equals
+    the forward cost for every format; the difference across formats
+    is whether in-place update is possible at all (``updatable``).
+    """
+
+    format_name: str
+    forward: int
+    backward: int
+    weight_update: int
+    storage_bits: int
+    updatable: bool
+    notes: str = ""
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def backward_penalty(self) -> float:
+        """Backward cost relative to forward (1.0 = access-order neutral)."""
+        return self.backward / self.forward if self.forward else float("inf")
+
+
+def csb_costs(tensor, value_bits: int = 32) -> FormatCosts:
+    """Access costs of a :class:`~repro.sparse.csb.CSBTensor`.
+
+    Every phase streams exactly the packed non-zeros: the backward
+    pass reverses block contents in flight (conv) or re-packs blocks
+    piecewise (fc), both touching each stored value once.
+    """
+    nnz = tensor.nnz
+    return FormatCosts(
+        format_name="CSB",
+        forward=nnz,
+        backward=nnz,
+        weight_update=nnz,
+        storage_bits=tensor.total_storage_bits(value_bits),
+        updatable=True,
+        notes="all phases stream packed values; rotation/transpose in flight",
+    )
+
+
+def _eie_costs(dense: np.ndarray, index_bits: int, value_bits: int) -> FormatCosts:
+    mat = EIEMatrix.from_dense(dense, index_bits=index_bits)
+    rows, _ = mat.shape
+    # Backward: one W**T column per row, each a full-bank scan, capped
+    # by the cheaper strategy of a one-off transposed re-encode.
+    per_row_total = sum(mat.read_row(i)[2] for i in range(rows))
+    reencode = mat.transpose_reencode_cost() + mat.n_entries
+    backward = min(per_row_total, reencode)
+    strategy = "per-row scans" if per_row_total <= reencode else "transpose re-encode"
+    return FormatCosts(
+        format_name=f"EIE-CSC/{index_bits}b",
+        forward=mat.n_entries,
+        backward=backward,
+        weight_update=mat.n_entries,
+        storage_bits=mat.total_storage_bits(value_bits),
+        updatable=False,
+        notes=f"backward via {strategy}; updates need full re-encode",
+        extras={
+            "padding_entries": mat.padding_entries,
+            "per_row_total": per_row_total,
+            "reencode": reencode,
+        },
+    )
+
+
+def _scnn_costs(dense: np.ndarray, value_bits: int) -> FormatCosts:
+    bank = SCNNFilterBank.from_dense(dense)
+    k = dense.shape[0]
+    per_output_total = sum(bank.read_output_group(ki)[2] for ki in range(k))
+    kk, c, r, s = bank.weight_shape
+    reencode = bank.nnz + kk * c * r * s + bank.nnz
+    backward = min(per_output_total, reencode)
+    strategy = (
+        "per-output scans" if per_output_total <= reencode else "re-encode by output"
+    )
+    return FormatCosts(
+        format_name="SCNN-RLC",
+        forward=bank.nnz,
+        backward=backward,
+        weight_update=bank.nnz,
+        storage_bits=bank.total_storage_bits(value_bits),
+        updatable=False,
+        notes=f"backward via {strategy}; updates need full re-encode",
+        extras={"per_output_total": per_output_total, "reencode": reencode},
+    )
+
+
+def access_costs(
+    dense: np.ndarray,
+    value_bits: int = 32,
+    eie_index_bits: int = 4,
+    fc_block_size: int = 8,
+) -> list[FormatCosts]:
+    """Tabulate per-phase access costs of CSB vs. the rival formats.
+
+    ``dense`` is a weight tensor: ``(K, C, R, S)`` conv weights are
+    compared as CSB vs. SCNN (and EIE on the flattened matrix view the
+    way EIE would store an im2col'd layer); fc matrices as CSB vs. EIE.
+    """
+    from repro.sparse.csb import CSBTensor
+
+    results = [
+        csb_costs(
+            CSBTensor.from_dense(dense, fc_block_size=fc_block_size), value_bits
+        )
+    ]
+    if dense.ndim == 4:
+        results.append(_scnn_costs(dense, value_bits))
+        k = dense.shape[0]
+        results.append(
+            _eie_costs(dense.reshape(k, -1), eie_index_bits, value_bits)
+        )
+    elif dense.ndim == 2:
+        results.append(_eie_costs(dense, eie_index_bits, value_bits))
+    else:
+        raise ValueError(f"no rival formats for {dense.ndim}-D tensors")
+    return results

@@ -1,0 +1,25 @@
+"""Workload descriptions: layer shapes, phases, and sparsity profiles."""
+
+from repro.workloads.layer_spec import LayerSpec, conv, fc
+from repro.workloads.phases import PHASES, PhaseOp, phase_op
+from repro.workloads.sparsity import (
+    LayerSparsity,
+    NetworkSparsity,
+    dense_profile,
+    profile_from_masks,
+    synthetic_profile,
+)
+
+__all__ = [
+    "LayerSpec",
+    "conv",
+    "fc",
+    "PHASES",
+    "PhaseOp",
+    "phase_op",
+    "LayerSparsity",
+    "NetworkSparsity",
+    "dense_profile",
+    "profile_from_masks",
+    "synthetic_profile",
+]

@@ -1,0 +1,145 @@
+"""Layer shape specifications — the 7-D operation space of Algorithm 1.
+
+A :class:`LayerSpec` captures the dimensions a training accelerator
+cares about: input/output channels (C, K), filter extent (R, S),
+output extent (P, Q) and the input extent (H, W) it derives from,
+stride, grouping, and the minibatch dimension N supplied at run time.
+Fully-connected layers are the degenerate case R=S=P=Q=H=W=1, which is
+exactly how the architecture model treats them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerSpec", "conv", "fc"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape of one layer's operation space.
+
+    Spatial sizes refer to the *input* tensor (H, W); the output extent
+    (P, Q) is derived.  ``groups`` models depthwise/grouped convolution
+    (MobileNet v2); weights per layer are ``K * C/groups * R * S``.
+    """
+
+    name: str
+    c: int  # input channels
+    k: int  # output channels
+    r: int = 3  # filter rows
+    s: int = 3  # filter cols
+    h: int = 1  # input rows
+    w: int = 1  # input cols
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    kind: str = "conv"
+
+    def __post_init__(self) -> None:
+        if self.c % self.groups or self.k % self.groups:
+            raise ValueError(
+                f"{self.name}: channels ({self.c}, {self.k}) must divide "
+                f"groups {self.groups}"
+            )
+        if min(self.c, self.k, self.r, self.s, self.h, self.w) < 1:
+            raise ValueError(f"{self.name}: all dimensions must be >= 1")
+        if self.p < 1 or self.q < 1:
+            raise ValueError(f"{self.name}: output extent collapses")
+
+    @property
+    def p(self) -> int:
+        """Output rows."""
+        return (self.h + 2 * self.padding - self.r) // self.stride + 1
+
+    @property
+    def q(self) -> int:
+        """Output cols."""
+        return (self.w + 2 * self.padding - self.s) // self.stride + 1
+
+    @property
+    def weight_count(self) -> int:
+        """Dense weights in this layer."""
+        return self.k * (self.c // self.groups) * self.r * self.s
+
+    @property
+    def weights_per_out_channel(self) -> int:
+        return (self.c // self.groups) * self.r * self.s
+
+    @property
+    def weights_per_in_channel(self) -> int:
+        return (self.k // self.groups) * self.r * self.s
+
+    def macs_per_sample(self) -> int:
+        """Dense MACs of the forward pass for one sample."""
+        return self.k * self.p * self.q * (self.c // self.groups) * self.r * self.s
+
+    def macs(self, n: int) -> int:
+        """Dense MACs of the forward pass for a minibatch of ``n``."""
+        return n * self.macs_per_sample()
+
+    def iact_count(self, n: int) -> int:
+        return n * self.c * self.h * self.w
+
+    def oact_count(self, n: int) -> int:
+        return n * self.k * self.p * self.q
+
+    def dims(self, n: int) -> dict[str, int]:
+        """The seven loop extents of Algorithm 1."""
+        return {
+            "N": n,
+            "K": self.k,
+            "C": self.c,
+            "R": self.r,
+            "S": self.s,
+            "P": self.p,
+            "Q": self.q,
+        }
+
+
+def conv(
+    name: str,
+    c: int,
+    k: int,
+    h: int,
+    w: int | None = None,
+    r: int = 3,
+    stride: int = 1,
+    padding: int | None = None,
+    groups: int = 1,
+) -> LayerSpec:
+    """Convenience conv constructor with 'same'-style default padding."""
+    if w is None:
+        w = h
+    if padding is None:
+        padding = r // 2
+    return LayerSpec(
+        name=name,
+        c=c,
+        k=k,
+        r=r,
+        s=r,
+        h=h,
+        w=w,
+        stride=stride,
+        padding=padding,
+        groups=groups,
+        kind="conv",
+    )
+
+
+def fc(name: str, c_in: int, c_out: int) -> LayerSpec:
+    """Fully-connected layer as a 1x1x1 'convolution'."""
+    return LayerSpec(
+        name=name,
+        c=c_in,
+        k=c_out,
+        r=1,
+        s=1,
+        h=1,
+        w=1,
+        stride=1,
+        padding=0,
+        groups=1,
+        kind="fc",
+    )

@@ -1,0 +1,102 @@
+"""Per-training-phase operation spaces (Figure 2).
+
+Each SGD iteration evaluates three convolutions per layer:
+
+* **fw** — ``x * W -> y``: out-channel dim K, in-channel dim C; the
+  sparse operand is the weight tensor.
+* **bw** — ``dL/dy * rot180(W) -> dL/dx``: the roles of K and C swap
+  (the "output channels" of this convolution are the layer's input
+  channels); the sparse operand is still the weight tensor, accessed
+  in the transposed/rotated order the CSB format supports.
+* **wu** — ``x * dL/dy -> dL/dW``: reduction over N, P, Q; the sparse
+  operand is the input activation tensor (post-ReLU), because batch
+  normalization destroys dL/dy sparsity (Section II-B).
+
+All three phases execute the same number of dense MACs; what differs
+is which tensor is sparse, which dimension the sparsity varies along,
+and how each mapping's spatial dimensions line up with those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.layer_spec import LayerSpec
+
+__all__ = ["PHASES", "PhaseOp", "phase_op"]
+
+PHASES = ("fw", "bw", "wu")
+
+
+@dataclass(frozen=True)
+class PhaseOp:
+    """One phase's convolution, in phase-relative terms.
+
+    ``out_channels``/``in_channels`` are the dimensions playing the K/C
+    roles *for this phase's convolution*; ``spatial`` is its output
+    extent; ``sparse_operand`` names which tensor's zeros can be
+    skipped, and ``sparsity_varies_along`` the phase-relative dimension
+    whose slices have unequal non-zero counts (driving load imbalance).
+    """
+
+    phase: str
+    layer: LayerSpec
+    n: int
+    out_channels: int
+    in_channels: int
+    spatial: tuple[int, int]
+    reduction_taps: int  # R*S of the phase's convolution
+    sparse_operand: str  # 'weights' or 'iacts'
+    sparsity_varies_along: tuple[str, ...]
+
+    @property
+    def dense_macs(self) -> int:
+        """Dense MAC count (identical across phases by construction)."""
+        return self.layer.macs(self.n)
+
+    def sparse_macs(self, density: float) -> float:
+        """MACs that survive skipping the sparse operand's zeros."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must lie in [0, 1] (got {density})")
+        return self.dense_macs * density
+
+
+def phase_op(layer: LayerSpec, phase: str, n: int) -> PhaseOp:
+    """Build the phase-relative operation space for one layer."""
+    if phase == "fw":
+        return PhaseOp(
+            phase="fw",
+            layer=layer,
+            n=n,
+            out_channels=layer.k,
+            in_channels=layer.c,
+            spatial=(layer.p, layer.q),
+            reduction_taps=layer.r * layer.s,
+            sparse_operand="weights",
+            sparsity_varies_along=("K", "C"),
+        )
+    if phase == "bw":
+        return PhaseOp(
+            phase="bw",
+            layer=layer,
+            n=n,
+            out_channels=layer.c,
+            in_channels=layer.k,
+            spatial=(layer.h, layer.w),
+            reduction_taps=layer.r * layer.s,
+            sparse_operand="weights",
+            sparsity_varies_along=("C", "K"),
+        )
+    if phase == "wu":
+        return PhaseOp(
+            phase="wu",
+            layer=layer,
+            n=n,
+            out_channels=layer.k,
+            in_channels=layer.c,
+            spatial=(layer.p, layer.q),
+            reduction_taps=layer.r * layer.s,
+            sparse_operand="iacts",
+            sparsity_varies_along=("N", "C"),
+        )
+    raise ValueError(f"unknown phase {phase!r} (expected one of {PHASES})")

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.layer_spec import conv, fc
+from repro.workloads.sparsity import synthetic_profile
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_specs():
+    """A compact conv+fc network spec for dataflow tests."""
+    return [
+        conv("c0", c=3, k=32, h=16, r=3),
+        conv("c1", c=32, k=64, h=16, r=3, stride=2),
+        conv("c2", c=64, k=64, h=8, r=3),
+        fc("fc", 64 * 8 * 8, 10),
+    ]
+
+
+@pytest.fixture
+def small_profile(small_specs):
+    return synthetic_profile("small", small_specs, 4.0, seed=3)
+
+
+def numeric_gradient(f, array, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array (in place)."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        old = array[idx]
+        array[idx] = old + eps
+        hi = f()
+        array[idx] = old - eps
+        lo = f()
+        array[idx] = old
+        grad[idx] = (hi - lo) / (2 * eps)
+    return grad

@@ -1,0 +1,122 @@
+"""Tests for zero-free activation storage (Section IV-A / Gist-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.activations import (
+    CompressedActivations,
+    relu_density,
+    storage_bits_at_density,
+)
+
+
+def relu_like(rng, shape, density=0.5):
+    acts = rng.normal(size=shape)
+    acts[acts < 0] = 0.0  # relu
+    # Thin further to the requested density.
+    keep = rng.uniform(size=shape) < (density / max(relu_density(acts), 1e-9))
+    return np.where(keep, acts, 0.0)
+
+
+class TestReluDensity:
+    def test_half_for_symmetric_relu(self, rng):
+        acts = np.maximum(rng.normal(size=(4, 8, 16, 16)), 0.0)
+        assert 0.4 < relu_density(acts) < 0.6
+
+    def test_empty(self):
+        assert relu_density(np.zeros((0, 1, 1, 1))) == 0.0
+
+    def test_all_zero(self):
+        assert relu_density(np.zeros((2, 2, 2, 2))) == 0.0
+
+
+class TestCompressedActivations:
+    def test_roundtrip(self, rng):
+        acts = relu_like(rng, (3, 4, 8, 8))
+        comp = CompressedActivations.from_dense(acts)
+        np.testing.assert_allclose(comp.to_dense(), acts)
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            CompressedActivations.from_dense(rng.normal(size=(4, 4)))
+
+    def test_slab_matches_dense(self, rng):
+        acts = relu_like(rng, (2, 3, 5, 5))
+        comp = CompressedActivations.from_dense(acts)
+        for n in range(2):
+            for c in range(3):
+                np.testing.assert_allclose(comp.slab(n, c), acts[n, c])
+
+    def test_slab_out_of_range(self, rng):
+        comp = CompressedActivations.from_dense(relu_like(rng, (2, 2, 4, 4)))
+        with pytest.raises(IndexError):
+            comp.slab(2, 0)
+        with pytest.raises(IndexError):
+            comp.slab(0, -1)
+
+    def test_density_and_nnz(self, rng):
+        acts = relu_like(rng, (2, 4, 8, 8), density=0.3)
+        comp = CompressedActivations.from_dense(acts)
+        assert comp.nnz == np.count_nonzero(acts)
+        assert comp.density == pytest.approx(relu_density(acts))
+
+    def test_compression_wins_at_relu_density(self, rng):
+        acts = relu_like(rng, (4, 16, 16, 16), density=0.4)
+        comp = CompressedActivations.from_dense(acts)
+        assert comp.compression_ratio() > 1.5
+
+    def test_compression_loses_when_dense(self, rng):
+        acts = rng.normal(size=(2, 4, 8, 8))  # no zeros
+        comp = CompressedActivations.from_dense(acts)
+        assert comp.compression_ratio() < 1.0
+
+    def test_storage_bits_components(self, rng):
+        acts = relu_like(rng, (2, 3, 4, 4))
+        comp = CompressedActivations.from_dense(acts)
+        bits = comp.storage_bits()
+        assert bits["values"] == comp.nnz * 32
+        assert bits["masks"] == acts.size
+        assert comp.total_storage_bits() == sum(bits.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 4),
+        c=st.integers(1, 6),
+        h=st.integers(1, 10),
+        seed=st.integers(0, 2**31),
+    )
+    def test_roundtrip_property(self, n, c, h, seed):
+        rng = np.random.default_rng(seed)
+        acts = relu_like(rng, (n, c, h, h), density=0.4)
+        comp = CompressedActivations.from_dense(acts)
+        np.testing.assert_allclose(comp.to_dense(), acts)
+
+
+class TestAnalyticStorage:
+    def test_matches_materialized_encoding(self, rng):
+        acts = relu_like(rng, (2, 8, 16, 16), density=0.5)
+        comp = CompressedActivations.from_dense(acts)
+        analytic = storage_bits_at_density(
+            acts.size, comp.density, slab_size=16 * 16
+        )
+        # Pointer granularity differs slightly; values+masks dominate.
+        assert analytic == pytest.approx(comp.total_storage_bits(), rel=0.02)
+
+    def test_zero_density(self):
+        bits = storage_bits_at_density(1000, 0.0)
+        assert bits == 1000 + (1000 // 64 + 1) * 32  # masks + pointers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage_bits_at_density(100, 1.5)
+        with pytest.raises(ValueError):
+            storage_bits_at_density(-1, 0.5)
+
+    def test_monotone_in_density(self):
+        sizes = [
+            storage_bits_at_density(10_000, d)
+            for d in (0.1, 0.3, 0.5, 0.9)
+        ]
+        assert sizes == sorted(sizes)

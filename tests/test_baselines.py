@@ -1,0 +1,155 @@
+"""Tests for the baseline sparse-training algorithms (Section II-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    DynamicSparseReparameterization,
+    GradualMagnitudePruning,
+    GradualMagnitudePruningConfig,
+)
+from repro.models.vgg import mini_vgg_s
+from repro.nn.data import make_blob_images
+from repro.nn.layers import Parameter
+from repro.nn.trainer import Trainer
+
+
+def make_params(rng):
+    return [
+        Parameter("w", rng.normal(size=(32, 32)), prunable=True),
+        Parameter("b", rng.normal(size=(8,)), prunable=False),
+    ]
+
+
+def run_steps(opt, params, rng, steps):
+    for _ in range(steps):
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape) * 0.01
+        opt.step()
+
+
+class TestGradualMagnitudePruning:
+    def test_starts_dense(self, rng):
+        params = make_params(rng)
+        opt = GradualMagnitudePruning(params)
+        assert opt.achieved_sparsity_factor() == pytest.approx(1.0)
+
+    def test_prunes_gradually_to_target(self, rng):
+        params = make_params(rng)
+        cfg = GradualMagnitudePruningConfig(
+            target_sparsity_factor=3.0, prune_interval=5, prune_fraction=0.3
+        )
+        opt = GradualMagnitudePruning(params, cfg)
+        factors = []
+        for _ in range(8):
+            run_steps(opt, params, rng, 5)
+            factors.append(opt.achieved_sparsity_factor())
+        # Monotone non-decreasing sparsity, eventually at/above target.
+        assert all(b >= a - 1e-9 for a, b in zip(factors, factors[1:]))
+        assert factors[-1] >= 3.0
+
+    def test_stops_at_target(self, rng):
+        params = make_params(rng)
+        cfg = GradualMagnitudePruningConfig(
+            target_sparsity_factor=2.0, prune_interval=2, prune_fraction=0.5
+        )
+        opt = GradualMagnitudePruning(params, cfg)
+        run_steps(opt, params, rng, 30)
+        # Once at target, no further pruning rounds fire.
+        assert opt.achieved_sparsity_factor() < 6.0
+
+    def test_pruned_weights_are_zero(self, rng):
+        params = make_params(rng)
+        cfg = GradualMagnitudePruningConfig(prune_interval=3)
+        opt = GradualMagnitudePruning(params, cfg)
+        run_steps(opt, params, rng, 10)
+        mask = opt.masks()["w"]
+        assert np.count_nonzero(params[0].data[~mask]) == 0
+
+    def test_drops_smallest_magnitudes(self, rng):
+        params = [Parameter("w", np.arange(1.0, 101.0), prunable=True)]
+        cfg = GradualMagnitudePruningConfig(
+            prune_interval=1, prune_fraction=0.25, lr=1e-9,
+            target_sparsity_factor=1.3,
+        )
+        opt = GradualMagnitudePruning(params, cfg)
+        params[0].grad = np.zeros(100)
+        opt.step()
+        mask = opt.masks()["w"]
+        assert not mask[:25].any()
+        assert mask[30:].all()
+
+    def test_quantile_selection_avoids_sort(self, rng):
+        params = make_params(rng)
+        cfg = GradualMagnitudePruningConfig(
+            selection="quantile", prune_interval=3, prune_fraction=0.3,
+        )
+        opt = GradualMagnitudePruning(params, cfg)
+        run_steps(opt, params, rng, 20)
+        assert opt.achieved_sparsity_factor() > 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GradualMagnitudePruningConfig(target_sparsity_factor=0.5)
+        with pytest.raises(ValueError):
+            GradualMagnitudePruningConfig(prune_fraction=1.0)
+        with pytest.raises(ValueError):
+            GradualMagnitudePruningConfig(selection="random")
+
+    def test_trains_mini_network(self):
+        train, val = make_blob_images(
+            n_classes=3, samples_per_class=16, size=16, seed=5, noise=0.3
+        )
+        model = mini_vgg_s(n_classes=3, width=8, seed=0)
+        cfg = GradualMagnitudePruningConfig(
+            target_sparsity_factor=2.0, prune_interval=6,
+            prune_fraction=0.15, lr=0.05,
+        )
+        opt = GradualMagnitudePruning(model.parameters(), cfg)
+        history = Trainer(model, opt, train, val, batch_size=8, seed=0).run(4)
+        assert history.best_val_accuracy > 0.45
+        assert opt.achieved_sparsity_factor() > 1.3
+
+
+class TestDynamicSparseReparameterization:
+    def test_starts_at_target_sparsity(self, rng):
+        params = make_params(rng)
+        opt = DynamicSparseReparameterization(
+            params, target_sparsity_factor=4.0, seed=1
+        )
+        assert opt.achieved_sparsity_factor() == pytest.approx(4.0, rel=0.25)
+
+    def test_sparsity_constant_through_rewiring(self, rng):
+        params = make_params(rng)
+        opt = DynamicSparseReparameterization(
+            params, target_sparsity_factor=4.0, rewire_interval=3, seed=1
+        )
+        before = opt.tracked_count()
+        run_steps(opt, params, rng, 12)
+        assert opt.tracked_count() == before
+
+    def test_mask_moves_over_time(self, rng):
+        params = make_params(rng)
+        opt = DynamicSparseReparameterization(
+            params, target_sparsity_factor=4.0, rewire_interval=2,
+            rewire_fraction=0.3, seed=1,
+        )
+        initial = opt.masks()["w"]
+        run_steps(opt, params, rng, 10)
+        final = opt.masks()["w"]
+        assert (initial != final).any()
+
+    def test_pruned_stay_zero(self, rng):
+        params = make_params(rng)
+        opt = DynamicSparseReparameterization(
+            params, target_sparsity_factor=4.0, seed=1
+        )
+        run_steps(opt, params, rng, 7)
+        mask = opt.masks()["w"]
+        assert np.count_nonzero(params[0].data[~mask]) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            DynamicSparseReparameterization(
+                make_params(rng), target_sparsity_factor=0.5
+            )

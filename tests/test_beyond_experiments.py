@@ -1,0 +1,57 @@
+"""Tests for the beyond-the-paper harness drivers."""
+
+import pytest
+
+from repro.harness.beyond_experiments import (
+    format_eager_comparison,
+    format_fabric_pricing,
+    format_format_costs,
+    format_schedule_survey,
+    run_eager_comparison,
+    run_fabric_pricing,
+    run_format_costs,
+    run_schedule_survey,
+)
+
+
+class TestFormatCostsDriver:
+    def test_structure_and_rendering(self):
+        results = run_format_costs(density=0.3)
+        assert set(results) == {"conv", "fc"}
+        rendered = format_format_costs(results)
+        assert "CSB" in rendered and "EIE" in rendered
+        assert "in-place wu" in rendered
+
+
+class TestScheduleSurveyDriver:
+    def test_all_methods_present(self):
+        rows = run_schedule_survey(total_iterations=10_000)
+        assert set(rows) == {
+            "lottery", "eager-pruning", "dsr", "dropback", "procrustes",
+        }
+        rendered = format_schedule_survey(rows)
+        assert "procrustes" in rendered
+
+    def test_headline_ordering(self):
+        rows = run_schedule_survey(total_iterations=300_000)
+        assert rows["procrustes"]["avg_density"] < rows["lottery"]["avg_density"]
+        assert rows["procrustes"]["peak_reduction"] > 1.0
+
+
+class TestFabricPricingDriver:
+    def test_simple_fabric_flat(self):
+        table = run_fabric_pricing(sides=(8, 16))
+        assert table[8]["simple-3net"] == pytest.approx(
+            table[16]["simple-3net"], rel=0.05
+        )
+        rendered = format_fabric_pricing(table)
+        assert "crossbar" in rendered
+
+
+class TestEagerComparisonDriver:
+    def test_rows_and_sorting(self):
+        rows, sorting = run_eager_comparison()
+        assert len(rows) == 3
+        assert sorting > 1.0
+        rendered = format_eager_comparison(rows, sorting)
+        assert "Mcycles" in rendered

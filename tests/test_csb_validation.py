@@ -1,0 +1,74 @@
+"""Failure-injection tests for CSB structural validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csb import CSBTensor
+
+
+@pytest.fixture
+def tensor(rng):
+    dense = rng.normal(size=(4, 3, 3, 3))
+    dense[rng.uniform(size=dense.shape) > 0.4] = 0.0
+    return CSBTensor.from_dense(dense)
+
+
+class TestValidate:
+    def test_fresh_encoding_is_valid(self, tensor):
+        tensor.validate()
+
+    def test_after_rotation_and_transpose(self, rng):
+        conv = rng.normal(size=(4, 3, 3, 3))
+        conv[rng.uniform(size=conv.shape) > 0.4] = 0.0
+        CSBTensor.from_dense(conv).rotate_180().validate()
+        fc = rng.normal(size=(10, 14))
+        fc[rng.uniform(size=fc.shape) > 0.4] = 0.0
+        CSBTensor.from_dense(fc).transpose().validate()
+
+    def test_detects_decreasing_pointers(self, tensor):
+        tensor.pointers[1] = tensor.pointers[-1] + 5
+        with pytest.raises(ValueError, match="decrease|popcount"):
+            tensor.validate()
+
+    def test_detects_mask_popcount_mismatch(self, tensor):
+        # Flip one mask bit without touching pointers or values.
+        block = int(np.argmax(tensor.block_nnz() > 0))
+        flat = tensor.masks[block]
+        flat[np.argmax(flat)] = False
+        with pytest.raises(ValueError, match="popcount"):
+            tensor.validate()
+
+    def test_detects_truncated_values(self, tensor):
+        tensor.values = tensor.values[:-1]
+        with pytest.raises(ValueError, match="value array"):
+            tensor.validate()
+
+    def test_detects_wrong_pointer_shape(self, tensor):
+        tensor.pointers = tensor.pointers[:-1]
+        with pytest.raises(ValueError, match="pointer array"):
+            tensor.validate()
+
+    def test_detects_wrong_mask_shape(self, tensor):
+        tensor.masks = tensor.masks[:, :-1]
+        with pytest.raises(ValueError, match="mask array"):
+            tensor.validate()
+
+    def test_detects_nonzero_start(self, tensor):
+        tensor.pointers = tensor.pointers + 1
+        with pytest.raises(ValueError, match="start at 0"):
+            tensor.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(1, 6),
+    c=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_every_fresh_encoding_validates(k, c, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(k, c, 3, 3))
+    dense[rng.uniform(size=dense.shape) > 0.3] = 0.0
+    CSBTensor.from_dense(dense).validate()

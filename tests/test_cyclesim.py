@@ -1,0 +1,334 @@
+"""Tests for the cycle-level PE-array simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.config import ArchConfig
+from repro.hw.cyclesim import (
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
+    CycleLevelSimulator,
+    FabricConfig,
+    _chunk_channels,
+    _pair_halves_exact,
+)
+from repro.hw.pe import PEArraySimulator
+
+
+def sparse_mask(rng, shape, density=0.2):
+    return rng.uniform(size=shape) < density
+
+
+@pytest.fixture
+def small_arch():
+    return ArchConfig(name="t4x4", pe_rows=4, pe_cols=4)
+
+
+@pytest.fixture
+def roomy_arch():
+    # A register file large enough that no layer in these tests chunks.
+    return ArchConfig(name="t4x4-big-rf", pe_rows=4, pe_cols=4,
+                      rf_bytes_per_pe=1 << 20)
+
+
+class TestChunking:
+    def test_single_chunk_when_budget_ample(self, rng):
+        nnz = rng.integers(0, 9, size=(8, 6))
+        chunks = _chunk_channels(nnz, budget_words=10_000)
+        assert len(chunks) == 1
+        np.testing.assert_array_equal(chunks[0], np.arange(6))
+
+    def test_chunks_partition_channels(self, rng):
+        nnz = rng.integers(0, 9, size=(8, 32))
+        chunks = _chunk_channels(nnz, budget_words=20)
+        recovered = np.concatenate(chunks)
+        np.testing.assert_array_equal(recovered, np.arange(32))
+
+    def test_chunks_respect_budget(self, rng):
+        nnz = rng.integers(0, 9, size=(8, 32))
+        budget = 20
+        chunks = _chunk_channels(nnz, budget_words=budget)
+        for chunk in chunks:
+            if len(chunk) > 1:
+                assert nnz[:, chunk].sum(axis=1).max() <= budget
+
+    def test_oversized_single_kernel_allowed(self):
+        nnz = np.full((2, 3), 50)
+        chunks = _chunk_channels(nnz, budget_words=10)
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            _chunk_channels(np.ones((2, 2), dtype=int), budget_words=0)
+
+
+class TestPairHalvesExact:
+    def test_preserves_total(self, rng):
+        first = rng.integers(0, 100, size=12).astype(float)
+        second = rng.integers(0, 100, size=12).astype(float)
+        paired = _pair_halves_exact(first, second)
+        assert paired.sum() == pytest.approx(first.sum() + second.sum())
+
+    def test_reduces_maximum(self, rng):
+        first = rng.integers(0, 100, size=16).astype(float)
+        second = rng.integers(0, 100, size=16).astype(float)
+        paired = _pair_halves_exact(first, second)
+        assert paired.max() <= first.max() + second.max()
+
+    def test_perfectly_balances_uniform_pairs(self):
+        first = np.array([10.0, 0.0])
+        second = np.array([0.0, 10.0])
+        paired = _pair_halves_exact(first, second)
+        np.testing.assert_allclose(paired, [10.0, 10.0])
+
+
+class TestFabricConfig:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            FabricConfig(h_words=0.0)
+
+    def test_weight_budget_halved_by_double_buffering(self, small_arch):
+        double = CycleLevelSimulator(small_arch, FabricConfig())
+        single = CycleLevelSimulator(
+            small_arch, FabricConfig(double_buffered=False)
+        )
+        assert double.weight_budget_words * 2 == single.weight_budget_words
+
+    def test_rejects_bad_weight_share(self, small_arch):
+        with pytest.raises(ValueError):
+            CycleLevelSimulator(small_arch, rf_weight_share=0.0)
+
+
+class TestKNAgainstAnalytical:
+    """With ideal fabric the cycle sim must match the analytical model."""
+
+    def test_matches_pe_array_simulator(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 6, 3, 3))
+        weight = np.where(mask, rng.normal(size=mask.shape), 0.0)
+        x = rng.normal(size=(8, 6, 10, 10))
+
+        _, stats = PEArraySimulator(roomy_arch).run_conv_kn(x, weight)
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        result = sim.run_conv(mask, p=8, q=8, n=8, mapping="KN")
+
+        assert result.compute_cycles == pytest.approx(stats.cycles, rel=1e-9)
+        assert result.cycles == pytest.approx(stats.cycles, rel=1e-4)
+        assert result.macs == stats.macs
+
+    def test_macs_equal_nnz_times_outputs(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (4, 4, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        result = sim.run_conv(mask, p=5, q=5, n=4, mapping="KN")
+        assert result.macs == int(mask.sum()) * 5 * 5 * 4
+
+    def test_dense_mask_fully_utilizes(self, roomy_arch):
+        mask = np.ones((4, 4, 3, 3), dtype=bool)
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        result = sim.run_conv(mask, p=6, q=6, n=4, mapping="KN")
+        # 4 output channels on 4 rows, 4 samples on 4 columns: all PEs
+        # active, equal work, so utilization approaches 1.
+        assert result.utilization > 0.99
+
+
+class TestKNBalancing:
+    def test_balancing_reduces_cycles_for_skewed_masks(self, rng, roomy_arch):
+        # One dense output channel among sparse ones: the unbalanced
+        # per-set max is the dense channel's work.
+        mask = sparse_mask(rng, (4, 16, 3, 3), density=0.1)
+        mask[0] = True
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        plain = sim.run_conv(mask, p=6, q=6, n=4, mapping="KN")
+        balanced = sim.run_conv(mask, p=6, q=6, n=4, mapping="KN", balance=True)
+        assert balanced.cycles < plain.cycles
+        assert balanced.macs == plain.macs
+
+    def test_balancing_preserves_traffic_pattern(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (4, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        plain = sim.run_conv(mask, p=6, q=6, n=4, mapping="KN")
+        balanced = sim.run_conv(mask, p=6, q=6, n=4, mapping="KN", balance=True)
+        # The defining property of Figure 12: same buses, same word
+        # counts — only the per-PE work distribution changes.
+        assert balanced.bus_words == plain.bus_words
+
+
+class TestCKMapping:
+    def test_ck_runs_and_counts_macs(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        result = sim.run_conv(mask, p=5, q=5, n=3, mapping="CK")
+        assert result.macs == int(mask.sum()) * 5 * 5 * 3
+
+    def test_ck_unicast_carries_all_weights(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        result = sim.run_conv(mask, p=5, q=5, n=3, mapping="CK")
+        assert result.bus_words["unicast"] == int(mask.sum())
+
+    def test_ck_balanced_doubles_iact_traffic(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        plain = sim.run_conv(mask, p=5, q=5, n=3, mapping="CK")
+        balanced = sim.run_conv(mask, p=5, q=5, n=3, mapping="CK", balance=True)
+        assert balanced.bus_words["horizontal"] == pytest.approx(
+            2.0 * plain.bus_words["horizontal"]
+        )
+
+    def test_ck_balanced_equalizes_compute(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (4, 4, 3, 3), density=0.3)
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        balanced = sim.run_conv(mask, p=5, q=5, n=2, mapping="CK", balance=True)
+        # Perfect chip-wide balancing: compute = total / n_pes exactly.
+        expect = int(mask.sum()) * 5 * 5 / roomy_arch.n_pes * 2
+        assert balanced.compute_cycles == pytest.approx(expect)
+
+
+class TestPipelineComposition:
+    def test_double_buffering_hides_fills(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3), density=0.4)
+        double = CycleLevelSimulator(roomy_arch, FabricConfig())
+        single = CycleLevelSimulator(
+            roomy_arch, FabricConfig(double_buffered=False)
+        )
+        fast = double.run_conv(mask, p=8, q=8, n=8, mapping="KN")
+        slow = single.run_conv(mask, p=8, q=8, n=8, mapping="KN")
+        assert fast.cycles < slow.cycles
+
+    def test_starved_fabric_stalls(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3), density=0.4)
+        starved = CycleLevelSimulator(
+            roomy_arch, FabricConfig(h_words=0.01, v_words=0.01)
+        )
+        result = starved.run_conv(mask, p=4, q=4, n=8, mapping="KN")
+        assert result.stall_fraction > 0.5
+        assert result.bound_histogram()["fill"] > 0
+
+    def test_ample_fabric_is_compute_bound(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3), density=0.4)
+        sim = CycleLevelSimulator(roomy_arch, IDEAL_FABRIC)
+        result = sim.run_conv(mask, p=8, q=8, n=8, mapping="KN")
+        hist = result.bound_histogram()
+        assert hist["compute"] == len(result.traces)
+
+    def test_stall_cycles_consistent(self, rng, roomy_arch):
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        result = sim.run_conv(mask, p=6, q=6, n=8, mapping="KN")
+        assert result.stall_cycles == pytest.approx(
+            result.cycles - result.compute_cycles
+        )
+        assert result.stall_cycles >= 0.0
+
+
+class TestRFChunking:
+    def test_small_rf_multiplies_sets(self, rng, small_arch):
+        mask = np.ones((4, 64, 3, 3), dtype=bool)
+        tight = CycleLevelSimulator(
+            ArchConfig(name="tight", pe_rows=4, pe_cols=4,
+                       rf_bytes_per_pe=256),
+            IDEAL_FABRIC,
+        )
+        roomy = CycleLevelSimulator(
+            ArchConfig(name="roomy", pe_rows=4, pe_cols=4,
+                       rf_bytes_per_pe=1 << 20),
+            IDEAL_FABRIC,
+        )
+        few = roomy.run_conv(mask, p=4, q=4, n=4, mapping="KN")
+        many = tight.run_conv(mask, p=4, q=4, n=4, mapping="KN")
+        assert len(many.traces) > len(few.traces)
+        # Work is conserved regardless of chunking.
+        assert many.macs == few.macs
+
+    def test_input_validation(self, small_arch):
+        sim = CycleLevelSimulator(small_arch)
+        with pytest.raises(ValueError):
+            sim.run_conv(np.ones((2, 2)), p=2, q=2, n=2)
+        with pytest.raises(ValueError):
+            sim.run_conv(np.ones((2, 2, 3, 3)), p=0, q=2, n=2)
+        with pytest.raises(ValueError):
+            sim.run_conv(np.ones((2, 2, 3, 3)), p=2, q=2, n=2, mapping="PQ")
+
+
+class TestInterconnectArgument:
+    """The paper's claim, cycle-accurate: the KN multicast dataflow
+    needs less fill bandwidth than unicast-heavy CK."""
+
+    def test_balancing_ck_backfires_on_simple_fabric(self, rng, roomy_arch):
+        # Figure 10: chip-wide balancing equalizes CK's compute, but
+        # the duplicated activation traffic stalls the simple fabric —
+        # total cycles get *worse*, while balanced KN improves with
+        # identical bus traffic (Figure 12).
+        mask = sparse_mask(rng, (16, 16, 3, 3), density=0.2)
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        ck = sim.run_conv(mask, p=4, q=4, n=8, mapping="CK")
+        ck_bal = sim.run_conv(mask, p=4, q=4, n=8, mapping="CK", balance=True)
+        kn = sim.run_conv(mask, p=4, q=4, n=8, mapping="KN")
+        kn_bal = sim.run_conv(mask, p=4, q=4, n=8, mapping="KN", balance=True)
+        assert ck_bal.compute_cycles < ck.compute_cycles  # balance works...
+        assert ck_bal.cycles > ck.cycles  # ...but the fabric can't feed it
+        assert kn_bal.cycles < kn.cycles  # KN balancing helps outright
+        assert kn_bal.cycles < ck_bal.cycles
+
+    def test_kn_faster_than_ck_overall(self, rng, roomy_arch):
+        # Figure 19's headline on the same simple fabric: the
+        # spatial-minibatch mapping beats weight-stationary CK.
+        mask = sparse_mask(rng, (16, 16, 3, 3), density=0.2)
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        kn = sim.run_conv(mask, p=4, q=4, n=8, mapping="KN", balance=True)
+        ck = sim.run_conv(mask, p=4, q=4, n=8, mapping="CK")
+        assert kn.cycles < ck.cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(1, 10),
+    c=st.integers(1, 10),
+    n=st.integers(1, 9),
+    seed=st.integers(0, 2**31),
+)
+def test_mac_conservation_property(k, c, n, seed):
+    """MAC counts never depend on mapping, balancing, or fabric."""
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=(k, c, 3, 3)) < 0.3
+    arch = ArchConfig(name="t", pe_rows=4, pe_cols=4, rf_bytes_per_pe=1 << 20)
+    sim = CycleLevelSimulator(arch, SINGLE_WORD_FABRIC)
+    expect = int(mask.sum()) * 4 * 4 * n
+    for mapping in ("KN", "CK"):
+        for balance in (False, True):
+            result = sim.run_conv(mask, p=4, q=4, n=n,
+                                  mapping=mapping, balance=balance)
+            assert result.macs == expect
+
+
+class TestFabricEnergyBridge:
+    def test_energy_prices_bus_words(self, rng, roomy_arch):
+        from repro.hw.fabric_cost import FabricCostModel
+
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        result = sim.run_conv(mask, p=6, q=6, n=8, mapping="KN")
+        costs = FabricCostModel(roomy_arch).simple_fabric()
+        energy = result.fabric_energy_pj(costs)
+        expect = sum(
+            words * costs.energy_pj_per_word[flow]
+            for flow, words in result.bus_words.items()
+        )
+        assert energy == pytest.approx(expect)
+        assert energy > 0.0
+
+    def test_balanced_kn_same_fabric_energy(self, rng, roomy_arch):
+        from repro.hw.fabric_cost import FabricCostModel
+
+        # Figure 12's invariant, in picojoules: balancing K,N does not
+        # change what the wires carry.
+        mask = sparse_mask(rng, (8, 8, 3, 3))
+        sim = CycleLevelSimulator(roomy_arch, SINGLE_WORD_FABRIC)
+        costs = FabricCostModel(roomy_arch).simple_fabric()
+        plain = sim.run_conv(mask, p=6, q=6, n=8, mapping="KN")
+        balanced = sim.run_conv(mask, p=6, q=6, n=8, mapping="KN",
+                                balance=True)
+        assert balanced.fabric_energy_pj(costs) == pytest.approx(
+            plain.fabric_energy_pj(costs)
+        )

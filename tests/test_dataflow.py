@@ -1,0 +1,299 @@
+"""Tests for mappings, tiling, load balancing, latency, and energy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dataflow.energy_model import layer_phase_energy, network_energy
+from repro.dataflow.latency import network_latency
+from repro.dataflow.loadbalance import balance_sets, pair_halves, split_halves
+from repro.dataflow.mapping import MAPPINGS, allowed_balancing, spatial_dims
+from repro.dataflow.simulator import simulate
+from repro.dataflow.tiling import build_sets
+from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+from repro.hw.energy import DEFAULT_ENERGY_TABLE
+from repro.workloads.layer_spec import conv
+from repro.workloads.phases import phase_op
+from repro.workloads.sparsity import dense_profile, synthetic_profile
+
+
+class TestMapping:
+    def test_kn_dims_fw(self):
+        op = phase_op(conv("c", c=8, k=32, h=8), "fw", 16)
+        m = spatial_dims(op, "KN")
+        assert (m.size1, m.size2) == (32, 16)
+
+    def test_kn_dims_bw_swap(self):
+        op = phase_op(conv("c", c=8, k=32, h=8), "bw", 16)
+        m = spatial_dims(op, "KN")
+        assert m.size1 == 8  # backward out-channels = layer C
+
+    def test_pq_dims(self):
+        op = phase_op(conv("c", c=8, k=32, h=8, stride=2), "fw", 16)
+        m = spatial_dims(op, "PQ")
+        assert (m.size1, m.size2) == (4, 4)
+
+    def test_unknown_mapping(self):
+        op = phase_op(conv("c", c=8, k=32, h=8), "fw", 16)
+        with pytest.raises(ValueError):
+            spatial_dims(op, "XY")
+
+    def test_allowed_balancing(self):
+        assert allowed_balancing("KN", "fw") == "half"
+        assert allowed_balancing("CN", "wu") == "half"
+        assert allowed_balancing("CK", "fw") == "perfect"
+        assert allowed_balancing("PQ", "fw") == "none"
+        assert allowed_balancing("PQ", "wu") == "none"
+
+
+class TestLoadBalance:
+    def test_split_preserves_totals(self, rng):
+        work = rng.uniform(1, 100, size=(50, 16))
+        halves = split_halves(work, rng)
+        np.testing.assert_allclose(
+            halves[:, :16] + halves[:, 16:], work
+        )
+
+    def test_pair_preserves_totals(self, rng):
+        work = rng.uniform(1, 100, size=(50, 16))
+        halves = split_halves(work, rng)
+        paired = pair_halves(halves)
+        np.testing.assert_allclose(
+            paired.sum(axis=1), work.sum(axis=1)
+        )
+
+    def test_balancing_reduces_max(self, rng):
+        # Heavily skewed tiles.
+        work = rng.exponential(10.0, size=(200, 16))
+        balanced = balance_sets(work, rng)
+        assert balanced.max(axis=1).mean() < work.max(axis=1).mean()
+
+    def test_balanced_max_bounded_by_sorted_pairing(self, rng):
+        work = rng.uniform(0, 10, size=(100, 8))
+        balanced = balance_sets(work, rng)
+        # Paired extremes can never exceed the original max + mean.
+        assert (balanced.max(axis=1) <= work.max(axis=1) + work.mean(axis=1) + 1e-9).all()
+
+    def test_pair_rejects_odd(self):
+        with pytest.raises(ValueError):
+            pair_halves(np.ones((3, 5)))
+
+    def test_split_rejects_bad_concentration(self, rng):
+        with pytest.raises(ValueError):
+            split_halves(np.ones((2, 2)), rng, concentration=0.0)
+
+    @given(
+        work=arrays(
+            np.float64,
+            (20, 16),
+            elements=st.floats(0.0, 1e4, allow_nan=False),
+        ),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_balance_invariants(self, work, seed):
+        gen = np.random.default_rng(seed)
+        balanced = balance_sets(work, gen)
+        np.testing.assert_allclose(
+            balanced.sum(axis=1), work.sum(axis=1), rtol=1e-9, atol=1e-9
+        )
+        # max never degrades beyond the unbalanced max.
+        assert (balanced.max(axis=1) <= work.max(axis=1) + 1e-9).all()
+
+
+class TestTiling:
+    @pytest.fixture
+    def layer_sparsity(self, small_profile):
+        return small_profile.layers[1]  # 32 -> 64 conv
+
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    @pytest.mark.parametrize("phase", ["fw", "bw", "wu"])
+    def test_dense_macs_conserved(self, layer_sparsity, mapping, phase, rng):
+        """Total per-PE work across sets equals the layer's MACs."""
+        op = phase_op(layer_sparsity.layer, phase, 32)
+        sets = build_sets(
+            op, mapping, PROCRUSTES_16x16, layer_sparsity, rng, sparse=False
+        )
+        assert sets.total_macs() == pytest.approx(op.dense_macs, rel=0.02)
+
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    def test_sparse_macs_scale_with_density(self, layer_sparsity, mapping, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        sets = build_sets(
+            op, mapping, PROCRUSTES_16x16, layer_sparsity, rng, sparse=True
+        )
+        expected = op.dense_macs * layer_sparsity.weight_density
+        assert sets.total_macs() == pytest.approx(expected, rel=0.15)
+
+    def test_dense_is_perfectly_balanced(self, layer_sparsity, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        sets = build_sets(
+            op, "KN", PROCRUSTES_16x16, layer_sparsity, rng, sparse=False
+        )
+        assert sets.overheads().max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_sparse_unbalanced_has_overhead(self, layer_sparsity, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        sets = build_sets(
+            op, "KN", PROCRUSTES_16x16, layer_sparsity, rng,
+            sparse=True, balance="none",
+        )
+        assert sets.overheads().mean() > 0.02
+
+    def test_half_balancing_reduces_cycles(self, layer_sparsity, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        raw = build_sets(
+            op, "KN", PROCRUSTES_16x16, layer_sparsity,
+            np.random.default_rng(0), sparse=True, balance="none",
+        )
+        balanced = build_sets(
+            op, "KN", PROCRUSTES_16x16, layer_sparsity,
+            np.random.default_rng(0), sparse=True, balance="half",
+        )
+        assert balanced.total_cycles() < raw.total_cycles()
+
+    def test_perfect_balancing_hits_mean_plus_routing_tax(
+        self, layer_sparsity, rng
+    ):
+        """Chip-wide balancing equalizes work but pays the complex
+        interconnect's routing overhead on every set."""
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        sets = build_sets(
+            op, "CK", PROCRUSTES_16x16, layer_sparsity, rng,
+            sparse=True, balance="perfect",
+        )
+        overheads = sets.overheads()
+        assert overheads.max() == pytest.approx(0.10, abs=1e-9)
+        assert overheads.min() == pytest.approx(0.10, abs=1e-9)
+
+    def test_pq_fw_naturally_balanced(self, layer_sparsity, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        sets = build_sets(
+            op, "PQ", PROCRUSTES_16x16, layer_sparsity, rng, sparse=True
+        )
+        assert sets.overheads().max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_pq_low_utilization_on_small_outputs(self, rng, small_profile):
+        """Section II-C: activation-stationary PQ starves on layers
+        with small activation tensors."""
+        small_out = small_profile.layers[2]  # 8x8 output
+        op = phase_op(small_out.layer, "fw", 32)
+        pq = build_sets(op, "PQ", PROCRUSTES_16x16, small_out, rng, sparse=False)
+        kn = build_sets(op, "KN", PROCRUSTES_16x16, small_out, rng, sparse=False)
+        assert pq.total_cycles() > 2.0 * kn.total_cycles()
+
+    def test_depthwise_ck_starves(self, rng):
+        """Depthwise layers leave CK's off-diagonal PEs idle."""
+        from repro.workloads.sparsity import dense_profile
+
+        dw = conv("dw", c=64, k=64, h=8, r=3, groups=64)
+        ls = dense_profile("net", [dw]).layers[0]
+        op = phase_op(dw, "fw", 32)
+        ck = build_sets(op, "CK", PROCRUSTES_16x16, ls, rng, sparse=False)
+        kn = build_sets(op, "KN", PROCRUSTES_16x16, ls, rng, sparse=False)
+        assert ck.total_cycles() > 1.5 * kn.total_cycles()
+
+    def test_bad_balance_mode(self, layer_sparsity, rng):
+        op = phase_op(layer_sparsity.layer, "fw", 32)
+        with pytest.raises(ValueError):
+            build_sets(
+                op, "KN", PROCRUSTES_16x16, layer_sparsity, rng,
+                balance="magic",
+            )
+
+    def test_small_minibatch_idles_columns(self, layer_sparsity, rng):
+        op_small = phase_op(layer_sparsity.layer, "fw", 4)
+        sets = build_sets(
+            op_small, "KN", PROCRUSTES_16x16, layer_sparsity, rng,
+            sparse=False,
+        )
+        assert sets.total_macs() == pytest.approx(
+            op_small.dense_macs, rel=0.02
+        )
+        # 4 of 16 columns busy: busy_pes per set reflects that.
+        assert sets.busy_pes.max() <= 4 * 16
+
+
+class TestLatencyAndEnergy:
+    def test_network_latency_all_phases(self, small_profile):
+        lat = network_latency(small_profile, "KN", PROCRUSTES_16x16, 32)
+        assert set(lat.cycles) == {"fw", "bw", "wu"}
+        assert lat.total_cycles > 0
+
+    def test_sparse_faster_than_dense(self, small_profile, small_specs):
+        dense = dense_profile("net", small_specs)
+        d = network_latency(dense, "KN", BASELINE_16x16, 32, sparse=False)
+        s = network_latency(small_profile, "KN", PROCRUSTES_16x16, 32)
+        assert s.total_cycles < d.total_cycles
+
+    def test_energy_breakdown_positive(self, small_profile):
+        energy = network_energy(
+            small_profile, "KN", PROCRUSTES_16x16, 32, DEFAULT_ENERGY_TABLE
+        )
+        for phase, breakdown in energy.items():
+            assert breakdown.mac_j > 0
+            assert breakdown.dram_j > 0
+            assert breakdown.total_j > 0
+
+    def test_sparse_saves_energy(self, small_profile, small_specs):
+        dense = dense_profile("net", small_specs)
+        d = network_energy(
+            dense, "KN", BASELINE_16x16, 32, DEFAULT_ENERGY_TABLE,
+            sparse=False,
+        )
+        s = network_energy(
+            small_profile, "KN", PROCRUSTES_16x16, 32, DEFAULT_ENERGY_TABLE
+        )
+        assert sum(e.total_j for e in s.values()) < sum(
+            e.total_j for e in d.values()
+        )
+
+    def test_energy_nearly_mapping_independent(self, small_profile):
+        """The paper's Section VI-D finding."""
+        totals = []
+        for mapping in MAPPINGS:
+            energy = network_energy(
+                small_profile, mapping, PROCRUSTES_16x16, 32,
+                DEFAULT_ENERGY_TABLE,
+            )
+            totals.append(sum(e.total_j for e in energy.values()))
+        assert max(totals) / min(totals) < 1.25
+
+    def test_procrustes_units_charged_overhead(self, small_profile):
+        op = phase_op(small_profile.layers[0].layer, "fw", 32)
+        with_units = layer_phase_energy(
+            op, "KN", PROCRUSTES_16x16, small_profile.layers[0],
+            DEFAULT_ENERGY_TABLE,
+        )
+        without = layer_phase_energy(
+            op, "KN", BASELINE_16x16, small_profile.layers[0],
+            DEFAULT_ENERGY_TABLE,
+        )
+        assert with_units.overhead_j > 0.0
+        assert without.overhead_j == 0.0
+        # ... and the overhead is negligible (Table III's point).
+        assert with_units.overhead_j < 0.02 * with_units.total_j
+
+    def test_simulate_end_to_end(self, small_profile):
+        sim = simulate(small_profile, "KN", n=32)
+        assert sim.total_cycles > 0
+        assert sim.total_energy_j > 0
+        assert set(sim.energy_components()) == {
+            "DRAM", "GLB", "RF", "MAC", "overhead",
+        }
+
+    def test_scaled_array_reduces_cycles(self, small_profile):
+        base = simulate(small_profile, "KN", arch=PROCRUSTES_16x16, n=64)
+        big = simulate(
+            small_profile, "KN", arch=PROCRUSTES_16x16.scaled(2), n=64
+        )
+        assert big.total_cycles < base.total_cycles
+
+    def test_latency_overheads_collected(self, small_profile):
+        lat = network_latency(
+            small_profile, "KN", PROCRUSTES_16x16, 32, balance=False
+        )
+        overheads = lat.overheads("fw")
+        assert overheads.size > 0

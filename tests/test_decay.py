@@ -1,0 +1,78 @@
+"""Tests for the initial-weight decay schedule (Algorithm 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import InitialWeightDecay
+
+
+class TestInitialWeightDecay:
+    def test_paper_defaults(self):
+        decay = InitialWeightDecay()
+        assert decay.decay == pytest.approx(0.9)
+        assert decay.zero_after == 1000
+
+    def test_multiplier_at_zero_is_one(self):
+        assert InitialWeightDecay().multiplier(0) == 1.0
+
+    def test_multiplier_decays_geometrically(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=1000)
+        assert decay.multiplier(1) == pytest.approx(0.9)
+        assert decay.multiplier(10) == pytest.approx(0.9 ** 10)
+
+    def test_hard_zero_at_cutoff(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=1000)
+        assert decay.multiplier(999) > 0.0
+        assert decay.multiplier(1000) == 0.0
+        assert decay.multiplier(5000) == 0.0
+
+    def test_is_zero(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=100)
+        assert not decay.is_zero(99)
+        assert decay.is_zero(100)
+
+    def test_disabled_decay_never_zero(self):
+        decay = InitialWeightDecay(decay=1.0, zero_after=None)
+        assert not decay.enabled
+        assert decay.multiplier(10**6) == 1.0
+        assert not decay.is_zero(10**6)
+
+    def test_auto_cutoff_from_fp32_underflow(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=None)
+        # 0.9^t underflows FP32 subnormals near t ~ 980.
+        assert 900 < decay.zero_after < 1100
+
+    def test_paper_cutoff_is_near_fp32_underflow(self):
+        """The paper's 1,000-iteration flush is where FP32 runs out."""
+        auto = InitialWeightDecay(decay=0.9, zero_after=None)
+        assert abs(auto.zero_after - 1000) < 100
+
+    def test_rejects_bad_decay(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                InitialWeightDecay(decay=bad)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            InitialWeightDecay().multiplier(-1)
+
+    def test_rejects_negative_cutoff(self):
+        with pytest.raises(ValueError):
+            InitialWeightDecay(zero_after=-5)
+
+    @given(
+        lam=st.floats(0.5, 0.999),
+        t=st.integers(0, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotonically_nonincreasing(self, lam, t):
+        decay = InitialWeightDecay(decay=lam, zero_after=400)
+        assert decay.multiplier(t) >= decay.multiplier(t + 1)
+
+    @given(lam=st.floats(0.5, 0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_one(self, lam):
+        decay = InitialWeightDecay(decay=lam, zero_after=None)
+        for t in (0, 1, 10, 100):
+            assert 0.0 <= decay.multiplier(t) <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for the Eager Pruning accelerator model (Section VII-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.eager_accel import (
+    EagerPruningAccelerator,
+    sorting_cycles,
+)
+from repro.hw.config import ArchConfig
+
+
+@pytest.fixture
+def arch():
+    return ArchConfig(name="t4x4", pe_rows=4, pe_cols=4)
+
+
+def sparse_mask(rng, shape, density=0.3):
+    return rng.uniform(size=shape) < density
+
+
+class TestSortingCycles:
+    def test_zero_for_trivial(self):
+        assert sorting_cycles(0) == 0.0
+        assert sorting_cycles(1) == 0.0
+
+    def test_matches_stirling_bound(self):
+        n = 15_000_000  # VGG-S weight count
+        cycles = sorting_cycles(n, comparators=256)
+        comparisons = n * math.log2(n) - n / math.log(2.0)
+        assert cycles == pytest.approx(comparisons / 256)
+        # The paper's Section III-B: >1.3M cycles on a 256-PE device.
+        assert cycles > 1.3e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sorting_cycles(100, comparators=0)
+
+
+class TestEagerAllocation:
+    def test_macs_conserved(self, rng, arch):
+        mask = sparse_mask(rng, (8, 4, 3, 3))
+        result = EagerPruningAccelerator(arch).run_conv(mask, p=5, q=5, n=3)
+        assert result.macs == int(mask.sum()) * 5 * 5 * 3
+
+    def test_empty_mask(self, arch):
+        mask = np.zeros((4, 4, 3, 3), dtype=bool)
+        result = EagerPruningAccelerator(arch).run_conv(mask, p=4, q=4, n=2)
+        assert result.cycles == 0.0
+        assert result.macs == 0
+
+    def test_rounds_respect_array_size(self, rng, arch):
+        mask = sparse_mask(rng, (32, 8, 3, 3))
+        result = EagerPruningAccelerator(arch).run_conv(mask, p=4, q=4, n=2)
+        for rnd in result.rounds:
+            assert rnd.pes_used <= arch.n_pes
+
+    def test_denser_filters_get_more_pes(self, arch):
+        mask = np.zeros((2, 16, 3, 3), dtype=bool)
+        mask[0] = True  # dense filter: 144 nnz
+        mask[1, 0, 0, 0] = True  # nearly empty filter: 1 nnz
+        result = EagerPruningAccelerator(arch).run_conv(mask, p=4, q=4, n=1)
+        shares = {
+            ki: share
+            for rnd in result.rounds
+            for ki, share in zip(rnd.filters, rnd.pes_per_filter)
+        }
+        assert shares[0] > shares[1]
+
+    def test_router_traffic_scales_with_split_filters(self, arch):
+        # A filter on one PE routes nothing; split filters route
+        # (share - 1) * P * Q words each.
+        uniform = np.zeros((16, 1, 3, 3), dtype=bool)
+        uniform[:, 0, 0, 0] = True  # 16 filters x 1 nnz -> 1 PE each
+        result = EagerPruningAccelerator(arch).run_conv(uniform, p=4, q=4, n=1)
+        assert result.router_words == 0
+
+        skewed = np.zeros((1, 16, 3, 3), dtype=bool)
+        skewed[0] = True  # one dense filter split across the array
+        result = EagerPruningAccelerator(arch).run_conv(skewed, p=4, q=4, n=1)
+        assert result.router_words > 0
+
+    def test_balances_skewed_masks(self, rng, arch):
+        # The scheme's virtue: strong utilization even when one filter
+        # dominates — that is the point of density-proportional PEs.
+        mask = sparse_mask(rng, (16, 16, 3, 3), density=0.05)
+        mask[0] = True
+        result = EagerPruningAccelerator(arch).run_conv(mask, p=4, q=4, n=4)
+        assert result.utilization > 0.5
+
+    def test_input_validation(self, arch):
+        accel = EagerPruningAccelerator(arch)
+        with pytest.raises(ValueError):
+            accel.run_conv(np.ones((2, 2)), p=4, q=4, n=1)
+        with pytest.raises(ValueError):
+            accel.run_conv(np.ones((2, 2, 3, 3)), p=0, q=4, n=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(1, 12),
+    c=st.integers(1, 8),
+    n=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_eager_mac_conservation_property(k, c, n, seed):
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=(k, c, 3, 3)) < 0.3
+    arch = ArchConfig(name="t", pe_rows=4, pe_cols=4)
+    result = EagerPruningAccelerator(arch).run_conv(mask, p=3, q=3, n=n)
+    assert result.macs == int(mask.sum()) * 9 * n
+    assert result.cycles >= 0.0
+    assert 0.0 <= result.utilization <= 1.0

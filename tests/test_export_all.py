@@ -1,0 +1,81 @@
+"""Tests for the harness export pipeline (fast experiments only)."""
+
+import json
+
+import pytest
+
+from repro.harness.export_all import (
+    _export_fig01,
+    _export_tables,
+    _save_rows,
+)
+from repro.report.export import ResultsDirectory
+
+
+@pytest.fixture
+def results(tmp_path):
+    return ResultsDirectory(tmp_path / "results")
+
+
+class TestSaveRows:
+    def test_writes_record_and_csv(self, results):
+        rows = [
+            {"network": "vgg-s", "total_j": 1.5},
+            {"network": "resnet18", "total_j": 2.5},
+        ]
+        _save_rows(results, "figX", rows, {"mapping": "KN"}, notes="test")
+        record = results.load_record("figX")
+        assert record["params"] == {"mapping": "KN"}
+        assert record["series"]["rows"] == rows
+        csv_path = results.path_for("figX", "rows.csv")
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "network,total_j"
+
+    def test_empty_rows_skip_csv(self, results):
+        _save_rows(results, "figY", [], {}, notes="")
+        assert results.load_record("figY")["series"]["rows"] == []
+        assert not results.path_for("figY", "rows.csv").exists()
+
+
+class TestFig01Export:
+    def test_record_is_loadable_and_sane(self, results):
+        _export_fig01(results)
+        record = results.load_record("fig01")
+        assert record["params"]["network"] == "vgg-s"
+        # Figure 1's headline: >2x ideal speedup and energy saving.
+        assert record["series"]["speedup"] > 2.0
+        assert record["series"]["energy_saving"] > 2.0
+        # Per-phase breakdowns present for all three phases.
+        assert set(record["series"]["dense_cycles"]) == {"fw", "bw", "wu"}
+
+
+class TestTablesExport:
+    def test_table2_and_table3(self, results):
+        _export_tables(results)
+        t2 = results.load_record("table2")
+        networks = {row["network"] for row in t2["series"]["rows"]}
+        assert "vgg-s" in networks and "resnet18" in networks
+        t3 = results.load_record("table3")
+        assert 0.10 < t3["series"]["area_overhead"] < 0.20
+        assert 0.05 < t3["series"]["power_overhead"] < 0.15
+        names = {c["name"] for c in t3["series"]["components"]}
+        assert "Quantile Engine" in names
+
+    def test_records_round_trip_through_json(self, results, tmp_path):
+        _export_tables(results)
+        raw = results.path_for("table3", "record.json").read_text()
+        assert json.loads(raw)["experiment"] == "table3"
+
+
+class TestBeyondExport:
+    def test_three_records_written(self, results):
+        from repro.harness.export_all import _export_beyond
+
+        _export_beyond(results)
+        ids = results.list_experiments()
+        assert {"fabric-pricing", "format-costs", "schedule-survey"} <= set(ids)
+        survey = results.load_record("schedule-survey")
+        assert survey["series"]["procrustes"]["avg_density"] < 0.1
+        fabric = results.load_record("fabric-pricing")
+        assert fabric["series"]["16"]["simple-3net"] < 0.1

@@ -1,0 +1,129 @@
+"""Tests for the interconnect area/energy cost model."""
+
+import pytest
+
+from repro.hw.config import ArchConfig, BASELINE_16x16
+from repro.hw.fabric_cost import (
+    FabricCostModel,
+    FabricCostParams,
+    _pe_pitch_um,
+)
+
+
+@pytest.fixture
+def model():
+    return FabricCostModel(BASELINE_16x16)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        FabricCostParams()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FabricCostParams(wire_pj_per_bit_mm=0.0)
+        with pytest.raises(ValueError):
+            FabricCostParams(word_bits=0)
+
+    def test_pitch_from_table_iii(self):
+        # Per-PE area is dominated by the 198k um^2 register file;
+        # pitch must land in the hundreds of micrometres.
+        assert 300 < _pe_pitch_um() < 800
+
+
+class TestSimpleFabric:
+    def test_structure(self, model):
+        simple = model.simple_fabric()
+        assert simple.name == "simple-3net"
+        assert set(simple.energy_pj_per_word) == {
+            "horizontal",
+            "vertical",
+            "unicast",
+        }
+        assert simple.area_um2 > 0
+
+    def test_multicast_energy_independent_of_listeners(self):
+        # One full-length bus traversal regardless of fan-out: the
+        # energy per word is set by bus length alone.
+        small = FabricCostModel(ArchConfig(name="s", pe_rows=8, pe_cols=8))
+        large = FabricCostModel(ArchConfig(name="l", pe_rows=16, pe_cols=16))
+        e_small = small.simple_fabric().energy_pj_per_word["horizontal"]
+        e_large = large.simple_fabric().energy_pj_per_word["horizontal"]
+        assert e_large == pytest.approx(2.0 * e_small)
+
+    def test_area_fraction_is_modest(self, model):
+        # The simple fabric must stay a small fraction of the PE array
+        # (the paper's fabric is not a reported area line item at all).
+        frac = model.fabric_area_fraction(model.simple_fabric())
+        assert frac < 0.15
+
+
+class TestBalancedCKFabric:
+    def test_costs_more_than_simple(self, model):
+        simple = model.simple_fabric()
+        balanced = model.balanced_ck_fabric()
+        assert balanced.area_um2 > 2.0 * simple.area_um2
+        for flow in ("horizontal", "vertical"):
+            assert (
+                balanced.energy_pj_per_word[flow]
+                > simple.energy_pj_per_word[flow]
+            )
+
+
+class TestCrossbar:
+    def test_superquadratic_in_array_side(self):
+        at_16 = FabricCostModel(
+            ArchConfig(name="16", pe_rows=16, pe_cols=16)
+        ).full_crossbar()
+        at_32 = FabricCostModel(
+            ArchConfig(name="32", pe_rows=32, pe_cols=32)
+        ).full_crossbar()
+        # 4x the PEs: crosspoints grow 16x, port wiring 8x — total
+        # lands well above the 4x a scalable fabric would show.
+        assert at_32.area_um2 > 8.0 * at_16.area_um2
+
+    def test_simple_fabric_grows_subquadratically(self):
+        at_16 = FabricCostModel(
+            ArchConfig(name="16", pe_rows=16, pe_cols=16)
+        ).simple_fabric()
+        at_32 = FabricCostModel(
+            ArchConfig(name="32", pe_rows=32, pe_cols=32)
+        ).simple_fabric()
+        growth = at_32.area_um2 / at_16.area_um2
+        assert growth < 8.0  # ~4x buses x 2x length, vs 16x for crossbar
+
+    def test_crossbar_dominates_at_scale(self):
+        model = FabricCostModel(ArchConfig(name="32", pe_rows=32, pe_cols=32))
+        options = {f.name: f for f in model.options()}
+        assert (
+            options["crossbar"].area_um2
+            > options["balanced-CK"].area_um2
+            > options["simple-3net"].area_um2
+        )
+
+
+class TestScalingStory:
+    def test_simple_fabric_fraction_stays_flat(self):
+        # Figure 20's scalability rests on the fabric share of the die
+        # not exploding as the array quadruples.
+        frac_16 = FabricCostModel(
+            ArchConfig(name="16", pe_rows=16, pe_cols=16)
+        )
+        frac_32 = FabricCostModel(
+            ArchConfig(name="32", pe_rows=32, pe_cols=32)
+        )
+        f16 = frac_16.fabric_area_fraction(frac_16.simple_fabric())
+        f32 = frac_32.fabric_area_fraction(frac_32.simple_fabric())
+        assert f32 < 3.0 * f16
+
+    def test_crossbar_fraction_explodes(self):
+        # The crossbar's share of the die keeps rising with array
+        # size; the simple fabric's share is constant by construction.
+        m16 = FabricCostModel(ArchConfig(name="16", pe_rows=16, pe_cols=16))
+        m64 = FabricCostModel(ArchConfig(name="64", pe_rows=64, pe_cols=64))
+        f16 = m16.fabric_area_fraction(m16.full_crossbar())
+        f64 = m64.fabric_area_fraction(m64.full_crossbar())
+        assert f64 > 4.0 * f16
+        s16 = m16.fabric_area_fraction(m16.simple_fabric())
+        s64 = m64.fabric_area_fraction(m64.simple_fabric())
+        assert s64 == pytest.approx(s16, rel=0.05)

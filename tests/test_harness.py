@@ -1,0 +1,206 @@
+"""Tests for the experiment harness: the paper's headline claims.
+
+These are the acceptance tests of the reproduction — each asserts a
+qualitative result the paper reports (who wins, roughly by how much).
+Heavier sweeps run at reduced scope to stay fast; the full versions
+live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.arch_experiments import (
+    format_fig01,
+    format_fig17,
+    format_fig18,
+    format_fig19,
+    format_fig20,
+    format_histogram,
+    run_fig01_potential,
+    run_fig17_energy_breakdown,
+    run_fig18_fig19_dataflows,
+    run_fig20_scalability,
+    run_imbalance_histogram,
+)
+from repro.harness.common import (
+    histogram_fractions,
+    render_table,
+    sparse_profile_for,
+)
+from repro.harness.tables import (
+    format_table2,
+    format_table3,
+    run_table2,
+    run_table3,
+)
+
+
+class TestCommon:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+
+    def test_histogram_fractions_sum_to_one(self, rng):
+        fractions = histogram_fractions(rng.uniform(0, 2, size=1000))
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_profile_matches_table2_both_ways(self):
+        """Calibration: weight sparsity AND MAC ratio match Table II."""
+        from repro.models.zoo import PAPER_MODELS
+
+        for name, entry in PAPER_MODELS.items():
+            profile = sparse_profile_for(name)
+            t2 = entry.table2
+            assert profile.sparsity_factor() == pytest.approx(
+                t2.sparsity_factor, rel=0.05
+            ), name
+            macs = np.array(
+                [ls.layer.macs_per_sample() for ls in profile.layers]
+            )
+            dens = np.array([ls.weight_density for ls in profile.layers])
+            mac_ratio = macs.sum() / (macs * dens).sum()
+            assert mac_ratio == pytest.approx(
+                t2.dense_macs / t2.sparse_macs, rel=0.15
+            ), name
+
+    def test_sparsity_override(self):
+        profile = sparse_profile_for("resnet18", sparsity_factor=2.9)
+        assert profile.sparsity_factor() == pytest.approx(2.9, rel=0.1)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            sparse_profile_for("lenet")
+
+
+class TestFig01:
+    def test_ideal_potential_bands(self):
+        """Figure 1: ~2.6x speedup and ~2.3x energy at 5x sparsity."""
+        result = run_fig01_potential("vgg-s", sparsity_factor=5.0)
+        assert 1.8 < result.speedup() < 4.0
+        assert 1.8 < result.energy_saving() < 3.5
+        text = format_fig01(result)
+        assert "fw" in text and "speedup" in text
+
+
+class TestImbalanceHistograms:
+    def test_fig5_heavy_tail(self):
+        """Figure 5: unbalanced C,K frequently exceeds 50% overhead."""
+        result = run_imbalance_histogram("vgg-s", "CK", balanced=False)
+        frac_above_50 = sum(
+            frac for center, frac in result.fractions.items()
+            if center >= 0.625
+        )
+        assert result.mean_overhead > 0.3
+        assert frac_above_50 > 0.2
+
+    def test_fig13_collapse(self):
+        """Figure 13: balancing pulls most sets under ~10-30%."""
+        result = run_imbalance_histogram("vgg-s", "KN", balanced=True)
+        assert result.mean_overhead < 0.2
+        assert result.fractions[0.0] > 0.5  # bulk in the lowest bin
+
+    def test_balancing_strictly_improves(self):
+        raw = run_imbalance_histogram("vgg-s", "KN", balanced=False)
+        balanced = run_imbalance_histogram("vgg-s", "KN", balanced=True)
+        assert balanced.mean_overhead < raw.mean_overhead
+
+    def test_format(self):
+        result = run_imbalance_histogram("vgg-s", "KN", balanced=True)
+        text = format_histogram(result, "Figure 13")
+        assert "Figure 13" in text and "%" in text
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig17_energy_breakdown(networks=("vgg-s", "resnet18"))
+
+    def test_savings_in_paper_band(self, result):
+        """Paper: 2.27x-3.26x energy savings."""
+        savings = result.savings()
+        for net, ratio in savings.items():
+            assert 1.7 < ratio < 4.2, (net, ratio)
+
+    def test_mac_dominates_training_energy(self, result):
+        """FP32 MACs dominate training energy (Section VI-C)."""
+        for row in result.rows:
+            if row["network"] == "resnet18" and not row["sparse"]:
+                assert row["MAC"] > row["GLB"]
+                assert row["MAC"] > row["DRAM"]
+
+    def test_format(self, result):
+        text = format_fig17(result)
+        assert "DRAM" in text and "savings" in text
+
+
+class TestFig18Fig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig18_fig19_dataflows(networks=("vgg-s",))
+
+    def test_kn_fastest(self, result):
+        """Figure 19: K,N is the overall fastest mapping."""
+        assert result.fastest_mapping("vgg-s") in ("KN", "CN")
+
+    def test_kn_beats_pq_substantially(self, result):
+        cycles = {
+            str(r["mapping"]): float(r["total_cycles"])
+            for r in result.rows
+            if r["sparse"]
+        }
+        assert cycles["PQ"] > 2.0 * cycles["KN"]
+
+    def test_energy_nearly_flat_across_mappings(self, result):
+        """Figure 18: dataflow choice has negligible energy impact."""
+        assert result.energy_spread("vgg-s", sparse=True) < 1.25
+        assert result.energy_spread("vgg-s", sparse=False) < 1.25
+
+    def test_formats(self, result):
+        assert "fastest" in format_fig19(result)
+        assert "negligible" in format_fig18(result)
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig20_scalability(
+            networks=("resnet18",), mappings=("PQ", "KN")
+        )
+
+    def test_kn_scales_near_ideal(self, result):
+        """Paper: ~3.9x on 4x the cores for the K,N mapping."""
+        scaling = result.latency_scaling("resnet18", "KN")
+        assert 3.0 < scaling <= 4.05
+
+    def test_kn_scales_better_than_pq(self, result):
+        assert result.latency_scaling(
+            "resnet18", "KN"
+        ) > result.latency_scaling("resnet18", "PQ")
+
+    def test_energy_roughly_unchanged(self, result):
+        """Same MACs on more PEs: energy moves little."""
+        assert result.energy_scaling("resnet18", "KN") == pytest.approx(
+            1.0, abs=0.25
+        )
+
+    def test_format(self, result):
+        assert "1024" in format_fig20(result) or "32x32" in format_fig20(result)
+
+
+class TestTables:
+    def test_table2_stats_only(self):
+        result = run_table2(networks=("resnet18",), with_training=False)
+        row = result.rows[0]
+        assert float(row["dense_size"]) == pytest.approx(11.7e6, rel=0.03)
+        assert float(row["sparsity"]) == pytest.approx(11.7, rel=0.1)
+        text = format_table2(result)
+        assert "resnet18" in text
+
+    def test_table3_matches_paper(self):
+        result = run_table3()
+        assert result.area_overhead == pytest.approx(0.14, abs=0.01)
+        assert result.power_overhead == pytest.approx(0.11, abs=0.01)
+        text = format_table3(result)
+        assert "Quantile Engine" in text

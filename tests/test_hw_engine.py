@@ -1,0 +1,156 @@
+"""Tests for the behavioural CSB training engine.
+
+These are the fidelity proofs for Section IV-B: weights held only in
+CSB form serve all three training phases, with the backward pass going
+through the in-place 180-degree rotation and the weight update
+producing QE-filtered compressed gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import ArchConfig
+from repro.hw.engine import SparseTrainingEngine
+from repro.hw.qe_unit import QuantileEngine
+from repro.nn import functional as F
+from repro.sparse.csb import CSBTensor
+
+
+@pytest.fixture
+def arch():
+    return ArchConfig(name="t", pe_rows=4, pe_cols=4)
+
+
+def sparse_weights(rng, shape=(8, 3, 3, 3), density=0.3):
+    dense = rng.normal(size=shape)
+    dense[rng.uniform(size=shape) > density] = 0.0
+    return dense
+
+
+class TestForward:
+    def test_matches_dense_conv(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        engine = SparseTrainingEngine(arch)
+        result = engine.forward(x, csb, padding=1)
+        ref, _ = F.conv2d(x, w, padding=1)
+        np.testing.assert_allclose(result.tensor, ref)
+
+    def test_cycles_scale_with_sparsity(self, arch, rng):
+        x = rng.normal(size=(4, 3, 8, 8))
+        engine = SparseTrainingEngine(arch)
+        dense = CSBTensor.from_dense(rng.normal(size=(8, 3, 3, 3)))
+        sparse = CSBTensor.from_dense(sparse_weights(rng, density=0.2))
+        assert (
+            engine.forward(x, sparse, padding=1).cycles
+            < engine.forward(x, dense, padding=1).cycles
+        )
+
+    def test_macs_count_nnz_only(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        result = SparseTrainingEngine(arch).forward(x, csb, padding=1)
+        assert result.macs == np.count_nonzero(w) * 64 * 4
+
+
+class TestBackward:
+    def test_matches_autograd_dx(self, arch, rng):
+        """The CSB rotation produces exactly the backward operator."""
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        y, cache = F.conv2d(x, w, padding=1)
+        dy = rng.normal(size=y.shape)
+        ref_dx, _, _ = F.conv2d_backward(dy, cache)
+        result = SparseTrainingEngine(arch).backward(dy, csb, padding=1)
+        np.testing.assert_allclose(result.tensor, ref_dx, atol=1e-12)
+
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_padding_variants(self, arch, rng, padding):
+        w = sparse_weights(rng, shape=(4, 2, 3, 3))
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(2, 2, 9, 9))
+        y, cache = F.conv2d(x, w, padding=padding)
+        dy = rng.normal(size=y.shape)
+        ref_dx, _, _ = F.conv2d_backward(dy, cache)
+        result = SparseTrainingEngine(arch).backward(dy, csb, padding=padding)
+        np.testing.assert_allclose(result.tensor, ref_dx, atol=1e-12)
+
+    def test_5x5_kernels(self, arch, rng):
+        """Different kernel sizes, per-layer block shapes (IV-B)."""
+        w = sparse_weights(rng, shape=(4, 2, 5, 5))
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(2, 2, 10, 10))
+        y, cache = F.conv2d(x, w, padding=2)
+        dy = rng.normal(size=y.shape)
+        ref_dx, _, _ = F.conv2d_backward(dy, cache)
+        result = SparseTrainingEngine(arch).backward(dy, csb, padding=2)
+        np.testing.assert_allclose(result.tensor, ref_dx, atol=1e-12)
+
+
+class TestWeightUpdate:
+    def test_matches_autograd_dweight(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        y, cache = F.conv2d(x, w, padding=1)
+        dy = rng.normal(size=y.shape)
+        _, ref_dw, _ = F.conv2d_backward(dy, cache)
+        result, keep, _ = SparseTrainingEngine(arch).weight_update(
+            x, dy, csb, padding=1
+        )
+        np.testing.assert_allclose(result.tensor, ref_dw, atol=1e-10)
+        assert keep.all()  # no QE attached: everything written back
+
+    def test_qe_filters_gradients(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        dy = rng.normal(size=(4, 8, 8, 8))
+        qe = QuantileEngine(sparsity_factor=4.0)
+        # Warm the threshold so the filter actually bites.
+        for _ in range(40):
+            qe.filter(rng.normal(size=4096))
+        engine = SparseTrainingEngine(arch, qe=qe)
+        result, keep, surviving = engine.weight_update(x, dy, csb, padding=1)
+        assert 0 < keep.sum() < keep.size
+        # The compressed write-back holds exactly the survivors.
+        np.testing.assert_allclose(
+            surviving.to_dense(), np.where(keep, result.tensor, 0.0)
+        )
+
+    def test_wu_cycles_follow_activation_sparsity(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        dy = rng.normal(size=(4, 8, 8, 8))
+        dense_x = rng.normal(size=(4, 3, 8, 8))
+        sparse_x = dense_x * (rng.uniform(size=dense_x.shape) < 0.3)
+        engine = SparseTrainingEngine(arch)
+        dense_cycles = engine.weight_update(dense_x, dy, csb, padding=1)[0].cycles
+        sparse_cycles = engine.weight_update(sparse_x, dy, csb, padding=1)[0].cycles
+        assert sparse_cycles < 0.6 * dense_cycles
+
+
+class TestTrainStep:
+    def test_all_phases_run(self, arch, rng):
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        dy = rng.normal(size=(4, 8, 8, 8))
+        phases = SparseTrainingEngine(arch).train_step(x, dy, csb, padding=1)
+        assert set(phases) == {"fw", "bw", "wu"}
+        for result in phases.values():
+            assert result.cycles > 0
+            assert np.isfinite(result.tensor).all()
+
+    def test_fw_bw_same_weight_macs(self, arch, rng):
+        """fw and bw execute the same sparse MAC volume when the
+        spatial extents match (stride 1, same padding)."""
+        w = sparse_weights(rng)
+        csb = CSBTensor.from_dense(w)
+        x = rng.normal(size=(4, 3, 8, 8))
+        dy = rng.normal(size=(4, 8, 8, 8))
+        phases = SparseTrainingEngine(arch).train_step(x, dy, csb, padding=1)
+        assert phases["fw"].macs == pytest.approx(phases["bw"].macs, rel=0.2)

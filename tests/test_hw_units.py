@@ -1,0 +1,217 @@
+"""Tests for the hardware unit models: PRNG/WR, QE, config, area,
+interconnect."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import InitialWeightDecay
+from repro.hw.area import AreaModel
+from repro.hw.config import (
+    BASELINE_16x16,
+    PROCRUSTES_16x16,
+    PROCRUSTES_32x32,
+    ArchConfig,
+)
+from repro.hw.interconnect import traffic_pattern
+from repro.hw.prng import WeightRecomputeUnit, xorshift32, xorshift32_stream
+from repro.hw.qe_unit import QuantileEngine
+
+
+class TestXorshift:
+    def test_known_first_step(self):
+        # x=1: x^=x<<13 -> 8193; ^= >>17 -> 8193; ^= <<5 -> 270369.
+        assert int(xorshift32(1)[0]) == 270369
+
+    def test_zero_state_remapped(self):
+        assert int(xorshift32(0)[0]) != 0
+
+    def test_stream_deterministic(self):
+        a = xorshift32_stream(123, 50)
+        b = xorshift32_stream(123, 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stream_full_period_no_short_cycle(self):
+        values = xorshift32_stream(7, 10_000)
+        assert len(np.unique(values)) == 10_000
+
+    def test_vectorized_matches_scalar(self):
+        states = np.array([1, 2, 3], dtype=np.uint32)
+        out = xorshift32(states)
+        for i, s in enumerate([1, 2, 3]):
+            assert out[i] == xorshift32(s)[0]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            xorshift32_stream(1, -1)
+
+
+class TestWeightRecomputeUnit:
+    def test_stateless_same_index_same_value(self):
+        wr = WeightRecomputeUnit(seed=5, sigma=0.1)
+        a = wr.initial_weights(np.array([7, 9, 7]))
+        assert a[0] == a[2]
+
+    def test_different_seeds_differ(self):
+        idx = np.arange(100)
+        a = WeightRecomputeUnit(seed=1, sigma=0.1).initial_weights(idx)
+        b = WeightRecomputeUnit(seed=2, sigma=0.1).initial_weights(idx)
+        assert not np.array_equal(a, b)
+
+    def test_approximately_gaussian(self):
+        wr = WeightRecomputeUnit(seed=3, sigma=1.0)
+        values = wr.raw_gaussian(np.arange(200_000))
+        assert abs(values.mean()) < 0.02
+        assert values.std() == pytest.approx(1.0, abs=0.03)
+        # Irwin-Hall(3) is bounded: |z| <= 3 after normalization.
+        assert np.abs(values).max() <= 3.001
+        # Roughly normal tails: ~68% within one sigma.
+        within = (np.abs(values) < 1.0).mean()
+        assert 0.6 < within < 0.75
+
+    def test_sigma_scales_output(self):
+        idx = np.arange(1000)
+        small = WeightRecomputeUnit(seed=1, sigma=0.01).initial_weights(idx)
+        large = WeightRecomputeUnit(seed=1, sigma=0.1).initial_weights(idx)
+        np.testing.assert_allclose(large, small * 10.0, rtol=1e-4)
+
+    def test_decay_schedule_folds_into_scaling(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=100)
+        wr = WeightRecomputeUnit(seed=1, sigma=0.5, decay=decay)
+        assert wr.scaling_factor(0) == pytest.approx(0.5)
+        assert wr.scaling_factor(10) == pytest.approx(0.5 * 0.9**10)
+        assert wr.scaling_factor(100) == 0.0
+
+    def test_materialize_tracked_vs_pruned(self):
+        decay = InitialWeightDecay(decay=0.9, zero_after=10)
+        wr = WeightRecomputeUnit(seed=1, sigma=0.1, decay=decay)
+        idx = np.arange(4)
+        accum = np.array([1.0, 2.0, 3.0, 4.0])
+        tracked = np.array([True, False, True, False])
+        out = wr.materialize(idx, accum, tracked, iteration=20)
+        # After the flush, tracked weights are exactly their accums and
+        # pruned weights are exactly zero.
+        np.testing.assert_allclose(out, [1.0, 0.0, 3.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightRecomputeUnit(seed=1, sigma=-1.0)
+        with pytest.raises(ValueError):
+            WeightRecomputeUnit(seed=1, sigma=1.0, rounds=0)
+
+
+class TestQuantileEngine:
+    def test_filters_against_threshold(self, rng):
+        qe = QuantileEngine(sparsity_factor=4.0)
+        for _ in range(50):
+            qe.filter(rng.normal(size=2048))
+        keep = qe.filter(rng.normal(size=2048))
+        fraction = keep.mean()
+        assert 0.1 < fraction < 0.5  # target 0.25
+
+    def test_stats_accumulate(self, rng):
+        qe = QuantileEngine(sparsity_factor=4.0)
+        qe.filter(rng.normal(size=100))
+        qe.filter(rng.normal(size=100))
+        assert qe.stats.observed == 200
+        assert qe.stats.retained + qe.stats.discarded == 200
+
+    def test_cycle_throughput(self, rng):
+        qe = QuantileEngine(sparsity_factor=4.0, updates_per_cycle=4)
+        qe.filter(rng.normal(size=4000))
+        assert qe.stats.cycles == 1000
+
+    def test_keeps_up_with_paper_peak(self):
+        qe = QuantileEngine(sparsity_factor=7.5)
+        assert qe.keeps_up_with(4.0)
+        assert not qe.keeps_up_with(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileEngine(4.0, updates_per_cycle=0)
+
+
+class TestArchConfig:
+    def test_baseline_matches_table1(self):
+        assert BASELINE_16x16.n_pes == 256
+        assert BASELINE_16x16.glb_bytes == 128 * 1024
+        assert BASELINE_16x16.rf_bytes_per_pe == 1024
+        assert BASELINE_16x16.word_bytes == 4
+        assert not BASELINE_16x16.sparse_training_support
+
+    def test_procrustes_adds_units_only(self):
+        assert PROCRUSTES_16x16.n_pes == BASELINE_16x16.n_pes
+        assert PROCRUSTES_16x16.sparse_training_support
+
+    def test_scaled_quadruples_pes_doubles_glb(self):
+        assert PROCRUSTES_32x32.n_pes == 1024
+        assert PROCRUSTES_32x32.glb_bytes == 2 * PROCRUSTES_16x16.glb_bytes
+
+    def test_rf_words(self):
+        assert BASELINE_16x16.rf_words == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArchConfig(pe_rows=0)
+        with pytest.raises(ValueError):
+            PROCRUSTES_16x16.scaled(0)
+
+
+class TestAreaModel:
+    def test_overheads_match_paper(self):
+        model = AreaModel(n_pes=256)
+        assert model.area_overhead() == pytest.approx(0.14, abs=0.01)
+        assert model.power_overhead() == pytest.approx(0.11, abs=0.01)
+
+    def test_per_pe_components_multiply(self):
+        model = AreaModel(n_pes=256)
+        baseline_area = model.total_area_um2(include_procrustes=False)
+        expected = (18_875.72 + 198_004.71) * 256 + 17_109_596.5
+        assert baseline_area == pytest.approx(expected)
+
+    def test_rows_cover_all_components(self):
+        rows = AreaModel().rows()
+        names = {r["component"] for r in rows}
+        assert {"FP32 MAC", "PRNG", "Quantile Engine", "Load Balancer"} <= names
+
+    def test_prng_dwarfed_by_mac(self):
+        """The paper's point: WR area 'pales in comparison' to the MAC."""
+        rows = {r["component"]: r for r in AreaModel().rows()}
+        assert (
+            float(rows["PRNG"]["area_um2"])
+            < 0.15 * float(rows["FP32 MAC"]["area_um2"])
+        )
+
+
+class TestInterconnect:
+    def test_ck_needs_complex_net_for_balancing(self):
+        assert traffic_pattern("CK", "fw").needs_complex_interconnect_for_balancing
+
+    def test_kn_balances_on_simple_fabric(self):
+        for phase in ("fw", "bw", "wu"):
+            assert not traffic_pattern(
+                "KN", phase
+            ).needs_complex_interconnect_for_balancing
+
+    def test_kn_flow_roles_match_figure11(self):
+        pattern = traffic_pattern("KN", "fw")
+        assert pattern.flow_for("weights").pattern == "horizontal"
+        assert pattern.flow_for("iacts").pattern == "vertical"
+        assert pattern.flow_for("psums").pattern == "unicast"
+
+    def test_ck_flow_roles_match_figure3(self):
+        pattern = traffic_pattern("CK", "fw")
+        assert pattern.flow_for("iacts").pattern == "horizontal"
+        assert pattern.flow_for("psums").pattern == "vertical"
+        assert pattern.flow_for("weights").pattern == "unicast"
+
+    def test_pq_wu_unbalanceable(self):
+        assert traffic_pattern("PQ", "wu").needs_complex_interconnect_for_balancing
+        assert not traffic_pattern("PQ", "fw").needs_complex_interconnect_for_balancing
+
+    def test_unknown_inputs_raise(self):
+        with pytest.raises(ValueError):
+            traffic_pattern("XY", "fw")
+        with pytest.raises(ValueError):
+            traffic_pattern("KN", "train")
+        with pytest.raises(KeyError):
+            traffic_pattern("KN", "fw").flow_for("magic")

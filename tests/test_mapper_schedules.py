@@ -1,0 +1,101 @@
+"""Tests for the mapping search and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.mapper import choose_mapping
+from repro.hw.config import PROCRUSTES_16x16
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedules import ScheduledLR, cosine_decay, step_decay, warmup
+
+
+class TestChooseMapping:
+    def test_picks_minibatch_mapping_for_sparse(self, small_profile):
+        choice = choose_mapping(small_profile, PROCRUSTES_16x16, n=32)
+        assert choice.mapping in ("KN", "CN")
+        assert choice.cycles == min(choice.cycles_by_mapping.values())
+
+    def test_simple_fabric_excludes_ck(self, small_profile):
+        choice = choose_mapping(
+            small_profile, PROCRUSTES_16x16, n=32, simple_fabric_only=True
+        )
+        assert "CK" not in choice.cycles_by_mapping
+        assert "PQ" not in choice.cycles_by_mapping  # wu unbalanceable
+
+    def test_advantage_over(self, small_profile):
+        choice = choose_mapping(small_profile, PROCRUSTES_16x16, n=32)
+        assert choice.advantage_over("PQ") >= 1.0
+
+    def test_dense_baseline_search(self, small_profile):
+        from repro.workloads.sparsity import dense_profile
+
+        dense = dense_profile(
+            "net", [ls.layer for ls in small_profile.layers]
+        )
+        choice = choose_mapping(
+            dense, PROCRUSTES_16x16, n=32, sparse=False
+        )
+        assert choice.mapping in ("KN", "CN")
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        schedule = step_decay([10, 20], factor=0.1)
+        assert schedule(0) == 1.0
+        assert schedule(10) == pytest.approx(0.1)
+        assert schedule(25) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        schedule = cosine_decay(100, floor=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(50) == pytest.approx(0.55, abs=0.01)
+
+    def test_cosine_monotone(self):
+        schedule = cosine_decay(50)
+        values = [schedule(i) for i in range(51)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_warmup_ramps(self):
+        schedule = warmup(4)
+        assert schedule(0) == pytest.approx(0.25)
+        assert schedule(3) == pytest.approx(1.0)
+        assert schedule(10) == 1.0
+
+    def test_warmup_chains_base(self):
+        schedule = warmup(2, base=step_decay([5], factor=0.5))
+        assert schedule(1) == pytest.approx(1.0)
+        assert schedule(8) == pytest.approx(0.5)  # 8-2=6 >= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_decay([1], factor=0.0)
+        with pytest.raises(ValueError):
+            cosine_decay(0)
+        with pytest.raises(ValueError):
+            warmup(0)
+
+    def test_scheduled_sgd_applies_multiplier(self):
+        param = Parameter("w", np.zeros(1))
+        sgd = SGD([param], lr=1.0)
+        scheduled = ScheduledLR(sgd, step_decay([1], factor=0.5))
+        param.grad = np.ones(1)
+        scheduled.step()  # lr 1.0
+        assert param.data[0] == pytest.approx(-1.0)
+        param.grad = np.ones(1)
+        scheduled.step()  # lr 0.5
+        assert param.data[0] == pytest.approx(-1.5)
+
+    def test_scheduled_dropback_delegates(self, rng):
+        from repro.core.dropback import DropbackConfig, DropbackOptimizer
+
+        param = Parameter("w", rng.normal(size=16), prunable=True)
+        opt = DropbackOptimizer(
+            [param], DropbackConfig(sparsity_factor=4.0, lr=0.1)
+        )
+        scheduled = ScheduledLR(opt, cosine_decay(10))
+        param.grad = rng.normal(size=16)
+        scheduled.step()
+        assert scheduled.tracked_count() == opt.budget
+        assert scheduled.current_lr < 0.1

@@ -1,0 +1,150 @@
+"""Tests for the training-time memory footprint model."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import paper_schedule
+from repro.hw.memory import (
+    activation_footprint,
+    training_footprint,
+    weight_bits_csb,
+    weight_bits_dense,
+    weight_footprint,
+)
+from repro.workloads.layer_spec import conv, fc
+
+
+@pytest.fixture
+def net():
+    return [
+        conv("c0", c=3, k=64, h=32, r=3),
+        conv("c1", c=64, k=128, h=16, r=3),
+        fc("fc", 128 * 8 * 8, 10),
+    ]
+
+
+class TestWeightBits:
+    def test_dense(self):
+        assert weight_bits_dense(1000) == 32_000
+
+    def test_csb_at_full_density_exceeds_dense(self):
+        # Masks and pointers are pure overhead when nothing is pruned.
+        assert weight_bits_csb(1000, 1.0) > weight_bits_dense(1000)
+
+    def test_csb_at_tenth_density_much_smaller(self):
+        # values 3.2 + mask 1 + pointers ~3.6 bits/weight vs dense 32:
+        # the mask+pointer overhead caps the reduction near 4x.
+        assert weight_bits_csb(10_000, 0.1) < 0.26 * weight_bits_dense(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_bits_csb(100, 1.5)
+        with pytest.raises(ValueError):
+            weight_bits_dense(-1)
+
+
+class TestWeightFootprint:
+    def test_dropback_flat_and_low(self):
+        wf = weight_footprint(paper_schedule("dropback"), 1_000_000, 100_000)
+        assert wf.peak_bits == wf.bits.min()  # flat trajectory
+        assert wf.peak_reduction > 4.0
+
+    def test_gradual_peaks_dense(self):
+        wf = weight_footprint(paper_schedule("lottery"), 1_000_000, 400_000)
+        assert wf.peak_bits == wf.dense_bits
+        assert wf.peak_reduction == pytest.approx(1.0)
+
+    def test_switch_iteration_reported(self):
+        wf = weight_footprint(paper_schedule("lottery"), 1_000_000, 400_000)
+        assert wf.switch_iteration is not None and wf.switch_iteration > 0
+        wf2 = weight_footprint(paper_schedule("dropback"), 1_000_000, 1000)
+        assert wf2.switch_iteration == 0
+
+    def test_best_format_chosen_pointwise(self):
+        wf = weight_footprint(paper_schedule("lottery"), 1_000_000, 400_000)
+        assert (wf.bits <= wf.dense_bits).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_footprint(paper_schedule("dropback"), 1000, 0)
+
+
+class TestActivationFootprint:
+    def test_compression_saves(self, net):
+        af = activation_footprint(net, n=16, act_density=0.4)
+        assert af.reduction > 1.5
+        assert set(af.per_layer_bits) == {"c0", "c1", "fc"}
+
+    def test_dense_activations_never_worse_than_dense(self, net):
+        af = activation_footprint(net, n=16, act_density=1.0)
+        assert af.compressed_bits <= af.dense_bits
+
+    def test_scales_with_minibatch(self, net):
+        small = activation_footprint(net, n=8)
+        large = activation_footprint(net, n=32)
+        assert large.dense_bits == 4 * small.dense_bits
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            activation_footprint(net, n=0)
+
+
+class TestTrainingFootprint:
+    def test_procrustes_beats_gradual_peak(self, net):
+        total = 200_000
+        sparse = training_footprint(
+            paper_schedule("procrustes"), net, n=16, total_iterations=total
+        )
+        gradual = training_footprint(
+            paper_schedule("lottery"), net, n=16, total_iterations=total
+        )
+        assert sparse.weight_peak_bits < 0.3 * gradual.weight_peak_bits
+        assert sparse.total_bits < gradual.total_bits
+
+    def test_optimizer_state_follows_stored_weights(self, net):
+        with_state = training_footprint(
+            paper_schedule("dropback"), net, n=8, total_iterations=1000
+        )
+        without = training_footprint(
+            paper_schedule("dropback"), net, n=8, total_iterations=1000,
+            momentum_state=False,
+        )
+        assert with_state.optimizer_state_bits == with_state.weight_peak_bits
+        assert without.optimizer_state_bits == 0
+
+
+class TestWeightTraffic:
+    def test_dropback_traffic_far_below_dense_methods(self):
+        from repro.hw.memory import weight_traffic
+
+        total = 200_000
+        dropback = weight_traffic(
+            paper_schedule("dropback"), 1_000_000, total
+        )
+        eager = weight_traffic(
+            paper_schedule("eager-pruning"), 1_000_000, total
+        )
+        assert dropback.total_bits < 0.35 * eager.total_bits
+
+    def test_dsr_pays_churn(self):
+        from repro.hw.memory import weight_traffic
+
+        dsr = weight_traffic(paper_schedule("dsr"), 1_000_000, 100_000)
+        dropback = weight_traffic(
+            paper_schedule("dropback"), 1_000_000, 100_000
+        )
+        assert dsr.churn_bits > 0.0
+        assert dropback.churn_bits == 0.0
+
+    def test_reads_equal_writes(self):
+        from repro.hw.memory import weight_traffic
+
+        t = weight_traffic(paper_schedule("lottery"), 500_000, 300_000)
+        assert t.read_bits == t.write_bits
+        assert t.total_bits == t.read_bits + t.write_bits + t.churn_bits
+
+    def test_validation(self):
+        from repro.hw.memory import weight_traffic
+
+        with pytest.raises(ValueError):
+            weight_traffic(paper_schedule("dropback"), 1000, 0)

@@ -1,0 +1,278 @@
+"""Gradient checks and semantics tests for the substrate kernels."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+
+class TestConvForward:
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        y, _ = F.conv2d(x, w, padding=1)
+        np.testing.assert_allclose(y, x)
+
+    def test_output_shape_stride(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        y, _ = F.conv2d(x, w, stride=2, padding=1)
+        assert y.shape == (2, 4, 4, 4)
+
+    def test_matches_naive_loop(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y, _ = F.conv2d(x, w, padding=0)
+        # Naive seven-loop reference (Algorithm 1).
+        n_, c_, h_, w_ = x.shape
+        k_ = w.shape[0]
+        p_ = h_ - 2
+        q_ = w_ - 2
+        ref = np.zeros((n_, k_, p_, q_))
+        for n in range(n_):
+            for k in range(k_):
+                for p in range(p_):
+                    for q in range(q_):
+                        for c in range(c_):
+                            for r in range(3):
+                                for s in range(3):
+                                    ref[n, k, p, q] += (
+                                        w[k, c, r, s] * x[n, c, p + r, q + s]
+                                    )
+        np.testing.assert_allclose(y, ref, atol=1e-10)
+
+    def test_grouped_conv_blocks_channels(self, rng):
+        x = rng.normal(size=(1, 4, 6, 6))
+        w = rng.normal(size=(4, 2, 3, 3))
+        y, _ = F.conv2d(x, w, padding=1, groups=2)
+        # Group 0 outputs must ignore channels 2-3.
+        x2 = x.copy()
+        x2[:, 2:] = 0.0
+        y2, _ = F.conv2d(x2, w, padding=1, groups=2)
+        np.testing.assert_allclose(y[:, :2], y2[:, :2])
+
+    def test_depthwise_conv(self, rng):
+        x = rng.normal(size=(2, 6, 4, 4))
+        w = rng.normal(size=(6, 1, 3, 3))
+        y, _ = F.conv2d(x, w, padding=1, groups=6)
+        assert y.shape == (2, 6, 4, 4)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = np.zeros((3, 2, 1, 1))
+        bias = np.array([1.0, -2.0, 3.0])
+        y, _ = F.conv2d(x, w, bias)
+        np.testing.assert_allclose(y[0, 0], 1.0)
+        np.testing.assert_allclose(y[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 4, 3, 3))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize("stride,padding,groups", [
+        (1, 1, 1), (2, 1, 1), (1, 0, 1), (1, 1, 2), (2, 1, 4),
+    ])
+    def test_gradients_match_numeric(self, rng, stride, padding, groups):
+        x = rng.normal(size=(2, 4, 6, 6))
+        w = rng.normal(size=(4, 4 // groups, 3, 3))
+        y, cache = F.conv2d(x, w, stride=stride, padding=padding,
+                            groups=groups)
+        dy = rng.normal(size=y.shape)
+
+        def loss():
+            out, _ = F.conv2d(x, w, stride=stride, padding=padding,
+                              groups=groups)
+            return float((out * dy).sum())
+
+        dx, dw, _ = F.conv2d_backward(dy, cache)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numeric_gradient(loss, w), atol=1e-6)
+
+    def test_bias_gradient(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        y, cache = F.conv2d(x, w, b, padding=1)
+        dy = rng.normal(size=y.shape)
+        _, _, db = F.conv2d_backward(dy, cache)
+        np.testing.assert_allclose(db, dy.sum(axis=(0, 2, 3)))
+
+    def test_skip_dx_for_first_layer(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3))
+        y, cache = F.conv2d(x, w, padding=1)
+        dx, dw, _ = F.conv2d_backward(np.ones_like(y), cache, need_dx=False)
+        assert dx is None
+        assert dw.shape == w.shape
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        y, _ = F.linear(x, w, b)
+        np.testing.assert_allclose(y, x @ w.T + b)
+
+    def test_gradients_match_numeric(self, rng):
+        x = rng.normal(size=(3, 5))
+        w = rng.normal(size=(4, 5))
+        y, cache = F.linear(x, w)
+        dy = rng.normal(size=y.shape)
+
+        def loss():
+            out, _ = F.linear(x, w)
+            return float((out * dy).sum())
+
+        dx, dw, _ = F.linear_backward(dy, w, cache)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-7)
+        np.testing.assert_allclose(dw, numeric_gradient(loss, w), atol=1e-7)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        y, _ = F.batchnorm2d(
+            x, np.ones(4), np.zeros(4), np.zeros(4), np.ones(4),
+            training=True,
+        )
+        assert abs(y.mean()) < 1e-7
+        assert y.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.normal(2.0, 1.0, size=(16, 2, 4, 4))
+        rm, rv = np.zeros(2), np.ones(2)
+        F.batchnorm2d(x, np.ones(2), np.zeros(2), rm, rv, training=True,
+                      momentum=0.5)
+        assert rm.mean() == pytest.approx(1.0, abs=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        rm, rv = np.full(2, 5.0), np.full(2, 4.0)
+        y, cache = F.batchnorm2d(
+            x, np.ones(2), np.zeros(2), rm, rv, training=False
+        )
+        assert cache is None
+        np.testing.assert_allclose(
+            y, (x - 5.0) / np.sqrt(4.0 + 1e-5), rtol=1e-6
+        )
+
+    def test_gradients_match_numeric(self, rng):
+        x = rng.normal(size=(4, 2, 3, 3))
+        gamma = rng.normal(size=2) + 1.0
+        beta = rng.normal(size=2)
+        y, cache = F.batchnorm2d(
+            x, gamma, beta, np.zeros(2), np.ones(2), training=True
+        )
+        dy = rng.normal(size=y.shape)
+
+        def loss():
+            out, _ = F.batchnorm2d(
+                x, gamma, beta, np.zeros(2), np.ones(2), training=True
+            )
+            return float((out * dy).sum())
+
+        dx, dgamma, dbeta = F.batchnorm2d_backward(dy, cache)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+        np.testing.assert_allclose(
+            dgamma, numeric_gradient(loss, gamma), atol=1e-6
+        )
+        np.testing.assert_allclose(
+            dbeta, numeric_gradient(loss, beta), atol=1e-6
+        )
+
+    def test_dense_gradient_from_sparse_upstream(self, rng):
+        """Section II-B: batch norm destroys dL/dy sparsity."""
+        x = rng.normal(size=(8, 2, 4, 4))
+        y, cache = F.batchnorm2d(
+            x, np.ones(2), np.zeros(2), np.zeros(2), np.ones(2),
+            training=True,
+        )
+        dy = np.zeros_like(y)
+        dy[0, 0, 0, 0] = 1.0  # extremely sparse upstream gradient
+        dx, _, _ = F.batchnorm2d_backward(dy, cache)
+        # Normalization couples every position of the touched channel:
+        # one non-zero in dL/dy densifies that whole channel of dL/dx.
+        channel0 = dx[:, 0]
+        assert np.count_nonzero(channel0) == channel0.size
+
+
+class TestPoolingAndActivations:
+    def test_maxpool_selects_maximum(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d(x, 2)
+        np.testing.assert_allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, cache = F.maxpool2d(x, 2)
+        dy = rng.normal(size=y.shape)
+
+        def loss():
+            out, _ = F.maxpool2d(x, 2)
+            return float((out * dy).sum())
+
+        dx = F.maxpool2d_backward(dy, cache)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-7)
+
+    def test_maxpool_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            F.maxpool2d(rng.normal(size=(1, 1, 5, 5)), 2)
+
+    def test_relu_masks_negatives(self):
+        x = np.array([[-1.0, 2.0, -3.0, 0.5]])
+        y, mask = F.relu(x)
+        np.testing.assert_allclose(y, [[0.0, 2.0, 0.0, 0.5]])
+        assert mask.mean() == 0.5
+
+    def test_relu_backward(self):
+        x = np.array([-1.0, 1.0])
+        _, mask = F.relu(x)
+        np.testing.assert_allclose(
+            F.relu_backward(np.array([3.0, 3.0]), mask), [0.0, 3.0]
+        )
+
+    def test_global_avgpool_and_backward(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y, shape = F.global_avgpool(x)
+        np.testing.assert_allclose(y, x.mean(axis=(2, 3)))
+        dx = F.global_avgpool_backward(np.ones_like(y), shape)
+        np.testing.assert_allclose(dx, 1.0 / 16.0)
+
+
+class TestLoss:
+    def test_softmax_normalizes(self, rng):
+        probs = F.softmax(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stable_with_large_logits(self):
+        probs = F.softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_numeric(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+
+        def loss():
+            value, _ = F.cross_entropy(logits, labels)
+            return value
+
+        _, dlogits = F.cross_entropy(logits.copy(), labels)
+        np.testing.assert_allclose(
+            dlogits, numeric_gradient(loss, logits), atol=1e-7
+        )
+
+    def test_conv_output_size_errors_on_collapse(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)

@@ -1,0 +1,158 @@
+"""Tests for the layer classes and composite blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from tests.conftest import numeric_gradient
+
+
+class TestParameter:
+    def test_prunable_flag(self, rng):
+        p = Parameter("w", rng.normal(size=(2, 2)), prunable=True)
+        assert p.prunable and p.size == 4 and p.shape == (2, 2)
+
+    def test_zero_grad(self, rng):
+        p = Parameter("w", rng.normal(size=(2,)))
+        p.grad = np.ones(2)
+        p.zero_grad()
+        assert p.grad is None
+
+
+class TestConv2dLayer:
+    def test_weight_is_prunable_bias_is_not(self, rng):
+        layer = Conv2d("c", 3, 8, bias=True, rng=rng)
+        prunable = [p.prunable for p in layer.parameters()]
+        assert prunable == [True, False]
+
+    def test_forward_backward_roundtrip(self, rng):
+        layer = Conv2d("c", 2, 4, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        y = layer.forward(x)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+        assert layer.weight.grad.shape == layer.weight.data.shape
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2d("c", 2, 4, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 4, 6, 6)))
+
+    def test_first_layer_skips_dx(self, rng):
+        layer = Conv2d("c", 2, 4, rng=rng)
+        layer.mark_first_layer()
+        x = rng.normal(size=(1, 2, 4, 4))
+        y = layer.forward(x)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.size == 0
+        assert layer.weight.grad is not None
+
+    def test_group_validation(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d("c", 3, 4, groups=2, rng=rng)
+
+
+class TestCompositeLayers:
+    def test_sequential_collects_parameters(self, rng):
+        seq = Sequential(
+            [Conv2d("c", 2, 4, rng=rng), BatchNorm2d("b", 4), ReLU()]
+        )
+        names = [p.name for p in seq.parameters()]
+        assert names == ["c.weight", "b.gamma", "b.beta"]
+
+    def test_sequential_backward_chains(self, rng):
+        seq = Sequential(
+            [Conv2d("c", 2, 4, rng=rng), ReLU(), MaxPool2d(kernel=2)]
+        )
+        x = rng.normal(size=(2, 2, 4, 4))
+        y = seq.forward(x)
+        dx = seq.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_residual_identity_gradient(self, rng):
+        """d/dx of (body(x) + x) must include the skip path."""
+        body = Conv2d("c", 3, 3, rng=rng)
+        block = Residual(body, None, final_relu=False)
+        x = rng.normal(size=(1, 3, 4, 4)) * 0.1
+        dy = rng.normal(size=(1, 3, 4, 4))
+
+        def loss():
+            return float((block.forward(x) * dy).sum())
+
+        block.forward(x)
+        dx = block.backward(dy)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+
+    def test_residual_with_projection_shortcut(self, rng):
+        body = Conv2d("c", 2, 6, stride=2, rng=rng)
+        shortcut = Conv2d("s", 2, 6, kernel=1, stride=2, padding=0, rng=rng)
+        block = Residual(body, shortcut)
+        x = rng.normal(size=(2, 2, 8, 8))
+        y = block.forward(x)
+        assert y.shape == (2, 6, 4, 4)
+        dx = block.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+        assert shortcut.weight.grad is not None
+
+    def test_concat_grows_channels(self, rng):
+        body = Conv2d("c", 4, 2, rng=rng)
+        layer = Concat(body)
+        x = rng.normal(size=(1, 4, 4, 4))
+        y = layer.forward(x)
+        assert y.shape == (1, 6, 4, 4)
+        np.testing.assert_allclose(y[:, :4], x)
+
+    def test_concat_gradient(self, rng):
+        body = Conv2d("c", 2, 2, rng=rng)
+        layer = Concat(body)
+        x = rng.normal(size=(1, 2, 4, 4)) * 0.1
+        dy = rng.normal(size=(1, 4, 4, 4))
+
+        def loss():
+            return float((layer.forward(x) * dy).sum())
+
+        layer.forward(x)
+        dx = layer.backward(dy)
+        np.testing.assert_allclose(dx, numeric_gradient(loss, x), atol=1e-6)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = layer.forward(x)
+        assert y.shape == (2, 48)
+        dx = layer.backward(y)
+        np.testing.assert_allclose(dx, x)
+
+    def test_relu_records_density(self, rng):
+        layer = ReLU()
+        layer.forward(rng.normal(size=(10, 10)))
+        assert 0.2 < layer.last_density < 0.8
+
+    def test_global_avgpool_layer(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = layer.forward(x)
+        assert y.shape == (2, 3)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_linear_layer_gradients(self, rng):
+        layer = Linear("fc", 6, 3, rng=rng)
+        x = rng.normal(size=(4, 6))
+        y = layer.forward(x)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+        assert layer.weight.grad.shape == (3, 6)
+        assert layer.bias.grad.shape == (3,)

@@ -1,0 +1,162 @@
+"""Tests for datasets, the Network container, SGD, and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.models.vgg import mini_vgg_s
+from repro.nn.data import make_blob_images, make_striped_images, minibatches
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+
+
+class TestDatasets:
+    def test_blob_shapes_and_split(self):
+        train, val = make_blob_images(
+            n_classes=4, samples_per_class=10, size=8, val_fraction=0.25
+        )
+        assert train.images.shape[1:] == (3, 8, 8)
+        assert len(train) + len(val) == 40
+        assert len(val) == 10
+        assert train.n_classes == 4
+
+    def test_blob_deterministic_by_seed(self):
+        a, _ = make_blob_images(n_classes=2, samples_per_class=5, seed=9)
+        b, _ = make_blob_images(n_classes=2, samples_per_class=5, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_blob_seed_changes_data(self):
+        a, _ = make_blob_images(n_classes=2, samples_per_class=5, seed=1)
+        b, _ = make_blob_images(n_classes=2, samples_per_class=5, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_striped_shapes(self):
+        train, val = make_striped_images(
+            n_classes=3, samples_per_class=8, channels=2, size=8
+        )
+        assert train.images.shape[1:] == (2, 8, 8)
+        assert train.n_classes == 3
+
+    def test_minibatches_drop_last(self, rng):
+        train, _ = make_blob_images(n_classes=2, samples_per_class=10)
+        batches = list(minibatches(train, 7, rng))
+        assert all(b[0].shape[0] == 7 for b in batches)
+
+    def test_minibatches_cover_all_without_drop(self, rng):
+        train, _ = make_blob_images(n_classes=2, samples_per_class=10)
+        batches = list(minibatches(train, 7, rng, drop_last=False))
+        assert sum(b[0].shape[0] for b in batches) == len(train)
+
+    def test_minibatch_bad_size(self, rng):
+        train, _ = make_blob_images(n_classes=2, samples_per_class=4)
+        with pytest.raises(ValueError):
+            list(minibatches(train, 0, rng))
+
+
+class TestNetwork:
+    def test_parameter_counts(self):
+        net = mini_vgg_s(n_classes=4, width=8)
+        assert net.parameter_count() > net.prunable_count() > 0
+
+    def test_loss_and_grad_fills_gradients(self, rng):
+        net = mini_vgg_s(n_classes=4, width=8)
+        x = rng.normal(size=(4, 3, 16, 16))
+        labels = np.array([0, 1, 2, 3])
+        loss, acc = net.loss_and_grad(x, labels)
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+        assert all(p.grad is not None for p in net.parameters())
+
+    def test_evaluate_batches(self, rng):
+        net = mini_vgg_s(n_classes=3, width=8)
+        x = rng.normal(size=(10, 3, 16, 16))
+        labels = rng.integers(0, 3, size=10)
+        loss, acc = net.evaluate(x, labels, batch_size=4)
+        assert loss > 0 and 0.0 <= acc <= 1.0
+
+    def test_activation_densities_recorded(self, rng):
+        net = mini_vgg_s(n_classes=3, width=8)
+        net.forward(rng.normal(size=(2, 3, 16, 16)))
+        densities = net.activation_densities()
+        assert densities
+        assert all(0.0 <= d <= 1.0 for d in densities.values())
+
+    def test_describe_mentions_layers(self):
+        net = mini_vgg_s(n_classes=3, width=8)
+        text = net.describe()
+        assert "conv" in text and "fc" in text
+
+
+class TestSGD:
+    def test_plain_step(self, rng):
+        p = Parameter("w", np.ones(4))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.ones(4)
+        opt.step()
+        np.testing.assert_allclose(p.data, 0.5)
+
+    def test_weight_decay(self):
+        p = Parameter("w", np.full(3, 2.0))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        np.testing.assert_allclose(p.data, 2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter("a", np.zeros(1))
+        p2 = Parameter("b", np.zeros(1))
+        plain = SGD([p1], lr=0.1)
+        heavy = SGD([p2], lr=0.1, momentum=0.9)
+        for _ in range(5):
+            p1.grad = np.ones(1)
+            p2.grad = np.ones(1)
+            plain.step()
+            heavy.step()
+        assert abs(p2.data[0]) > abs(p1.data[0])
+
+    def test_missing_grad_raises(self):
+        opt = SGD([Parameter("w", np.ones(1))])
+        with pytest.raises(ValueError):
+            opt.step()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], momentum=1.0)
+
+
+class TestTrainer:
+    def _setup(self, seed=0):
+        train, val = make_blob_images(
+            n_classes=3, samples_per_class=16, size=16, seed=5, noise=0.3
+        )
+        net = mini_vgg_s(n_classes=3, width=8, seed=seed)
+        opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+        return Trainer(net, opt, train, val, batch_size=8, seed=seed)
+
+    def test_history_records_epochs(self):
+        trainer = self._setup()
+        history = trainer.run(2)
+        assert history.epochs == [1, 2]
+        assert len(history.val_accuracy) == 2
+        assert history.iterations > 0
+
+    def test_learning_improves_over_random(self):
+        trainer = self._setup()
+        history = trainer.run(4)
+        assert history.best_val_accuracy > 0.5  # chance is 1/3
+
+    def test_epochs_to_reach(self):
+        trainer = self._setup()
+        history = trainer.run(3)
+        epoch = history.epochs_to_reach(0.0)
+        assert epoch == 1
+        assert history.epochs_to_reach(2.0) is None
+
+    def test_activation_densities_collected(self):
+        trainer = self._setup()
+        trainer.run(1)
+        densities = trainer.mean_activation_densities()
+        assert densities
+        assert all(0.0 < d < 1.0 for d in densities.values())

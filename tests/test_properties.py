@@ -1,0 +1,298 @@
+"""Cross-module property tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import InitialWeightDecay
+from repro.core.quantile import DumiqueEstimator
+from repro.dataflow.energy_model import layer_phase_energy
+from repro.dataflow.tiling import build_sets
+from repro.hw.config import PROCRUSTES_16x16
+from repro.hw.energy import DEFAULT_ENERGY_TABLE
+from repro.hw.prng import xorshift32
+from repro.nn import functional as F
+from repro.sparse.csb import CSBTensor
+from repro.workloads.layer_spec import conv
+from repro.workloads.phases import phase_op
+from repro.workloads.sparsity import LayerSparsity
+
+
+def layer_sparsity(density: float, act: float = 0.5) -> LayerSparsity:
+    layer = conv("c", c=16, k=32, h=8, r=3)
+    return LayerSparsity(
+        layer=layer,
+        weight_density=density,
+        out_channel_density=np.full(32, density),
+        in_channel_density=np.full(16, density),
+        iact_density=act,
+    )
+
+
+class TestEnergyProperties:
+    @given(
+        d1=st.floats(0.05, 0.5),
+        d2=st.floats(0.55, 1.0),
+        phase=st.sampled_from(["fw", "bw", "wu"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_monotone_in_density(self, d1, d2, phase):
+        """More surviving weights can never cost less energy."""
+        op_lo = phase_op(layer_sparsity(d1).layer, phase, 16)
+        lo = layer_phase_energy(
+            op_lo, "KN", PROCRUSTES_16x16,
+            layer_sparsity(d1, act=d1), DEFAULT_ENERGY_TABLE,
+        )
+        hi = layer_phase_energy(
+            op_lo, "KN", PROCRUSTES_16x16,
+            layer_sparsity(d2, act=d2), DEFAULT_ENERGY_TABLE,
+        )
+        assert lo.total_j <= hi.total_j
+
+    @given(
+        density=st.floats(0.05, 1.0),
+        mapping=st.sampled_from(["PQ", "CK", "CN", "KN"]),
+        phase=st.sampled_from(["fw", "bw", "wu"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_components_nonnegative(self, density, mapping, phase):
+        ls = layer_sparsity(density)
+        op = phase_op(ls.layer, phase, 16)
+        energy = layer_phase_energy(
+            op, mapping, PROCRUSTES_16x16, ls, DEFAULT_ENERGY_TABLE
+        )
+        for value in energy.as_dict().values():
+            assert value >= 0.0
+
+
+class TestTilingProperties:
+    @given(
+        density=st.floats(0.05, 1.0),
+        seed=st.integers(0, 500),
+        mapping=st.sampled_from(["PQ", "CK", "CN", "KN"]),
+        phase=st.sampled_from(["fw", "bw", "wu"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_at_least_mean(self, density, seed, mapping, phase):
+        ls = layer_sparsity(density)
+        op = phase_op(ls.layer, phase, 16)
+        sets = build_sets(
+            op, mapping, PROCRUSTES_16x16, ls,
+            np.random.default_rng(seed), sparse=True,
+        )
+        assert (sets.max_work >= sets.mean_work - 1e-9).all()
+        assert (sets.overheads() >= -1e-9).all()
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_cycles_bounded_by_serial_execution(self, seed):
+        """Latency can never exceed one PE doing all the work."""
+        ls = layer_sparsity(0.3)
+        op = phase_op(ls.layer, "fw", 16)
+        sets = build_sets(
+            op, "KN", PROCRUSTES_16x16, ls,
+            np.random.default_rng(seed), sparse=True,
+        )
+        assert sets.total_cycles() <= sets.total_macs() + 1e-6
+
+
+class TestQuantileProperties:
+    @given(
+        scale=st.floats(0.01, 100.0),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scale_equivariance(self, scale, seed):
+        """DUMIQUE is multiplicative: scaling data and the initial
+        estimate by c scales the whole trajectory by c."""
+        gen = np.random.default_rng(seed)
+        data = gen.uniform(0.1, 1.0, size=500)
+        a = DumiqueEstimator(0.8, initial=0.5)
+        b = DumiqueEstimator(0.8, initial=0.5 * scale)
+        for value in data:
+            a.update(float(value))
+            b.update(float(value * scale))
+        assert b.estimate == pytest.approx(a.estimate * scale, rel=1e-9)
+
+
+class TestDecayProperties:
+    @given(
+        lam=st.floats(0.5, 0.99),
+        a=st.integers(0, 100),
+        b=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_is_geometric(self, lam, a, b):
+        decay = InitialWeightDecay(decay=lam, zero_after=10**6)
+        assert decay.multiplier(a + b) == pytest.approx(
+            decay.multiplier(a) * decay.multiplier(b), rel=1e-9
+        )
+
+
+class TestConvProperties:
+    @given(
+        seed=st.integers(0, 100),
+        alpha=st.floats(-2.0, 2.0),
+        beta=st.floats(-2.0, 2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_in_input(self, seed, alpha, beta):
+        gen = np.random.default_rng(seed)
+        x1 = gen.normal(size=(2, 3, 6, 6))
+        x2 = gen.normal(size=(2, 3, 6, 6))
+        w = gen.normal(size=(4, 3, 3, 3))
+        lhs, _ = F.conv2d(alpha * x1 + beta * x2, w, padding=1)
+        y1, _ = F.conv2d(x1, w, padding=1)
+        y2, _ = F.conv2d(x2, w, padding=1)
+        np.testing.assert_allclose(lhs, alpha * y1 + beta * y2, atol=1e-9)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_grad_matches_cached_backward(self, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.normal(size=(2, 3, 6, 6))
+        w = gen.normal(size=(4, 3, 3, 3))
+        y, cache = F.conv2d(x, w, padding=1)
+        dy = gen.normal(size=y.shape)
+        _, ref_dw, _ = F.conv2d_backward(dy, cache)
+        standalone = F.conv2d_weight_grad(x, dy, (3, 3), padding=1)
+        np.testing.assert_allclose(standalone, ref_dw, atol=1e-10)
+
+
+class TestSparseProperties:
+    @given(
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_storage_monotone_in_density(self, density, seed):
+        gen = np.random.default_rng(seed)
+        base = gen.normal(size=(8, 4, 3, 3))
+        sparse = base * (gen.uniform(size=base.shape) < density)
+        a = CSBTensor.from_dense(sparse)
+        b = CSBTensor.from_dense(base)
+        assert a.total_storage_bits() <= b.total_storage_bits()
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_preserves_nnz_and_pointers(self, seed):
+        gen = np.random.default_rng(seed)
+        dense = gen.normal(size=(4, 4, 3, 3))
+        dense[gen.uniform(size=dense.shape) > 0.4] = 0.0
+        csb = CSBTensor.from_dense(dense)
+        rotated = csb.rotate_180()
+        assert rotated.nnz == csb.nnz
+        np.testing.assert_array_equal(rotated.pointers, csb.pointers)
+
+
+class TestPrngProperties:
+    @given(seed=st.integers(1, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_xorshift_is_injective_on_batch(self, seed):
+        gen = np.random.default_rng(seed)
+        states = gen.integers(1, 2**32, size=1000, dtype=np.uint32)
+        states = np.unique(states)
+        out = xorshift32(states)
+        assert len(np.unique(out)) == len(states)
+
+
+class TestLoadBalanceProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        n_sets=st.integers(1, 8),
+        width=st.integers(2, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_balancing_preserves_totals_and_helps(self, seed, n_sets, width):
+        from repro.dataflow.loadbalance import balance_sets
+
+        gen = np.random.default_rng(seed)
+        work = gen.integers(0, 1000, size=(n_sets, width)).astype(float)
+        balanced = balance_sets(work, gen)
+        np.testing.assert_allclose(
+            balanced.sum(axis=-1), work.sum(axis=-1), rtol=1e-12
+        )
+        # Pairing sorted halves can never make the maximum worse than
+        # the unbalanced tile maximum plus its own other half.
+        assert (balanced.max(axis=-1) <= work.max(axis=-1) + 1e-9).all()
+
+
+class TestScheduleProperties:
+    @given(
+        fraction=st.floats(0.05, 0.5),
+        interval=st.integers(10, 1000),
+        factor=st.floats(1.5, 20.0),
+        total=st.integers(10, 5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_average_between_extremes(self, fraction, interval, factor, total):
+        from repro.core.schedules import StepwisePruning
+
+        sched = StepwisePruning(
+            name="p", prune_fraction=fraction, interval=interval,
+            target_factor=factor,
+        )
+        curve = sched.density_curve(total)
+        avg = sched.average_density(total)
+        assert curve.min() - 1e-12 <= avg <= curve.max() + 1e-12
+        # Density never increases over time for pruning schedules.
+        assert (np.diff(curve) <= 1e-12).all()
+
+    @given(
+        factor=st.floats(1.0, 50.0),
+        total=st.integers(1, 2000),
+        switch=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_switch_iteration_consistent(self, factor, total, switch):
+        from repro.core.schedules import ConstantSparsity
+
+        sched = ConstantSparsity(name="d", sparsity_factor=factor)
+        t = sched.format_switch_iteration(total, switch_density=switch)
+        if t is None:
+            assert sched.storage_density(0) >= switch
+        else:
+            assert sched.storage_density(t) < switch
+
+
+class TestRivalFormatProperties:
+    @given(
+        rows=st.integers(4, 32),
+        cols=st.integers(2, 12),
+        seed=st.integers(0, 2**31),
+        density=st.floats(0.05, 0.6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_eie_backward_never_cheaper_than_forward(
+        self, rows, cols, seed, density
+    ):
+        from repro.sparse.rivals import access_costs
+
+        gen = np.random.default_rng(seed)
+        dense = gen.normal(size=(rows, cols))
+        dense[gen.uniform(size=dense.shape) > density] = 0.0
+        table = access_costs(dense)
+        csb, eie = table
+        assert csb.backward == csb.forward
+        assert eie.backward >= eie.forward or eie.forward == 0
+
+
+class TestCycleSimProperties:
+    @given(seed=st.integers(0, 500), n=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_double_buffering_never_hurts(self, seed, n):
+        from repro.hw.config import ArchConfig
+        from repro.hw.cyclesim import CycleLevelSimulator, FabricConfig
+
+        gen = np.random.default_rng(seed)
+        mask = gen.uniform(size=(6, 6, 3, 3)) < 0.3
+        arch = ArchConfig(name="t", pe_rows=4, pe_cols=4,
+                          rf_bytes_per_pe=1 << 20)
+        double = CycleLevelSimulator(arch, FabricConfig())
+        single = CycleLevelSimulator(
+            arch, FabricConfig(double_buffered=False)
+        )
+        fast = double.run_conv(mask, p=4, q=4, n=n, mapping="KN")
+        slow = single.run_conv(mask, p=4, q=4, n=n, mapping="KN")
+        assert fast.cycles <= slow.cycles + 1e-9

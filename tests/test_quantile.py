@@ -1,0 +1,174 @@
+"""Tests for the DUMIQUE streaming quantile estimator (Algorithm 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantile import (
+    DumiqueEstimator,
+    ParallelQuantileEstimator,
+    quantile_for_sparsity,
+    sparsity_for_quantile,
+)
+
+
+class TestQuantileConversions:
+    def test_sparsity_ten_means_ninetieth_quantile(self):
+        assert quantile_for_sparsity(10.0) == pytest.approx(0.9)
+
+    def test_sparsity_two_means_median(self):
+        assert quantile_for_sparsity(2.0) == pytest.approx(0.5)
+
+    def test_roundtrip(self):
+        for factor in (1.5, 2.0, 5.2, 7.5, 11.7):
+            q = quantile_for_sparsity(factor)
+            assert sparsity_for_quantile(q) == pytest.approx(factor)
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            quantile_for_sparsity(0.9)
+
+    def test_rejects_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            sparsity_for_quantile(1.0)
+
+
+class TestDumiqueEstimator:
+    def test_paper_defaults(self):
+        est = DumiqueEstimator(0.9)
+        assert est.estimate == pytest.approx(1e-6)
+        assert est.rho == pytest.approx(1e-3)
+
+    def test_update_moves_up_when_below_sample(self):
+        est = DumiqueEstimator(0.9, initial=1.0)
+        est.update(2.0)
+        assert est.estimate > 1.0
+
+    def test_update_moves_down_when_above_sample(self):
+        est = DumiqueEstimator(0.9, initial=1.0)
+        est.update(0.5)
+        assert est.estimate < 1.0
+
+    def test_update_factors_match_algorithm4(self):
+        est = DumiqueEstimator(0.8, rho=1e-2, initial=1.0)
+        est.update(2.0)
+        assert est.estimate == pytest.approx(1.0 + 1e-2 * 0.8)
+        est2 = DumiqueEstimator(0.8, rho=1e-2, initial=1.0)
+        est2.update(0.1)
+        assert est2.estimate == pytest.approx(1.0 - 1e-2 * 0.2)
+
+    def test_converges_to_uniform_quantile(self, rng):
+        est = DumiqueEstimator(0.9, rho=5e-3, initial=0.5)
+        for value in rng.uniform(0, 1, size=60_000):
+            est.update(float(value))
+        assert est.estimate == pytest.approx(0.9, abs=0.05)
+
+    def test_converges_to_exponential_quantile(self, rng):
+        est = DumiqueEstimator(0.75, rho=5e-3, initial=1e-3)
+        data = rng.exponential(2.0, size=80_000)
+        est.update_many(data)
+        truth = float(np.quantile(data, 0.75))
+        assert est.estimate == pytest.approx(truth, rel=0.15)
+
+    def test_update_many_matches_scalar_loop(self, rng):
+        data = rng.lognormal(0, 1.0, size=3000)
+        a = DumiqueEstimator(0.9, initial=0.5)
+        b = DumiqueEstimator(0.9, initial=0.5)
+        for value in data:
+            a.update(float(value))
+        b.update_many(data)
+        assert b.estimate == pytest.approx(a.estimate, rel=1e-6)
+        assert b.count == a.count == 3000
+
+    def test_count_increments(self):
+        est = DumiqueEstimator(0.5)
+        est.update(1.0)
+        est.update(2.0)
+        assert est.count == 2
+
+    @pytest.mark.parametrize("bad_q", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_quantile(self, bad_q):
+        with pytest.raises(ValueError):
+            DumiqueEstimator(bad_q)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            DumiqueEstimator(0.9, rho=0.0)
+
+    def test_rejects_nonpositive_initial(self):
+        with pytest.raises(ValueError):
+            DumiqueEstimator(0.9, initial=0.0)
+
+    def test_estimate_stays_positive(self, rng):
+        est = DumiqueEstimator(0.1, initial=1e-6)
+        est.update_many(rng.uniform(0, 1, size=10_000))
+        assert est.estimate > 0.0
+
+    @given(
+        q=st.floats(0.05, 0.95),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equilibrium_property(self, q, seed):
+        """At equilibrium the estimate sits near the q-th quantile."""
+        gen = np.random.default_rng(seed)
+        est = DumiqueEstimator(q, rho=1e-2, initial=0.5)
+        data = gen.uniform(0, 1, size=30_000)
+        est.update_many(data)
+        assert abs(est.estimate - q) < 0.12
+
+
+class TestParallelQuantileEstimator:
+    def test_width_one_matches_scalar(self, rng):
+        data = rng.uniform(0, 1, size=2000)
+        scalar = DumiqueEstimator(0.9, initial=0.5)
+        parallel = ParallelQuantileEstimator(0.9, width=1, initial=0.5)
+        scalar.update_many(data)
+        parallel.update_many(data)
+        assert parallel.estimate == pytest.approx(scalar.estimate, rel=1e-9)
+
+    def test_group_averaging(self):
+        est = ParallelQuantileEstimator(0.9, width=4, rho=1e-2, initial=1.0)
+        # One full group of four values averaging 2.0 -> single up-move.
+        est.update_many(np.array([1.0, 2.0, 3.0, 2.0]))
+        assert est.estimate == pytest.approx(1.0 * (1 + 1e-2 * 0.9))
+
+    def test_cycle_accounting_one_group_per_cycle(self, rng):
+        est = ParallelQuantileEstimator(0.9, width=4)
+        est.update_many(rng.uniform(0, 1, size=4000))
+        assert est.cycles == 1000
+
+    def test_partial_group_waits(self):
+        est = ParallelQuantileEstimator(0.9, width=4, initial=1.0)
+        est.update(2.0)
+        est.update(2.0)
+        assert est.estimate == pytest.approx(1.0)  # no update fired yet
+        assert est.cycles == 0
+
+    def test_flush_fires_partial_group(self):
+        est = ParallelQuantileEstimator(0.9, width=4, rho=1e-2, initial=1.0)
+        est.update(2.0)
+        est.flush()
+        assert est.estimate > 1.0
+        assert est.cycles == 1
+
+    def test_converges_to_group_mean_quantile(self, rng):
+        est = ParallelQuantileEstimator(0.9, width=4, rho=5e-3, initial=0.5)
+        est.update_many(rng.uniform(0, 1, size=80_000))
+        # The width-4 variant estimates the quantile of 4-sample means:
+        # for U(0,1) that is 0.5 + 1.282 * (1/sqrt(12))/2 ~ 0.685.
+        assert est.estimate == pytest.approx(0.685, abs=0.05)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ParallelQuantileEstimator(0.9, width=0)
+
+    def test_keeps_up_with_peak_rate(self):
+        # 4 updates/cycle is exactly the paper's peak VGG-S demand.
+        est = ParallelQuantileEstimator(0.9, width=4)
+        n = 10_000
+        est.update_many(np.linspace(0, 1, n))
+        assert est.cycles == math.ceil(n / 4)

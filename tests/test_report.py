@@ -1,0 +1,181 @@
+"""Tests for the report package (ASCII plots, CSV/JSON export)."""
+
+import csv
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.report.ascii_plot import (
+    bar_chart,
+    grouped_bars,
+    histogram,
+    line_plot,
+    sparkline,
+)
+from repro.report.export import (
+    ResultsDirectory,
+    experiment_record,
+    write_csv,
+    write_json,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [3.0], title="T", unit=" J")
+        assert out.splitlines()[0] == "T"
+        assert out.endswith("3 J")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestHistogram:
+    def test_percent_labels(self):
+        out = histogram({0.0: 0.5, 0.3125: 0.25}, width=8)
+        assert "50.0%" in out
+        assert "25.0%" in out
+
+    def test_zero_bins_render(self):
+        out = histogram({0.0: 1.0, 1.25: 0.0})
+        assert "0.0%" in out
+
+
+class TestLinePlot:
+    def test_contains_all_glyphs(self):
+        out = line_plot(
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]}, width=20, height=6
+        )
+        assert "o" in out and "x" in out
+        assert "o=up" in out and "x=down" in out
+
+    def test_y_axis_labels(self):
+        out = line_plot({"s": [0.0, 1.0]}, width=10, height=4)
+        assert "1.000" in out and "0.000" in out
+
+    def test_fixed_range_clamps(self):
+        out = line_plot(
+            {"s": [0.5, 2.0]}, width=10, height=4, y_range=(0.0, 1.0)
+        )
+        assert "1.000" in out
+
+    def test_empty_series(self):
+        assert line_plot({}) == "(no data)"
+        assert line_plot({"a": []}, title="t") == "t"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]}, width=1)
+
+
+class TestGroupedBars:
+    def test_layout(self):
+        out = grouped_bars(
+            {"fw": {"dense": 2.0, "sparse": 1.0}, "bw": {"dense": 4.0}},
+            width=8,
+        )
+        assert "fw:" in out and "bw:" in out
+        # Global scaling: the 4.0 bar is full width.
+        assert "████████" in out
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bars({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars({"g": {"s": -1.0}})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] < line[-1]
+        assert len(line) == 4
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "t.csv", ["a", "b"], [[1, 2.5], [np.int64(3), "x"]]
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2.5"], ["3", "x"]]
+
+    def test_csv_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+    def test_json_coerces_numpy_and_dataclasses(self, tmp_path):
+        @dataclass
+        class Point:
+            x: int
+            y: float
+
+        payload = {
+            "arr": np.arange(3),
+            "scalar": np.float64(1.5),
+            "point": Point(1, 2.0),
+            "nested": {"t": (1, 2)},
+        }
+        path = write_json(tmp_path / "d" / "t.json", payload)
+        loaded = json.loads(path.read_text())
+        assert loaded["arr"] == [0, 1, 2]
+        assert loaded["scalar"] == 1.5
+        assert loaded["point"] == {"x": 1, "y": 2.0}
+        assert loaded["nested"]["t"] == [1, 2]
+
+    def test_experiment_record_shape(self):
+        rec = experiment_record(
+            "fig17", {"n": 64}, {"energy": [1.0, 2.0]}, notes="kn"
+        )
+        assert rec["experiment"] == "fig17"
+        assert rec["params"] == {"n": 64}
+        assert rec["series"]["energy"] == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            experiment_record("", {}, {})
+
+
+class TestResultsDirectory:
+    def test_save_and_load(self, tmp_path):
+        results = ResultsDirectory(tmp_path / "results")
+        rec = experiment_record("fig05", {"net": "vgg-s"}, {"bins": [0.5]})
+        results.save_record(rec)
+        assert results.load_record("fig05")["params"]["net"] == "vgg-s"
+        assert results.list_experiments() == ["fig05"]
+
+    def test_save_table(self, tmp_path):
+        results = ResultsDirectory(tmp_path / "results")
+        path = results.save_table("table2", "rows", ["m"], [["vgg"]])
+        assert path.exists()
+        assert path.name == "rows.csv"
+
+    def test_missing_id_rejected(self, tmp_path):
+        results = ResultsDirectory(tmp_path)
+        with pytest.raises(ValueError):
+            results.save_record({"series": {}})
+
+    def test_empty_listing(self, tmp_path):
+        assert ResultsDirectory(tmp_path / "nope").list_experiments() == []

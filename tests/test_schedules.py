@@ -1,0 +1,190 @@
+"""Tests for the sparsity-over-training schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedules import (
+    PAPER_SCHEDULES,
+    ConstantSparsity,
+    SparseFromScratch,
+    StepwisePruning,
+    paper_schedule,
+)
+
+
+class TestConstantSparsity:
+    def test_density_constant(self):
+        sched = ConstantSparsity(name="d", sparsity_factor=10.0)
+        assert sched.density(0) == pytest.approx(0.1)
+        assert sched.density(1_000_000) == pytest.approx(0.1)
+
+    def test_decay_prefix_is_computation_dense(self):
+        sched = ConstantSparsity(
+            name="p", sparsity_factor=10.0, decay_iterations=1000
+        )
+        assert sched.density(0) == 1.0
+        assert sched.density(999) == 1.0
+        assert sched.density(1000) == pytest.approx(0.1)
+
+    def test_storage_sparse_throughout(self):
+        sched = ConstantSparsity(
+            name="p", sparsity_factor=10.0, decay_iterations=1000
+        )
+        assert sched.storage_density(0) == pytest.approx(0.1)
+        assert sched.peak_density(10_000) == pytest.approx(0.1)
+
+    def test_no_format_switch_needed(self):
+        sched = ConstantSparsity(name="d", sparsity_factor=10.0)
+        assert sched.format_switch_iteration(1000) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSparsity(name="bad", sparsity_factor=0.5)
+        with pytest.raises(ValueError):
+            ConstantSparsity(name="bad", sparsity_factor=2, decay_iterations=-1)
+
+
+class TestStepwisePruning:
+    def test_density_steps_down(self):
+        sched = StepwisePruning(
+            name="lt", prune_fraction=0.2, interval=100, target_factor=5.0
+        )
+        assert sched.density(0) == 1.0
+        assert sched.density(99) == 1.0
+        assert sched.density(100) == pytest.approx(0.8)
+        assert sched.density(200) == pytest.approx(0.64)
+
+    def test_density_floors_at_target(self):
+        sched = StepwisePruning(
+            name="lt", prune_fraction=0.2, interval=10, target_factor=5.0
+        )
+        assert sched.density(10_000) == pytest.approx(0.2)
+
+    def test_rounds_to_target(self):
+        sched = StepwisePruning(
+            name="lt", prune_fraction=0.2, interval=10, target_factor=5.0
+        )
+        rounds = sched.rounds_to_target()
+        assert (1 - 0.2) ** rounds <= 0.2 < (1 - 0.2) ** (rounds - 1)
+
+    def test_peak_is_dense(self):
+        sched = StepwisePruning(
+            name="lt", prune_fraction=0.2, interval=10, target_factor=5.0
+        )
+        # Intro claim (i): gradual pruning has no peak-memory benefit.
+        assert sched.peak_density(1000) == 1.0
+
+    def test_average_density_is_high(self):
+        # Eager Pruning's slow schedule keeps density high for most of
+        # a typical run — intro claim (ii).
+        sched = paper_schedule("eager-pruning")
+        avg = sched.average_density(450_000)
+        assert avg > 0.6
+
+    def test_format_switch_is_late(self):
+        sched = StepwisePruning(
+            name="lt", prune_fraction=0.2, interval=100, target_factor=5.0
+        )
+        switch = sched.format_switch_iteration(10_000)
+        assert switch is not None and switch > 0
+
+    def test_never_switches_if_target_high_density(self):
+        sched = StepwisePruning(
+            name="mild", prune_fraction=0.1, interval=100, target_factor=1.5
+        )
+        assert sched.format_switch_iteration(10_000) is None
+
+    def test_rejects_negative_iteration(self):
+        sched = paper_schedule("lottery")
+        with pytest.raises(ValueError):
+            sched.density(-1)
+
+
+class TestSparseFromScratch:
+    def test_flat_density(self):
+        sched = SparseFromScratch(name="dsr", sparsity_factor=3.5)
+        assert sched.density(0) == pytest.approx(1 / 3.5)
+        assert sched.peak_density(1000) == pytest.approx(1 / 3.5)
+
+    def test_mask_churn(self):
+        sched = SparseFromScratch(
+            name="dsr",
+            sparsity_factor=4.0,
+            rewire_interval=100,
+            rewire_fraction=0.1,
+        )
+        churn = sched.mask_churn_per_iteration(1_000_000)
+        assert churn == pytest.approx(1_000_000 / 4 * 0.1 / 100)
+
+
+class TestPaperSchedules:
+    def test_registry_contents(self):
+        assert set(PAPER_SCHEDULES) == {
+            "lottery",
+            "eager-pruning",
+            "dsr",
+            "dropback",
+            "procrustes",
+        }
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            paper_schedule("magic")
+
+    def test_lookup_case_insensitive(self):
+        assert paper_schedule("Dropback").name == "dropback"
+
+    def test_procrustes_beats_gradual_on_average_density(self):
+        # The intro's energy argument in one assertion: over a
+        # ResNet-scale run, the sparse-from-scratch schedules have far
+        # lower average (computation) density.
+        total = 450_000
+        procrustes = paper_schedule("procrustes").average_density(total)
+        lottery = paper_schedule("lottery").average_density(total)
+        eager = paper_schedule("eager-pruning").average_density(total)
+        assert procrustes < lottery / 3
+        assert procrustes < eager / 3
+
+    def test_density_curve_matches_pointwise(self):
+        sched = paper_schedule("lottery")
+        curve = sched.density_curve(500)
+        assert curve.shape == (500,)
+        assert curve[0] == sched.density(0)
+        assert curve[-1] == sched.density(499)
+
+    def test_final_sparsity_factor(self):
+        sched = ConstantSparsity(name="d", sparsity_factor=8.0)
+        assert sched.final_sparsity_factor(100) == pytest.approx(8.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fraction=st.floats(0.01, 0.5),
+    interval=st.integers(1, 500),
+    factor=st.floats(1.1, 20.0),
+    t=st.integers(0, 10_000),
+)
+def test_stepwise_density_bounds_property(fraction, interval, factor, t):
+    sched = StepwisePruning(
+        name="p", prune_fraction=fraction, interval=interval,
+        target_factor=factor,
+    )
+    d = sched.density(t)
+    assert 1.0 / factor - 1e-12 <= d <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    factor=st.floats(1.0, 50.0),
+    decay=st.integers(0, 5000),
+    t=st.integers(0, 10_000),
+)
+def test_storage_never_exceeds_computation_density_for_dropback(
+    factor, decay, t
+):
+    sched = ConstantSparsity(
+        name="d", sparsity_factor=factor, decay_iterations=decay
+    )
+    assert sched.storage_density(t) <= sched.density(t) + 1e-12

@@ -1,0 +1,205 @@
+"""Tests for the compressed-sparse-block format (Figure 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.blocks import BlockGrid, conv_grid, fc_grid
+from repro.sparse.csb import CSBTensor
+
+
+def random_sparse(rng, shape, density=0.25):
+    dense = rng.normal(size=shape)
+    dense[rng.uniform(size=shape) > density] = 0.0
+    return dense
+
+
+class TestBlockGrid:
+    def test_conv_grid_shape(self):
+        grid = conv_grid((8, 4, 3, 3))
+        assert grid.grid_shape == (8, 4)
+        assert grid.block_shape == (3, 3)
+        assert grid.n_blocks == 32
+        assert grid.block_size == 9
+
+    def test_fc_grid_padding(self):
+        grid = fc_grid((10, 14), block_size=8)
+        assert grid.grid_shape == (2, 2)
+
+    def test_conv_blocks_roundtrip(self, rng):
+        grid = conv_grid((4, 3, 3, 3))
+        dense = rng.normal(size=(4, 3, 3, 3))
+        np.testing.assert_allclose(
+            grid.from_blocks(grid.to_blocks(dense)), dense
+        )
+
+    def test_fc_blocks_roundtrip_with_padding(self, rng):
+        grid = fc_grid((10, 13), block_size=4)
+        dense = rng.normal(size=(10, 13))
+        np.testing.assert_allclose(
+            grid.from_blocks(grid.to_blocks(dense)), dense
+        )
+
+    def test_block_index(self):
+        grid = conv_grid((4, 3, 3, 3))
+        assert grid.block_index(0, 0) == 0
+        assert grid.block_index(1, 0) == 3
+        with pytest.raises(ValueError):
+            grid.block_index(1)
+
+    def test_shape_mismatch_raises(self, rng):
+        grid = conv_grid((4, 3, 3, 3))
+        with pytest.raises(ValueError):
+            grid.to_blocks(rng.normal(size=(4, 3, 5, 5)))
+
+    def test_fc_grid_validation(self):
+        with pytest.raises(ValueError):
+            fc_grid((4, 4), block_size=0)
+
+
+class TestCSBTensor:
+    def test_conv_roundtrip(self, rng):
+        dense = random_sparse(rng, (6, 4, 3, 3))
+        csb = CSBTensor.from_dense(dense)
+        np.testing.assert_allclose(csb.to_dense(), dense)
+
+    def test_fc_roundtrip(self, rng):
+        dense = random_sparse(rng, (20, 30))
+        csb = CSBTensor.from_dense(dense, fc_block_size=8)
+        np.testing.assert_allclose(csb.to_dense(), dense)
+
+    def test_nnz_and_density(self, rng):
+        dense = random_sparse(rng, (4, 4, 3, 3), density=0.3)
+        csb = CSBTensor.from_dense(dense)
+        assert csb.nnz == np.count_nonzero(dense)
+        assert csb.density == pytest.approx(
+            np.count_nonzero(dense) / dense.size
+        )
+
+    def test_block_nnz_from_pointer_differences(self, rng):
+        """Section IV-B: tile density via pointer arithmetic alone."""
+        dense = random_sparse(rng, (5, 3, 3, 3))
+        csb = CSBTensor.from_dense(dense)
+        per_kernel = np.count_nonzero(
+            dense.reshape(15, 9), axis=1
+        )
+        np.testing.assert_array_equal(csb.block_nnz(), per_kernel)
+
+    def test_gather_block(self, rng):
+        dense = random_sparse(rng, (2, 2, 3, 3))
+        csb = CSBTensor.from_dense(dense)
+        np.testing.assert_allclose(csb.gather_block(3), dense[1, 1])
+
+    def test_rotation_matches_dense_rotation(self, rng):
+        """Kernels rotate 180 degrees for the backward pass."""
+        dense = random_sparse(rng, (4, 3, 3, 3))
+        rotated = CSBTensor.from_dense(dense).rotate_180().to_dense()
+        np.testing.assert_allclose(rotated, dense[:, :, ::-1, ::-1])
+
+    def test_rotation_is_value_reversal_per_block(self, rng):
+        """The packed values simply reverse — no decompression needed."""
+        dense = random_sparse(rng, (2, 2, 3, 3))
+        csb = CSBTensor.from_dense(dense)
+        rotated = csb.rotate_180()
+        for b in range(csb.grid.n_blocks):
+            np.testing.assert_allclose(
+                rotated.block_values(b), csb.block_values(b)[::-1]
+            )
+
+    def test_rotation_rejected_for_fc(self, rng):
+        csb = CSBTensor.from_dense(random_sparse(rng, (8, 8)))
+        with pytest.raises(ValueError):
+            csb.rotate_180()
+
+    def test_transpose_matches_dense_transpose(self, rng):
+        dense = random_sparse(rng, (12, 20))
+        transposed = CSBTensor.from_dense(
+            dense, fc_block_size=4
+        ).transpose().to_dense()
+        np.testing.assert_allclose(transposed, dense.T)
+
+    def test_transpose_rejected_for_conv(self, rng):
+        csb = CSBTensor.from_dense(random_sparse(rng, (2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            csb.transpose()
+
+    def test_double_transforms_are_identity(self, rng):
+        conv = CSBTensor.from_dense(random_sparse(rng, (3, 2, 3, 3)))
+        np.testing.assert_allclose(
+            conv.rotate_180().rotate_180().to_dense(), conv.to_dense()
+        )
+        fc = CSBTensor.from_dense(random_sparse(rng, (9, 7)), fc_block_size=4)
+        np.testing.assert_allclose(
+            fc.transpose().transpose().to_dense(), fc.to_dense()
+        )
+
+    def test_storage_accounting(self, rng):
+        dense = random_sparse(rng, (4, 4, 3, 3), density=0.25)
+        csb = CSBTensor.from_dense(dense)
+        bits = csb.storage_bits()
+        assert bits["values"] == csb.nnz * 32
+        assert bits["masks"] == 16 * 9
+        assert bits["pointers"] == 17 * 32
+
+    def test_compression_beats_dense_when_sparse(self, rng):
+        dense = random_sparse(rng, (32, 32, 3, 3), density=0.1)
+        csb = CSBTensor.from_dense(dense)
+        assert csb.compression_ratio() > 2.0
+
+    def test_tile_nnz_sums_match(self, rng):
+        dense = random_sparse(rng, (16, 8, 3, 3))
+        csb = CSBTensor.from_dense(dense)
+        tiles = csb.tile_nnz(axis=0, tile=4)
+        assert tiles.shape == (4,)
+        assert tiles.sum() == csb.nnz
+
+    def test_unsupported_ndim(self, rng):
+        with pytest.raises(ValueError):
+            CSBTensor.from_dense(rng.normal(size=(3, 3, 3)))
+
+    @given(
+        k=st.integers(1, 6),
+        c=st.integers(1, 6),
+        r=st.sampled_from([1, 3, 5]),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_conv(self, k, c, r, density, seed):
+        gen = np.random.default_rng(seed)
+        dense = random_sparse(gen, (k, c, r, r), density=density)
+        csb = CSBTensor.from_dense(dense)
+        np.testing.assert_allclose(csb.to_dense(), dense)
+        np.testing.assert_allclose(
+            csb.rotate_180().to_dense(), dense[:, :, ::-1, ::-1]
+        )
+
+    @given(
+        rows=st.integers(1, 25),
+        cols=st.integers(1, 25),
+        block=st.integers(1, 8),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_fc(self, rows, cols, block, density, seed):
+        gen = np.random.default_rng(seed)
+        dense = random_sparse(gen, (rows, cols), density=density)
+        csb = CSBTensor.from_dense(dense, fc_block_size=block)
+        np.testing.assert_allclose(csb.to_dense(), dense)
+        np.testing.assert_allclose(csb.transpose().to_dense(), dense.T)
+
+    def test_mask_grid_decoupling_supports_mixed_kernel_sizes(self, rng):
+        """Different layers use different block sizes (Section IV-B)."""
+        k3 = CSBTensor.from_dense(random_sparse(rng, (2, 2, 3, 3)))
+        k5 = CSBTensor.from_dense(random_sparse(rng, (2, 2, 5, 5)))
+        assert k3.grid.block_size == 9
+        assert k5.grid.block_size == 25
+        grid = BlockGrid(
+            dense_shape=(2, 2, 5, 5),
+            grid_shape=(2, 2),
+            block_shape=(5, 5),
+            kind="conv",
+        )
+        assert grid.n_blocks == 4

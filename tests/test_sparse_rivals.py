@@ -1,0 +1,206 @@
+"""Tests for the rival inference formats (Section II-D comparison)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csb import CSBTensor
+from repro.sparse.rivals import (
+    EIEMatrix,
+    SCNNFilterBank,
+    access_costs,
+    csb_costs,
+)
+
+
+def random_sparse(rng, shape, density=0.2):
+    dense = rng.normal(size=shape)
+    dense[rng.uniform(size=shape) > density] = 0.0
+    return dense
+
+
+class TestEIEMatrix:
+    def test_roundtrip(self, rng):
+        dense = random_sparse(rng, (24, 16))
+        mat = EIEMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+
+    def test_roundtrip_with_long_runs(self, rng):
+        # A mostly-zero matrix forces runs longer than 2**4 - 1.
+        dense = np.zeros((100, 4))
+        dense[0, 0] = 1.0
+        dense[99, 0] = 2.0
+        dense[50, 3] = 3.0
+        mat = EIEMatrix.from_dense(dense, index_bits=4)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+        assert mat.padding_entries > 0
+
+    def test_no_padding_when_runs_fit(self):
+        dense = np.array([[1.0, 0.0], [2.0, 3.0]])
+        mat = EIEMatrix.from_dense(dense, index_bits=4)
+        assert mat.padding_entries == 0
+        assert mat.nnz == 3
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            EIEMatrix.from_dense(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            EIEMatrix.from_dense(np.zeros((4, 4)), index_bits=0)
+
+    def test_read_column_matches_dense(self, rng):
+        dense = random_sparse(rng, (32, 8))
+        mat = EIEMatrix.from_dense(dense)
+        for j in range(8):
+            rows, vals, touched = mat.read_column(j)
+            expect = np.nonzero(dense[:, j])[0]
+            np.testing.assert_array_equal(rows, expect)
+            np.testing.assert_allclose(vals, dense[expect, j])
+            assert touched >= len(expect)
+
+    def test_read_row_matches_dense(self, rng):
+        dense = random_sparse(rng, (16, 24))
+        mat = EIEMatrix.from_dense(dense)
+        for i in range(16):
+            cols, vals, _ = mat.read_row(i)
+            expect = np.nonzero(dense[i])[0]
+            np.testing.assert_array_equal(cols, expect)
+            np.testing.assert_allclose(vals, dense[i, expect])
+
+    def test_row_access_costs_more_than_column(self, rng):
+        dense = random_sparse(rng, (64, 64), density=0.15)
+        mat = EIEMatrix.from_dense(dense)
+        col_cost = max(mat.read_column(j)[2] for j in range(64))
+        row_cost = mat.read_row(32)[2]
+        # A single transposed access touches far more entries than the
+        # worst direct-order access.
+        assert row_cost > 4 * col_cost
+
+    def test_out_of_range(self, rng):
+        mat = EIEMatrix.from_dense(random_sparse(rng, (4, 4)))
+        with pytest.raises(IndexError):
+            mat.read_column(4)
+        with pytest.raises(IndexError):
+            mat.read_row(-1)
+
+    def test_storage_accounting(self, rng):
+        dense = random_sparse(rng, (32, 32))
+        mat = EIEMatrix.from_dense(dense)
+        bits = mat.storage_bits()
+        assert bits["values"] == mat.n_entries * 32
+        assert bits["offsets"] == mat.n_entries * 4
+        assert mat.total_storage_bits() == sum(bits.values())
+
+    def test_empty_matrix(self):
+        mat = EIEMatrix.from_dense(np.zeros((8, 8)))
+        assert mat.nnz == 0
+        np.testing.assert_allclose(mat.to_dense(), np.zeros((8, 8)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(2, 40),
+        cols=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+        index_bits=st.integers(2, 6),
+    )
+    def test_roundtrip_property(self, rows, cols, seed, index_bits):
+        rng = np.random.default_rng(seed)
+        dense = random_sparse(rng, (rows, cols), density=0.3)
+        mat = EIEMatrix.from_dense(dense, index_bits=index_bits)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+
+
+class TestSCNNFilterBank:
+    def test_roundtrip(self, rng):
+        dense = random_sparse(rng, (8, 4, 3, 3))
+        bank = SCNNFilterBank.from_dense(dense)
+        np.testing.assert_allclose(bank.to_dense(), dense)
+
+    def test_rejects_non_conv(self):
+        with pytest.raises(ValueError):
+            SCNNFilterBank.from_dense(np.zeros((4, 4)))
+
+    def test_input_group_streaming(self, rng):
+        dense = random_sparse(rng, (6, 5, 3, 3))
+        bank = SCNNFilterBank.from_dense(dense)
+        for c in range(5):
+            _, vals, touched = bank.read_input_group(c)
+            expect = dense[:, c][dense[:, c] != 0.0]
+            assert touched == len(expect)
+            np.testing.assert_allclose(np.sort(vals), np.sort(expect))
+
+    def test_output_group_values(self, rng):
+        dense = random_sparse(rng, (6, 5, 3, 3))
+        bank = SCNNFilterBank.from_dense(dense)
+        for k in range(6):
+            _, vals, _ = bank.read_output_group(k)
+            expect = dense[k][dense[k] != 0.0]
+            np.testing.assert_allclose(np.sort(vals), np.sort(expect))
+
+    def test_output_group_costs_more(self, rng):
+        dense = random_sparse(rng, (16, 16, 3, 3), density=0.15)
+        bank = SCNNFilterBank.from_dense(dense)
+        in_cost = max(bank.read_input_group(c)[2] for c in range(16))
+        out_cost = bank.read_output_group(8)[2]
+        assert out_cost > 2 * in_cost
+
+    def test_out_of_range(self, rng):
+        bank = SCNNFilterBank.from_dense(random_sparse(rng, (2, 2, 3, 3)))
+        with pytest.raises(IndexError):
+            bank.read_input_group(2)
+        with pytest.raises(IndexError):
+            bank.read_output_group(-1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.integers(1, 8),
+        c=st.integers(1, 8),
+        r=st.sampled_from([1, 3, 5]),
+        seed=st.integers(0, 2**31),
+    )
+    def test_roundtrip_property(self, k, c, r, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_sparse(rng, (k, c, r, r), density=0.3)
+        bank = SCNNFilterBank.from_dense(dense)
+        np.testing.assert_allclose(bank.to_dense(), dense)
+
+
+class TestAccessCosts:
+    def test_csb_costs_symmetric(self, rng):
+        dense = random_sparse(rng, (8, 8, 3, 3))
+        costs = csb_costs(CSBTensor.from_dense(dense))
+        assert costs.forward == costs.backward == costs.weight_update
+        assert costs.updatable
+        assert costs.backward_penalty == 1.0
+
+    def test_conv_comparison(self, rng):
+        dense = random_sparse(rng, (16, 16, 3, 3), density=0.15)
+        table = access_costs(dense)
+        names = [c.format_name for c in table]
+        assert names[0] == "CSB"
+        assert any("SCNN" in n for n in names)
+        assert any("EIE" in n for n in names)
+        csb = table[0]
+        for rival in table[1:]:
+            assert rival.backward_penalty > 1.5
+            assert not rival.updatable
+        assert csb.backward_penalty == 1.0
+
+    def test_fc_comparison(self, rng):
+        dense = random_sparse(rng, (64, 48), density=0.15)
+        table = access_costs(dense)
+        assert len(table) == 2
+        assert table[1].backward > table[1].forward
+
+    def test_rejects_other_ranks(self, rng):
+        with pytest.raises(ValueError):
+            access_costs(rng.normal(size=(4,)))
+
+    def test_backward_capped_by_reencode(self, rng):
+        # With many rows, per-row scans exceed a one-off re-encode and
+        # the model must pick the cheaper strategy.
+        dense = random_sparse(rng, (256, 16), density=0.2)
+        table = access_costs(dense)
+        eie = table[1]
+        assert eie.backward <= eie.extras["per_row_total"]
+        assert eie.backward <= eie.extras["reencode"] + eie.forward

@@ -1,0 +1,125 @@
+"""Tests for tracked-set selection (sort vs. streaming threshold)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.tracking import ThresholdTracker, select_topk, topk_threshold
+
+
+class TestTopK:
+    def test_selects_exactly_k(self, rng):
+        mags = rng.uniform(0, 1, size=1000)
+        mask = select_topk(mags, 100)
+        assert mask.sum() == 100
+
+    def test_selected_are_largest(self, rng):
+        mags = rng.uniform(0, 1, size=500)
+        mask = select_topk(mags, 50)
+        assert mags[mask].min() >= mags[~mask].max()
+
+    def test_k_zero_selects_none(self, rng):
+        mags = rng.uniform(0, 1, size=10)
+        assert select_topk(mags, 0).sum() == 0
+
+    def test_k_exceeding_size_selects_all(self, rng):
+        mags = rng.uniform(0, 1, size=10)
+        assert select_topk(mags, 99).all()
+
+    def test_ties_resolved_to_exact_budget(self):
+        mags = np.array([1.0, 1.0, 1.0, 1.0, 0.5])
+        mask = select_topk(mags, 2)
+        assert mask.sum() == 2
+        assert not mask[4]
+
+    def test_threshold_is_kth_largest(self):
+        mags = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert topk_threshold(mags, 2) == 4.0
+
+    def test_threshold_edges(self):
+        mags = np.array([1.0, 2.0])
+        assert topk_threshold(mags, 0) == float("inf")
+        assert topk_threshold(mags, 5) == float("-inf")
+
+    @given(
+        mags=arrays(
+            np.float64,
+            st.integers(5, 200),
+            elements=st.floats(0, 1e6, allow_nan=False),
+        ),
+        frac=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_always_met(self, mags, frac):
+        k = max(1, int(len(mags) * frac))
+        mask = select_topk(mags, k)
+        assert mask.sum() == min(k, len(mags))
+
+    @given(
+        mags=arrays(
+            np.float64,
+            st.integers(5, 100),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selection_dominates_rejection(self, mags):
+        k = len(mags) // 2
+        mask = select_topk(mags, k)
+        if mask.any() and (~mask).any():
+            assert mags[mask].min() >= mags[~mask].max() - 1e-12
+
+
+class TestThresholdTracker:
+    def test_initial_threshold_tiny(self):
+        tracker = ThresholdTracker(10.0)
+        assert tracker.threshold == pytest.approx(1e-6)
+
+    def test_selects_roughly_target_fraction_at_equilibrium(self, rng):
+        tracker = ThresholdTracker(5.0, rho=5e-3)
+        data = rng.exponential(1.0, size=(40, 4096))
+        for burst in data:
+            mask = tracker.select(burst)
+        fraction = mask.mean()
+        assert 0.1 < fraction < 0.45  # target 0.2, estimator lag allowed
+
+    def test_hysteresis_keeps_tracked_weights(self, rng):
+        tracker = ThresholdTracker(4.0, hysteresis=0.5)
+        # Burn in the threshold.
+        for _ in range(30):
+            tracker.observe(rng.uniform(0, 1, size=4096))
+        theta = tracker.threshold
+        mags = np.array([theta * 0.75, theta * 0.75])
+        tracked = np.array([True, False])
+        mask = tracker.select(mags, tracked)
+        assert bool(mask[0]) and not bool(mask[1])
+
+    def test_zero_hysteresis_means_tracked_forever(self, rng):
+        tracker = ThresholdTracker(4.0, hysteresis=0.0)
+        for _ in range(10):
+            tracker.observe(rng.uniform(0, 1, size=1024))
+        mask = tracker.select(
+            np.array([1e-12]), tracked=np.array([True])
+        )
+        assert bool(mask[0])
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ValueError):
+            ThresholdTracker(4.0, hysteresis=1.5)
+
+    def test_estimator_cycles_advance(self, rng):
+        tracker = ThresholdTracker(4.0)
+        tracker.observe(rng.uniform(0, 1, size=4000))
+        assert tracker.estimator_cycles == 1000
+
+    def test_streaming_adapts_within_pass(self, rng):
+        """A pass over two segments with very different scales ends
+        with a threshold pulled toward the later segment — the
+        per-layer adaptation Figure 7's caption describes."""
+        tracker = ThresholdTracker(4.0, rho=5e-3)
+        small = rng.uniform(0, 0.01, size=20_000)
+        large = rng.uniform(0, 1.0, size=20_000)
+        tracker.select(np.concatenate([small, large]))
+        assert tracker.threshold > 0.01

@@ -1,0 +1,171 @@
+"""Tests for layer specs, phase derivation, and sparsity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.layer_spec import LayerSpec, conv, fc
+from repro.workloads.phases import PHASES, phase_op
+from repro.workloads.sparsity import (
+    dense_profile,
+    profile_from_masks,
+    synthetic_profile,
+)
+
+
+class TestLayerSpec:
+    def test_conv_output_dims(self):
+        spec = conv("c", c=3, k=64, h=32, r=3, stride=2)
+        assert (spec.p, spec.q) == (16, 16)
+
+    def test_weight_count(self):
+        spec = conv("c", c=16, k=32, h=8, r=3)
+        assert spec.weight_count == 32 * 16 * 9
+
+    def test_grouped_weight_count(self):
+        spec = conv("c", c=32, k=32, h=8, r=3, groups=32)
+        assert spec.weight_count == 32 * 9  # depthwise
+
+    def test_macs_formula(self):
+        spec = conv("c", c=4, k=8, h=6, r=3)
+        assert spec.macs(2) == 2 * 8 * 6 * 6 * 4 * 9
+
+    def test_fc_is_1x1(self):
+        spec = fc("f", 128, 10)
+        assert spec.weight_count == 1280
+        assert spec.macs(1) == 1280
+        assert (spec.p, spec.q) == (1, 1)
+
+    def test_dims_exposes_seven_loops(self):
+        dims = conv("c", c=4, k=8, h=6, r=3).dims(16)
+        assert set(dims) == {"N", "K", "C", "R", "S", "P", "Q"}
+        assert dims["N"] == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conv("c", c=3, k=4, h=8, r=3, groups=2)
+        with pytest.raises(ValueError):
+            LayerSpec(name="bad", c=1, k=1, r=5, s=5, h=2, w=2)
+
+    def test_iact_oact_counts(self):
+        spec = conv("c", c=4, k=8, h=6, r=3)
+        assert spec.iact_count(2) == 2 * 4 * 36
+        assert spec.oact_count(2) == 2 * 8 * 36
+
+
+class TestPhases:
+    def test_all_phases_same_dense_macs(self):
+        """Figure 2: the three phases execute the same MAC volume."""
+        spec = conv("c", c=16, k=32, h=8, r=3)
+        macs = {ph: phase_op(spec, ph, 8).dense_macs for ph in PHASES}
+        assert len(set(macs.values())) == 1
+
+    def test_fw_sparse_operand_is_weights(self):
+        op = phase_op(conv("c", c=4, k=8, h=6), "fw", 4)
+        assert op.sparse_operand == "weights"
+        assert op.out_channels == 8 and op.in_channels == 4
+
+    def test_bw_swaps_channel_roles(self):
+        """Figure 2b: the backward conv produces dL/dx with C channels."""
+        op = phase_op(conv("c", c=4, k=8, h=6), "bw", 4)
+        assert op.sparse_operand == "weights"
+        assert op.out_channels == 4 and op.in_channels == 8
+        assert op.spatial == (6, 6)
+
+    def test_wu_sparse_operand_is_iacts(self):
+        """Section II-B: batch norm kills dL/dy sparsity, so the wu
+        phase leans on input activations."""
+        op = phase_op(conv("c", c=4, k=8, h=6), "wu", 4)
+        assert op.sparse_operand == "iacts"
+        assert "N" in op.sparsity_varies_along
+
+    def test_sparse_macs_scales_by_density(self):
+        op = phase_op(conv("c", c=4, k=8, h=6), "fw", 4)
+        assert op.sparse_macs(0.25) == pytest.approx(op.dense_macs * 0.25)
+        with pytest.raises(ValueError):
+            op.sparse_macs(1.5)
+
+    def test_unknown_phase(self):
+        with pytest.raises(ValueError):
+            phase_op(conv("c", c=4, k=8, h=6), "inference", 4)
+
+
+class TestSyntheticProfile:
+    def test_hits_target_sparsity(self, small_specs):
+        profile = synthetic_profile("net", small_specs, 5.0, seed=0)
+        assert profile.sparsity_factor() == pytest.approx(5.0, rel=0.05)
+
+    def test_channel_density_means_match_layer(self, small_specs):
+        profile = synthetic_profile("net", small_specs, 4.0, seed=0)
+        for ls in profile.layers:
+            assert ls.out_channel_density.mean() == pytest.approx(
+                ls.weight_density, rel=0.15
+            )
+
+    def test_first_layer_input_is_dense(self, small_specs):
+        profile = synthetic_profile("net", small_specs, 4.0, seed=0)
+        assert profile.layers[0].iact_density == 1.0
+
+    def test_mac_ratio_fitting(self, small_specs):
+        """The allocation exponent search matches a MAC-reduction
+        target alongside the weight budget (Table II calibration)."""
+        def mac_ratio(profile):
+            macs = np.array([s.macs_per_sample() for s in small_specs])
+            dens = np.array([ls.weight_density for ls in profile.layers])
+            return macs.sum() / (macs * dens).sum()
+
+        low = synthetic_profile(
+            "net", small_specs, 5.0, seed=0, target_mac_ratio=3.8
+        )
+        high = synthetic_profile(
+            "net", small_specs, 5.0, seed=0, target_mac_ratio=6.0
+        )
+        # The fit moves the MAC ratio in the requested direction while
+        # holding the weight budget.
+        assert mac_ratio(low) < mac_ratio(high)
+        assert mac_ratio(low) == pytest.approx(3.8, rel=0.25)
+        assert low.sparsity_factor() == pytest.approx(5.0, rel=0.1)
+        assert high.sparsity_factor() == pytest.approx(5.0, rel=0.1)
+
+    def test_factor_one_is_dense(self, small_specs):
+        profile = synthetic_profile("net", small_specs, 1.0, seed=0)
+        assert all(ls.weight_density == 1.0 for ls in profile.layers)
+
+    def test_rejects_bad_factor(self, small_specs):
+        with pytest.raises(ValueError):
+            synthetic_profile("net", small_specs, 0.5)
+
+    def test_deterministic_by_seed(self, small_specs):
+        a = synthetic_profile("net", small_specs, 4.0, seed=3)
+        b = synthetic_profile("net", small_specs, 4.0, seed=3)
+        for la, lb in zip(a.layers, b.layers):
+            np.testing.assert_array_equal(
+                la.out_channel_density, lb.out_channel_density
+            )
+
+
+class TestDenseAndMeasuredProfiles:
+    def test_dense_profile_all_ones(self, small_specs):
+        profile = dense_profile("net", small_specs)
+        assert profile.sparsity_factor() == pytest.approx(1.0)
+        assert all(ls.iact_density == 1.0 for ls in profile.layers)
+
+    def test_profile_from_masks(self, small_specs, rng):
+        spec = small_specs[0]
+        mask = rng.uniform(size=(spec.k, spec.c, spec.r, spec.s)) < 0.3
+        profile = profile_from_masks(
+            "net", [spec], {spec.name: mask}, {spec.name: 0.4}
+        )
+        ls = profile.layers[0]
+        assert ls.weight_density == pytest.approx(mask.mean())
+        np.testing.assert_allclose(
+            ls.out_channel_density,
+            np.clip(mask.reshape(spec.k, -1).mean(axis=1), 1e-4, 1.0),
+        )
+
+    def test_profile_from_masks_missing_layer_dense(self, small_specs):
+        profile = profile_from_masks("net", small_specs, {})
+        assert all(ls.weight_density == 1.0 for ls in profile.layers)
+
+    def test_by_layer_lookup(self, small_profile):
+        by_name = small_profile.by_layer()
+        assert set(by_name) == {ls.layer.name for ls in small_profile.layers}
