@@ -5,9 +5,30 @@ the corresponding rows/series (captured by ``pytest -s`` or the
 ``--capture=no`` flag).  Heavy experiments run a single round — the
 interesting output is the experiment result, not the wall time — but
 timing still flows through pytest-benchmark so regressions show up.
+
+Every test in this directory is tagged with the ``bench`` marker (so
+CI can deselect the whole suite with ``-m "not bench"``); the
+training-heavy ones additionally carry ``slow`` in their own modules.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-apply the ``bench`` marker to everything under benchmarks/."""
+    for item in items:
+        try:
+            in_bench_dir = Path(item.path).is_relative_to(_BENCH_DIR)
+        except (TypeError, ValueError):
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -27,6 +27,10 @@ from repro.models.vgg import mini_vgg_s
 from repro.nn.data import make_blob_images
 from repro.nn.trainer import Trainer
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 TARGET = 4.0
 EPOCHS = 6
 

@@ -8,6 +8,10 @@ computation sparsity (60% of MACs skippable in 99.5% of iterations).
 from benchmarks.conftest import run_once
 from repro.harness.training_experiments import format_curves, run_fig06_decay
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 
 def test_fig06_decay_costs_no_accuracy(benchmark):
     decayed, plain = run_once(benchmark, run_fig06_decay, 8)

@@ -12,6 +12,10 @@ from repro.harness.training_experiments import (
     run_fig07_quantile,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 
 def test_fig07_quantile_matches_sort(benchmark):
     quantile, exact = run_once(benchmark, run_fig07_quantile, 8)

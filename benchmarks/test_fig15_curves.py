@@ -10,6 +10,10 @@ from repro.harness.training_experiments import (
     run_fig15_cifar_curves,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 
 def test_fig15_procrustes_tracks_sgd(benchmark):
     results = run_once(

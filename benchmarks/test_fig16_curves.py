@@ -10,6 +10,10 @@ from repro.harness.training_experiments import (
     run_fig16_sparsity_sweep,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 
 def test_fig16_sparsity_sweep(benchmark):
     results = run_once(

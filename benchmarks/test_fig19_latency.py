@@ -12,6 +12,10 @@ from repro.harness.arch_experiments import (
     run_fig18_fig19_dataflows,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 NETWORKS = ("wrn-28-10", "densenet", "vgg-s", "resnet18", "mobilenet-v2")
 
 

@@ -11,6 +11,10 @@ from repro.harness.arch_experiments import (
     run_fig20_scalability,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # trains networks / heavy sweep
+
 
 def test_fig20_scalability(benchmark):
     result = run_once(benchmark, run_fig20_scalability)

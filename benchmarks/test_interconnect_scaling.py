@@ -19,26 +19,21 @@ array's own area.
 """
 
 from benchmarks.conftest import run_once
-from repro.hw.config import ArchConfig
-from repro.hw.fabric_cost import FabricCostModel
+from repro.sweep import SweepSpec, run_sweep
 
 SIDES = (8, 16, 32, 64)
 
 
 def _sweep():
-    table = {}
-    for side in SIDES:
-        arch = ArchConfig(name=f"{side}x{side}", pe_rows=side, pe_cols=side)
-        model = FabricCostModel(arch)
-        table[side] = {
-            f.name: {
-                "area_mm2": f.area_mm2(),
-                "fraction": model.fabric_area_fraction(f),
-                "h_pj": f.energy_pj_per_word["horizontal"],
-            }
-            for f in model.options()
-        }
-    return table
+    sweep = run_sweep(
+        SweepSpec.grid(
+            "interconnect-scaling", "fabric-cost", {"side": list(SIDES)}
+        )
+    )
+    return {
+        int(point.params["side"]): point.values["options"]
+        for point in sweep.points
+    }
 
 
 def test_fabric_scaling(benchmark):

@@ -13,27 +13,38 @@ K,N dataflow to expose the scaling law behind Figures 1 and 17:
 """
 
 from benchmarks.conftest import run_once
-from repro.dataflow import simulate
-from repro.harness.common import dense_profile_for, sparse_profile_for
-from repro.hw import BASELINE_16x16, PROCRUSTES_16x16
+from repro.sweep import SweepSpec, run_sweep
 
 FACTORS = (2.0, 4.0, 8.0, 11.7, 16.0)
 
 
 def _sweep(network="resnet18", n=64):
-    dense = simulate(
-        dense_profile_for(network), "KN", arch=BASELINE_16x16, n=n,
-        sparse=False,
+    fixed = {"network": network, "mapping": "KN", "n": n}
+    dense = run_sweep(
+        SweepSpec.grid(
+            "sparsity-sweep-dense",
+            "simulate",
+            {"sparse": [False]},
+            fixed=fixed,
+            base_seed=1,
+        )
+    ).points[0].values
+    sweep = run_sweep(
+        SweepSpec.grid(
+            "sparsity-sweep-arch",
+            "simulate",
+            {"sparsity_factor": list(FACTORS)},
+            fixed={**fixed, "sparse": True},
+            base_seed=1,
+        )
     )
-    rows = {}
-    for factor in FACTORS:
-        profile = sparse_profile_for(network, sparsity_factor=factor)
-        sparse = simulate(profile, "KN", arch=PROCRUSTES_16x16, n=n)
-        rows[factor] = {
-            "speedup": dense.total_cycles / sparse.total_cycles,
-            "energy_saving": dense.total_energy_j / sparse.total_energy_j,
+    return {
+        point.params["sparsity_factor"]: {
+            "speedup": dense["total_cycles"] / point.values["total_cycles"],
+            "energy_saving": dense["total_j"] / point.values["total_j"],
         }
-    return rows
+        for point in sweep.points
+    }
 
 
 def test_sparsity_scaling(benchmark):

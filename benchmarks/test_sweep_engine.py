@@ -1,0 +1,108 @@
+"""Sweep-engine smoke benchmark: cache warm-up and parallel fan-out.
+
+Two acceptance properties of the shared sweep engine, demonstrated on
+real workloads and printed for inspection:
+
+* **warm cache** — re-running a refactored harness sweep (the
+  Figure 18/19 dataflow grid, 16 points) against a populated result
+  cache completes in well under 10% of its cold wall time, because no
+  evaluator runs at all;
+* **parallel fan-out** — the process-pool runner beats the serial
+  path on a >= 16-point grid.  The guaranteed assertion uses a
+  wait-bound grid (each point sleeps), which parallelizes on any
+  machine including single-core CI runners; on multi-core machines
+  the compute-bound simulator grid is also timed and asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+#: 2 networks x dense/sparse x 4 mappings = 16 simulator evaluations.
+GRID_NETWORKS = ("vgg-s", "resnet18")
+
+
+def test_warm_cache_rerun(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "sweep-cache")
+
+    start = time.perf_counter()
+    cold = run_fig18_fig19_dataflows(networks=GRID_NETWORKS, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_once(
+        benchmark, run_fig18_fig19_dataflows,
+        networks=GRID_NETWORKS, cache=cache,
+    )
+    warm_s = time.perf_counter() - start
+
+    print()
+    print(
+        f"fig18/19 grid ({len(cold.rows)} points): "
+        f"cold {cold_s:.2f}s, warm {warm_s:.3f}s "
+        f"({warm_s / cold_s:.1%} of cold)"
+    )
+    assert len(cold.rows) == 16
+    assert warm.rows == cold.rows  # cache round-trip is lossless
+    assert cache.stats.hits == 16
+    # The acceptance bar is <10% of cold wall time; in practice a warm
+    # run is two orders of magnitude faster.
+    assert warm_s < 0.10 * cold_s
+
+
+def test_parallel_beats_serial_wait_bound(benchmark):
+    """A 16-point wait-bound grid: fan-out wins on any core count."""
+    spec = SweepSpec.grid(
+        "engine-smoke-sleep", "echo",
+        {"i": list(range(16))}, fixed={"sleep_s": 0.15},
+    )
+    start = time.perf_counter()
+    serial = run_sweep(spec, executor="serial")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_once(
+        benchmark, run_sweep, spec, executor="process", workers=8
+    )
+    parallel_s = time.perf_counter() - start
+
+    print()
+    print(
+        f"16-point wait-bound grid: serial {serial_s:.2f}s, "
+        f"parallel {parallel_s:.2f}s "
+        f"({serial_s / parallel_s:.1f}x speedup)"
+    )
+    assert parallel.rows() == serial.rows()
+    assert parallel_s < serial_s
+
+
+def test_parallel_simulator_grid():
+    """The compute-bound Figure 18/19 grid through the process pool.
+
+    Always checks correctness against the serial rows; only asserts a
+    wall-time win where extra cores exist to provide one.
+    """
+    cores = os.cpu_count() or 1
+    start = time.perf_counter()
+    serial = run_fig18_fig19_dataflows(networks=GRID_NETWORKS)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_fig18_fig19_dataflows(
+        networks=GRID_NETWORKS, executor="process", workers=min(cores, 8)
+    )
+    parallel_s = time.perf_counter() - start
+
+    print()
+    print(
+        f"fig18/19 grid on {cores} core(s): serial {serial_s:.2f}s, "
+        f"process-pool {parallel_s:.2f}s"
+    )
+    assert parallel.rows == serial.rows
+    if cores > 1:
+        assert parallel_s < serial_s

@@ -23,6 +23,7 @@ def test_table2_model_statistics(benchmark):
         )
 
 
+@pytest.mark.slow  # trains two networks end to end
 def test_table2_accuracy_parity(benchmark):
     result = run_once(
         benchmark, run_table2, ("vgg-s", "resnet18"), True, 6

@@ -31,9 +31,13 @@ Subpackages
     ASCII plotting and CSV/JSON experiment export.
 ``repro.harness``
     One experiment driver per table and figure of the paper.
+``repro.sweep``
+    The parallel sweep/orchestration engine: declarative grid specs,
+    a content-addressed result cache, and a process-pool runner that
+    every grid-shaped experiment fans out through.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     DropbackConfig,

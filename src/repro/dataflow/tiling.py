@@ -381,7 +381,6 @@ def _wu_sets_channel_minibatch(
     budget = max(1, arch.rf_words // 2)
     chunks = max(1, min(64, -(-x_per_sample // budget)))
 
-    cols = min(n, arch.pe_cols)
     n_tiles = -(-n // arch.pe_cols)
 
     if not sparse:

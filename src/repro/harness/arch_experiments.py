@@ -2,6 +2,9 @@
 
 Each ``run_*`` function returns a small result object; each
 ``format_*`` renders the same rows/series the paper's figure reports.
+The grid-shaped experiments (Figures 17-20) run on the shared sweep
+engine (:mod:`repro.sweep`), so they accept an optional result cache
+and executor policy and inherit parallel fan-out for free.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dataflow.latency import network_latency
-from repro.dataflow.simulator import SimulationResult, simulate
+from repro.dataflow.simulator import simulate
 from repro.harness.common import (
     dense_profile_for,
     histogram_fractions,
@@ -20,6 +23,7 @@ from repro.harness.common import (
     sparse_profile_for,
 )
 from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16, ArchConfig
+from repro.sweep import ResultCache, SweepSpec, run_sweep
 from repro.workloads.phases import PHASES
 
 __all__ = [
@@ -227,37 +231,38 @@ class Fig17Result:
 
 
 def run_fig17_energy_breakdown(
-    networks: tuple[str, ...] | None = None, seed: int = 1
+    networks: tuple[str, ...] | None = None,
+    seed: int = 1,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> Fig17Result:
     """Figure 17: DRAM/GLB/RF/MAC energy, KN dataflow, D vs S."""
     from repro.models.zoo import PAPER_MODELS
 
     networks = networks or tuple(PAPER_MODELS)
+    spec = SweepSpec.grid(
+        "fig17-energy-breakdown",
+        "simulate",
+        {"network": list(networks), "sparse": [False, True]},
+        fixed={"mapping": "KN"},
+        base_seed=seed,
+    )
+    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
     result = Fig17Result()
-    for network in networks:
-        entry = model_entry(network)
-        for sparse in (False, True):
-            profile = (
-                sparse_profile_for(network, seed=seed)
-                if sparse
-                else dense_profile_for(network)
+    for point in sweep.points:
+        components = point.values["energy_components_by_phase"]
+        totals = point.values["energy_by_phase"]
+        for phase in PHASES:
+            result.rows.append(
+                {
+                    "network": point.params["network"],
+                    "sparse": point.params["sparse"],
+                    "phase": phase,
+                    **components[phase],
+                    "total_j": totals[phase],
+                }
             )
-            arch = PROCRUSTES_16x16 if sparse else BASELINE_16x16
-            sim = simulate(
-                profile, "KN", arch=arch, n=entry.minibatch, sparse=sparse,
-                seed=seed,
-            )
-            for phase in PHASES:
-                breakdown = sim.energy[phase].as_dict()
-                result.rows.append(
-                    {
-                        "network": network,
-                        "sparse": sparse,
-                        "phase": phase,
-                        **breakdown,
-                        "total_j": sim.energy[phase].total_j,
-                    }
-                )
     return result
 
 
@@ -320,45 +325,44 @@ class DataflowSweepResult:
         return max(values) / min(values)
 
 
+def _simulation_row(point) -> dict[str, object]:
+    """The row shape the figure formatters expect, from a sweep point."""
+    return {
+        "network": point.params["network"],
+        "mapping": point.params["mapping"],
+        "sparse": point.params.get("sparse", True),
+        "cycles_by_phase": point.values["cycles_by_phase"],
+        "energy_by_phase": point.values["energy_by_phase"],
+        "total_cycles": point.values["total_cycles"],
+        "total_j": point.values["total_j"],
+    }
+
+
 def run_fig18_fig19_dataflows(
     networks: tuple[str, ...] | None = None,
     mappings: tuple[str, ...] = _ALL_MAPPINGS,
     seed: int = 1,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> DataflowSweepResult:
     """Figures 18/19: sweep the four spatial mappings, dense and sparse."""
     from repro.models.zoo import PAPER_MODELS
 
     networks = networks or tuple(PAPER_MODELS)
+    spec = SweepSpec.grid(
+        "fig18-19-dataflows",
+        "simulate",
+        {
+            "network": list(networks),
+            "sparse": [False, True],
+            "mapping": list(mappings),
+        },
+        base_seed=seed,
+    )
+    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
     result = DataflowSweepResult()
-    for network in networks:
-        entry = model_entry(network)
-        for sparse in (False, True):
-            profile = (
-                sparse_profile_for(network, seed=seed)
-                if sparse
-                else dense_profile_for(network)
-            )
-            arch = PROCRUSTES_16x16 if sparse else BASELINE_16x16
-            for mapping in mappings:
-                sim = simulate(
-                    profile,
-                    mapping,
-                    arch=arch,
-                    n=entry.minibatch,
-                    sparse=sparse,
-                    seed=seed,
-                )
-                result.rows.append(
-                    {
-                        "network": network,
-                        "mapping": mapping,
-                        "sparse": sparse,
-                        "cycles_by_phase": sim.cycles_by_phase(),
-                        "energy_by_phase": sim.energy_by_phase(),
-                        "total_cycles": sim.total_cycles,
-                        "total_j": sim.total_energy_j,
-                    }
-                )
+    result.rows.extend(_simulation_row(p) for p in sweep.points)
     return result
 
 
@@ -440,33 +444,29 @@ def run_fig20_scalability(
     networks: tuple[str, ...] = ("resnet18", "mobilenet-v2"),
     mappings: tuple[str, ...] = _ALL_MAPPINGS,
     seed: int = 1,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> Fig20Result:
     """Figure 20: quadruple the PEs (and double the GLB), sparse runs."""
+    spec = SweepSpec.grid(
+        "fig20-scalability",
+        "simulate",
+        {
+            "network": list(networks),
+            "scale": [1, 2],
+            "mapping": list(mappings),
+        },
+        fixed={"sparse": True},
+        base_seed=seed,
+    )
+    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
     result = Fig20Result()
-    for network in networks:
-        entry = model_entry(network)
-        profile = sparse_profile_for(network, seed=seed)
-        for arch, size in ((PROCRUSTES_16x16, 16), (PROCRUSTES_16x16.scaled(2), 32)):
-            for mapping in mappings:
-                sim = simulate(
-                    profile,
-                    mapping,
-                    arch=arch,
-                    n=entry.minibatch,
-                    sparse=True,
-                    seed=seed,
-                )
-                result.rows.append(
-                    {
-                        "network": network,
-                        "mapping": mapping,
-                        "array": size,
-                        "cycles_by_phase": sim.cycles_by_phase(),
-                        "energy_by_phase": sim.energy_by_phase(),
-                        "total_cycles": sim.total_cycles,
-                        "total_j": sim.total_energy_j,
-                    }
-                )
+    for point in sweep.points:
+        row = _simulation_row(point)
+        del row["sparse"]
+        row["array"] = int(point.values["array_side"])
+        result.rows.append(row)
     return result
 
 

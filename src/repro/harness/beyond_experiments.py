@@ -22,16 +22,12 @@ import numpy as np
 from repro.core.schedules import PAPER_SCHEDULES
 from repro.dataflow.eager_accel import EagerPruningAccelerator, sorting_cycles
 from repro.harness.common import render_table
-from repro.hw.config import ArchConfig, PROCRUSTES_16x16
-from repro.hw.cyclesim import (
-    IDEAL_FABRIC,
-    SINGLE_WORD_FABRIC,
-    CycleLevelSimulator,
-)
-from repro.hw.fabric_cost import FabricCostModel
+from repro.hw.config import PROCRUSTES_16x16
+from repro.hw.cyclesim import IDEAL_FABRIC, CycleLevelSimulator
 from repro.hw.memory import training_footprint, weight_footprint
 from repro.models.zoo import get_specs
 from repro.sparse.rivals import access_costs
+from repro.sweep import ResultCache, SweepSpec, run_sweep
 
 __all__ = [
     "run_format_costs",
@@ -129,15 +125,24 @@ def format_schedule_survey(rows) -> str:
 # ----------------------------------------------------------------------
 # Section IV-C: fabric pricing
 # ----------------------------------------------------------------------
-def run_fabric_pricing(sides=(8, 16, 32, 64)):
-    table = {}
-    for side in sides:
-        arch = ArchConfig(name=f"{side}x{side}", pe_rows=side, pe_cols=side)
-        model = FabricCostModel(arch)
-        table[side] = {
-            f.name: model.fabric_area_fraction(f) for f in model.options()
+def run_fabric_pricing(
+    sides=(8, 16, 32, 64),
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
+):
+    """Area fraction of each interconnect option per array size."""
+    spec = SweepSpec.grid(
+        "fabric-pricing", "fabric-cost", {"side": list(sides)}
+    )
+    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    return {
+        int(point.params["side"]): {
+            name: option["fraction"]
+            for name, option in point.values["options"].items()
         }
-    return table
+        for point in sweep.points
+    }
 
 
 def format_fabric_pricing(table) -> str:

@@ -13,13 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.dropback import DropbackConfig, DropbackOptimizer
 from repro.models.zoo import MINI_MODELS
 from repro.nn.data import Dataset, make_blob_images
 from repro.nn.optim import SGD
 from repro.nn.trainer import Trainer, TrainingHistory
+from repro.sweep import ResultCache, SweepSpec, run_sweep
 
 __all__ = [
     "TrainRunResult",
@@ -173,23 +172,54 @@ def run_fig07_quantile(
     return quantile, exact
 
 
+def _run_from_values(label: str, values: dict) -> TrainRunResult:
+    """Rebuild a :class:`TrainRunResult` from sweep-point JSON values.
+
+    This is what lets the training figures ride the sweep engine: a
+    cached (JSON) training run round-trips into the same result object
+    a live run produces.
+    """
+    history = TrainingHistory(
+        epochs=[int(e) for e in values["epochs"]],
+        train_loss=[float(v) for v in values["train_loss"]],
+        train_accuracy=[float(v) for v in values["train_accuracy"]],
+        val_accuracy=[float(v) for v in values["val_accuracy"]],
+        sparsity_factor=[float(v) for v in values["sparsity_curve"]],
+        iterations=int(values["iterations"]),
+    )
+    return TrainRunResult(
+        label=label,
+        history=history,
+        achieved_sparsity=float(values["achieved_sparsity"]),
+        activation_densities=dict(values["activation_densities"]),
+    )
+
+
 def run_fig15_cifar_curves(
     networks: tuple[str, ...] = ("vgg-s", "densenet", "wrn-28-10"),
     epochs: int = 6,
     seed: int = 0,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> dict[str, tuple[TrainRunResult, TrainRunResult]]:
     """Figure 15: Procrustes vs. dense SGD on the CIFAR-10 stand-ins."""
-    out = {}
+    spec = SweepSpec.grid(
+        "fig15-cifar-curves",
+        "train-mini",
+        {"model": list(networks), "mode": ["procrustes", "sgd"]},
+        fixed={"epochs": epochs},
+        base_seed=seed,
+    )
+    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    out: dict[str, tuple[TrainRunResult, TrainRunResult]] = {}
     for network in networks:
-        procrustes = train_mini(
-            network, "procrustes", epochs=epochs, seed=seed,
-            label=f"{network} Procrustes",
+        (proc_point,) = sweep.select(model=network, mode="procrustes")
+        (sgd_point,) = sweep.select(model=network, mode="sgd")
+        out[network] = (
+            _run_from_values(f"{network} Procrustes", proc_point.values),
+            _run_from_values(f"{network} baseline (SGD)", sgd_point.values),
         )
-        baseline = train_mini(
-            network, "sgd", epochs=epochs, seed=seed,
-            label=f"{network} baseline (SGD)",
-        )
-        out[network] = (procrustes, baseline)
     return out
 
 
@@ -198,23 +228,42 @@ def run_fig16_sparsity_sweep(
     factors: tuple[float, ...] = (2.9, 5.8, 11.7),
     epochs: int = 6,
     seed: int = 0,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> dict[str, TrainRunResult]:
     """Figure 16: accuracy at several pruning ratios vs. SGD baseline."""
+    baseline = run_sweep(
+        SweepSpec.grid(
+            "fig16-baseline",
+            "train-mini",
+            {"mode": ["sgd"]},
+            fixed={"model": network, "epochs": epochs},
+            base_seed=seed,
+        ),
+        cache=cache,
+    )
+    sweep = run_sweep(
+        SweepSpec.grid(
+            "fig16-sparsity-sweep",
+            "train-mini",
+            {"sparsity_factor": list(factors)},
+            fixed={"model": network, "mode": "procrustes", "epochs": epochs},
+            base_seed=seed,
+        ),
+        cache=cache,
+        executor=executor,
+        workers=workers,
+    )
     out = {
-        "baseline (SGD)": train_mini(
-            network, "sgd", epochs=epochs, seed=seed,
-            label="baseline (SGD)",
+        "baseline (SGD)": _run_from_values(
+            "baseline (SGD)", baseline.points[0].values
         )
     }
-    for factor in factors:
-        out[f"Procrustes {factor}x"] = train_mini(
-            network,
-            "procrustes",
-            epochs=epochs,
-            sparsity_factor=factor,
-            seed=seed,
-            label=f"Procrustes {factor}x",
-        )
+    for point in sweep.points:
+        factor = point.params["sparsity_factor"]
+        label = f"Procrustes {factor}x"
+        out[label] = _run_from_values(label, point.values)
     return out
 
 

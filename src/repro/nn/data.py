@@ -132,7 +132,6 @@ def make_striped_images(
     for cls in range(n_classes):
         angle = np.pi * cls / n_classes
         freq = 2.0 * np.pi * (1.0 + cls % 3) / size
-        pattern = np.sin(freq * (np.cos(angle) * xx + np.sin(angle) * yy))
         for _ in range(samples_per_class):
             phase = rng.uniform(0, 2 * np.pi)
             sample = np.sin(
@@ -143,7 +142,6 @@ def make_striped_images(
             ) + noise * rng.normal(0.0, 1.0, size=(channels, size, size))
             images.append(sample)
             labels.append(cls)
-        del pattern
     return _split(
         np.asarray(images), np.asarray(labels, dtype=np.int64), val_fraction, rng
     )

@@ -1,0 +1,71 @@
+"""Parallel sweep/orchestration engine for grids of evaluations.
+
+Every headline experiment in the paper — the Figure 19 mapping sweep,
+the Table 2 sparsity grid, the Figure 20 scalability curves — is a
+grid of independent evaluator calls.  This package gives them one
+shared engine instead of bespoke nested loops:
+
+* :class:`SweepSpec` / :class:`Axis` — a declarative grid over named
+  axes (arch, fabric, mapping, sparsity, ...) with deterministic
+  per-point seeds;
+* :mod:`repro.sweep.evaluators` — the registry of named evaluators a
+  spec fans out over (``simulate``, ``train-mini``, ``fabric-cost``);
+* :class:`ResultCache` — a content-addressed on-disk JSON cache, so
+  re-runs and interrupted sweeps are near-instant to finish;
+* :class:`SweepRunner` / :func:`run_sweep` — serial or
+  process-parallel execution, returning :class:`SweepResult` rows
+  that export through :mod:`repro.report`.
+
+Quick use::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.grid(
+        "mapping-sweep", "simulate",
+        {"network": ["vgg-s"], "mapping": ["PQ", "CK", "CN", "KN"]},
+        fixed={"sparse": True}, base_seed=1,
+    )
+    result = run_sweep(spec, executor="process")
+    best = result.best("total_cycles")
+"""
+
+from repro.sweep import evaluators as evaluators  # register built-ins
+from repro.sweep.cache import CacheStats, ResultCache, cache_key
+from repro.sweep.evaluators import (
+    available_evaluators,
+    evaluator_version,
+    get_evaluator,
+    register,
+)
+from repro.sweep.runner import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    Axis,
+    SweepPoint,
+    SweepSpec,
+    canonical_json,
+    point_seed,
+)
+
+__all__ = [
+    "Axis",
+    "CacheStats",
+    "PointResult",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "available_evaluators",
+    "cache_key",
+    "canonical_json",
+    "evaluator_version",
+    "get_evaluator",
+    "point_seed",
+    "register",
+    "run_sweep",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed on-disk cache for sweep point results.
+
+Each entry is keyed by the SHA-256 of the canonical JSON of everything
+that determines the result: evaluator name, code-version key, the
+point's full parameter assignment, and its seed.  Changing any axis
+value, fixed parameter, seed, or version key therefore addresses a
+different entry — invalidation is free and stale hits are impossible
+(up to honesty of the version key).
+
+Entries are plain JSON files under ``<root>/<aa>/<digest>.json``
+(fan-out over the first byte keeps directories small), written
+atomically via a temp-file rename so an interrupted sweep never leaves
+a truncated record behind; re-running a sweep after an interrupt
+resumes from whatever completed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.sweep.spec import canonical_json
+
+__all__ = ["CacheStats", "ResultCache", "cache_key"]
+
+
+def cache_key(key_material: Mapping[str, Any]) -> str:
+    """Hex digest addressing one result record."""
+    return hashlib.sha256(canonical_json(key_material).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Content-addressed JSON result store (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, key_material: Mapping[str, Any]) -> dict[str, Any] | None:
+        """The stored record for this key, or ``None`` on a miss."""
+        path = self._path(cache_key(key_material))
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except json.JSONDecodeError:
+            # A corrupt record (e.g. torn write on an old filesystem)
+            # counts as a miss and will be overwritten by the re-run.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(
+        self, key_material: Mapping[str, Any], values: Mapping[str, Any]
+    ) -> Path:
+        """Store a result; returns the path written.
+
+        The record keeps the key material alongside the values so cache
+        directories are self-describing and auditable.
+        """
+        digest = cache_key(key_material)
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "key": dict(key_material),
+                "values": dict(values),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload + "\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, key_material: Mapping[str, Any]) -> bool:
+        return self._path(cache_key(key_material)).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,227 @@
+"""The evaluator registry: named functions sweeps can fan out over.
+
+Sweep points cross process boundaries (the parallel runner ships them
+to ``ProcessPoolExecutor`` workers) and land in an on-disk cache, so a
+spec references its evaluator *by name* rather than by callable: names
+pickle trivially, stay stable across interpreter sessions, and make
+cache records self-describing.
+
+An evaluator is any callable ``fn(*, seed, **params) -> Mapping`` that
+returns JSON-serializable values.  Register one with::
+
+    @register("my-metric", version="1")
+    def my_metric(*, seed, knob, **_):
+        return {"score": ...}
+
+The registered ``version`` is folded into every cache key, so bumping
+it invalidates previously cached results for that evaluator only.
+
+Built-in evaluators cover the paper's experiment families:
+
+``simulate``
+    One analytical accelerator simulation (network x mapping x
+    arch x sparsity) — the workhorse behind Figures 17-20.
+``train-mini``
+    One end-to-end mini training run (Figures 15/16).
+``fabric-cost``
+    Interconnect pricing at one array size (Section IV-C).
+``echo``
+    Diagnostic: echoes its parameters (optionally after a sleep);
+    used by the engine's own tests and benchmarks.
+
+Heavyweight imports happen inside the evaluator bodies so that
+``repro.sweep`` stays importable from anywhere in the package without
+cycles (the harness imports the sweep engine, not vice versa).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "available_evaluators",
+    "evaluator_version",
+    "get_evaluator",
+    "register",
+]
+
+Evaluator = Callable[..., Mapping[str, Any]]
+
+_REGISTRY: dict[str, tuple[Evaluator, str]] = {}
+
+
+def register(
+    name: str, version: str = "1"
+) -> Callable[[Evaluator], Evaluator]:
+    """Decorator registering ``fn`` as the evaluator called ``name``."""
+
+    def deco(fn: Evaluator) -> Evaluator:
+        _REGISTRY[name] = (fn, version)
+        return fn
+
+    return deco
+
+
+def get_evaluator(name: str) -> Evaluator:
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown evaluator {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def evaluator_version(name: str) -> str:
+    get_evaluator(name)  # raise the same KeyError for unknown names
+    return _REGISTRY[name][1]
+
+
+def available_evaluators() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+@register("echo", version="1")
+def echo(*, seed: int, sleep_s: float = 0.0, **params: Any) -> dict[str, Any]:
+    """Echo the parameters back (after an optional sleep).
+
+    The sleep makes wall-time visible, which the engine benchmarks use
+    to demonstrate cache warm-up and parallel fan-out independently of
+    simulator runtimes.
+    """
+    if sleep_s:
+        time.sleep(sleep_s)
+    return {"seed": seed, **params}
+
+
+@register("simulate", version="1")
+def simulate_point(
+    *,
+    seed: int,
+    network: str,
+    mapping: str = "KN",
+    sparse: bool = True,
+    arch: str | None = None,
+    scale: int = 1,
+    n: int | None = None,
+    sparsity_factor: float | None = None,
+    balance: bool = True,
+) -> dict[str, Any]:
+    """One analytical accelerator simulation (Figures 17-20 and kin).
+
+    ``arch`` picks the base configuration by name ("baseline" or
+    "procrustes"); the default follows the paper's methodology —
+    sparse runs get the Procrustes additions, dense runs the plain
+    baseline.  ``scale`` applies :meth:`ArchConfig.scaled` for the
+    Figure 20 scalability points.  The dense baseline uses the dense
+    profile regardless of ``sparsity_factor``.
+    """
+    from repro.dataflow.simulator import simulate
+    from repro.harness.common import (
+        dense_profile_for,
+        model_entry,
+        sparse_profile_for,
+    )
+    from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+
+    bases = {"baseline": BASELINE_16x16, "procrustes": PROCRUSTES_16x16}
+    if arch is None:
+        arch = "procrustes" if sparse else "baseline"
+    try:
+        config = bases[arch]
+    except KeyError:
+        raise KeyError(
+            f"unknown arch {arch!r}; choose from {sorted(bases)}"
+        ) from None
+    if scale != 1:
+        config = config.scaled(scale)
+    entry = model_entry(network)
+    profile = (
+        sparse_profile_for(network, seed=seed, sparsity_factor=sparsity_factor)
+        if sparse
+        else dense_profile_for(network)
+    )
+    sim = simulate(
+        profile,
+        mapping,
+        arch=config,
+        n=n if n is not None else entry.minibatch,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+    )
+    return {
+        "total_cycles": sim.total_cycles,
+        "total_j": sim.total_energy_j,
+        "cycles_by_phase": sim.cycles_by_phase(),
+        "energy_by_phase": sim.energy_by_phase(),
+        "energy_components_by_phase": {
+            phase: breakdown.as_dict()
+            for phase, breakdown in sim.energy.items()
+        },
+        "array_side": config.pe_rows,
+    }
+
+
+@register("train-mini", version="1")
+def train_mini_point(
+    *,
+    seed: int,
+    model: str,
+    mode: str,
+    epochs: int = 6,
+    sparsity_factor: float = 5.0,
+    lr: float = 0.08,
+) -> dict[str, Any]:
+    """One end-to-end mini training run (Figures 15/16).
+
+    Returns the whole validation curve plus the achieved sparsity so
+    callers can rebuild :class:`TrainRunResult`-shaped records from
+    cached JSON without re-training.
+    """
+    from repro.harness.training_experiments import train_mini
+
+    run = train_mini(
+        model,
+        mode,
+        epochs=epochs,
+        sparsity_factor=sparsity_factor,
+        lr=lr,
+        seed=seed,
+    )
+    history = run.history
+    return {
+        "epochs": list(history.epochs),
+        "train_loss": list(history.train_loss),
+        "train_accuracy": list(history.train_accuracy),
+        "val_accuracy": list(history.val_accuracy),
+        "sparsity_curve": list(history.sparsity_factor),
+        "iterations": history.iterations,
+        "achieved_sparsity": run.achieved_sparsity,
+        "activation_densities": dict(run.activation_densities),
+    }
+
+
+@register("fabric-cost", version="1")
+def fabric_cost_point(*, seed: int, side: int) -> dict[str, Any]:
+    """Interconnect options priced at one array size (Section IV-C)."""
+    del seed  # the cost model is deterministic
+    from repro.hw.config import ArchConfig
+    from repro.hw.fabric_cost import FabricCostModel
+
+    arch = ArchConfig(name=f"{side}x{side}", pe_rows=side, pe_cols=side)
+    model = FabricCostModel(arch)
+    return {
+        "options": {
+            f.name: {
+                "area_mm2": f.area_mm2(),
+                "fraction": model.fabric_area_fraction(f),
+                "h_pj": f.energy_pj_per_word["horizontal"],
+            }
+            for f in model.options()
+        }
+    }

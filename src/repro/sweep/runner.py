@@ -1,0 +1,305 @@
+"""The sweep runner: evaluate a grid, cached and optionally parallel.
+
+``run_sweep`` (or :class:`SweepRunner` for reuse across specs) walks a
+:class:`SweepSpec`'s points, satisfies what it can from the
+:class:`ResultCache`, and evaluates the misses either inline
+(``executor="serial"``) or fanned out over a ``ProcessPoolExecutor``
+(``executor="process"``).  Every completed point is written to the
+cache *as it finishes*, so an interrupted sweep resumes from its last
+completed point and a warm re-run touches no evaluator at all.
+
+Results come back as a :class:`SweepResult` — an ordered list of
+:class:`PointResult` rows plus timing and cache statistics — with
+helpers to slice, rank, and export through :mod:`repro.report`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.report.export import _jsonable as to_jsonable
+from repro.report.export import experiment_record
+from repro.sweep.cache import ResultCache
+from repro.sweep.evaluators import evaluator_version, get_evaluator
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+__all__ = ["PointResult", "SweepResult", "SweepRunner", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One evaluated (or cache-restored) grid point."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+    values: Mapping[str, Any]
+    cached: bool
+    wall_time_s: float
+
+    def row(self) -> dict[str, Any]:
+        """Flat params+values record (params win on key collisions)."""
+        return {**dict(self.values), **dict(self.params)}
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in grid order."""
+
+    spec: SweepSpec
+    points: list[PointResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for p in self.points if p.cached)
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [p.row() for p in self.points]
+
+    def values(self, key: str) -> list[Any]:
+        """One result column across the grid, in point order."""
+        return [p.values[key] for p in self.points]
+
+    def select(self, **matches: Any) -> list[PointResult]:
+        """Points whose parameters equal every given value."""
+        return [
+            p
+            for p in self.points
+            if all(p.params.get(k) == v for k, v in matches.items())
+        ]
+
+    def best(self, key: str, minimize: bool = True) -> PointResult:
+        """The point optimizing one scalar result column."""
+        if not self.points:
+            raise ValueError(f"sweep {self.spec.name!r} has no points")
+        chooser = min if minimize else max
+        return chooser(self.points, key=lambda p: float(p.values[key]))
+
+    def to_record(self) -> dict[str, Any]:
+        """The canonical :func:`experiment_record` payload."""
+        return experiment_record(
+            self.spec.name,
+            {
+                "evaluator": self.spec.evaluator,
+                "axes": {a.name: list(a.values) for a in self.spec.axes},
+                "fixed": dict(self.spec.fixed),
+                "base_seed": self.spec.base_seed,
+                "seed_mode": self.spec.seed_mode,
+            },
+            {
+                "rows": self.rows(),
+                "wall_time_s": self.wall_time_s,
+                "cache": dict(self.cache_stats),
+            },
+            notes=f"sweep over {self.spec.n_points} points",
+        )
+
+    def save(self, results_dir) -> None:
+        """Persist through a :class:`repro.report.ResultsDirectory`.
+
+        Writes the JSON record plus a flat CSV of every scalar column
+        (nested per-phase dicts stay in the JSON record only).
+        """
+        results_dir.save_record(self.to_record())
+        rows = self.rows()
+        if not rows:
+            return
+        headers = [
+            k
+            for k, v in rows[0].items()
+            if not isinstance(v, (dict, list, tuple))
+        ]
+        results_dir.save_table(
+            self.spec.name,
+            "points",
+            headers,
+            [[row.get(h) for h in headers] for row in rows],
+        )
+
+
+def _version_key(spec: SweepSpec) -> str:
+    """The code-version component of every cache key.
+
+    Combines the package version (global invalidation on release
+    bumps), the evaluator's registered version (targeted invalidation
+    when one model changes), and the spec's own override.
+    """
+    import repro
+
+    parts = [f"repro={repro.__version__}",
+             f"{spec.evaluator}={evaluator_version(spec.evaluator)}"]
+    if spec.version:
+        parts.append(f"spec={spec.version}")
+    return ";".join(parts)
+
+
+def _evaluate_point(
+    fn: Callable[..., Mapping[str, Any]],
+    params: Mapping[str, Any],
+    seed: int,
+) -> tuple[dict[str, Any], float]:
+    """Worker body: run one evaluator call, timed.
+
+    Module-level so it pickles for the process pool.  The evaluator is
+    shipped as the callable itself (pickled by module+qualname), not
+    looked up from the registry inside the worker: under the "spawn"
+    start method a fresh worker only registers the built-ins, so a
+    by-name lookup would break user-registered evaluators; unpickling
+    the callable imports its defining module instead, which re-runs
+    the ``@register`` decorator as a side effect.
+    """
+    start = time.perf_counter()
+    values = to_jsonable(dict(fn(seed=seed, **dict(params))))
+    return values, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Reusable sweep executor (cache + executor policy).
+
+    ``executor`` is ``"serial"`` (evaluate inline, deterministic
+    ordering, easiest to debug) or ``"process"`` (fan misses out over
+    ``workers`` processes; results are still returned in grid order).
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        executor: str = "serial",
+        workers: int | None = None,
+    ) -> None:
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process', got {executor!r}"
+            )
+        self.cache = cache
+        self.executor = executor
+        self.workers = workers or os.cpu_count() or 1
+
+    def run(
+        self,
+        spec: SweepSpec,
+        progress: Callable[[PointResult], None] | None = None,
+    ) -> SweepResult:
+        """Evaluate every point of ``spec``; see class docstring."""
+        start = time.perf_counter()
+        version = _version_key(spec)
+        fn = get_evaluator(spec.evaluator)
+        results: dict[int, PointResult] = {}
+        pending: list[SweepPoint] = []
+        for point in spec.points():
+            record = (
+                self.cache.get(point.key_material(spec.evaluator, version))
+                if self.cache is not None
+                else None
+            )
+            if record is not None:
+                results[point.index] = PointResult(
+                    index=point.index,
+                    params=point.params,
+                    seed=point.seed,
+                    values=record["values"],
+                    cached=True,
+                    wall_time_s=0.0,
+                )
+            else:
+                pending.append(point)
+
+        def finish(point: SweepPoint, values: dict, wall: float) -> None:
+            if self.cache is not None:
+                self.cache.put(
+                    point.key_material(spec.evaluator, version), values
+                )
+            result = PointResult(
+                index=point.index,
+                params=point.params,
+                seed=point.seed,
+                values=values,
+                cached=False,
+                wall_time_s=wall,
+            )
+            results[point.index] = result
+            if progress is not None:
+                progress(result)
+
+        if self.executor == "serial" or len(pending) <= 1:
+            for point in pending:
+                values, wall = _evaluate_point(fn, point.params, point.seed)
+                finish(point, values, wall)
+        elif pending:
+            self._run_pool(fn, pending, finish)
+
+        ordered = [results[i] for i in sorted(results)]
+        return SweepResult(
+            spec=spec,
+            points=ordered,
+            wall_time_s=time.perf_counter() - start,
+            cache_stats=(
+                self.cache.stats.as_dict() if self.cache is not None else {}
+            ),
+        )
+
+    def _run_pool(
+        self,
+        fn: Callable[..., Mapping[str, Any]],
+        pending: list[SweepPoint],
+        finish: Callable[[SweepPoint, dict, float], None],
+    ) -> None:
+        """Fan pending points over a process pool.
+
+        Completed points are committed to the cache as they land.  On
+        the first failure, queued-but-unstarted futures are cancelled,
+        in-flight ones are drained (their successes still committed —
+        a resume recomputes as little as possible), and the first
+        error is re-raised with the cache left consistent.
+        """
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _evaluate_point, fn, point.params, point.seed
+                ): point
+                for point in pending
+            }
+            remaining = set(futures)
+            first_error: BaseException | None = None
+            while remaining and first_error is None:
+                done, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    error = future.exception()
+                    if error is not None:
+                        first_error = first_error or error
+                        continue
+                    values, wall = future.result()
+                    finish(futures[future], values, wall)
+            if first_error is not None:
+                # cancel() only stops futures still in the queue; the
+                # in-flight ones run to completion anyway, so harvest
+                # their results instead of discarding them.
+                in_flight = {f for f in remaining if not f.cancel()}
+                for future in in_flight:
+                    if future.exception() is None:
+                        values, wall = future.result()
+                        finish(futures[future], values, wall)
+                raise first_error
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
+    progress: Callable[[PointResult], None] | None = None,
+) -> SweepResult:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(cache=cache, executor=executor, workers=workers).run(
+        spec, progress=progress
+    )

@@ -1,0 +1,193 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names an evaluator (see
+:mod:`repro.sweep.evaluators`) and spans a grid over named axes —
+architecture, fabric, mapping, sparsity, network, anything the
+evaluator accepts as a keyword argument.  The spec expands to an
+ordered list of :class:`SweepPoint` objects, each carrying its full
+parameter assignment plus a deterministic seed, so a sweep is fully
+reproducible from the spec alone and every point is independently
+cacheable and schedulable.
+
+Axis values must be JSON-canonicalizable (numbers, strings, booleans,
+``None``, and nested lists/tuples/dicts thereof): the canonical JSON
+encoding of a point is both its identity for the result cache and the
+input to its derived seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Axis",
+    "SweepPoint",
+    "SweepSpec",
+    "canonical_json",
+    "point_seed",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """Stable JSON encoding: sorted keys, tuples as lists, no spaces.
+
+    Raises ``TypeError`` for values that cannot round-trip through
+    JSON (arbitrary objects would make cache keys unstable across
+    processes).
+    """
+
+    def normalize(v: Any) -> Any:
+        if isinstance(v, Mapping):
+            return {str(k): normalize(v[k]) for k in v}
+        if isinstance(v, (list, tuple)):
+            return [normalize(x) for x in v]
+        if isinstance(v, bool) or v is None or isinstance(v, (int, str)):
+            return v
+        if isinstance(v, float):
+            return v
+        raise TypeError(
+            f"sweep axis values must be JSON-serializable primitives; "
+            f"got {type(v).__name__}: {v!r}"
+        )
+
+    return json.dumps(normalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def point_seed(base_seed: int, params: Mapping[str, Any]) -> int:
+    """Deterministic per-point seed derived from the parameter values.
+
+    Stable across processes and Python versions (unlike ``hash()``):
+    the SHA-256 of the canonical parameter JSON, folded with the
+    sweep's base seed into a 31-bit integer.
+    """
+    digest = hashlib.sha256(canonical_json(params).encode()).digest()
+    derived = int.from_bytes(digest[:8], "big")
+    return (derived ^ (base_seed * 0x9E3779B9)) % (2**31)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of a sweep grid."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        if not name:
+            raise ValueError("axis name must be non-empty")
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        for v in values:
+            canonical_json(v)  # validate early, with a clear message
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", values)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-assigned grid point of a sweep."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+    def key_material(self, evaluator: str, version: str) -> dict[str, Any]:
+        """Everything that determines this point's result."""
+        return {
+            "evaluator": evaluator,
+            "version": version,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of evaluator invocations.
+
+    ``axes`` span the grid (cartesian product, in axis order);
+    ``fixed`` parameters are passed to every point unchanged.  Seeds
+    are either the ``base_seed`` applied verbatim to every point
+    (``seed_mode="fixed"`` — what the paper-figure sweeps use so a
+    whole figure shares one seed) or derived per point from the
+    parameter values (``seed_mode="derived"`` — what Monte-Carlo style
+    sweeps want so no two points share a random stream).
+
+    ``version`` is the code-version key folded into every cache entry;
+    bump it (or the evaluator's registered version) to invalidate
+    stale results after a model change.
+    """
+
+    name: str
+    evaluator: str
+    axes: tuple[Axis, ...] = ()
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    base_seed: int = 0
+    seed_mode: str = "fixed"
+    version: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        if not self.evaluator:
+            raise ValueError("sweep evaluator must be non-empty")
+        if self.seed_mode not in ("fixed", "derived"):
+            raise ValueError(
+                f"seed_mode must be 'fixed' or 'derived', "
+                f"got {self.seed_mode!r}"
+            )
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {names}")
+        overlap = set(names) & set(self.fixed)
+        if overlap:
+            raise ValueError(
+                f"parameters {sorted(overlap)} appear both as axes "
+                "and as fixed values"
+            )
+        canonical_json(dict(self.fixed))
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "fixed", dict(self.fixed))
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        evaluator: str,
+        axes: Mapping[str, Sequence[Any]],
+        **kwargs: Any,
+    ) -> "SweepSpec":
+        """Convenience constructor from an ``{axis: values}`` mapping."""
+        return cls(
+            name=name,
+            evaluator=evaluator,
+            axes=tuple(Axis(k, v) for k, v in axes.items()),
+            **kwargs,
+        )
+
+    @property
+    def n_points(self) -> int:
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def points(self) -> Iterator[SweepPoint]:
+        """The grid, in deterministic (row-major, axis-order) order."""
+        names = [a.name for a in self.axes]
+        for index, combo in enumerate(
+            itertools.product(*(a.values for a in self.axes))
+        ):
+            params = dict(self.fixed)
+            params.update(zip(names, combo))
+            seed = (
+                self.base_seed
+                if self.seed_mode == "fixed"
+                else point_seed(self.base_seed, params)
+            )
+            yield SweepPoint(index=index, params=params, seed=seed)

@@ -16,7 +16,7 @@ from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
 from repro.hw.energy import DEFAULT_ENERGY_TABLE
 from repro.workloads.layer_spec import conv
 from repro.workloads.phases import phase_op
-from repro.workloads.sparsity import dense_profile, synthetic_profile
+from repro.workloads.sparsity import dense_profile
 
 
 class TestMapping:
@@ -186,8 +186,6 @@ class TestTiling:
 
     def test_depthwise_ck_starves(self, rng):
         """Depthwise layers leave CK's off-diagonal PEs idle."""
-        from repro.workloads.sparsity import dense_profile
-
         dw = conv("dw", c=64, k=64, h=8, r=3, groups=64)
         ls = dense_profile("net", [dw]).layers[0]
         op = phase_op(dw, "fw", 32)

@@ -15,7 +15,7 @@ from repro.harness.training_experiments import train_mini
 from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
 from repro.hw.prng import WeightRecomputeUnit
 from repro.models.vgg import mini_vgg_s
-from repro.nn.data import make_blob_images, minibatches
+from repro.nn.data import make_blob_images
 from repro.nn.trainer import Trainer
 from repro.workloads.layer_spec import conv, fc
 from repro.workloads.sparsity import dense_profile, profile_from_masks

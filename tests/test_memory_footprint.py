@@ -1,6 +1,5 @@
 """Tests for the training-time memory footprint model."""
 
-import numpy as np
 import pytest
 
 from repro.core.schedules import paper_schedule

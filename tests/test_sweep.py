@@ -1,0 +1,322 @@
+"""Tests for the sweep engine: specs, cache semantics, runner, resume.
+
+The cache tests pin down the contract the harness relies on: a hit
+requires *everything* that determines a result to match (axis values,
+fixed parameters, seed, evaluator name, and code-version key), an
+interrupted sweep resumes from its last completed point, and a warm
+re-run never calls the evaluator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.report.export import ResultsDirectory
+from repro.sweep import (
+    Axis,
+    ResultCache,
+    SweepSpec,
+    cache_key,
+    canonical_json,
+    point_seed,
+    register,
+    run_sweep,
+)
+
+#: Call log for the instrumented test evaluators (serial runs only).
+CALLS: list[dict] = []
+
+#: When set, ``test-flaky`` raises on this parameter value — cleared
+#: by the resume test to model "the bug got fixed, re-run the sweep".
+FAIL_ON: set[int] = set()
+
+
+@register("test-counting", version="1")
+def _counting(*, seed, x, scale=10):
+    CALLS.append({"evaluator": "test-counting", "x": x, "seed": seed})
+    return {"y": x * scale, "seed": seed}
+
+
+@register("test-flaky", version="1")
+def _flaky(*, seed, x, sleep_s=0.0):
+    CALLS.append({"evaluator": "test-flaky", "x": x, "seed": seed})
+    if x in FAIL_ON:
+        raise RuntimeError(f"injected failure at x={x}")
+    if sleep_s:
+        import time
+
+        time.sleep(sleep_s)
+    return {"y": x * x}
+
+
+@pytest.fixture(autouse=True)
+def _reset_instrumentation():
+    CALLS.clear()
+    FAIL_ON.clear()
+    yield
+    CALLS.clear()
+    FAIL_ON.clear()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestSpec:
+    def test_grid_expansion_order(self):
+        spec = SweepSpec.grid(
+            "s", "echo", {"a": [1, 2], "b": ["x", "y"]}, fixed={"c": 0}
+        )
+        points = list(spec.points())
+        assert spec.n_points == len(points) == 4
+        assert [p.params for p in points] == [
+            {"c": 0, "a": 1, "b": "x"},
+            {"c": 0, "a": 1, "b": "y"},
+            {"c": 0, "a": 2, "b": "x"},
+            {"c": 0, "a": 2, "b": "y"},
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec("s", "echo", axes=(Axis("a", [1]), Axis("a", [2])))
+
+    def test_axis_fixed_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            SweepSpec.grid("s", "echo", {"a": [1]}, fixed={"a": 2})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Axis("a", [])
+
+    def test_non_json_axis_value_rejected(self):
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            Axis("a", [object()])
+
+    def test_fixed_seed_mode(self):
+        spec = SweepSpec.grid("s", "echo", {"a": [1, 2]}, base_seed=7)
+        assert [p.seed for p in spec.points()] == [7, 7]
+
+    def test_derived_seeds_deterministic_and_distinct(self):
+        spec = SweepSpec.grid(
+            "s", "echo", {"a": list(range(20))},
+            base_seed=3, seed_mode="derived",
+        )
+        seeds_a = [p.seed for p in spec.points()]
+        seeds_b = [p.seed for p in spec.points()]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)
+        # A different base seed shifts every derived seed.
+        other = SweepSpec.grid(
+            "s", "echo", {"a": list(range(20))},
+            base_seed=4, seed_mode="derived",
+        )
+        assert [p.seed for p in other.points()] != seeds_a
+
+    def test_point_seed_depends_on_params(self):
+        assert point_seed(0, {"a": 1}) != point_seed(0, {"a": 2})
+        assert point_seed(0, {"a": 1}) == point_seed(0, {"a": 1})
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": (1, 2)}) == canonical_json(
+            {"a": [1, 2], "b": 1}
+        )
+
+
+class TestCache:
+    KEY = {"evaluator": "e", "version": "1", "params": {"x": 1}, "seed": 0}
+
+    def test_miss_then_hit(self, cache):
+        assert cache.get(self.KEY) is None
+        cache.put(self.KEY, {"y": 42})
+        record = cache.get(self.KEY)
+        assert record["values"] == {"y": 42}
+        assert record["key"]["params"] == {"x": 1}
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_any_key_component_invalidates(self, cache):
+        cache.put(self.KEY, {"y": 42})
+        for variant in (
+            {**self.KEY, "params": {"x": 2}},        # axis value changed
+            {**self.KEY, "seed": 1},                 # seed changed
+            {**self.KEY, "version": "2"},            # code version bumped
+            {**self.KEY, "evaluator": "other"},      # different evaluator
+            {**self.KEY, "params": {"x": 1, "z": 0}},  # new fixed param
+        ):
+            assert cache_key(variant) != cache_key(self.KEY)
+            assert cache.get(variant) is None
+
+    def test_contains_len_clear(self, cache):
+        assert self.KEY not in cache
+        assert len(cache) == 0
+        cache.put(self.KEY, {"y": 1})
+        cache.put({**self.KEY, "seed": 9}, {"y": 2})
+        assert self.KEY in cache
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        path = cache.put(self.KEY, {"y": 42})
+        path.write_text("{ truncated")
+        assert cache.get(self.KEY) is None
+
+
+class TestRunner:
+    def spec(self, n=4, **kwargs):
+        return SweepSpec.grid(
+            "counting", "test-counting", {"x": list(range(n))}, **kwargs
+        )
+
+    def test_serial_run_values_in_grid_order(self):
+        result = run_sweep(self.spec(base_seed=5))
+        assert result.values("y") == [0, 10, 20, 30]
+        assert all(p.seed == 5 and not p.cached for p in result.points)
+        assert len(CALLS) == 4
+
+    def test_warm_run_never_calls_evaluator(self, cache):
+        run_sweep(self.spec(), cache=cache)
+        CALLS.clear()
+        result = run_sweep(self.spec(), cache=cache)
+        assert CALLS == []
+        assert result.n_cached == len(result) == 4
+        assert result.values("y") == [0, 10, 20, 30]
+
+    def test_axis_value_change_recomputes_only_new_points(self, cache):
+        run_sweep(self.spec(n=3), cache=cache)
+        CALLS.clear()
+        result = run_sweep(self.spec(n=5), cache=cache)
+        assert [c["x"] for c in CALLS] == [3, 4]
+        assert result.n_cached == 3
+
+    def test_fixed_param_change_invalidates(self, cache):
+        run_sweep(self.spec(), cache=cache)
+        CALLS.clear()
+        run_sweep(
+            SweepSpec.grid(
+                "counting", "test-counting",
+                {"x": list(range(4))}, fixed={"scale": 100},
+            ),
+            cache=cache,
+        )
+        assert len(CALLS) == 4
+
+    def test_seed_change_invalidates(self, cache):
+        run_sweep(self.spec(base_seed=0), cache=cache)
+        CALLS.clear()
+        run_sweep(self.spec(base_seed=1), cache=cache)
+        assert len(CALLS) == 4
+
+    def test_version_bump_invalidates(self, cache):
+        run_sweep(self.spec(), cache=cache)
+        CALLS.clear()
+        run_sweep(self.spec(version="after-bugfix"), cache=cache)
+        assert len(CALLS) == 4
+
+    def test_resume_after_interrupt(self, cache):
+        """An interrupted sweep resumes from its last completed point."""
+        FAIL_ON.add(2)
+        spec = SweepSpec.grid(
+            "flaky", "test-flaky", {"x": list(range(5))}
+        )
+        with pytest.raises(RuntimeError, match="x=2"):
+            run_sweep(spec, cache=cache)
+        assert len(cache) == 2  # x=0 and x=1 committed before the crash
+
+        FAIL_ON.clear()  # "fix the bug", re-run the same sweep
+        CALLS.clear()
+        result = run_sweep(spec, cache=cache)
+        assert [c["x"] for c in CALLS] == [2, 3, 4]
+        assert result.n_cached == 2
+        assert result.values("y") == [0, 1, 4, 9, 16]
+
+    def test_process_executor_matches_serial(self):
+        spec = SweepSpec.grid(
+            "par-echo", "echo", {"i": list(range(6))},
+            fixed={"tag": "t"}, base_seed=2,
+        )
+        serial = run_sweep(spec, executor="serial")
+        parallel = run_sweep(spec, executor="process", workers=2)
+        assert parallel.rows() == serial.rows()
+
+    def test_pool_failure_commits_in_flight_successes(self, cache):
+        """A pool failure still harvests the points already running.
+
+        x=0 fails immediately while the other workers are mid-sleep;
+        the drained in-flight successes must land in the cache so a
+        resume recomputes as little as possible.
+        """
+        FAIL_ON.add(0)
+        spec = SweepSpec.grid(
+            "pool-flaky", "test-flaky", {"x": list(range(4))},
+            fixed={"sleep_s": 0.3},
+        )
+        with pytest.raises(RuntimeError, match="x=0"):
+            run_sweep(spec, cache=cache, executor="process", workers=2)
+        # At least the point in flight alongside the failure committed;
+        # queued points may or may not have started before the cancel.
+        assert 1 <= len(cache) <= 3
+
+        FAIL_ON.clear()
+        result = run_sweep(spec, cache=cache)
+        assert result.values("y") == [0, 1, 4, 9]
+        assert result.n_cached >= 1
+
+    def test_process_executor_populates_cache(self, cache):
+        spec = SweepSpec.grid("par-echo", "echo", {"i": list(range(6))})
+        run_sweep(spec, executor="process", workers=2, cache=cache)
+        assert len(cache) == 6
+        warm = run_sweep(spec, executor="process", workers=2, cache=cache)
+        assert warm.n_cached == 6
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_sweep(self.spec(), executor="threads")
+
+    def test_unknown_evaluator(self):
+        spec = SweepSpec.grid("s", "no-such-evaluator", {"x": [1]})
+        with pytest.raises(KeyError, match="no-such-evaluator"):
+            run_sweep(spec)
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(self.spec(), progress=lambda p: seen.append(p.index))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+
+class TestResultHelpers:
+    @pytest.fixture
+    def result(self):
+        return run_sweep(
+            SweepSpec.grid(
+                "helpers", "test-counting",
+                {"x": [1, 2, 3]}, fixed={"scale": -1},
+            )
+        )
+
+    def test_select_and_best(self, result):
+        assert [p.params["x"] for p in result.select(x=2)] == [2]
+        assert result.best("y", minimize=True).params["x"] == 3
+        assert result.best("y", minimize=False).params["x"] == 1
+
+    def test_rows_merge_params_and_values(self, result):
+        row = result.rows()[0]
+        assert row["x"] == 1 and row["scale"] == -1 and row["y"] == -1
+
+    def test_export_through_report(self, result, tmp_path):
+        results_dir = ResultsDirectory(tmp_path / "results")
+        result.save(results_dir)
+        record = results_dir.load_record("helpers")
+        assert record["params"]["evaluator"] == "test-counting"
+        assert record["params"]["axes"] == {"x": [1, 2, 3]}
+        assert len(record["series"]["rows"]) == 3
+        csv_path = results_dir.path_for("helpers", "points.csv")
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "x" in header.split(",") and "y" in header.split(",")
+
+    def test_record_is_json_clean(self, result):
+        json.dumps(result.to_record())
