@@ -1,0 +1,47 @@
+"""Explorer acceptance benchmark: a real Pareto search, warm and cold.
+
+The acceptance properties of the design-space explorer, demonstrated
+on the harness's default space and printed for inspection:
+
+* the default search evaluates >= 100 candidate configurations and
+  returns a non-trivial frontier (>= 2 non-dominated points — the
+  latency/area trade-off alone guarantees that);
+* a warm re-exploration against the populated sweep cache completes
+  in under 10% of the cold wall time, because every candidate is
+  restored from disk and only dominance checks run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.explore import frontier_diff
+from repro.harness.explore_experiments import run_explore
+
+BUDGET = 120
+
+
+def test_explore_cold_then_warm(tmp_path):
+    cache_dir = str(tmp_path / "explore-cache")
+
+    start = time.perf_counter()
+    cold = run_explore(budget=BUDGET, cache_dir=cache_dir)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_explore(budget=BUDGET, cache_dir=cache_dir)
+    warm_s = time.perf_counter() - start
+
+    print()
+    print(
+        f"explore ({cold.n_evaluated} candidates): cold {cold_s:.1f}s, "
+        f"warm {warm_s:.2f}s ({warm_s / cold_s:.1%} of cold), "
+        f"frontier {len(cold.frontier)} points"
+    )
+    assert cold.n_evaluated >= 100
+    assert len(cold.frontier) >= 2
+    assert cold.n_cached == 0
+    # Warm run: identical search, every evaluation from cache.
+    assert warm.n_cached == warm.n_evaluated == cold.n_evaluated
+    assert frontier_diff(warm.frontier, cold.frontier).unchanged
+    assert warm_s < 0.10 * cold_s

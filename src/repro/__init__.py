@@ -35,6 +35,10 @@ Subpackages
     The parallel sweep/orchestration engine: declarative grid specs,
     a content-addressed result cache, and a process-pool runner that
     every grid-shaped experiment fans out through.
+``repro.explore``
+    Pareto design-space exploration on top of the sweep engine:
+    constrained search spaces, grid/random/greedy strategies, and an
+    incremental latency/energy/area frontier.
 """
 
 __version__ = "1.1.0"

@@ -9,7 +9,11 @@ from repro.dataflow.eager_accel import (
 from repro.dataflow.energy_model import layer_phase_energy, network_energy
 from repro.dataflow.latency import LayerLatency, PhaseLatency, network_latency
 from repro.dataflow.loadbalance import balance_sets, pair_halves, split_halves
-from repro.dataflow.mapper import MappingChoice, choose_mapping
+from repro.dataflow.mapper import (
+    MappingChoice,
+    candidate_mappings,
+    choose_mapping,
+)
 from repro.dataflow.mapping import (
     MAPPINGS,
     Mapping,
@@ -17,7 +21,7 @@ from repro.dataflow.mapping import (
     spatial_dims,
 )
 from repro.dataflow.simulator import SimulationResult, simulate
-from repro.dataflow.tiling import SetStats, build_sets
+from repro.dataflow.tiling import SetStats, build_sets, stationary_chunks
 
 __all__ = [
     "EagerPruningAccelerator",
@@ -25,6 +29,7 @@ __all__ = [
     "EagerRunResult",
     "sorting_cycles",
     "MappingChoice",
+    "candidate_mappings",
     "choose_mapping",
     "layer_phase_energy",
     "network_energy",
@@ -42,4 +47,5 @@ __all__ = [
     "simulate",
     "SetStats",
     "build_sets",
+    "stationary_chunks",
 ]

@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from repro.dataflow.latency import network_latency
 from repro.dataflow.mapping import MAPPINGS
 from repro.hw.config import ArchConfig
-from repro.hw.interconnect import traffic_pattern
+from repro.hw.interconnect import needs_complex_balancing
 from repro.workloads.sparsity import NetworkSparsity
 
-__all__ = ["MappingChoice", "choose_mapping"]
+__all__ = ["MappingChoice", "candidate_mappings", "choose_mapping"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,25 @@ class MappingChoice:
     def advantage_over(self, mapping: str) -> float:
         """Speedup of the chosen mapping versus another candidate."""
         return self.cycles_by_mapping[mapping] / self.cycles
+
+
+def candidate_mappings(
+    sparse: bool = True, simple_fabric_only: bool = False
+) -> tuple[str, ...]:
+    """Spatial-mapping candidates for a search.
+
+    The explorer and :func:`choose_mapping` share this filter:
+    ``simple_fabric_only=True`` drops mappings whose sparse load
+    balancing needs the complex interconnect (C,K under sparsity,
+    Figure 10) — the candidate set Procrustes actually designs within.
+    """
+    if not (simple_fabric_only and sparse):
+        return MAPPINGS
+    return tuple(
+        mapping
+        for mapping in MAPPINGS
+        if not needs_complex_balancing(mapping)
+    )
 
 
 def choose_mapping(
@@ -48,15 +67,7 @@ def choose_mapping(
     constraint Procrustes designs for.
     """
     cycles_by_mapping: dict[str, float] = {}
-    for mapping in MAPPINGS:
-        if simple_fabric_only and sparse:
-            needs_complex = any(
-                traffic_pattern(mapping, phase)
-                .needs_complex_interconnect_for_balancing
-                for phase in ("fw", "bw", "wu")
-            )
-            if needs_complex:
-                continue
+    for mapping in candidate_mappings(sparse, simple_fabric_only):
         latency = network_latency(
             profile, mapping, arch, n, sparse=sparse, seed=seed
         )

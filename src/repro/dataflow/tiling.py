@@ -33,7 +33,7 @@ from repro.hw.config import ArchConfig
 from repro.workloads.phases import PhaseOp
 from repro.workloads.sparsity import LayerSparsity
 
-__all__ = ["SetStats", "build_sets"]
+__all__ = ["SetStats", "build_sets", "stationary_chunks"]
 
 #: Cycle tax on chip-wide ("perfect") balancing over the complex
 #: interconnect: the accumulate-or-route partial-sum network that CK
@@ -47,6 +47,24 @@ SAMPLE_ACT_CONCENTRATION = 60.0
 CHUNK_ACT_CONCENTRATION = 24.0
 #: Beta concentration for spatial activation clustering (PQ mapping).
 SPATIAL_ACT_CONCENTRATION = 4.0
+
+
+def stationary_chunks(
+    weights_per_unit: float, arch: ArchConfig, rf_fraction: float = 0.5
+) -> int:
+    """Temporal chunks needed to stream one unit's stationary tile.
+
+    The stationary operand tile per PE is bounded by the register file
+    (``rf_fraction`` of it is budgeted to the stationary operand, the
+    rest to streaming operands and partial sums); a unit whose weights
+    exceed that budget executes in multiple temporal chunks, each a
+    separate working set.  The design-space explorer reads this as its
+    tiling-pressure signal when sizing register files: more chunks
+    mean smaller chunks, hence more sparsity variance and a heavier
+    imbalance tail (Figure 5).
+    """
+    budget = max(1, int(arch.rf_words * rf_fraction))
+    return max(1, -(-int(round(weights_per_unit)) // budget))
 
 
 @dataclass
@@ -189,8 +207,7 @@ def _weight_sets_channel_minibatch(
     # Dense weights per channel unit of the spatial dimension.
     weights_per_unit = layer.weight_count / s1
     uses_per_weight = op.dense_macs / (layer.weight_count * op.n)
-    budget = max(1, arch.rf_words // 2)
-    chunks = max(1, -(-int(round(weights_per_unit)) // budget))
+    chunks = stationary_chunks(weights_per_unit, arch)
     chunk_size = weights_per_unit / chunks
 
     if sparse:

@@ -1,0 +1,102 @@
+"""Pareto design-space exploration over the accelerator models.
+
+The paper picks its spatial-minibatch dataflow by comparing a handful
+of hand-chosen mappings (Figures 17-19).  This package *searches*
+instead: enumerate or sample candidate design points (mapping x tiling
+x array size x buffer capacity x density), prune infeasible ones with
+constraint predicates wired to the hardware models, evaluate the rest
+through the cached :mod:`repro.sweep` runner, and keep the Pareto
+frontier of latency vs. energy vs. area rather than a single operating
+point.
+
+The pieces, bottom-up:
+
+* :mod:`repro.explore.pareto` — :class:`ParetoFrontier` (incremental
+  dominance pruning), hypervolume, and frontier diffs between runs;
+* :mod:`repro.explore.space` — :class:`SearchSpace`: named discrete
+  dimensions, fixed parameters, and constraint predicates
+  (:func:`fabric_fraction_limit`, :func:`mask_residency_limit`,
+  :func:`tiling_chunk_limit`);
+* :mod:`repro.explore.strategies` — deterministic grid / random /
+  greedy-refinement proposers;
+* :mod:`repro.explore.explorer` — the driver: strategy batches become
+  explicit sweep specs, results feed the frontier, everything lands in
+  the content-addressed result cache so warm re-explorations are
+  nearly free.
+
+Quick use::
+
+    from repro.explore import (
+        SearchSpace, RandomStrategy, explore, fabric_fraction_limit,
+    )
+
+    space = SearchSpace(
+        {"mapping": ["PQ", "CK", "CN", "KN"], "array_side": [8, 16, 32]},
+        fixed={"network": "vgg-s"},
+        constraints=[fabric_fraction_limit(0.30)],
+    )
+    result = explore(space, RandomStrategy(n_samples=100), seed=1)
+    for point in result.frontier_points():
+        print(point.params, point.values["total_cycles"])
+
+``python -m repro.harness explore`` runs the paper-anchored default
+search; see ``docs/explore.md`` for the full tour.
+"""
+
+from repro.explore.explorer import (
+    DEFAULT_OBJECTIVES,
+    Evaluation,
+    ExploreResult,
+    Explorer,
+    explore,
+)
+from repro.explore.pareto import (
+    FrontierDiff,
+    FrontierPoint,
+    Objective,
+    ParetoFrontier,
+    dominates,
+    frontier_diff,
+    hypervolume,
+)
+from repro.explore.space import (
+    Dimension,
+    SearchSpace,
+    arch_from_params,
+    fabric_fraction_limit,
+    mask_residency_limit,
+    tiling_chunk_limit,
+)
+from repro.explore.strategies import (
+    GreedyRefineStrategy,
+    GridStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Dimension",
+    "Evaluation",
+    "ExploreResult",
+    "Explorer",
+    "FrontierDiff",
+    "FrontierPoint",
+    "GreedyRefineStrategy",
+    "GridStrategy",
+    "Objective",
+    "ParetoFrontier",
+    "RandomStrategy",
+    "SearchSpace",
+    "SearchStrategy",
+    "arch_from_params",
+    "dominates",
+    "explore",
+    "fabric_fraction_limit",
+    "frontier_diff",
+    "hypervolume",
+    "make_strategy",
+    "mask_residency_limit",
+    "tiling_chunk_limit",
+]

@@ -1,0 +1,276 @@
+"""The explorer: strategy-proposed batches, sweep-evaluated, Pareto-pruned.
+
+:func:`explore` (or :class:`Explorer` for reuse) closes the loop
+between the other pieces of this package: a search strategy proposes
+candidate batches from a :class:`~repro.explore.space.SearchSpace`,
+each batch becomes an *explicit* :class:`~repro.sweep.spec.SweepSpec`
+evaluated by the shared :class:`~repro.sweep.runner.SweepRunner`
+(cached, optionally process-parallel), and every result feeds the
+incremental :class:`~repro.explore.pareto.ParetoFrontier`.
+
+Because evaluation rides the sweep cache with derived per-point seeds,
+identical candidates cost nothing on re-exploration — a warm re-run of
+a whole search is limited by cache reads, not simulator calls, and two
+different strategies exploring overlapping regions share work.  The
+budget counts *proposed evaluations* (cached or not), so a run is
+reproducible: same space, strategy, seed, and budget ⇒ the same
+candidates in the same order ⇒ the same frontier.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.explore.pareto import FrontierPoint, Objective, ParetoFrontier
+from repro.explore.space import SearchSpace
+from repro.explore.strategies import SearchStrategy
+from repro.report.export import experiment_record
+from repro.sweep.cache import ResultCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Evaluation",
+    "ExploreResult",
+    "Explorer",
+    "explore",
+]
+
+#: Default objective vector: the three axes the paper trades off.
+DEFAULT_OBJECTIVES = ("total_cycles", "total_j", "area_mm2")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated candidate: parameters, result values, provenance."""
+
+    params: Mapping[str, Any]
+    values: Mapping[str, Any]
+    seed: int
+    cached: bool
+    on_frontier: bool
+
+
+@dataclass
+class ExploreResult:
+    """Everything one exploration produced.
+
+    ``evaluations`` is every candidate in evaluation order;
+    ``frontier`` is the final non-dominated set.  ``to_record``
+    exports the run in the canonical :mod:`repro.report` shape, and
+    ``frontier_rows`` flattens the frontier for tables/CSV.
+
+    ``budget_exhausted`` is True when the run stopped at the
+    evaluation budget rather than because the strategy finished — for
+    an enumerative strategy that means the frontier may describe a
+    *truncated* sample of the space, not all of it.
+    """
+
+    name: str
+    strategy: str
+    objectives: tuple[Objective, ...]
+    frontier: ParetoFrontier
+    evaluations: list[Evaluation] = field(default_factory=list)
+    n_rounds: int = 0
+    budget_exhausted: bool = False
+    wall_time_s: float = 0.0
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for e in self.evaluations if e.cached)
+
+    def frontier_points(self) -> list[FrontierPoint]:
+        """The frontier, sorted along the first objective."""
+        return self.frontier.sorted_points(0)
+
+    def objective_columns(self) -> dict[str, list[float]]:
+        """Objective values of *all* evaluations, keyed by objective."""
+        return {
+            o.key: [float(e.values[o.key]) for e in self.evaluations]
+            for o in self.objectives
+        }
+
+    def frontier_rows(self) -> list[dict[str, Any]]:
+        """Flat params+objectives rows for the frontier (table export)."""
+        rows = []
+        for point in self.frontier_points():
+            row = dict(point.params)
+            for objective in self.objectives:
+                row[objective.key] = point.values[objective.key]
+            rows.append(row)
+        return rows
+
+    def to_record(self) -> dict[str, Any]:
+        """The canonical :func:`experiment_record` payload."""
+        return experiment_record(
+            self.name,
+            {
+                "strategy": self.strategy,
+                "objectives": [
+                    {"key": o.key, "minimize": o.minimize}
+                    for o in self.objectives
+                ],
+            },
+            {
+                "frontier": self.frontier_rows(),
+                "n_evaluated": self.n_evaluated,
+                "n_cached": self.n_cached,
+                "n_rounds": self.n_rounds,
+                "budget_exhausted": self.budget_exhausted,
+                "hypervolume": self.frontier.hypervolume(),
+                "wall_time_s": self.wall_time_s,
+                "cache": dict(self.cache_stats),
+            },
+            notes=(
+                f"{len(self.frontier)} non-dominated of "
+                f"{self.n_evaluated} evaluated candidates"
+            ),
+        )
+
+    def save(self, results_dir) -> None:
+        """Persist via :class:`repro.report.ResultsDirectory`."""
+        results_dir.save_record(self.to_record())
+        rows = self.frontier_rows()
+        if not rows:
+            return
+        headers = list(rows[0])
+        results_dir.save_table(
+            self.name,
+            "frontier",
+            headers,
+            [[row.get(h) for h in headers] for row in rows],
+        )
+
+
+class Explorer:
+    """Reusable exploration driver (evaluator + runner + objectives).
+
+    ``evaluator`` names any registered sweep evaluator whose result
+    mapping contains every objective key; ``cache``/``executor``/
+    ``workers`` configure the underlying :class:`SweepRunner` exactly
+    as for a grid sweep.
+    """
+
+    def __init__(
+        self,
+        evaluator: str = "design-point",
+        objectives: tuple[Objective | str, ...] = DEFAULT_OBJECTIVES,
+        cache: ResultCache | None = None,
+        executor: str = "serial",
+        workers: int | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.objectives = tuple(Objective.parse(o) for o in objectives)
+        self.runner = SweepRunner(
+            cache=cache, executor=executor, workers=workers
+        )
+
+    def run(
+        self,
+        space: SearchSpace,
+        strategy: SearchStrategy,
+        budget: int = 128,
+        seed: int = 0,
+        name: str = "explore",
+    ) -> ExploreResult:
+        """Search until the budget or the strategy is exhausted."""
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1 (got {budget})")
+        start = time.perf_counter()
+        cache = self.runner.cache
+        stats_before = cache.stats.as_dict() if cache is not None else {}
+        rng = random.Random(seed)
+        frontier = ParetoFrontier(self.objectives)
+        evaluated: dict[str, Mapping[str, Any]] = {}
+        evaluations: list[Evaluation] = []
+        rounds = 0
+        budget_exhausted = False
+        while True:
+            if len(evaluations) >= budget:
+                budget_exhausted = True
+                break
+            batch = strategy.propose(space, rng, frontier, evaluated)
+            if not batch:
+                break
+            if len(batch) > budget - len(evaluations):
+                # Truncation discards proposals the strategy already
+                # consumed, so the instance can never be resumed
+                # soundly: mark it spent (its reuse guard will raise).
+                batch = batch[: budget - len(evaluations)]
+                budget_exhausted = True
+                if hasattr(strategy, "_done"):
+                    strategy._done = True
+            rounds += 1
+            spec = SweepSpec.explicit(
+                f"{name}-round{rounds}",
+                self.evaluator,
+                batch,
+                base_seed=seed,
+                seed_mode="derived",
+            )
+            result = self.runner.run(spec)
+            for point in result.points:
+                key = space.key(point.params)
+                kept = frontier.add(point.params, point.values)
+                evaluated[key] = point.values
+                evaluations.append(
+                    Evaluation(
+                        params=point.params,
+                        values=point.values,
+                        seed=point.seed,
+                        cached=point.cached,
+                        on_frontier=kept,
+                    )
+                )
+        # This run's cache traffic, not the cache's lifetime counters
+        # (the same Explorer may serve several runs).
+        cache_stats = (
+            {
+                key: value - stats_before[key]
+                for key, value in cache.stats.as_dict().items()
+            }
+            if cache is not None
+            else {}
+        )
+        return ExploreResult(
+            name=name,
+            strategy=getattr(strategy, "name", type(strategy).__name__),
+            objectives=self.objectives,
+            frontier=frontier,
+            evaluations=evaluations,
+            n_rounds=rounds,
+            budget_exhausted=budget_exhausted,
+            wall_time_s=time.perf_counter() - start,
+            cache_stats=cache_stats,
+        )
+
+
+def explore(
+    space: SearchSpace,
+    strategy: SearchStrategy,
+    objectives: tuple[Objective | str, ...] = DEFAULT_OBJECTIVES,
+    evaluator: str = "design-point",
+    budget: int = 128,
+    seed: int = 0,
+    cache: ResultCache | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
+    name: str = "explore",
+) -> ExploreResult:
+    """One-shot convenience wrapper around :class:`Explorer`."""
+    return Explorer(
+        evaluator=evaluator,
+        objectives=objectives,
+        cache=cache,
+        executor=executor,
+        workers=workers,
+    ).run(space, strategy, budget=budget, seed=seed, name=name)

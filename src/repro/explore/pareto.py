@@ -1,0 +1,268 @@
+"""Pareto-frontier utilities: dominance, hypervolume, frontier diff.
+
+The explorer compares design points on a vector of objectives
+(latency, energy, area, ...) rather than a single scalar, so "best" is
+a *set*: the non-dominated frontier.  :class:`ParetoFrontier` keeps
+that set incrementally — each candidate is admitted or rejected as it
+is evaluated, and admitting a point evicts anything it newly
+dominates — so a search strategy can steer toward the frontier while
+the search is still running.
+
+Conventions, pinned down because the tests rely on them:
+
+* Every objective is normalized to *minimization* internally; an
+  :class:`Objective` with ``minimize=False`` has its values negated.
+* ``a`` dominates ``b`` iff ``a`` is no worse on every objective and
+  strictly better on at least one.  Ties (identical vectors) dominate
+  in neither direction, and the frontier keeps every tied point.
+* Hypervolume is the volume (in normalized, minimized space) between
+  the frontier and a reference point that must be weakly worse than
+  every frontier point; bigger is better.  With one objective it
+  degenerates to ``ref - best``.
+* :func:`frontier_diff` compares two frontiers by objective vector:
+  points only in the new frontier are "gained", points only in the
+  old are "lost" — the regression check for "did this code change
+  move the frontier?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "FrontierDiff",
+    "FrontierPoint",
+    "Objective",
+    "ParetoFrontier",
+    "dominates",
+    "frontier_diff",
+    "hypervolume",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization axis: a result key plus a direction."""
+
+    key: str
+    minimize: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("objective key must be non-empty")
+
+    @classmethod
+    def parse(cls, spec: "Objective | str") -> "Objective":
+        """Accept ``Objective``, ``"key"``, or ``"key:max"``."""
+        if isinstance(spec, Objective):
+            return spec
+        key, _, direction = spec.partition(":")
+        if direction not in ("", "min", "max"):
+            raise ValueError(
+                f"objective direction must be 'min' or 'max', "
+                f"got {direction!r}"
+            )
+        return cls(key=key, minimize=direction != "max")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff minimized vector ``a`` Pareto-dominates ``b``."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length ({len(a)} vs {len(b)})"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated design point: parameters plus objectives."""
+
+    params: Mapping[str, Any]
+    values: Mapping[str, Any]
+    vector: tuple[float, ...]
+
+
+class ParetoFrontier:
+    """An incrementally maintained non-dominated set.
+
+    Construct with the objective specs (``Objective`` instances or
+    ``"key"`` / ``"key:max"`` strings), then :meth:`add` every
+    evaluated candidate; the frontier keeps exactly the non-dominated
+    ones, in insertion order.
+    """
+
+    def __init__(self, objectives: Sequence[Objective | str]) -> None:
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        self.objectives = tuple(Objective.parse(o) for o in objectives)
+        keys = [o.key for o in self.objectives]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate objective keys in {keys}")
+        self._points: list[FrontierPoint] = []
+
+    def vector(self, values: Mapping[str, Any]) -> tuple[float, ...]:
+        """The normalized (all-minimized) objective vector of a result."""
+        out = []
+        for objective in self.objectives:
+            try:
+                v = float(values[objective.key])
+            except KeyError:
+                raise KeyError(
+                    f"objective {objective.key!r} missing from result; "
+                    f"available columns: {sorted(values)}"
+                ) from None
+            out.append(v if objective.minimize else -v)
+        return tuple(out)
+
+    def add(
+        self, params: Mapping[str, Any], values: Mapping[str, Any]
+    ) -> bool:
+        """Admit a candidate; True iff it joins the frontier.
+
+        A dominated candidate is rejected; an admitted one evicts the
+        points it dominates.  An exact objective tie with an existing
+        point is admitted (both stay — they are distinct designs with
+        equal cost).
+        """
+        vector = self.vector(values)
+        for existing in self._points:
+            if dominates(existing.vector, vector):
+                return False
+        self._points = [
+            p for p in self._points if not dominates(vector, p.vector)
+        ]
+        self._points.append(
+            FrontierPoint(params=dict(params), values=dict(values),
+                          vector=vector)
+        )
+        return True
+
+    @property
+    def points(self) -> tuple[FrontierPoint, ...]:
+        return tuple(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[FrontierPoint]:
+        return iter(self._points)
+
+    def vectors(self) -> list[tuple[float, ...]]:
+        return [p.vector for p in self._points]
+
+    def hypervolume(
+        self, reference: Sequence[float] | None = None
+    ) -> float:
+        """Dominated hypervolume up to ``reference`` (see module doc).
+
+        Without an explicit reference the nadir of the frontier's own
+        vectors is used (the componentwise worst), which makes single
+        runs comparable to themselves over time but NOT across runs —
+        pass a fixed reference to compare two searches.
+        """
+        return hypervolume(self.vectors(), reference)
+
+    def sorted_points(self, objective_index: int = 0) -> list[FrontierPoint]:
+        """Frontier points ordered along one objective (for tables)."""
+        return sorted(self._points, key=lambda p: p.vector[objective_index])
+
+
+def hypervolume(
+    vectors: Sequence[Sequence[float]],
+    reference: Sequence[float] | None = None,
+) -> float:
+    """Hypervolume dominated by minimized ``vectors`` w.r.t. a reference.
+
+    Exact recursive slicing (adequate for the explorer's small
+    frontiers and 2-4 objectives): sweep the first coordinate and
+    integrate the (d-1)-dimensional hypervolume of the points seen so
+    far.  Points at or beyond the reference contribute nothing; an
+    empty input has volume 0.
+    """
+    vectors = [tuple(float(x) for x in v) for v in vectors]
+    if not vectors:
+        return 0.0
+    dims = {len(v) for v in vectors}
+    if len(dims) != 1:
+        raise ValueError(f"mixed vector lengths {sorted(dims)}")
+    (d,) = dims
+    if reference is None:
+        reference = tuple(max(v[i] for v in vectors) for i in range(d))
+    reference = tuple(float(x) for x in reference)
+    if len(reference) != d:
+        raise ValueError(
+            f"reference has {len(reference)} components, vectors have {d}"
+        )
+    for v in vectors:
+        if any(x > r for x, r in zip(v, reference)):
+            raise ValueError(
+                f"vector {v} is worse than the reference {reference}"
+            )
+    return _hv(sorted(set(vectors)), reference)
+
+
+def _hv(vectors: list[tuple[float, ...]], ref: tuple[float, ...]) -> float:
+    if not vectors:
+        return 0.0
+    if len(ref) == 1:
+        return ref[0] - min(v[0] for v in vectors)
+    # Sweep the first coordinate: between consecutive distinct x
+    # values the dominated cross-section is constant, so the volume is
+    # sum(slab width x cross-section hypervolume of points with
+    # x <= slab start).
+    total = 0.0
+    xs = sorted({v[0] for v in vectors})
+    for i, x in enumerate(xs):
+        width = (xs[i + 1] if i + 1 < len(xs) else ref[0]) - x
+        if width <= 0:
+            continue
+        slice_points = [v[1:] for v in vectors if v[0] <= x]
+        total += width * _hv(sorted(set(slice_points)), ref[1:])
+    return total
+
+
+@dataclass(frozen=True)
+class FrontierDiff:
+    """Set difference of two frontiers, keyed by objective vector."""
+
+    gained: tuple[FrontierPoint, ...] = ()
+    lost: tuple[FrontierPoint, ...] = ()
+    common: tuple[FrontierPoint, ...] = field(default=())
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.gained and not self.lost
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.gained)} gained, -{len(self.lost)} lost, "
+            f"{len(self.common)} unchanged"
+        )
+
+
+def frontier_diff(
+    new: ParetoFrontier, old: ParetoFrontier
+) -> FrontierDiff:
+    """Compare two frontiers over the same objectives.
+
+    Points are matched by objective vector (two runs that land
+    different parameter assignments on identical costs count as
+    unchanged — the frontier's *shape* is what regression checks care
+    about).
+    """
+    if [o for o in new.objectives] != [o for o in old.objectives]:
+        raise ValueError(
+            f"frontiers optimize different objectives: "
+            f"{new.objectives} vs {old.objectives}"
+        )
+    old_vectors = {p.vector for p in old}
+    new_vectors = {p.vector for p in new}
+    return FrontierDiff(
+        gained=tuple(p for p in new if p.vector not in old_vectors),
+        lost=tuple(p for p in old if p.vector not in new_vectors),
+        common=tuple(p for p in new if p.vector in old_vectors),
+    )

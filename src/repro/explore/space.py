@@ -1,0 +1,297 @@
+"""Design-space specification: dimensions, fixed knobs, constraints.
+
+A :class:`SearchSpace` is the explorer's input: named discrete
+dimensions (mapping, array side, buffer capacities, sparsity, ...)
+over a shared set of fixed parameters, plus *constraint predicates*
+that prune infeasible assignments before any simulation runs.  The
+space only describes candidates — a candidate is a plain parameter
+dict that the ``design-point`` sweep evaluator (or any registered
+evaluator) accepts as keyword arguments, so spaces, sweeps, and the
+result cache all speak the same vocabulary.
+
+Constraints are cheap, pure predicates over a candidate dict.  The
+built-ins wire in the hardware models the paper argues from:
+:func:`fabric_fraction_limit` (the simple 3-network fabric must stay a
+small share of the array, :mod:`repro.hw.fabric_cost`),
+:func:`mask_residency_limit` (active CSB masks must fit the GLB's
+metadata share, :mod:`repro.hw.capacity`), and
+:func:`tiling_chunk_limit` (the register file must be large enough
+that stationary tiles don't shatter into absurd chunk counts,
+:mod:`repro.dataflow.tiling`).  User constraints are any
+``(name, predicate)`` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.hw.config import arch_from_params
+from repro.sweep.spec import canonical_json
+
+__all__ = [
+    "Constraint",
+    "Dimension",
+    "SearchSpace",
+    "arch_from_params",
+    "fabric_fraction_limit",
+    "mask_residency_limit",
+    "tiling_chunk_limit",
+]
+
+#: A feasibility predicate over one candidate parameter dict.
+Constraint = tuple[str, Callable[[Mapping[str, Any]], bool]]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One named discrete dimension of the design space."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        if not name:
+            raise ValueError("dimension name must be non-empty")
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"dimension {name!r} has no values")
+        for v in values:
+            canonical_json(v)  # same identity rules as sweep axes
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", values)
+
+
+class SearchSpace:
+    """Discrete candidate space with constraint-based pruning.
+
+    ``dimensions`` maps names to value sequences; ``fixed`` parameters
+    ride along on every candidate; ``constraints`` is a sequence of
+    ``(name, predicate)`` pairs — a candidate is feasible iff every
+    predicate accepts it.
+    """
+
+    def __init__(
+        self,
+        dimensions: Mapping[str, Sequence[Any]],
+        fixed: Mapping[str, Any] | None = None,
+        constraints: Sequence[Constraint] = (),
+    ) -> None:
+        if not dimensions:
+            raise ValueError("a search space needs at least one dimension")
+        self.dimensions = tuple(
+            Dimension(name, values) for name, values in dimensions.items()
+        )
+        self.fixed = dict(fixed or {})
+        canonical_json(self.fixed)
+        overlap = {d.name for d in self.dimensions} & set(self.fixed)
+        if overlap:
+            raise ValueError(
+                f"parameters {sorted(overlap)} appear both as dimensions "
+                "and as fixed values"
+            )
+        self.constraints = tuple(constraints)
+        for name, predicate in self.constraints:
+            if not name or not callable(predicate):
+                raise ValueError(
+                    "constraints must be (name, callable) pairs"
+                )
+
+    # ------------------------------------------------------------------
+    # candidates
+    # ------------------------------------------------------------------
+    @property
+    def n_assignments(self) -> int:
+        """Grid size before constraint pruning."""
+        count = 1
+        for dim in self.dimensions:
+            count *= len(dim.values)
+        return count
+
+    def candidate(self, assignment: Mapping[str, Any]) -> dict[str, Any]:
+        """A full candidate dict: fixed parameters plus one assignment."""
+        params = dict(self.fixed)
+        params.update(assignment)
+        return params
+
+    def key(self, params: Mapping[str, Any]) -> str:
+        """Canonical identity of a candidate (dedup / history key)."""
+        return canonical_json(dict(params))
+
+    def is_feasible(self, params: Mapping[str, Any]) -> bool:
+        return all(predicate(params) for _, predicate in self.constraints)
+
+    def violated(self, params: Mapping[str, Any]) -> list[str]:
+        """Names of the constraints a candidate fails (diagnostics)."""
+        return [
+            name
+            for name, predicate in self.constraints
+            if not predicate(params)
+        ]
+
+    def grid(self) -> Iterator[dict[str, Any]]:
+        """Every feasible candidate, in deterministic row-major order."""
+        import itertools
+
+        names = [d.name for d in self.dimensions]
+        for combo in itertools.product(*(d.values for d in self.dimensions)):
+            params = self.candidate(dict(zip(names, combo)))
+            if self.is_feasible(params):
+                yield params
+
+    def sample(
+        self, rng: random.Random, k: int, exclude: set[str] | None = None
+    ) -> list[dict[str, Any]]:
+        """Up to ``k`` distinct feasible candidates, drawn uniformly.
+
+        ``exclude`` holds canonical keys (:meth:`key`) of candidates
+        the caller has already seen; draws stop after a bounded number
+        of attempts so a nearly-exhausted space cannot loop forever.
+        """
+        seen = set(exclude or ())
+        out: list[dict[str, Any]] = []
+        attempts = 0
+        max_attempts = max(50, 20 * k)
+        while len(out) < k and attempts < max_attempts:
+            attempts += 1
+            assignment = {
+                d.name: d.values[rng.randrange(len(d.values))]
+                for d in self.dimensions
+            }
+            params = self.candidate(assignment)
+            key = self.key(params)
+            if key in seen or not self.is_feasible(params):
+                continue
+            seen.add(key)
+            out.append(params)
+        return out
+
+    def neighbors(self, params: Mapping[str, Any]) -> list[dict[str, Any]]:
+        """Feasible one-step moves: each dimension nudged one value.
+
+        The greedy refinement strategy walks these; order is
+        deterministic (dimension order, minus-step before plus-step).
+        """
+        out: list[dict[str, Any]] = []
+        for dim in self.dimensions:
+            current = params.get(dim.name)
+            try:
+                index = dim.values.index(current)
+            except ValueError:
+                continue
+            for step in (-1, 1):
+                j = index + step
+                if 0 <= j < len(dim.values):
+                    moved = dict(params)
+                    moved[dim.name] = dim.values[j]
+                    if self.is_feasible(moved):
+                        out.append(moved)
+        return out
+
+
+# ----------------------------------------------------------------------
+# hardware-model hooks
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def _profile(network: str, sparse: bool, sparsity_factor: float | None,
+             seed: int):
+    from repro.harness.common import dense_profile_for, sparse_profile_for
+
+    if not sparse:
+        return dense_profile_for(network)
+    return sparse_profile_for(
+        network, seed=seed, sparsity_factor=sparsity_factor
+    )
+
+
+def fabric_fraction_limit(max_fraction: float = 0.35) -> Constraint:
+    """The fabric the mapping *needs* must stay under ``max_fraction``.
+
+    Prices, with :mod:`repro.hw.fabric_cost`, the interconnect a
+    candidate actually requires for load balancing: mappings that
+    balance on the Figure 14 fabric pay the simple 3-network cost
+    (a scale-invariant ~7% of the array in this model), while sparse
+    C,K balancing pays the Figure 10 balanced-CK fabric, whose
+    crossbar-and-collector wiring grows with the array side (~20% at
+    8x8, ~50% at 32x32).  This is the paper's scalability argument as
+    a pruning rule: big arrays are only feasible with mappings the
+    simple fabric can balance.
+    """
+    from repro.hw.fabric_cost import FabricCostModel
+
+    def ok(params: Mapping[str, Any]) -> bool:
+        model = FabricCostModel(arch_from_params(params))
+        fabric = model.fabric_for_mapping(
+            str(params.get("mapping", "KN")),
+            sparse=bool(params.get("sparse", True)),
+        )
+        return model.fabric_area_fraction(fabric) <= max_fraction
+
+    return (f"fabric_fraction<={max_fraction:g}", ok)
+
+
+def mask_residency_limit(n: int = 64, phase: str = "fw") -> Constraint:
+    """Active CSB masks must fit the GLB's metadata share.
+
+    The Section IV-B residency check from :mod:`repro.hw.capacity`,
+    applied per candidate: sparse candidates whose working-set masks
+    overflow the budget are infeasible (dense candidates carry no
+    masks and always pass).  A candidate's own ``n`` parameter
+    overrides this factory's default minibatch so the screen checks
+    the size the evaluator will simulate.
+    """
+    from repro.hw.capacity import mask_residency_ok
+
+    def ok(params: Mapping[str, Any]) -> bool:
+        if not params.get("sparse", True):
+            return True
+        profile = _profile(
+            str(params["network"]),
+            True,
+            params.get("sparsity_factor"),
+            int(params.get("profile_seed", 1)),
+        )
+        return mask_residency_ok(
+            profile,
+            arch_from_params(params),
+            n=int(params.get("n", n)),
+            phase=phase,
+        )
+
+    return (f"mask_residency(n={n})", ok)
+
+
+def tiling_chunk_limit(max_chunks: int = 64) -> Constraint:
+    """Stationary tiles must not shatter into too many temporal chunks.
+
+    Uses :func:`repro.dataflow.tiling.stationary_chunks`: a register
+    file so small that some layer's stationary tile splits into more
+    than ``max_chunks`` working-set chunks spends its time refilling
+    tiles (and its chunks get so small the imbalance tail explodes,
+    Figure 5) — prune the candidate instead of simulating it.  Only
+    the channel-by-minibatch mappings tile the stationary operand this
+    way; other mappings pass.
+    """
+    from repro.dataflow.mapping import spatial_dims
+    from repro.dataflow.tiling import stationary_chunks
+    from repro.workloads.phases import phase_op
+
+    def ok(params: Mapping[str, Any]) -> bool:
+        mapping = str(params.get("mapping", "KN"))
+        if mapping not in ("KN", "CN"):
+            return True
+        arch = arch_from_params(params)
+        # Structure only — the dense profile carries the layer shapes.
+        profile = _profile(str(params["network"]), False, None, 1)
+        for ls in profile.layers:
+            op = phase_op(ls.layer, "fw", int(params.get("n", 64)))
+            weights_per_unit = (
+                ls.layer.weight_count / spatial_dims(op, mapping).size1
+            )
+            if stationary_chunks(weights_per_unit, arch) > max_chunks:
+                return False
+        return True
+
+    return (f"stationary_chunks<={max_chunks}", ok)

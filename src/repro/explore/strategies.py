@@ -1,0 +1,226 @@
+"""Search strategies: how the explorer proposes candidate batches.
+
+A strategy is a stateful proposer: the explorer repeatedly calls
+:meth:`SearchStrategy.propose` with the space, a deterministic
+``random.Random`` stream, and the search state so far (evaluated keys
+plus the current Pareto frontier), and the strategy answers with the
+next batch of candidate parameter dicts — or ``None`` when it has
+nothing left to suggest.  Batching matters: every batch becomes one
+explicit :class:`~repro.sweep.spec.SweepSpec`, so its points evaluate
+in parallel and land in the shared result cache.
+
+Three built-ins cover the classic trade-offs:
+
+* :class:`GridStrategy` — exhaustive enumeration, exact but only
+  viable for small spaces (it is what the paper's own Figures 18/19
+  do with four hand-picked mappings);
+* :class:`RandomStrategy` — uniform sampling, the budget-bounded
+  default for large spaces;
+* :class:`GreedyRefineStrategy` — random warm-up, then hill-climbing:
+  propose the unexplored one-step neighbors of current frontier
+  points, so effort concentrates near the frontier.
+
+All are deterministic given the seed the explorer feeds the stream:
+same seed, same space, same evaluator results ⇒ same proposals, same
+frontier.
+
+Strategies are **single-use**: each instance carries iteration state
+(what it has proposed so far), so after its run ends — whether the
+strategy exhausted itself or the explorer's budget cut it off
+mid-batch, discarding proposals the instance had already consumed —
+it is spent, and further use raises rather than silently skipping
+candidates.  Construct a fresh instance per :meth:`Explorer.run`
+call; to search deeper, re-run with a larger budget against the same
+cache (completed evaluations replay for free).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Mapping, Protocol
+
+from repro.explore.pareto import ParetoFrontier
+from repro.explore.space import SearchSpace
+
+__all__ = [
+    "GreedyRefineStrategy",
+    "GridStrategy",
+    "RandomStrategy",
+    "SearchStrategy",
+    "make_strategy",
+]
+
+
+class SearchStrategy(Protocol):
+    """The proposer protocol the explorer drives (see module doc)."""
+
+    name: str
+
+    def propose(
+        self,
+        space: SearchSpace,
+        rng: random.Random,
+        frontier: ParetoFrontier,
+        evaluated: Mapping[str, Mapping[str, Any]],
+    ) -> list[dict[str, Any]] | None:
+        """Next candidate batch, or ``None`` when exhausted."""
+        ...
+
+
+def _check_not_exhausted(strategy) -> None:
+    """Guard against reusing a spent strategy instance (see module doc).
+
+    Without this, a second :meth:`Explorer.run` with the same instance
+    would silently return an empty result.
+    """
+    if getattr(strategy, "_done", False):
+        raise ValueError(
+            f"{type(strategy).__name__} is exhausted; strategies are "
+            "single-use — construct a new instance per explore run"
+        )
+
+
+class GridStrategy:
+    """Exhaustive enumeration of the feasible grid, in batches."""
+
+    name = "grid"
+
+    def __init__(self, batch_size: int = 32) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._iterator: Iterator[dict[str, Any]] | None = None
+        self._done = False
+
+    def propose(
+        self,
+        space: SearchSpace,
+        rng: random.Random,
+        frontier: ParetoFrontier,
+        evaluated: Mapping[str, Mapping[str, Any]],
+    ) -> list[dict[str, Any]] | None:
+        _check_not_exhausted(self)
+        if self._iterator is None:
+            self._iterator = space.grid()
+        batch: list[dict[str, Any]] = []
+        for params in self._iterator:
+            if space.key(params) in evaluated:
+                continue
+            batch.append(params)
+            if len(batch) >= self.batch_size:
+                return batch
+        if not batch:
+            self._done = True
+            return None
+        return batch
+
+
+class RandomStrategy:
+    """Uniform feasible sampling up to a fixed number of candidates."""
+
+    name = "random"
+
+    def __init__(self, n_samples: int = 128, batch_size: int = 32) -> None:
+        if n_samples < 1 or batch_size < 1:
+            raise ValueError("n_samples and batch_size must be >= 1")
+        self.n_samples = n_samples
+        self.batch_size = batch_size
+        self._proposed = 0
+        self._done = False
+
+    def propose(
+        self,
+        space: SearchSpace,
+        rng: random.Random,
+        frontier: ParetoFrontier,
+        evaluated: Mapping[str, Mapping[str, Any]],
+    ) -> list[dict[str, Any]] | None:
+        _check_not_exhausted(self)
+        remaining = self.n_samples - self._proposed
+        if remaining <= 0:
+            self._done = True
+            return None
+        batch = space.sample(
+            rng, min(self.batch_size, remaining), exclude=set(evaluated)
+        )
+        if not batch:
+            self._done = True
+            return None
+        self._proposed += len(batch)
+        return batch
+
+
+class GreedyRefineStrategy:
+    """Random warm-up, then neighborhood refinement of the frontier.
+
+    Each refinement round proposes every not-yet-evaluated one-step
+    neighbor of every current frontier point (deduplicated, in
+    frontier order).  The search stops after ``max_rounds`` rounds or
+    as soon as a round finds the frontier's whole neighborhood already
+    explored — i.e. the frontier is locally optimal under the space's
+    move set.
+    """
+
+    name = "greedy"
+
+    def __init__(self, n_init: int = 32, max_rounds: int = 8) -> None:
+        if n_init < 1 or max_rounds < 0:
+            raise ValueError("n_init must be >= 1 and max_rounds >= 0")
+        self.n_init = n_init
+        self.max_rounds = max_rounds
+        self._warmed_up = False
+        self._rounds = 0
+        self._done = False
+
+    def propose(
+        self,
+        space: SearchSpace,
+        rng: random.Random,
+        frontier: ParetoFrontier,
+        evaluated: Mapping[str, Mapping[str, Any]],
+    ) -> list[dict[str, Any]] | None:
+        _check_not_exhausted(self)
+        if not self._warmed_up:
+            self._warmed_up = True
+            batch = space.sample(rng, self.n_init, exclude=set(evaluated))
+            if batch:
+                return batch
+            # Nothing new to seed with; fall through to refinement of
+            # whatever frontier the caller already has.
+        if self._rounds >= self.max_rounds:
+            self._done = True
+            return None
+        self._rounds += 1
+        batch = []
+        seen: set[str] = set()
+        for point in frontier:
+            for neighbor in space.neighbors(point.params):
+                key = space.key(neighbor)
+                if key in evaluated or key in seen:
+                    continue
+                seen.add(key)
+                batch.append(neighbor)
+        if not batch:
+            # An empty round means the frontier's whole neighborhood
+            # is explored: locally optimal under the space's move set.
+            self._done = True
+            return None
+        return batch
+
+
+def make_strategy(
+    name: str, **options: Any
+) -> GridStrategy | RandomStrategy | GreedyRefineStrategy:
+    """Strategy factory for the CLI (``grid``, ``random``, ``greedy``)."""
+    strategies: dict[str, Any] = {
+        "grid": GridStrategy,
+        "random": RandomStrategy,
+        "greedy": GreedyRefineStrategy,
+    }
+    try:
+        cls = strategies[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; choose from {sorted(strategies)}"
+        ) from None
+    return cls(**options)

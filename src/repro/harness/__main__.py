@@ -8,6 +8,8 @@ Usage::
     python -m repro.harness tables     # Tables II (stats) and III
     python -m repro.harness beyond     # beyond-the-paper analyses
     python -m repro.harness export [dir]  # persist results as JSON/CSV
+    python -m repro.harness explore [budget] [cache_dir] [strategy]
+                                       # Pareto design-space search
 """
 
 from __future__ import annotations
@@ -116,6 +118,26 @@ def run_beyond() -> None:
     print(format_eager_comparison(*run_eager_comparison()))
 
 
+def run_explore_cli(
+    budget: str = "120",
+    cache_dir: str = "results/explore-cache",
+    strategy: str = "greedy",
+) -> None:
+    from repro.harness.explore_experiments import (
+        format_frontier,
+        run_explore,
+    )
+
+    _banner(
+        f"Design-space exploration — strategy={strategy}, "
+        f"budget={budget}, cache={cache_dir}"
+    )
+    result = run_explore(
+        budget=int(budget), strategy=strategy, cache_dir=cache_dir
+    )
+    print(format_frontier(result))
+
+
 def run_export(root: str = "results") -> None:
     from repro.harness.export_all import export_all
 
@@ -131,6 +153,14 @@ def main(argv: list[str]) -> int:
         run_export(*(argv[2:3] or ["results"]))
         print(f"\ndone in {time.time() - start:.1f}s")
         return 0
+    if what == "explore":
+        try:
+            run_explore_cli(*argv[2:5])
+        except (KeyError, ValueError) as error:
+            print(f"explore: {error}")
+            return 2
+        print(f"\ndone in {time.time() - start:.1f}s")
+        return 0
     runners = {
         "arch": (run_arch,),
         "training": (run_training,),
@@ -139,7 +169,8 @@ def main(argv: list[str]) -> int:
         "all": (run_tables, run_arch, run_beyond, run_training),
     }
     if what not in runners:
-        print(f"unknown selection {what!r}; choose from {sorted(runners)}")
+        choices = sorted([*runners, "explore", "export"])
+        print(f"unknown selection {what!r}; choose from {choices}")
         return 2
     for runner in runners[what]:
         runner()

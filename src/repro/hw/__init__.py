@@ -1,12 +1,17 @@
 """Hardware unit models, energy/area tables, and array configurations."""
 
 from repro.hw.area import TABLE_III_COMPONENTS, AreaModel, Component
-from repro.hw.capacity import MaskResidency, check_mask_residency
+from repro.hw.capacity import (
+    MaskResidency,
+    check_mask_residency,
+    mask_residency_ok,
+)
 from repro.hw.config import (
     BASELINE_16x16,
     PROCRUSTES_16x16,
     PROCRUSTES_32x32,
     ArchConfig,
+    arch_from_params,
 )
 from repro.hw.cyclesim import (
     IDEAL_FABRIC,
@@ -19,7 +24,12 @@ from repro.hw.cyclesim import (
 from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from repro.hw.engine import PhaseResult, SparseTrainingEngine
 from repro.hw.fabric_cost import FabricCostModel, FabricCostParams, FabricCosts
-from repro.hw.interconnect import Flow, TrafficPattern, traffic_pattern
+from repro.hw.interconnect import (
+    Flow,
+    TrafficPattern,
+    needs_complex_balancing,
+    traffic_pattern,
+)
 from repro.hw.memory import (
     ActivationFootprint,
     TrainingFootprint,
@@ -45,12 +55,14 @@ __all__ = [
     "Component",
     "MaskResidency",
     "check_mask_residency",
+    "mask_residency_ok",
     "PhaseResult",
     "SparseTrainingEngine",
     "BASELINE_16x16",
     "PROCRUSTES_16x16",
     "PROCRUSTES_32x32",
     "ArchConfig",
+    "arch_from_params",
     "IDEAL_FABRIC",
     "SINGLE_WORD_FABRIC",
     "CycleLevelSimulator",
@@ -62,6 +74,7 @@ __all__ = [
     "EnergyTable",
     "Flow",
     "TrafficPattern",
+    "needs_complex_balancing",
     "traffic_pattern",
     "FabricCostModel",
     "FabricCostParams",

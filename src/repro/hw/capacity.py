@@ -17,7 +17,7 @@ from repro.hw.config import ArchConfig
 from repro.workloads.phases import phase_op
 from repro.workloads.sparsity import NetworkSparsity
 
-__all__ = ["MaskResidency", "check_mask_residency"]
+__all__ = ["MaskResidency", "check_mask_residency", "mask_residency_ok"]
 
 #: Fraction of the GLB budgeted to CSB metadata (masks + pointers).
 GLB_METADATA_FRACTION = 0.25
@@ -32,6 +32,25 @@ class MaskResidency:
     layer_mask_bits: int
     fits_working_set: bool
     fits_whole_layer: bool
+
+
+def mask_residency_ok(
+    profile: NetworkSparsity,
+    arch: ArchConfig,
+    n: int = 64,
+    phase: str = "fw",
+) -> bool:
+    """True when every layer's working-set masks fit the GLB budget.
+
+    The scalar form of :func:`check_mask_residency`, used as a
+    feasibility predicate by the design-space explorer: a candidate
+    (arch, network) pair whose active masks overflow the metadata
+    share of the GLB is pruned before simulation.
+    """
+    return all(
+        r.fits_working_set
+        for r in check_mask_residency(profile, arch, n=n, phase=phase)
+    )
 
 
 def check_mask_residency(

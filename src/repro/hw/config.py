@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["ArchConfig", "BASELINE_16x16", "PROCRUSTES_16x16", "PROCRUSTES_32x32"]
+__all__ = [
+    "ArchConfig",
+    "BASELINE_16x16",
+    "PROCRUSTES_16x16",
+    "PROCRUSTES_32x32",
+    "arch_from_params",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,26 @@ class ArchConfig:
             pe_cols=self.pe_cols * factor,
             glb_bytes=self.glb_bytes * factor,
         )
+
+
+def arch_from_params(params) -> "ArchConfig":
+    """The :class:`ArchConfig` a flat parameter mapping describes.
+
+    The shared vocabulary of the ``design-point`` sweep evaluator and
+    the design-space explorer's constraint predicates: ``array_side``,
+    ``glb_kib``, ``rf_bytes``, and ``sparse``, each defaulting to the
+    paper's Table I values, so feasibility screening and simulation
+    always agree on the hardware a parameter dict means.
+    """
+    side = int(params.get("array_side", 16))
+    return ArchConfig(
+        name=f"explore-{side}x{side}",
+        pe_rows=side,
+        pe_cols=side,
+        glb_bytes=int(params.get("glb_kib", 128)) * 1024,
+        rf_bytes_per_pe=int(params.get("rf_bytes", 1024)),
+        sparse_training_support=bool(params.get("sparse", True)),
+    )
 
 
 #: The paper's dense baseline (Table I).

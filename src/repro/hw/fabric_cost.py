@@ -228,6 +228,26 @@ class FabricCostModel:
             self.full_crossbar(),
         ]
 
+    def fabric_for_mapping(
+        self, mapping: str, sparse: bool = True
+    ) -> FabricCosts:
+        """The cheapest fabric that can balance a mapping.
+
+        The design-space explorer's pricing rule: mappings the simple
+        3-network fabric balances (and any dense mapping, which needs
+        no balancing) pay the Figure 14 cost; sparse mappings that
+        need the complex interconnect (C,K — Figure 10) pay the
+        balanced-CK fabric.  Used both to *screen* candidates
+        (``fabric_fraction_limit``) and to *price* them (the
+        ``design-point`` evaluator), so feasibility and the area
+        objective always agree.
+        """
+        from repro.hw.interconnect import needs_complex_balancing
+
+        if sparse and needs_complex_balancing(mapping):
+            return self.balanced_ck_fabric()
+        return self.simple_fabric()
+
     def fabric_area_fraction(self, fabric: FabricCosts) -> float:
         """Fabric area relative to the PE array it serves."""
         pe_array_area = self.arch.n_pes * self.pitch_um**2

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Flow", "TrafficPattern", "traffic_pattern"]
+__all__ = [
+    "Flow",
+    "TrafficPattern",
+    "needs_complex_balancing",
+    "traffic_pattern",
+]
 
 
 @dataclass(frozen=True)
@@ -99,3 +104,21 @@ def traffic_pattern(mapping: str, phase: str) -> TrafficPattern:
     # Balancing is not needed in fw/bw (all PEs see all filters), but
     # the wu phase cannot be balanced on this fabric.
     return TrafficPattern(mapping, phase, flows, phase == "wu")
+
+
+def needs_complex_balancing(
+    mapping: str, phases: tuple[str, ...] = ("fw", "bw", "wu")
+) -> bool:
+    """True when balancing a mapping exceeds the simple fabric.
+
+    The shared predicate behind every "can the Figure 14 fabric
+    balance this?" decision — mapping candidate filtering
+    (:func:`repro.dataflow.mapper.candidate_mappings`), the explorer's
+    fabric-area constraint, and the ``design-point`` evaluator's
+    interconnect pricing all call this, so they cannot drift apart.
+    """
+    return any(
+        traffic_pattern(mapping, phase)
+        .needs_complex_interconnect_for_balancing
+        for phase in phases
+    )

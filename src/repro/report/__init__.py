@@ -5,6 +5,7 @@ from repro.report.ascii_plot import (
     grouped_bars,
     histogram,
     line_plot,
+    scatter_plot,
     sparkline,
 )
 from repro.report.export import (
@@ -19,6 +20,7 @@ __all__ = [
     "grouped_bars",
     "histogram",
     "line_plot",
+    "scatter_plot",
     "sparkline",
     "ResultsDirectory",
     "experiment_record",

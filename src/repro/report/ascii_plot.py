@@ -3,8 +3,9 @@
 The harness regenerates the paper's figures as data; these helpers
 make the shapes visible without matplotlib (offline environment):
 bar charts for the energy breakdowns (Figs 1/17/18), histograms for
-the imbalance distributions (Figs 5/13), and line plots for the
-accuracy-over-epoch curves (Figs 6/7/15/16).
+the imbalance distributions (Figs 5/13), line plots for the
+accuracy-over-epoch curves (Figs 6/7/15/16), and scatter plots for
+the design-space explorer's objective clouds and Pareto frontiers.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ __all__ = [
     "histogram",
     "line_plot",
     "grouped_bars",
+    "scatter_plot",
     "sparkline",
 ]
 
@@ -145,6 +147,65 @@ def grouped_bars(
             lines.append(
                 f"  {name:<{series_w}} |{'█' * n:<{width}}| {value:g}{unit}"
             )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series character scatter plot (one glyph per series).
+
+    ``series`` maps a name to an ``(xs, ys)`` pair.  Later series
+    overdraw earlier ones, so put the emphasis series (e.g. the Pareto
+    frontier over the full candidate cloud) last.  Axis ranges span
+    the union of all series; the explorer uses this for its
+    objective-vs-objective frontier views.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    glyphs = "·o*#@+x%"
+    pairs = list(series.items())
+    for name, (xs, ys) in pairs:
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"series {name!r}: {len(xs)} x values vs {len(ys)} y values"
+            )
+    all_x = [x for _, (xs, _) in pairs for x in xs]
+    all_y = [y for _, (_, ys) in pairs for y in ys]
+    if not all_x:
+        return title or "(no data)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1e-9
+    y_span = (y_hi - y_lo) or 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, (xs, ys)) in enumerate(pairs):
+        glyph = glyphs[i % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = int(round((width - 1) * (x - x_lo) / x_span))
+            row = height - 1 - int(round((height - 1) * (y - y_lo) / y_span))
+            grid[row][col] = glyph
+    lines: list[str] = [title] if title else []
+    lines.append(f"{y_hi:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_lo:<10.3g}" + x_label.center(width - 20)
+        + f"{x_hi:>10.3g}"
+    )
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, (name, _) in enumerate(pairs)
+    )
+    lines.append(" " * 12 + legend)
     return "\n".join(lines)
 
 

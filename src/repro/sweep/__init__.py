@@ -7,9 +7,12 @@ shared engine instead of bespoke nested loops:
 
 * :class:`SweepSpec` / :class:`Axis` — a declarative grid over named
   axes (arch, fabric, mapping, sparsity, ...) with deterministic
-  per-point seeds;
+  per-point seeds; :meth:`SweepSpec.explicit` builds the same thing
+  from a literal candidate list (how the design-space explorer of
+  :mod:`repro.explore` rides this engine);
 * :mod:`repro.sweep.evaluators` — the registry of named evaluators a
-  spec fans out over (``simulate``, ``train-mini``, ``fabric-cost``);
+  spec fans out over (``simulate``, ``design-point``, ``train-mini``,
+  ``fabric-cost``);
 * :class:`ResultCache` — a content-addressed on-disk JSON cache, so
   re-runs and interrupted sweeps are near-instant to finish;
 * :class:`SweepRunner` / :func:`run_sweep` — serial or

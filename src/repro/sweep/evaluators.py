@@ -21,6 +21,11 @@ Built-in evaluators cover the paper's experiment families:
 ``simulate``
     One analytical accelerator simulation (network x mapping x
     arch x sparsity) — the workhorse behind Figures 17-20.
+``design-point``
+    One free-form accelerator design point (mapping x array side x
+    buffer capacities x density): latency, energy, *and* silicon
+    area, the objective vector the design-space explorer
+    (:mod:`repro.explore`) prunes to a Pareto frontier.
 ``train-mini``
     One end-to-end mini training run (Figures 15/16).
 ``fabric-cost``
@@ -164,6 +169,114 @@ def simulate_point(
             for phase, breakdown in sim.energy.items()
         },
         "array_side": config.pe_rows,
+    }
+
+
+@register("design-point", version="1")
+def design_point(
+    *,
+    seed: int,
+    network: str,
+    mapping: str = "KN",
+    array_side: int = 16,
+    glb_kib: int = 128,
+    rf_bytes: int = 1024,
+    sparse: bool = True,
+    sparsity_factor: float | None = None,
+    profile_seed: int = 1,
+    n: int | None = None,
+    balance: bool = True,
+) -> dict[str, Any]:
+    """One free-form design point for the explorer (latency/energy/area).
+
+    Unlike ``simulate``, which picks between the paper's two named
+    configurations, this evaluator builds an :class:`ArchConfig` from
+    raw knobs — array side, global-buffer capacity, per-PE register
+    file — and prices the resulting silicon: Table III component areas
+    with the register file and global buffer scaled linearly to their
+    configured capacities, plus the interconnect the mapping actually
+    *needs* from :mod:`repro.hw.fabric_cost` (the simple 3-network
+    fabric, or the balanced-CK fabric when sparse load balancing
+    requires the complex interconnect) — the same pricing rule the
+    explorer's ``fabric_fraction_limit`` constraint screens with.
+
+    The sparsity profile is derived from ``profile_seed`` (not the
+    sweep point's ``seed``, which drives only the simulation's
+    sampling), so every candidate is priced against the same workload
+    and the explorer's ``mask_residency_limit`` screen sees exactly
+    the profile the evaluation uses.
+
+    The returned mapping carries the explorer's three objectives
+    (``total_cycles``, ``total_j``, ``area_mm2``) alongside
+    feasibility diagnostics (mask residency, fabric area fraction) so
+    constraint violations are auditable from cached records.
+    """
+    from dataclasses import replace
+
+    from repro.dataflow.simulator import simulate
+    from repro.harness.common import (
+        dense_profile_for,
+        model_entry,
+        sparse_profile_for,
+    )
+    from repro.hw.area import TABLE_III_COMPONENTS, AreaModel
+    from repro.hw.capacity import mask_residency_ok
+    from repro.hw.config import arch_from_params
+    from repro.hw.fabric_cost import FabricCostModel
+
+    config = arch_from_params(
+        {
+            "array_side": array_side,
+            "glb_kib": glb_kib,
+            "rf_bytes": rf_bytes,
+            "sparse": sparse,
+        }
+    )
+    entry = model_entry(network)
+    profile = (
+        sparse_profile_for(
+            network, seed=profile_seed, sparsity_factor=sparsity_factor
+        )
+        if sparse
+        else dense_profile_for(network)
+    )
+    minibatch = n if n is not None else entry.minibatch
+    sim = simulate(
+        profile,
+        mapping,
+        arch=config,
+        n=minibatch,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+    )
+    # Table III synthesized a 1 KB RF and a 128 KB GLB; first-order,
+    # SRAM area and leakage scale linearly with capacity.
+    capacity_scale = {
+        "Register File": rf_bytes / 1024.0,
+        "Global Buffer": glb_kib / 128.0,
+    }
+    components = tuple(
+        replace(
+            c,
+            area_um2=c.area_um2 * capacity_scale.get(c.name, 1.0),
+            power_mw=c.power_mw * capacity_scale.get(c.name, 1.0),
+        )
+        for c in TABLE_III_COMPONENTS
+    )
+    area = AreaModel(n_pes=config.n_pes, components=components)
+    fabric_model = FabricCostModel(config)
+    fabric = fabric_model.fabric_for_mapping(mapping, sparse=sparse)
+    chip_um2 = area.total_area_um2(include_procrustes=sparse)
+    return {
+        "total_cycles": sim.total_cycles,
+        "total_j": sim.total_energy_j,
+        "area_mm2": (chip_um2 + fabric.area_um2) / 1e6,
+        "power_mw": area.total_power_mw(include_procrustes=sparse),
+        "fabric": fabric.name,
+        "fabric_fraction": fabric_model.fabric_area_fraction(fabric),
+        "mask_fits": mask_residency_ok(profile, config, n=minibatch),
+        "n_pes": config.n_pes,
     }
 
 

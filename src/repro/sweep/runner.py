@@ -85,16 +85,26 @@ class SweepResult:
         return chooser(self.points, key=lambda p: float(p.values[key]))
 
     def to_record(self) -> dict[str, Any]:
-        """The canonical :func:`experiment_record` payload."""
+        """The canonical :func:`experiment_record` payload.
+
+        Carries whichever point source the spec used — the axis grid
+        or the explicit candidate list — so the sweep is reproducible
+        from the record alone.
+        """
+        params: dict[str, Any] = {
+            "evaluator": self.spec.evaluator,
+            "axes": {a.name: list(a.values) for a in self.spec.axes},
+            "fixed": dict(self.spec.fixed),
+            "base_seed": self.spec.base_seed,
+            "seed_mode": self.spec.seed_mode,
+        }
+        if self.spec.explicit_points is not None:
+            params["explicit_points"] = [
+                dict(p) for p in self.spec.explicit_points
+            ]
         return experiment_record(
             self.spec.name,
-            {
-                "evaluator": self.spec.evaluator,
-                "axes": {a.name: list(a.values) for a in self.spec.axes},
-                "fixed": dict(self.spec.fixed),
-                "base_seed": self.spec.base_seed,
-                "seed_mode": self.spec.seed_mode,
-            },
+            params,
             {
                 "rows": self.rows(),
                 "wall_time_s": self.wall_time_s,

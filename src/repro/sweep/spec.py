@@ -9,6 +9,13 @@ parameter assignment plus a deterministic seed, so a sweep is fully
 reproducible from the spec alone and every point is independently
 cacheable and schedulable.
 
+Not every sweep is a grid: the design-space explorer
+(:mod:`repro.explore`) proposes arbitrary candidate lists — random
+samples, greedy neighbourhood moves — so :meth:`SweepSpec.explicit`
+builds a spec from an explicit sequence of parameter assignments
+instead of axes.  Explicit specs run through the same runner and hit
+the same cache entries a grid spec would for identical parameters.
+
 Axis values must be JSON-canonicalizable (numbers, strings, booleans,
 ``None``, and nested lists/tuples/dicts thereof): the canonical JSON
 encoding of a point is both its identity for the result cache and the
@@ -121,6 +128,10 @@ class SweepSpec:
     ``version`` is the code-version key folded into every cache entry;
     bump it (or the evaluator's registered version) to invalidate
     stale results after a model change.
+
+    ``explicit_points`` replaces the axis grid with a literal sequence
+    of parameter assignments (see :meth:`explicit`); a spec carries
+    either axes or explicit points, never both.
     """
 
     name: str
@@ -130,6 +141,7 @@ class SweepSpec:
     base_seed: int = 0
     seed_mode: str = "fixed"
     version: str = ""
+    explicit_points: tuple[Mapping[str, Any], ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -153,6 +165,21 @@ class SweepSpec:
         canonical_json(dict(self.fixed))
         object.__setattr__(self, "axes", tuple(self.axes))
         object.__setattr__(self, "fixed", dict(self.fixed))
+        if self.explicit_points is not None:
+            if self.axes:
+                raise ValueError(
+                    "a spec carries either axes or explicit_points, not both"
+                )
+            points = tuple(dict(p) for p in self.explicit_points)
+            for params in points:
+                canonical_json(params)
+                overlap = set(params) & set(self.fixed)
+                if overlap:
+                    raise ValueError(
+                        f"parameters {sorted(overlap)} appear both in an "
+                        "explicit point and as fixed values"
+                    )
+            object.__setattr__(self, "explicit_points", points)
 
     @classmethod
     def grid(
@@ -170,24 +197,60 @@ class SweepSpec:
             **kwargs,
         )
 
+    @classmethod
+    def explicit(
+        cls,
+        name: str,
+        evaluator: str,
+        points: Sequence[Mapping[str, Any]],
+        **kwargs: Any,
+    ) -> "SweepSpec":
+        """Spec from a literal candidate list instead of an axis grid.
+
+        The explorer's search strategies emit these: each entry is one
+        full parameter assignment (merged over ``fixed``), evaluated
+        in list order.  With ``seed_mode="derived"`` an identical
+        assignment gets an identical seed no matter which spec — or
+        which search strategy — proposed it, so explicit specs share
+        cache entries with grid specs point-for-point.
+        """
+        return cls(
+            name=name,
+            evaluator=evaluator,
+            explicit_points=tuple(dict(p) for p in points),
+            **kwargs,
+        )
+
     @property
     def n_points(self) -> int:
+        if self.explicit_points is not None:
+            return len(self.explicit_points)
         count = 1
         for axis in self.axes:
             count *= len(axis.values)
         return count
 
+    def _seed_for(self, params: Mapping[str, Any]) -> int:
+        if self.seed_mode == "fixed":
+            return self.base_seed
+        return point_seed(self.base_seed, params)
+
     def points(self) -> Iterator[SweepPoint]:
-        """The grid, in deterministic (row-major, axis-order) order."""
+        """The points, in deterministic (row-major / list) order."""
+        if self.explicit_points is not None:
+            for index, assignment in enumerate(self.explicit_points):
+                params = dict(self.fixed)
+                params.update(assignment)
+                yield SweepPoint(
+                    index=index, params=params, seed=self._seed_for(params)
+                )
+            return
         names = [a.name for a in self.axes]
         for index, combo in enumerate(
             itertools.product(*(a.values for a in self.axes))
         ):
             params = dict(self.fixed)
             params.update(zip(names, combo))
-            seed = (
-                self.base_seed
-                if self.seed_mode == "fixed"
-                else point_seed(self.base_seed, params)
+            yield SweepPoint(
+                index=index, params=params, seed=self._seed_for(params)
             )
-            yield SweepPoint(index=index, params=params, seed=seed)

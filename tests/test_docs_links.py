@@ -1,0 +1,66 @@
+"""Docs integrity: every relative link in the markdown tree resolves.
+
+Scans ``README.md``, ``docs/*.md``, and the other root-level markdown
+files for inline links and checks that relative targets exist on disk
+(anchors are stripped; external ``http(s)``/``mailto`` links are out
+of scope for an offline test).  The CI docs job runs exactly this
+module, so a renamed doc or a typo'd path fails before merge.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target), skipping images' size hints.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Markdown files whose links must resolve.
+DOC_FILES = sorted(
+    p.relative_to(REPO_ROOT)
+    for p in [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+    if p.exists()
+)
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(path.read_text())
+
+
+def test_doc_tree_present():
+    names = {p.name for p in DOC_FILES}
+    assert "README.md" in names
+    assert {"architecture.md", "explore.md", "figure-index.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=str)
+def test_relative_links_resolve(doc: Path):
+    source = REPO_ROOT / doc
+    broken = []
+    for target in _links(source):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (source.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc}: broken relative links {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=str)
+def test_docs_mention_no_missing_paths(doc: Path):
+    """Backtick'd repo paths in docs must exist on disk."""
+    text = (REPO_ROOT / doc).read_text()
+    pattern = r"`((?:src/repro|tests|benchmarks|examples|docs)/[\w/.-]+?)`"
+    missing = [
+        ref
+        for ref in re.findall(pattern, text)
+        if not (REPO_ROOT / ref).exists()
+    ]
+    assert not missing, f"{doc}: references missing paths {missing}"

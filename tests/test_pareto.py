@@ -1,0 +1,203 @@
+"""Tests for the Pareto utilities: dominance, frontier, hypervolume, diff.
+
+These pin down the semantics the explorer's documentation promises:
+ties dominate in neither direction and both stay on the frontier,
+maximized objectives are negated internally, an empty frontier has
+zero hypervolume, and frontier diffs compare by objective vector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.pareto import (
+    FrontierDiff,
+    Objective,
+    ParetoFrontier,
+    dominates,
+    frontier_diff,
+    hypervolume,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert not dominates((2, 2), (1, 1))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1, 2), (1, 3))
+
+    def test_tie_dominates_neither_way(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_tradeoff_is_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_single_objective(self):
+        assert dominates((1,), (2,))
+        assert not dominates((2,), (1,))
+        assert not dominates((1,), (1,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestObjective:
+    def test_parse_string(self):
+        assert Objective.parse("cycles") == Objective("cycles", minimize=True)
+        assert Objective.parse("acc:max") == Objective("acc", minimize=False)
+        assert Objective.parse("j:min") == Objective("j", minimize=True)
+
+    def test_parse_passthrough(self):
+        objective = Objective("x", minimize=False)
+        assert Objective.parse(objective) is objective
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            Objective.parse("x:upwards")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Objective("")
+
+
+class TestParetoFrontier:
+    def test_empty_frontier(self):
+        frontier = ParetoFrontier(["a"])
+        assert len(frontier) == 0
+        assert frontier.points == ()
+        assert frontier.hypervolume() == 0.0
+        assert frontier.hypervolume((10.0,)) == 0.0
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ParetoFrontier([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ParetoFrontier(["a", "a"])
+
+    def test_add_keeps_non_dominated(self):
+        frontier = ParetoFrontier(["a", "b"])
+        assert frontier.add({"p": 1}, {"a": 1, "b": 3})
+        assert frontier.add({"p": 2}, {"a": 3, "b": 1})
+        assert not frontier.add({"p": 3}, {"a": 4, "b": 4})
+        assert len(frontier) == 2
+
+    def test_add_evicts_newly_dominated(self):
+        frontier = ParetoFrontier(["a", "b"])
+        frontier.add({"p": 1}, {"a": 2, "b": 2})
+        frontier.add({"p": 2}, {"a": 3, "b": 3, "extra": "kept"})
+        assert len(frontier) == 1  # (3,3) rejected outright
+        assert frontier.add({"p": 3}, {"a": 1, "b": 1})
+        assert len(frontier) == 1
+        assert frontier.points[0].params == {"p": 3}
+
+    def test_ties_both_stay(self):
+        frontier = ParetoFrontier(["a", "b"])
+        assert frontier.add({"p": 1}, {"a": 1, "b": 2})
+        assert frontier.add({"p": 2}, {"a": 1, "b": 2})
+        assert len(frontier) == 2
+
+    def test_single_objective_keeps_only_best(self):
+        frontier = ParetoFrontier(["a"])
+        frontier.add({"p": 1}, {"a": 5})
+        assert frontier.add({"p": 2}, {"a": 3})
+        assert not frontier.add({"p": 3}, {"a": 4})
+        assert [p.vector for p in frontier] == [(3.0,)]
+
+    def test_maximized_objective_negated(self):
+        frontier = ParetoFrontier(["cost", "accuracy:max"])
+        frontier.add({"p": 1}, {"cost": 1, "accuracy": 0.9})
+        assert not frontier.add({"p": 2}, {"cost": 2, "accuracy": 0.8})
+        assert frontier.add({"p": 3}, {"cost": 2, "accuracy": 0.95})
+        assert len(frontier) == 2
+
+    def test_sorted_points(self):
+        frontier = ParetoFrontier(["a", "b"])
+        frontier.add({}, {"a": 3, "b": 1})
+        frontier.add({}, {"a": 1, "b": 3})
+        ordered = frontier.sorted_points(0)
+        assert [p.vector[0] for p in ordered] == [1.0, 3.0]
+
+
+class TestHypervolume:
+    def test_known_2d_value(self):
+        assert hypervolume([(1, 3), (2, 2), (3, 1)], (4, 4)) == 6.0
+
+    def test_single_point_is_box_volume(self):
+        assert hypervolume([(0, 0)], (2, 3)) == 6.0
+
+    def test_1d(self):
+        assert hypervolume([(2,), (4,)], (10,)) == 8.0
+
+    def test_duplicates_do_not_double_count(self):
+        assert hypervolume([(1, 1), (1, 1)], (2, 2)) == 1.0
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([(1, 1)], (4, 4))
+        assert hypervolume([(1, 1), (2, 2)], (4, 4)) == base
+
+    def test_3d(self):
+        # Unit-box corner: volume 1 within a 2-reference cube is 8.
+        assert hypervolume([(0, 0, 0)], (2, 2, 2)) == 8.0
+
+    def test_empty(self):
+        assert hypervolume([], (1, 1)) == 0.0
+
+    def test_default_reference_is_nadir(self):
+        # Nadir of {(1,3),(2,2),(3,1)} is (3,3); within that box only
+        # (2,2) dominates non-degenerate volume: the 1x1 square.
+        assert hypervolume([(1, 3), (2, 2), (3, 1)]) == 1.0
+        # Extreme points alone span only degenerate slabs.
+        assert hypervolume([(1, 3), (3, 1)]) == 0.0
+
+    def test_reference_must_be_weakly_worse(self):
+        with pytest.raises(ValueError, match="worse than the reference"):
+            hypervolume([(5, 5)], (4, 4))
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError, match="mixed vector lengths"):
+            hypervolume([(1, 2), (1, 2, 3)], (4, 4))
+
+
+class TestFrontierDiff:
+    def _frontier(self, *vectors):
+        frontier = ParetoFrontier(["a", "b"])
+        for i, (a, b) in enumerate(vectors):
+            frontier.add({"i": i}, {"a": a, "b": b})
+        return frontier
+
+    def test_identical_frontiers_unchanged(self):
+        new = self._frontier((1, 3), (3, 1))
+        old = self._frontier((1, 3), (3, 1))
+        diff = frontier_diff(new, old)
+        assert diff.unchanged
+        assert len(diff.common) == 2
+        assert diff.summary() == "+0 gained, -0 lost, 2 unchanged"
+
+    def test_gained_and_lost(self):
+        new = self._frontier((1, 3), (2, 2))
+        old = self._frontier((1, 3), (3, 1))
+        diff = frontier_diff(new, old)
+        assert [p.vector for p in diff.gained] == [(2.0, 2.0)]
+        assert [p.vector for p in diff.lost] == [(3.0, 1.0)]
+        assert [p.vector for p in diff.common] == [(1.0, 3.0)]
+        assert not diff.unchanged
+
+    def test_matching_is_by_vector_not_params(self):
+        new = ParetoFrontier(["a", "b"])
+        new.add({"design": "x"}, {"a": 1, "b": 1})
+        old = ParetoFrontier(["a", "b"])
+        old.add({"design": "y"}, {"a": 1, "b": 1})
+        assert frontier_diff(new, old).unchanged
+
+    def test_objective_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different objectives"):
+            frontier_diff(
+                ParetoFrontier(["a", "b"]), ParetoFrontier(["a", "c"])
+            )
+
+    def test_empty_diff_dataclass(self):
+        assert FrontierDiff().unchanged

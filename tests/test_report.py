@@ -12,6 +12,7 @@ from repro.report.ascii_plot import (
     grouped_bars,
     histogram,
     line_plot,
+    scatter_plot,
     sparkline,
 )
 from repro.report.export import (
@@ -100,6 +101,52 @@ class TestGroupedBars:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             grouped_bars({"g": {"s": -1.0}})
+
+
+class TestScatterPlot:
+    def test_corners_and_legend(self):
+        out = scatter_plot(
+            {"pts": ([0.0, 10.0], [0.0, 5.0])}, width=20, height=6
+        )
+        lines = out.splitlines()
+        # Extremes land in opposite corners; axis labels show ranges.
+        assert lines[0].lstrip().startswith("5")
+        assert lines[-3].lstrip().startswith("0")
+        assert "·=pts" in out
+        assert "10" in lines[-2]
+
+    def test_later_series_overdraws(self):
+        series = {
+            "cloud": ([1.0, 2.0], [1.0, 2.0]),
+            "front": ([1.0], [1.0]),
+        }
+        out = scatter_plot(series, width=12, height=5)
+        assert "o" in out  # the frontier glyph survived the overdraw
+        assert "o=front" in out
+
+    def test_more_series_than_glyphs_all_legended(self):
+        series = {
+            f"s{i}": ([float(i)], [float(i)]) for i in range(10)
+        }
+        out = scatter_plot(series, width=20, height=5)
+        for name in series:
+            assert f"={name}" in out  # glyphs recycle, nothing dropped
+
+    def test_axis_titles(self):
+        out = scatter_plot(
+            {"s": ([0, 1], [0, 1])}, x_label="cycles", y_label="joules"
+        )
+        assert "cycles" in out and "(y: joules)" in out
+
+    def test_empty(self):
+        assert scatter_plot({}) == "(no data)"
+        assert scatter_plot({"s": ([], [])}, title="t") == "t"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="x values"):
+            scatter_plot({"s": ([1, 2], [1])})
+        with pytest.raises(ValueError, match=">= 2"):
+            scatter_plot({"s": ([1], [1])}, width=1)
 
 
 class TestSparkline:

@@ -125,6 +125,53 @@ class TestSpec:
             {"a": [1, 2], "b": 1}
         )
 
+    def test_explicit_points_in_list_order(self):
+        spec = SweepSpec.explicit(
+            "s", "echo", [{"a": 2}, {"a": 1}], fixed={"c": 0}
+        )
+        points = list(spec.points())
+        assert spec.n_points == len(points) == 2
+        assert [p.params for p in points] == [
+            {"c": 0, "a": 2},
+            {"c": 0, "a": 1},
+        ]
+
+    def test_explicit_rejects_axes(self):
+        with pytest.raises(ValueError, match="not both"):
+            SweepSpec(
+                "s", "echo",
+                axes=(Axis("a", [1]),),
+                explicit_points=({"b": 1},),
+            )
+
+    def test_explicit_fixed_overlap_rejected(self):
+        with pytest.raises(ValueError, match="explicit point"):
+            SweepSpec.explicit("s", "echo", [{"a": 1}], fixed={"a": 2})
+
+    def test_explicit_points_survive_the_record(self):
+        spec = SweepSpec.explicit(
+            "s", "echo", [{"a": 2}, {"a": 1}], fixed={"c": 0}
+        )
+        record = run_sweep(spec).to_record()
+        assert record["params"]["explicit_points"] == [{"a": 2}, {"a": 1}]
+        # Grid specs keep the old shape (no explicit_points key).
+        grid_record = run_sweep(
+            SweepSpec.grid("g", "echo", {"a": [1]})
+        ).to_record()
+        assert "explicit_points" not in grid_record["params"]
+
+    def test_explicit_derived_seeds_match_grid(self):
+        grid = SweepSpec.grid(
+            "g", "echo", {"x": [1, 2]}, seed_mode="derived", base_seed=5
+        )
+        explicit = SweepSpec.explicit(
+            "e", "echo", [{"x": 1}, {"x": 2}],
+            seed_mode="derived", base_seed=5,
+        )
+        assert [p.seed for p in grid.points()] == [
+            p.seed for p in explicit.points()
+        ]
+
 
 class TestCache:
     KEY = {"evaluator": "e", "version": "1", "params": {"x": 1}, "seed": 0}
@@ -184,6 +231,19 @@ class TestRunner:
         assert CALLS == []
         assert result.n_cached == len(result) == 4
         assert result.values("y") == [0, 10, 20, 30]
+
+    def test_explicit_spec_shares_cache_with_grid(self, cache):
+        run_sweep(self.spec(base_seed=5, seed_mode="derived"), cache=cache)
+        CALLS.clear()
+        explicit = SweepSpec.explicit(
+            "revisit", "test-counting",
+            [{"x": 3}, {"x": 0}],
+            base_seed=5, seed_mode="derived",
+        )
+        result = run_sweep(explicit, cache=cache)
+        assert CALLS == []
+        assert result.n_cached == 2
+        assert result.values("y") == [30, 0]
 
     def test_axis_value_change_recomputes_only_new_points(self, cache):
         run_sweep(self.spec(n=3), cache=cache)
