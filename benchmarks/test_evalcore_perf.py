@@ -1,0 +1,183 @@
+"""Perf-regression benchmark for the evaluation core (evalcore).
+
+Two subsets, split so CI can gate on correctness without gating on
+shared-runner timing noise:
+
+* ``parity`` tests (``-k parity``) — **blocking**: the vectorized
+  kernels must stay bit-identical to the kept loop references on a
+  real network.
+* ``perf`` tests (``-k perf``) — **non-blocking** in CI: measure the
+  cold single-pass speedup over the reconstructed pre-optimization
+  baseline (reference kernels + exact sampling + no memo) and the
+  warm, memoized 120-candidate explorer re-run, then compare the
+  achieved speedups against the committed ``BENCH_evalcore.json``
+  with a generous 2x regression threshold.
+
+Every perf run writes ``BENCH_evalcore.fresh.json`` next to the
+baseline (uploaded as a CI artifact); refresh the committed baseline
+by running with ``REPRO_BENCH_WRITE=1``:
+
+    REPRO_BENCH_WRITE=1 python -m pytest benchmarks/test_evalcore_perf.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataflow import evalcore
+from repro.dataflow.mapping import MAPPINGS, allowed_balancing
+from repro.dataflow.simulator import simulate
+from repro.dataflow.tiling import build_sets, build_sets_reference
+from repro.harness.common import model_entry, sparse_profile_for
+from repro.hw.config import PROCRUSTES_16x16
+from repro.workloads.phases import PHASES, phase_op
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_evalcore.json"
+FRESH_PATH = Path(__file__).parent / "BENCH_evalcore.fresh.json"
+
+#: A fresh run may be up to this factor slower than the committed
+#: baseline's *speedups* before the perf tests complain.
+REGRESSION_FACTOR = 2.0
+
+_fresh: dict[str, float] = {}
+
+
+def _baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def _record(**values: float) -> None:
+    _fresh.update(values)
+    payload = {**_baseline(), **_fresh}
+    FRESH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        BASELINE_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _simulate_all_mappings(profile, n: int) -> None:
+    for mapping in MAPPINGS:
+        simulate(profile, mapping, n=n, seed=0)
+
+
+def test_parity_on_vgg_s_layers():
+    """Blocking: fast kernels == loop references, bit for bit."""
+    profile = sparse_profile_for("vgg-s")
+    for ls in profile.layers[:: max(1, len(profile.layers) // 6)]:
+        for mapping in MAPPINGS:
+            for phase in PHASES:
+                op = phase_op(ls.layer, phase, 16)
+                balance = allowed_balancing(mapping, phase)
+                fast = build_sets(
+                    op, mapping, PROCRUSTES_16x16, ls,
+                    np.random.default_rng(2), sparse=True, balance=balance,
+                )
+                reference = build_sets_reference(
+                    op, mapping, PROCRUSTES_16x16, ls,
+                    np.random.default_rng(2), sparse=True, balance=balance,
+                )
+                for field in (
+                    "max_work", "mean_work", "sum_work", "busy_pes", "weight"
+                ):
+                    np.testing.assert_array_equal(
+                        getattr(fast, field),
+                        getattr(reference, field),
+                        err_msg=f"{ls.layer.name}/{mapping}/{phase}/{field}",
+                    )
+
+
+def test_perf_cold_simulate_speedup():
+    """Cold full-iteration simulate (all four mappings) on VGG-S:
+    the single-pass vectorized core must be >= 5x the pre-optimization
+    reference path."""
+    profile = sparse_profile_for("vgg-s")
+    n = model_entry("vgg-s").minibatch
+
+    previous_memo = evalcore.set_memo(None)  # cold means cold
+    try:
+        _simulate_all_mappings(profile, n)  # warm caches of the OS/NumPy
+        fast_s = min(
+            _timed(_simulate_all_mappings, profile, n) for _ in range(3)
+        )
+        with evalcore.reference_implementation():
+            reference_s = _timed(_simulate_all_mappings, profile, n)
+    finally:
+        evalcore.set_memo(previous_memo)
+
+    speedup = reference_s / fast_s
+    print(
+        f"\ncold VGG-S simulate x4 mappings: reference {reference_s:.3f}s, "
+        f"fast {fast_s:.3f}s -> {speedup:.1f}x"
+    )
+    _record(
+        cold_reference_s=round(reference_s, 4),
+        cold_fast_s=round(fast_s, 4),
+        cold_speedup=round(speedup, 2),
+    )
+    assert speedup >= 5.0, f"cold speedup regressed: {speedup:.2f}x < 5x"
+    floor = _baseline()["cold_speedup"] / REGRESSION_FACTOR
+    assert speedup >= floor, (
+        f"cold speedup {speedup:.2f}x fell below baseline "
+        f"{_baseline()['cold_speedup']}x / {REGRESSION_FACTOR}"
+    )
+
+
+def test_perf_warm_explore_memoized(tmp_path):
+    """A warm (sweep-cached + layer-memoized) 120-candidate explorer
+    re-run must be >= 20x the cold run."""
+    from repro.harness.explore_experiments import run_explore
+
+    cache_dir = str(tmp_path / "cache")
+    cold_s = _timed(
+        run_explore, budget=120, strategy="random", cache_dir=cache_dir
+    )
+    warm_s = _timed(
+        run_explore, budget=120, strategy="random", cache_dir=cache_dir
+    )
+    speedup = cold_s / warm_s
+    print(
+        f"\n120-candidate explore: cold {cold_s:.2f}s, warm {warm_s:.3f}s "
+        f"-> {speedup:.0f}x"
+    )
+    _record(
+        explore_cold_s=round(cold_s, 3),
+        explore_warm_s=round(warm_s, 4),
+        warm_speedup=round(speedup, 1),
+    )
+    assert speedup >= 20.0, f"warm explore speedup {speedup:.1f}x < 20x"
+    floor = _baseline()["warm_speedup"] / REGRESSION_FACTOR
+    assert speedup >= floor, (
+        f"warm speedup {speedup:.1f}x fell below baseline "
+        f"{_baseline()['warm_speedup']}x / {REGRESSION_FACTOR}"
+    )
+
+
+def test_perf_layer_memo_shares_work_across_candidates():
+    """Within one cold explorer-style pass, candidates that differ
+    only in GLB capacity share every working set through the layer
+    memo (GLB is not part of the content key)."""
+    from dataclasses import replace
+
+    profile = sparse_profile_for("vgg-s")
+    n = model_entry("vgg-s").minibatch
+    memo = evalcore.EvalMemo()
+    evalcore.evaluate_network(
+        profile, "KN", PROCRUSTES_16x16, n, memo=memo
+    )
+    stores = memo.stats.stores
+    bigger_glb = replace(PROCRUSTES_16x16, glb_bytes=512 * 1024)
+    evalcore.evaluate_network(profile, "KN", bigger_glb, n, memo=memo)
+    assert memo.stats.stores == stores  # nothing rebuilt
+    assert memo.stats.hits >= stores
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start

@@ -7,6 +7,16 @@ from repro.dataflow.eager_accel import (
     sorting_cycles,
 )
 from repro.dataflow.energy_model import layer_phase_energy, network_energy
+from repro.dataflow.evalcore import (
+    EvalMemo,
+    EvalTimings,
+    LayerPhaseEval,
+    NetworkEval,
+    configure_memo,
+    evaluate_network,
+    memo_stats,
+    reference_implementation,
+)
 from repro.dataflow.latency import LayerLatency, PhaseLatency, network_latency
 from repro.dataflow.loadbalance import balance_sets, pair_halves, split_halves
 from repro.dataflow.mapper import (
@@ -33,6 +43,14 @@ __all__ = [
     "choose_mapping",
     "layer_phase_energy",
     "network_energy",
+    "EvalMemo",
+    "EvalTimings",
+    "LayerPhaseEval",
+    "NetworkEval",
+    "configure_memo",
+    "evaluate_network",
+    "memo_stats",
+    "reference_implementation",
     "LayerLatency",
     "PhaseLatency",
     "network_latency",

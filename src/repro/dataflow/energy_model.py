@@ -74,15 +74,23 @@ def layer_phase_energy(
     ls: LayerSparsity,
     table: EnergyTable,
     sparse: bool = True,
+    macs: float | None = None,
 ) -> EnergyBreakdown:
-    """Energy of one layer in one phase for one training iteration."""
+    """Energy of one layer in one phase for one training iteration.
+
+    ``macs`` is the surviving MAC count to charge compute and RF events
+    for.  The evaluation core passes the count sampled from the shared
+    working sets (so latency and energy agree exactly); when omitted,
+    the expected count (dense MACs times operand density) is used.
+    """
     layer = op.layer
     n = op.n
     weight_density = ls.weight_density if sparse else 1.0
     iact_density = ls.iact_density if sparse else 1.0
     mac_density = weight_density if op.sparse_operand == "weights" else iact_density
 
-    macs = op.dense_macs * mac_density
+    if macs is None:
+        macs = op.dense_macs * mac_density
     glb_pj = table.glb_word_pj_at(arch.glb_bytes)
 
     # --- compute + RF -------------------------------------------------
@@ -151,17 +159,31 @@ def network_energy(
     table: EnergyTable,
     sparse: bool = True,
     phases: tuple[str, ...] = ("fw", "bw", "wu"),
+    seed: int = 0,
+    balance: bool = True,
 ) -> dict[str, EnergyBreakdown]:
-    """Per-phase energy of one training iteration of a network."""
-    from repro.workloads.phases import phase_op  # local: avoid cycle
+    """Per-phase energy of one training iteration of a network.
 
-    result: dict[str, EnergyBreakdown] = {}
-    for phase in phases:
-        total = EnergyBreakdown()
-        for ls in profile.layers:
-            op = phase_op(ls.layer, phase, n)
-            total = total + layer_phase_energy(
-                op, mapping, arch, ls, table, sparse=sparse
-            )
-        result[phase] = total
-    return result
+    A thin wrapper over the single-pass evaluation core: MAC and RF
+    events are charged for the non-zeros *sampled into the working
+    sets* under ``seed`` — the same sets the latency model times, so
+    latency-side and energy-side MAC counts agree per layer (and the
+    historical asymmetry where the energy walk re-derived densities
+    without a seed is gone).  Balancing never changes a set's total
+    MACs, so ``balance`` only needs to match the latency call when the
+    memoized sets should be shared between the two.
+    """
+    from repro.dataflow.evalcore import evaluate_network  # local: avoid cycle
+
+    evaluation = evaluate_network(
+        profile,
+        mapping,
+        arch,
+        n,
+        table=table,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+        phases=phases,
+    )
+    return evaluation.phase_energy()

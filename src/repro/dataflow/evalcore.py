@@ -1,0 +1,506 @@
+"""Single-pass, memoized evaluation core for the analytical model.
+
+Every figure reproduction, sweep point, and explorer candidate bottoms
+out in the same question: for one (layer, phase, mapping, arch,
+density, seed) condition, what are the working sets?  Before this
+module the latency and energy roll-ups each walked phases x layers on
+their own — and the energy side re-derived its MAC counts analytically
+rather than from the sampled sets, so a simulation's latency and
+energy could disagree about how many non-zeros survived.
+
+:func:`evaluate_network` walks the network **once**: per (layer,
+phase) it builds the working sets a single time and feeds both models
+from them — cycles from the per-set maxima, MAC/RF energy events from
+the very same sampled non-zero counts (the traffic terms stay
+analytic).  :func:`~repro.dataflow.latency.network_latency`,
+:func:`~repro.dataflow.energy_model.network_energy`, and
+:func:`~repro.dataflow.simulator.simulate` are thin wrappers over it.
+
+Set building is memoized at layer level through a **content key**: the
+SHA-256 of everything that determines the result — layer dimensions,
+phase, mapping, the arch fields that shape tiling (array geometry,
+register-file words, MACs/cycle), minibatch, sparsity flag, balance
+mode, seed, sampling mode, and the channel-density arrays themselves.
+The per-layer random stream is derived *from that digest*, so a memo
+hit is exact, not approximate: the same content always samples the
+same sets, regardless of which network, call ordering, or process
+evaluated it first.  A process-local LRU serves repeats in-process;
+an optional on-disk tier (reusing the sweep engine's
+:class:`~repro.sweep.cache.ResultCache`) lets explorer and sweep
+candidates that share layers share work across runs and workers.
+
+Environment knobs (read once, at first use):
+
+``REPRO_EVALCORE_MEMO=0``
+    disable memoization entirely.
+``REPRO_EVALCORE_MEMO_SIZE``
+    LRU capacity in entries (default 512).
+``REPRO_EVALCORE_CACHE_DIR``
+    enable the on-disk tier rooted at this directory.
+
+:func:`reference_implementation` flips the whole stack into its
+pre-optimization configuration — loop reference kernels, exact
+sampling, full set enumeration, no memo — which the parity tests and
+the perf-regression benchmark use as ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.dataflow import sampling
+from repro.dataflow.energy_model import layer_phase_energy
+from repro.dataflow.mapping import allowed_balancing
+from repro.dataflow.tiling import SetStats, build_sets, build_sets_reference
+from repro.hw.config import ArchConfig
+from repro.hw.energy import EnergyBreakdown, EnergyTable
+from repro.workloads.phases import PHASES, phase_op
+from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
+
+__all__ = [
+    "EvalMemo",
+    "EvalTimings",
+    "LayerPhaseEval",
+    "MemoStats",
+    "NetworkEval",
+    "configure_memo",
+    "evaluate_network",
+    "get_memo",
+    "layer_phase_key",
+    "layer_phase_sets",
+    "memo_stats",
+    "reference_implementation",
+    "set_memo",
+    "using_reference",
+]
+
+#: Version tag folded into every content key; bump when the working-set
+#: model changes in a way that invalidates cached sets.
+EVALCORE_VERSION = "evalcore-v1"
+
+
+# ----------------------------------------------------------------------
+# reference mode
+# ----------------------------------------------------------------------
+_REFERENCE = False
+
+
+def using_reference() -> bool:
+    """Whether evaluations run the pre-optimization reference path."""
+    return _REFERENCE
+
+
+@contextmanager
+def reference_implementation() -> Iterator[None]:
+    """Evaluate the pre-evalcore way, for parity and perf baselines.
+
+    Inside the context: loop reference kernels
+    (:func:`~repro.dataflow.tiling.build_sets_reference`), exact
+    sampling (full chunk/tile enumeration, exact binomial/Beta draws),
+    and no memoization.
+    """
+    global _REFERENCE
+    previous = _REFERENCE
+    _REFERENCE = True
+    try:
+        with sampling.sampling_mode(exact=True):
+            yield
+    finally:
+        _REFERENCE = previous
+
+
+# ----------------------------------------------------------------------
+# memoization
+# ----------------------------------------------------------------------
+@dataclass
+class MemoStats:
+    """Hit/miss counters for one :class:`EvalMemo`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+        }
+
+
+def _sets_to_values(sets: SetStats) -> dict[str, list[float]]:
+    return {
+        "max_work": sets.max_work.tolist(),
+        "mean_work": sets.mean_work.tolist(),
+        "sum_work": sets.sum_work.tolist(),
+        "busy_pes": sets.busy_pes.tolist(),
+        "weight": sets.weight.tolist(),
+    }
+
+
+def _sets_from_values(values: dict) -> SetStats:
+    return SetStats(
+        max_work=np.asarray(values["max_work"], dtype=float),
+        mean_work=np.asarray(values["mean_work"], dtype=float),
+        sum_work=np.asarray(values["sum_work"], dtype=float),
+        busy_pes=np.asarray(values["busy_pes"]),
+        weight=np.asarray(values["weight"], dtype=np.int64),
+    )
+
+
+class EvalMemo:
+    """Layer-level working-set cache: process-local LRU + disk tier.
+
+    The disk tier reuses the sweep engine's content-addressed
+    :class:`~repro.sweep.cache.ResultCache` (atomic writes, fan-out
+    directories, self-describing records), so a cache directory can be
+    shared between explorer runs and process-pool sweep workers.
+    Entries are immutable once stored — callers must not mutate the
+    returned :class:`SetStats`.
+    """
+
+    def __init__(
+        self, maxsize: int = 512, disk_root: str | os.PathLike | None = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 (got {maxsize})")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, SetStats] = OrderedDict()
+        self._disk = None
+        if disk_root is not None:
+            from repro.sweep.cache import ResultCache
+
+            self._disk = ResultCache(disk_root)
+        self.stats = MemoStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> SetStats | None:
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            self.stats.hits += 1
+            return entry
+        if self._disk is not None:
+            record = self._disk.get({"evalcore": digest})
+            if record is not None:
+                sets = _sets_from_values(record["values"])
+                self._insert(digest, sets)
+                self.stats.disk_hits += 1
+                return sets
+        self.stats.misses += 1
+        return None
+
+    def put(self, digest: str, sets: SetStats) -> None:
+        self._insert(digest, sets)
+        if self._disk is not None:
+            self._disk.put({"evalcore": digest}, _sets_to_values(sets))
+        self.stats.stores += 1
+
+    def _insert(self, digest: str, sets: SetStats) -> None:
+        self._entries[digest] = sets
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_UNSET = object()
+_memo: object = _UNSET
+
+
+def get_memo() -> EvalMemo | None:
+    """The process-wide default memo (built lazily from env knobs)."""
+    global _memo
+    if _memo is _UNSET:
+        raw_size = os.environ.get("REPRO_EVALCORE_MEMO_SIZE", "512")
+        try:
+            maxsize = int(raw_size)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_EVALCORE_MEMO_SIZE must be an integer "
+                f"(got {raw_size!r})"
+            ) from None
+        if os.environ.get("REPRO_EVALCORE_MEMO", "1") == "0" or maxsize <= 0:
+            # A non-positive size means "disabled", matching the
+            # REPRO_EVALCORE_MEMO=0 convention.
+            _memo = None
+        else:
+            _memo = EvalMemo(
+                maxsize=maxsize,
+                disk_root=os.environ.get("REPRO_EVALCORE_CACHE_DIR") or None,
+            )
+    return _memo  # type: ignore[return-value]
+
+
+def configure_memo(
+    maxsize: int = 512,
+    disk_root: str | os.PathLike | None = None,
+    enabled: bool = True,
+) -> EvalMemo | None:
+    """Replace the process-wide default memo; returns the new one."""
+    global _memo
+    _memo = EvalMemo(maxsize=maxsize, disk_root=disk_root) if enabled else None
+    return _memo  # type: ignore[return-value]
+
+
+def set_memo(memo: EvalMemo | None) -> EvalMemo | None:
+    """Install ``memo`` as the process-wide default; returns the
+    previous one (which may be ``None`` for disabled), so callers can
+    scope a temporary memo and restore the exact prior state."""
+    global _memo
+    previous = get_memo()
+    _memo = memo
+    return previous
+
+
+def memo_stats() -> dict[str, int]:
+    memo = get_memo()
+    return memo.stats.as_dict() if memo is not None else {}
+
+
+# ----------------------------------------------------------------------
+# content keys
+# ----------------------------------------------------------------------
+def _arch_signature(arch: ArchConfig) -> tuple:
+    """The arch fields that shape working sets (GLB capacity does not)."""
+    return (
+        arch.pe_rows,
+        arch.pe_cols,
+        arch.rf_words,
+        arch.macs_per_pe_per_cycle,
+    )
+
+
+def layer_phase_key(
+    ls: LayerSparsity,
+    phase: str,
+    mapping: str,
+    arch: ArchConfig,
+    n: int,
+    sparse: bool,
+    balance_mode: str,
+    seed: int,
+) -> str:
+    """Content digest addressing one (layer, phase) working-set build.
+
+    Everything that determines the sampled sets is folded in — two
+    calls with equal digests produce bit-identical :class:`SetStats`
+    no matter which network or process runs them.  The layer *name* is
+    deliberately excluded: identically-shaped layers with identical
+    density profiles share work.
+    """
+    layer = ls.layer
+    head = (
+        EVALCORE_VERSION,
+        phase,
+        mapping,
+        balance_mode,
+        int(n),
+        bool(sparse),
+        int(seed),
+        "exact" if sampling.exact_sampling() else "fast",
+        layer.c,
+        layer.k,
+        layer.r,
+        layer.s,
+        layer.h,
+        layer.w,
+        layer.stride,
+        layer.padding,
+        layer.groups,
+        layer.kind,
+        *_arch_signature(arch),
+        f"{ls.weight_density:.17g}",
+        f"{ls.iact_density:.17g}",
+    )
+    digest = hashlib.sha256(repr(head).encode())
+    if sparse:
+        digest.update(np.ascontiguousarray(ls.out_channel_density).tobytes())
+        digest.update(np.ascontiguousarray(ls.in_channel_density).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class EvalTimings:
+    """Per-stage wall time accumulated across one or more evaluations."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+
+@dataclass
+class LayerPhaseEval:
+    """One layer's working sets, cycles, MACs (and energy) in one phase.
+
+    ``macs`` is the *sampled* surviving MAC count from ``sets`` — the
+    same number the latency model times and the energy model charges
+    MAC/RF events for, which is what makes the two sides agree.
+    """
+
+    layer_name: str
+    phase: str
+    cycles: float
+    macs: float
+    sets: SetStats
+    energy: EnergyBreakdown | None = None
+
+
+@dataclass
+class NetworkEval:
+    """Everything one single-pass network walk produced."""
+
+    network: str
+    mapping: str
+    sparse: bool
+    balanced: bool
+    arch: ArchConfig
+    seed: int
+    layers: dict[str, list[LayerPhaseEval]] = field(default_factory=dict)
+
+    def phase_cycles(self) -> dict[str, float]:
+        return {
+            phase: sum(r.cycles for r in rows)
+            for phase, rows in self.layers.items()
+        }
+
+    def phase_energy(self) -> dict[str, EnergyBreakdown]:
+        """Per-phase energy totals (requires a table at evaluation)."""
+        result: dict[str, EnergyBreakdown] = {}
+        for phase, rows in self.layers.items():
+            total = EnergyBreakdown()
+            for row in rows:
+                if row.energy is None:
+                    raise ValueError(
+                        "evaluate_network ran without an energy table; "
+                        "no energy to aggregate"
+                    )
+                total = total + row.energy
+            result[phase] = total
+        return result
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.phase_cycles().values())
+
+
+def layer_phase_sets(
+    ls: LayerSparsity,
+    phase: str,
+    mapping: str,
+    arch: ArchConfig,
+    n: int,
+    sparse: bool = True,
+    balance_mode: str = "none",
+    seed: int = 0,
+    memo: EvalMemo | None | object = _UNSET,
+) -> SetStats:
+    """Working sets for one (layer, phase), memoized by content key.
+
+    The sampling stream is seeded from the content digest itself, so
+    the result is a pure function of the key — cache hits are exact.
+    """
+    if memo is _UNSET:
+        memo = get_memo()
+    if _REFERENCE:
+        memo = None
+    digest = layer_phase_key(
+        ls, phase, mapping, arch, n, sparse, balance_mode, seed
+    )
+    if memo is not None:
+        cached = memo.get(digest)
+        if cached is not None:
+            return cached
+    rng = np.random.default_rng(int(digest[:16], 16))
+    op = phase_op(ls.layer, phase, n)
+    builder = build_sets_reference if _REFERENCE else build_sets
+    sets = builder(op, mapping, arch, ls, rng, sparse=sparse, balance=balance_mode)
+    if memo is not None:
+        memo.put(digest, sets)
+    return sets
+
+
+def evaluate_network(
+    profile: NetworkSparsity,
+    mapping: str,
+    arch: ArchConfig,
+    n: int,
+    table: EnergyTable | None = None,
+    sparse: bool = True,
+    balance: bool = True,
+    seed: int = 0,
+    phases: tuple[str, ...] = PHASES,
+    memo: EvalMemo | None | object = _UNSET,
+    timings: EvalTimings | None = None,
+) -> NetworkEval:
+    """One single-pass walk of a network's phases and layers.
+
+    Builds each (layer, phase)'s working sets once; cycles come from
+    the per-set maxima, and — when ``table`` is given — the energy
+    breakdown is computed from the *same* sampled MAC counts.  Pass
+    ``timings`` to accumulate a per-stage wall-time breakdown (the
+    ``python -m repro.harness profile`` subcommand's view).
+    """
+    result = NetworkEval(
+        network=profile.name,
+        mapping=mapping,
+        sparse=sparse,
+        balanced=balance,
+        arch=arch,
+        seed=seed,
+    )
+    for phase in phases:
+        mode = allowed_balancing(mapping, phase) if balance else "none"
+        rows: list[LayerPhaseEval] = []
+        for ls in profile.layers:
+            start = time.perf_counter()
+            sets = layer_phase_sets(
+                ls, phase, mapping, arch, n,
+                sparse=sparse, balance_mode=mode, seed=seed, memo=memo,
+            )
+            cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
+            macs = sets.total_macs()
+            if timings is not None:
+                timings.add("sets", time.perf_counter() - start)
+            energy = None
+            if table is not None:
+                start = time.perf_counter()
+                op = phase_op(ls.layer, phase, n)
+                energy = layer_phase_energy(
+                    op, mapping, arch, ls, table, sparse=sparse, macs=macs
+                )
+                if timings is not None:
+                    timings.add("energy", time.perf_counter() - start)
+            rows.append(
+                LayerPhaseEval(
+                    layer_name=ls.layer.name,
+                    phase=phase,
+                    cycles=cycles,
+                    macs=macs,
+                    sets=sets,
+                    energy=energy,
+                )
+            )
+        result.layers[phase] = rows
+    return result

@@ -14,13 +14,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dataflow.mapping import allowed_balancing
-from repro.dataflow.tiling import SetStats, build_sets
+from repro.dataflow.evalcore import NetworkEval, evaluate_network
+from repro.dataflow.tiling import SetStats
 from repro.hw.config import ArchConfig
-from repro.workloads.phases import PHASES, phase_op
+from repro.workloads.phases import PHASES
 from repro.workloads.sparsity import NetworkSparsity
 
-__all__ = ["LayerLatency", "PhaseLatency", "network_latency"]
+__all__ = [
+    "LayerLatency",
+    "PhaseLatency",
+    "network_latency",
+    "phase_latency_from_eval",
+]
 
 
 @dataclass
@@ -65,6 +70,27 @@ class PhaseLatency:
         return np.concatenate(parts)
 
 
+def phase_latency_from_eval(evaluation: NetworkEval) -> PhaseLatency:
+    """Assemble the latency view of one single-pass evaluation."""
+    result = PhaseLatency(
+        mapping=evaluation.mapping,
+        sparse=evaluation.sparse,
+        balanced=evaluation.balanced,
+    )
+    for phase, rows in evaluation.layers.items():
+        result.layers[phase] = [
+            LayerLatency(
+                layer_name=row.layer_name,
+                cycles=row.cycles,
+                macs=row.macs,
+                sets=row.sets,
+            )
+            for row in rows
+        ]
+        result.cycles[phase] = sum(row.cycles for row in rows)
+    return result
+
+
 def network_latency(
     profile: NetworkSparsity,
     mapping: str,
@@ -79,28 +105,20 @@ def network_latency(
 
     ``balance=True`` applies the strongest balancing the mapping
     supports (half-tile for KN/CN, chip-wide for CK, none for PQ).
+    A thin wrapper over :func:`repro.dataflow.evalcore.evaluate_network`
+    (same sets, memoized by content); each (layer, phase)'s sampling
+    stream is derived from its content key, so a layer's sets depend
+    only on its own description and the seed, not on evaluation order.
     """
-    rng = np.random.default_rng(seed)
-    result = PhaseLatency(mapping=mapping, sparse=sparse, balanced=balance)
-    for phase in phases:
-        total = 0.0
-        layer_results = []
-        for ls in profile.layers:
-            op = phase_op(ls.layer, phase, n)
-            mode = allowed_balancing(mapping, phase) if balance else "none"
-            sets = build_sets(
-                op, mapping, arch, ls, rng, sparse=sparse, balance=mode
-            )
-            cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
-            total += cycles
-            layer_results.append(
-                LayerLatency(
-                    layer_name=ls.layer.name,
-                    cycles=cycles,
-                    macs=sets.total_macs(),
-                    sets=sets,
-                )
-            )
-        result.cycles[phase] = total
-        result.layers[phase] = layer_results
-    return result
+    evaluation = evaluate_network(
+        profile,
+        mapping,
+        arch,
+        n,
+        table=None,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+        phases=phases,
+    )
+    return phase_latency_from_eval(evaluation)

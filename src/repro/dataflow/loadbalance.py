@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dataflow.sampling import beta_values
+
 __all__ = ["split_halves", "pair_halves", "balance_sets"]
 
 #: Concentration of the half-split Beta draw.  Sparsity is "almost
@@ -40,7 +42,7 @@ def split_halves(
         raise ValueError(
             f"concentration must be positive (got {concentration})"
         )
-    fractions = rng.beta(concentration, concentration, size=work.shape)
+    fractions = beta_values(rng, concentration, concentration, work.shape)
     first = work * fractions
     second = work - first
     return np.concatenate([first, second], axis=-1)
@@ -70,6 +72,30 @@ def balance_sets(
     ``work`` is ``(n_sets, A)`` per-PE work along the balanced
     dimension; the result has the same shape, the same per-set totals,
     and a (weakly) smaller per-set maximum.
+
+    Fused implementation of ``pair_halves(split_halves(...))``: the
+    halves land in one preallocated buffer sorted in place, skipping
+    the intermediate concatenate/copy the composed form pays on every
+    working set.  Bit-identical to :func:`_reference_balance_sets`.
     """
+    if concentration <= 0:
+        raise ValueError(
+            f"concentration must be positive (got {concentration})"
+        )
+    n = work.shape[-1]
+    fractions = beta_values(rng, concentration, concentration, work.shape)
+    halves = np.empty(work.shape[:-1] + (2 * n,), dtype=float)
+    np.multiply(work, fractions, out=halves[..., :n])
+    np.subtract(work, halves[..., :n], out=halves[..., n:])
+    halves.sort(axis=-1)
+    return halves[..., :n] + halves[..., : n - 1 : -1]
+
+
+def _reference_balance_sets(
+    work: np.ndarray,
+    rng: np.random.Generator,
+    concentration: float = DEFAULT_SPLIT_CONCENTRATION,
+) -> np.ndarray:
+    """The composed split-then-pair reference for :func:`balance_sets`."""
     halves = split_halves(work, rng, concentration)
     return pair_halves(halves)

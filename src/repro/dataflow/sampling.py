@@ -1,0 +1,169 @@
+"""Moment-matched fast sampling for the working-set models.
+
+The analytical simulator never materializes boolean masks; it *samples*
+tile non-zero counts (binomial within a chunk) and intra-tile density
+variation (Beta draws).  Profiling a VGG-S iteration shows those two
+generator calls — not the surrounding array math — dominating the hot
+path: ``Generator.binomial`` and ``Generator.beta`` cost hundreds of
+nanoseconds per element, an order of magnitude above a Gaussian draw.
+
+For the regimes the simulator actually samples in (chunk trials in the
+tens to hundreds, Beta concentrations in the tens) the central limit
+theorem makes a moment-matched Gaussian indistinguishable in every
+statistic the model consumes (per-set max/mean/sum work), so the
+helpers here draw from ``standard_normal`` and fall back to the exact
+distribution only where the approximation is known to be poor — tiny
+expected counts, near-saturated probabilities, small Beta shapes — or
+when the draw is too small for the switch to matter.
+
+``set_exact_sampling(True)`` (or ``REPRO_EXACT_SAMPLING=1``) restores
+the exact generators everywhere, which is how the perf-regression
+benchmark reconstructs the pre-optimization baseline.  Both modes are
+deterministic for a fixed ``Generator`` state; the two modes consume
+the stream differently, so results are comparable *within* a mode.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "binomial_counts",
+    "beta_values",
+    "exact_sampling",
+    "replica_weights",
+    "set_exact_sampling",
+    "sampling_mode",
+]
+
+#: Below this many elements the exact generator is cheap enough that
+#: switching to the approximation buys nothing.
+FAST_SIZE_THRESHOLD = 1024
+
+#: Binomial elements with expected successes (or failures) below this
+#: stay exact: the Gaussian tail would clip at 0/``trials`` and bias
+#: the mean.
+NORMAL_COUNT_THRESHOLD = 8.0
+
+#: Beta elements with either shape parameter below this stay exact
+#: (the distribution is visibly skewed there).
+BETA_SHAPE_THRESHOLD = 4.0
+
+_EXACT = os.environ.get("REPRO_EXACT_SAMPLING", "") == "1"
+
+
+def exact_sampling() -> bool:
+    """Whether the exact (slow) generators are in force."""
+    return _EXACT
+
+
+def set_exact_sampling(flag: bool) -> bool:
+    """Switch exact sampling on/off; returns the previous setting."""
+    global _EXACT
+    previous = _EXACT
+    _EXACT = bool(flag)
+    return previous
+
+
+@contextmanager
+def sampling_mode(exact: bool) -> Iterator[None]:
+    """Temporarily force exact (or approximate) sampling."""
+    previous = set_exact_sampling(exact)
+    try:
+        yield
+    finally:
+        set_exact_sampling(previous)
+
+
+def binomial_counts(
+    rng: np.random.Generator,
+    trials: int | np.ndarray,
+    probs: np.ndarray,
+) -> np.ndarray:
+    """``Binomial(trials, probs)`` draws as floats, shaped like ``probs``.
+
+    Large draws use a clipped, rounded Gaussian with the binomial's
+    mean and variance; elements whose expected success *or* failure
+    count is small (where the Gaussian would clip) are redrawn exactly.
+    When most elements sit in that small-count regime the whole draw
+    stays exact — the Gaussian pass would be pure overhead.
+    """
+    probs = np.asarray(probs, dtype=float)
+    if _EXACT or probs.size < FAST_SIZE_THRESHOLD:
+        return rng.binomial(trials, probs).astype(float)
+    trials_arr = np.broadcast_to(np.asarray(trials, dtype=float), probs.shape)
+    mean = trials_arr * probs
+    tails = (mean < NORMAL_COUNT_THRESHOLD) | (
+        trials_arr - mean < NORMAL_COUNT_THRESHOLD
+    )
+    tail_fraction = float(tails.mean())
+    if tail_fraction > 0.5:
+        return rng.binomial(np.asarray(trials), probs).astype(float)
+    sd = np.sqrt(np.maximum(mean * (1.0 - probs), 0.0))
+    out = np.rint(mean + rng.standard_normal(probs.shape) * sd)
+    if tail_fraction:
+        out[tails] = rng.binomial(
+            trials_arr[tails].astype(np.int64), probs[tails]
+        )
+    return np.clip(out, 0.0, trials_arr)
+
+
+def beta_values(
+    rng: np.random.Generator,
+    a: float | np.ndarray,
+    b: float | np.ndarray,
+    size: tuple[int, ...],
+) -> np.ndarray:
+    """``Beta(a, b)`` draws in [0, 1], shaped ``size``.
+
+    Concentrated elements (both shapes comfortably above 1) use a
+    clipped Gaussian with the Beta's mean and variance; skewed elements
+    are redrawn exactly.  Scalar shape parameters — the half-tile
+    balancer's case, by far the highest-volume caller — skip the
+    broadcast bookkeeping entirely: one Gaussian draw, one scale, one
+    shift.
+    """
+    n_elements = int(np.prod(size)) if size else 1
+    if _EXACT or n_elements < FAST_SIZE_THRESHOLD:
+        return rng.beta(a, b, size=size)
+    if np.ndim(a) == 0 and np.ndim(b) == 0:
+        if a < BETA_SHAPE_THRESHOLD or b < BETA_SHAPE_THRESHOLD:
+            return rng.beta(a, b, size=size)
+        mean = a / (a + b)
+        sd = float(np.sqrt(mean * (1.0 - mean) / (a + b + 1.0)))
+        return np.clip(rng.standard_normal(size) * sd + mean, 0.0, 1.0)
+    a_arr = np.broadcast_to(np.asarray(a, dtype=float), size)
+    b_arr = np.broadcast_to(np.asarray(b, dtype=float), size)
+    total = a_arr + b_arr
+    mean = a_arr / total
+    var = mean * (1.0 - mean) / (total + 1.0)
+    out = mean + rng.standard_normal(size) * np.sqrt(var)
+    tails = (a_arr < BETA_SHAPE_THRESHOLD) | (b_arr < BETA_SHAPE_THRESHOLD)
+    if tails.any():
+        out[tails] = rng.beta(a_arr[tails], b_arr[tails])
+    return np.clip(out, 0.0, 1.0)
+
+
+def replica_weights(count: int, cap: int) -> np.ndarray:
+    """Integer replication weights for subsampled exchangeable draws.
+
+    When a working-set dimension enumerates ``count`` independent,
+    identically-distributed draws (temporal chunks within a unit,
+    full minibatch tiles), evaluating all of them buys variance
+    reduction the totals rarely need.  This returns per-kept-draw
+    weights for the first ``min(count, cap)`` draws, summing exactly
+    to ``count``, so ``sum(stat * weight)`` stays an unbiased estimate
+    of the full enumeration.  Exact mode disables the cut.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1 (got {count})")
+    if _EXACT or count <= cap:
+        return np.ones(count, dtype=np.int64)
+    q, r = divmod(count, cap)
+    weights = np.full(cap, q, dtype=np.int64)
+    weights[:r] += 1
+    return weights

@@ -1,17 +1,20 @@
 """Top-level accelerator simulation: one call per experiment condition.
 
-Combines the latency model (:mod:`repro.dataflow.latency`) and the
-energy model (:mod:`repro.dataflow.energy_model`) into the quantities
-the paper plots: per-phase cycles and per-phase energy breakdowns for
-a (network, mapping, density, array size) condition.
+One :func:`repro.dataflow.evalcore.evaluate_network` walk produces the
+quantities the paper plots: per-phase cycles and per-phase energy
+breakdowns for a (network, mapping, density, array size) condition.
+The working sets are built once per (layer, phase) and feed both the
+latency and the energy view, so the two always agree on the sampled
+non-zeros; layer-level memoization makes repeated conditions (sweep
+grids, explorer candidates sharing layers) nearly free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dataflow.energy_model import network_energy
-from repro.dataflow.latency import PhaseLatency, network_latency
+from repro.dataflow.evalcore import evaluate_network
+from repro.dataflow.latency import PhaseLatency, phase_latency_from_eval
 from repro.hw.config import ArchConfig
 from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from repro.workloads.phases import PHASES
@@ -74,19 +77,19 @@ def simulate(
 
     arch = arch or PROCRUSTES_16x16
     table = table or DEFAULT_ENERGY_TABLE
-    latency = network_latency(
+    evaluation = evaluate_network(
         profile,
         mapping,
         arch,
         n,
+        table=table,
         sparse=sparse,
         balance=balance,
         seed=seed,
         phases=phases,
     )
-    energy = network_energy(
-        profile, mapping, arch, n, table, sparse=sparse, phases=phases
-    )
+    latency = phase_latency_from_eval(evaluation)
+    energy = evaluation.phase_energy()
     return SimulationResult(
         network=profile.name,
         mapping=mapping,

@@ -29,11 +29,21 @@ import numpy as np
 
 from repro.dataflow.loadbalance import balance_sets
 from repro.dataflow.mapping import spatial_dims
+from repro.dataflow.sampling import (
+    beta_values,
+    binomial_counts,
+    replica_weights,
+)
 from repro.hw.config import ArchConfig
 from repro.workloads.phases import PhaseOp
 from repro.workloads.sparsity import LayerSparsity
 
-__all__ = ["SetStats", "build_sets", "stationary_chunks"]
+__all__ = [
+    "SetStats",
+    "build_sets",
+    "build_sets_reference",
+    "stationary_chunks",
+]
 
 #: Cycle tax on chip-wide ("perfect") balancing over the complex
 #: interconnect: the accumulate-or-route partial-sum network that CK
@@ -47,6 +57,18 @@ SAMPLE_ACT_CONCENTRATION = 60.0
 CHUNK_ACT_CONCENTRATION = 24.0
 #: Beta concentration for spatial activation clustering (PQ mapping).
 SPATIAL_ACT_CONCENTRATION = 4.0
+
+#: Temporal chunks within a unit carry independent, identically
+#: distributed non-zero draws; sampling this many (with replication
+#: weights summing to the true chunk count) preserves totals in
+#: expectation while bounding the sampled volume.  Exact-sampling mode
+#: restores full enumeration (see :mod:`repro.dataflow.sampling`).
+CHUNK_SAMPLE_CAP = 16
+
+#: Full minibatch tiles in the wu phase are likewise exchangeable;
+#: one sampled tile (plus the partial edge tile, kept verbatim)
+#: represents them all.
+WU_TILE_SAMPLE_CAP = 1
 
 
 def stationary_chunks(
@@ -170,7 +192,7 @@ def _beta_around(
                    1e-4, 1.0 - 1e-4)
     a = mean * concentration
     b = (1.0 - mean) * concentration
-    return np.clip(rng.beta(a, b), 0.0, 1.0)
+    return np.clip(beta_values(rng, a, b, size), 0.0, 1.0)
 
 
 def _phase_channel_densities(
@@ -209,33 +231,37 @@ def _weight_sets_channel_minibatch(
     uses_per_weight = op.dense_macs / (layer.weight_count * op.n)
     chunks = stationary_chunks(weights_per_unit, arch)
     chunk_size = weights_per_unit / chunks
+    # Chunk draws within a unit are i.i.d. (same channel density, same
+    # trial count): sample a capped subset with replication weights.
+    chunk_w = replica_weights(chunks, CHUNK_SAMPLE_CAP)
+    kept = chunk_w.shape[0]
 
     if sparse:
         probs = np.repeat(
-            np.clip(densities[:s1], 0.0, 1.0), chunks
-        ).reshape(s1, chunks)
-        nnz = rng.binomial(
-            max(1, int(round(chunk_size))), probs
-        ).astype(float)
+            np.clip(densities[:s1], 0.0, 1.0), kept
+        ).reshape(s1, kept)
+        nnz = binomial_counts(rng, max(1, int(round(chunk_size))), probs)
         nnz *= chunk_size / max(1, int(round(chunk_size)))
     else:
-        nnz = np.full((s1, chunks), chunk_size)
+        nnz = np.full((s1, kept), chunk_size)
 
-    work = nnz * uses_per_weight  # MACs per PE per set, shape (s1, chunks)
+    work = nnz * uses_per_weight  # MACs per PE per set, shape (s1, kept)
     # Group channel units into array-row tiles; pad idle rows with 0.
     tiles = -(-s1 // arch.pe_rows)
-    row_padded = np.zeros((tiles * arch.pe_rows, chunks))
+    row_padded = np.zeros((tiles * arch.pe_rows, kept))
     row_padded[:s1] = work
     vectors = (
-        row_padded.reshape(tiles, arch.pe_rows, chunks)
+        row_padded.reshape(tiles, arch.pe_rows, kept)
         .transpose(0, 2, 1)
-        .reshape(tiles * chunks, arch.pe_rows)
+        .reshape(tiles * kept, arch.pe_rows)
     )
     if sparse and balance == "half":
         vectors = balance_sets(vectors, rng)
     replication = -(-op.n // arch.pe_cols)
     busy_cols = min(op.n, arch.pe_cols)
-    return _from_vectors(vectors, busy_cols, replication)
+    stats = _from_vectors(vectors, busy_cols, replication)
+    stats.weight = np.tile(chunk_w, tiles) * replication
+    return stats
 
 
 def _weight_sets_ck(
@@ -292,7 +318,7 @@ def _weight_sets_ck(
             block_expected_nnz,
             np.maximum(block_weights, 1.0),
         ).clip(0.0, 1.0)
-        nnz = rng.binomial(np.maximum(trials, 1), probs).astype(float)
+        nnz = binomial_counts(rng, np.maximum(trials, 1), probs)
         nnz[trials == 0] = 0.0
     else:
         nnz = block_weights.astype(float)
@@ -376,6 +402,25 @@ def _weight_sets_pq(
 # ----------------------------------------------------------------------
 # wu: activation sparsity
 # ----------------------------------------------------------------------
+def _wu_tile_sample(
+    n: int, n_tiles: int, pe_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kept wu minibatch-tile indices and replication weights.
+
+    Full tiles are exchangeable draws, so a capped sample represents
+    them; a partial edge tile (idle columns) is kept verbatim because
+    its work distribution differs.
+    """
+    if n < n_tiles * pe_cols and n_tiles > 1:
+        full_w = replica_weights(n_tiles - 1, WU_TILE_SAMPLE_CAP)
+        idx = np.concatenate(
+            [np.arange(full_w.shape[0]), [n_tiles - 1]]
+        ).astype(np.int64)
+        return idx, np.concatenate([full_w, np.ones(1, dtype=np.int64)])
+    weights = replica_weights(n_tiles, WU_TILE_SAMPLE_CAP)
+    return np.arange(weights.shape[0], dtype=np.int64), weights
+
+
 def _wu_sets_channel_minibatch(
     op: PhaseOp,
     mapping_name: str,
@@ -443,19 +488,34 @@ def _wu_sets_channel_minibatch(
     rows = -(-s1 // arch.pe_rows)
     row_padded = np.zeros(rows * arch.pe_rows)
     row_padded[:s1] = c_density
-    # Work(c, n) multiplicative in the two densities.
-    matrices = []
+    # Work(c, n) multiplicative in the two densities: one broadcast
+    # outer product over every sampled (row-tile, minibatch-tile,
+    # chunk) combination replaces the reference implementation's
+    # triple loop — work[r, t, f, i, j] = clip(c[r, i] * s[t, j, f]).
     base = max(act_density, 1e-4)
+    c_tiles = row_padded.reshape(rows, arch.pe_rows)
     sample_tiles = chunk_density.reshape(n_tiles, arch.pe_cols, chunks)
-    for r in range(rows):
-        c_slice = row_padded[r * arch.pe_rows : (r + 1) * arch.pe_rows]
-        for t in range(n_tiles):
-            for f in range(chunks):
-                rho = np.clip(
-                    np.outer(c_slice, sample_tiles[t, :, f]) / base, 0.0, 1.0
-                )
-                matrices.append(rho * dense_per_pair / chunks)
-    work = np.asarray(matrices)
+    tile_idx, tile_w = _wu_tile_sample(n, n_tiles, arch.pe_cols)
+    chunk_w = replica_weights(chunks, CHUNK_SAMPLE_CAP)
+    kept_chunks = chunk_w.shape[0]
+    samples = sample_tiles[tile_idx][:, :, :kept_chunks]
+    # einsum (not broadcasting) so the product lands in one fresh
+    # C-contiguous buffer: the downstream row-sum reductions must see
+    # the same memory layout as the reference path's matrices, or
+    # NumPy's pairwise summation peels differently and drifts an ulp.
+    rho = np.clip(
+        np.einsum(
+            "ri,tfj->rtfij", c_tiles, samples.transpose(0, 2, 1), order="C"
+        )
+        / base,
+        0.0,
+        1.0,
+    )
+    work = (
+        rho.reshape(-1, arch.pe_rows, arch.pe_cols)
+        * dense_per_pair
+        / chunks
+    )
     if balance == "half":
         # Balance along the row (channel) dimension per column.
         flat = work.transpose(0, 2, 1).reshape(-1, work.shape[1])
@@ -463,7 +523,98 @@ def _wu_sets_channel_minibatch(
         work = flat.reshape(
             work.shape[0], work.shape[2], work.shape[1]
         ).transpose(0, 2, 1)
-    return _from_matrices(work)
+    stats = _from_matrices(work)
+    stats.weight = np.tile(
+        (tile_w[:, None] * chunk_w[None, :]).ravel(), rows
+    )
+    return stats
+
+
+def _reference_wu_sets_channel_minibatch(
+    op: PhaseOp,
+    mapping_name: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """Loop reference for the CN branch of
+    :func:`_wu_sets_channel_minibatch`.
+
+    Draws the same random variates in the same order as the vectorized
+    implementation, then builds the CN per-set work matrices with the
+    original rows x minibatch-tiles x chunks Python loop.  Kept (and
+    exercised by ``tests/test_evalcore.py``) as the bit-identical
+    ground truth for the broadcast outer product above.  Only the CN
+    sparse path differs from the fast implementation, so only that
+    path lives here — :func:`build_sets_reference` routes everything
+    else through the shared kernels.
+    """
+    if mapping_name != "CN" or not sparse:
+        raise ValueError(
+            "the wu reference covers only the sparse CN branch; "
+            "other paths share the fast implementation"
+        )
+    dims = spatial_dims(op, mapping_name)
+    layer = op.layer
+    act_density = ls.iact_density
+    n = op.n
+    s1 = dims.size1
+    dense_per_pair = op.dense_macs / (s1 * n)
+    x_per_sample = layer.c * layer.h * layer.w
+    budget = max(1, arch.rf_words // 2)
+    chunks = max(1, min(64, -(-x_per_sample // budget)))
+
+    n_tiles = -(-n // arch.pe_cols)
+
+    sample_density = _beta_around(
+        rng, act_density, SAMPLE_ACT_CONCENTRATION, (n_tiles * arch.pe_cols,)
+    )
+    if n < n_tiles * arch.pe_cols:
+        sample_density[n:] = 0.0
+    chunk_density = _beta_around(
+        rng,
+        np.repeat(sample_density, chunks),
+        CHUNK_ACT_CONCENTRATION,
+        (n_tiles * arch.pe_cols * chunks,),
+    ).reshape(n_tiles * arch.pe_cols, chunks)
+    chunk_density[sample_density == 0.0] = 0.0
+
+    c_density = _beta_around(
+        rng, act_density, CHUNK_ACT_CONCENTRATION, (s1,)
+    )
+    c_density *= act_density / max(c_density.mean(), 1e-9)
+    c_density = np.clip(c_density, 0.0, 1.0)
+    rows = -(-s1 // arch.pe_rows)
+    row_padded = np.zeros(rows * arch.pe_rows)
+    row_padded[:s1] = c_density
+    matrices = []
+    base = max(act_density, 1e-4)
+    sample_tiles = chunk_density.reshape(n_tiles, arch.pe_cols, chunks)
+    tile_idx, tile_w = _wu_tile_sample(n, n_tiles, arch.pe_cols)
+    chunk_w = replica_weights(chunks, CHUNK_SAMPLE_CAP)
+    kept_chunks = chunk_w.shape[0]
+    for r in range(rows):
+        c_slice = row_padded[r * arch.pe_rows : (r + 1) * arch.pe_rows]
+        for t in tile_idx:
+            for f in range(kept_chunks):
+                rho = np.clip(
+                    np.outer(c_slice, sample_tiles[t, :, f]) / base, 0.0, 1.0
+                )
+                matrices.append(rho * dense_per_pair / chunks)
+    work = np.asarray(matrices)
+    if balance == "half":
+        flat = work.transpose(0, 2, 1).reshape(-1, work.shape[1])
+        flat = balance_sets(flat, rng)
+        work = flat.reshape(
+            work.shape[0], work.shape[2], work.shape[1]
+        ).transpose(0, 2, 1)
+    stats = _from_matrices(work)
+    stats.weight = np.tile(
+        (tile_w[:, None] * chunk_w[None, :]).ravel(), rows
+    )
+    return stats
 
 
 def _wu_sets_ck(
@@ -577,3 +728,31 @@ def build_sets(
     if mapping == "PQ":
         return _wu_sets_pq(op, arch, ls, rng, sparse)
     raise ValueError(f"unknown mapping {mapping!r}")
+
+
+def build_sets_reference(
+    op: PhaseOp,
+    mapping: str,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool = True,
+    balance: str = "none",
+) -> SetStats:
+    """:func:`build_sets` via the kept loop reference kernels.
+
+    Same dispatch, same random stream; the sparse wu-phase CN path —
+    the one kernel whose fast implementation diverges from its loop
+    form — runs :func:`_reference_wu_sets_channel_minibatch` instead
+    of the broadcast implementation.  The parity suite asserts the two
+    dispatchers return bit-identical :class:`SetStats`; the perf
+    benchmark uses this path (plus exact sampling) to reconstruct the
+    pre-optimization baseline.
+    """
+    if balance not in ("none", "half", "perfect"):
+        raise ValueError(f"unknown balance mode {balance!r}")
+    if op.sparse_operand != "weights" and mapping == "CN" and sparse:
+        return _reference_wu_sets_channel_minibatch(
+            op, mapping, arch, ls, rng, sparse, balance
+        )
+    return build_sets(op, mapping, arch, ls, rng, sparse=sparse, balance=balance)

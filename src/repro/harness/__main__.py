@@ -10,6 +10,9 @@ Usage::
     python -m repro.harness export [dir]  # persist results as JSON/CSV
     python -m repro.harness explore [budget] [cache_dir] [strategy]
                                        # Pareto design-space search
+    python -m repro.harness profile [networks] [mappings]
+                                       # time simulate() per stage
+                                       # (comma-separated lists)
 """
 
 from __future__ import annotations
@@ -138,6 +141,22 @@ def run_explore_cli(
     print(format_frontier(result))
 
 
+def run_profile_cli(
+    networks: str = "vgg-s", mappings: str = "KN,CN,CK,PQ"
+) -> None:
+    from repro.harness.profile_cmd import format_profile, run_profile
+
+    _banner(
+        f"simulate() per-stage timing — networks={networks}, "
+        f"mappings={mappings}"
+    )
+    rows = run_profile(
+        networks=tuple(networks.split(",")),
+        mappings=tuple(mappings.split(",")),
+    )
+    print(format_profile(rows))
+
+
 def run_export(root: str = "results") -> None:
     from repro.harness.export_all import export_all
 
@@ -161,6 +180,14 @@ def main(argv: list[str]) -> int:
             return 2
         print(f"\ndone in {time.time() - start:.1f}s")
         return 0
+    if what == "profile":
+        try:
+            run_profile_cli(*argv[2:4])
+        except (KeyError, ValueError) as error:
+            print(f"profile: {error}")
+            return 2
+        print(f"\ndone in {time.time() - start:.1f}s")
+        return 0
     runners = {
         "arch": (run_arch,),
         "training": (run_training,),
@@ -169,7 +196,7 @@ def main(argv: list[str]) -> int:
         "all": (run_tables, run_arch, run_beyond, run_training),
     }
     if what not in runners:
-        choices = sorted([*runners, "explore", "export"])
+        choices = sorted([*runners, "explore", "export", "profile"])
         print(f"unknown selection {what!r}; choose from {choices}")
         return 2
     for runner in runners[what]:

@@ -16,6 +16,9 @@ the cold time.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from pathlib import Path
+
 from repro.explore import (
     Explorer,
     ExploreResult,
@@ -78,13 +81,48 @@ def run_explore(
         proposer = make_strategy(strategy)
     cache = ResultCache(cache_dir) if cache_dir else None
     explorer = Explorer(cache=cache, executor=executor, workers=workers)
-    return explorer.run(
-        default_space(network),
-        proposer,
-        budget=budget,
-        seed=seed,
-        name=f"explore-{network}",
-    )
+    with _evalcore_tier(cache_dir):
+        return explorer.run(
+            default_space(network),
+            proposer,
+            budget=budget,
+            seed=seed,
+            name=f"explore-{network}",
+        )
+
+
+@contextmanager
+def _evalcore_tier(cache_dir: str | None):
+    """Persist the evaluation core's layer-level sets next to the sweep cache.
+
+    Candidates that share (layer, phase, mapping, geometry) then share
+    set building across runs; the env var makes process-pool workers
+    (which inherit the environment) pick up the same tier.  Both the
+    env var and the process-default memo are restored on exit so other
+    callers in the process are unaffected.
+    """
+    if not cache_dir:
+        yield
+        return
+    import os
+
+    from repro.dataflow.evalcore import EvalMemo, set_memo
+
+    evalcore_dir = str(Path(cache_dir) / "evalcore")
+    previous = os.environ.get("REPRO_EVALCORE_CACHE_DIR")
+    # Capture the prior default memo BEFORE touching the env var: in a
+    # fresh process set_memo()'s lazy get_memo() would otherwise
+    # materialize the "previous" memo from the mutated environment.
+    previous_memo = set_memo(EvalMemo(disk_root=evalcore_dir))
+    os.environ["REPRO_EVALCORE_CACHE_DIR"] = evalcore_dir
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_EVALCORE_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_EVALCORE_CACHE_DIR"] = previous
+        set_memo(previous_memo)
 
 
 def format_frontier(result: ExploreResult) -> str:

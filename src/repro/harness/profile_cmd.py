@@ -1,0 +1,127 @@
+"""``python -m repro.harness profile`` — where does simulate() spend time?
+
+Times one :func:`repro.dataflow.simulator.simulate` call per requested
+(network, mapping) condition and prints a per-stage breakdown:
+
+* **sets** — working-set construction (sampling + tiling), excluding
+  the balancing step below;
+* **balance** — half-tile / chip-wide load balancing inside set
+  building (measured by wrapping
+  :func:`repro.dataflow.loadbalance.balance_sets` at its call site in
+  :mod:`repro.dataflow.tiling`);
+* **energy** — the energy roll-up fed from the shared sets;
+* plus the cold wall time, a warm (memoized) re-run, and the memo's
+  hit counters — so performance work on the hot path stays observable
+  without a profiler in hand.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.harness.common import model_entry, render_table, sparse_profile_for
+
+__all__ = ["run_profile", "format_profile"]
+
+DEFAULT_MAPPINGS = ("KN", "CN", "CK", "PQ")
+
+
+@contextmanager
+def _timed_balance(timings) -> Iterator[None]:
+    """Route tiling's balance_sets calls through a stage timer."""
+    import repro.dataflow.tiling as tiling
+
+    original = tiling.balance_sets
+
+    def wrapper(work, rng, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return original(work, rng, *args, **kwargs)
+        finally:
+            timings.add("balance", time.perf_counter() - start)
+
+    tiling.balance_sets = wrapper
+    try:
+        yield
+    finally:
+        tiling.balance_sets = original
+
+
+def run_profile(
+    networks: tuple[str, ...] = ("vgg-s",),
+    mappings: tuple[str, ...] = DEFAULT_MAPPINGS,
+    seed: int = 0,
+) -> list[dict[str, float | str]]:
+    """Profile one ``simulate()`` per (network, mapping); return rows."""
+    from repro.dataflow.evalcore import (
+        EvalMemo,
+        EvalTimings,
+        evaluate_network,
+    )
+    from repro.hw.config import PROCRUSTES_16x16
+    from repro.hw.energy import DEFAULT_ENERGY_TABLE
+
+    rows: list[dict[str, float | str]] = []
+    for network in networks:
+        profile = sparse_profile_for(network)
+        n = model_entry(network).minibatch
+        for mapping in mappings:
+            memo = EvalMemo()  # fresh: cold/warm split is meaningful
+            timings = EvalTimings()
+            start = time.perf_counter()
+            with _timed_balance(timings):
+                evaluation = evaluate_network(
+                    profile,
+                    mapping,
+                    PROCRUSTES_16x16,
+                    n,
+                    table=DEFAULT_ENERGY_TABLE,
+                    seed=seed,
+                    memo=memo,
+                    timings=timings,
+                )
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            evaluate_network(
+                profile,
+                mapping,
+                PROCRUSTES_16x16,
+                n,
+                table=DEFAULT_ENERGY_TABLE,
+                seed=seed,
+                memo=memo,
+            )
+            warm_s = time.perf_counter() - start
+            stages = timings.stages
+            balance_s = stages.get("balance", 0.0)
+            rows.append(
+                {
+                    "network": network,
+                    "mapping": mapping,
+                    "cold_s": cold_s,
+                    "sets_s": stages.get("sets", 0.0) - balance_s,
+                    "balance_s": balance_s,
+                    "energy_s": stages.get("energy", 0.0),
+                    "warm_s": warm_s,
+                    "memo_hits": memo.stats.hits,
+                    "total_cycles": evaluation.total_cycles,
+                }
+            )
+    return rows
+
+
+def format_profile(rows: list[dict[str, float | str]]) -> str:
+    headers = [
+        "network",
+        "mapping",
+        "cold_s",
+        "sets_s",
+        "balance_s",
+        "energy_s",
+        "warm_s",
+        "memo_hits",
+        "total_cycles",
+    ]
+    return render_table(headers, [[row[h] for h in headers] for row in rows])

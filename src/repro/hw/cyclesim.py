@@ -280,9 +280,17 @@ class CycleLevelSimulator:
             mapping="KN", balanced=balance, n_pes=self.arch.n_pes
         )
         result.bus_words = {"horizontal": 0.0, "vertical": 0.0, "unicast": 0.0}
-        fills: list[float] = []
-        computes: list[float] = []
-        drains: list[float] = []
+        fills: list[np.ndarray] = []
+        computes: list[np.ndarray] = []
+        drains: list[np.ndarray] = []
+
+        # Minibatch tiles share everything but the edge tile's column
+        # count, so per (k-tile, chunk) the whole tile row of working
+        # sets is accounted in one batch.
+        n_tiles = -(-n // cols)
+        col_active = np.full(n_tiles, cols, dtype=np.int64)
+        if n % cols:
+            col_active[-1] = n % cols
 
         index = 0
         for k0 in range(0, k, rows):
@@ -298,39 +306,48 @@ class CycleLevelSimulator:
                         second = kernel_nnz[k0:k_hi][:, chunk[half:]].sum(axis=1)
                         per_row = _pair_halves_exact(first, second)
                 iact_words = len(chunk) * h_in * w_in
-                for n0 in range(0, n, cols):
-                    n_active = min(cols, n - n0)
-                    # Weights multicast: each row bus carries its tile
-                    # once, buses run in parallel.
-                    w_fill = float(per_row.max()) / self.fabric.h_words
-                    # iacts multicast down columns, one sample each.
-                    x_fill = iact_words / self.fabric.v_words
-                    fill = max(w_fill, x_fill)
-                    compute = float(per_row.max()) * p * q
-                    macs = int(per_row.sum()) * p * q * n_active
-                    # Psums leave via unicast on the last chunk only
-                    # (output-stationary across chunks).
-                    drain_words = len(per_row) * n_active * p * q if last_chunk else 0
-                    drain = drain_words / self.fabric.unicast_words
-                    result.bus_words["horizontal"] += float(per_row.sum())
-                    result.bus_words["vertical"] += iact_words * n_active
-                    result.bus_words["unicast"] += drain_words
-                    fills.append(fill)
-                    computes.append(compute)
-                    drains.append(drain)
-                    result.macs += macs
+                # Weights multicast: each row bus carries its tile
+                # once, buses run in parallel.  iacts multicast down
+                # columns, one sample each.
+                w_fill = float(per_row.max()) / self.fabric.h_words
+                x_fill = iact_words / self.fabric.v_words
+                fill = max(w_fill, x_fill)
+                compute = float(per_row.max()) * p * q
+                macs_tile = int(per_row.sum()) * p * q * col_active
+                # Psums leave via unicast on the last chunk only
+                # (output-stationary across chunks).
+                if last_chunk:
+                    drain_words = len(per_row) * col_active * p * q
+                else:
+                    drain_words = np.zeros(n_tiles, dtype=np.int64)
+                drain = drain_words / self.fabric.unicast_words
+                result.bus_words["horizontal"] += float(per_row.sum()) * n_tiles
+                result.bus_words["vertical"] += float(
+                    iact_words * col_active.sum()
+                )
+                result.bus_words["unicast"] += float(drain_words.sum())
+                fills.append(np.full(n_tiles, fill))
+                computes.append(np.full(n_tiles, compute))
+                drains.append(drain)
+                result.macs += int(macs_tile.sum())
+                for t in range(n_tiles):
                     result.traces.append(
                         SetTrace(
                             index=index,
                             fill_cycles=fill,
                             compute_cycles=compute,
-                            drain_cycles=drain,
-                            macs=macs,
-                            active_pes=len(per_row) * n_active,
+                            drain_cycles=float(drain[t]),
+                            macs=int(macs_tile[t]),
+                            active_pes=len(per_row) * int(col_active[t]),
                         )
                     )
                     index += 1
-        self._accumulate(result, fills, computes, drains)
+        self._accumulate(
+            result,
+            np.concatenate(fills) if fills else np.zeros(0),
+            np.concatenate(computes) if computes else np.zeros(0),
+            np.concatenate(drains) if drains else np.zeros(0),
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -356,9 +373,9 @@ class CycleLevelSimulator:
             mapping="CK", balanced=balance, n_pes=self.arch.n_pes
         )
         result.bus_words = {"horizontal": 0.0, "vertical": 0.0, "unicast": 0.0}
-        fills: list[float] = []
-        computes: list[float] = []
-        drains: list[float] = []
+        fills: list[np.ndarray] = []
+        computes: list[np.ndarray] = []
+        drains: list[np.ndarray] = []
 
         index = 0
         for c0 in range(0, c, rows):
@@ -383,37 +400,43 @@ class CycleLevelSimulator:
                 n_rows_active = c_hi - c0
                 n_cols_active = k_hi - k0
                 iact_words = iact_words_per_row * iact_factor
+                # Every sample of this (c-tile, k-tile) behaves the
+                # same except that the first also waits on the weight
+                # fill — batch the whole minibatch in one shot.
+                x_fill = iact_words / self.fabric.h_words
+                tile_fills = np.full(n, x_fill)
+                tile_fills[0] = max(x_fill, w_fill)
+                macs = total_w * p * q
+                # Psums reduce down columns every sample; the vertical
+                # flow carries one reduced stream of p*q words per
+                # column (pipelined, plus array drain latency).
+                drain = p * q / self.fabric.v_words + n_rows_active
+                result.bus_words["horizontal"] += (
+                    iact_words * n_rows_active * n
+                )
+                result.bus_words["vertical"] += p * q * n_cols_active * n
+                fills.append(tile_fills)
+                computes.append(np.full(n, per_pe_macs))
+                drains.append(np.full(n, drain))
+                result.macs += macs * n
                 for sample in range(n):
-                    x_fill = iact_words / self.fabric.h_words
-                    # First sample also waits on the weight fill.
-                    fill = max(x_fill, w_fill) if sample == 0 else x_fill
-                    compute = per_pe_macs
-                    macs = total_w * p * q
-                    # Psums reduce down columns every sample; the
-                    # vertical flow carries one reduced stream of
-                    # p*q words per column (pipelined, plus array
-                    # drain latency).
-                    drain = p * q / self.fabric.v_words + n_rows_active
-                    result.bus_words["horizontal"] += (
-                        iact_words * n_rows_active
-                    )
-                    result.bus_words["vertical"] += p * q * n_cols_active
-                    fills.append(fill)
-                    computes.append(compute)
-                    drains.append(drain)
-                    result.macs += macs
                     result.traces.append(
                         SetTrace(
                             index=index,
-                            fill_cycles=fill,
-                            compute_cycles=compute,
+                            fill_cycles=float(tile_fills[sample]),
+                            compute_cycles=per_pe_macs,
                             drain_cycles=drain,
                             macs=macs,
                             active_pes=n_rows_active * n_cols_active,
                         )
                     )
                     index += 1
-        self._accumulate(result, fills, computes, drains)
+        self._accumulate(
+            result,
+            np.concatenate(fills) if fills else np.zeros(0),
+            np.concatenate(computes) if computes else np.zeros(0),
+            np.concatenate(drains) if drains else np.zeros(0),
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -422,29 +445,60 @@ class CycleLevelSimulator:
     def _accumulate(
         self,
         result: CycleSimResult,
-        fills: list[float],
-        computes: list[float],
-        drains: list[float],
+        fills: np.ndarray,
+        computes: np.ndarray,
+        drains: np.ndarray,
     ) -> None:
         """Compose per-set stage times into total cycles.
 
         Double-buffered: set ``i``'s compute overlaps set ``i+1``'s
         fill and set ``i-1``'s drain (each stage uses distinct
         networks), so the steady-state cost per set is the max of the
-        three.  Without double buffering the stages serialize.
+        three — evaluated in one vectorized pass over shifted copies
+        of the stage arrays.  Without double buffering the stages
+        serialize.  :func:`_reference_accumulate` keeps the per-set
+        loop as ground truth.
         """
+        fills = np.asarray(fills, dtype=float)
+        computes = np.asarray(computes, dtype=float)
+        drains = np.asarray(drains, dtype=float)
         compute_total = float(np.sum(computes))
-        if not fills:
+        if fills.size == 0:
             return
         if self.fabric.double_buffered:
-            total = fills[0]
-            for i, compute in enumerate(computes):
-                next_fill = fills[i + 1] if i + 1 < len(fills) else 0.0
-                prev_drain = drains[i - 1] if i > 0 else 0.0
-                total += max(compute, next_fill, prev_drain)
-            total += drains[-1]
+            next_fill = np.concatenate([fills[1:], [0.0]])
+            prev_drain = np.concatenate([[0.0], drains[:-1]])
+            steady = np.maximum(np.maximum(computes, next_fill), prev_drain)
+            total = float(fills[0] + steady.sum() + drains[-1])
         else:
             total = float(np.sum(fills) + compute_total + np.sum(drains))
         result.cycles = total
         result.compute_cycles = compute_total
         result.stall_cycles = total - compute_total
+
+
+def _reference_accumulate(
+    double_buffered: bool,
+    fills: list[float],
+    computes: list[float],
+    drains: list[float],
+) -> tuple[float, float]:
+    """Loop reference for pipeline composition: (total, compute) cycles.
+
+    The original per-set recurrence, kept for the parity suite; the
+    vectorized :meth:`CycleLevelSimulator._accumulate` must agree with
+    it to floating-point round-off.
+    """
+    compute_total = float(np.sum(computes))
+    if not fills:
+        return 0.0, compute_total
+    if double_buffered:
+        total = fills[0]
+        for i, compute in enumerate(computes):
+            next_fill = fills[i + 1] if i + 1 < len(fills) else 0.0
+            prev_drain = drains[i - 1] if i > 0 else 0.0
+            total += max(compute, next_fill, prev_drain)
+        total += drains[-1]
+    else:
+        total = float(np.sum(fills) + compute_total + np.sum(drains))
+    return float(total), compute_total

@@ -103,7 +103,7 @@ def echo(*, seed: int, sleep_s: float = 0.0, **params: Any) -> dict[str, Any]:
     return {"seed": seed, **params}
 
 
-@register("simulate", version="1")
+@register("simulate", version="2")
 def simulate_point(
     *,
     seed: int,
@@ -123,7 +123,10 @@ def simulate_point(
     sparse runs get the Procrustes additions, dense runs the plain
     baseline.  ``scale`` applies :meth:`ArchConfig.scaled` for the
     Figure 20 scalability points.  The dense baseline uses the dense
-    profile regardless of ``sparsity_factor``.
+    profile regardless of ``sparsity_factor``.  (version 2: the
+    evaluation core resampled the working-set model — content-keyed
+    per-layer streams, moment-matched draws, replica subsampling,
+    sampled-MAC energy — so pre-core cached numbers are stale.)
     """
     from repro.dataflow.simulator import simulate
     from repro.harness.common import (
@@ -172,7 +175,7 @@ def simulate_point(
     }
 
 
-@register("design-point", version="1")
+@register("design-point", version="2")
 def design_point(
     *,
     seed: int,
@@ -200,11 +203,16 @@ def design_point(
     requires the complex interconnect) — the same pricing rule the
     explorer's ``fabric_fraction_limit`` constraint screens with.
 
-    The sparsity profile is derived from ``profile_seed`` (not the
-    sweep point's ``seed``, which drives only the simulation's
-    sampling), so every candidate is priced against the same workload
-    and the explorer's ``mask_residency_limit`` screen sees exactly
-    the profile the evaluation uses.
+    Both the sparsity profile *and* the simulation's sampling are
+    seeded from ``profile_seed``, not the sweep point's ``seed``:
+    candidates are compared under **common random numbers** (the same
+    sampled workload), which removes sampling noise from pairwise
+    design comparisons and lets the evaluation core's layer-level memo
+    share working sets across candidates that differ only in
+    dimensions irrelevant to tiling (e.g. GLB capacity).  The sweep
+    seed is still recorded per point; it just does not perturb the
+    objective vector.  (version 2: simulation seed switched to
+    ``profile_seed``.)
 
     The returned mapping carries the explorer's three objectives
     (``total_cycles``, ``total_j``, ``area_mm2``) alongside
@@ -240,6 +248,7 @@ def design_point(
         if sparse
         else dense_profile_for(network)
     )
+    del seed  # recorded by the runner; sampling uses profile_seed
     minibatch = n if n is not None else entry.minibatch
     sim = simulate(
         profile,
@@ -248,7 +257,7 @@ def design_point(
         n=minibatch,
         sparse=sparse,
         balance=balance,
-        seed=seed,
+        seed=profile_seed,
     )
     # Table III synthesized a 1 KB RF and a 128 KB GLB; first-order,
     # SRAM area and leakage scale linearly with capacity.

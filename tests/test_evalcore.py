@@ -1,0 +1,446 @@
+"""Tests for the single-pass evaluation core and its fast kernels.
+
+Three families:
+
+* **Parity** — the vectorized set-building kernels must be
+  *bit-identical* to the kept ``_reference_*`` loop implementations
+  for fixed seeds, across mappings, phases, balance modes, and both
+  sampling modes.
+* **Memoization** — content keys address exactly what determines a
+  result; LRU and disk tiers return the same sets they stored.
+* **Latency/energy equivalence** — both models read the same sampled
+  MAC counts per (layer, phase), closing the historical seedless
+  energy-walk asymmetry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import evalcore, sampling
+from repro.dataflow.energy_model import network_energy
+from repro.dataflow.latency import network_latency
+from repro.dataflow.loadbalance import _reference_balance_sets, balance_sets
+from repro.dataflow.mapping import MAPPINGS
+from repro.dataflow.simulator import simulate
+from repro.dataflow.tiling import build_sets, build_sets_reference
+from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+from repro.hw.cyclesim import (
+    CycleLevelSimulator,
+    FabricConfig,
+    _reference_accumulate,
+)
+from repro.hw.energy import DEFAULT_ENERGY_TABLE
+from repro.workloads.layer_spec import conv
+from repro.workloads.phases import PHASES, phase_op
+
+SET_FIELDS = ("max_work", "mean_work", "sum_work", "busy_pes", "weight")
+BALANCE_MODES = ("none", "half", "perfect")
+
+
+def assert_sets_identical(a, b):
+    for name in SET_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+
+
+@pytest.fixture(params=[False, True], ids=["fast-sampling", "exact-sampling"])
+def sampling_exact(request):
+    with sampling.sampling_mode(exact=request.param):
+        yield request.param
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    @pytest.mark.parametrize("phase", PHASES)
+    @pytest.mark.parametrize("balance", BALANCE_MODES)
+    def test_bit_identical_across_conditions(
+        self, small_profile, mapping, phase, balance, sampling_exact
+    ):
+        for ls in small_profile.layers:
+            op = phase_op(ls.layer, phase, 32)
+            fast = build_sets(
+                op, mapping, PROCRUSTES_16x16, ls,
+                np.random.default_rng(11), sparse=True, balance=balance,
+            )
+            reference = build_sets_reference(
+                op, mapping, PROCRUSTES_16x16, ls,
+                np.random.default_rng(11), sparse=True, balance=balance,
+            )
+            assert_sets_identical(fast, reference)
+
+    @pytest.mark.parametrize("mapping", ["KN", "CN"])
+    def test_dense_paths_identical(self, small_profile, mapping):
+        ls = small_profile.layers[1]
+        op = phase_op(ls.layer, "wu", 32)
+        fast = build_sets(
+            op, mapping, PROCRUSTES_16x16, ls,
+            np.random.default_rng(0), sparse=False,
+        )
+        reference = build_sets_reference(
+            op, mapping, PROCRUSTES_16x16, ls,
+            np.random.default_rng(0), sparse=False,
+        )
+        assert_sets_identical(fast, reference)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_cn_wu_property(self, seed, n):
+        """The einsum CN weight-update kernel vs the triple loop."""
+        layer = conv("c", c=24, k=16, h=8, r=3)
+        from repro.workloads.sparsity import synthetic_profile
+
+        ls = synthetic_profile("p", [layer], 3.0, seed=1).layers[0]
+        op = phase_op(layer, "wu", n)
+        fast = build_sets(
+            op, "CN", PROCRUSTES_16x16, ls,
+            np.random.default_rng(seed), sparse=True, balance="half",
+        )
+        reference = build_sets_reference(
+            op, "CN", PROCRUSTES_16x16, ls,
+            np.random.default_rng(seed), sparse=True, balance="half",
+        )
+        assert_sets_identical(fast, reference)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fused_balance_matches_split_then_pair(self, seed):
+        gen = np.random.default_rng(seed)
+        work = gen.exponential(5.0, size=(50, 16))
+        fused = balance_sets(work, np.random.default_rng(seed + 1))
+        composed = _reference_balance_sets(
+            work, np.random.default_rng(seed + 1)
+        )
+        np.testing.assert_array_equal(fused, composed)
+
+    @given(
+        n_sets=st.integers(1, 30),
+        seed=st.integers(0, 1000),
+        double_buffered=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cyclesim_accumulate_matches_loop(
+        self, n_sets, seed, double_buffered
+    ):
+        gen = np.random.default_rng(seed)
+        fills = gen.uniform(0, 100, n_sets)
+        computes = gen.uniform(0, 100, n_sets)
+        drains = gen.uniform(0, 100, n_sets)
+        sim = CycleLevelSimulator(
+            PROCRUSTES_16x16, FabricConfig(double_buffered=double_buffered)
+        )
+        from repro.hw.cyclesim import CycleSimResult
+
+        result = CycleSimResult(mapping="KN", balanced=False)
+        sim._accumulate(result, fills, computes, drains)
+        total, compute_total = _reference_accumulate(
+            double_buffered, list(fills), list(computes), list(drains)
+        )
+        assert result.cycles == pytest.approx(total, rel=1e-12)
+        assert result.compute_cycles == pytest.approx(compute_total, rel=1e-12)
+
+
+class TestSampling:
+    def test_binomial_moments_and_bounds(self):
+        rng = np.random.default_rng(3)
+        probs = np.full(200_000, 0.4)
+        draws = sampling.binomial_counts(rng, 100, probs)
+        assert draws.min() >= 0.0 and draws.max() <= 100.0
+        assert draws.mean() == pytest.approx(40.0, rel=0.01)
+        assert draws.std() == pytest.approx(np.sqrt(100 * 0.4 * 0.6), rel=0.05)
+
+    def test_binomial_small_counts_stay_exact_distribution(self):
+        rng = np.random.default_rng(3)
+        probs = np.full(100_000, 0.01)
+        draws = sampling.binomial_counts(rng, 50, probs)
+        assert draws.min() >= 0.0
+        assert draws.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_beta_moments(self):
+        rng = np.random.default_rng(3)
+        draws = sampling.beta_values(rng, 36.0, 36.0, (100_000,))
+        assert draws.min() >= 0.0 and draws.max() <= 1.0
+        assert draws.mean() == pytest.approx(0.5, abs=0.005)
+
+    def test_exact_mode_uses_exact_generators(self):
+        probs = np.full(5000, 0.4)
+        with sampling.sampling_mode(exact=True):
+            exact = sampling.binomial_counts(
+                np.random.default_rng(9), 100, probs
+            )
+        direct = np.random.default_rng(9).binomial(100, probs).astype(float)
+        np.testing.assert_array_equal(exact, direct)
+
+    def test_replica_weights_sum_to_count(self):
+        for count, cap in [(1, 4), (7, 3), (64, 16), (100, 16)]:
+            weights = sampling.replica_weights(count, cap)
+            assert weights.sum() == count
+            assert weights.shape[0] == min(count, cap)
+        with sampling.sampling_mode(exact=True):
+            assert sampling.replica_weights(64, 16).shape[0] == 64
+        with pytest.raises(ValueError):
+            sampling.replica_weights(0, 4)
+
+
+class TestContentKeys:
+    def test_key_ignores_glb_and_layer_name(self, small_profile):
+        from dataclasses import replace
+
+        ls = small_profile.layers[1]
+        base = evalcore.layer_phase_key(
+            ls, "fw", "KN", PROCRUSTES_16x16, 64, True, "half", 0
+        )
+        bigger_glb = replace(PROCRUSTES_16x16, glb_bytes=512 * 1024)
+        assert base == evalcore.layer_phase_key(
+            ls, "fw", "KN", bigger_glb, 64, True, "half", 0
+        )
+        renamed = replace(ls, layer=replace(ls.layer, name="other"))
+        assert base == evalcore.layer_phase_key(
+            renamed, "fw", "KN", PROCRUSTES_16x16, 64, True, "half", 0
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        ["phase", "mapping", "balance", "seed", "n", "rf", "density"],
+    )
+    def test_key_sensitive_to_what_matters(self, small_profile, change):
+        from dataclasses import replace
+
+        ls = small_profile.layers[1]
+        base = evalcore.layer_phase_key(
+            ls, "fw", "KN", PROCRUSTES_16x16, 64, True, "half", 0
+        )
+        if change == "phase":
+            other = evalcore.layer_phase_key(
+                ls, "bw", "KN", PROCRUSTES_16x16, 64, True, "half", 0
+            )
+        elif change == "mapping":
+            other = evalcore.layer_phase_key(
+                ls, "fw", "CN", PROCRUSTES_16x16, 64, True, "half", 0
+            )
+        elif change == "balance":
+            other = evalcore.layer_phase_key(
+                ls, "fw", "KN", PROCRUSTES_16x16, 64, True, "none", 0
+            )
+        elif change == "seed":
+            other = evalcore.layer_phase_key(
+                ls, "fw", "KN", PROCRUSTES_16x16, 64, True, "half", 1
+            )
+        elif change == "n":
+            other = evalcore.layer_phase_key(
+                ls, "fw", "KN", PROCRUSTES_16x16, 32, True, "half", 0
+            )
+        elif change == "rf":
+            smaller_rf = replace(PROCRUSTES_16x16, rf_bytes_per_pe=512)
+            other = evalcore.layer_phase_key(
+                ls, "fw", "KN", smaller_rf, 64, True, "half", 0
+            )
+        else:  # density profile content
+            scaled = replace(
+                ls, out_channel_density=ls.out_channel_density * 0.9
+            )
+            other = evalcore.layer_phase_key(
+                scaled, "fw", "KN", PROCRUSTES_16x16, 64, True, "half", 0
+            )
+        assert base != other
+
+
+class TestMemo:
+    def test_lru_hit_returns_identical_sets(self, small_profile):
+        memo = evalcore.EvalMemo()
+        first = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=memo
+        )
+        assert memo.stats.misses > 0 and memo.stats.hits == 0
+        second = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=memo
+        )
+        assert memo.stats.hits == memo.stats.misses
+        for phase in PHASES:
+            for a, b in zip(first.layers[phase], second.layers[phase]):
+                assert a.cycles == b.cycles
+                assert a.macs == b.macs
+                assert_sets_identical(a.sets, b.sets)
+
+    def test_disk_tier_round_trip(self, small_profile, tmp_path):
+        memo = evalcore.EvalMemo(disk_root=tmp_path / "tier")
+        first = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=memo
+        )
+        # Fresh process-local state, same disk tier.
+        rehydrated = evalcore.EvalMemo(disk_root=tmp_path / "tier")
+        second = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=rehydrated
+        )
+        assert rehydrated.stats.disk_hits > 0
+        for phase in PHASES:
+            for a, b in zip(first.layers[phase], second.layers[phase]):
+                assert a.cycles == b.cycles
+                assert_sets_identical(a.sets, b.sets)
+
+    def test_lru_eviction_bounds_entries(self, small_profile):
+        memo = evalcore.EvalMemo(maxsize=2)
+        evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=memo
+        )
+        assert len(memo) <= 2
+
+    def test_memoization_is_content_keyed_not_order_keyed(
+        self, small_profile
+    ):
+        """Evaluating a phase subset matches the full walk, layer by
+        layer — per-layer streams derive from content, not call order."""
+        full = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, memo=None
+        )
+        just_wu = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32,
+            phases=("wu",), memo=None,
+        )
+        for a, b in zip(full.layers["wu"], just_wu.layers["wu"]):
+            assert a.cycles == b.cycles
+            assert_sets_identical(a.sets, b.sets)
+
+    def test_set_memo_round_trips_disabled_state(self):
+        """Scoping a temporary memo must restore the exact prior
+        default — including a disabled (None) one."""
+        original = evalcore.set_memo(None)
+        try:
+            assert evalcore.get_memo() is None
+            scoped = evalcore.EvalMemo()
+            previous = evalcore.set_memo(scoped)
+            assert previous is None
+            assert evalcore.get_memo() is scoped
+            evalcore.set_memo(previous)
+            assert evalcore.get_memo() is None
+        finally:
+            evalcore.set_memo(original)
+
+    def test_explore_tier_restores_prior_memo(self, tmp_path):
+        from repro.harness.explore_experiments import _evalcore_tier
+
+        original = evalcore.set_memo(None)  # user disabled memoization
+        try:
+            with _evalcore_tier(str(tmp_path / "cache")):
+                assert evalcore.get_memo() is not None
+            assert evalcore.get_memo() is None  # still disabled after
+        finally:
+            evalcore.set_memo(original)
+
+    def test_reference_mode_bypasses_memo(self, small_profile):
+        memo = evalcore.EvalMemo()
+        with evalcore.reference_implementation():
+            assert evalcore.using_reference()
+            evalcore.evaluate_network(
+                small_profile, "KN", PROCRUSTES_16x16, 32, memo=memo
+            )
+        assert not evalcore.using_reference()
+        assert memo.stats.misses == 0 and memo.stats.stores == 0
+
+
+class TestLatencyEnergyEquivalence:
+    def test_energy_macs_equal_latency_macs_per_layer(self, small_profile):
+        evaluation = evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32,
+            table=DEFAULT_ENERGY_TABLE, seed=5, memo=None,
+        )
+        for phase in PHASES:
+            for row in evaluation.layers[phase]:
+                implied = row.energy.mac_j / (
+                    DEFAULT_ENERGY_TABLE.mac_fp32_pj * 1e-12
+                )
+                assert implied == pytest.approx(row.macs, rel=1e-12)
+
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    def test_wrappers_share_sets_for_equal_seeds(
+        self, small_profile, mapping
+    ):
+        latency = network_latency(
+            small_profile, mapping, PROCRUSTES_16x16, 32, seed=7
+        )
+        energy = network_energy(
+            small_profile, mapping, PROCRUSTES_16x16, 32,
+            DEFAULT_ENERGY_TABLE, seed=7,
+        )
+        for phase in PHASES:
+            latency_macs = sum(l.macs for l in latency.layers[phase])
+            energy_macs = energy[phase].mac_j / (
+                DEFAULT_ENERGY_TABLE.mac_fp32_pj * 1e-12
+            )
+            assert energy_macs == pytest.approx(latency_macs, rel=1e-9)
+
+    def test_balancing_preserves_total_macs_exactly(self, small_profile):
+        """Half-tile pairing redistributes work between PEs but never
+        changes a set's total MACs: identical draws, identical totals."""
+        ls = small_profile.layers[1]
+        op = phase_op(ls.layer, "fw", 32)
+        raw = build_sets(
+            op, "KN", PROCRUSTES_16x16, ls,
+            np.random.default_rng(3), sparse=True, balance="none",
+        )
+        balanced = build_sets(
+            op, "KN", PROCRUSTES_16x16, ls,
+            np.random.default_rng(3), sparse=True, balance="half",
+        )
+        assert balanced.total_macs() == pytest.approx(
+            raw.total_macs(), rel=1e-12
+        )
+
+    def test_energy_balance_close_across_independent_draws(
+        self, small_profile
+    ):
+        """Balance mode is part of the content key (balanced and
+        unbalanced evaluations sample independently), so MAC energy
+        differs only by sampling noise."""
+        balanced = network_energy(
+            small_profile, "KN", PROCRUSTES_16x16, 32,
+            DEFAULT_ENERGY_TABLE, seed=3, balance=True,
+        )
+        unbalanced = network_energy(
+            small_profile, "KN", PROCRUSTES_16x16, 32,
+            DEFAULT_ENERGY_TABLE, seed=3, balance=False,
+        )
+        for phase in PHASES:
+            assert balanced[phase].mac_j == pytest.approx(
+                unbalanced[phase].mac_j, rel=0.05
+            )
+
+    def test_simulate_deterministic_for_seed(self, small_profile):
+        first = simulate(small_profile, "KN", n=32, seed=9)
+        second = simulate(small_profile, "KN", n=32, seed=9)
+        assert first.total_cycles == second.total_cycles
+        assert first.total_energy_j == second.total_energy_j
+        different = simulate(small_profile, "KN", n=32, seed=10)
+        assert different.total_cycles != first.total_cycles
+
+    def test_reference_mode_end_to_end_sane(self, small_profile):
+        """The pre-optimization path still reproduces the headline
+        ordering (sparse beats dense) the figures rely on."""
+        from repro.workloads.sparsity import dense_profile
+
+        dense = dense_profile(
+            "dense", [ls.layer for ls in small_profile.layers]
+        )
+        with evalcore.reference_implementation():
+            sparse_run = simulate(small_profile, "KN", n=32)
+            dense_run = simulate(
+                dense, "KN", arch=BASELINE_16x16, n=32, sparse=False
+            )
+        assert sparse_run.total_cycles < dense_run.total_cycles
+
+
+class TestProfileCommand:
+    def test_run_profile_reports_stages(self):
+        from repro.harness.profile_cmd import format_profile, run_profile
+
+        rows = run_profile(networks=("vgg-s",), mappings=("KN",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["cold_s"] > 0 and row["warm_s"] > 0
+        assert row["warm_s"] < row["cold_s"]
+        assert row["memo_hits"] > 0
+        assert row["balance_s"] >= 0.0
+        text = format_profile(rows)
+        assert "vgg-s" in text and "cold_s" in text
