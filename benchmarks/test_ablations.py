@@ -17,7 +17,7 @@ from benchmarks.conftest import run_once
 from repro.core.tracking import ThresholdTracker
 from repro.dataflow.latency import network_latency
 from repro.harness.common import render_table, sparse_profile_for
-from repro.hw.config import PROCRUSTES_16x16, ArchConfig
+from repro.hw.config import ArchConfig, PROCRUSTES_16x16
 from repro.hw.qe_unit import QuantileEngine
 
 

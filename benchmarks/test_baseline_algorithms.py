@@ -14,6 +14,7 @@ target sparsity from the start at comparable accuracy.
 """
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.baselines import (
@@ -27,7 +28,6 @@ from repro.models.vgg import mini_vgg_s
 from repro.nn.data import make_blob_images
 from repro.nn.trainer import Trainer
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -18,9 +18,9 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.hw.config import PROCRUSTES_16x16
 from repro.hw.cyclesim import (
+    CycleLevelSimulator,
     IDEAL_FABRIC,
     SINGLE_WORD_FABRIC,
-    CycleLevelSimulator,
 )
 from repro.hw.pe import PEArraySimulator
 

@@ -20,7 +20,7 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.dataflow.eager_accel import EagerPruningAccelerator, sorting_cycles
 from repro.hw.config import PROCRUSTES_16x16
-from repro.hw.cyclesim import IDEAL_FABRIC, CycleLevelSimulator
+from repro.hw.cyclesim import CycleLevelSimulator, IDEAL_FABRIC
 
 
 def _mask(rng, density, shape=(64, 64, 3, 3)):

@@ -5,10 +5,11 @@ Paper: decaying initial weights 0.9x per iteration (zero by iteration
 computation sparsity (60% of MACs skippable in 99.5% of iterations).
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.training_experiments import format_curves, run_fig06_decay
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -6,13 +6,14 @@ error only tracks extra weights, relaxing 7.5x requested sparsity to
 5.2x realized.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.training_experiments import (
     format_curves,
     run_fig07_quantile,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

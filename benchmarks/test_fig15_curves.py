@@ -4,13 +4,14 @@ Paper: on VGG-S, DenseNet and WRN, Procrustes converges as fast as (or
 faster than) the dense baseline while training a pruned model.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.training_experiments import (
     format_curves,
     run_fig15_cifar_curves,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -4,13 +4,14 @@ Paper: ResNet18 trains to baseline accuracy at 2.9x/5.8x/11.7x pruning
 (and MobileNet v2 at 7x/10x); higher ratios are not slower to converge.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.training_experiments import (
     format_curves,
     run_fig16_sparsity_sweep,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -5,13 +5,14 @@ dataflow choice has negligible impact on energy — which frees the
 design to pick the mapping by performance alone.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.arch_experiments import (
     format_fig18,
     run_fig18_fig19_dataflows,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

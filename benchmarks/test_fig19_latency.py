@@ -6,13 +6,14 @@ with its complex interconnect (few-channel layers); activation-
 stationary P,Q is slowest overall.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.arch_experiments import (
     format_fig19,
     run_fig18_fig19_dataflows,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -5,13 +5,14 @@ mapping; other mappings trade utilization for reuse and scale worse;
 energy barely moves because the MAC count is unchanged.
 """
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.harness.arch_experiments import (
     format_fig20,
     run_fig20_scalability,
 )
 
-import pytest
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep
 

@@ -20,11 +20,11 @@ from dataclasses import replace
 import numpy as np
 
 from repro.hw import (
+    CycleLevelSimulator,
     IDEAL_FABRIC,
+    PEArraySimulator,
     PROCRUSTES_16x16,
     SINGLE_WORD_FABRIC,
-    CycleLevelSimulator,
-    PEArraySimulator,
 )
 from repro.report import bar_chart
 

@@ -17,8 +17,8 @@ Run:  python examples/training_engine_demo.py
 import numpy as np
 
 from repro.hw import (
-    PROCRUSTES_16x16,
     NetworkTrainingEngine,
+    PROCRUSTES_16x16,
     QuantileEngine,
     SparseTrainingEngine,
 )

@@ -1,0 +1,50 @@
+"""Training-in-the-loop campaigns: train, record densities, replay.
+
+The campaign subsystem closes the loop between the training stack
+(``repro.nn`` + ``repro.core``) and the hardware model
+(``repro.dataflow`` + ``repro.hw``): a :class:`CampaignSpec` names a
+DropBack training recipe, :func:`run_campaign` executes it and records
+the per-layer per-epoch weight/activation density
+:class:`Trajectory` into a content-addressed :class:`TrajectoryStore`,
+and :func:`replay_trajectory` walks the trajectory through the
+single-pass evaluation core to produce end-to-end training
+latency/energy — per-epoch curves and whole-run totals — for any
+architecture point.  See ``docs/campaign.md`` for the walkthrough.
+"""
+
+from repro.campaign.density import (
+    TrajectoryDensitySource,
+    trajectory_source_for,
+)
+from repro.campaign.replay import EpochCost, ReplayResult, replay_trajectory
+from repro.campaign.runner import (
+    CampaignResult,
+    build_optimizer,
+    observe_network,
+    run_campaign,
+)
+from repro.campaign.spec import CAMPAIGN_VERSION, CampaignSpec
+from repro.campaign.trajectory import (
+    EpochRecord,
+    LayerDensityRecord,
+    Trajectory,
+    TrajectoryStore,
+)
+
+__all__ = [
+    "CAMPAIGN_VERSION",
+    "CampaignResult",
+    "CampaignSpec",
+    "EpochCost",
+    "EpochRecord",
+    "LayerDensityRecord",
+    "ReplayResult",
+    "Trajectory",
+    "TrajectoryDensitySource",
+    "TrajectoryStore",
+    "build_optimizer",
+    "observe_network",
+    "replay_trajectory",
+    "run_campaign",
+    "trajectory_source_for",
+]

@@ -1,0 +1,69 @@
+"""The measured density source: trajectories behind the analytic seam.
+
+:class:`TrajectoryDensitySource` implements the
+:class:`repro.workloads.density.DensitySource` protocol over a
+recorded :class:`~repro.campaign.trajectory.Trajectory`, so anything
+written against the interface — harness experiments, evaluators,
+capacity checks — can swap the hand-calibrated analytic arrays for
+densities an actual training run produced, per epoch or at the
+training endpoint.
+
+:func:`trajectory_source_for` is the convenience entry: give it a
+:class:`~repro.campaign.spec.CampaignSpec` (and optionally a store)
+and it trains-or-loads the campaign and wraps the result.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.trajectory import Trajectory, TrajectoryStore
+from repro.workloads.sparsity import NetworkSparsity
+
+__all__ = ["TrajectoryDensitySource", "trajectory_source_for"]
+
+
+class TrajectoryDensitySource:
+    """Measured, epoch-resolved densities from a training campaign.
+
+    ``profile(epoch)`` returns that epoch's measured profile;
+    ``profile()`` (no epoch) returns the **final** epoch — the
+    end-of-training sparsity the static experiments care about, which
+    is what makes this a drop-in for the analytic source.
+    """
+
+    def __init__(self, trajectory: Trajectory) -> None:
+        self.trajectory = trajectory
+
+    @property
+    def name(self) -> str:
+        return self.trajectory.name
+
+    @property
+    def n_epochs(self) -> int:
+        return self.trajectory.n_epochs
+
+    def profile(self, epoch: int | None = None) -> NetworkSparsity:
+        if epoch is None:
+            return self.trajectory.final_profile()
+        if not 0 <= epoch < self.trajectory.n_epochs:
+            raise IndexError(
+                f"epoch {epoch} out of range "
+                f"[0, {self.trajectory.n_epochs})"
+            )
+        return self.trajectory.profile(epoch)
+
+
+def trajectory_source_for(
+    spec: CampaignSpec,
+    store: TrajectoryStore | None = None,
+) -> TrajectoryDensitySource:
+    """Train (or load) the campaign for ``spec`` and wrap its trajectory.
+
+    Without an explicit ``store``, the process-default store from
+    ``REPRO_CAMPAIGN_CACHE_DIR`` is used when set, so repeated callers
+    across a sweep share one training run.
+    """
+    from repro.campaign.runner import run_campaign
+
+    store = store if store is not None else TrajectoryStore.from_env()
+    return TrajectoryDensitySource(run_campaign(spec, store=store).trajectory)

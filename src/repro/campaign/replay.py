@@ -1,0 +1,196 @@
+"""Replay a measured trajectory through the accelerator model.
+
+:func:`replay_trajectory` turns a campaign's per-epoch density records
+into what the paper's headline claims are actually about: the cost of
+the *whole training run* on a given architecture point.  Each epoch's
+profile drives one :func:`repro.dataflow.simulator.simulate` call —
+the same single-pass evaluation core every figure uses, so latency and
+energy agree on the sampled non-zeros, and the layer-level memo makes
+adjacent epochs (whose layers differ only in density) share whatever
+work they can.  Per-iteration costs are then scaled by the epoch's
+recorded iteration count and accumulated into per-epoch curves and
+whole-run totals.
+
+A constant trajectory built from an analytic profile replays to
+exactly the static ``simulate()`` numbers (pinned by the parity
+tests), so the measured path is a strict generalization of the
+analytic one, not a parallel implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign.trajectory import Trajectory
+from repro.dataflow.simulator import SimulationResult, simulate
+from repro.hw.config import ArchConfig
+from repro.hw.energy import EnergyTable
+from repro.report.export import experiment_record
+from repro.workloads.phases import PHASES
+
+__all__ = ["EpochCost", "ReplayResult", "replay_trajectory"]
+
+
+@dataclass(frozen=True)
+class EpochCost:
+    """One epoch's accelerator cost under the replayed condition."""
+
+    epoch: int
+    iterations: int
+    cycles_per_iteration: float
+    energy_j_per_iteration: float
+    val_accuracy: float
+    achieved_sparsity: float
+
+    @property
+    def cycles(self) -> float:
+        return self.cycles_per_iteration * self.iterations
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_j_per_iteration * self.iterations
+
+
+@dataclass
+class ReplayResult:
+    """A whole campaign's latency/energy under one architecture point."""
+
+    trajectory: str  # trajectory name (model/mode)
+    campaign_key: str
+    mapping: str
+    arch: str
+    n: int
+    sparse: bool
+    balance: bool
+    seed: int
+    epochs: list[EpochCost] = field(default_factory=list)
+
+    @property
+    def run_cycles(self) -> float:
+        """Whole-training-run cycles (the end-to-end headline number)."""
+        return sum(e.cycles for e in self.epochs)
+
+    @property
+    def run_energy_j(self) -> float:
+        return sum(e.energy_j for e in self.epochs)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(e.iterations for e in self.epochs)
+
+    def curves(self) -> dict[str, list[float]]:
+        """Per-epoch series, ready for plotting/export."""
+        return {
+            "cycles_per_iteration": [
+                e.cycles_per_iteration for e in self.epochs
+            ],
+            "energy_j_per_iteration": [
+                e.energy_j_per_iteration for e in self.epochs
+            ],
+            "cycles": [e.cycles for e in self.epochs],
+            "energy_j": [e.energy_j for e in self.epochs],
+            "val_accuracy": [e.val_accuracy for e in self.epochs],
+            "achieved_sparsity": [e.achieved_sparsity for e in self.epochs],
+        }
+
+    def to_record(self) -> dict[str, Any]:
+        """Canonical :func:`experiment_record` payload (deterministic).
+
+        Contains no wall-clock or host-dependent fields, so the record
+        hashes identically across re-runs of the same campaign — the
+        property the CLI smoke check and nightly CI pin.
+        """
+        return experiment_record(
+            f"campaign-{self.trajectory.replace('/', '-')}-{self.mapping}",
+            {
+                "trajectory": self.trajectory,
+                "campaign_key": self.campaign_key,
+                "mapping": self.mapping,
+                "arch": self.arch,
+                "n": self.n,
+                "sparse": self.sparse,
+                "balance": self.balance,
+                "seed": self.seed,
+            },
+            {
+                "epochs": [e.epoch for e in self.epochs],
+                "iterations": [e.iterations for e in self.epochs],
+                **self.curves(),
+                "run_cycles": self.run_cycles,
+                "run_energy_j": self.run_energy_j,
+                "total_iterations": self.total_iterations,
+            },
+            notes=(
+                f"{len(self.epochs)}-epoch trajectory replayed on "
+                f"{self.arch} / {self.mapping}"
+            ),
+        )
+
+    def save(self, results_dir) -> None:
+        """Persist through :class:`repro.report.ResultsDirectory`."""
+        record = self.to_record()
+        results_dir.save_record(record)
+        curves = self.curves()
+        headers = ["epoch", "iterations", *curves]
+        rows = [
+            [e.epoch, e.iterations, *(curves[k][i] for k in curves)]
+            for i, e in enumerate(self.epochs)
+        ]
+        results_dir.save_table(record["experiment"], "epochs", headers, rows)
+
+
+def replay_trajectory(
+    trajectory: Trajectory,
+    mapping: str = "KN",
+    arch: ArchConfig | None = None,
+    n: int = 16,
+    sparse: bool = True,
+    balance: bool = True,
+    table: EnergyTable | None = None,
+    seed: int = 0,
+    phases: tuple[str, ...] = PHASES,
+) -> ReplayResult:
+    """Evaluate every epoch's profile; return curves and run totals.
+
+    ``n`` is the training minibatch the accelerator processes per
+    iteration (a campaign's ``batch_size`` for measured trajectories).
+    Per-epoch per-iteration numbers come from the same ``simulate()``
+    the static experiments call, with the same seed semantics.
+    """
+    from repro.hw.config import PROCRUSTES_16x16
+
+    arch = arch or PROCRUSTES_16x16
+    result = ReplayResult(
+        trajectory=trajectory.name,
+        campaign_key=trajectory.key,
+        mapping=mapping,
+        arch=arch.name,
+        n=n,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+    )
+    for index, record in enumerate(trajectory.records):
+        sim: SimulationResult = simulate(
+            trajectory.profile(index),
+            mapping,
+            arch=arch,
+            n=n,
+            sparse=sparse,
+            balance=balance,
+            table=table,
+            seed=seed,
+            phases=phases,
+        )
+        result.epochs.append(
+            EpochCost(
+                epoch=record.epoch,
+                iterations=record.iterations,
+                cycles_per_iteration=sim.total_cycles,
+                energy_j_per_iteration=sim.total_energy_j,
+                val_accuracy=record.val_accuracy,
+                achieved_sparsity=record.achieved_sparsity,
+            )
+        )
+    return result

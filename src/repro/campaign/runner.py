@@ -1,0 +1,300 @@
+"""Run a training campaign and record its density trajectory.
+
+:func:`run_campaign` closes the loop the analytic profiles only
+approximate: it trains a mini-zoo model with the DropBack optimizer
+(:mod:`repro.core`) through :class:`repro.nn.trainer.Trainer`, and at
+every epoch boundary snapshots what the hardware model needs —
+surviving-weight masks per layer (collapsed to per-channel densities
+via :func:`~repro.workloads.sparsity.profile_from_masks`) and the
+epoch's mean post-ReLU activation densities, mapped onto each layer's
+*input* as the weight-update phase sees it.  The result is a
+:class:`~repro.campaign.trajectory.Trajectory` keyed by the producing
+:class:`~repro.campaign.spec.CampaignSpec`; with a
+:class:`~repro.campaign.trajectory.TrajectoryStore` attached, an
+identical spec never trains twice.
+
+Layer geometries are **derived from the live network**, not
+hand-written: :func:`observe_network` wraps one probe forward pass and
+records, for every conv/fc layer in execution order, its input extent
+and which ReLU feeds it.  That keeps the trajectory aligned with the
+model actually trained, whatever mini architecture the zoo builds.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.trajectory import (
+    EpochRecord,
+    LayerDensityRecord,
+    Trajectory,
+    TrajectoryStore,
+)
+from repro.core.dropback import DropbackConfig, DropbackOptimizer
+from repro.models.zoo import MINI_MODELS
+from repro.nn.data import make_blob_images
+from repro.nn.layers import Conv2d, Layer, Linear, ReLU
+from repro.nn.model import Network
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+from repro.workloads.layer_spec import LayerSpec
+from repro.workloads.sparsity import profile_from_masks
+
+__all__ = [
+    "CampaignResult",
+    "build_optimizer",
+    "observe_network",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One campaign's outcome: the trajectory, and where it came from."""
+
+    spec: CampaignSpec
+    trajectory: Trajectory
+    cached: bool  # True when served from the TrajectoryStore
+
+
+def build_optimizer(model: Network, spec: CampaignSpec):
+    """The optimizer a campaign mode calls for (mirrors ``train_mini``).
+
+    ``sgd`` is the dense momentum baseline (cooler lr, see
+    :func:`repro.harness.training_experiments.train_mini` for the
+    rationale); the sparse modes run plain-SGD DropBack with exact or
+    quantile selection and optional initial-weight decay.
+    """
+    if spec.mode == "sgd":
+        return SGD(model.parameters(), lr=0.25 * spec.lr, momentum=0.9)
+    selection = "quantile" if spec.mode == "procrustes" else "sort"
+    decay = 1.0 if spec.mode == "dropback" else spec.init_decay
+    config = DropbackConfig(
+        sparsity_factor=spec.sparsity_factor,
+        lr=spec.lr,
+        momentum=0.0,
+        selection=selection,
+        init_decay=decay,
+        init_decay_zero_after=(None if decay == 1.0 else spec.decay_zero_after),
+    )
+    return DropbackOptimizer(model.parameters(), config)
+
+
+def observe_network(
+    model: Network, sample: np.ndarray
+) -> tuple[list[LayerSpec], dict[str, str | None]]:
+    """Derive layer specs and the ReLU→layer feed map from one forward.
+
+    Wraps every conv/fc/ReLU ``forward`` for a single probe pass and
+    records (a) each conv/fc layer's input extent — which, with its
+    static attributes, fully determines its :class:`LayerSpec` — and
+    (b) the most recently executed ReLU before each conv/fc, i.e. whose
+    output density is that layer's input-activation density.  Returns
+    ``(specs_in_execution_order, {layer_name: relu_name_or_None})``.
+    """
+    shapes: dict[str, tuple[int, ...]] = {}
+    order: list[Layer] = []
+    wrapped = [
+        layer
+        for layer in model.all_layers()
+        if isinstance(layer, (Conv2d, Linear, ReLU))
+    ]
+    originals = {}
+
+    def instrument(layer):
+        original = layer.forward
+
+        def recorded(x, training=True):
+            if layer.name not in shapes:
+                shapes[layer.name] = x.shape
+                order.append(layer)
+            return original(x, training=training)
+
+        return original, recorded
+
+    for layer in wrapped:
+        originals[layer], layer.forward = instrument(layer)
+    try:
+        model.forward(sample, training=False)
+    finally:
+        for layer, original in originals.items():
+            layer.forward = original
+
+    specs: list[LayerSpec] = []
+    iact_relu: dict[str, str | None] = {}
+    last_relu: str | None = None
+    for layer in order:
+        if isinstance(layer, ReLU):
+            last_relu = layer.name
+            continue
+        iact_relu[layer.name] = last_relu
+        if isinstance(layer, Conv2d):
+            shape = shapes[layer.name]
+            specs.append(
+                LayerSpec(
+                    name=layer.name,
+                    c=layer.in_channels,
+                    k=layer.out_channels,
+                    r=layer.kernel,
+                    s=layer.kernel,
+                    h=int(shape[2]),
+                    w=int(shape[3]),
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    groups=layer.groups,
+                    kind="conv",
+                )
+            )
+        else:  # Linear
+            specs.append(
+                LayerSpec(
+                    name=layer.name,
+                    c=layer.in_features,
+                    k=layer.out_features,
+                    r=1,
+                    s=1,
+                    h=1,
+                    w=1,
+                    kind="fc",
+                )
+            )
+    return specs, iact_relu
+
+
+class _EpochRecorder:
+    """The ``on_epoch_end`` hook: snapshot densities at each boundary."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        layer_specs: list[LayerSpec],
+        iact_relu: dict[str, str | None],
+    ) -> None:
+        self.spec = spec
+        self.layer_specs = layer_specs
+        self.iact_relu = iact_relu
+        self.records: list[EpochRecord] = []
+        self._consumed: dict[str, int] = {}
+        self._iterations_seen = 0
+
+    def _epoch_iact(self, trainer: Trainer) -> dict[str, float]:
+        """Mean ReLU density over *this* epoch, mapped to layer inputs."""
+        epoch_means: dict[str, float] = {}
+        for relu, values in trainer.activation_densities.items():
+            start = self._consumed.get(relu, 0)
+            fresh = values[start:]
+            if fresh:
+                epoch_means[relu] = float(np.mean(fresh))
+            self._consumed[relu] = len(values)
+        return {
+            layer: epoch_means.get(relu, 1.0) if relu else 1.0
+            for layer, relu in self.iact_relu.items()
+        }
+
+    def __call__(self, trainer: Trainer, epoch: int) -> None:
+        optimizer = trainer.optimizer
+        if isinstance(optimizer, DropbackOptimizer):
+            masks = {
+                name.removesuffix(".weight"): mask
+                for name, mask in optimizer.masks().items()
+            }
+            achieved = float(optimizer.achieved_sparsity_factor())
+        else:
+            masks = {}  # dense baseline: every layer at density 1
+            achieved = 1.0
+        profile = profile_from_masks(
+            self.spec.model,
+            self.layer_specs,
+            masks,
+            iact_densities=self._epoch_iact(trainer),
+        )
+        history = trainer.history
+        iterations = history.iterations - self._iterations_seen
+        self._iterations_seen = history.iterations
+        self.records.append(
+            EpochRecord(
+                epoch=epoch,
+                iterations=iterations,
+                train_loss=float(history.train_loss[-1]),
+                train_accuracy=float(history.train_accuracy[-1]),
+                val_accuracy=float(history.val_accuracy[-1]),
+                achieved_sparsity=achieved,
+                layers=tuple(
+                    LayerDensityRecord(
+                        name=ls.layer.name,
+                        weight_density=ls.weight_density,
+                        out_channel_density=ls.out_channel_density,
+                        in_channel_density=ls.in_channel_density,
+                        iact_density=ls.iact_density,
+                    )
+                    for ls in profile.layers
+                ),
+            )
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: TrajectoryStore | None = None,
+    force: bool = False,
+) -> CampaignResult:
+    """Train per ``spec`` (or load) and return the recorded trajectory.
+
+    With a ``store``, the campaign key is checked first and the fresh
+    trajectory is persisted after training; ``force=True`` retrains
+    even on a hit (and overwrites the stored record).  Training is
+    fully seeded — model init, dataset, minibatch order, and sampling
+    all derive from the spec — so two runs of one spec produce
+    identical trajectories, which is what makes the store sound.
+    """
+    if store is not None and not force:
+        cached = store.get(spec)
+        if cached is not None:
+            return CampaignResult(spec=spec, trajectory=cached, cached=True)
+    train, val = make_blob_images(
+        n_classes=spec.n_classes,
+        samples_per_class=spec.samples_per_class,
+        size=spec.image_size,
+        seed=spec.data_seed,
+    )
+    try:
+        builder = MINI_MODELS[spec.model]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {spec.model!r}; choose from {sorted(MINI_MODELS)}"
+        ) from None
+    kwargs: dict[str, Any] = {"n_classes": train.n_classes, "seed": spec.seed}
+    if "image_size" in inspect.signature(builder).parameters:
+        # Only the fixed-head builders (VGG's Flatten->Linear) need the
+        # spatial extent; the pooled-head minis are size-agnostic.
+        kwargs["image_size"] = spec.image_size
+    model = builder(**kwargs)
+    layer_specs, iact_relu = observe_network(model, train.images[:1])
+    optimizer = build_optimizer(model, spec)
+    recorder = _EpochRecorder(spec, layer_specs, iact_relu)
+    trainer = Trainer(
+        model,
+        optimizer,
+        train,
+        val,
+        batch_size=spec.batch_size,
+        seed=spec.seed,
+        on_epoch_end=recorder,
+    )
+    trainer.run(spec.epochs)
+    trajectory = Trajectory(
+        name=f"{spec.model}/{spec.mode}",
+        model=spec.model,
+        mode=spec.mode,
+        specs=tuple(layer_specs),
+        records=tuple(recorder.records),
+        key=spec.key(),
+    )
+    if store is not None:
+        store.put(spec, trajectory)
+    return CampaignResult(spec=spec, trajectory=trajectory, cached=False)

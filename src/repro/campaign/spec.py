@@ -1,0 +1,157 @@
+"""Campaign specifications: one training recipe, fully reproducible.
+
+A :class:`CampaignSpec` pins everything that determines a DropBack
+training run on the mini model zoo — model, optimizer mode, schedule
+constants, dataset recipe, and seed — the same way a
+:class:`~repro.sweep.spec.SweepSpec` pins a grid: the spec alone
+rebuilds the run bit for bit.  Its canonical-JSON key material (the
+exact mechanism the sweep cache uses) addresses the campaign's
+recorded trajectory in the :class:`~repro.campaign.trajectory.TrajectoryStore`,
+so re-running a campaign with an identical spec is a cache hit, and
+campaigns are shareable across sweep points and explorer candidates
+that embed the same recipe.
+
+``CampaignSpec.sweep_spec`` bridges to the sweep engine: it builds a
+grid :class:`SweepSpec` over campaign axes (seeds, schedules, models)
+whose points evaluate through the registered ``campaign`` evaluator,
+so ``repro.sweep`` fans whole training campaigns out exactly like any
+other experiment family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from repro.sweep.cache import cache_key
+from repro.sweep.spec import SweepSpec, canonical_json
+
+__all__ = ["CAMPAIGN_VERSION", "CampaignSpec"]
+
+#: Version tag folded into every trajectory key; bump when the
+#: recording schema or the training semantics change incompatibly.
+CAMPAIGN_VERSION = "campaign-v1"
+
+#: Optimizer modes a campaign accepts (mirrors ``train_mini``).
+MODES = ("sgd", "dropback", "dropback-decay", "procrustes")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines one mini training campaign.
+
+    Parameters mirror :func:`repro.harness.training_experiments.train_mini`
+    plus the synthetic-dataset recipe (``n_classes`` /
+    ``samples_per_class`` / ``image_size`` / ``data_seed``), so the
+    dataset is part of the key: change the data, get a new trajectory.
+    """
+
+    model: str = "vgg-s"
+    mode: str = "procrustes"
+    epochs: int = 6
+    sparsity_factor: float = 5.0
+    lr: float = 0.08
+    init_decay: float = 0.9
+    decay_zero_after: int = 60
+    batch_size: int = 16
+    seed: int = 0
+    n_classes: int = 6
+    samples_per_class: int = 60
+    image_size: int = 16
+    data_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES} (got {self.mode!r})"
+            )
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1 (got {self.epochs})")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1 (got {self.batch_size})"
+            )
+        if self.image_size < 8:
+            raise ValueError(
+                f"image_size must be >= 8 (got {self.image_size}); the "
+                "mini models pool spatial dims three times"
+            )
+        if self.sparsity_factor <= 1.0:
+            raise ValueError(
+                f"sparsity_factor must exceed 1 (got {self.sparsity_factor})"
+            )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def params(self) -> dict[str, Any]:
+        """The spec as a flat JSON-able parameter mapping."""
+        return asdict(self)
+
+    def key_material(self) -> dict[str, Any]:
+        """Everything that addresses this campaign's trajectory."""
+        return {"campaign": CAMPAIGN_VERSION, "params": self.params()}
+
+    def key(self) -> str:
+        """Content digest of the campaign (SHA-256 hex)."""
+        return cache_key(self.key_material())
+
+    def canonical(self) -> str:
+        """Canonical JSON of the key material (stable across runs)."""
+        return canonical_json(self.key_material())
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "CampaignSpec":
+        """The seconds-long seeded mini campaign CI exercises nightly."""
+        return cls(
+            model="vgg-s",
+            mode="procrustes",
+            epochs=3,
+            sparsity_factor=5.0,
+            batch_size=8,
+            seed=seed,
+            n_classes=4,
+            samples_per_class=24,
+            image_size=8,
+            decay_zero_after=12,
+        )
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`params` output (e.g. sweep points)."""
+        return cls(**dict(params))
+
+    def with_(self, **overrides: Any) -> "CampaignSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def sweep_spec(
+        self,
+        name: str,
+        axes: Mapping[str, Sequence[Any]],
+        fixed: Mapping[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> SweepSpec:
+        """A grid :class:`SweepSpec` fanning this campaign out.
+
+        Every field of this spec not named as an axis rides along as a
+        fixed parameter; ``axes`` vary seeds, schedules, models —
+        anything the ``campaign`` evaluator accepts.  Extra ``fixed``
+        entries (e.g. a replay ``mapping``) are merged on top.
+        """
+        base = self.params()
+        for axis in axes:
+            base.pop(axis, None)
+        base.pop("seed", None)  # the sweep point's seed drives training
+        base.update(fixed or {})
+        return SweepSpec.grid(
+            name,
+            "campaign",
+            dict(axes),
+            fixed=base,
+            base_seed=kwargs.pop("base_seed", self.seed),
+            **kwargs,
+        )

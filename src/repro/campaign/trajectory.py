@@ -1,0 +1,327 @@
+"""Measured density trajectories and their content-addressed store.
+
+A :class:`Trajectory` is what a training campaign actually measured:
+for every epoch, each layer's surviving-weight density, its per-channel
+density spread (what drives load imbalance), and the post-ReLU
+input-activation density the weight-update phase exploits — plus the
+accuracy/sparsity curves the paper's Figures 15/16 plot.  Each epoch
+converts back into a :class:`~repro.workloads.sparsity.NetworkSparsity`
+profile, so the whole hardware-model stack (``evalcore``, ``simulate``,
+sweeps, the explorer) can replay training-time sparsity exactly as it
+evolved instead of assuming a static analytic array.
+
+The :class:`TrajectoryStore` persists trajectories under the sweep
+engine's content-addressed :class:`~repro.sweep.cache.ResultCache`,
+keyed by the producing :class:`~repro.campaign.spec.CampaignSpec`'s
+key material.  Identical specs — across processes, sweep points, or
+explorer candidates that embed the same training recipe — therefore
+share one stored training run; re-running a campaign is a cache hit,
+not a re-train.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Mapping, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sweep.cache import CacheStats, ResultCache
+from repro.workloads.layer_spec import LayerSpec
+from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports sweep)
+    from repro.campaign.spec import CampaignSpec
+
+__all__ = [
+    "EpochRecord",
+    "LayerDensityRecord",
+    "Trajectory",
+    "TrajectoryStore",
+]
+
+#: Floor applied to stored densities so replayed profiles satisfy the
+#: ``LayerSparsity`` validity range even when a layer pruned to nothing.
+MIN_DENSITY = 1e-4
+
+
+@dataclass(frozen=True)
+class LayerDensityRecord:
+    """One layer's measured densities at one epoch boundary."""
+
+    name: str
+    weight_density: float
+    out_channel_density: np.ndarray
+    in_channel_density: np.ndarray
+    iact_density: float
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything measured at the end of one training epoch."""
+
+    epoch: int  # 1-based, matching TrainingHistory
+    iterations: int  # optimizer steps taken within this epoch
+    train_loss: float
+    train_accuracy: float
+    val_accuracy: float
+    achieved_sparsity: float
+    layers: tuple[LayerDensityRecord, ...]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A whole campaign's per-epoch density records.
+
+    ``specs`` are the trained network's layer geometries (derived from
+    the live model, not hand-written), aligned by name with every
+    epoch's ``layers``; ``key`` is the producing campaign's content
+    digest (empty for hand-built trajectories).
+    """
+
+    name: str
+    model: str
+    mode: str
+    specs: tuple[LayerSpec, ...]
+    records: tuple[EpochRecord, ...]
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError(f"trajectory {self.name!r} has no epochs")
+        spec_names = [s.name for s in self.specs]
+        for record in self.records:
+            names = [layer.name for layer in record.layers]
+            if names != spec_names:
+                raise ValueError(
+                    f"epoch {record.epoch}: layer records {names} do not "
+                    f"match specs {spec_names}"
+                )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.records)
+
+    def val_accuracy_curve(self) -> list[float]:
+        return [r.val_accuracy for r in self.records]
+
+    def sparsity_curve(self) -> list[float]:
+        return [r.achieved_sparsity for r in self.records]
+
+    def density_curve(self) -> list[float]:
+        """Network-level surviving-weight density per epoch."""
+        weights = np.array([s.weight_count for s in self.specs], dtype=float)
+        out = []
+        for record in self.records:
+            densities = np.array(
+                [layer.weight_density for layer in record.layers]
+            )
+            out.append(float((weights * densities).sum() / weights.sum()))
+        return out
+
+    def profile(self, epoch: int) -> NetworkSparsity:
+        """Epoch ``epoch`` (0-based index) as a sparsity profile."""
+        record = self.records[epoch]
+        layers = tuple(
+            LayerSparsity(
+                layer=spec,
+                weight_density=max(layer.weight_density, MIN_DENSITY),
+                out_channel_density=np.clip(
+                    np.asarray(layer.out_channel_density, dtype=float),
+                    MIN_DENSITY,
+                    1.0,
+                ),
+                in_channel_density=np.clip(
+                    np.asarray(layer.in_channel_density, dtype=float),
+                    MIN_DENSITY,
+                    1.0,
+                ),
+                iact_density=max(layer.iact_density, MIN_DENSITY),
+            )
+            for spec, layer in zip(self.specs, record.layers)
+        )
+        return NetworkSparsity(
+            name=f"{self.name}@{record.epoch}", layers=layers
+        )
+
+    def final_profile(self) -> NetworkSparsity:
+        return self.profile(self.n_epochs - 1)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(
+        cls,
+        profile: NetworkSparsity,
+        epochs: int,
+        iterations_per_epoch: int,
+        mode: str = "analytic",
+    ) -> "Trajectory":
+        """A flat trajectory holding one profile at every epoch.
+
+        This is the bridge back to the analytic world: replaying a
+        constant trajectory built from an analytic profile must
+        reproduce the static ``simulate()`` numbers bit for bit (the
+        parity tests pin this), because the profile arrays pass through
+        unchanged into the same evaluation core.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1 (got {epochs})")
+        layers = tuple(
+            LayerDensityRecord(
+                name=ls.layer.name,
+                weight_density=ls.weight_density,
+                out_channel_density=ls.out_channel_density,
+                in_channel_density=ls.in_channel_density,
+                iact_density=ls.iact_density,
+            )
+            for ls in profile.layers
+        )
+        records = tuple(
+            EpochRecord(
+                epoch=e + 1,
+                iterations=iterations_per_epoch,
+                train_loss=0.0,
+                train_accuracy=0.0,
+                val_accuracy=0.0,
+                achieved_sparsity=profile.sparsity_factor(),
+                layers=layers,
+            )
+            for e in range(epochs)
+        )
+        return cls(
+            name=profile.name,
+            model=profile.name,
+            mode=mode,
+            specs=tuple(ls.layer for ls in profile.layers),
+            records=records,
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization — plain JSON, exact float round-trip
+    # ------------------------------------------------------------------
+    def to_values(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "mode": self.mode,
+            "key": self.key,
+            "specs": [asdict(s) for s in self.specs],
+            "records": [
+                {
+                    "epoch": r.epoch,
+                    "iterations": r.iterations,
+                    "train_loss": r.train_loss,
+                    "train_accuracy": r.train_accuracy,
+                    "val_accuracy": r.val_accuracy,
+                    "achieved_sparsity": r.achieved_sparsity,
+                    "layers": [
+                        {
+                            "name": layer.name,
+                            "weight_density": layer.weight_density,
+                            "out_channel_density": np.asarray(
+                                layer.out_channel_density
+                            ).tolist(),
+                            "in_channel_density": np.asarray(
+                                layer.in_channel_density
+                            ).tolist(),
+                            "iact_density": layer.iact_density,
+                        }
+                        for layer in r.layers
+                    ],
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_values(cls, values: Mapping[str, Any]) -> "Trajectory":
+        specs = tuple(LayerSpec(**s) for s in values["specs"])
+        records = tuple(
+            EpochRecord(
+                epoch=int(r["epoch"]),
+                iterations=int(r["iterations"]),
+                train_loss=float(r["train_loss"]),
+                train_accuracy=float(r["train_accuracy"]),
+                val_accuracy=float(r["val_accuracy"]),
+                achieved_sparsity=float(r["achieved_sparsity"]),
+                layers=tuple(
+                    LayerDensityRecord(
+                        name=layer["name"],
+                        weight_density=float(layer["weight_density"]),
+                        out_channel_density=np.asarray(
+                            layer["out_channel_density"], dtype=float
+                        ),
+                        in_channel_density=np.asarray(
+                            layer["in_channel_density"], dtype=float
+                        ),
+                        iact_density=float(layer["iact_density"]),
+                    )
+                    for layer in r["layers"]
+                ),
+            )
+            for r in values["records"]
+        )
+        return cls(
+            name=str(values["name"]),
+            model=str(values["model"]),
+            mode=str(values["mode"]),
+            specs=specs,
+            records=records,
+            key=str(values.get("key", "")),
+        )
+
+
+class TrajectoryStore:
+    """Content-addressed trajectory persistence (sweep-cache backed).
+
+    Keys are :meth:`CampaignSpec.key_material` — the same canonical-JSON
+    + SHA-256 scheme every sweep point uses — so a store directory is
+    self-describing, shareable between processes, and safe to grow
+    incrementally (atomic writes come from :class:`ResultCache`).
+    """
+
+    #: Environment knob: directory for the process-default store.
+    ENV_VAR = "REPRO_CAMPAIGN_CACHE_DIR"
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self._cache = ResultCache(root)
+
+    @property
+    def root(self) -> Path:
+        return self._cache.root
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def get(self, spec: "CampaignSpec") -> Trajectory | None:
+        record = self._cache.get(spec.key_material())
+        if record is None:
+            return None
+        return Trajectory.from_values(record["values"])
+
+    def put(self, spec: "CampaignSpec", trajectory: Trajectory) -> Path:
+        return self._cache.put(spec.key_material(), trajectory.to_values())
+
+    def __contains__(self, spec: "CampaignSpec") -> bool:
+        return spec.key_material() in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @classmethod
+    def from_env(cls) -> "TrajectoryStore | None":
+        """The store named by ``REPRO_CAMPAIGN_CACHE_DIR``, if set."""
+        root = os.environ.get(cls.ENV_VAR)
+        return cls(root) if root else None

@@ -11,14 +11,6 @@ from repro.core.baselines import (
 )
 from repro.core.decay import InitialWeightDecay
 from repro.core.dropback import DropbackConfig, DropbackOptimizer
-from repro.core.schedules import (
-    PAPER_SCHEDULES,
-    ConstantSparsity,
-    SparseFromScratch,
-    SparsitySchedule,
-    StepwisePruning,
-    paper_schedule,
-)
 from repro.core.quantile import (
     DumiqueEstimator,
     ParallelQuantileEstimator,
@@ -29,6 +21,14 @@ from repro.core.quantile_variants import (
     P2Estimator,
     SetPointThreshold,
     estimator_hardware_cost,
+)
+from repro.core.schedules import (
+    ConstantSparsity,
+    PAPER_SCHEDULES,
+    SparseFromScratch,
+    SparsitySchedule,
+    StepwisePruning,
+    paper_schedule,
 )
 from repro.core.tracking import ThresholdTracker, select_topk, topk_threshold
 

@@ -48,6 +48,7 @@ from repro.explore.explorer import (
     Evaluation,
     ExploreResult,
     Explorer,
+    TRAJECTORY_OBJECTIVES,
     explore,
 )
 from repro.explore.pareto import (
@@ -77,6 +78,7 @@ from repro.explore.strategies import (
 
 __all__ = [
     "DEFAULT_OBJECTIVES",
+    "TRAJECTORY_OBJECTIVES",
     "Dimension",
     "Evaluation",
     "ExploreResult",

@@ -34,14 +34,21 @@ from repro.sweep.spec import SweepSpec
 
 __all__ = [
     "DEFAULT_OBJECTIVES",
+    "TRAJECTORY_OBJECTIVES",
     "Evaluation",
     "ExploreResult",
     "Explorer",
     "explore",
 ]
 
-#: Default objective vector: the three axes the paper trades off.
+#: Default objective vector: the three axes the paper trades off
+#: (per-iteration latency/energy from the static analytic profile).
 DEFAULT_OBJECTIVES = ("total_cycles", "total_j", "area_mm2")
+
+#: Training-in-the-loop objective vector: whole-run latency/energy from
+#: replaying a measured campaign trajectory (the ``trajectory-point``
+#: evaluator) instead of a single static iteration.
+TRAJECTORY_OBJECTIVES = ("run_cycles", "run_j", "area_mm2")
 
 
 @dataclass(frozen=True)

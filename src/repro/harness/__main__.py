@@ -8,11 +8,21 @@ Usage::
     python -m repro.harness tables     # Tables II (stats) and III
     python -m repro.harness beyond     # beyond-the-paper analyses
     python -m repro.harness export [dir]  # persist results as JSON/CSV
-    python -m repro.harness explore [budget] [cache_dir] [strategy]
+    python -m repro.harness explore [budget] [strategy]
                                        # Pareto design-space search
+                                       # (--objective iteration|trajectory)
     python -m repro.harness profile [networks] [mappings]
                                        # time simulate() per stage
                                        # (comma-separated lists)
+    python -m repro.harness campaign [--smoke] [--model M] [--epochs E]
+                                       # train → trajectory → replay
+
+Every subcommand that touches an on-disk cache accepts one
+``--cache-dir DIR`` flag: ``explore`` roots its sweep results,
+evaluation-core sets, and campaign trajectories there; ``profile``
+uses it as the evaluation core's disk tier; ``campaign`` stores
+trajectories under it.  The equivalent ``REPRO_*`` environment knobs
+are documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -121,40 +131,88 @@ def run_beyond() -> None:
     print(format_eager_comparison(*run_eager_comparison()))
 
 
-def run_explore_cli(
-    budget: str = "120",
-    cache_dir: str = "results/explore-cache",
-    strategy: str = "greedy",
-) -> None:
+def _take_flag(
+    args: list[str], flag: str, default: str | None = None
+) -> tuple[list[str], str | None]:
+    """Pop one ``--flag value`` pair from an argument list.
+
+    Returns the remaining arguments and the flag's value (or
+    ``default``).  This is the shared plumbing that gives ``explore``,
+    ``profile``, and ``campaign`` one consistent ``--cache-dir``.
+    """
+    args = list(args)
+    if flag not in args:
+        return args, default
+    index = args.index(flag)
+    try:
+        value = args[index + 1]
+    except IndexError:
+        raise ValueError(f"flag {flag} needs a value") from None
+    del args[index : index + 2]
+    return args, value
+
+
+def _reject_unknown_flags(args: list[str], subcommand: str) -> None:
+    """Fail clearly on a mistyped flag instead of misreading it as a
+    positional argument."""
+    for token in args:
+        if token.startswith("--"):
+            raise ValueError(
+                f"unknown {subcommand} flag {token!r}"
+            )
+
+
+def run_explore_cli(*args: str) -> None:
     from repro.harness.explore_experiments import (
         format_frontier,
         run_explore,
     )
 
+    rest, cache_dir = _take_flag(
+        list(args), "--cache-dir", "results/explore-cache"
+    )
+    rest, objective = _take_flag(rest, "--objective", "iteration")
+    _reject_unknown_flags(rest, "explore")
+    budget = rest[0] if len(rest) > 0 else "120"
+    strategy = rest[1] if len(rest) > 1 else "greedy"
     _banner(
-        f"Design-space exploration — strategy={strategy}, "
-        f"budget={budget}, cache={cache_dir}"
+        f"Design-space exploration — objective={objective}, "
+        f"strategy={strategy}, budget={budget}, cache={cache_dir}"
     )
     result = run_explore(
-        budget=int(budget), strategy=strategy, cache_dir=cache_dir
+        budget=int(budget),
+        strategy=strategy,
+        cache_dir=cache_dir,
+        objective=objective,
     )
     print(format_frontier(result))
 
 
-def run_profile_cli(
-    networks: str = "vgg-s", mappings: str = "KN,CN,CK,PQ"
-) -> None:
+def run_profile_cli(*args: str) -> None:
     from repro.harness.profile_cmd import format_profile, run_profile
 
+    rest, cache_dir = _take_flag(list(args), "--cache-dir")
+    _reject_unknown_flags(rest, "profile")
+    networks = rest[0] if len(rest) > 0 else "vgg-s"
+    mappings = rest[1] if len(rest) > 1 else "KN,CN,CK,PQ"
     _banner(
         f"simulate() per-stage timing — networks={networks}, "
         f"mappings={mappings}"
+        + (f", cache={cache_dir}" if cache_dir else "")
     )
     rows = run_profile(
         networks=tuple(networks.split(",")),
         mappings=tuple(mappings.split(",")),
+        cache_dir=cache_dir,
     )
     print(format_profile(rows))
+
+
+def run_campaign_subcommand(*args: str) -> None:
+    from repro.harness.campaign_cmd import run_campaign_cli
+
+    _banner("Training campaign — measured trajectory → replay → report")
+    run_campaign_cli(list(args))
 
 
 def run_export(root: str = "results") -> None:
@@ -174,7 +232,7 @@ def main(argv: list[str]) -> int:
         return 0
     if what == "explore":
         try:
-            run_explore_cli(*argv[2:5])
+            run_explore_cli(*argv[2:])
         except (KeyError, ValueError) as error:
             print(f"explore: {error}")
             return 2
@@ -182,9 +240,17 @@ def main(argv: list[str]) -> int:
         return 0
     if what == "profile":
         try:
-            run_profile_cli(*argv[2:4])
+            run_profile_cli(*argv[2:])
         except (KeyError, ValueError) as error:
             print(f"profile: {error}")
+            return 2
+        print(f"\ndone in {time.time() - start:.1f}s")
+        return 0
+    if what == "campaign":
+        try:
+            run_campaign_subcommand(*argv[2:])
+        except (KeyError, ValueError) as error:
+            print(f"campaign: {error}")
             return 2
         print(f"\ndone in {time.time() - start:.1f}s")
         return 0
@@ -196,7 +262,9 @@ def main(argv: list[str]) -> int:
         "all": (run_tables, run_arch, run_beyond, run_training),
     }
     if what not in runners:
-        choices = sorted([*runners, "explore", "export", "profile"])
+        choices = sorted(
+            [*runners, "campaign", "explore", "export", "profile"]
+        )
         print(f"unknown selection {what!r}; choose from {choices}")
         return 2
     for runner in runners[what]:

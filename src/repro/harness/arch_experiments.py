@@ -22,7 +22,7 @@ from repro.harness.common import (
     render_table,
     sparse_profile_for,
 )
-from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16, ArchConfig
+from repro.hw.config import ArchConfig, BASELINE_16x16, PROCRUSTES_16x16
 from repro.sweep import ResultCache, SweepSpec, run_sweep
 from repro.workloads.phases import PHASES
 

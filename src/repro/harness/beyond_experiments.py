@@ -23,7 +23,7 @@ from repro.core.schedules import PAPER_SCHEDULES
 from repro.dataflow.eager_accel import EagerPruningAccelerator, sorting_cycles
 from repro.harness.common import render_table
 from repro.hw.config import PROCRUSTES_16x16
-from repro.hw.cyclesim import IDEAL_FABRIC, CycleLevelSimulator
+from repro.hw.cyclesim import CycleLevelSimulator, IDEAL_FABRIC
 from repro.hw.memory import training_footprint, weight_footprint
 from repro.models.zoo import get_specs
 from repro.sparse.rivals import access_costs

@@ -1,0 +1,177 @@
+"""``python -m repro.harness campaign`` — train, record, replay, report.
+
+The command-line face of :mod:`repro.campaign`: run (or load) one
+training campaign, replay its measured density trajectory through the
+accelerator model, print the per-epoch latency/energy/accuracy view,
+and export the trajectory artifact through :mod:`repro.report`.
+
+The exported record is **deterministic** — it contains no wall-clock
+or host-dependent fields — and the command prints its SHA-256, so two
+runs of the same spec must print the same hash.  The nightly CI
+workflow runs ``campaign --smoke`` twice and diffs exactly that line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    ReplayResult,
+    TrajectoryStore,
+    replay_trajectory,
+    run_campaign,
+)
+from repro.harness.common import render_table
+from repro.report.ascii_plot import line_plot
+from repro.report.export import ResultsDirectory
+from repro.sweep.spec import canonical_json
+
+__all__ = ["format_replay", "parse_campaign_args", "run_campaign_cli"]
+
+
+def parse_campaign_args(args: list[str]) -> dict:
+    """Parse the subcommand's ``--flag value`` (and ``--smoke``) args.
+
+    ``options["given"]`` records which flags were explicitly passed, so
+    :func:`build_spec` can apply them as overrides on top of the smoke
+    recipe instead of silently discarding them.
+    """
+    options: dict = {
+        "smoke": False,
+        "model": "vgg-s",
+        "mode": "procrustes",
+        "epochs": 6,
+        "sparsity_factor": 5.0,
+        "seed": 0,
+        "mapping": "KN",
+        "cache_dir": None,
+        "out": "results",
+        "given": set(),
+    }
+    it = iter(args)
+    for token in it:
+        if token == "--smoke":
+            options["smoke"] = True
+            continue
+        if not token.startswith("--"):
+            raise ValueError(f"unexpected argument {token!r}")
+        name = token[2:].replace("-", "_")
+        if name == "given" or name not in options:
+            raise ValueError(f"unknown flag {token!r}")
+        try:
+            raw = next(it)
+        except StopIteration:
+            raise ValueError(f"flag {token!r} needs a value") from None
+        current = options[name]
+        options[name] = (
+            type(current)(raw) if current is not None else raw
+        )
+        options["given"].add(name)
+    return options
+
+
+def build_spec(options: dict) -> CampaignSpec:
+    if options["smoke"]:
+        spec = CampaignSpec.smoke(seed=int(options["seed"]))
+        # Explicit campaign flags override the smoke recipe rather
+        # than being silently dropped.
+        overrides = {
+            name: options[name]
+            for name in ("model", "mode", "epochs", "sparsity_factor")
+            if name in options["given"]
+        }
+        return spec.with_(**overrides) if overrides else spec
+    return CampaignSpec(
+        model=options["model"],
+        mode=options["mode"],
+        epochs=int(options["epochs"]),
+        sparsity_factor=float(options["sparsity_factor"]),
+        seed=int(options["seed"]),
+    )
+
+
+def format_replay(replay: ReplayResult, spec: CampaignSpec) -> str:
+    """The per-epoch table plus curves (what the subcommand prints)."""
+    curves = replay.curves()
+    headers = [
+        "epoch",
+        "iterations",
+        "cycles/iter",
+        "J/iter",
+        "epoch cycles",
+        "epoch J",
+        "val acc",
+        "sparsity x",
+    ]
+    rows = [
+        [
+            cost.epoch,
+            cost.iterations,
+            cost.cycles_per_iteration,
+            cost.energy_j_per_iteration,
+            cost.cycles,
+            cost.energy_j,
+            cost.val_accuracy,
+            cost.achieved_sparsity,
+        ]
+        for cost in replay.epochs
+    ]
+    parts = [
+        f"campaign {spec.model}/{spec.mode}: {spec.epochs} epochs, "
+        f"target sparsity {spec.sparsity_factor:g}x, seed {spec.seed}",
+        f"replayed on {replay.arch} / {replay.mapping}, n={replay.n}",
+        "",
+        render_table(headers, rows),
+    ]
+    if len(replay.epochs) >= 3:
+        parts.append(
+            line_plot(
+                {"cycles/iteration": curves["cycles_per_iteration"]},
+                title="per-iteration latency along the training trajectory",
+            )
+        )
+        parts.append(
+            line_plot(
+                {"val accuracy": curves["val_accuracy"]},
+                title="validation accuracy over epochs",
+            )
+        )
+    parts.append(
+        f"whole run: {replay.run_cycles:.6g} cycles, "
+        f"{replay.run_energy_j:.6g} J over "
+        f"{replay.total_iterations} iterations"
+    )
+    return "\n".join(parts)
+
+
+def run_campaign_cli(args: list[str]) -> str:
+    """Execute the subcommand; returns the deterministic artifact hash."""
+    options = parse_campaign_args(args)
+    spec = build_spec(options)
+    if options["cache_dir"]:
+        store = TrajectoryStore(Path(options["cache_dir"]) / "campaign")
+    else:
+        # Honor the documented REPRO_CAMPAIGN_CACHE_DIR knob, exactly
+        # like the sweep evaluators and trajectory_source_for do.
+        store = TrajectoryStore.from_env()
+    result = run_campaign(spec, store=store)
+    origin = "trajectory store (cache hit)" if result.cached else "training"
+    print(f"campaign key {spec.key()[:16]}… from {origin}")
+    replay = replay_trajectory(
+        result.trajectory,
+        mapping=options["mapping"],
+        n=spec.batch_size,
+        sparse=spec.mode != "sgd",
+        seed=spec.seed,
+    )
+    print(format_replay(replay, spec))
+    record = replay.to_record()
+    digest = hashlib.sha256(canonical_json(record).encode()).hexdigest()
+    results = ResultsDirectory(options["out"])
+    replay.save(results)
+    artifact = results.path_for(record["experiment"], "record.json")
+    print(f"\nwrote {artifact}")
+    print(f"artifact sha256: {digest}")
+    return digest

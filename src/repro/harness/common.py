@@ -1,9 +1,11 @@
 """Shared helpers for the experiment harness.
 
 Every experiment driver in :mod:`repro.harness` builds on the same
-canonical inputs: the calibrated sparsity profile of each registry
-network (Table II-matched weight sparsity *and* MAC reduction) and a
-plain-text table renderer for printing paper-style rows.
+canonical inputs: a :class:`~repro.workloads.density.DensitySource`
+per registry network — analytic by default (the calibrated profile
+matching Table II's weight sparsity *and* MAC reduction), measured
+when a campaign trajectory is supplied — and a plain-text table
+renderer for printing paper-style rows.
 """
 
 from __future__ import annotations
@@ -12,15 +14,18 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.models.zoo import PAPER_MODELS, ModelEntry
-from repro.workloads.sparsity import (
-    NetworkSparsity,
-    dense_profile,
-    synthetic_profile,
+from repro.models.zoo import ModelEntry, PAPER_MODELS
+from repro.workloads.density import (
+    AnalyticDensitySource,
+    DenseDensitySource,
+    DensitySource,
 )
+from repro.workloads.sparsity import NetworkSparsity
 
 __all__ = [
     "model_entry",
+    "analytic_source_for",
+    "density_source_for",
     "sparse_profile_for",
     "dense_profile_for",
     "render_table",
@@ -41,10 +46,10 @@ def model_entry(name: str) -> ModelEntry:
         ) from None
 
 
-def sparse_profile_for(
+def analytic_source_for(
     name: str, seed: int = 1, sparsity_factor: float | None = None
-) -> NetworkSparsity:
-    """The canonical calibrated sparse profile for a registry network.
+) -> AnalyticDensitySource:
+    """The calibrated analytic density source for a registry network.
 
     Matches both published Table II numbers: the weight sparsity factor
     and the MAC reduction (via the fitted allocation exponent).  An
@@ -59,7 +64,7 @@ def sparse_profile_for(
         # Keep the same allocation shape, scaled to the new factor.
         target_mac_ratio *= factor / t2.sparsity_factor
         target_mac_ratio = max(target_mac_ratio, 1.05)
-    return synthetic_profile(
+    return AnalyticDensitySource(
         name,
         entry.specs(),
         factor,
@@ -69,9 +74,54 @@ def sparse_profile_for(
     )
 
 
+def density_source_for(
+    name: str,
+    source: str = "analytic",
+    seed: int = 1,
+    sparsity_factor: float | None = None,
+    campaign_spec=None,
+) -> DensitySource:
+    """One density source per experiment condition, measured or not.
+
+    ``source`` selects the fidelity: ``"analytic"`` (the calibrated
+    fallback every pre-campaign experiment used), ``"dense"`` (the
+    unpruned baseline), or ``"trajectory"`` — a measured campaign
+    trajectory, trained (or loaded from ``REPRO_CAMPAIGN_CACHE_DIR``)
+    for ``campaign_spec`` (default: the ``name`` mini model under the
+    standard recipe).  All three satisfy the same
+    :class:`~repro.workloads.density.DensitySource` protocol.
+    """
+    if source == "analytic":
+        return analytic_source_for(
+            name, seed=seed, sparsity_factor=sparsity_factor
+        )
+    if source == "dense":
+        entry = model_entry(name)
+        return DenseDensitySource(name, entry.specs())
+    if source == "trajectory":
+        from repro.campaign import CampaignSpec, trajectory_source_for
+
+        spec = campaign_spec or CampaignSpec(model=name, seed=seed)
+        if sparsity_factor is not None:
+            spec = spec.with_(sparsity_factor=sparsity_factor)
+        return trajectory_source_for(spec)
+    raise KeyError(
+        f"unknown density source {source!r}; "
+        "choose from ['analytic', 'dense', 'trajectory']"
+    )
+
+
+def sparse_profile_for(
+    name: str, seed: int = 1, sparsity_factor: float | None = None
+) -> NetworkSparsity:
+    """The canonical calibrated sparse profile (analytic source)."""
+    return analytic_source_for(
+        name, seed=seed, sparsity_factor=sparsity_factor
+    ).profile()
+
+
 def dense_profile_for(name: str) -> NetworkSparsity:
-    entry = model_entry(name)
-    return dense_profile(name, entry.specs())
+    return density_source_for(name, source="dense").profile()
 
 
 def render_table(

@@ -9,6 +9,14 @@ The output is the latency/energy/area Pareto frontier — the automated
 version of the paper's "energy barely moves, so pick the fastest
 feasible mapping" argument, now with the architecture knobs in play.
 
+Two objectives are available.  The default ``iteration`` objective
+evaluates one static analytic iteration per candidate
+(``design-point``); the ``trajectory`` objective replays a *measured*
+training campaign (``trajectory-point``), optimizing whole-run
+latency/energy — the training is shared across all candidates through
+the trajectory store, so the search trains once and replays many
+times.
+
 Evaluations run through the sweep cache, so a second invocation
 against the same cache directory replays from disk in a fraction of
 the cold time.
@@ -20,10 +28,12 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.explore import (
-    Explorer,
+    DEFAULT_OBJECTIVES,
     ExploreResult,
+    Explorer,
     GreedyRefineStrategy,
     SearchSpace,
+    TRAJECTORY_OBJECTIVES,
     fabric_fraction_limit,
     make_strategy,
     mask_residency_limit,
@@ -33,7 +43,18 @@ from repro.harness.common import render_table
 from repro.report.ascii_plot import scatter_plot
 from repro.sweep.cache import ResultCache
 
-__all__ = ["default_space", "format_frontier", "run_explore"]
+__all__ = [
+    "default_space",
+    "format_frontier",
+    "run_explore",
+    "trajectory_space",
+]
+
+#: objective name -> (sweep evaluator, objective keys)
+OBJECTIVES = {
+    "iteration": ("design-point", DEFAULT_OBJECTIVES),
+    "trajectory": ("trajectory-point", TRAJECTORY_OBJECTIVES),
+}
 
 
 def default_space(network: str = "vgg-s") -> SearchSpace:
@@ -55,6 +76,38 @@ def default_space(network: str = "vgg-s") -> SearchSpace:
     )
 
 
+def trajectory_space(
+    model: str = "vgg-s", epochs: int = 4, seed: int = 1
+) -> SearchSpace:
+    """The hardware space searched under a measured trajectory.
+
+    Same hardware knobs and constraints as :func:`default_space`, but
+    every candidate embeds one fixed training recipe (a small campaign
+    under common random numbers), so candidates differ only in the
+    architecture the shared trajectory is replayed on.
+    """
+    return SearchSpace(
+        {
+            "mapping": ["PQ", "CK", "CN", "KN"],
+            "array_side": [8, 16, 32],
+            "glb_kib": [64, 128, 256],
+            "rf_bytes": [512, 1024, 2048],
+        },
+        fixed={
+            "model": model,
+            "network": model,  # analytic stand-in for the constraints
+            "sparse": True,
+            "epochs": epochs,
+            "campaign_seed": seed,
+        },
+        constraints=[
+            fabric_fraction_limit(0.35),
+            mask_residency_limit(),
+            tiling_chunk_limit(128),
+        ],
+    )
+
+
 def run_explore(
     budget: int = 120,
     strategy: str = "greedy",
@@ -63,14 +116,24 @@ def run_explore(
     cache_dir: str | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    objective: str = "iteration",
 ) -> ExploreResult:
-    """Search the default space and return the Pareto frontier.
+    """Search the design space and return the Pareto frontier.
 
     The default strategy spends most of the budget on random coverage
     and the rest refining the frontier's neighborhood; ``grid`` and
     ``random`` are also accepted (see
-    :func:`repro.explore.make_strategy`).
+    :func:`repro.explore.make_strategy`).  ``objective`` picks the
+    evaluation: ``iteration`` (static analytic profile, per-iteration
+    cost) or ``trajectory`` (measured campaign, whole-run cost).
     """
+    try:
+        evaluator, objectives = OBJECTIVES[objective]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {objective!r}; "
+            f"choose from {sorted(OBJECTIVES)}"
+        ) from None
     if strategy == "greedy":
         proposer = GreedyRefineStrategy(
             n_init=max(1, (4 * budget) // 5), max_rounds=16
@@ -80,41 +143,62 @@ def run_explore(
     else:
         proposer = make_strategy(strategy)
     cache = ResultCache(cache_dir) if cache_dir else None
-    explorer = Explorer(cache=cache, executor=executor, workers=workers)
-    with _evalcore_tier(cache_dir):
+    explorer = Explorer(
+        evaluator=evaluator,
+        objectives=objectives,
+        cache=cache,
+        executor=executor,
+        workers=workers,
+    )
+    space = (
+        trajectory_space(network)
+        if objective == "trajectory"
+        else default_space(network)
+    )
+    with cache_tiers(cache_dir):
         return explorer.run(
-            default_space(network),
+            space,
             proposer,
             budget=budget,
             seed=seed,
-            name=f"explore-{network}",
+            name=f"explore-{objective}-{network}",
         )
 
 
 @contextmanager
-def _evalcore_tier(cache_dir: str | None):
-    """Persist the evaluation core's layer-level sets next to the sweep cache.
+def cache_tiers(cache_dir: str | None):
+    """Route every on-disk tier under one ``cache_dir`` for the run.
 
-    Candidates that share (layer, phase, mapping, geometry) then share
-    set building across runs; the env var makes process-pool workers
-    (which inherit the environment) pick up the same tier.  Both the
-    env var and the process-default memo are restored on exit so other
-    callers in the process are unaffected.
+    * the evaluation core's layer-level working sets
+      (``<cache_dir>/evalcore``) — candidates that share (layer,
+      phase, mapping, geometry) share set building across runs;
+    * the campaign trajectory store (``<cache_dir>/campaign``) —
+      trajectory-objective candidates (and the ``campaign`` evaluator)
+      share one training run per recipe.
+
+    The env vars make process-pool workers (which inherit the
+    environment) pick up the same tiers.  Env vars and the
+    process-default memo are restored on exit so other callers in the
+    process are unaffected.
     """
     if not cache_dir:
         yield
         return
     import os
 
+    from repro.campaign.trajectory import TrajectoryStore
     from repro.dataflow.evalcore import EvalMemo, set_memo
 
     evalcore_dir = str(Path(cache_dir) / "evalcore")
+    campaign_dir = str(Path(cache_dir) / "campaign")
     previous = os.environ.get("REPRO_EVALCORE_CACHE_DIR")
+    previous_campaign = os.environ.get(TrajectoryStore.ENV_VAR)
     # Capture the prior default memo BEFORE touching the env var: in a
     # fresh process set_memo()'s lazy get_memo() would otherwise
     # materialize the "previous" memo from the mutated environment.
     previous_memo = set_memo(EvalMemo(disk_root=evalcore_dir))
     os.environ["REPRO_EVALCORE_CACHE_DIR"] = evalcore_dir
+    os.environ[TrajectoryStore.ENV_VAR] = campaign_dir
     try:
         yield
     finally:
@@ -122,6 +206,10 @@ def _evalcore_tier(cache_dir: str | None):
             os.environ.pop("REPRO_EVALCORE_CACHE_DIR", None)
         else:
             os.environ["REPRO_EVALCORE_CACHE_DIR"] = previous
+        if previous_campaign is None:
+            os.environ.pop(TrajectoryStore.ENV_VAR, None)
+        else:
+            os.environ[TrajectoryStore.ENV_VAR] = previous_campaign
         set_memo(previous_memo)
 
 

@@ -53,8 +53,18 @@ def run_profile(
     networks: tuple[str, ...] = ("vgg-s",),
     mappings: tuple[str, ...] = DEFAULT_MAPPINGS,
     seed: int = 0,
+    cache_dir: str | None = None,
 ) -> list[dict[str, float | str]]:
-    """Profile one ``simulate()`` per (network, mapping); return rows."""
+    """Profile one ``simulate()`` per (network, mapping); return rows.
+
+    With ``cache_dir``, each fresh memo is backed by the evaluation
+    core's on-disk tier under ``<cache_dir>/evalcore`` — the same
+    layout the ``explore`` subcommand roots there — so a profiled
+    condition warms future explorer/sweep runs (and vice versa; a
+    primed directory shows up here as disk hits on the "cold" pass).
+    """
+    from pathlib import Path
+
     from repro.dataflow.evalcore import (
         EvalMemo,
         EvalTimings,
@@ -63,12 +73,14 @@ def run_profile(
     from repro.hw.config import PROCRUSTES_16x16
     from repro.hw.energy import DEFAULT_ENERGY_TABLE
 
+    disk_root = str(Path(cache_dir) / "evalcore") if cache_dir else None
     rows: list[dict[str, float | str]] = []
     for network in networks:
         profile = sparse_profile_for(network)
         n = model_entry(network).minibatch
         for mapping in mappings:
-            memo = EvalMemo()  # fresh: cold/warm split is meaningful
+            # Fresh per condition: the cold/warm split stays meaningful.
+            memo = EvalMemo(disk_root=disk_root)
             timings = EvalTimings()
             start = time.perf_counter()
             with _timed_balance(timings):

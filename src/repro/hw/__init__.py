@@ -1,24 +1,24 @@
 """Hardware unit models, energy/area tables, and array configurations."""
 
-from repro.hw.area import TABLE_III_COMPONENTS, AreaModel, Component
+from repro.hw.area import AreaModel, Component, TABLE_III_COMPONENTS
 from repro.hw.capacity import (
     MaskResidency,
     check_mask_residency,
     mask_residency_ok,
 )
 from repro.hw.config import (
+    ArchConfig,
     BASELINE_16x16,
     PROCRUSTES_16x16,
     PROCRUSTES_32x32,
-    ArchConfig,
     arch_from_params,
 )
 from repro.hw.cyclesim import (
-    IDEAL_FABRIC,
-    SINGLE_WORD_FABRIC,
     CycleLevelSimulator,
     CycleSimResult,
     FabricConfig,
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
     SetTrace,
 )
 from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable

@@ -7,8 +7,8 @@ from repro.models.vgg import mini_vgg_s, paper_vgg_s
 from repro.models.wrn import mini_wrn, paper_wrn_28_10
 from repro.models.zoo import (
     MINI_MODELS,
-    PAPER_MODELS,
     ModelEntry,
+    PAPER_MODELS,
     Table2Row,
     get_specs,
 )

@@ -21,7 +21,7 @@ from repro.nn.layers import (
     Sequential,
 )
 from repro.nn.model import Network
-from repro.nn.optim import SGD, DropbackConfig, DropbackOptimizer
+from repro.nn.optim import DropbackConfig, DropbackOptimizer, SGD
 from repro.nn.schedules import ScheduledLR, cosine_decay, step_decay, warmup
 from repro.nn.trainer import Trainer, TrainingHistory
 

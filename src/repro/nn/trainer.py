@@ -8,6 +8,7 @@ activation densities for the architecture model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -54,6 +55,11 @@ class Trainer:
     The optimizer is any object with a ``step()`` method consuming the
     ``.grad`` fields (``repro.nn.optim.SGD`` or
     ``repro.core.DropbackOptimizer``).
+
+    ``on_epoch_end`` is called after each epoch's evaluation with
+    ``(trainer, epoch)`` (epoch 1-based, matching the history) — the
+    hook :mod:`repro.campaign` uses to snapshot masks and activation
+    densities along the training trajectory.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class Trainer:
         val: Dataset,
         batch_size: int = 32,
         seed: int = 0,
+        on_epoch_end: Callable[["Trainer", int], None] | None = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -72,6 +79,7 @@ class Trainer:
         self.batch_size = batch_size
         self._rng = np.random.default_rng(seed)
         self.history = TrainingHistory()
+        self.on_epoch_end = on_epoch_end
         #: mean post-ReLU densities observed during the last epoch,
         #: keyed by layer name — input to the wu-phase sparsity model.
         self.activation_densities: dict[str, list[float]] = {}
@@ -107,6 +115,8 @@ class Trainer:
         self.history.sparsity_factor.append(
             float(sparsity()) if callable(sparsity) else 1.0
         )
+        if self.on_epoch_end is not None:
+            self.on_epoch_end(self, epoch)
 
     def _record_densities(self) -> None:
         for name, density in self.model.activation_densities().items():

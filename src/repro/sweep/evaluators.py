@@ -28,6 +28,17 @@ Built-in evaluators cover the paper's experiment families:
     (:mod:`repro.explore`) prunes to a Pareto frontier.
 ``train-mini``
     One end-to-end mini training run (Figures 15/16).
+``campaign``
+    One whole training campaign: train (or load from the
+    :class:`~repro.campaign.trajectory.TrajectoryStore`), record the
+    density trajectory, replay it through the accelerator model, and
+    return per-epoch curves plus whole-run latency/energy (Table 2 /
+    Figures 15-16 territory, measured instead of assumed).
+``trajectory-point``
+    One free-form design point priced against a *measured* campaign
+    trajectory instead of a static analytic profile: whole-run cycles
+    and energy (``run_cycles``/``run_j``) plus silicon area — the
+    explorer's training-in-the-loop objective vector.
 ``fabric-cost``
     Interconnect pricing at one array size (Section IV-C).
 ``echo``
@@ -48,6 +59,7 @@ __all__ = [
     "available_evaluators",
     "evaluator_version",
     "get_evaluator",
+    "price_design",
     "register",
 ]
 
@@ -175,6 +187,51 @@ def simulate_point(
     }
 
 
+def price_design(
+    config,
+    mapping: str,
+    sparse: bool = True,
+    glb_kib: int = 128,
+    rf_bytes: int = 1024,
+) -> dict[str, Any]:
+    """Silicon pricing shared by the design-point family of evaluators.
+
+    Table III synthesized a 1 KB RF and a 128 KB GLB; first-order, SRAM
+    area and leakage scale linearly with capacity.  The interconnect is
+    whatever the mapping actually *needs* (simple 3-network fabric, or
+    the balanced-CK complex fabric when sparse load balancing requires
+    it) from :mod:`repro.hw.fabric_cost` — the same pricing rule the
+    explorer's ``fabric_fraction_limit`` constraint screens with.
+    """
+    from dataclasses import replace
+
+    from repro.hw.area import TABLE_III_COMPONENTS, AreaModel
+    from repro.hw.fabric_cost import FabricCostModel
+
+    capacity_scale = {
+        "Register File": rf_bytes / 1024.0,
+        "Global Buffer": glb_kib / 128.0,
+    }
+    components = tuple(
+        replace(
+            c,
+            area_um2=c.area_um2 * capacity_scale.get(c.name, 1.0),
+            power_mw=c.power_mw * capacity_scale.get(c.name, 1.0),
+        )
+        for c in TABLE_III_COMPONENTS
+    )
+    area = AreaModel(n_pes=config.n_pes, components=components)
+    fabric_model = FabricCostModel(config)
+    fabric = fabric_model.fabric_for_mapping(mapping, sparse=sparse)
+    chip_um2 = area.total_area_um2(include_procrustes=sparse)
+    return {
+        "area_mm2": (chip_um2 + fabric.area_um2) / 1e6,
+        "power_mw": area.total_power_mw(include_procrustes=sparse),
+        "fabric": fabric.name,
+        "fabric_fraction": fabric_model.fabric_area_fraction(fabric),
+    }
+
+
 @register("design-point", version="2")
 def design_point(
     *,
@@ -219,18 +276,14 @@ def design_point(
     feasibility diagnostics (mask residency, fabric area fraction) so
     constraint violations are auditable from cached records.
     """
-    from dataclasses import replace
-
     from repro.dataflow.simulator import simulate
     from repro.harness.common import (
         dense_profile_for,
         model_entry,
         sparse_profile_for,
     )
-    from repro.hw.area import TABLE_III_COMPONENTS, AreaModel
     from repro.hw.capacity import mask_residency_ok
     from repro.hw.config import arch_from_params
-    from repro.hw.fabric_cost import FabricCostModel
 
     config = arch_from_params(
         {
@@ -259,31 +312,13 @@ def design_point(
         balance=balance,
         seed=profile_seed,
     )
-    # Table III synthesized a 1 KB RF and a 128 KB GLB; first-order,
-    # SRAM area and leakage scale linearly with capacity.
-    capacity_scale = {
-        "Register File": rf_bytes / 1024.0,
-        "Global Buffer": glb_kib / 128.0,
-    }
-    components = tuple(
-        replace(
-            c,
-            area_um2=c.area_um2 * capacity_scale.get(c.name, 1.0),
-            power_mw=c.power_mw * capacity_scale.get(c.name, 1.0),
-        )
-        for c in TABLE_III_COMPONENTS
+    silicon = price_design(
+        config, mapping, sparse=sparse, glb_kib=glb_kib, rf_bytes=rf_bytes
     )
-    area = AreaModel(n_pes=config.n_pes, components=components)
-    fabric_model = FabricCostModel(config)
-    fabric = fabric_model.fabric_for_mapping(mapping, sparse=sparse)
-    chip_um2 = area.total_area_um2(include_procrustes=sparse)
     return {
         "total_cycles": sim.total_cycles,
         "total_j": sim.total_energy_j,
-        "area_mm2": (chip_um2 + fabric.area_um2) / 1e6,
-        "power_mw": area.total_power_mw(include_procrustes=sparse),
-        "fabric": fabric.name,
-        "fabric_fraction": fabric_model.fabric_area_fraction(fabric),
+        **silicon,
         "mask_fits": mask_residency_ok(profile, config, n=minibatch),
         "n_pes": config.n_pes,
     }
@@ -325,6 +360,205 @@ def train_mini_point(
         "iterations": history.iterations,
         "achieved_sparsity": run.achieved_sparsity,
         "activation_densities": dict(run.activation_densities),
+    }
+
+
+#: Process-local L1 over the on-disk TrajectoryStore: explorer batches
+#: and sweep grids that embed the same training recipe train it once
+#: per process even when no REPRO_CAMPAIGN_CACHE_DIR is configured.
+_TRAJECTORY_MEMO: dict[str, Any] = {}
+_TRAJECTORY_MEMO_MAX = 32
+
+
+def _campaign_trajectory(spec) -> tuple[Any, bool]:
+    """Train-or-load the campaign for ``spec``; returns (trajectory, cached)."""
+    from repro.campaign import TrajectoryStore, run_campaign
+
+    key = spec.key()
+    store = TrajectoryStore.from_env()
+    memoized = _TRAJECTORY_MEMO.get(key)
+    if memoized is not None:
+        if store is not None and spec not in store:
+            # The on-disk store was configured (or repointed) after
+            # this process trained the campaign: write the memoized
+            # trajectory through so other processes can share it.
+            store.put(spec, memoized)
+        return memoized, True
+    result = run_campaign(spec, store=store)
+    if len(_TRAJECTORY_MEMO) >= _TRAJECTORY_MEMO_MAX:
+        _TRAJECTORY_MEMO.pop(next(iter(_TRAJECTORY_MEMO)))
+    _TRAJECTORY_MEMO[key] = result.trajectory
+    return result.trajectory, result.cached
+
+
+@register("campaign", version="1")
+def campaign_point(
+    *,
+    seed: int,
+    model: str = "vgg-s",
+    mode: str = "procrustes",
+    epochs: int = 6,
+    sparsity_factor: float = 5.0,
+    lr: float = 0.08,
+    init_decay: float = 0.9,
+    decay_zero_after: int = 60,
+    batch_size: int = 16,
+    n_classes: int = 6,
+    samples_per_class: int = 60,
+    image_size: int = 16,
+    data_seed: int = 7,
+    mapping: str = "KN",
+    arch: str | None = None,
+    n: int | None = None,
+    balance: bool = True,
+) -> dict[str, Any]:
+    """One whole training campaign: train, record, replay, roll up.
+
+    The training recipe is a full :class:`~repro.campaign.spec.CampaignSpec`
+    (the sweep point's ``seed`` seeds model init and minibatch order, so
+    fanning over seeds is just ``seed_mode="derived"`` or several
+    ``base_seed`` values); ``mapping``/``arch``/``n`` pick the replayed
+    architecture point.  As with ``simulate``, the default arch follows
+    the paper's methodology — sparse campaigns replay on the Procrustes
+    additions, the dense ``sgd`` baseline on the plain array.
+    """
+    from repro.campaign import CampaignSpec, replay_trajectory
+    from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+
+    spec = CampaignSpec(
+        model=model,
+        mode=mode,
+        epochs=epochs,
+        sparsity_factor=sparsity_factor,
+        lr=lr,
+        init_decay=init_decay,
+        decay_zero_after=decay_zero_after,
+        batch_size=batch_size,
+        seed=seed,
+        n_classes=n_classes,
+        samples_per_class=samples_per_class,
+        image_size=image_size,
+        data_seed=data_seed,
+    )
+    trajectory, cached = _campaign_trajectory(spec)
+    sparse = mode != "sgd"
+    bases = {"baseline": BASELINE_16x16, "procrustes": PROCRUSTES_16x16}
+    if arch is None:
+        arch = "procrustes" if sparse else "baseline"
+    try:
+        config = bases[arch]
+    except KeyError:
+        raise KeyError(
+            f"unknown arch {arch!r}; choose from {sorted(bases)}"
+        ) from None
+    replay = replay_trajectory(
+        trajectory,
+        mapping=mapping,
+        arch=config,
+        n=n if n is not None else batch_size,
+        sparse=sparse,
+        balance=balance,
+        seed=seed,
+    )
+    return {
+        "campaign_key": spec.key(),
+        "trajectory_cached": cached,
+        "run_cycles": replay.run_cycles,
+        "run_j": replay.run_energy_j,
+        "total_iterations": replay.total_iterations,
+        **replay.curves(),
+        "final_val_accuracy": trajectory.records[-1].val_accuracy,
+        "final_achieved_sparsity": trajectory.records[-1].achieved_sparsity,
+        "density_curve": trajectory.density_curve(),
+    }
+
+
+@register("trajectory-point", version="1")
+def trajectory_point(
+    *,
+    seed: int,
+    model: str = "vgg-s",
+    mapping: str = "KN",
+    array_side: int = 16,
+    glb_kib: int = 128,
+    rf_bytes: int = 1024,
+    mode: str = "procrustes",
+    epochs: int = 4,
+    sparsity_factor: float = 5.0,
+    batch_size: int = 16,
+    n_classes: int = 6,
+    samples_per_class: int = 60,
+    image_size: int = 16,
+    campaign_seed: int = 1,
+    network: str | None = None,
+    sparse: bool | None = None,
+) -> dict[str, Any]:
+    """One design point priced against a *measured* trajectory.
+
+    The explorer's training-in-the-loop objective vector: whole-run
+    ``run_cycles``/``run_j`` from replaying a recorded campaign on the
+    candidate hardware, plus the same silicon pricing as
+    ``design-point``.  Like that evaluator's ``profile_seed``, the
+    campaign trains under ``campaign_seed`` (common random numbers):
+    every candidate replays the *same* trajectory — shared through the
+    TrajectoryStore / process memo, so a 100-candidate search trains
+    once — and differs only in the hardware it is replayed on.
+
+    ``network`` and ``sparse`` are accepted (and ignored) so the
+    explorer's constraint predicates — which screen on the analytic
+    paper-scale profile of the same name — can share one candidate
+    vocabulary with this evaluator; the replayed sparsity follows
+    ``mode``.
+    """
+    from repro.campaign import CampaignSpec, replay_trajectory
+    from repro.hw.capacity import mask_residency_ok
+    from repro.hw.config import arch_from_params
+
+    del seed  # recorded by the runner; training uses campaign_seed
+    del network, sparse  # constraint-vocabulary riders (see docstring)
+    spec = CampaignSpec(
+        model=model,
+        mode=mode,
+        epochs=epochs,
+        sparsity_factor=sparsity_factor,
+        batch_size=batch_size,
+        seed=campaign_seed,
+        n_classes=n_classes,
+        samples_per_class=samples_per_class,
+        image_size=image_size,
+    )
+    trajectory, cached = _campaign_trajectory(spec)
+    sparse = mode != "sgd"
+    config = arch_from_params(
+        {
+            "array_side": array_side,
+            "glb_kib": glb_kib,
+            "rf_bytes": rf_bytes,
+            "sparse": sparse,
+        }
+    )
+    replay = replay_trajectory(
+        trajectory,
+        mapping=mapping,
+        arch=config,
+        n=batch_size,
+        sparse=sparse,
+        balance=True,
+        seed=campaign_seed,
+    )
+    silicon = price_design(
+        config, mapping, sparse=sparse, glb_kib=glb_kib, rf_bytes=rf_bytes
+    )
+    return {
+        "campaign_key": spec.key(),
+        "trajectory_cached": cached,
+        "run_cycles": replay.run_cycles,
+        "run_j": replay.run_energy_j,
+        **silicon,
+        "mask_fits": mask_residency_ok(
+            trajectory.final_profile(), config, n=batch_size
+        ),
+        "n_pes": config.n_pes,
     }
 
 

@@ -1,5 +1,10 @@
 """Workload descriptions: layer shapes, phases, and sparsity profiles."""
 
+from repro.workloads.density import (
+    AnalyticDensitySource,
+    DenseDensitySource,
+    DensitySource,
+)
 from repro.workloads.layer_spec import LayerSpec, conv, fc
 from repro.workloads.phases import PHASES, PhaseOp, phase_op
 from repro.workloads.sparsity import (
@@ -11,6 +16,9 @@ from repro.workloads.sparsity import (
 )
 
 __all__ = [
+    "AnalyticDensitySource",
+    "DenseDensitySource",
+    "DensitySource",
     "LayerSpec",
     "conv",
     "fc",

@@ -1,0 +1,119 @@
+"""Density sources: one interface over analytic and measured sparsity.
+
+Every hardware-model entry point consumes a
+:class:`~repro.workloads.sparsity.NetworkSparsity` profile.  Where that
+profile *comes from* is a separate question with two answers of very
+different fidelity:
+
+* **analytic** — :func:`~repro.workloads.sparsity.synthetic_profile`'s
+  calibrated generative model, matched to Table II's published
+  sparsity/MAC numbers.  Static: one profile for the whole run.
+* **measured** — densities recorded epoch by epoch from an actual
+  Dropback training run (:mod:`repro.campaign`).  A *trajectory*: the
+  profile changes as training prunes.
+
+:class:`DensitySource` is the seam between the two.  A source answers
+``profile(epoch)``; static sources ignore the epoch, trajectory
+sources return that epoch's measured profile.  The analytic sources
+live here, at the workloads layer, so the hardware model keeps working
+without the training stack; the measured implementation
+(``repro.campaign.density.TrajectoryDensitySource``) plugs into the
+same interface from above.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.workloads.layer_spec import LayerSpec
+from repro.workloads.sparsity import (
+    DEFAULT_ACT_DENSITY_RANGE,
+    NetworkSparsity,
+    dense_profile,
+    synthetic_profile,
+)
+
+__all__ = [
+    "AnalyticDensitySource",
+    "DenseDensitySource",
+    "DensitySource",
+]
+
+
+@runtime_checkable
+class DensitySource(Protocol):
+    """Anything that can produce per-layer density profiles.
+
+    ``n_epochs`` is ``None`` for static (epoch-independent) sources;
+    trajectory sources report how many epochs they cover and accept
+    ``profile(epoch)`` for ``0 <= epoch < n_epochs``.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def n_epochs(self) -> int | None: ...
+
+    def profile(self, epoch: int | None = None) -> NetworkSparsity: ...
+
+
+class AnalyticDensitySource:
+    """The hand-calibrated generative profile (the pre-campaign path).
+
+    Wraps :func:`~repro.workloads.sparsity.synthetic_profile` with the
+    same knobs :func:`repro.harness.common.sparse_profile_for` always
+    fed it; the profile is built once and reused for every epoch query
+    (analytic densities do not evolve over training).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        specs: list[LayerSpec],
+        sparsity_factor: float,
+        seed: int = 1,
+        target_mac_ratio: float | None = None,
+        act_density_range: tuple[float, float] = DEFAULT_ACT_DENSITY_RANGE,
+    ) -> None:
+        self._name = name
+        self._profile = synthetic_profile(
+            name,
+            specs,
+            sparsity_factor,
+            seed=seed,
+            target_mac_ratio=target_mac_ratio,
+            act_density_range=act_density_range,
+        )
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def n_epochs(self) -> int | None:
+        return None
+
+    def profile(self, epoch: int | None = None) -> NetworkSparsity:
+        del epoch  # analytic densities are static over training
+        return self._profile
+
+
+class DenseDensitySource:
+    """The unpruned baseline: every density is 1, at every epoch."""
+
+    def __init__(self, name: str, specs: list[LayerSpec]) -> None:
+        self._name = name
+        self._profile = dense_profile(name, specs)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def n_epochs(self) -> int | None:
+        return None
+
+    def profile(self, epoch: int | None = None) -> NetworkSparsity:
+        del epoch
+        return self._profile

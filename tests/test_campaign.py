@@ -1,0 +1,497 @@
+"""Campaign subsystem: spec identity, trajectories, replay parity.
+
+The two contracts the PR pins hardest:
+
+* **Determinism** — re-running a campaign with the same
+  :class:`CampaignSpec` is a 100% :class:`TrajectoryStore` cache hit,
+  and the loaded trajectory is bit-identical to the trained one.
+* **Parity** — a constant-density trajectory replays to *exactly* the
+  static analytic ``simulate()`` numbers: the measured path is a
+  strict generalization of the analytic one, not a fork.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Trajectory,
+    TrajectoryDensitySource,
+    TrajectoryStore,
+    observe_network,
+    replay_trajectory,
+    run_campaign,
+)
+from repro.dataflow.simulator import simulate
+from repro.models.zoo import MINI_MODELS
+from repro.sweep import ResultCache, run_sweep
+from repro.sweep.evaluators import available_evaluators
+from repro.workloads.sparsity import synthetic_profile
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    """A seconds-fast campaign for unit tests."""
+    params = dict(
+        model="vgg-s",
+        mode="procrustes",
+        epochs=2,
+        sparsity_factor=4.0,
+        batch_size=8,
+        seed=0,
+        n_classes=3,
+        samples_per_class=12,
+        image_size=8,
+        decay_zero_after=6,
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+# ----------------------------------------------------------------------
+# spec identity
+# ----------------------------------------------------------------------
+class TestCampaignSpec:
+    def test_key_is_stable_and_content_addressed(self):
+        a, b = tiny_spec(), tiny_spec()
+        assert a.key() == b.key()
+        assert a.key() != tiny_spec(seed=1).key()
+        assert a.key() != tiny_spec(epochs=3).key()
+
+    def test_params_roundtrip(self):
+        spec = tiny_spec(mode="dropback-decay", lr=0.05)
+        assert CampaignSpec.from_params(spec.params()) == spec
+
+    def test_with_replaces_fields(self):
+        spec = tiny_spec().with_(mode="sgd", epochs=4)
+        assert (spec.mode, spec.epochs) == ("sgd", 4)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"mode": "adam"},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"image_size": 4},
+            {"sparsity_factor": 1.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            tiny_spec(**bad)
+
+    def test_sweep_spec_fans_campaign_out(self):
+        spec = tiny_spec()
+        sweep = spec.sweep_spec(
+            "campaign-modes", {"mode": ["procrustes", "sgd"]}
+        )
+        assert sweep.evaluator == "campaign"
+        assert sweep.n_points == 2
+        points = list(sweep.points())
+        # Every non-axis campaign field rides along; the sweep point's
+        # seed drives training, so "seed" must not appear as a param.
+        assert points[0].params["epochs"] == spec.epochs
+        assert "seed" not in points[0].params
+
+    def test_campaign_evaluators_registered(self):
+        names = available_evaluators()
+        assert "campaign" in names
+        assert "trajectory-point" in names
+
+
+# ----------------------------------------------------------------------
+# derived layer specs
+# ----------------------------------------------------------------------
+class TestObserveNetwork:
+    @pytest.mark.parametrize("model_name", sorted(MINI_MODELS))
+    def test_specs_match_prunable_shapes(self, model_name):
+        """Every prunable tensor maps to a spec with the same weights."""
+        model = MINI_MODELS[model_name](n_classes=4, seed=0)
+        sample = np.zeros((1, 3, 16, 16))
+        specs, iact_relu = observe_network(model, sample)
+        by_name = {s.name: s for s in specs}
+        shapes = model.weight_shapes()
+        assert set(by_name) == {
+            name.removesuffix(".weight") for name in shapes
+        }
+        for param_name, shape in shapes.items():
+            spec = by_name[param_name.removesuffix(".weight")]
+            assert spec.weight_count == int(np.prod(shape))
+        # Every conv/fc layer has an iact feed entry (possibly None).
+        assert set(iact_relu) == set(by_name)
+
+    def test_first_layer_has_no_relu_feed(self):
+        model = MINI_MODELS["vgg-s"](n_classes=4, seed=0)
+        specs, iact_relu = observe_network(model, np.zeros((1, 3, 16, 16)))
+        assert iact_relu[specs[0].name] is None
+
+
+# ----------------------------------------------------------------------
+# determinism / the trajectory store
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_rerun_is_full_cache_hit(self, tmp_path):
+        """Same spec ⇒ second run touches no trainer, identical result."""
+        store = TrajectoryStore(tmp_path / "campaign")
+        spec = tiny_spec()
+        first = run_campaign(spec, store=store)
+        assert not first.cached
+        assert store.stats.stores == 1
+        second = run_campaign(spec, store=store)
+        assert second.cached
+        assert store.stats.hits == 1
+        assert store.stats.stores == 1  # nothing re-written
+        assert json.dumps(first.trajectory.to_values()) == json.dumps(
+            second.trajectory.to_values()
+        )
+
+    def test_retrain_matches_stored(self, tmp_path):
+        """force=True retrains to the exact same trajectory."""
+        store = TrajectoryStore(tmp_path / "campaign")
+        spec = tiny_spec()
+        stored = run_campaign(spec, store=store).trajectory
+        retrained = run_campaign(spec, store=store, force=True).trajectory
+        assert json.dumps(stored.to_values()) == json.dumps(
+            retrained.to_values()
+        )
+
+    def test_different_seeds_are_different_campaigns(self, tmp_path):
+        store = TrajectoryStore(tmp_path / "campaign")
+        t0 = run_campaign(tiny_spec(seed=0), store=store).trajectory
+        t1 = run_campaign(tiny_spec(seed=1), store=store).trajectory
+        assert len(store) == 2
+        assert t0.to_values() != t1.to_values()
+
+    def test_trajectory_records_shapes(self):
+        spec = tiny_spec()
+        trajectory = run_campaign(spec).trajectory
+        assert trajectory.n_epochs == spec.epochs
+        assert trajectory.total_iterations > 0
+        for record in trajectory.records:
+            assert record.iterations > 0
+            for spec_layer, layer in zip(trajectory.specs, record.layers):
+                assert layer.name == spec_layer.name
+                assert 0.0 < layer.weight_density <= 1.0
+                assert 0.0 < layer.iact_density <= 1.0
+                assert layer.out_channel_density.shape == (spec_layer.k,)
+                assert layer.in_channel_density.shape == (spec_layer.c,)
+        # DropBack pruned: the measured network density is well under 1.
+        assert trajectory.density_curve()[-1] < 0.8
+
+    def test_dense_baseline_measures_dense_weights(self):
+        trajectory = run_campaign(tiny_spec(mode="sgd")).trajectory
+        assert all(d == 1.0 for d in trajectory.density_curve())
+        assert all(s == 1.0 for s in trajectory.sparsity_curve())
+        # ... but activations are still measured, not assumed.
+        later = trajectory.records[-1].layers[1:]
+        assert any(layer.iact_density < 1.0 for layer in later)
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+class TestTrajectoryRoundtrip:
+    def test_json_roundtrip_is_exact(self):
+        trajectory = run_campaign(tiny_spec()).trajectory
+        values = json.loads(json.dumps(trajectory.to_values()))
+        restored = Trajectory.from_values(values)
+        assert restored.to_values() == trajectory.to_values()
+        for epoch in range(trajectory.n_epochs):
+            a, b = trajectory.profile(epoch), restored.profile(epoch)
+            for la, lb in zip(a.layers, b.layers):
+                assert la.weight_density == lb.weight_density
+                assert np.array_equal(
+                    la.out_channel_density, lb.out_channel_density
+                )
+                assert np.array_equal(
+                    la.in_channel_density, lb.in_channel_density
+                )
+
+    def test_mismatched_layers_rejected(self, small_specs):
+        profile = synthetic_profile("small", small_specs, 4.0, seed=3)
+        trajectory = Trajectory.constant(profile, 2, 5)
+        values = trajectory.to_values()
+        values["records"][1]["layers"] = values["records"][1]["layers"][:-1]
+        with pytest.raises(ValueError, match="do not match specs"):
+            Trajectory.from_values(values)
+
+
+# ----------------------------------------------------------------------
+# replay parity with the analytic path
+# ----------------------------------------------------------------------
+class TestReplayParity:
+    @pytest.mark.parametrize("mapping", ["KN", "CK"])
+    def test_constant_trajectory_matches_simulate_bit_identically(
+        self, small_specs, mapping
+    ):
+        """The tentpole parity claim: measured path ⊇ analytic path."""
+        profile = synthetic_profile("small", small_specs, 4.0, seed=3)
+        trajectory = Trajectory.constant(
+            profile, epochs=3, iterations_per_epoch=7
+        )
+        replay = replay_trajectory(
+            trajectory, mapping=mapping, n=8, seed=11
+        )
+        reference = simulate(profile, mapping, n=8, seed=11)
+        for cost in replay.epochs:
+            assert cost.cycles_per_iteration == reference.total_cycles
+            assert cost.energy_j_per_iteration == reference.total_energy_j
+        assert replay.run_cycles == 21 * reference.total_cycles
+
+    def test_parity_survives_the_store(self, small_specs, tmp_path):
+        """JSON persistence must not perturb a single bit."""
+        profile = synthetic_profile("small", small_specs, 4.0, seed=3)
+        trajectory = Trajectory.constant(profile, 2, 5)
+        values = json.loads(json.dumps(trajectory.to_values()))
+        restored = Trajectory.from_values(values)
+        direct = replay_trajectory(trajectory, mapping="KN", n=8, seed=2)
+        roundtripped = replay_trajectory(restored, mapping="KN", n=8, seed=2)
+        assert direct.curves() == roundtripped.curves()
+
+    def test_replay_totals_accumulate_epochs(self):
+        trajectory = run_campaign(tiny_spec()).trajectory
+        replay = replay_trajectory(trajectory, mapping="KN", n=8)
+        assert replay.run_cycles == pytest.approx(
+            sum(e.cycles for e in replay.epochs)
+        )
+        assert replay.total_iterations == trajectory.total_iterations
+        record = replay.to_record()
+        assert record["series"]["run_cycles"] == replay.run_cycles
+        assert len(record["series"]["cycles"]) == trajectory.n_epochs
+
+
+# ----------------------------------------------------------------------
+# density sources
+# ----------------------------------------------------------------------
+class TestDensitySources:
+    def test_analytic_source_matches_sparse_profile_for(self):
+        from repro.harness.common import analytic_source_for, sparse_profile_for
+
+        source = analytic_source_for("vgg-s", seed=1)
+        assert source.n_epochs is None
+        a = source.profile()
+        b = sparse_profile_for("vgg-s", seed=1)
+        for la, lb in zip(a.layers, b.layers):
+            assert la.weight_density == lb.weight_density
+            assert np.array_equal(
+                la.out_channel_density, lb.out_channel_density
+            )
+
+    def test_trajectory_source_is_epoch_resolved(self):
+        trajectory = run_campaign(tiny_spec()).trajectory
+        source = TrajectoryDensitySource(trajectory)
+        assert source.n_epochs == trajectory.n_epochs
+        final = source.profile()
+        assert final.name == trajectory.profile(source.n_epochs - 1).name
+        with pytest.raises(IndexError):
+            source.profile(source.n_epochs)
+
+    def test_density_source_for_dispatch(self):
+        from repro.harness.common import density_source_for
+
+        dense = density_source_for("vgg-s", source="dense")
+        assert all(
+            ls.weight_density == 1.0 for ls in dense.profile().layers
+        )
+        with pytest.raises(KeyError, match="unknown density source"):
+            density_source_for("vgg-s", source="measured")
+
+    def test_density_source_for_trajectory(self, tmp_path, monkeypatch):
+        from repro.harness.common import density_source_for
+
+        monkeypatch.setenv(
+            TrajectoryStore.ENV_VAR, str(tmp_path / "campaign")
+        )
+        source = density_source_for(
+            "vgg-s", source="trajectory", campaign_spec=tiny_spec()
+        )
+        assert source.n_epochs == 2
+        assert len(TrajectoryStore.from_env()) == 1
+
+
+# ----------------------------------------------------------------------
+# sweep / explorer integration
+# ----------------------------------------------------------------------
+class TestCampaignEvaluator:
+    def test_campaign_sweep_warm_rerun_is_all_cached(self, tmp_path):
+        spec = tiny_spec()
+        sweep_spec = spec.sweep_spec(
+            "campaign-modes-test", {"mode": ["procrustes", "sgd"]}
+        )
+        cache = ResultCache(tmp_path / "sweep")
+        cold = run_sweep(sweep_spec, cache=cache)
+        assert {p.params["mode"] for p in cold.points} == {
+            "procrustes",
+            "sgd",
+        }
+        for point in cold.points:
+            assert point.values["run_cycles"] > 0
+            assert point.values["run_j"] > 0
+            assert (
+                len(point.values["val_accuracy"]) == spec.epochs
+            )
+        warm = run_sweep(sweep_spec, cache=cache)
+        assert all(p.cached for p in warm.points)
+
+    def test_trajectory_point_shares_one_training_run(self, tmp_path):
+        from repro.sweep.evaluators import get_evaluator
+
+        fn = get_evaluator("trajectory-point")
+        common = dict(
+            model="vgg-s",
+            mode="procrustes",
+            epochs=2,
+            sparsity_factor=4.0,
+            batch_size=8,
+            n_classes=3,
+            samples_per_class=12,
+            image_size=8,
+            campaign_seed=3,
+        )
+        first = fn(seed=0, mapping="KN", array_side=16, **common)
+        second = fn(seed=1, mapping="CK", array_side=8, **common)
+        # Same campaign key (common random numbers), trained once.
+        assert first["campaign_key"] == second["campaign_key"]
+        assert second["trajectory_cached"]
+        assert first["run_cycles"] != second["run_cycles"]
+        assert first["area_mm2"] > second["area_mm2"]
+
+    @pytest.mark.slow
+    def test_trajectory_objective_explore(self, tmp_path):
+        from repro.harness.explore_experiments import run_explore
+
+        result = run_explore(
+            budget=6,
+            strategy="random",
+            cache_dir=str(tmp_path / "cache"),
+            objective="trajectory",
+        )
+        assert result.n_evaluated == 6
+        assert len(result.frontier) >= 1
+        for point in result.frontier_points():
+            assert point.values["run_cycles"] > 0
+        # The campaign cache-tier landed next to the sweep cache.
+        assert (tmp_path / "cache" / "campaign").exists()
+
+    def test_cache_tiers_restores_environment(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.harness.explore_experiments import cache_tiers
+
+        monkeypatch.delenv("REPRO_EVALCORE_CACHE_DIR", raising=False)
+        monkeypatch.setenv(TrajectoryStore.ENV_VAR, "preexisting")
+        with cache_tiers(str(tmp_path / "tiers")):
+            assert os.environ["REPRO_EVALCORE_CACHE_DIR"].endswith(
+                "evalcore"
+            )
+            assert os.environ[TrajectoryStore.ENV_VAR].endswith("campaign")
+        assert "REPRO_EVALCORE_CACHE_DIR" not in os.environ
+        assert os.environ[TrajectoryStore.ENV_VAR] == "preexisting"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCampaignCli:
+    def test_parse_flags(self):
+        from repro.harness.campaign_cmd import parse_campaign_args
+
+        options = parse_campaign_args(
+            ["--smoke", "--cache-dir", "x", "--epochs", "4"]
+        )
+        assert options["smoke"] is True
+        assert options["cache_dir"] == "x"
+        assert options["epochs"] == 4
+        with pytest.raises(ValueError, match="unknown flag"):
+            parse_campaign_args(["--bogus", "1"])
+        with pytest.raises(ValueError, match="needs a value"):
+            parse_campaign_args(["--epochs"])
+
+    def test_smoke_applies_explicit_overrides(self):
+        from repro.harness.campaign_cmd import build_spec, parse_campaign_args
+
+        options = parse_campaign_args(["--smoke", "--epochs", "5"])
+        spec = build_spec(options)
+        assert spec.epochs == 5  # override applied, not discarded
+        assert spec.image_size == CampaignSpec.smoke().image_size
+
+    def test_cli_honors_env_store(self, tmp_path, monkeypatch, capsys):
+        from repro.harness.campaign_cmd import run_campaign_cli
+
+        monkeypatch.setenv(
+            TrajectoryStore.ENV_VAR, str(tmp_path / "env-store")
+        )
+        monkeypatch.chdir(tmp_path)
+        run_campaign_cli(["--smoke", "--out", str(tmp_path / "r")])
+        assert len(TrajectoryStore.from_env()) == 1
+        run_campaign_cli(["--smoke", "--out", str(tmp_path / "r")])
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_unknown_explore_flag_rejected(self):
+        from repro.harness.__main__ import run_explore_cli
+
+        with pytest.raises(ValueError, match="unknown explore flag"):
+            run_explore_cli("--objectiv", "trajectory")
+
+    def test_memo_hit_writes_through_to_new_store(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.sweep import evaluators
+
+        spec = tiny_spec(seed=17)
+        monkeypatch.delenv(TrajectoryStore.ENV_VAR, raising=False)
+        monkeypatch.setattr(evaluators, "_TRAJECTORY_MEMO", {})
+        evaluators._campaign_trajectory(spec)  # trains, no store yet
+        monkeypatch.setenv(
+            TrajectoryStore.ENV_VAR, str(tmp_path / "late-store")
+        )
+        _, cached = evaluators._campaign_trajectory(spec)
+        assert cached
+        assert len(TrajectoryStore.from_env()) == 1  # written through
+
+    def test_smoke_run_is_deterministic(self, tmp_path, capsys):
+        """The acceptance check: identical artifact hash across runs."""
+        from repro.harness.campaign_cmd import run_campaign_cli
+
+        args = [
+            "--smoke",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--out",
+            str(tmp_path / "results"),
+        ]
+        first = run_campaign_cli(list(args))
+        second = run_campaign_cli(list(args))
+        assert first == second
+        out = capsys.readouterr().out
+        assert "artifact sha256" in out
+        assert "cache hit" in out  # the second run loaded the store
+        record = json.loads(
+            (
+                tmp_path
+                / "results"
+                / "campaign-vgg-s-procrustes-KN"
+                / "record.json"
+            ).read_text()
+        )
+        assert record["series"]["run_cycles"] > 0
+
+    def test_harness_dispatch(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        code = main(
+            [
+                "harness",
+                "campaign",
+                "--smoke",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--out",
+                str(tmp_path / "results"),
+            ]
+        )
+        assert code == 0
+        assert "artifact sha256" in capsys.readouterr().out

@@ -7,10 +7,10 @@ from hypothesis import strategies as st
 
 from repro.hw.config import ArchConfig
 from repro.hw.cyclesim import (
-    IDEAL_FABRIC,
-    SINGLE_WORD_FABRIC,
     CycleLevelSimulator,
     FabricConfig,
+    IDEAL_FABRIC,
+    SINGLE_WORD_FABRIC,
     _chunk_channels,
     _pair_halves_exact,
 )

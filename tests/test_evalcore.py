@@ -319,11 +319,11 @@ class TestMemo:
             evalcore.set_memo(original)
 
     def test_explore_tier_restores_prior_memo(self, tmp_path):
-        from repro.harness.explore_experiments import _evalcore_tier
+        from repro.harness.explore_experiments import cache_tiers
 
         original = evalcore.set_memo(None)  # user disabled memoization
         try:
-            with _evalcore_tier(str(tmp_path / "cache")):
+            with cache_tiers(str(tmp_path / "cache")):
                 assert evalcore.get_memo() is not None
             assert evalcore.get_memo() is None  # still disabled after
         finally:

@@ -7,10 +7,10 @@ import pytest
 from repro.core.decay import InitialWeightDecay
 from repro.hw.area import AreaModel
 from repro.hw.config import (
+    ArchConfig,
     BASELINE_16x16,
     PROCRUSTES_16x16,
     PROCRUSTES_32x32,
-    ArchConfig,
 )
 from repro.hw.interconnect import traffic_pattern
 from repro.hw.prng import WeightRecomputeUnit, xorshift32, xorshift32_stream

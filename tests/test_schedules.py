@@ -5,8 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.schedules import (
-    PAPER_SCHEDULES,
     ConstantSparsity,
+    PAPER_SCHEDULES,
     SparseFromScratch,
     StepwisePruning,
     paper_schedule,
