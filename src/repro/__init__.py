@@ -39,6 +39,11 @@ Subpackages
     Pareto design-space exploration on top of the sweep engine:
     constrained search spaces, grid/random/greedy strategies, and an
     incremental latency/energy/area frontier.
+``repro.api``
+    The typed entry point: the experiment registry (every paper
+    artifact as a runnable ``Experiment``) and the layered
+    ``RuntimeConfig`` (defaults < ``REPRO_*`` env < explicit argument)
+    threaded through the whole stack.
 """
 
 __version__ = "1.1.0"

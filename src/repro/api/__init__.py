@@ -1,0 +1,51 @@
+"""repro.api — the typed programmatic entry point.
+
+Two pieces:
+
+* the **experiment registry** (:mod:`repro.api.registry`): every paper
+  table/figure and beyond-the-paper analysis as a registered
+  :class:`Experiment` with ``run(config)`` / ``format(result)`` /
+  ``export(results_dir, result)``, dispatched by id::
+
+      from repro.api import RuntimeConfig, get_experiment
+
+      result = get_experiment("fig18-19").run(RuntimeConfig())
+      print(get_experiment("fig18-19").format(result))
+
+* the **layered runtime configuration**
+  (:mod:`repro.api.config`): :class:`RuntimeConfig` with precedence
+  *defaults < ``REPRO_*`` env < explicit argument*, threaded
+  explicitly through the evaluation stack so library callers never
+  mutate ``os.environ``; :func:`config_scope` scopes a config (and
+  every piece of state derived from it) for tests and the CLI.
+
+See ``docs/api.md`` for the full guide.
+"""
+
+from repro.api.config import (
+    RuntimeConfig,
+    config_scope,
+    get_config,
+    set_config,
+)
+from repro.api.registry import (
+    Experiment,
+    experiment_for_artifact,
+    experiment_ids,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "RuntimeConfig",
+    "config_scope",
+    "experiment_for_artifact",
+    "experiment_ids",
+    "get_config",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "set_config",
+]

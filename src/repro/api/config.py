@@ -1,0 +1,264 @@
+"""Layered runtime configuration: one typed object instead of env peeks.
+
+Before this module, runtime behavior was toggled by ``REPRO_*``
+environment variables read ad hoc inside the evaluation core, the
+sampling helpers, and the campaign store — so library callers who
+wanted a cache tier or exact sampling had to mutate ``os.environ`` and
+remember to restore it.  :class:`RuntimeConfig` replaces that with a
+plain frozen dataclass and an explicit precedence chain:
+
+    defaults  <  ``REPRO_*`` environment  <  explicit argument
+
+``RuntimeConfig()`` is pure defaults.  :meth:`RuntimeConfig.from_env`
+layers the environment on top (and keyword overrides on top of that);
+it is the **only** place in the library that consults ``os.environ``.
+Everything downstream — :func:`repro.dataflow.simulator.simulate`,
+:func:`repro.dataflow.evalcore.evaluate_network`, the sweep runner,
+the campaign store — either takes a config argument explicitly or
+falls back to the process-active config from :func:`get_config`.
+
+:func:`config_scope` installs a config for the duration of a ``with``
+block and restores *all* prior state on exit — the active config, the
+evaluation core's derived default memo, and any sampling override —
+which is what tests and the harness ``--cache-dir`` plumbing use
+instead of environment mutation.
+
+This module deliberately imports nothing heavy (no numpy, no sibling
+packages) so any layer of the package can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "RuntimeConfig",
+    "config_scope",
+    "get_config",
+    "set_config",
+]
+
+#: Environment variable -> RuntimeConfig field, for the documented
+#: knobs that map one-to-one onto string fields.
+_PATH_ENV_VARS = {
+    "REPRO_EVALCORE_CACHE_DIR": "evalcore_cache_dir",
+    "REPRO_CAMPAIGN_CACHE_DIR": "campaign_cache_dir",
+    "REPRO_CACHE_ROOT": "cache_root",
+}
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that tunes *how* the models run (never *what* they
+    compute — seeds aside, two configs produce the same numbers).
+
+    Fields
+    ------
+    evalcore_memo / evalcore_memo_size
+        The evaluation core's layer-level working-set memo: ``False``
+        (or a non-positive size) disables it, mirroring the old
+        ``REPRO_EVALCORE_MEMO=0`` convention.
+    evalcore_cache_dir
+        On-disk tier for the evalcore memo (``REPRO_EVALCORE_CACHE_DIR``).
+    exact_sampling
+        Restore the exact (slow) working-set sampling generators
+        (``REPRO_EXACT_SAMPLING=1``).
+    campaign_cache_dir
+        Process-default :class:`~repro.campaign.trajectory.TrajectoryStore`
+        directory (``REPRO_CAMPAIGN_CACHE_DIR``).
+    cache_root
+        One directory rooting *every* on-disk tier — the config
+        equivalent of the harness ``--cache-dir`` flag: the sweep
+        result cache lives at the root, the evalcore tier at
+        ``<root>/evalcore``, and the trajectory store at
+        ``<root>/campaign`` unless the specific fields above override
+        them.
+    seed
+        Experiment seed override for registry runs; ``None`` keeps
+        each experiment's canonical paper seed.
+    executor / workers
+        Sweep-runner fan-out policy (``"serial"`` or ``"process"``).
+    """
+
+    evalcore_memo: bool = True
+    evalcore_memo_size: int = 512
+    evalcore_cache_dir: str | None = None
+    exact_sampling: bool = False
+    campaign_cache_dir: str | None = None
+    cache_root: str | None = None
+    seed: int | None = None
+    executor: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process' "
+                f"(got {self.executor!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(
+        cls,
+        environ: Mapping[str, str] | None = None,
+        **overrides: Any,
+    ) -> "RuntimeConfig":
+        """defaults < ``REPRO_*`` environment < explicit ``overrides``.
+
+        This classmethod is the single point where the library consults
+        the environment; pass ``environ`` to read from a mapping other
+        than ``os.environ`` (tests use plain dicts).
+        """
+        env = os.environ if environ is None else environ
+        values: dict[str, Any] = {}
+        if "REPRO_EVALCORE_MEMO" in env:
+            values["evalcore_memo"] = env["REPRO_EVALCORE_MEMO"] != "0"
+        raw_size = env.get("REPRO_EVALCORE_MEMO_SIZE")
+        if raw_size is not None:
+            try:
+                values["evalcore_memo_size"] = int(raw_size)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_EVALCORE_MEMO_SIZE must be an integer "
+                    f"(got {raw_size!r})"
+                ) from None
+        if env.get("REPRO_EXACT_SAMPLING", "") == "1":
+            values["exact_sampling"] = True
+        for var, field_name in _PATH_ENV_VARS.items():
+            raw = env.get(var)
+            if raw:
+                values[field_name] = raw
+        values.update(overrides)
+        return cls(**values)
+
+    def with_(self, **overrides: Any) -> "RuntimeConfig":
+        """A copy with the given fields replaced (explicit layer)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def memo_enabled(self) -> bool:
+        """Whether the evalcore default memo should exist at all."""
+        return self.evalcore_memo and self.evalcore_memo_size > 0
+
+    def effective_evalcore_cache_dir(self) -> str | None:
+        """The evalcore disk tier: explicit dir, else under the root."""
+        if self.evalcore_cache_dir:
+            return self.evalcore_cache_dir
+        if self.cache_root:
+            return str(Path(self.cache_root) / "evalcore")
+        return None
+
+    def effective_campaign_cache_dir(self) -> str | None:
+        """The trajectory store: explicit dir, else under the root."""
+        if self.campaign_cache_dir:
+            return self.campaign_cache_dir
+        if self.cache_root:
+            return str(Path(self.cache_root) / "campaign")
+        return None
+
+    def sweep_cache(self):
+        """A sweep :class:`~repro.sweep.cache.ResultCache` at the cache
+        root, or ``None`` when no root is configured."""
+        if not self.cache_root:
+            return None
+        from repro.sweep.cache import ResultCache
+
+        return ResultCache(self.cache_root)
+
+    def trajectory_store(self):
+        """The configured trajectory store, or ``None``."""
+        root = self.effective_campaign_cache_dir()
+        if not root:
+            return None
+        from repro.campaign.trajectory import TrajectoryStore
+
+        return TrajectoryStore(root)
+
+
+# ----------------------------------------------------------------------
+# process-active config
+# ----------------------------------------------------------------------
+_active: RuntimeConfig | None = None
+
+#: Modules holding process state *derived* from the active config.
+#: Each provides ``_on_config_change`` (drop derived state so it
+#: re-derives lazily) plus ``_scope_save``/``_scope_restore`` (reset
+#: on scope entry, exact restore on exit).  Looked up via
+#: ``sys.modules`` so this module never imports them.
+_DERIVED_STATE_MODULES = (
+    "repro.dataflow.evalcore",
+    "repro.dataflow.sampling",
+)
+
+
+def get_config() -> RuntimeConfig:
+    """The process-active config.
+
+    An explicitly installed config (via :func:`set_config` /
+    :func:`config_scope`) wins; otherwise the environment is layered
+    freshly on each call, so processes that never touch the API keep
+    the historical live-env behavior.
+    """
+    if _active is not None:
+        return _active
+    return RuntimeConfig.from_env()
+
+
+def set_config(config: RuntimeConfig | None) -> RuntimeConfig | None:
+    """Install ``config`` as process-active; returns the previous one.
+
+    ``None`` uninstalls, reverting :func:`get_config` to the
+    environment layer.  State other modules derived from the previous
+    config (the evalcore default memo) is dropped so it re-derives
+    from the new one.  Prefer :func:`config_scope` for anything
+    temporary — it also restores that derived state exactly.
+    """
+    global _active
+    previous = _active
+    _active = config
+    for name in _DERIVED_STATE_MODULES:
+        module = sys.modules.get(name)
+        if module is not None:
+            module._on_config_change()
+    return previous
+
+
+@contextmanager
+def config_scope(
+    config: RuntimeConfig | None = None, **overrides: Any
+) -> Iterator[RuntimeConfig]:
+    """Run a block under ``config`` (or the current config plus
+    ``overrides``), restoring all prior state on exit.
+
+    On entry the scoped config becomes process-active and any
+    config-derived module state (evalcore's default memo, a sampling
+    override) is reset so the scope's config governs; on exit the
+    previous active config *and* the exact prior module state return —
+    including explicitly installed memos and in-flight sampling
+    overrides.  Scopes nest.
+    """
+    base = config if config is not None else get_config()
+    scoped = base.with_(**overrides) if overrides else base
+    saved = {
+        name: sys.modules[name]._scope_save()
+        for name in _DERIVED_STATE_MODULES
+        if name in sys.modules
+    }
+    previous = set_config(scoped)
+    try:
+        yield scoped
+    finally:
+        set_config(previous)
+        for name, state in saved.items():
+            sys.modules[name]._scope_restore(state)

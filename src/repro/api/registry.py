@@ -1,0 +1,498 @@
+"""The experiment registry: one typed catalogue of paper artifacts.
+
+Every table, figure, and beyond-the-paper analysis the harness can
+reproduce is a registered :class:`Experiment`: a stable id, the paper
+artifact(s) it renders, a ``run(config) -> result`` entry point, a
+``format(result) -> str`` renderer, and (where the artifact is
+exported) an ``export(results_dir, result)`` writer.  The CLI
+(``python -m repro.harness run <id>`` / ``list``), the bulk exporter
+(:func:`repro.harness.export_all.export_all`), the docs figure index,
+and the tests all dispatch through this one catalogue instead of
+importing ``run_*/format_*`` function pairs from five modules.
+
+Runners resolve their harness implementation **lazily** — this module
+imports nothing heavy at import time, so ``repro.api`` is safe to
+import from any layer (the evaluation core imports
+:mod:`repro.api.config`, which shares the package ``__init__``).
+
+Runner contract: ``runner(config, **overrides)`` where ``config`` is a
+:class:`~repro.api.config.RuntimeConfig`.  A runner maps only the
+config fields that apply to it (sweep cache/executor/workers, seed)
+onto the underlying harness function and leaves every other default at
+the harness function's canonical value, so
+``get_experiment(id).run(RuntimeConfig())`` is bit-identical to
+calling the harness function directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.api.config import RuntimeConfig, get_config
+
+__all__ = [
+    "Experiment",
+    "experiment_for_artifact",
+    "experiment_ids",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+]
+
+#: Experiment families, in ``python -m repro.harness all`` order.
+FAMILIES = ("tables", "arch", "beyond", "training")
+
+Runner = Callable[..., Any]
+Formatter = Callable[[Any], str]
+Exporter = Callable[[Any, Any], None]  # (ResultsDirectory, result)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact (or analysis) in the catalogue.
+
+    ``loader`` returns ``(runner, formatter, exporter_or_None)`` and
+    runs at first use, keeping registration import-free.
+    """
+
+    id: str
+    title: str
+    artifacts: tuple[str, ...]
+    family: str
+    loader: Callable[[], tuple[Runner, Formatter, Exporter | None]]
+    exported: bool = False
+    _resolved: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def _parts(self) -> tuple[Runner, Formatter, Exporter | None]:
+        if "parts" not in self._resolved:
+            self._resolved["parts"] = self.loader()
+        return self._resolved["parts"]
+
+    def run(
+        self, config: RuntimeConfig | None = None, **overrides: Any
+    ) -> Any:
+        """Run the experiment under ``config`` (default: active config).
+
+        ``overrides`` forward to the underlying harness runner (e.g.
+        ``epochs=...`` or ``with_training=...``).
+        """
+        runner, _, _ = self._parts()
+        return runner(config if config is not None else get_config(),
+                      **overrides)
+
+    def format(self, result: Any) -> str:
+        """Render a :meth:`run` result the way the CLI prints it."""
+        _, formatter, _ = self._parts()
+        return formatter(result)
+
+    def export(self, results_dir: Any, result: Any) -> None:
+        """Persist a :meth:`run` result through a ``ResultsDirectory``."""
+        _, _, exporter = self._parts()
+        if exporter is None:
+            raise ValueError(
+                f"experiment {self.id!r} does not define an export schema"
+            )
+        exporter(results_dir, result)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(
+    id: str,
+    title: str,
+    artifacts: tuple[str, ...],
+    family: str,
+    loader: Callable[[], tuple[Runner, Formatter, Exporter | None]],
+    exported: bool = False,
+) -> Experiment:
+    """Register (and return) an experiment; ids must be unique."""
+    if family not in FAMILIES:
+        raise ValueError(
+            f"family must be one of {FAMILIES} (got {family!r})"
+        )
+    if id in _REGISTRY:
+        raise ValueError(f"experiment id {id!r} already registered")
+    experiment = Experiment(
+        id=id,
+        title=title,
+        artifacts=artifacts,
+        family=family,
+        loader=loader,
+        exported=exported,
+    )
+    _REGISTRY[id] = experiment
+    return experiment
+
+
+def get_experiment(id: str) -> Experiment:
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {id!r}; choose from {experiment_ids()}"
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    return list(_REGISTRY)
+
+
+def list_experiments(family: str | None = None) -> list[Experiment]:
+    """Registered experiments, in registration (catalogue) order."""
+    experiments = list(_REGISTRY.values())
+    if family is None:
+        return experiments
+    return [e for e in experiments if e.family == family]
+
+
+def experiment_for_artifact(artifact: str) -> Experiment:
+    """Resolve a paper artifact name ("Figure 18", "Table II") to the
+    experiment that reproduces it."""
+    for experiment in _REGISTRY.values():
+        if artifact in experiment.artifacts:
+            return experiment
+    raise KeyError(
+        f"no registered experiment reproduces {artifact!r}; known "
+        f"artifacts: {sorted(a for e in _REGISTRY.values() for a in e.artifacts)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# config plumbing shared by the runners
+# ----------------------------------------------------------------------
+def _sweep_kwargs(config: RuntimeConfig) -> dict[str, Any]:
+    """The sweep-engine kwargs a config implies (the config itself
+    rides along so pool workers inherit cache tiers by pickle)."""
+    return {
+        "cache": config.sweep_cache(),
+        "executor": config.executor,
+        "workers": config.workers,
+        "config": config,
+    }
+
+
+def _seed_kwargs(config: RuntimeConfig) -> dict[str, Any]:
+    """A seed override only when the config sets one explicitly."""
+    return {} if config.seed is None else {"seed": config.seed}
+
+
+# ----------------------------------------------------------------------
+# the catalogue
+# ----------------------------------------------------------------------
+def _load_fig01():
+    from repro.harness.arch_experiments import format_fig01, run_fig01_potential
+    from repro.harness.export_all import _export_fig01
+
+    def run(config, **kw):
+        return run_fig01_potential(**{**_seed_kwargs(config), **kw})
+
+    return run, format_fig01, _export_fig01
+
+
+def _load_histogram(experiment_id: str, mapping: str, balanced: bool,
+                    figure: str):
+    from repro.harness.arch_experiments import (
+        format_histogram,
+        run_imbalance_histogram,
+    )
+    from repro.harness.export_all import _export_histogram
+
+    def run(config, **kw):
+        params = {"network": "vgg-s", "mapping": mapping,
+                  "balanced": balanced, **_seed_kwargs(config), **kw}
+        return run_imbalance_histogram(**params)
+
+    def fmt(result):
+        return format_histogram(result, figure)
+
+    def export(results, result):
+        _export_histogram(results, experiment_id, result)
+
+    return run, fmt, export
+
+
+def _load_fig05():
+    return _load_histogram("fig05", "CK", False, "Figure 5")
+
+
+def _load_fig13():
+    return _load_histogram("fig13", "KN", True, "Figure 13")
+
+
+def _load_fig17():
+    from repro.harness.arch_experiments import (
+        format_fig17,
+        run_fig17_energy_breakdown,
+    )
+    from repro.harness.export_all import _export_fig17
+
+    def run(config, **kw):
+        return run_fig17_energy_breakdown(
+            **{**_sweep_kwargs(config), **_seed_kwargs(config), **kw}
+        )
+
+    return run, format_fig17, _export_fig17
+
+
+def _load_fig18_19():
+    from repro.harness.arch_experiments import (
+        format_fig18,
+        format_fig19,
+        run_fig18_fig19_dataflows,
+    )
+    from repro.harness.export_all import _export_fig18_19
+
+    def run(config, **kw):
+        return run_fig18_fig19_dataflows(
+            **{**_sweep_kwargs(config), **_seed_kwargs(config), **kw}
+        )
+
+    def fmt(result):
+        return format_fig18(result) + "\n\n" + format_fig19(result)
+
+    return run, fmt, _export_fig18_19
+
+
+def _load_fig20():
+    from repro.harness.arch_experiments import (
+        format_fig20,
+        run_fig20_scalability,
+    )
+    from repro.harness.export_all import _export_fig20
+
+    def run(config, **kw):
+        return run_fig20_scalability(
+            **{**_sweep_kwargs(config), **_seed_kwargs(config), **kw}
+        )
+
+    return run, format_fig20, _export_fig20
+
+
+def _load_table1():
+    from repro.harness.tables import format_table1, run_table1
+
+    def run(config, **kw):
+        return run_table1(**kw)
+
+    return run, format_table1, None
+
+
+def _load_table2():
+    from repro.harness.export_all import _export_table2
+    from repro.harness.tables import format_table2, run_table2
+
+    def run(config, with_training: bool = False, **kw):
+        return run_table2(
+            with_training=with_training, **{**_seed_kwargs(config), **kw}
+        )
+
+    return run, format_table2, _export_table2
+
+
+def _load_table3():
+    from repro.harness.export_all import _export_table3
+    from repro.harness.tables import format_table3, run_table3
+
+    def run(config, **kw):
+        return run_table3(**kw)
+
+    return run, format_table3, _export_table3
+
+
+def _load_fig06():
+    from repro.harness.training_experiments import format_curves, run_fig06_decay
+
+    def run(config, **kw):
+        return run_fig06_decay(**{"epochs": 8, **_seed_kwargs(config), **kw})
+
+    def fmt(result):
+        return format_curves(list(result), "init decay vs none")
+
+    return run, fmt, None
+
+
+def _load_fig07():
+    from repro.harness.training_experiments import (
+        format_curves,
+        run_fig07_quantile,
+    )
+
+    def run(config, **kw):
+        return run_fig07_quantile(**{"epochs": 8, **_seed_kwargs(config), **kw})
+
+    def fmt(result):
+        return format_curves(list(result), "quantile vs sort")
+
+    return run, fmt, None
+
+
+def _load_fig15():
+    from repro.harness.training_experiments import (
+        format_curves,
+        run_fig15_cifar_curves,
+    )
+
+    def run(config, **kw):
+        return run_fig15_cifar_curves(
+            **{**_sweep_kwargs(config), **_seed_kwargs(config), **kw}
+        )
+
+    def fmt(result):
+        return "\n\n".join(
+            format_curves(list(pair), network)
+            for network, pair in result.items()
+        )
+
+    return run, fmt, None
+
+
+def _load_fig16():
+    from repro.harness.training_experiments import (
+        format_curves,
+        run_fig16_sparsity_sweep,
+    )
+
+    def run(config, **kw):
+        return run_fig16_sparsity_sweep(
+            **{**_sweep_kwargs(config), **_seed_kwargs(config), **kw}
+        )
+
+    def fmt(result):
+        return format_curves(list(result.values()), "resnet18 sweep")
+
+    return run, fmt, None
+
+
+def _load_format_costs():
+    from repro.harness.beyond_experiments import (
+        format_format_costs,
+        run_format_costs,
+    )
+    from repro.harness.export_all import _export_format_costs
+
+    def run(config, **kw):
+        return run_format_costs(**{**_seed_kwargs(config), **kw})
+
+    return run, format_format_costs, _export_format_costs
+
+
+def _load_schedule_survey():
+    from repro.harness.beyond_experiments import (
+        format_schedule_survey,
+        run_schedule_survey,
+    )
+    from repro.harness.export_all import _export_schedule_survey
+
+    def run(config, **kw):
+        return run_schedule_survey(**kw)
+
+    return run, format_schedule_survey, _export_schedule_survey
+
+
+def _load_fabric_pricing():
+    from repro.harness.beyond_experiments import (
+        format_fabric_pricing,
+        run_fabric_pricing,
+    )
+    from repro.harness.export_all import _export_fabric_pricing
+
+    def run(config, **kw):
+        return run_fabric_pricing(**{**_sweep_kwargs(config), **kw})
+
+    return run, format_fabric_pricing, _export_fabric_pricing
+
+
+def _load_eager_comparison():
+    from repro.harness.beyond_experiments import (
+        format_eager_comparison,
+        run_eager_comparison,
+    )
+
+    def run(config, **kw):
+        return run_eager_comparison(**{**_seed_kwargs(config), **kw})
+
+    def fmt(result):
+        return format_eager_comparison(*result)
+
+    return run, fmt, None
+
+
+def _register_builtins() -> None:
+    register_experiment(
+        "table1", "Accelerator configuration (baseline vs. Procrustes)",
+        ("Table I",), "tables", _load_table1,
+    )
+    register_experiment(
+        "table2", "Model statistics and sparsity",
+        ("Table II",), "tables", _load_table2, exported=True,
+    )
+    register_experiment(
+        "table3", "Silicon area and power costs",
+        ("Table III",), "tables", _load_table3, exported=True,
+    )
+    register_experiment(
+        "fig01", "Idealized potential of sparse training",
+        ("Figure 1",), "arch", _load_fig01, exported=True,
+    )
+    register_experiment(
+        "fig05", "Load imbalance, weight-stationary C,K, no balancing",
+        ("Figure 5",), "arch", _load_fig05, exported=True,
+    )
+    register_experiment(
+        "fig13", "Load imbalance, K,N with half-tile balancing",
+        ("Figure 13",), "arch", _load_fig13, exported=True,
+    )
+    register_experiment(
+        "fig17", "Per-phase energy breakdown (K,N dataflow)",
+        ("Figure 17",), "arch", _load_fig17, exported=True,
+    )
+    register_experiment(
+        "fig18-19", "Energy and latency across the four dataflows",
+        ("Figure 18", "Figure 19"), "arch", _load_fig18_19, exported=True,
+    )
+    register_experiment(
+        "fig20", "Scalability 16x16 -> 32x32",
+        ("Figure 20",), "arch", _load_fig20, exported=True,
+    )
+    register_experiment(
+        "format-costs",
+        "Sparse-format access costs under training patterns (Section II-D)",
+        ("Figure 8",), "beyond", _load_format_costs, exported=True,
+    )
+    register_experiment(
+        "schedule-survey",
+        "Schedule/memory survey of intro claims (i)-(iii)",
+        (), "beyond", _load_schedule_survey, exported=True,
+    )
+    register_experiment(
+        "fabric-pricing",
+        "Interconnect options priced vs. array size (Section IV-C)",
+        ("Figure 10", "Figure 14"), "beyond", _load_fabric_pricing,
+        exported=True,
+    )
+    register_experiment(
+        "eager-comparison",
+        "Eager Pruning dataflow vs. Procrustes K,N (Section VII-A)",
+        (), "beyond", _load_eager_comparison,
+    )
+    register_experiment(
+        "fig06", "Initial-weight decay vs. no decay",
+        ("Figure 6",), "training", _load_fig06,
+    )
+    register_experiment(
+        "fig07", "Quantile estimation vs. exact sort",
+        ("Figure 7",), "training", _load_fig07,
+    )
+    register_experiment(
+        "fig15", "Procrustes vs. SGD accuracy (CIFAR-10 stand-ins)",
+        ("Figure 15",), "training", _load_fig15,
+    )
+    register_experiment(
+        "fig16", "Accuracy across sparsity factors",
+        ("Figure 16",), "training", _load_fig16,
+    )
+
+
+_register_builtins()

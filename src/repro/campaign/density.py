@@ -56,14 +56,19 @@ class TrajectoryDensitySource:
 def trajectory_source_for(
     spec: CampaignSpec,
     store: TrajectoryStore | None = None,
+    config=None,
 ) -> TrajectoryDensitySource:
     """Train (or load) the campaign for ``spec`` and wrap its trajectory.
 
-    Without an explicit ``store``, the process-default store from
-    ``REPRO_CAMPAIGN_CACHE_DIR`` is used when set, so repeated callers
-    across a sweep share one training run.
+    Without an explicit ``store``, the one the active (or given)
+    :class:`repro.api.config.RuntimeConfig` names is used when
+    configured — its ``campaign_cache_dir``, a ``cache_root`` tier, or
+    the layered ``REPRO_CAMPAIGN_CACHE_DIR`` variable — so repeated
+    callers across a sweep share one training run.
     """
     from repro.campaign.runner import run_campaign
 
-    store = store if store is not None else TrajectoryStore.from_env()
+    store = (
+        store if store is not None else TrajectoryStore.from_config(config)
+    )
     return TrajectoryDensitySource(run_campaign(spec, store=store).trajectory)

@@ -150,13 +150,16 @@ def replay_trajectory(
     table: EnergyTable | None = None,
     seed: int = 0,
     phases: tuple[str, ...] = PHASES,
+    config=None,
 ) -> ReplayResult:
     """Evaluate every epoch's profile; return curves and run totals.
 
     ``n`` is the training minibatch the accelerator processes per
     iteration (a campaign's ``batch_size`` for measured trajectories).
     Per-epoch per-iteration numbers come from the same ``simulate()``
-    the static experiments call, with the same seed semantics.
+    the static experiments call, with the same seed semantics —
+    ``config`` (a :class:`repro.api.config.RuntimeConfig`) threads
+    through to it unchanged.
     """
     from repro.hw.config import PROCRUSTES_16x16
 
@@ -182,6 +185,7 @@ def replay_trajectory(
             table=table,
             seed=seed,
             phases=phases,
+            config=config,
         )
         result.epochs.append(
             EpochCost(

@@ -242,16 +242,23 @@ def run_campaign(
     spec: CampaignSpec,
     store: TrajectoryStore | None = None,
     force: bool = False,
+    config=None,
 ) -> CampaignResult:
     """Train per ``spec`` (or load) and return the recorded trajectory.
 
     With a ``store``, the campaign key is checked first and the fresh
     trajectory is persisted after training; ``force=True`` retrains
-    even on a hit (and overwrites the stored record).  Training is
-    fully seeded — model init, dataset, minibatch order, and sampling
-    all derive from the spec — so two runs of one spec produce
-    identical trajectories, which is what makes the store sound.
+    even on a hit (and overwrites the stored record).  Passing a
+    :class:`repro.api.config.RuntimeConfig` as ``config`` (with no
+    explicit ``store``) resolves the store from its campaign cache
+    directory — the explicit-threading equivalent of the old
+    ``REPRO_CAMPAIGN_CACHE_DIR`` peek.  Training is fully seeded —
+    model init, dataset, minibatch order, and sampling all derive from
+    the spec — so two runs of one spec produce identical trajectories,
+    which is what makes the store sound.
     """
+    if store is None and config is not None:
+        store = TrajectoryStore.from_config(config)
     if store is not None and not force:
         cached = store.get(spec)
         if cached is not None:

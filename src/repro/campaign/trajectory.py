@@ -291,7 +291,9 @@ class TrajectoryStore:
     incrementally (atomic writes come from :class:`ResultCache`).
     """
 
-    #: Environment knob: directory for the process-default store.
+    #: The historical environment knob behind the process-default
+    #: store; it layers into :class:`repro.api.config.RuntimeConfig`
+    #: via ``RuntimeConfig.from_env`` (this module never reads it).
     ENV_VAR = "REPRO_CAMPAIGN_CACHE_DIR"
 
     def __init__(self, root: str | os.PathLike) -> None:
@@ -321,7 +323,25 @@ class TrajectoryStore:
         return len(self._cache)
 
     @classmethod
-    def from_env(cls) -> "TrajectoryStore | None":
-        """The store named by ``REPRO_CAMPAIGN_CACHE_DIR``, if set."""
-        root = os.environ.get(cls.ENV_VAR)
+    def from_config(cls, config=None) -> "TrajectoryStore | None":
+        """The store a :class:`~repro.api.config.RuntimeConfig` names.
+
+        ``config`` defaults to the process-active config, whose
+        campaign directory may come from an explicit
+        ``campaign_cache_dir``, derive from ``cache_root``
+        (``<root>/campaign``), or layer in from the historical
+        ``REPRO_CAMPAIGN_CACHE_DIR`` variable.  ``None`` when no
+        directory is configured.
+        """
+        from repro.api.config import get_config
+
+        config = config if config is not None else get_config()
+        root = config.effective_campaign_cache_dir()
         return cls(root) if root else None
+
+    @classmethod
+    def from_env(cls) -> "TrajectoryStore | None":
+        """Deprecated alias for :meth:`from_config` (kept so historical
+        callers keep working; the active config already layers
+        ``REPRO_CAMPAIGN_CACHE_DIR`` in)."""
+        return cls.from_config()

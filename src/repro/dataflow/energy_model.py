@@ -161,6 +161,7 @@ def network_energy(
     phases: tuple[str, ...] = ("fw", "bw", "wu"),
     seed: int = 0,
     balance: bool = True,
+    config=None,
 ) -> dict[str, EnergyBreakdown]:
     """Per-phase energy of one training iteration of a network.
 
@@ -185,5 +186,6 @@ def network_energy(
         balance=balance,
         seed=seed,
         phases=phases,
+        config=config,
     )
     return evaluation.phase_energy()

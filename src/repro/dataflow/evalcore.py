@@ -29,14 +29,16 @@ an optional on-disk tier (reusing the sweep engine's
 :class:`~repro.sweep.cache.ResultCache`) lets explorer and sweep
 candidates that share layers share work across runs and workers.
 
-Environment knobs (read once, at first use):
-
-``REPRO_EVALCORE_MEMO=0``
-    disable memoization entirely.
-``REPRO_EVALCORE_MEMO_SIZE``
-    LRU capacity in entries (default 512).
-``REPRO_EVALCORE_CACHE_DIR``
-    enable the on-disk tier rooted at this directory.
+The process-default memo derives from the active
+:class:`repro.api.config.RuntimeConfig` (``evalcore_memo`` /
+``evalcore_memo_size`` / ``evalcore_cache_dir``; the historical
+``REPRO_EVALCORE_*`` variables layer in through
+:meth:`RuntimeConfig.from_env`).  It is built lazily at first use and
+re-derived when a new config is installed via
+:func:`repro.api.config.set_config` / ``config_scope`` — this module
+itself never reads the environment.  Pass ``config=`` to
+:func:`evaluate_network` to run one evaluation under an explicit
+config without touching process state.
 
 :func:`reference_implementation` flips the whole stack into its
 pre-optimization configuration — loop reference kernels, exact
@@ -50,12 +52,13 @@ import hashlib
 import os
 import time
 from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
+from repro.api.config import RuntimeConfig, get_config
 from repro.dataflow import sampling
 from repro.dataflow.energy_model import layer_phase_energy
 from repro.dataflow.mapping import allowed_balancing
@@ -76,6 +79,7 @@ __all__ = [
     "get_memo",
     "layer_phase_key",
     "layer_phase_sets",
+    "memo_for_config",
     "memo_stats",
     "reference_implementation",
     "set_memo",
@@ -220,29 +224,53 @@ class EvalMemo:
 
 _UNSET = object()
 _memo: object = _UNSET
+#: Whether the current default memo was derived from the active
+#: RuntimeConfig (vs. explicitly installed via set_memo/configure_memo).
+_memo_derived = False
+
+#: Memos derived per config *content* (the memo-relevant field tuple),
+#: so repeated evaluations under equal configs — each sweep point a
+#: process-pool worker handles, every call inside one config_scope —
+#: share one LRU instead of rebuilding it per call.
+_derived_memos: OrderedDict = OrderedDict()
+_DERIVED_MEMOS_MAX = 8
+
+
+def _memo_config_key(config: RuntimeConfig) -> tuple:
+    return (
+        config.evalcore_memo,
+        config.evalcore_memo_size,
+        config.effective_evalcore_cache_dir(),
+    )
+
+
+def memo_for_config(config: RuntimeConfig) -> EvalMemo | None:
+    """The (cached) memo a config calls for; ``None`` when disabled."""
+    key = _memo_config_key(config)
+    memo = _derived_memos.get(key, _UNSET)
+    if memo is _UNSET:
+        if not config.memo_enabled:
+            memo = None
+        else:
+            memo = EvalMemo(
+                maxsize=config.evalcore_memo_size,
+                disk_root=config.effective_evalcore_cache_dir() or None,
+            )
+        _derived_memos[key] = memo
+        while len(_derived_memos) > _DERIVED_MEMOS_MAX:
+            _derived_memos.popitem(last=False)
+    else:
+        _derived_memos.move_to_end(key)
+    return memo  # type: ignore[return-value]
 
 
 def get_memo() -> EvalMemo | None:
-    """The process-wide default memo (built lazily from env knobs)."""
-    global _memo
+    """The process-wide default memo (derived lazily from the active
+    :class:`~repro.api.config.RuntimeConfig` at first use)."""
+    global _memo, _memo_derived
     if _memo is _UNSET:
-        raw_size = os.environ.get("REPRO_EVALCORE_MEMO_SIZE", "512")
-        try:
-            maxsize = int(raw_size)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_EVALCORE_MEMO_SIZE must be an integer "
-                f"(got {raw_size!r})"
-            ) from None
-        if os.environ.get("REPRO_EVALCORE_MEMO", "1") == "0" or maxsize <= 0:
-            # A non-positive size means "disabled", matching the
-            # REPRO_EVALCORE_MEMO=0 convention.
-            _memo = None
-        else:
-            _memo = EvalMemo(
-                maxsize=maxsize,
-                disk_root=os.environ.get("REPRO_EVALCORE_CACHE_DIR") or None,
-            )
+        _memo = memo_for_config(get_config())
+        _memo_derived = True
     return _memo  # type: ignore[return-value]
 
 
@@ -252,8 +280,9 @@ def configure_memo(
     enabled: bool = True,
 ) -> EvalMemo | None:
     """Replace the process-wide default memo; returns the new one."""
-    global _memo
+    global _memo, _memo_derived
     _memo = EvalMemo(maxsize=maxsize, disk_root=disk_root) if enabled else None
+    _memo_derived = False
     return _memo  # type: ignore[return-value]
 
 
@@ -261,10 +290,39 @@ def set_memo(memo: EvalMemo | None) -> EvalMemo | None:
     """Install ``memo`` as the process-wide default; returns the
     previous one (which may be ``None`` for disabled), so callers can
     scope a temporary memo and restore the exact prior state."""
-    global _memo
+    global _memo, _memo_derived
     previous = get_memo()
     _memo = memo
+    _memo_derived = False
     return previous
+
+
+def _on_config_change() -> None:
+    """Config-layer hook: drop a *derived* default memo so the next
+    :func:`get_memo` re-derives from the new active config.  An
+    explicitly installed memo (``set_memo``/``configure_memo``) is
+    left in place."""
+    global _memo, _memo_derived
+    if _memo_derived:
+        _memo = _UNSET
+        _memo_derived = False
+
+
+def _scope_save() -> tuple:
+    """Config-layer hook (``config_scope`` entry): hand the raw default
+    -memo state to the scope and reset it, so the scoped config governs
+    even over an explicitly installed memo."""
+    global _memo, _memo_derived
+    state = (_memo, _memo_derived)
+    _memo = _UNSET
+    _memo_derived = False
+    return state
+
+
+def _scope_restore(state: tuple) -> None:
+    """Config-layer hook (``config_scope`` exit): exact restore."""
+    global _memo, _memo_derived
+    _memo, _memo_derived = state
 
 
 def memo_stats() -> dict[str, int]:
@@ -453,6 +511,7 @@ def evaluate_network(
     phases: tuple[str, ...] = PHASES,
     memo: EvalMemo | None | object = _UNSET,
     timings: EvalTimings | None = None,
+    config: RuntimeConfig | None = None,
 ) -> NetworkEval:
     """One single-pass walk of a network's phases and layers.
 
@@ -461,7 +520,19 @@ def evaluate_network(
     breakdown is computed from the *same* sampled MAC counts.  Pass
     ``timings`` to accumulate a per-stage wall-time breakdown (the
     ``python -m repro.harness profile`` subcommand's view).
+
+    ``config`` runs this one evaluation under an explicit
+    :class:`~repro.api.config.RuntimeConfig` — its memo (unless
+    ``memo`` is also given, which wins) and its sampling mode — without
+    touching process-wide state; omitted, the active config governs.
     """
+    if config is not None and memo is _UNSET:
+        memo = memo_for_config(config)
+    sampling_ctx = (
+        sampling.sampling_mode(config.exact_sampling)
+        if config is not None and not _REFERENCE
+        else nullcontext()
+    )
     result = NetworkEval(
         network=profile.name,
         mapping=mapping,
@@ -470,37 +541,38 @@ def evaluate_network(
         arch=arch,
         seed=seed,
     )
-    for phase in phases:
-        mode = allowed_balancing(mapping, phase) if balance else "none"
-        rows: list[LayerPhaseEval] = []
-        for ls in profile.layers:
-            start = time.perf_counter()
-            sets = layer_phase_sets(
-                ls, phase, mapping, arch, n,
-                sparse=sparse, balance_mode=mode, seed=seed, memo=memo,
-            )
-            cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
-            macs = sets.total_macs()
-            if timings is not None:
-                timings.add("sets", time.perf_counter() - start)
-            energy = None
-            if table is not None:
+    with sampling_ctx:
+        for phase in phases:
+            mode = allowed_balancing(mapping, phase) if balance else "none"
+            rows: list[LayerPhaseEval] = []
+            for ls in profile.layers:
                 start = time.perf_counter()
-                op = phase_op(ls.layer, phase, n)
-                energy = layer_phase_energy(
-                    op, mapping, arch, ls, table, sparse=sparse, macs=macs
+                sets = layer_phase_sets(
+                    ls, phase, mapping, arch, n,
+                    sparse=sparse, balance_mode=mode, seed=seed, memo=memo,
                 )
+                cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
+                macs = sets.total_macs()
                 if timings is not None:
-                    timings.add("energy", time.perf_counter() - start)
-            rows.append(
-                LayerPhaseEval(
-                    layer_name=ls.layer.name,
-                    phase=phase,
-                    cycles=cycles,
-                    macs=macs,
-                    sets=sets,
-                    energy=energy,
+                    timings.add("sets", time.perf_counter() - start)
+                energy = None
+                if table is not None:
+                    start = time.perf_counter()
+                    op = phase_op(ls.layer, phase, n)
+                    energy = layer_phase_energy(
+                        op, mapping, arch, ls, table, sparse=sparse, macs=macs
+                    )
+                    if timings is not None:
+                        timings.add("energy", time.perf_counter() - start)
+                rows.append(
+                    LayerPhaseEval(
+                        layer_name=ls.layer.name,
+                        phase=phase,
+                        cycles=cycles,
+                        macs=macs,
+                        sets=sets,
+                        energy=energy,
+                    )
                 )
-            )
-        result.layers[phase] = rows
+            result.layers[phase] = rows
     return result

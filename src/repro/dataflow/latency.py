@@ -100,6 +100,7 @@ def network_latency(
     balance: bool = True,
     seed: int = 0,
     phases: tuple[str, ...] = PHASES,
+    config=None,
 ) -> PhaseLatency:
     """Cycles for one training iteration of a network.
 
@@ -109,6 +110,8 @@ def network_latency(
     (same sets, memoized by content); each (layer, phase)'s sampling
     stream is derived from its content key, so a layer's sets depend
     only on its own description and the seed, not on evaluation order.
+    ``config`` (a :class:`repro.api.config.RuntimeConfig`) scopes this
+    one call's memo and sampling mode.
     """
     evaluation = evaluate_network(
         profile,
@@ -120,5 +123,6 @@ def network_latency(
         balance=balance,
         seed=seed,
         phases=phases,
+        config=config,
     )
     return phase_latency_from_eval(evaluation)

@@ -16,16 +16,19 @@ distribution only where the approximation is known to be poor — tiny
 expected counts, near-saturated probabilities, small Beta shapes — or
 when the draw is too small for the switch to matter.
 
-``set_exact_sampling(True)`` (or ``REPRO_EXACT_SAMPLING=1``) restores
-the exact generators everywhere, which is how the perf-regression
-benchmark reconstructs the pre-optimization baseline.  Both modes are
+The sampling mode is layered: an explicit process override
+(``set_exact_sampling(True)`` / the ``sampling_mode`` context) wins;
+otherwise the active :class:`repro.api.config.RuntimeConfig` governs —
+its ``exact_sampling`` field, which ``REPRO_EXACT_SAMPLING=1`` sets
+through :meth:`RuntimeConfig.from_env`.  This module never reads the
+environment itself.  Exact mode is how the perf-regression benchmark
+reconstructs the pre-optimization baseline.  Both modes are
 deterministic for a fixed ``Generator`` state; the two modes consume
 the stream differently, so results are comparable *within* a mode.
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -53,19 +56,36 @@ NORMAL_COUNT_THRESHOLD = 8.0
 #: (the distribution is visibly skewed there).
 BETA_SHAPE_THRESHOLD = 4.0
 
-_EXACT = os.environ.get("REPRO_EXACT_SAMPLING", "") == "1"
+#: Process-level override; ``None`` means "follow the active config".
+_OVERRIDE: bool | None = None
+
+#: The active config's ``exact_sampling``, derived lazily (this sits
+#: on the per-draw hot path, so it must not re-read the environment
+#: layer every call); dropped whenever the active config changes.
+_CONFIG_EXACT: bool | None = None
 
 
 def exact_sampling() -> bool:
     """Whether the exact (slow) generators are in force."""
-    return _EXACT
+    global _CONFIG_EXACT
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    if _CONFIG_EXACT is None:
+        from repro.api.config import get_config
+
+        _CONFIG_EXACT = get_config().exact_sampling
+    return _CONFIG_EXACT
 
 
-def set_exact_sampling(flag: bool) -> bool:
-    """Switch exact sampling on/off; returns the previous setting."""
-    global _EXACT
-    previous = _EXACT
-    _EXACT = bool(flag)
+def set_exact_sampling(flag: bool | None) -> bool | None:
+    """Install (or with ``None`` clear) the exact-sampling override.
+
+    Returns the previous override so scoped callers can restore the
+    exact prior state — including the "follow the config" state.
+    """
+    global _OVERRIDE
+    previous = _OVERRIDE
+    _OVERRIDE = None if flag is None else bool(flag)
     return previous
 
 
@@ -77,6 +97,26 @@ def sampling_mode(exact: bool) -> Iterator[None]:
         yield
     finally:
         set_exact_sampling(previous)
+
+
+def _on_config_change() -> None:
+    """Config-layer hook: drop the cached config-derived flag so the
+    next read re-derives from the new active config."""
+    global _CONFIG_EXACT
+    _CONFIG_EXACT = None
+
+
+def _scope_save() -> bool | None:
+    """Config-layer hook (``config_scope`` entry): clear any override
+    so the scoped config's ``exact_sampling`` governs; return it."""
+    _on_config_change()
+    return set_exact_sampling(None)
+
+
+def _scope_restore(state: bool | None) -> None:
+    """Config-layer hook (``config_scope`` exit): exact restore."""
+    _on_config_change()
+    set_exact_sampling(state)
 
 
 def binomial_counts(
@@ -93,7 +133,7 @@ def binomial_counts(
     stays exact — the Gaussian pass would be pure overhead.
     """
     probs = np.asarray(probs, dtype=float)
-    if _EXACT or probs.size < FAST_SIZE_THRESHOLD:
+    if exact_sampling() or probs.size < FAST_SIZE_THRESHOLD:
         return rng.binomial(trials, probs).astype(float)
     trials_arr = np.broadcast_to(np.asarray(trials, dtype=float), probs.shape)
     mean = trials_arr * probs
@@ -128,7 +168,7 @@ def beta_values(
     shift.
     """
     n_elements = int(np.prod(size)) if size else 1
-    if _EXACT or n_elements < FAST_SIZE_THRESHOLD:
+    if exact_sampling() or n_elements < FAST_SIZE_THRESHOLD:
         return rng.beta(a, b, size=size)
     if np.ndim(a) == 0 and np.ndim(b) == 0:
         if a < BETA_SHAPE_THRESHOLD or b < BETA_SHAPE_THRESHOLD:
@@ -161,7 +201,7 @@ def replica_weights(count: int, cap: int) -> np.ndarray:
     """
     if count < 1:
         raise ValueError(f"count must be >= 1 (got {count})")
-    if _EXACT or count <= cap:
+    if exact_sampling() or count <= cap:
         return np.ones(count, dtype=np.int64)
     q, r = divmod(count, cap)
     weights = np.full(cap, q, dtype=np.int64)

@@ -66,12 +66,16 @@ def simulate(
     table: EnergyTable | None = None,
     seed: int = 0,
     phases: tuple[str, ...] = PHASES,
+    config=None,
 ) -> SimulationResult:
     """Simulate one training iteration of ``profile``'s network.
 
     The dense baseline is obtained with ``sparse=False`` (densities all
     treated as 1); Procrustes is ``sparse=True, balance=True`` with a
-    sparse profile.
+    sparse profile.  ``config`` (a
+    :class:`repro.api.config.RuntimeConfig`) runs this call under an
+    explicit memo/sampling configuration; omitted, the process-active
+    config governs.
     """
     from repro.hw.config import PROCRUSTES_16x16
 
@@ -87,6 +91,7 @@ def simulate(
         balance=balance,
         seed=seed,
         phases=phases,
+        config=config,
     )
     latency = phase_latency_from_eval(evaluation)
     energy = evaluation.phase_energy()

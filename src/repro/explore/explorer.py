@@ -163,8 +163,10 @@ class Explorer:
 
     ``evaluator`` names any registered sweep evaluator whose result
     mapping contains every objective key; ``cache``/``executor``/
-    ``workers`` configure the underlying :class:`SweepRunner` exactly
-    as for a grid sweep.
+    ``workers``/``config`` configure the underlying
+    :class:`SweepRunner` exactly as for a grid sweep (``config`` — a
+    :class:`repro.api.RuntimeConfig` — reaches every evaluator call,
+    including process-pool workers).
     """
 
     def __init__(
@@ -174,11 +176,12 @@ class Explorer:
         cache: ResultCache | None = None,
         executor: str = "serial",
         workers: int | None = None,
+        config=None,
     ) -> None:
         self.evaluator = evaluator
         self.objectives = tuple(Objective.parse(o) for o in objectives)
         self.runner = SweepRunner(
-            cache=cache, executor=executor, workers=workers
+            cache=cache, executor=executor, workers=workers, config=config
         )
 
     def run(
@@ -272,6 +275,7 @@ def explore(
     executor: str = "serial",
     workers: int | None = None,
     name: str = "explore",
+    config=None,
 ) -> ExploreResult:
     """One-shot convenience wrapper around :class:`Explorer`."""
     return Explorer(
@@ -280,4 +284,5 @@ def explore(
         cache=cache,
         executor=executor,
         workers=workers,
+        config=config,
     ).run(space, strategy, budget=budget, seed=seed, name=name)

@@ -1,4 +1,11 @@
-"""Experiment drivers: one per table and figure of the paper."""
+"""Experiment drivers: one per table and figure of the paper.
+
+The :mod:`repro.api` experiment registry is the catalogue over these
+drivers — ``repro.api.get_experiment("fig18-19").run(config)``
+dispatches to the same ``run_*`` functions re-exported here, so both
+entry points stay bit-identical.  The direct imports below are kept as
+a stable (legacy) surface; new code should prefer the registry.
+"""
 
 from repro.harness.arch_experiments import (
     format_fig01,

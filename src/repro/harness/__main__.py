@@ -1,61 +1,40 @@
 """Regenerate every table and figure from the command line.
 
-Usage::
+The CLI is generated from the :mod:`repro.api` experiment registry::
 
-    python -m repro.harness            # everything (training runs too)
-    python -m repro.harness arch       # architecture-model experiments
-    python -m repro.harness training   # training-dynamics experiments
-    python -m repro.harness tables     # Tables II (stats) and III
-    python -m repro.harness beyond     # beyond-the-paper analyses
-    python -m repro.harness export [dir]  # persist results as JSON/CSV
+    python -m repro.harness list              # the experiment catalogue
+    python -m repro.harness run fig18-19      # one experiment by id
+    python -m repro.harness                   # everything (training too)
+    python -m repro.harness arch              # architecture-model family
+    python -m repro.harness training          # training-dynamics family
+    python -m repro.harness tables            # Tables I-III
+    python -m repro.harness beyond            # beyond-the-paper analyses
+    python -m repro.harness export [dir]      # persist results as JSON/CSV
     python -m repro.harness explore [budget] [strategy]
-                                       # Pareto design-space search
-                                       # (--objective iteration|trajectory)
+                                              # Pareto design-space search
     python -m repro.harness profile [networks] [mappings]
-                                       # time simulate() per stage
-                                       # (comma-separated lists)
+                                              # time simulate() per stage
     python -m repro.harness campaign [--smoke] [--model M] [--epochs E]
-                                       # train → trajectory → replay
+                                              # train -> trajectory -> replay
 
 Every subcommand that touches an on-disk cache accepts one
-``--cache-dir DIR`` flag: ``explore`` roots its sweep results,
-evaluation-core sets, and campaign trajectories there; ``profile``
-uses it as the evaluation core's disk tier; ``campaign`` stores
-trajectories under it.  The equivalent ``REPRO_*`` environment knobs
-are documented in ``docs/architecture.md``.
+``--cache-dir DIR`` flag, which becomes the
+:class:`repro.api.RuntimeConfig` ``cache_root``: the sweep result
+cache at the root, the evaluation core's disk tier at
+``DIR/evalcore``, campaign trajectories at ``DIR/campaign``.  The
+equivalent ``REPRO_*`` environment knobs layer in beneath explicit
+flags (see ``docs/api.md``); the CLI itself never mutates the
+environment.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
-from repro.harness.arch_experiments import (
-    format_fig01,
-    format_fig17,
-    format_fig18,
-    format_fig19,
-    format_fig20,
-    format_histogram,
-    run_fig01_potential,
-    run_fig17_energy_breakdown,
-    run_fig18_fig19_dataflows,
-    run_fig20_scalability,
-    run_imbalance_histogram,
-)
-from repro.harness.tables import (
-    format_table2,
-    format_table3,
-    run_table2,
-    run_table3,
-)
-from repro.harness.training_experiments import (
-    format_curves,
-    run_fig06_decay,
-    run_fig07_quantile,
-    run_fig15_cifar_curves,
-    run_fig16_sparsity_sweep,
-)
+import repro
+from repro.api import RuntimeConfig, config_scope, get_experiment, list_experiments
 
 
 def _banner(title: str) -> None:
@@ -65,81 +44,81 @@ def _banner(title: str) -> None:
     print("=" * 72)
 
 
-def run_arch() -> None:
-    _banner("Figure 1 — idealized potential")
-    print(format_fig01(run_fig01_potential()))
-    _banner("Figure 5 — imbalance, weight-stationary C,K, no balancing")
-    print(format_histogram(
-        run_imbalance_histogram("vgg-s", "CK", balanced=False), "Figure 5"
+def _run_family(family: str, config: RuntimeConfig | None = None) -> None:
+    """Run one experiment family through the registry, with banners."""
+    config = config if config is not None else RuntimeConfig.from_env()
+    for experiment in list_experiments(family):
+        _banner(f"{' / '.join(experiment.artifacts) or experiment.id}"
+                f" — {experiment.title}")
+        print(experiment.format(experiment.run(config)))
+
+
+def run_arch(config: RuntimeConfig | None = None) -> None:
+    _run_family("arch", config)
+
+
+def run_training(config: RuntimeConfig | None = None) -> None:
+    _run_family("training", config)
+
+
+def run_tables(config: RuntimeConfig | None = None) -> None:
+    _run_family("tables", config)
+
+
+def run_beyond(config: RuntimeConfig | None = None) -> None:
+    _run_family("beyond", config)
+
+
+def run_list(family: str | None = None) -> None:
+    from repro.harness.common import render_table
+
+    rows = [
+        [
+            experiment.id,
+            experiment.family,
+            ", ".join(experiment.artifacts) or "-",
+            "yes" if experiment.exported else "",
+            experiment.title,
+        ]
+        for experiment in list_experiments(family)
+    ]
+    print(render_table(
+        ["id", "family", "paper artifact", "exported", "title"], rows
     ))
-    _banner("Figure 13 — imbalance, K,N with half-tile balancing")
-    print(format_histogram(
-        run_imbalance_histogram("vgg-s", "KN", balanced=True), "Figure 13"
-    ))
-    _banner("Figure 17 — energy breakdown (K,N)")
-    print(format_fig17(run_fig17_energy_breakdown()))
-    _banner("Figures 18/19 — dataflow sweep")
-    sweep = run_fig18_fig19_dataflows()
-    print(format_fig18(sweep))
     print()
-    print(format_fig19(sweep))
-    _banner("Figure 20 — scalability 16x16 -> 32x32")
-    print(format_fig20(run_fig20_scalability()))
+    print("run one with: python -m repro.harness run <id>")
 
 
-def run_training() -> None:
-    _banner("Figure 6 — initial-weight decay")
-    decayed, plain = run_fig06_decay(epochs=8)
-    print(format_curves([decayed, plain], "init decay vs none"))
-    _banner("Figure 7 — quantile estimation vs exact sort")
-    quantile, exact = run_fig07_quantile(epochs=8)
-    print(format_curves([quantile, exact], "quantile vs sort"))
-    _banner("Figure 15 — Procrustes vs SGD (CIFAR-10 stand-ins)")
-    for network, (p, b) in run_fig15_cifar_curves(epochs=6).items():
-        print(format_curves([p, b], network))
-    _banner("Figure 16 — sparsity sweep (ResNet18 stand-in)")
-    sweep = run_fig16_sparsity_sweep(epochs=6)
-    print(format_curves(list(sweep.values()), "resnet18 sweep"))
+def run_experiment_cli(
+    experiment_id: str, config: RuntimeConfig, export_dir: str | None = None
+) -> None:
+    experiment = get_experiment(experiment_id)
+    if export_dir is not None and not experiment.exported:
+        # Fail before the (possibly minutes-long) run, not after it.
+        raise ValueError(
+            f"experiment {experiment.id!r} does not define an export "
+            f"schema; drop --export or pick one marked 'exported' in "
+            f"`list`"
+        )
+    _banner(f"{' / '.join(experiment.artifacts) or experiment.id}"
+            f" — {experiment.title}")
+    result = experiment.run(config)
+    print(experiment.format(result))
+    if export_dir is not None:
+        from repro.report.export import ResultsDirectory
+
+        experiment.export(ResultsDirectory(export_dir), result)
+        print(f"\nwrote {export_dir}/{experiment.id}/")
 
 
-def run_tables() -> None:
-    _banner("Table II — model statistics")
-    print(format_table2(run_table2(with_training=False)))
-    _banner("Table III — silicon costs")
-    print(format_table3(run_table3()))
-
-
-def run_beyond() -> None:
-    from repro.harness.beyond_experiments import (
-        format_eager_comparison,
-        format_fabric_pricing,
-        format_format_costs,
-        format_schedule_survey,
-        run_eager_comparison,
-        run_fabric_pricing,
-        run_format_costs,
-        run_schedule_survey,
-    )
-
-    _banner("Section II-D — sparse formats under training access patterns")
-    print(format_format_costs(run_format_costs()))
-    _banner("Intro claims (i)-(iii) — schedules and memory (ResNet18)")
-    print(format_schedule_survey(run_schedule_survey()))
-    _banner("Section IV-C — interconnect area fraction vs. array size")
-    print(format_fabric_pricing(run_fabric_pricing()))
-    _banner("Section VII-A — Eager Pruning dataflow vs. Procrustes K,N")
-    print(format_eager_comparison(*run_eager_comparison()))
-
-
+# ----------------------------------------------------------------------
+# legacy flag plumbing (kept for programmatic callers; the argparse
+# layer below supersedes it on the command line)
+# ----------------------------------------------------------------------
 def _take_flag(
     args: list[str], flag: str, default: str | None = None
 ) -> tuple[list[str], str | None]:
-    """Pop one ``--flag value`` pair from an argument list.
-
-    Returns the remaining arguments and the flag's value (or
-    ``default``).  This is the shared plumbing that gives ``explore``,
-    ``profile``, and ``campaign`` one consistent ``--cache-dir``.
-    """
+    """Pop one ``--flag value`` pair from an argument list."""
     args = list(args)
     if flag not in args:
         return args, default
@@ -216,59 +195,206 @@ def run_campaign_subcommand(*args: str) -> None:
 
 
 def run_export(root: str = "results") -> None:
+    _banner(f"Exporting analytical experiments to {root}/")
     from repro.harness.export_all import export_all
 
-    _banner(f"Exporting analytical experiments to {root}/")
     for experiment_id in export_all(root):
         print(f"  wrote {root}/{experiment_id}/")
 
 
-def main(argv: list[str]) -> int:
-    start = time.time()
-    what = argv[1] if len(argv) > 1 else "all"
-    if what == "export":
-        run_export(*(argv[2:3] or ["results"]))
-        print(f"\ndone in {time.time() - start:.1f}s")
-        return 0
-    if what == "explore":
+# ----------------------------------------------------------------------
+# the argparse CLI
+# ----------------------------------------------------------------------
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="root every on-disk cache tier under DIR "
+             "(sweep results, DIR/evalcore, DIR/campaign)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment's canonical seed",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "process"), default=None,
+        help="sweep fan-out policy (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --executor process",
+    )
+    parser.add_argument(
+        "--exact-sampling", action="store_true",
+        help="use the exact (slow) working-set sampling generators",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> RuntimeConfig:
+    """defaults < REPRO_* env < explicit CLI flags."""
+    overrides: dict = {}
+    if args.cache_dir is not None:
+        overrides["cache_root"] = args.cache_dir
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.exact_sampling:
+        overrides["exact_sampling"] = True
+    return RuntimeConfig.from_env(**overrides)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description=(
+            "Reproduce the Procrustes paper's tables and figures. "
+            "Experiments are dispatched through the repro.api registry; "
+            "see `list` for the catalogue."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    p_list = sub.add_parser(
+        "list", help="show the experiment catalogue (ids, artifacts)"
+    )
+    p_list.add_argument(
+        "--family", choices=("tables", "arch", "beyond", "training"),
+        default=None, help="only one experiment family",
+    )
+
+    p_run = sub.add_parser(
+        "run", help="run one registered experiment by id"
+    )
+    p_run.add_argument(
+        "experiment", metavar="experiment-id",
+        help="a registry id (see `list`), e.g. fig18-19 or table2",
+    )
+    p_run.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="also persist the result under DIR (JSON/CSV)",
+    )
+    _add_config_flags(p_run)
+
+    for family, description in (
+        ("all", "every family (includes training runs)"),
+        ("arch", "Figures 1, 5, 13, 17, 18, 19, 20"),
+        ("training", "Figures 6, 7, 15, 16"),
+        ("tables", "Tables I, II and III"),
+        ("beyond", "beyond-the-paper analyses"),
+    ):
+        p_family = sub.add_parser(family, help=description)
+        _add_config_flags(p_family)
+
+    p_export = sub.add_parser(
+        "export", help="persist every exportable experiment as JSON/CSV"
+    )
+    p_export.add_argument(
+        "directory", nargs="?", default="results",
+        help="output directory (default: results)",
+    )
+
+    p_explore = sub.add_parser(
+        "explore", help="Pareto design-space search"
+    )
+    p_explore.add_argument("budget", nargs="?", type=int, default=120)
+    p_explore.add_argument("strategy", nargs="?", default="greedy")
+    p_explore.add_argument(
+        "--cache-dir", default="results/explore-cache", metavar="DIR"
+    )
+    p_explore.add_argument(
+        "--objective", choices=("iteration", "trajectory"),
+        default="iteration",
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="per-stage simulate() timing breakdown"
+    )
+    p_profile.add_argument("networks", nargs="?", default="vgg-s")
+    p_profile.add_argument("mappings", nargs="?", default="KN,CN,CK,PQ")
+    p_profile.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    # campaign keeps its dedicated parser (parse_campaign_args); main()
+    # forwards its raw arguments, so it is registered here only for the
+    # top-level help listing.
+    sub.add_parser(
+        "campaign",
+        help="train -> measured trajectory -> replay (see campaign --smoke)",
+        add_help=False,
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; ``argv`` is ``sys.argv``-shaped (argv[0] is the
+    program name).  Returns the process exit code."""
+    tokens = list(sys.argv if argv is None else argv)[1:]
+    if not tokens:
+        tokens = ["all"]
+    if tokens[0] == "campaign":
+        # The campaign subcommand owns its flag vocabulary
+        # (parse_campaign_args) — forward everything verbatim.
+        start = time.time()
         try:
-            run_explore_cli(*argv[2:])
-        except (KeyError, ValueError) as error:
-            print(f"explore: {error}")
-            return 2
-        print(f"\ndone in {time.time() - start:.1f}s")
-        return 0
-    if what == "profile":
-        try:
-            run_profile_cli(*argv[2:])
-        except (KeyError, ValueError) as error:
-            print(f"profile: {error}")
-            return 2
-        print(f"\ndone in {time.time() - start:.1f}s")
-        return 0
-    if what == "campaign":
-        try:
-            run_campaign_subcommand(*argv[2:])
+            run_campaign_subcommand(*tokens[1:])
         except (KeyError, ValueError) as error:
             print(f"campaign: {error}")
             return 2
         print(f"\ndone in {time.time() - start:.1f}s")
         return 0
-    runners = {
-        "arch": (run_arch,),
-        "training": (run_training,),
-        "tables": (run_tables,),
-        "beyond": (run_beyond,),
-        "all": (run_tables, run_arch, run_beyond, run_training),
-    }
-    if what not in runners:
-        choices = sorted(
-            [*runners, "campaign", "explore", "export", "profile"]
-        )
-        print(f"unknown selection {what!r}; choose from {choices}")
+    parser = build_parser()
+    try:
+        args = parser.parse_args(tokens)
+    except SystemExit as exit_:  # --help/--version (0) or usage error (2)
+        code = exit_.code
+        return code if isinstance(code, int) else 0 if code is None else 2
+    if args.command is None:
+        args = parser.parse_args(["all"])
+
+    start = time.time()
+    try:
+        if args.command == "list":
+            run_list(args.family)
+            return 0
+        if args.command == "run":
+            config = _config_from_args(args)
+            with config_scope(config):
+                run_experiment_cli(
+                    args.experiment, config, export_dir=args.export
+                )
+        elif args.command in ("all", "arch", "training", "tables", "beyond"):
+            config = _config_from_args(args)
+            families = (
+                ("tables", "arch", "beyond", "training")
+                if args.command == "all"
+                else (args.command,)
+            )
+            with config_scope(config):
+                for family in families:
+                    _run_family(family, config)
+        elif args.command == "export":
+            run_export(args.directory)
+        elif args.command == "explore":
+            run_explore_cli(
+                str(args.budget), args.strategy,
+                "--cache-dir", args.cache_dir,
+                "--objective", args.objective,
+            )
+        elif args.command == "profile":
+            run_profile_cli(
+                *(
+                    [args.networks, args.mappings]
+                    + (["--cache-dir", args.cache_dir] if args.cache_dir else [])
+                )
+            )
+    except (KeyError, ValueError) as error:
+        print(f"{args.command}: {error}")
         return 2
-    for runner in runners[what]:
-        runner()
     print(f"\ndone in {time.time() - start:.1f}s")
     return 0
 

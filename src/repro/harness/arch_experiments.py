@@ -3,8 +3,12 @@
 Each ``run_*`` function returns a small result object; each
 ``format_*`` renders the same rows/series the paper's figure reports.
 The grid-shaped experiments (Figures 17-20) run on the shared sweep
-engine (:mod:`repro.sweep`), so they accept an optional result cache
-and executor policy and inherit parallel fan-out for free.
+engine (:mod:`repro.sweep`), so they accept an optional result cache,
+executor policy, and :class:`repro.api.config.RuntimeConfig` (threaded
+to every evaluator call, including pool workers) and inherit parallel
+fan-out for free.  The :mod:`repro.api` registry dispatches to these
+functions — ``get_experiment("fig18-19").run(config)`` and a direct
+call produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -236,6 +240,7 @@ def run_fig17_energy_breakdown(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ) -> Fig17Result:
     """Figure 17: DRAM/GLB/RF/MAC energy, KN dataflow, D vs S."""
     from repro.models.zoo import PAPER_MODELS
@@ -248,7 +253,9 @@ def run_fig17_energy_breakdown(
         fixed={"mapping": "KN"},
         base_seed=seed,
     )
-    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    sweep = run_sweep(
+        spec, cache=cache, executor=executor, workers=workers, config=config
+    )
     result = Fig17Result()
     for point in sweep.points:
         components = point.values["energy_components_by_phase"]
@@ -345,6 +352,7 @@ def run_fig18_fig19_dataflows(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ) -> DataflowSweepResult:
     """Figures 18/19: sweep the four spatial mappings, dense and sparse."""
     from repro.models.zoo import PAPER_MODELS
@@ -360,7 +368,9 @@ def run_fig18_fig19_dataflows(
         },
         base_seed=seed,
     )
-    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    sweep = run_sweep(
+        spec, cache=cache, executor=executor, workers=workers, config=config
+    )
     result = DataflowSweepResult()
     result.rows.extend(_simulation_row(p) for p in sweep.points)
     return result
@@ -447,6 +457,7 @@ def run_fig20_scalability(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ) -> Fig20Result:
     """Figure 20: quadruple the PEs (and double the GLB), sparse runs."""
     spec = SweepSpec.grid(
@@ -460,7 +471,9 @@ def run_fig20_scalability(
         fixed={"sparse": True},
         base_seed=seed,
     )
-    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    sweep = run_sweep(
+        spec, cache=cache, executor=executor, workers=workers, config=config
+    )
     result = Fig20Result()
     for point in sweep.points:
         row = _simulation_row(point)

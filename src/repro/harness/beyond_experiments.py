@@ -130,12 +130,15 @@ def run_fabric_pricing(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ):
     """Area fraction of each interconnect option per array size."""
     spec = SweepSpec.grid(
         "fabric-pricing", "fabric-cost", {"side": list(sides)}
     )
-    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    sweep = run_sweep(
+        spec, cache=cache, executor=executor, workers=workers, config=config
+    )
     return {
         int(point.params["side"]): {
             name: option["fraction"]

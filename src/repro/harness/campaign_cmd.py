@@ -153,9 +153,10 @@ def run_campaign_cli(args: list[str]) -> str:
     if options["cache_dir"]:
         store = TrajectoryStore(Path(options["cache_dir"]) / "campaign")
     else:
-        # Honor the documented REPRO_CAMPAIGN_CACHE_DIR knob, exactly
-        # like the sweep evaluators and trajectory_source_for do.
-        store = TrajectoryStore.from_env()
+        # Honor the active RuntimeConfig (which layers the documented
+        # REPRO_CAMPAIGN_CACHE_DIR knob), exactly like the sweep
+        # evaluators and trajectory_source_for do.
+        store = TrajectoryStore.from_config()
     result = run_campaign(spec, store=store)
     origin = "trajectory store (cache hit)" if result.cached else "training"
     print(f"campaign key {spec.key()[:16]}… from {origin}")

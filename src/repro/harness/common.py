@@ -80,14 +80,16 @@ def density_source_for(
     seed: int = 1,
     sparsity_factor: float | None = None,
     campaign_spec=None,
+    config=None,
 ) -> DensitySource:
     """One density source per experiment condition, measured or not.
 
     ``source`` selects the fidelity: ``"analytic"`` (the calibrated
     fallback every pre-campaign experiment used), ``"dense"`` (the
     unpruned baseline), or ``"trajectory"`` — a measured campaign
-    trajectory, trained (or loaded from ``REPRO_CAMPAIGN_CACHE_DIR``)
-    for ``campaign_spec`` (default: the ``name`` mini model under the
+    trajectory, trained (or loaded from the store the active or given
+    :class:`repro.api.config.RuntimeConfig` names) for
+    ``campaign_spec`` (default: the ``name`` mini model under the
     standard recipe).  All three satisfy the same
     :class:`~repro.workloads.density.DensitySource` protocol.
     """
@@ -104,7 +106,7 @@ def density_source_for(
         spec = campaign_spec or CampaignSpec(model=name, seed=seed)
         if sparsity_factor is not None:
             spec = spec.with_(sparsity_factor=sparsity_factor)
-        return trajectory_source_for(spec)
+        return trajectory_source_for(spec, config=config)
     raise KeyError(
         f"unknown density source {source!r}; "
         "choose from ['analytic', 'dense', 'trajectory']"

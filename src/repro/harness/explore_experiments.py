@@ -25,8 +25,8 @@ the cold time.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from pathlib import Path
 
+from repro.api.config import RuntimeConfig, config_scope, get_config
 from repro.explore import (
     DEFAULT_OBJECTIVES,
     ExploreResult,
@@ -41,8 +41,6 @@ from repro.explore import (
 )
 from repro.harness.common import render_table
 from repro.report.ascii_plot import scatter_plot
-from repro.sweep.cache import ResultCache
-
 __all__ = [
     "default_space",
     "format_frontier",
@@ -114,9 +112,10 @@ def run_explore(
     network: str = "vgg-s",
     seed: int = 0,
     cache_dir: str | None = None,
-    executor: str = "serial",
+    executor: str | None = None,
     workers: int | None = None,
     objective: str = "iteration",
+    config: RuntimeConfig | None = None,
 ) -> ExploreResult:
     """Search the design space and return the Pareto frontier.
 
@@ -126,6 +125,12 @@ def run_explore(
     :func:`repro.explore.make_strategy`).  ``objective`` picks the
     evaluation: ``iteration`` (static analytic profile, per-iteration
     cost) or ``trajectory`` (measured campaign, whole-run cost).
+
+    ``cache_dir``/``executor``/``workers`` layer on top of ``config``
+    (default: the active :class:`~repro.api.config.RuntimeConfig`)
+    when given — ``None`` keeps the config's own value — and the
+    combined config is scoped around the whole search, so every
+    on-disk tier roots under one directory — see :func:`cache_tiers`.
     """
     try:
         evaluator, objectives = OBJECTIVES[objective]
@@ -142,20 +147,32 @@ def run_explore(
         proposer = make_strategy("random", n_samples=budget)
     else:
         proposer = make_strategy(strategy)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    explorer = Explorer(
-        evaluator=evaluator,
-        objectives=objectives,
-        cache=cache,
-        executor=executor,
-        workers=workers,
-    )
+    base = config if config is not None else get_config()
+    if cache_dir:
+        base = base.with_(
+            cache_root=str(cache_dir),
+            evalcore_cache_dir=None,
+            campaign_cache_dir=None,
+        )
+    if executor is not None:
+        base = base.with_(executor=executor)
+    if workers is not None:
+        base = base.with_(workers=workers)
+    cache = base.sweep_cache()
     space = (
         trajectory_space(network)
         if objective == "trajectory"
         else default_space(network)
     )
-    with cache_tiers(cache_dir):
+    with config_scope(base) as scoped:
+        explorer = Explorer(
+            evaluator=evaluator,
+            objectives=objectives,
+            cache=cache,
+            executor=scoped.executor,
+            workers=scoped.workers,
+            config=scoped,
+        )
         return explorer.run(
             space,
             proposer,
@@ -167,50 +184,33 @@ def run_explore(
 
 @contextmanager
 def cache_tiers(cache_dir: str | None):
-    """Route every on-disk tier under one ``cache_dir`` for the run.
+    """Route every on-disk tier under one ``cache_dir`` for a block.
 
-    * the evaluation core's layer-level working sets
+    A thin :func:`repro.api.config.config_scope` wrapper setting
+    ``cache_root`` — the scoped config derives
+
+    * the evaluation core's layer-level working-set tier
       (``<cache_dir>/evalcore``) — candidates that share (layer,
       phase, mapping, geometry) share set building across runs;
     * the campaign trajectory store (``<cache_dir>/campaign``) —
       trajectory-objective candidates (and the ``campaign`` evaluator)
       share one training run per recipe.
 
-    The env vars make process-pool workers (which inherit the
-    environment) pick up the same tiers.  Env vars and the
-    process-default memo are restored on exit so other callers in the
-    process are unaffected.
+    No environment variable is touched: process-pool workers receive
+    the same config by pickle through the sweep runner, and all prior
+    process state (active config, default memo) is restored on exit.
     """
     if not cache_dir:
-        yield
+        yield None
         return
-    import os
-
-    from repro.campaign.trajectory import TrajectoryStore
-    from repro.dataflow.evalcore import EvalMemo, set_memo
-
-    evalcore_dir = str(Path(cache_dir) / "evalcore")
-    campaign_dir = str(Path(cache_dir) / "campaign")
-    previous = os.environ.get("REPRO_EVALCORE_CACHE_DIR")
-    previous_campaign = os.environ.get(TrajectoryStore.ENV_VAR)
-    # Capture the prior default memo BEFORE touching the env var: in a
-    # fresh process set_memo()'s lazy get_memo() would otherwise
-    # materialize the "previous" memo from the mutated environment.
-    previous_memo = set_memo(EvalMemo(disk_root=evalcore_dir))
-    os.environ["REPRO_EVALCORE_CACHE_DIR"] = evalcore_dir
-    os.environ[TrajectoryStore.ENV_VAR] = campaign_dir
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop("REPRO_EVALCORE_CACHE_DIR", None)
-        else:
-            os.environ["REPRO_EVALCORE_CACHE_DIR"] = previous
-        if previous_campaign is None:
-            os.environ.pop(TrajectoryStore.ENV_VAR, None)
-        else:
-            os.environ[TrajectoryStore.ENV_VAR] = previous_campaign
-        set_memo(previous_memo)
+    with config_scope(
+        get_config().with_(
+            cache_root=str(cache_dir),
+            evalcore_cache_dir=None,
+            campaign_cache_dir=None,
+        )
+    ) as scoped:
+        yield scoped
 
 
 def format_frontier(result: ExploreResult) -> str:

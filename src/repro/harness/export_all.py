@@ -1,11 +1,17 @@
 """Persist every architecture-model experiment as JSON/CSV records.
 
-``python -m repro.harness export [directory]`` regenerates the fast
-(analytical) tables and figures and writes one record per experiment
-under the given directory (default ``./results``), using the canonical
-:mod:`repro.report.export` layout.  The training-dynamics experiments
-(Figs 6/7/15/16) are excluded because they train networks; run them
-via ``python -m repro.harness training`` and the benches instead.
+``python -m repro.harness export [directory]`` walks the
+:mod:`repro.api` experiment registry, runs every experiment that
+defines an export schema (the fast analytical ones), and writes one
+record per experiment under the given directory (default
+``./results``) using the canonical :mod:`repro.report.export` layout.
+The training-dynamics experiments (Figs 6/7/15/16) define no exporter
+because they train networks; run them via ``python -m repro.harness
+training`` and the benches instead.
+
+The ``_export_*`` helpers here are the registry experiments' export
+schemas — each takes a ``ResultsDirectory`` plus a precomputed result
+(or runs the experiment itself when called standalone).
 """
 
 from __future__ import annotations
@@ -13,14 +19,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.harness.arch_experiments import (
-    run_fig01_potential,
-    run_fig17_energy_breakdown,
-    run_fig18_fig19_dataflows,
-    run_fig20_scalability,
-    run_imbalance_histogram,
-)
-from repro.harness.tables import run_table2, run_table3
 from repro.report.export import ResultsDirectory, experiment_record
 
 __all__ = ["export_all"]
@@ -50,8 +48,11 @@ def _save_rows(
         )
 
 
-def _export_fig01(results: ResultsDirectory) -> None:
-    fig01 = run_fig01_potential()
+def _export_fig01(results: ResultsDirectory, fig01=None) -> None:
+    if fig01 is None:
+        from repro.harness.arch_experiments import run_fig01_potential
+
+        fig01 = run_fig01_potential()
     results.save_record(
         experiment_record(
             "fig01",
@@ -69,41 +70,98 @@ def _export_fig01(results: ResultsDirectory) -> None:
     )
 
 
+def _export_histogram(
+    results: ResultsDirectory, experiment_id: str, hist
+) -> None:
+    results.save_record(
+        experiment_record(
+            experiment_id,
+            {
+                "network": hist.network,
+                "mapping": hist.mapping,
+                "balanced": hist.balanced,
+            },
+            {
+                "fractions": {
+                    str(center): frac
+                    for center, frac in hist.fractions.items()
+                },
+                "mean_overhead": hist.mean_overhead,
+                "p90_overhead": hist.p90_overhead,
+                "max_overhead": hist.max_overhead,
+            },
+            notes=f"imbalance histogram ({experiment_id})",
+        )
+    )
+
+
 def _export_histograms(results: ResultsDirectory) -> None:
+    from repro.harness.arch_experiments import run_imbalance_histogram
+
     for exp_id, mapping, balanced in (
         ("fig05", "CK", False),
         ("fig13", "KN", True),
     ):
-        hist = run_imbalance_histogram("vgg-s", mapping, balanced)
-        results.save_record(
-            experiment_record(
-                exp_id,
-                {
-                    "network": hist.network,
-                    "mapping": hist.mapping,
-                    "balanced": hist.balanced,
-                },
-                {
-                    "fractions": {
-                        str(center): frac
-                        for center, frac in hist.fractions.items()
-                    },
-                    "mean_overhead": hist.mean_overhead,
-                    "p90_overhead": hist.p90_overhead,
-                    "max_overhead": hist.max_overhead,
-                },
-                notes=f"imbalance histogram ({exp_id})",
-            )
+        _export_histogram(
+            results, exp_id, run_imbalance_histogram("vgg-s", mapping, balanced)
         )
 
 
-def _export_tables(results: ResultsDirectory) -> None:
-    table2 = run_table2(with_training=False)
+def _export_fig17(results: ResultsDirectory, fig17=None) -> None:
+    if fig17 is None:
+        from repro.harness.arch_experiments import run_fig17_energy_breakdown
+
+        fig17 = run_fig17_energy_breakdown()
+    _save_rows(
+        results,
+        "fig17",
+        fig17.rows,
+        {"mapping": "KN"},
+        notes="energy breakdown per phase (Figure 17)",
+    )
+
+
+def _export_fig18_19(results: ResultsDirectory, sweep=None) -> None:
+    if sweep is None:
+        from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+
+        sweep = run_fig18_fig19_dataflows()
+    _save_rows(
+        results, "fig18-19", sweep.rows, {},
+        notes="dataflow sweep: energy and cycles (Figures 18/19)",
+    )
+
+
+def _export_fig20(results: ResultsDirectory, fig20=None) -> None:
+    if fig20 is None:
+        from repro.harness.arch_experiments import run_fig20_scalability
+
+        fig20 = run_fig20_scalability()
+    _save_rows(
+        results,
+        "fig20",
+        fig20.rows,
+        {"scales": [16, 32]},
+        notes="scalability 16x16 vs 32x32 (Figure 20)",
+    )
+
+
+def _export_table2(results: ResultsDirectory, table2=None) -> None:
+    if table2 is None:
+        from repro.harness.tables import run_table2
+
+        table2 = run_table2(with_training=False)
     _save_rows(
         results, "table2", table2.rows, {},
         notes="model statistics (Table II)",
     )
-    table3 = run_table3()
+
+
+def _export_table3(results: ResultsDirectory, table3=None) -> None:
+    if table3 is None:
+        from repro.harness.tables import run_table3
+
+        table3 = run_table3()
     results.save_record(
         experiment_record(
             "table3",
@@ -118,14 +176,16 @@ def _export_tables(results: ResultsDirectory) -> None:
     )
 
 
-def _export_beyond(results: ResultsDirectory) -> None:
-    from repro.harness.beyond_experiments import (
-        run_fabric_pricing,
-        run_format_costs,
-        run_schedule_survey,
-    )
+def _export_tables(results: ResultsDirectory) -> None:
+    _export_table2(results)
+    _export_table3(results)
 
-    costs = run_format_costs()
+
+def _export_format_costs(results: ResultsDirectory, costs=None) -> None:
+    if costs is None:
+        from repro.harness.beyond_experiments import run_format_costs
+
+        costs = run_format_costs()
     results.save_record(
         experiment_record(
             "format-costs",
@@ -146,48 +206,58 @@ def _export_beyond(results: ResultsDirectory) -> None:
             notes="Section II-D format access costs",
         )
     )
+
+
+def _export_schedule_survey(results: ResultsDirectory, survey=None) -> None:
+    if survey is None:
+        from repro.harness.beyond_experiments import run_schedule_survey
+
+        survey = run_schedule_survey()
     results.save_record(
         experiment_record(
             "schedule-survey",
             {"network": "resnet18", "iterations": 90 * 5_005},
-            run_schedule_survey(),
+            survey,
             notes="intro claims (i)-(iii): schedules and memory",
         )
     )
+
+
+def _export_fabric_pricing(results: ResultsDirectory, pricing=None) -> None:
+    if pricing is None:
+        from repro.harness.beyond_experiments import run_fabric_pricing
+
+        pricing = run_fabric_pricing()
     results.save_record(
         experiment_record(
             "fabric-pricing",
             {"sides": [8, 16, 32, 64]},
-            {str(side): fracs for side, fracs in run_fabric_pricing().items()},
+            {str(side): fracs for side, fracs in pricing.items()},
             notes="Section IV-C interconnect area fractions",
         )
     )
 
 
-def export_all(root: str | Path = "results") -> list[str]:
-    """Run and persist the analytical experiments; returns the ids."""
+def _export_beyond(results: ResultsDirectory) -> None:
+    _export_format_costs(results)
+    _export_schedule_survey(results)
+    _export_fabric_pricing(results)
+
+
+def export_all(root: str | Path = "results", config=None) -> list[str]:
+    """Run and persist every exportable registry experiment.
+
+    Dispatches through the :mod:`repro.api` catalogue: each experiment
+    flagged ``exported`` runs under ``config`` (default: the active
+    :class:`~repro.api.config.RuntimeConfig`) and is written through
+    its own export schema.  Returns the exported experiment ids.
+    """
+    from repro.api import get_config, list_experiments
+
+    config = config if config is not None else get_config()
     results = ResultsDirectory(root)
-    _export_fig01(results)
-    _export_histograms(results)
-    _export_beyond(results)
-    _save_rows(
-        results,
-        "fig17",
-        run_fig17_energy_breakdown().rows,
-        {"mapping": "KN"},
-        notes="energy breakdown per phase (Figure 17)",
-    )
-    sweep = run_fig18_fig19_dataflows()
-    _save_rows(
-        results, "fig18-19", sweep.rows, {},
-        notes="dataflow sweep: energy and cycles (Figures 18/19)",
-    )
-    _save_rows(
-        results,
-        "fig20",
-        run_fig20_scalability().rows,
-        {"scales": [16, 32]},
-        notes="scalability 16x16 vs 32x32 (Figure 20)",
-    )
-    _export_tables(results)
+    for experiment in list_experiments():
+        if not experiment.exported:
+            continue
+        experiment.export(results, experiment.run(config))
     return results.list_experiments()

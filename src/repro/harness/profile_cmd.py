@@ -54,17 +54,21 @@ def run_profile(
     mappings: tuple[str, ...] = DEFAULT_MAPPINGS,
     seed: int = 0,
     cache_dir: str | None = None,
+    config=None,
 ) -> list[dict[str, float | str]]:
     """Profile one ``simulate()`` per (network, mapping); return rows.
 
-    With ``cache_dir``, each fresh memo is backed by the evaluation
-    core's on-disk tier under ``<cache_dir>/evalcore`` — the same
-    layout the ``explore`` subcommand roots there — so a profiled
-    condition warms future explorer/sweep runs (and vice versa; a
-    primed directory shows up here as disk hits on the "cold" pass).
+    With ``cache_dir`` (or a :class:`repro.api.config.RuntimeConfig`
+    naming an evalcore tier), each fresh memo is backed by the
+    evaluation core's on-disk tier under ``<cache_dir>/evalcore`` —
+    the same layout the ``explore`` subcommand roots there — so a
+    profiled condition warms future explorer/sweep runs (and vice
+    versa; a primed directory shows up here as disk hits on the
+    "cold" pass).
     """
     from pathlib import Path
 
+    from repro.api.config import get_config
     from repro.dataflow.evalcore import (
         EvalMemo,
         EvalTimings,
@@ -73,14 +77,22 @@ def run_profile(
     from repro.hw.config import PROCRUSTES_16x16
     from repro.hw.energy import DEFAULT_ENERGY_TABLE
 
-    disk_root = str(Path(cache_dir) / "evalcore") if cache_dir else None
+    active = config if config is not None else get_config()
+    if cache_dir:
+        disk_root = str(Path(cache_dir) / "evalcore")
+    else:
+        disk_root = active.effective_evalcore_cache_dir()
+    # Each condition gets a *fresh* memo on purpose (the cold/warm
+    # split is the point of this command), but its capacity and the
+    # sampling mode honor the configuration being profiled.
+    memo_size = max(1, active.evalcore_memo_size)
     rows: list[dict[str, float | str]] = []
     for network in networks:
         profile = sparse_profile_for(network)
         n = model_entry(network).minibatch
         for mapping in mappings:
             # Fresh per condition: the cold/warm split stays meaningful.
-            memo = EvalMemo(disk_root=disk_root)
+            memo = EvalMemo(maxsize=memo_size, disk_root=disk_root)
             timings = EvalTimings()
             start = time.perf_counter()
             with _timed_balance(timings):
@@ -93,6 +105,7 @@ def run_profile(
                     seed=seed,
                     memo=memo,
                     timings=timings,
+                    config=active,
                 )
             cold_s = time.perf_counter() - start
             start = time.perf_counter()
@@ -104,6 +117,7 @@ def run_profile(
                 table=DEFAULT_ENERGY_TABLE,
                 seed=seed,
                 memo=memo,
+                config=active,
             )
             warm_s = time.perf_counter() - start
             stages = timings.stages

@@ -1,9 +1,11 @@
-"""Tables II and III of the paper.
+"""Tables I, II and III of the paper.
 
-Table II combines paper-scale model statistics (sizes, MACs — computed
-from our layer specs and calibrated profiles) with training outcomes
-(accuracy parity, achieved sparsity — from the mini-model runs).
-Table III is the silicon cost inventory with the derived overheads.
+Table I is the accelerator configuration (the named ``ArchConfig``
+constants everything else consumes).  Table II combines paper-scale
+model statistics (sizes, MACs — computed from our layer specs and
+calibrated profiles) with training outcomes (accuracy parity, achieved
+sparsity — from the mini-model runs).  Table III is the silicon cost
+inventory with the derived overheads.
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from repro.harness.training_experiments import TrainRunResult, train_mini
 from repro.hw.area import AreaModel
 
 __all__ = [
+    "run_table1",
+    "format_table1",
     "Table2Result",
     "run_table2",
     "format_table2",
@@ -22,6 +26,29 @@ __all__ = [
     "run_table3",
     "format_table3",
 ]
+
+
+def run_table1() -> list[dict[str, object]]:
+    """Table I: the baseline and Procrustes accelerator configurations.
+
+    These are constants (``repro.hw.config``), returned as rows so the
+    registry can print and diff them like any other experiment.
+    """
+    from dataclasses import asdict
+
+    from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+
+    return [asdict(arch) for arch in (BASELINE_16x16, PROCRUSTES_16x16)]
+
+
+def format_table1(rows: list[dict[str, object]]) -> str:
+    headers = ["parameter"] + [str(row["name"]) for row in rows]
+    keys = [k for k in rows[0] if k != "name"]
+    table = [[key] + [row[key] for row in rows] for key in keys]
+    return (
+        "Table I — accelerator configuration\n"
+        + render_table(headers, table)
+    )
 
 
 @dataclass

@@ -202,6 +202,7 @@ def run_fig15_cifar_curves(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ) -> dict[str, tuple[TrainRunResult, TrainRunResult]]:
     """Figure 15: Procrustes vs. dense SGD on the CIFAR-10 stand-ins."""
     spec = SweepSpec.grid(
@@ -211,7 +212,9 @@ def run_fig15_cifar_curves(
         fixed={"epochs": epochs},
         base_seed=seed,
     )
-    sweep = run_sweep(spec, cache=cache, executor=executor, workers=workers)
+    sweep = run_sweep(
+        spec, cache=cache, executor=executor, workers=workers, config=config
+    )
     out: dict[str, tuple[TrainRunResult, TrainRunResult]] = {}
     for network in networks:
         (proc_point,) = sweep.select(model=network, mode="procrustes")
@@ -231,6 +234,7 @@ def run_fig16_sparsity_sweep(
     cache: ResultCache | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    config=None,
 ) -> dict[str, TrainRunResult]:
     """Figure 16: accuracy at several pruning ratios vs. SGD baseline."""
     baseline = run_sweep(
@@ -242,6 +246,7 @@ def run_fig16_sparsity_sweep(
             base_seed=seed,
         ),
         cache=cache,
+        config=config,
     )
     sweep = run_sweep(
         SweepSpec.grid(
@@ -254,6 +259,7 @@ def run_fig16_sparsity_sweep(
         cache=cache,
         executor=executor,
         workers=workers,
+        config=config,
     )
     out = {
         "baseline (SGD)": _run_from_values(

@@ -365,17 +365,24 @@ def train_mini_point(
 
 #: Process-local L1 over the on-disk TrajectoryStore: explorer batches
 #: and sweep grids that embed the same training recipe train it once
-#: per process even when no REPRO_CAMPAIGN_CACHE_DIR is configured.
+#: per process even when no campaign cache directory is configured.
 _TRAJECTORY_MEMO: dict[str, Any] = {}
 _TRAJECTORY_MEMO_MAX = 32
 
 
 def _campaign_trajectory(spec) -> tuple[Any, bool]:
-    """Train-or-load the campaign for ``spec``; returns (trajectory, cached)."""
+    """Train-or-load the campaign for ``spec``; returns (trajectory, cached).
+
+    The on-disk store comes from the active
+    :class:`repro.api.config.RuntimeConfig` (its ``campaign_cache_dir``
+    / ``cache_root``, with the ``REPRO_CAMPAIGN_CACHE_DIR`` variable
+    layered in) — the sweep runner installs the caller's config around
+    every evaluator call, including in process-pool workers.
+    """
     from repro.campaign import TrajectoryStore, run_campaign
 
     key = spec.key()
-    store = TrajectoryStore.from_env()
+    store = TrajectoryStore.from_config()
     memoized = _TRAJECTORY_MEMO.get(key)
     if memoized is not None:
         if store is not None and spec not in store:

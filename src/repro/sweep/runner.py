@@ -156,6 +156,7 @@ def _evaluate_point(
     fn: Callable[..., Mapping[str, Any]],
     params: Mapping[str, Any],
     seed: int,
+    config=None,
 ) -> tuple[dict[str, Any], float]:
     """Worker body: run one evaluator call, timed.
 
@@ -166,9 +167,21 @@ def _evaluate_point(
     by-name lookup would break user-registered evaluators; unpickling
     the callable imports its defining module instead, which re-runs
     the ``@register`` decorator as a side effect.
+
+    ``config`` — a :class:`repro.api.RuntimeConfig` — is shipped the
+    same way (a plain picklable dataclass) and installed for the
+    duration of the call, so pool workers share the caller's cache
+    tiers and sampling mode without inheriting mutated environment
+    variables.
     """
     start = time.perf_counter()
-    values = to_jsonable(dict(fn(seed=seed, **dict(params))))
+    if config is None:
+        values = to_jsonable(dict(fn(seed=seed, **dict(params))))
+    else:
+        from repro.api.config import config_scope
+
+        with config_scope(config):
+            values = to_jsonable(dict(fn(seed=seed, **dict(params))))
     return values, time.perf_counter() - start
 
 
@@ -178,6 +191,11 @@ class SweepRunner:
     ``executor`` is ``"serial"`` (evaluate inline, deterministic
     ordering, easiest to debug) or ``"process"`` (fan misses out over
     ``workers`` processes; results are still returned in grid order).
+
+    ``config`` — a :class:`repro.api.RuntimeConfig` — is applied around
+    every evaluator call, serial or pooled: pool workers receive it by
+    pickle, which is how one ``--cache-dir`` serves a whole parallel
+    sweep without any environment mutation.
     """
 
     def __init__(
@@ -185,6 +203,7 @@ class SweepRunner:
         cache: ResultCache | None = None,
         executor: str = "serial",
         workers: int | None = None,
+        config=None,
     ) -> None:
         if executor not in ("serial", "process"):
             raise ValueError(
@@ -193,6 +212,7 @@ class SweepRunner:
         self.cache = cache
         self.executor = executor
         self.workers = workers or os.cpu_count() or 1
+        self.config = config
 
     def run(
         self,
@@ -242,7 +262,9 @@ class SweepRunner:
 
         if self.executor == "serial" or len(pending) <= 1:
             for point in pending:
-                values, wall = _evaluate_point(fn, point.params, point.seed)
+                values, wall = _evaluate_point(
+                    fn, point.params, point.seed, self.config
+                )
                 finish(point, values, wall)
         elif pending:
             self._run_pool(fn, pending, finish)
@@ -275,7 +297,7 @@ class SweepRunner:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _evaluate_point, fn, point.params, point.seed
+                    _evaluate_point, fn, point.params, point.seed, self.config
                 ): point
                 for point in pending
             }
@@ -308,8 +330,9 @@ def run_sweep(
     executor: str = "serial",
     workers: int | None = None,
     progress: Callable[[PointResult], None] | None = None,
+    config=None,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(cache=cache, executor=executor, workers=workers).run(
-        spec, progress=progress
-    )
+    return SweepRunner(
+        cache=cache, executor=executor, workers=workers, config=config
+    ).run(spec, progress=progress)

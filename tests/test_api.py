@@ -1,0 +1,526 @@
+"""Tests for repro.api: the experiment registry and RuntimeConfig.
+
+Pins the PR-5 redesign contract: one typed entry point
+(``get_experiment(id).run(config)``) that reproduces the direct
+harness calls bit-identically, a layered config with precedence
+*defaults < REPRO_* env < explicit argument*, ``config_scope()``
+restoring all prior state, and **zero** ``os.environ`` reads anywhere
+on the library path outside ``RuntimeConfig.from_env``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    RuntimeConfig,
+    config_scope,
+    experiment_for_artifact,
+    experiment_ids,
+    get_config,
+    get_experiment,
+    list_experiments,
+    set_config,
+)
+from repro.dataflow import evalcore, sampling
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# RuntimeConfig precedence
+# ----------------------------------------------------------------------
+class TestRuntimeConfigPrecedence:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.evalcore_memo is True
+        assert config.evalcore_memo_size == 512
+        assert config.exact_sampling is False
+        assert config.campaign_cache_dir is None
+        assert config.cache_root is None
+        assert config.seed is None
+        assert config.executor == "serial"
+
+    def test_env_beats_defaults(self):
+        config = RuntimeConfig.from_env(
+            environ={
+                "REPRO_EVALCORE_MEMO": "0",
+                "REPRO_EVALCORE_MEMO_SIZE": "64",
+                "REPRO_EXACT_SAMPLING": "1",
+                "REPRO_CAMPAIGN_CACHE_DIR": "/tmp/c",
+                "REPRO_EVALCORE_CACHE_DIR": "/tmp/e",
+                "REPRO_CACHE_ROOT": "/tmp/r",
+            }
+        )
+        assert config.evalcore_memo is False
+        assert config.evalcore_memo_size == 64
+        assert config.exact_sampling is True
+        assert config.campaign_cache_dir == "/tmp/c"
+        assert config.evalcore_cache_dir == "/tmp/e"
+        assert config.cache_root == "/tmp/r"
+
+    def test_explicit_argument_beats_env(self):
+        config = RuntimeConfig.from_env(
+            environ={
+                "REPRO_EVALCORE_MEMO": "0",
+                "REPRO_EXACT_SAMPLING": "1",
+                "REPRO_CAMPAIGN_CACHE_DIR": "/tmp/env-store",
+            },
+            evalcore_memo=True,
+            exact_sampling=False,
+            campaign_cache_dir="/tmp/explicit-store",
+        )
+        assert config.evalcore_memo is True
+        assert config.exact_sampling is False
+        assert config.campaign_cache_dir == "/tmp/explicit-store"
+
+    def test_real_environment_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_SAMPLING", "1")
+        monkeypatch.setenv("REPRO_CAMPAIGN_CACHE_DIR", "somewhere")
+        config = RuntimeConfig.from_env()
+        assert config.exact_sampling is True
+        assert config.campaign_cache_dir == "somewhere"
+        # get_config() with no installed config reads the env layer live.
+        assert get_config().campaign_cache_dir == "somewhere"
+
+    def test_bad_memo_size_names_the_variable(self):
+        with pytest.raises(ValueError, match="REPRO_EVALCORE_MEMO_SIZE"):
+            RuntimeConfig.from_env(
+                environ={"REPRO_EVALCORE_MEMO_SIZE": "lots"}
+            )
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            RuntimeConfig(executor="threads")
+
+    def test_cache_root_derives_tiers(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        assert config.effective_evalcore_cache_dir() == str(
+            tmp_path / "evalcore"
+        )
+        assert config.effective_campaign_cache_dir() == str(
+            tmp_path / "campaign"
+        )
+        assert config.sweep_cache().root == tmp_path
+
+    def test_specific_dirs_beat_cache_root(self, tmp_path):
+        config = RuntimeConfig(
+            cache_root=str(tmp_path),
+            evalcore_cache_dir="/tmp/ec",
+            campaign_cache_dir="/tmp/cc",
+        )
+        assert config.effective_evalcore_cache_dir() == "/tmp/ec"
+        assert config.effective_campaign_cache_dir() == "/tmp/cc"
+
+    def test_memo_enabled_conventions(self):
+        assert RuntimeConfig().memo_enabled
+        assert not RuntimeConfig(evalcore_memo=False).memo_enabled
+        assert not RuntimeConfig(evalcore_memo_size=0).memo_enabled
+
+
+# ----------------------------------------------------------------------
+# config_scope / set_config
+# ----------------------------------------------------------------------
+class TestConfigScope:
+    def test_scope_installs_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_CACHE_DIR", "outer")
+        scoped_config = RuntimeConfig(campaign_cache_dir="inner")
+        assert get_config().campaign_cache_dir == "outer"
+        with config_scope(scoped_config) as active:
+            assert active is scoped_config
+            assert get_config() is scoped_config
+        assert get_config().campaign_cache_dir == "outer"
+
+    def test_scope_overrides_layer_on_current(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_CACHE_DIR", "from-env")
+        with config_scope(exact_sampling=True) as active:
+            assert active.exact_sampling is True
+            # untouched fields keep the env layer
+            assert active.campaign_cache_dir == "from-env"
+
+    def test_scopes_nest(self):
+        with config_scope(cache_root="/tmp/a"):
+            assert get_config().cache_root == "/tmp/a"
+            with config_scope(cache_root="/tmp/b"):
+                assert get_config().cache_root == "/tmp/b"
+            assert get_config().cache_root == "/tmp/a"
+
+    def test_set_config_round_trips(self):
+        config = RuntimeConfig(seed=7)
+        previous = set_config(config)
+        try:
+            assert get_config() is config
+        finally:
+            set_config(previous)
+        assert get_config() is not config
+
+    def test_scope_restores_explicit_memo_state(self):
+        """An explicitly disabled memo is overridden inside the scope
+        (the scoped config governs) and restored exactly on exit."""
+        original = evalcore.set_memo(None)
+        try:
+            with config_scope(RuntimeConfig()):
+                assert evalcore.get_memo() is not None
+            assert evalcore.get_memo() is None
+        finally:
+            evalcore.set_memo(original)
+
+    def test_scope_restores_sampling_override(self):
+        previous = sampling.set_exact_sampling(True)
+        try:
+            with config_scope(RuntimeConfig(exact_sampling=False)):
+                assert sampling.exact_sampling() is False
+            assert sampling.exact_sampling() is True
+        finally:
+            sampling.set_exact_sampling(previous)
+
+    def test_scope_drives_derived_memo(self, tmp_path):
+        with config_scope(evalcore_memo=False):
+            assert evalcore.get_memo() is None
+        with config_scope(cache_root=str(tmp_path)):
+            memo = evalcore.get_memo()
+            assert memo is not None
+            assert memo._disk is not None
+        assert evalcore.get_memo() is not None
+
+    def test_scope_drives_sampling_mode(self):
+        assert sampling.exact_sampling() is False
+        with config_scope(exact_sampling=True):
+            assert sampling.exact_sampling() is True
+        assert sampling.exact_sampling() is False
+
+
+# ----------------------------------------------------------------------
+# config-derived memos
+# ----------------------------------------------------------------------
+class TestMemoForConfig:
+    def test_equal_configs_share_one_memo(self, tmp_path):
+        a = RuntimeConfig(cache_root=str(tmp_path))
+        b = RuntimeConfig(cache_root=str(tmp_path))
+        assert evalcore.memo_for_config(a) is evalcore.memo_for_config(b)
+
+    def test_disabled_config_gets_none(self):
+        assert evalcore.memo_for_config(
+            RuntimeConfig(evalcore_memo=False)
+        ) is None
+        assert evalcore.memo_for_config(
+            RuntimeConfig(evalcore_memo_size=0)
+        ) is None
+
+    def test_evaluate_network_accepts_config(self, small_profile, tmp_path):
+        from repro.hw.config import PROCRUSTES_16x16
+
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        evalcore.evaluate_network(
+            small_profile, "KN", PROCRUSTES_16x16, 32, config=config
+        )
+        memo = evalcore.memo_for_config(config)
+        assert memo.stats.stores > 0
+        assert (tmp_path / "evalcore").exists()
+
+    def test_simulate_config_exact_matches_sampling_mode(
+        self, small_profile
+    ):
+        from repro.dataflow.simulator import simulate
+
+        via_config = simulate(
+            small_profile, "KN", n=32,
+            config=RuntimeConfig(exact_sampling=True),
+        )
+        with sampling.sampling_mode(exact=True):
+            via_override = simulate(small_profile, "KN", n=32)
+        fast = simulate(small_profile, "KN", n=32)
+        assert via_config.total_cycles == via_override.total_cycles
+        assert via_config.total_energy_j == via_override.total_energy_j
+        assert fast.total_cycles != via_config.total_cycles
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_ids_are_unique_and_known(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+        assert {"table2", "table3", "fig01", "fig18-19", "fig20"} <= set(ids)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_family_filter(self):
+        arch = list_experiments("arch")
+        assert [e.id for e in arch] == [
+            "fig01", "fig05", "fig13", "fig17", "fig18-19", "fig20"
+        ]
+        assert all(e.family == "arch" for e in arch)
+
+    def test_artifact_resolution(self):
+        assert experiment_for_artifact("Figure 18").id == "fig18-19"
+        assert experiment_for_artifact("Figure 19").id == "fig18-19"
+        assert experiment_for_artifact("Table II").id == "table2"
+        with pytest.raises(KeyError, match="no registered experiment"):
+            experiment_for_artifact("Figure 42")
+
+    def test_run_and_format_table3(self):
+        experiment = get_experiment("table3")
+        result = experiment.run(RuntimeConfig())
+        text = experiment.format(result)
+        assert "Table III" in text and "area overhead" in text
+
+    def test_export_requires_schema(self):
+        with pytest.raises(ValueError, match="export schema"):
+            get_experiment("eager-comparison").export(None, None)
+
+
+class TestBitIdentity:
+    """The acceptance criterion: registry dispatch == direct call."""
+
+    def test_fig18_19_bit_identical(self):
+        from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+
+        direct = run_fig18_fig19_dataflows(networks=("vgg-s",))
+        via_registry = get_experiment("fig18-19").run(
+            RuntimeConfig(), networks=("vgg-s",)
+        )
+        assert via_registry.rows == direct.rows
+
+    def test_table2_bit_identical(self):
+        from repro.harness.tables import run_table2
+
+        direct = run_table2(networks=("resnet18",), with_training=False)
+        via_registry = get_experiment("table2").run(
+            RuntimeConfig(), networks=("resnet18",)
+        )
+        assert via_registry.rows == direct.rows
+
+    def test_seed_override_applies(self):
+        from repro.harness.arch_experiments import run_imbalance_histogram
+
+        direct = run_imbalance_histogram("vgg-s", "CK", False, seed=3)
+        via_registry = get_experiment("fig05").run(RuntimeConfig(seed=3))
+        assert via_registry.fractions == direct.fractions
+
+
+# ----------------------------------------------------------------------
+# registry completeness against the docs figure index
+# ----------------------------------------------------------------------
+class TestRegistryCompleteness:
+    #: "| Figure 18 | ..." / "| Table II | ..." rows of the first table.
+    _ARTIFACT_ROW = re.compile(r"^\|\s*((?:Figure|Table)\s+[\dIVX]+)\s*\|", re.M)
+
+    def test_every_figure_index_artifact_resolves(self):
+        text = (REPO_ROOT / "docs" / "figure-index.md").read_text()
+        artifacts = self._ARTIFACT_ROW.findall(text)
+        assert len(artifacts) >= 15  # the paper's evaluation catalogue
+        unresolved = []
+        for artifact in artifacts:
+            try:
+                experiment_for_artifact(artifact)
+            except KeyError:
+                unresolved.append(artifact)
+        assert not unresolved, (
+            f"figure-index artifacts without a registered experiment: "
+            f"{unresolved}"
+        )
+
+    def test_every_registry_id_mentioned_in_figure_index(self):
+        """The reverse direction: the catalogue is documented."""
+        text = (REPO_ROOT / "docs" / "figure-index.md").read_text()
+        missing = [
+            e.id for e in list_experiments() if f"`{e.id}`" not in text
+        ]
+        assert not missing, f"registry ids absent from figure-index: {missing}"
+
+
+# ----------------------------------------------------------------------
+# zero os.environ reads on the library path
+# ----------------------------------------------------------------------
+class TestNoEnvReadsOnLibraryPath:
+    #: Files allowed to *mention* os.environ: the single read point and
+    #: package docstrings describing the contract.
+    ALLOWED = {
+        Path("src/repro/api/config.py"),
+        Path("src/repro/api/__init__.py"),
+    }
+
+    def test_env_consulted_only_in_from_env(self):
+        offenders = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT)
+            if relative in self.ALLOWED:
+                continue
+            text = path.read_text()
+            if "os.environ" in text or "os.getenv" in text:
+                offenders.append(str(relative))
+        assert not offenders, (
+            f"library modules reading (or naming) os.environ: {offenders}; "
+            "env layering belongs in RuntimeConfig.from_env only"
+        )
+
+
+# ----------------------------------------------------------------------
+# the argparse CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _main(self, *args):
+        from repro.harness.__main__ import main
+
+        return main(["harness", *args])
+
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        assert self._main("definitely-not-a-command") == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+
+    def test_help_and_version_exit_0(self, capsys):
+        assert self._main("--help") == 0
+        out = capsys.readouterr().out
+        assert "run" in out and "list" in out and "campaign" in out
+        assert self._main("-h") == 0
+        capsys.readouterr()
+        assert self._main("--version") == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_list_prints_catalogue(self, capsys):
+        assert self._main("list") == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
+
+    def test_list_family_filter(self, capsys):
+        assert self._main("list", "--family", "tables") == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig01" not in out
+
+    def test_run_dispatches_through_registry(self, capsys):
+        assert self._main("run", "table3") == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "area overhead" in out
+
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert self._main("run", "fig99") == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_with_export(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert self._main("run", "table3", "--export", str(out_dir)) == 0
+        assert (out_dir / "table3" / "record.json").exists()
+
+    def test_run_export_without_schema_fails_before_running(
+        self, tmp_path, capsys
+    ):
+        code = self._main(
+            "run", "eager-comparison", "--export", str(tmp_path / "out")
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "export schema" in out
+        # Failed up front: no banner means the experiment never ran.
+        assert "Eager Pruning" not in out
+
+    def test_run_respects_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert self._main("run", "fig05", "--cache-dir", str(cache)) == 0
+        assert (cache / "evalcore").exists()  # the derived tier filled
+
+    def test_bad_flag_value_exits_2(self, capsys):
+        assert self._main("run", "fig05", "--seed", "not-a-number") == 2
+
+    def test_legacy_family_invocation_still_works(self, capsys):
+        assert self._main("tables") == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out and "Table III" in out
+
+
+# ----------------------------------------------------------------------
+# config threading through the sweep runner
+# ----------------------------------------------------------------------
+class TestSweepRunnerConfig:
+    def test_evaluate_point_installs_config(self):
+        from repro.sweep.runner import _evaluate_point
+
+        def probe(*, seed, **params):
+            return {"cache_root": get_config().cache_root or ""}
+
+        values, _ = _evaluate_point(
+            probe, {}, 0, RuntimeConfig(cache_root="/tmp/threaded")
+        )
+        assert values["cache_root"] == "/tmp/threaded"
+        # Without a config the prior behavior (ambient state) holds.
+        values, _ = _evaluate_point(probe, {}, 0)
+        assert values["cache_root"] == ""
+
+    def test_run_sweep_threads_config(self, tmp_path):
+        from repro.sweep import SweepSpec, run_sweep
+
+        spec = SweepSpec.grid(
+            "api-config-thread", "simulate",
+            {"mapping": ["KN"]},
+            fixed={"network": "vgg-s", "sparse": True},
+        )
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        result = run_sweep(spec, config=config)
+        assert result.points[0].values["total_cycles"] > 0
+        # The evaluator ran under the config: its evalcore tier filled.
+        assert (tmp_path / "evalcore").exists()
+
+    def test_run_explore_honors_config_executor(self, monkeypatch):
+        """A config's fan-out policy survives run_explore's parameter
+        defaults (None = keep the config's value)."""
+        import repro.harness.explore_experiments as explore_experiments
+
+        captured = {}
+
+        class FakeExplorer:
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+
+            def run(self, *args, **kwargs):
+                return "sentinel"
+
+        monkeypatch.setattr(
+            explore_experiments, "Explorer", FakeExplorer
+        )
+        result = explore_experiments.run_explore(
+            budget=2,
+            config=RuntimeConfig(executor="process", workers=3),
+        )
+        assert result == "sentinel"
+        assert captured["executor"] == "process"
+        assert captured["workers"] == 3
+        # An explicit argument still wins over the config.
+        explore_experiments.run_explore(
+            budget=2,
+            executor="serial",
+            config=RuntimeConfig(executor="process", workers=3),
+        )
+        assert captured["executor"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# TrajectoryStore resolution through the config
+# ----------------------------------------------------------------------
+class TestTrajectoryStoreFromConfig:
+    def test_cache_root_derives_campaign_tier(self, tmp_path):
+        from repro.campaign.trajectory import TrajectoryStore
+
+        store = TrajectoryStore.from_config(
+            RuntimeConfig(cache_root=str(tmp_path))
+        )
+        assert store.root == tmp_path / "campaign"
+
+    def test_unconfigured_is_none(self):
+        from repro.campaign.trajectory import TrajectoryStore
+
+        assert TrajectoryStore.from_config(RuntimeConfig()) is None
+
+    def test_active_config_governs_from_env_alias(self, tmp_path):
+        from repro.campaign.trajectory import TrajectoryStore
+
+        with config_scope(campaign_cache_dir=str(tmp_path / "s")):
+            store = TrajectoryStore.from_env()
+            assert store is not None and store.root == tmp_path / "s"

@@ -376,20 +376,32 @@ class TestCampaignEvaluator:
         # The campaign cache-tier landed next to the sweep cache.
         assert (tmp_path / "cache" / "campaign").exists()
 
-    def test_cache_tiers_restores_environment(self, tmp_path, monkeypatch):
+    def test_cache_tiers_scopes_config_without_env_mutation(
+        self, tmp_path, monkeypatch
+    ):
+        """cache_tiers routes every tier through the scoped
+        RuntimeConfig — the environment is never written, a
+        pre-existing env knob is overridden inside the scope, and the
+        prior config layering returns on exit."""
         import os
 
+        from repro.api.config import get_config
         from repro.harness.explore_experiments import cache_tiers
 
         monkeypatch.delenv("REPRO_EVALCORE_CACHE_DIR", raising=False)
         monkeypatch.setenv(TrajectoryStore.ENV_VAR, "preexisting")
-        with cache_tiers(str(tmp_path / "tiers")):
-            assert os.environ["REPRO_EVALCORE_CACHE_DIR"].endswith(
-                "evalcore"
-            )
-            assert os.environ[TrajectoryStore.ENV_VAR].endswith("campaign")
-        assert "REPRO_EVALCORE_CACHE_DIR" not in os.environ
-        assert os.environ[TrajectoryStore.ENV_VAR] == "preexisting"
+        environ_before = dict(os.environ)
+        with cache_tiers(str(tmp_path / "tiers")) as scoped:
+            active = get_config()
+            assert active is scoped
+            assert active.effective_evalcore_cache_dir().endswith("evalcore")
+            assert active.effective_campaign_cache_dir().endswith("campaign")
+            assert dict(os.environ) == environ_before  # no mutation
+        assert dict(os.environ) == environ_before
+        # Back outside, the env layer governs again.
+        assert (
+            get_config().effective_campaign_cache_dir() == "preexisting"
+        )
 
 
 # ----------------------------------------------------------------------
