@@ -8,10 +8,18 @@ shared-runner timing noise:
   real network.
 * ``perf`` tests (``-k perf``) — **non-blocking** in CI: measure the
   cold single-pass speedup over the reconstructed pre-optimization
-  baseline (reference kernels + exact sampling + no memo) and the
-  warm, memoized 120-candidate explorer re-run, then compare the
-  achieved speedups against the committed ``BENCH_evalcore.json``
-  with a generous 2x regression threshold.
+  baseline (reference kernels + exact sampling + no memo), the warm,
+  memoized 120-candidate explorer re-run, and the batched
+  multi-candidate executor against the looped serial path on the same
+  cold 120-candidate explore, then compare the achieved speedups
+  against the committed ``BENCH_evalcore.json`` with a generous 2x
+  regression threshold.
+
+The ``parity`` subset includes the batched evaluation path: one
+``evaluate_candidates`` pass must be bit-identical to per-candidate
+``evaluate_network`` walks on a real network, across all mappings,
+phases, and both sampling modes — that is what licenses the perf
+comparison as apples-to-apples.
 
 Every perf run writes ``BENCH_evalcore.fresh.json`` next to the
 baseline (uploaded as a CI artifact); refresh the committed baseline
@@ -125,6 +133,90 @@ def test_perf_cold_simulate_speedup():
     assert speedup >= floor, (
         f"cold speedup {speedup:.2f}x fell below baseline "
         f"{_baseline()['cold_speedup']}x / {REGRESSION_FACTOR}"
+    )
+
+
+def test_parity_batched_vs_looped_on_vgg_s():
+    """Blocking: one ``evaluate_candidates`` pass == per-candidate
+    ``evaluate_network`` walks, bit for bit, on VGG-S layers across
+    all mappings, phases, balance settings, and both sampling modes."""
+    from repro.dataflow import sampling
+    from repro.dataflow.batcheval import MappingCandidate, evaluate_candidates
+
+    profile = sparse_profile_for("vgg-s")
+    subset = type(profile)(
+        name=profile.name,
+        layers=tuple(profile.layers[:: max(1, len(profile.layers) // 6)]),
+    )
+    candidates = [
+        MappingCandidate(mapping, PROCRUSTES_16x16, n=16, balance=balance,
+                         seed=seed)
+        for mapping in MAPPINGS
+        for balance in (True, False)
+        for seed in (0, 3)
+    ]
+    for exact in (False, True):
+        with sampling.sampling_mode(exact=exact):
+            batch = evaluate_candidates(subset, candidates, memo=None)
+            for cand, evaluation in zip(candidates, batch):
+                loop = evalcore.evaluate_network(
+                    subset, cand.mapping, cand.arch, cand.n,
+                    sparse=cand.sparse, balance=cand.balance,
+                    seed=cand.seed, memo=None,
+                )
+                for phase in PHASES:
+                    for a, b in zip(
+                        evaluation.layers[phase], loop.layers[phase]
+                    ):
+                        where = (
+                            f"{cand.mapping}/bal={cand.balance}/"
+                            f"seed={cand.seed}/exact={exact}/"
+                            f"{phase}/{b.layer_name}"
+                        )
+                        assert a.cycles == b.cycles, where
+                        assert a.macs == b.macs, where
+                        for field in (
+                            "max_work", "mean_work", "sum_work",
+                            "busy_pes", "weight",
+                        ):
+                            np.testing.assert_array_equal(
+                                getattr(a.sets, field),
+                                getattr(b.sets, field),
+                                err_msg=f"{where}/{field}",
+                            )
+
+
+def test_perf_batched_explore_speedup(tmp_path):
+    """The batched executor on a cold 120-candidate explore must be
+    >= 3x the looped serial path (same candidates, same results —
+    the parity tests above license the comparison)."""
+    from repro.harness.explore_experiments import run_explore
+
+    looped_s = _timed(
+        run_explore, budget=120, strategy="random",
+        cache_dir=str(tmp_path / "looped"), executor="serial",
+    )
+    batched_s = _timed(
+        run_explore, budget=120, strategy="random",
+        cache_dir=str(tmp_path / "batched"), executor="batched",
+    )
+    speedup = looped_s / batched_s
+    print(
+        f"\ncold 120-candidate explore: looped {looped_s:.2f}s, "
+        f"batched {batched_s:.2f}s -> {speedup:.1f}x"
+    )
+    _record(
+        explore_looped_s=round(looped_s, 3),
+        explore_batched_s=round(batched_s, 3),
+        batched_speedup=round(speedup, 2),
+    )
+    assert speedup >= 3.0, (
+        f"batched explore speedup {speedup:.2f}x < 3x over looped"
+    )
+    floor = _baseline()["batched_speedup"] / REGRESSION_FACTOR
+    assert speedup >= floor, (
+        f"batched speedup {speedup:.2f}x fell below baseline "
+        f"{_baseline()['batched_speedup']}x / {REGRESSION_FACTOR}"
     )
 
 

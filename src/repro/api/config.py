@@ -40,6 +40,7 @@ __all__ = [
     "RuntimeConfig",
     "config_scope",
     "get_config",
+    "register_known_executor",
     "set_config",
 ]
 
@@ -50,6 +51,23 @@ _PATH_ENV_VARS = {
     "REPRO_CAMPAIGN_CACHE_DIR": "campaign_cache_dir",
     "REPRO_CACHE_ROOT": "cache_root",
 }
+
+#: Executor names :class:`RuntimeConfig` accepts.  The sweep runner's
+#: built-ins are seeded here (this module stays import-light, so it
+#: cannot ask the runner); :func:`repro.sweep.runner.register_executor`
+#: extends the set through :func:`register_known_executor` when a
+#: custom backend is registered.
+_KNOWN_EXECUTORS = {"serial", "process", "batched", "distributed"}
+
+
+def register_known_executor(name: str) -> None:
+    """Allow ``name`` as a :class:`RuntimeConfig` executor value.
+
+    Called by :func:`repro.sweep.runner.register_executor`; config
+    validation stays in lockstep with the runner's registry without
+    this module importing it.
+    """
+    _KNOWN_EXECUTORS.add(name)
 
 
 @dataclass(frozen=True)
@@ -82,7 +100,13 @@ class RuntimeConfig:
         Experiment seed override for registry runs; ``None`` keeps
         each experiment's canonical paper seed.
     executor / workers
-        Sweep-runner fan-out policy (``"serial"`` or ``"process"``).
+        Sweep-runner fan-out policy (``REPRO_EXECUTOR`` /
+        ``REPRO_WORKERS``).  Built-ins: ``"batched"`` (the default —
+        group points that share a network and evaluate each group in
+        one multi-candidate pass, falling back to serial where no
+        batch evaluator exists), ``"serial"``, ``"process"``, and the
+        ``"distributed"`` stub; custom backends registered through
+        :func:`repro.sweep.runner.register_executor` are accepted too.
     """
 
     evalcore_memo: bool = True
@@ -92,14 +116,14 @@ class RuntimeConfig:
     campaign_cache_dir: str | None = None
     cache_root: str | None = None
     seed: int | None = None
-    executor: str = "serial"
+    executor: str = "batched"
     workers: int | None = None
 
     def __post_init__(self) -> None:
-        if self.executor not in ("serial", "process"):
+        if self.executor not in _KNOWN_EXECUTORS:
             raise ValueError(
-                f"executor must be 'serial' or 'process' "
-                f"(got {self.executor!r})"
+                f"unknown executor {self.executor!r}; "
+                f"known executors: {sorted(_KNOWN_EXECUTORS)}"
             )
 
     # ------------------------------------------------------------------
@@ -132,6 +156,18 @@ class RuntimeConfig:
                 ) from None
         if env.get("REPRO_EXACT_SAMPLING", "") == "1":
             values["exact_sampling"] = True
+        raw_executor = env.get("REPRO_EXECUTOR")
+        if raw_executor:
+            values["executor"] = raw_executor
+        raw_workers = env.get("REPRO_WORKERS")
+        if raw_workers is not None:
+            try:
+                values["workers"] = int(raw_workers)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer "
+                    f"(got {raw_workers!r})"
+                ) from None
         for var, field_name in _PATH_ENV_VARS.items():
             raw = env.get(var)
             if raw:

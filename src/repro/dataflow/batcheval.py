@@ -1,0 +1,322 @@
+"""Multi-candidate evaluation: many mappings of one network, one pass.
+
+Design-space results (Figures 15-20) need dozens to hundreds of
+mapping/arch candidates evaluated against the *same* network.  The
+PR-3 :func:`~repro.dataflow.evalcore.evaluate_network` walks one
+candidate per call, so a 120-candidate explore is 120 sequential
+walks — each paying its own working-set builds, its own per-record
+JSON disk writes, and its own Python loop overhead, even though the
+candidates overlap heavily at the layer level.
+
+:func:`evaluate_candidates` evaluates a whole candidate list in one
+pass over the shared structure:
+
+1. **Dedup by content key.**  Every (candidate, phase, layer) slot is
+   addressed by the same :func:`~repro.dataflow.evalcore.layer_phase_key`
+   digest the looped path uses, so candidates that agree on everything
+   the sets depend on (GLB capacity, for one, does not matter) collapse
+   to a single build — and batched and looped evaluation share memo
+   entries in both directions.
+2. **Bulk memo I/O.**  One :meth:`EvalMemo.get_many` probes all tiers
+   for every unique digest at once, and one :meth:`EvalMemo.put_many`
+   lands all misses in a single binary segment write
+   (:class:`~repro.dataflow.evalcore.SegmentStore`) instead of one
+   JSON file per record.
+3. **Batched kernels.**  Remaining misses that share a (phase op,
+   mapping, balance, arch-signature) condition — same layer, different
+   seeds — run through :func:`~repro.dataflow.tiling.build_sets_batch`
+   with a leading candidate axis, each job drawing from its own
+   digest-seeded stream so every slice is bit-identical to the
+   single-candidate build.
+
+The result is a list of :class:`~repro.dataflow.evalcore.NetworkEval`
+objects, one per candidate and field-for-field identical to what
+``evaluate_network`` returns for that candidate — the parity suite
+asserts this across mappings, phases, balance and sampling modes.
+
+Under :func:`~repro.dataflow.evalcore.reference_implementation` the
+batch path degrades to per-candidate reference builds (loop kernels,
+exact sampling, no memo), preserving the ground-truth contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.config import RuntimeConfig
+from repro.dataflow import evalcore, sampling
+from repro.dataflow.energy_model import layer_phase_energy
+from repro.dataflow.evalcore import (
+    EvalMemo,
+    EvalTimings,
+    LayerPhaseEval,
+    NetworkEval,
+    layer_phase_key,
+    memo_for_config,
+)
+from repro.dataflow.mapping import allowed_balancing
+from repro.dataflow.tiling import (
+    SetStats,
+    build_sets_batch,
+    build_sets_reference,
+)
+from repro.hw.config import ArchConfig
+from repro.workloads.phases import PHASES, phase_op
+from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
+
+__all__ = [
+    "MappingCandidate",
+    "evaluate_candidates",
+]
+
+#: Shared "caller did not pass a memo" sentinel (distinct from None,
+#: which means "explicitly no memo").
+_UNSET = evalcore._UNSET
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One point of the candidate axis: how to run the fixed network.
+
+    Everything :func:`~repro.dataflow.evalcore.evaluate_network` takes
+    per call except the network profile, the energy table, and the
+    phase list — those are shared across the whole batch.
+    """
+
+    mapping: str
+    arch: ArchConfig
+    n: int = 64
+    sparse: bool = True
+    balance: bool = True
+    seed: int = 0
+
+
+@dataclass
+class _BuildJob:
+    """Everything needed to build the sets behind one unique digest."""
+
+    ls: LayerSparsity
+    layer_index: int
+    phase: str
+    mapping: str
+    arch: ArchConfig
+    n: int
+    sparse: bool
+    balance_mode: str
+
+
+@dataclass
+class _Slot:
+    """One (candidate, phase, layer) cell, resolved by digest."""
+
+    digest: str
+    ls: LayerSparsity
+
+
+def _group_key(job: _BuildJob) -> tuple:
+    """Jobs that may share one :func:`build_sets_batch` call.
+
+    Must pin everything the batched kernels treat as common structure:
+    the phase op (layer index stands in for the layer, and ``n``), the
+    mapping, the balance mode, sparsity, and the tiling-relevant arch
+    fields.  Jobs inside a group then differ only in their
+    digest-seeded random streams.
+    """
+    return (
+        job.phase,
+        job.layer_index,
+        job.mapping,
+        job.balance_mode,
+        job.sparse,
+        job.n,
+        evalcore._arch_signature(job.arch),
+    )
+
+
+def evaluate_candidates(
+    profile: NetworkSparsity,
+    candidates: list[MappingCandidate],
+    table=None,
+    phases: tuple[str, ...] = PHASES,
+    memo: EvalMemo | None | object = _UNSET,
+    timings: EvalTimings | None = None,
+    config: RuntimeConfig | None = None,
+) -> list[NetworkEval]:
+    """Evaluate many candidates of one network in a single pass.
+
+    Returns one :class:`NetworkEval` per candidate, in candidate
+    order, each bit-identical to
+    ``evaluate_network(profile, c.mapping, c.arch, c.n, table, ...)``
+    for the corresponding candidate ``c``.  See the module docstring
+    for how the pass shares work across candidates.
+    """
+    if config is not None and memo is _UNSET:
+        memo = memo_for_config(config)
+    if memo is _UNSET:
+        memo = evalcore.get_memo()
+    if evalcore.using_reference():
+        memo = None
+    sampling_ctx = (
+        sampling.sampling_mode(config.exact_sampling)
+        if config is not None and not evalcore.using_reference()
+        else nullcontext()
+    )
+    with sampling_ctx:
+        start = time.perf_counter()
+        # Pass 1: address every (candidate, phase, layer) slot by its
+        # content digest; first sight of a digest records its build job.
+        slots: list[dict[str, list[_Slot]]] = []
+        jobs: dict[str, _BuildJob] = {}
+        for cand in candidates:
+            cand_slots: dict[str, list[_Slot]] = {}
+            for phase in phases:
+                mode = (
+                    allowed_balancing(cand.mapping, phase)
+                    if cand.balance
+                    else "none"
+                )
+                rows: list[_Slot] = []
+                for j, ls in enumerate(profile.layers):
+                    digest = layer_phase_key(
+                        ls,
+                        phase,
+                        cand.mapping,
+                        cand.arch,
+                        cand.n,
+                        cand.sparse,
+                        mode,
+                        cand.seed,
+                    )
+                    rows.append(_Slot(digest, ls))
+                    if digest not in jobs:
+                        jobs[digest] = _BuildJob(
+                            ls=ls,
+                            layer_index=j,
+                            phase=phase,
+                            mapping=cand.mapping,
+                            arch=cand.arch,
+                            n=cand.n,
+                            sparse=cand.sparse,
+                            balance_mode=mode,
+                        )
+                cand_slots[phase] = rows
+            slots.append(cand_slots)
+
+        # Pass 2: one bulk probe of every memo tier.
+        sets_by_digest: dict[str, SetStats] = {}
+        if memo is not None:
+            sets_by_digest = memo.get_many(list(jobs))
+
+        # Pass 3: batched builds for the misses, grouped by condition.
+        groups: dict[tuple, list[str]] = {}
+        for digest, job in jobs.items():
+            if digest not in sets_by_digest:
+                groups.setdefault(_group_key(job), []).append(digest)
+        fresh: list[tuple[str, SetStats]] = []
+        for digests in groups.values():
+            job = jobs[digests[0]]
+            op = phase_op(job.ls.layer, job.phase, job.n)
+            if evalcore.using_reference():
+                built = [
+                    build_sets_reference(
+                        op,
+                        job.mapping,
+                        job.arch,
+                        jobs[d].ls,
+                        np.random.default_rng(int(d[:16], 16)),
+                        sparse=job.sparse,
+                        balance=job.balance_mode,
+                    )
+                    for d in digests
+                ]
+            else:
+                built = build_sets_batch(
+                    op,
+                    job.mapping,
+                    job.arch,
+                    [
+                        (
+                            jobs[d].ls,
+                            np.random.default_rng(int(d[:16], 16)),
+                        )
+                        for d in digests
+                    ],
+                    sparse=job.sparse,
+                    balance=job.balance_mode,
+                )
+            for digest, sets in zip(digests, built):
+                sets_by_digest[digest] = sets
+                fresh.append((digest, sets))
+        if memo is not None and fresh:
+            memo.put_many(fresh)
+        if timings is not None:
+            timings.add("sets", time.perf_counter() - start)
+
+        # Pass 4: assemble per-candidate results.  Cycles/MACs are pure
+        # functions of the sets; energy additionally depends on the
+        # full arch (GLB capacity matters here) and mapping, so both
+        # are memoized across candidates at their true granularity.
+        start = time.perf_counter()
+        macs_cache: dict[str, float] = {}
+        energy_cache: dict[tuple, object] = {}
+        results: list[NetworkEval] = []
+        for cand, cand_slots in zip(candidates, slots):
+            evaluation = NetworkEval(
+                network=profile.name,
+                mapping=cand.mapping,
+                sparse=cand.sparse,
+                balanced=cand.balance,
+                arch=cand.arch,
+                seed=cand.seed,
+            )
+            for phase, row_slots in cand_slots.items():
+                rows: list[LayerPhaseEval] = []
+                for slot in row_slots:
+                    sets = sets_by_digest[slot.digest]
+                    cycles = sets.total_cycles(
+                        cand.arch.macs_per_pe_per_cycle
+                    )
+                    macs = macs_cache.get(slot.digest)
+                    if macs is None:
+                        macs = sets.total_macs()
+                        macs_cache[slot.digest] = macs
+                    energy = None
+                    if table is not None:
+                        ekey = (
+                            slot.digest,
+                            cand.mapping,
+                            cand.arch,
+                            cand.sparse,
+                        )
+                        energy = energy_cache.get(ekey)
+                        if energy is None:
+                            op = phase_op(slot.ls.layer, phase, cand.n)
+                            energy = layer_phase_energy(
+                                op,
+                                cand.mapping,
+                                cand.arch,
+                                slot.ls,
+                                table,
+                                sparse=cand.sparse,
+                                macs=macs,
+                            )
+                            energy_cache[ekey] = energy
+                    rows.append(
+                        LayerPhaseEval(
+                            layer_name=slot.ls.layer.name,
+                            phase=phase,
+                            cycles=cycles,
+                            macs=macs,
+                            sets=sets,
+                            energy=energy,
+                        )
+                    )
+                evaluation.layers[phase] = rows
+            results.append(evaluation)
+        if timings is not None and table is not None:
+            timings.add("energy", time.perf_counter() - start)
+    return results

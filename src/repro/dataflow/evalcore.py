@@ -50,10 +50,12 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
 import time
 from collections import OrderedDict
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -74,6 +76,7 @@ __all__ = [
     "LayerPhaseEval",
     "MemoStats",
     "NetworkEval",
+    "SegmentStore",
     "configure_memo",
     "evaluate_network",
     "get_memo",
@@ -162,15 +165,135 @@ def _sets_from_values(values: dict) -> SetStats:
     )
 
 
-class EvalMemo:
-    """Layer-level working-set cache: process-local LRU + disk tier.
+#: SetStats field names in segment-file storage order.
+_SET_FIELDS = ("max_work", "mean_work", "sum_work", "busy_pes", "weight")
 
-    The disk tier reuses the sweep engine's content-addressed
-    :class:`~repro.sweep.cache.ResultCache` (atomic writes, fan-out
-    directories, self-describing records), so a cache directory can be
-    shared between explorer runs and process-pool sweep workers.
-    Entries are immutable once stored — callers must not mutate the
-    returned :class:`SetStats`.
+
+class SegmentStore:
+    """Bulk binary disk tier: many working-set records per file.
+
+    The JSON tier (:class:`~repro.sweep.cache.ResultCache`) pays one
+    file write plus a ``json.dumps`` per record — fine for sweep
+    points, dominant in a cold multi-candidate pass that stores
+    thousands of small arrays.  This store amortizes that: one
+    ``put_many`` writes a single ``.npz`` *segment* holding every
+    record's field arrays concatenated, plus the digests and per-record
+    lengths needed to slice them back out.  Bit-exactness is free —
+    the arrays round-trip as raw float64/int64, not decimal text.
+
+    Segments are immutable and content-named, written via a temp-file
+    rename, so concurrent writers never corrupt each other; readers
+    keep a digest index built by scanning the directory lazily (and
+    re-scanning once on a miss, which is how records written by other
+    processes become visible).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        #: digest -> (segment path, record row within the segment)
+        self._index: dict[str, tuple[Path, int]] | None = None
+        self._scanned: set[Path] = set()
+
+    def _scan(self) -> dict[str, tuple[Path, int]]:
+        if self._index is None:
+            self._index = {}
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("seg-*.npz")):
+                if path in self._scanned:
+                    continue
+                self._scanned.add(path)
+                try:
+                    with np.load(path, allow_pickle=False) as record:
+                        digests = record["digests"]
+                except (OSError, ValueError, KeyError):
+                    continue  # torn or foreign file: skip, never raise
+                for row, digest in enumerate(digests):
+                    self._index[str(digest)] = (path, row)
+        return self._index
+
+    def get_many(self, digests: list[str]) -> dict[str, SetStats]:
+        """Stored records for the requested digests (hits only)."""
+        index = self._scan()
+        if any(d not in index for d in digests):
+            # Pick up segments written since the last scan (other
+            # processes).  Segments are immutable and never removed, so
+            # the incremental scan — only files not seen before — is
+            # enough; a digest still missing afterwards is a true miss.
+            index = self._scan()
+        by_segment: dict[Path, list[tuple[str, int]]] = {}
+        for digest in digests:
+            hit = index.get(digest)
+            if hit is not None:
+                by_segment.setdefault(hit[0], []).append((digest, hit[1]))
+        results: dict[str, SetStats] = {}
+        for path, wanted in by_segment.items():
+            try:
+                with np.load(path, allow_pickle=False) as record:
+                    lengths = record["lengths"]
+                    offsets = np.concatenate(
+                        [[0], np.cumsum(lengths)]
+                    ).astype(np.int64)
+                    fields = {name: record[name] for name in _SET_FIELDS}
+            except (OSError, ValueError, KeyError):
+                continue
+            for digest, row in wanted:
+                lo, hi = offsets[row], offsets[row + 1]
+                results[digest] = SetStats(
+                    **{
+                        name: fields[name][lo:hi].copy()
+                        for name in _SET_FIELDS
+                    }
+                )
+        return results
+
+    def put_many(self, pairs: list[tuple[str, SetStats]]) -> Path | None:
+        """Write one segment holding every (digest, sets) record."""
+        if not pairs:
+            return None
+        digests = np.array([digest for digest, _ in pairs])
+        lengths = np.array(
+            [sets.n_distinct for _, sets in pairs], dtype=np.int64
+        )
+        payload = {
+            name: np.concatenate(
+                [np.asarray(getattr(sets, name)) for _, sets in pairs]
+            )
+            for name in _SET_FIELDS
+        }
+        name = hashlib.sha256("".join(sorted(digests)).encode()).hexdigest()
+        path = self.root / f"seg-{name[:24]}.npz"
+        if path.exists():
+            return path
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".seg.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, digests=digests, lengths=lengths, **payload)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        if self._index is not None:
+            self._scanned.add(path)
+            for row, (digest, _) in enumerate(pairs):
+                self._index[digest] = (path, row)
+        return path
+
+
+class EvalMemo:
+    """Layer-level working-set cache: process-local LRU + disk tiers.
+
+    The record-per-file disk tier reuses the sweep engine's
+    content-addressed :class:`~repro.sweep.cache.ResultCache` (atomic
+    writes, fan-out directories, self-describing records); the batched
+    evaluation path adds a bulk :class:`SegmentStore` tier under
+    ``<disk_root>/segments`` so one multi-candidate pass stores its
+    misses in one file write.  Both tiers are consulted on every read —
+    looped and batched evaluation share one digest space in both
+    directions.  Entries are immutable once stored — callers must not
+    mutate the returned :class:`SetStats`.
     """
 
     def __init__(
@@ -181,10 +304,13 @@ class EvalMemo:
         self.maxsize = maxsize
         self._entries: OrderedDict[str, SetStats] = OrderedDict()
         self._disk = None
+        self._segments = None
         if disk_root is not None:
             from repro.sweep.cache import ResultCache
 
             self._disk = ResultCache(disk_root)
+            self._segments = SegmentStore(Path(disk_root) / "segments")
+        self._disk_nonempty = False
         self.stats = MemoStats()
 
     def __len__(self) -> int:
@@ -196,6 +322,13 @@ class EvalMemo:
             self._entries.move_to_end(digest)
             self.stats.hits += 1
             return entry
+        if self._segments is not None:
+            hits = self._segments.get_many([digest])
+            if digest in hits:
+                sets = hits[digest]
+                self._insert(digest, sets)
+                self.stats.disk_hits += 1
+                return sets
         if self._disk is not None:
             record = self._disk.get({"evalcore": digest})
             if record is not None:
@@ -206,11 +339,81 @@ class EvalMemo:
         self.stats.misses += 1
         return None
 
+    def get_many(self, digests: list[str]) -> dict[str, SetStats]:
+        """Bulk :meth:`get`: every hit across all tiers, one pass.
+
+        The segment tier is probed once for all LRU misses (one
+        directory scan, one file open per touched segment) instead of
+        once per digest; remaining misses fall through to the JSON
+        tier so records stored by looped evaluation hit too.
+        """
+        results: dict[str, SetStats] = {}
+        missing: list[str] = []
+        for digest in digests:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                results[digest] = entry
+            else:
+                missing.append(digest)
+        self.stats.hits += len(results)
+        if missing and self._segments is not None:
+            segment_hits = self._segments.get_many(missing)
+            for digest, sets in segment_hits.items():
+                self._insert(digest, sets)
+                results[digest] = sets
+            self.stats.disk_hits += len(segment_hits)
+            missing = [d for d in missing if d not in segment_hits]
+        if missing and self._disk is not None and self._has_json_records():
+            still_missing = []
+            for digest in missing:
+                record = self._disk.get({"evalcore": digest})
+                if record is not None:
+                    sets = _sets_from_values(record["values"])
+                    self._insert(digest, sets)
+                    results[digest] = sets
+                    self.stats.disk_hits += 1
+                else:
+                    still_missing.append(digest)
+            missing = still_missing
+        self.stats.misses += len(missing)
+        return results
+
     def put(self, digest: str, sets: SetStats) -> None:
         self._insert(digest, sets)
         if self._disk is not None:
             self._disk.put({"evalcore": digest}, _sets_to_values(sets))
         self.stats.stores += 1
+
+    def put_many(self, pairs: list[tuple[str, SetStats]]) -> None:
+        """Bulk :meth:`put`: one segment write for the whole batch.
+
+        Records land in the :class:`SegmentStore` (when a disk root is
+        configured) rather than the record-per-file JSON tier — that
+        single bulk write is where the batched evaluation path's disk
+        saving comes from.  Reads consult both tiers, so the records
+        stay visible to looped evaluation.
+        """
+        for digest, sets in pairs:
+            self._insert(digest, sets)
+        if self._segments is not None and pairs:
+            self._segments.put_many(pairs)
+        self.stats.stores += len(pairs)
+
+    def _has_json_records(self) -> bool:
+        """Whether the JSON tier holds any record at all.
+
+        A cold batched pass probes thousands of digests that can only
+        miss when the record-per-file tier is empty (batched stores go
+        to the segment tier); one directory glob answers that for the
+        whole bulk read.  Once a record is seen the answer is pinned —
+        JSON records are only ever added.
+        """
+        if not self._disk_nonempty:
+            self._disk_nonempty = any(
+                True for _ in self._disk.root.glob("*/*.json")
+            )
+        return self._disk_nonempty
 
     def _insert(self, digest: str, sets: SetStats) -> None:
         self._entries[digest] = sets

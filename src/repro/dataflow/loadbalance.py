@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.dataflow.sampling import beta_values
 
-__all__ = ["split_halves", "pair_halves", "balance_sets"]
+__all__ = [
+    "split_halves",
+    "pair_halves",
+    "balance_sets",
+    "balance_sets_batch",
+]
 
 #: Concentration of the half-split Beta draw.  Sparsity is "almost
 #: certainly uneven within the tile" (Section IV-C); concentration 36
@@ -84,6 +89,43 @@ def balance_sets(
         )
     n = work.shape[-1]
     fractions = beta_values(rng, concentration, concentration, work.shape)
+    halves = np.empty(work.shape[:-1] + (2 * n,), dtype=float)
+    np.multiply(work, fractions, out=halves[..., :n])
+    np.subtract(work, halves[..., :n], out=halves[..., n:])
+    halves.sort(axis=-1)
+    return halves[..., :n] + halves[..., : n - 1 : -1]
+
+
+def balance_sets_batch(
+    work: np.ndarray,
+    rngs: list[np.random.Generator],
+    concentration: float = DEFAULT_SPLIT_CONCENTRATION,
+) -> np.ndarray:
+    """:func:`balance_sets` over a leading candidate axis.
+
+    ``work`` is ``(B, n_sets, A)``: one candidate's working sets per
+    leading slice, with ``rngs[b]`` that candidate's private random
+    stream.  The half-split fractions are drawn *per candidate* — the
+    same draws, in the same order, ``balance_sets`` would make — and
+    only the deterministic fused split/sort/pair math is stacked, so
+    each result slice is bit-identical to
+    ``balance_sets(work[b], rngs[b])``.
+    """
+    if concentration <= 0:
+        raise ValueError(
+            f"concentration must be positive (got {concentration})"
+        )
+    if work.shape[0] != len(rngs):
+        raise ValueError(
+            f"need one rng per candidate: work has {work.shape[0]} "
+            f"slices, got {len(rngs)} rngs"
+        )
+    n = work.shape[-1]
+    fractions = np.empty(work.shape, dtype=float)
+    for b, rng in enumerate(rngs):
+        fractions[b] = beta_values(
+            rng, concentration, concentration, work.shape[1:]
+        )
     halves = np.empty(work.shape[:-1] + (2 * n,), dtype=float)
     np.multiply(work, fractions, out=halves[..., :n])
     np.subtract(work, halves[..., :n], out=halves[..., n:])

@@ -36,6 +36,8 @@ import numpy as np
 
 __all__ = [
     "binomial_counts",
+    "binomial_counts_predrawn",
+    "binomial_predraw",
     "beta_values",
     "exact_sampling",
     "replica_weights",
@@ -144,6 +146,54 @@ def binomial_counts(
     if tail_fraction > 0.5:
         return rng.binomial(np.asarray(trials), probs).astype(float)
     sd = np.sqrt(np.maximum(mean * (1.0 - probs), 0.0))
+    out = np.rint(mean + rng.standard_normal(probs.shape) * sd)
+    if tail_fraction:
+        out[tails] = rng.binomial(
+            trials_arr[tails].astype(np.int64), probs[tails]
+        )
+    return np.clip(out, 0.0, trials_arr)
+
+
+def binomial_predraw(
+    trials: int | np.ndarray, probs: np.ndarray
+) -> tuple:
+    """Deterministic intermediates of :func:`binomial_counts`.
+
+    Everything the approximate path derives from ``(trials, probs)``
+    alone — the broadcast trial counts, the Gaussian moments, the
+    small-count tail mask — with no generator involved.  Kernels that
+    redraw the same ``(trials, probs)`` under many random streams
+    (every explorer candidate differing only in seed or in fields the
+    working sets ignore) compute this once and pass it to
+    :func:`binomial_counts_predrawn`.
+    """
+    probs = np.asarray(probs, dtype=float)
+    trials_arr = np.broadcast_to(
+        np.asarray(trials, dtype=float), probs.shape
+    )
+    mean = trials_arr * probs
+    tails = (mean < NORMAL_COUNT_THRESHOLD) | (
+        trials_arr - mean < NORMAL_COUNT_THRESHOLD
+    )
+    tail_fraction = float(tails.mean())
+    sd = np.sqrt(np.maximum(mean * (1.0 - probs), 0.0))
+    return (trials, probs, trials_arr, mean, tails, tail_fraction, sd)
+
+
+def binomial_counts_predrawn(
+    rng: np.random.Generator, pre: tuple
+) -> np.ndarray:
+    """:func:`binomial_counts` from :func:`binomial_predraw` output.
+
+    Bit-identical to ``binomial_counts(rng, trials, probs)`` for the
+    pair the intermediates were built from: the same branch decisions
+    run here and the generator is consumed identically in every mode.
+    """
+    trials, probs, trials_arr, mean, tails, tail_fraction, sd = pre
+    if exact_sampling() or probs.size < FAST_SIZE_THRESHOLD:
+        return rng.binomial(trials, probs).astype(float)
+    if tail_fraction > 0.5:
+        return rng.binomial(np.asarray(trials), probs).astype(float)
     out = np.rint(mean + rng.standard_normal(probs.shape) * sd)
     if tail_fraction:
         out[tails] = rng.binomial(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.dataflow.batcheval import MappingCandidate, evaluate_candidates
 from repro.dataflow.evalcore import evaluate_network
 from repro.dataflow.latency import PhaseLatency, phase_latency_from_eval
 from repro.hw.config import ArchConfig
@@ -20,7 +21,7 @@ from repro.hw.energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from repro.workloads.phases import PHASES
 from repro.workloads.sparsity import NetworkSparsity
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "simulate_candidates"]
 
 
 @dataclass
@@ -103,3 +104,42 @@ def simulate(
         latency=latency,
         energy=energy,
     )
+
+
+def simulate_candidates(
+    profile: NetworkSparsity,
+    candidates: list[MappingCandidate],
+    table: EnergyTable | None = None,
+    phases: tuple[str, ...] = PHASES,
+    config=None,
+) -> list[SimulationResult]:
+    """Simulate many candidates of one network in a single pass.
+
+    The batch counterpart of :func:`simulate`:
+    :func:`~repro.dataflow.batcheval.evaluate_candidates` dedups the
+    layer-level working-set builds across the candidate list, probes
+    and stores the memo in bulk, and runs remaining builds through the
+    batched kernels — then each candidate's evaluation rolls up into a
+    :class:`SimulationResult` exactly as the looped path does.  Every
+    returned result is bit-identical to the corresponding
+    ``simulate(profile, c.mapping, arch=c.arch, ...)`` call.
+    """
+    table = table or DEFAULT_ENERGY_TABLE
+    evaluations = evaluate_candidates(
+        profile,
+        candidates,
+        table=table,
+        phases=phases,
+        config=config,
+    )
+    return [
+        SimulationResult(
+            network=profile.name,
+            mapping=cand.mapping,
+            sparse=cand.sparse,
+            arch=cand.arch,
+            latency=phase_latency_from_eval(evaluation),
+            energy=evaluation.phase_energy(),
+        )
+        for cand, evaluation in zip(candidates, evaluations)
+    ]

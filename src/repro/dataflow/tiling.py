@@ -27,11 +27,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dataflow.loadbalance import balance_sets
+from repro.dataflow.loadbalance import balance_sets, balance_sets_batch
 from repro.dataflow.mapping import spatial_dims
 from repro.dataflow.sampling import (
     beta_values,
     binomial_counts,
+    binomial_counts_predrawn,
+    binomial_predraw,
     replica_weights,
 )
 from repro.hw.config import ArchConfig
@@ -41,6 +43,7 @@ from repro.workloads.sparsity import LayerSparsity
 __all__ = [
     "SetStats",
     "build_sets",
+    "build_sets_batch",
     "build_sets_reference",
     "stationary_chunks",
 ]
@@ -211,6 +214,28 @@ def _phase_channel_densities(
 # ----------------------------------------------------------------------
 # fw / bw: weight sparsity
 # ----------------------------------------------------------------------
+#: Deterministic pre-draw intermediates for the KN/CN weight kernel,
+#: content-keyed like :data:`_CK_PREDRAW_CACHE`.
+_MB_PREDRAW_CACHE: dict[tuple, tuple] = {}
+_MB_PREDRAW_CAP = 512
+
+
+def _mb_predraw(densities: np.ndarray, s1: int, kept: int, trials: int):
+    """Cached :func:`binomial_predraw` for the per-chunk weight draw."""
+    key = (s1, kept, trials, densities[: s1].tobytes())
+    hit = _MB_PREDRAW_CACHE.get(key)
+    if hit is not None:
+        return hit
+    probs = np.repeat(
+        np.clip(densities[:s1], 0.0, 1.0), kept
+    ).reshape(s1, kept)
+    value = binomial_predraw(trials, probs)
+    if len(_MB_PREDRAW_CACHE) >= _MB_PREDRAW_CAP:
+        _MB_PREDRAW_CACHE.clear()
+    _MB_PREDRAW_CACHE[key] = value
+    return value
+
+
 def _weight_sets_channel_minibatch(
     op: PhaseOp,
     mapping_name: str,
@@ -237,11 +262,10 @@ def _weight_sets_channel_minibatch(
     kept = chunk_w.shape[0]
 
     if sparse:
-        probs = np.repeat(
-            np.clip(densities[:s1], 0.0, 1.0), kept
-        ).reshape(s1, kept)
-        nnz = binomial_counts(rng, max(1, int(round(chunk_size))), probs)
-        nnz *= chunk_size / max(1, int(round(chunk_size)))
+        trials = max(1, int(round(chunk_size)))
+        pre = _mb_predraw(densities, s1, kept, trials)
+        nnz = binomial_counts_predrawn(rng, pre)
+        nnz *= chunk_size / trials
     else:
         nnz = np.full((s1, kept), chunk_size)
 
@@ -264,40 +288,49 @@ def _weight_sets_channel_minibatch(
     return stats
 
 
-def _weight_sets_ck(
-    op: PhaseOp,
-    arch: ArchConfig,
-    ls: LayerSparsity,
-    rng: np.random.Generator,
-    sparse: bool,
-    balance: str,
-) -> SetStats:
-    """CK mapping in fw/bw: in-channels on rows, out-channels on cols.
+#: Deterministic CK pre-draw intermediates, content-keyed.  Explorer
+#: sweeps re-request the same (layer, densities, block size) hundreds
+#: of times with only the random stream differing, so everything up to
+#: the binomial draw is cached; the draw itself stays per call and the
+#: streams are untouched.
+_CK_PREDRAW_CACHE: dict[tuple, tuple] = {}
+_CK_PREDRAW_CAP = 512
 
-    Each PE holds a rectangular block of channel pairs sized to the
-    register file; grouped convolutions leave cross-group pairs empty
-    (which is what collapses utilization for depthwise layers).
+
+def _ck_predraw(
+    op: PhaseOp, arch: ArchConfig, ls: LayerSparsity
+) -> tuple[tuple, np.ndarray, np.ndarray]:
+    """``(binomial predraw, zero_blocks, block_weights)`` for CK.
+
+    A pure function of the layer dimensions, the register-file block
+    size, and the density profile — exactly the inputs in the cache
+    key.  Cached arrays are shared; callers must not mutate them.
     """
-    out_d, in_d = _phase_channel_densities(op, ls)
     layer = op.layer
     taps = op.reduction_taps
     budget = max(1, arch.rf_words)
     block = max(1, int(np.sqrt(budget / taps)))
     b_c = min(block, op.in_channels)
     b_k = min(block, op.out_channels)
-    uses_per_weight = op.dense_macs / max(1, layer.weight_count)
-
-    groups = layer.groups
+    out_d, in_d = _phase_channel_densities(op, ls)
     s_c, s_k = op.in_channels, op.out_channels
+    base = max(ls.weight_density, 1e-4)
+    key = (
+        s_c, s_k, layer.groups, taps, b_c, b_k, base,
+        in_d[: s_c].tobytes(), out_d[: s_k].tobytes(),
+    )
+    hit = _CK_PREDRAW_CACHE.get(key)
+    if hit is not None:
+        return hit
+
     c_units = -(-s_c // b_c)
     k_units = -(-s_k // b_k)
     # A (c, k) channel pair holds weights only when both channels fall
     # in the same convolution group (depthwise layers keep only the
     # diagonal, which is what starves the CK mapping's utilization).
-    c_group = (np.arange(s_c) * groups) // s_c
-    k_group = (np.arange(s_k) * groups) // s_k
+    c_group = (np.arange(s_c) * layer.groups) // s_c
+    k_group = (np.arange(s_k) * layer.groups) // s_k
     valid = (c_group[:, None] == k_group[None, :]).astype(float)
-    base = max(ls.weight_density, 1e-4)
     pair_density = (
         np.clip(np.outer(in_d[:s_c], out_d[:s_k]) / base, 0.0, 1.0) * valid
     )
@@ -312,14 +345,51 @@ def _weight_sets_ck(
 
     block_weights = _block_sum(valid) * taps
     block_expected_nnz = _block_sum(pair_density) * taps
+    trials = np.maximum(block_weights.astype(int), 0)
+    probs = np.divide(
+        block_expected_nnz,
+        np.maximum(block_weights, 1.0),
+    ).clip(0.0, 1.0)
+    value = (
+        binomial_predraw(np.maximum(trials, 1), probs),
+        trials == 0,
+        block_weights,
+    )
+    if len(_CK_PREDRAW_CACHE) >= _CK_PREDRAW_CAP:
+        _CK_PREDRAW_CACHE.clear()
+    _CK_PREDRAW_CACHE[key] = value
+    return value
+
+
+def _weight_sets_ck(
+    op: PhaseOp,
+    arch: ArchConfig,
+    ls: LayerSparsity,
+    rng: np.random.Generator,
+    sparse: bool,
+    balance: str,
+) -> SetStats:
+    """CK mapping in fw/bw: in-channels on rows, out-channels on cols.
+
+    Each PE holds a rectangular block of channel pairs sized to the
+    register file; grouped convolutions leave cross-group pairs empty
+    (which is what collapses utilization for depthwise layers).
+    """
+    layer = op.layer
+    taps = op.reduction_taps
+    budget = max(1, arch.rf_words)
+    block = max(1, int(np.sqrt(budget / taps)))
+    b_c = min(block, op.in_channels)
+    b_k = min(block, op.out_channels)
+    uses_per_weight = op.dense_macs / max(1, layer.weight_count)
+    s_c, s_k = op.in_channels, op.out_channels
+    c_units = -(-s_c // b_c)
+    k_units = -(-s_k // b_k)
+
+    pre, zero_blocks, block_weights = _ck_predraw(op, arch, ls)
     if sparse:
-        trials = np.maximum(block_weights.astype(int), 0)
-        probs = np.divide(
-            block_expected_nnz,
-            np.maximum(block_weights, 1.0),
-        ).clip(0.0, 1.0)
-        nnz = binomial_counts(rng, np.maximum(trials, 1), probs)
-        nnz[trials == 0] = 0.0
+        nnz = binomial_counts_predrawn(rng, pre)
+        nnz[zero_blocks] = 0.0
     else:
         nnz = block_weights.astype(float)
     work = nnz * uses_per_weight
@@ -690,6 +760,242 @@ def _wu_sets_pq(
 
 
 # ----------------------------------------------------------------------
+# batched kernels: a leading candidate axis over same-shaped jobs
+# ----------------------------------------------------------------------
+# Each ``*_batch`` kernel evaluates many (density profile, rng) jobs of
+# one (op, mapping, arch-signature, balance) condition in a single
+# stacked pass.  The random draws stay *per job* — every job's private
+# generator is consumed exactly as the single-job kernel would consume
+# it — and only the deterministic array math (elementwise products,
+# pad/reshape/transpose copies, trailing-axis reductions) carries the
+# leading axis, which is what keeps every result slice bit-identical
+# to the corresponding single-job call.
+
+
+def _weight_sets_channel_minibatch_batch(
+    op: PhaseOp,
+    mapping_name: str,
+    arch: ArchConfig,
+    jobs: list[tuple[LayerSparsity, np.random.Generator]],
+    balance: str,
+) -> list[SetStats]:
+    """Batched sparse :func:`_weight_sets_channel_minibatch`."""
+    dims = spatial_dims(op, mapping_name)
+    s1 = dims.size1
+    layer = op.layer
+    weights_per_unit = layer.weight_count / s1
+    uses_per_weight = op.dense_macs / (layer.weight_count * op.n)
+    chunks = stationary_chunks(weights_per_unit, arch)
+    chunk_size = weights_per_unit / chunks
+    chunk_w = replica_weights(chunks, CHUNK_SAMPLE_CAP)
+    kept = chunk_w.shape[0]
+    n_jobs = len(jobs)
+
+    trials = max(1, int(round(chunk_size)))
+    nnz = np.empty((n_jobs, s1, kept))
+    for b, (ls, rng) in enumerate(jobs):
+        out_d, in_d = _phase_channel_densities(op, ls)
+        densities = out_d if mapping_name == "KN" else in_d
+        pre = _mb_predraw(densities, s1, kept, trials)
+        draw = binomial_counts_predrawn(rng, pre)
+        draw *= chunk_size / trials
+        nnz[b] = draw
+
+    work = nnz * uses_per_weight
+    tiles = -(-s1 // arch.pe_rows)
+    row_padded = np.zeros((n_jobs, tiles * arch.pe_rows, kept))
+    row_padded[:, :s1] = work
+    vectors = (
+        row_padded.reshape(n_jobs, tiles, arch.pe_rows, kept)
+        .transpose(0, 1, 3, 2)
+        .reshape(n_jobs, tiles * kept, arch.pe_rows)
+    )
+    if balance == "half":
+        vectors = balance_sets_batch(vectors, [rng for _, rng in jobs])
+    replication = -(-op.n // arch.pe_cols)
+    busy_cols = min(op.n, arch.pe_cols)
+    weight = np.tile(chunk_w, tiles) * replication
+    results = []
+    for b in range(n_jobs):
+        stats = _from_vectors(vectors[b], busy_cols, replication)
+        stats.weight = weight
+        results.append(stats)
+    return results
+
+
+def _weight_sets_ck_batch(
+    op: PhaseOp,
+    arch: ArchConfig,
+    jobs: list[tuple[LayerSparsity, np.random.Generator]],
+    balance: str,
+) -> list[SetStats]:
+    """Batched sparse :func:`_weight_sets_ck`.
+
+    Per-job deterministic structure comes from the shared
+    :func:`_ck_predraw` cache; only the binomial draws run per job,
+    from each job's own generator, exactly as the single-job kernel
+    draws them.
+    """
+    layer = op.layer
+    taps = op.reduction_taps
+    budget = max(1, arch.rf_words)
+    block = max(1, int(np.sqrt(budget / taps)))
+    b_c = min(block, op.in_channels)
+    b_k = min(block, op.out_channels)
+    uses_per_weight = op.dense_macs / max(1, layer.weight_count)
+    s_c, s_k = op.in_channels, op.out_channels
+    c_units = -(-s_c // b_c)
+    k_units = -(-s_k // b_k)
+
+    n_jobs = len(jobs)
+    nnz = np.empty((n_jobs, c_units, k_units))
+    for b, (ls, rng) in enumerate(jobs):
+        pre, zero_blocks, _ = _ck_predraw(op, arch, ls)
+        draw = binomial_counts_predrawn(rng, pre)
+        draw[zero_blocks] = 0.0
+        nnz[b] = draw
+
+    work = nnz * uses_per_weight
+    rows = -(-c_units // arch.pe_rows)
+    cols = -(-k_units // arch.pe_cols)
+    grid = np.zeros((n_jobs, rows * arch.pe_rows, cols * arch.pe_cols))
+    grid[:, :c_units, :k_units] = work
+    matrices = (
+        grid.reshape(n_jobs, rows, arch.pe_rows, cols, arch.pe_cols)
+        .transpose(0, 1, 3, 2, 4)
+        .reshape(n_jobs, rows * cols, arch.pe_rows, arch.pe_cols)
+    )
+    results = []
+    for b in range(n_jobs):
+        stats = _from_matrices(matrices[b])
+        if balance == "perfect":
+            stats = SetStats(
+                max_work=stats.mean_work * (1.0 + COMPLEX_BALANCE_OVERHEAD),
+                mean_work=stats.mean_work,
+                sum_work=stats.sum_work,
+                busy_pes=stats.busy_pes,
+                weight=stats.weight,
+            )
+        results.append(stats)
+    return results
+
+
+def _wu_sets_channel_minibatch_batch(
+    op: PhaseOp,
+    mapping_name: str,
+    arch: ArchConfig,
+    jobs: list[tuple[LayerSparsity, np.random.Generator]],
+    balance: str,
+) -> list[SetStats]:
+    """Batched sparse :func:`_wu_sets_channel_minibatch` (KN and CN).
+
+    The CN outer product becomes one einsum with a leading candidate
+    axis (``"bri,btfj->brtfij"``) — a pure product with no reduction,
+    so every slice matches the single-candidate einsum exactly.
+    """
+    dims = spatial_dims(op, mapping_name)
+    layer = op.layer
+    n = op.n
+    s1 = dims.size1
+    dense_per_pair = op.dense_macs / (s1 * n)
+    x_per_sample = layer.c * layer.h * layer.w
+    budget = max(1, arch.rf_words // 2)
+    chunks = max(1, min(64, -(-x_per_sample // budget)))
+    n_tiles = -(-n // arch.pe_cols)
+    n_jobs = len(jobs)
+    rngs = [rng for _, rng in jobs]
+    rows = -(-s1 // arch.pe_rows)
+
+    chunk_stack = np.empty((n_jobs, n_tiles * arch.pe_cols, chunks))
+    c_stack = np.zeros((n_jobs, rows * arch.pe_rows))
+    base = np.empty(n_jobs)
+    for b, (ls, rng) in enumerate(jobs):
+        act_density = ls.iact_density
+        sample_density = _beta_around(
+            rng,
+            act_density,
+            SAMPLE_ACT_CONCENTRATION,
+            (n_tiles * arch.pe_cols,),
+        )
+        if n < n_tiles * arch.pe_cols:
+            sample_density[n:] = 0.0
+        chunk_density = _beta_around(
+            rng,
+            np.repeat(sample_density, chunks),
+            CHUNK_ACT_CONCENTRATION,
+            (n_tiles * arch.pe_cols * chunks,),
+        ).reshape(n_tiles * arch.pe_cols, chunks)
+        chunk_density[sample_density == 0.0] = 0.0
+        chunk_stack[b] = chunk_density
+        if mapping_name == "CN":
+            c_density = _beta_around(
+                rng, act_density, CHUNK_ACT_CONCENTRATION, (s1,)
+            )
+            c_density *= act_density / max(c_density.mean(), 1e-9)
+            c_density = np.clip(c_density, 0.0, 1.0)
+            c_stack[b, :s1] = c_density
+            base[b] = max(act_density, 1e-4)
+
+    if mapping_name == "KN":
+        work = (
+            chunk_stack.reshape(n_jobs, n_tiles, arch.pe_cols, chunks)
+            .transpose(0, 1, 3, 2)
+            .reshape(n_jobs, n_tiles * chunks, arch.pe_cols)
+            * dense_per_pair
+            / chunks
+        )
+        if balance == "half":
+            work = balance_sets_batch(work, rngs)
+        return [
+            _from_vectors(
+                work[b], min(s1, arch.pe_rows), -(-s1 // arch.pe_rows)
+            )
+            for b in range(n_jobs)
+        ]
+
+    # CN: stacked broadcast outer product over the candidate axis.
+    c_tiles = c_stack.reshape(n_jobs, rows, arch.pe_rows)
+    sample_tiles = chunk_stack.reshape(
+        n_jobs, n_tiles, arch.pe_cols, chunks
+    )
+    tile_idx, tile_w = _wu_tile_sample(n, n_tiles, arch.pe_cols)
+    chunk_w = replica_weights(chunks, CHUNK_SAMPLE_CAP)
+    kept_chunks = chunk_w.shape[0]
+    samples = sample_tiles[:, tile_idx][:, :, :, :kept_chunks]
+    rho = np.clip(
+        np.einsum(
+            "bri,btfj->brtfij",
+            c_tiles,
+            samples.transpose(0, 1, 3, 2),
+            order="C",
+        )
+        / base[:, None, None, None, None, None],
+        0.0,
+        1.0,
+    )
+    work = (
+        rho.reshape(n_jobs, -1, arch.pe_rows, arch.pe_cols)
+        * dense_per_pair
+        / chunks
+    )
+    if balance == "half":
+        flat = work.transpose(0, 1, 3, 2).reshape(
+            n_jobs, -1, work.shape[2]
+        )
+        flat = balance_sets_batch(flat, rngs)
+        work = flat.reshape(
+            n_jobs, work.shape[1], work.shape[3], work.shape[2]
+        ).transpose(0, 1, 3, 2)
+    weight = np.tile((tile_w[:, None] * chunk_w[None, :]).ravel(), rows)
+    results = []
+    for b in range(n_jobs):
+        stats = _from_matrices(work[b])
+        stats.weight = weight
+        results.append(stats)
+    return results
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 def build_sets(
@@ -727,6 +1033,64 @@ def build_sets(
         return _wu_sets_ck(op, arch, ls, rng, sparse, balance)
     if mapping == "PQ":
         return _wu_sets_pq(op, arch, ls, rng, sparse)
+    raise ValueError(f"unknown mapping {mapping!r}")
+
+
+def build_sets_batch(
+    op: PhaseOp,
+    mapping: str,
+    arch: ArchConfig,
+    jobs: list[tuple[LayerSparsity, np.random.Generator]],
+    sparse: bool = True,
+    balance: str = "none",
+) -> list[SetStats]:
+    """:func:`build_sets` for many jobs of one condition, in one pass.
+
+    ``jobs`` is a list of ``(layer sparsity, generator)`` pairs that
+    share everything the condition fixes — phase op (layer dimensions,
+    minibatch), mapping, balance mode, and the tiling-relevant arch
+    fields — and differ only in density profiles and random streams.
+    Results are returned in job order and each is bit-identical to the
+    corresponding ``build_sets(op, mapping, arch, ls, rng, ...)`` call:
+    random variates are drawn per job from that job's generator, in
+    the single-job order, and only deterministic math is stacked along
+    the leading candidate axis.
+
+    Mappings whose kernels are dominated by per-job draws or are fully
+    deterministic (PQ, the wu-phase CK path) and dense jobs fall back
+    to per-job :func:`build_sets` — same contract, no stacking win.
+    """
+    if balance not in ("none", "half", "perfect"):
+        raise ValueError(f"unknown balance mode {balance!r}")
+    if not jobs:
+        return []
+
+    def _loop() -> list[SetStats]:
+        return [
+            build_sets(
+                op, mapping, arch, ls, rng, sparse=sparse, balance=balance
+            )
+            for ls, rng in jobs
+        ]
+
+    if len(jobs) == 1 or not sparse:
+        return _loop()
+    if op.sparse_operand == "weights":
+        if mapping in ("KN", "CN"):
+            return _weight_sets_channel_minibatch_batch(
+                op, mapping, arch, jobs, balance
+            )
+        if mapping == "CK":
+            return _weight_sets_ck_batch(op, arch, jobs, balance)
+        if mapping == "PQ":
+            return _loop()
+        raise ValueError(f"unknown mapping {mapping!r}")
+    if mapping in ("KN", "CN"):
+        return _wu_sets_channel_minibatch_batch(
+            op, mapping, arch, jobs, balance
+        )
+    if mapping in ("CK", "PQ"):
+        return _loop()
     raise ValueError(f"unknown mapping {mapping!r}")
 
 

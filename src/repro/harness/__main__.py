@@ -151,18 +151,23 @@ def run_explore_cli(*args: str) -> None:
         list(args), "--cache-dir", "results/explore-cache"
     )
     rest, objective = _take_flag(rest, "--objective", "iteration")
+    rest, executor = _take_flag(rest, "--executor")
+    rest, workers = _take_flag(rest, "--workers")
     _reject_unknown_flags(rest, "explore")
     budget = rest[0] if len(rest) > 0 else "120"
     strategy = rest[1] if len(rest) > 1 else "greedy"
     _banner(
         f"Design-space exploration — objective={objective}, "
         f"strategy={strategy}, budget={budget}, cache={cache_dir}"
+        + (f", executor={executor}" if executor else "")
     )
     result = run_explore(
         budget=int(budget),
         strategy=strategy,
         cache_dir=cache_dir,
         objective=objective,
+        executor=executor,
+        workers=int(workers) if workers is not None else None,
     )
     print(format_frontier(result))
 
@@ -216,8 +221,11 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         help="override the experiment's canonical seed",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "process"), default=None,
-        help="sweep fan-out policy (default: serial)",
+        "--executor",
+        choices=("batched", "serial", "process", "distributed"),
+        default=None,
+        help="sweep fan-out policy (default: batched — group points "
+             "sharing a network into one multi-candidate pass)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -310,6 +318,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", choices=("iteration", "trajectory"),
         default="iteration",
     )
+    p_explore.add_argument(
+        "--executor",
+        choices=("batched", "serial", "process", "distributed"),
+        default=None,
+        help="sweep fan-out policy (default: the active config's, "
+             "normally batched)",
+    )
+    p_explore.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the process executor and for the batched "
+             "executor's group submissions",
+    )
 
     p_profile = sub.add_parser(
         "profile", help="per-stage simulate() timing breakdown"
@@ -381,9 +401,14 @@ def main(argv: list[str] | None = None) -> int:
             run_export(args.directory)
         elif args.command == "explore":
             run_explore_cli(
-                str(args.budget), args.strategy,
-                "--cache-dir", args.cache_dir,
-                "--objective", args.objective,
+                *(
+                    [str(args.budget), args.strategy,
+                     "--cache-dir", args.cache_dir,
+                     "--objective", args.objective]
+                    + (["--executor", args.executor] if args.executor else [])
+                    + (["--workers", str(args.workers)]
+                       if args.workers is not None else [])
+                )
             )
         elif args.command == "profile":
             run_profile_cli(

@@ -47,6 +47,7 @@ __all__ = [
     "CycleLevelSimulator",
     "IDEAL_FABRIC",
     "SINGLE_WORD_FABRIC",
+    "compose_pipeline_batch",
 ]
 
 
@@ -255,6 +256,54 @@ class CycleLevelSimulator:
             f"cycle simulator supports KN and CK mappings (got {mapping!r})"
         )
 
+    def run_conv_candidates(
+        self,
+        mask: np.ndarray,
+        p: int,
+        q: int,
+        n: int,
+        candidates: list[tuple[str, bool]],
+        stride: int = 1,
+    ) -> list[CycleSimResult]:
+        """Simulate several (mapping, balance) candidates of one layer.
+
+        All candidates share the layer's mask, so the ``(K, C)``
+        non-zero reduction — the dominant cost for real masks — is
+        computed once and reused; each candidate's working-set walk and
+        pipeline composition then runs from the shared counts.  Every
+        result is bit-identical to the corresponding
+        :meth:`run_conv` call.
+        """
+        if mask.ndim != 4:
+            raise ValueError(f"mask must be (K, C, R, S), got {mask.ndim}-D")
+        if min(p, q, n) < 1:
+            raise ValueError("p, q, n must all be >= 1")
+        mask = mask.astype(bool)
+        k, c, r, s = mask.shape
+        kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)
+        results = []
+        for mapping, balance in candidates:
+            if mapping == "KN":
+                results.append(
+                    self._run_kn(
+                        mask, p, q, n, balance, stride,
+                        kernel_nnz=kernel_nnz,
+                    )
+                )
+            elif mapping == "CK":
+                results.append(
+                    self._run_ck(
+                        mask, p, q, n, balance, stride,
+                        kernel_nnz=kernel_nnz,
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"cycle simulator supports KN and CK mappings "
+                    f"(got {mapping!r})"
+                )
+        return results
+
     # ------------------------------------------------------------------
     # KN: spatial-minibatch mapping (Figure 11 / 12)
     # ------------------------------------------------------------------
@@ -266,10 +315,12 @@ class CycleLevelSimulator:
         n: int,
         balance: bool,
         stride: int,
+        kernel_nnz: np.ndarray | None = None,
     ) -> CycleSimResult:
         k, c, r, s = mask.shape
         rows, cols = self.arch.pe_rows, self.arch.pe_cols
-        kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
+        if kernel_nnz is None:
+            kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
         chunks = _chunk_channels(kernel_nnz, self.weight_budget_words)
         # Input window delivered per column per set (one sample's
         # chunk-channels slab).
@@ -361,10 +412,12 @@ class CycleLevelSimulator:
         n: int,
         balance: bool,
         stride: int,
+        kernel_nnz: np.ndarray | None = None,
     ) -> CycleSimResult:
         k, c, r, s = mask.shape
         rows, cols = self.arch.pe_rows, self.arch.pe_cols
-        kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
+        if kernel_nnz is None:
+            kernel_nnz = mask.reshape(k, c, r * s).sum(axis=2)  # (K, C)
         h_in = (p - 1) * stride + r
         w_in = (q - 1) * stride + s
         iact_words_per_row = h_in * w_in  # one channel's slab
@@ -462,19 +515,59 @@ class CycleLevelSimulator:
         fills = np.asarray(fills, dtype=float)
         computes = np.asarray(computes, dtype=float)
         drains = np.asarray(drains, dtype=float)
-        compute_total = float(np.sum(computes))
         if fills.size == 0:
             return
-        if self.fabric.double_buffered:
-            next_fill = np.concatenate([fills[1:], [0.0]])
-            prev_drain = np.concatenate([[0.0], drains[:-1]])
-            steady = np.maximum(np.maximum(computes, next_fill), prev_drain)
-            total = float(fills[0] + steady.sum() + drains[-1])
-        else:
-            total = float(np.sum(fills) + compute_total + np.sum(drains))
+        totals, compute_totals = compose_pipeline_batch(
+            self.fabric.double_buffered,
+            fills[None, :],
+            computes[None, :],
+            drains[None, :],
+        )
+        total = float(totals[0])
         result.cycles = total
-        result.compute_cycles = compute_total
-        result.stall_cycles = total - compute_total
+        result.compute_cycles = float(compute_totals[0])
+        result.stall_cycles = total - result.compute_cycles
+
+
+def compose_pipeline_batch(
+    double_buffered: bool,
+    fills: np.ndarray,
+    computes: np.ndarray,
+    drains: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pipeline composition with a leading candidate axis.
+
+    ``fills``/``computes``/``drains`` are ``(B, n_sets)`` stage-time
+    stacks — one candidate's working-set sequence per row; rows must
+    share a set count (pad shorter candidates with zero-cost sets,
+    which compose as no-ops).  Returns ``(total, compute)`` cycle
+    vectors of length ``B``.  Each row reduces exactly as
+    :meth:`CycleLevelSimulator._accumulate` composes a single
+    candidate — the shifted-max runs elementwise and the sums reduce
+    the trailing axis per row — so the result is bit-identical to ``B``
+    single-candidate compositions (and to
+    :func:`_reference_accumulate`).
+    """
+    fills = np.atleast_2d(np.asarray(fills, dtype=float))
+    computes = np.atleast_2d(np.asarray(computes, dtype=float))
+    drains = np.atleast_2d(np.asarray(drains, dtype=float))
+    if not fills.shape == computes.shape == drains.shape:
+        raise ValueError(
+            f"stage stacks must share one (B, n_sets) shape, got "
+            f"{fills.shape}/{computes.shape}/{drains.shape}"
+        )
+    compute_totals = computes.sum(axis=-1)
+    if fills.shape[-1] == 0:
+        return np.zeros(fills.shape[0]), compute_totals
+    if double_buffered:
+        pad = np.zeros((fills.shape[0], 1))
+        next_fill = np.concatenate([fills[:, 1:], pad], axis=1)
+        prev_drain = np.concatenate([pad, drains[:, :-1]], axis=1)
+        steady = np.maximum(np.maximum(computes, next_fill), prev_drain)
+        totals = fills[:, 0] + steady.sum(axis=1) + drains[:, -1]
+    else:
+        totals = fills.sum(axis=1) + compute_totals + drains.sum(axis=1)
+    return totals, compute_totals
 
 
 def _reference_accumulate(

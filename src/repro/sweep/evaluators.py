@@ -53,17 +53,29 @@ cycles (the harness imports the sweep engine, not vice versa).
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 __all__ = [
+    "BatchEvaluatorSpec",
     "available_evaluators",
     "evaluator_version",
+    "get_batch_evaluator",
     "get_evaluator",
     "price_design",
     "register",
+    "register_batch",
 ]
 
 Evaluator = Callable[..., Mapping[str, Any]]
+
+#: A batch evaluator takes one *group* of (params, seed) jobs — all
+#: agreeing on the registered ``group_by`` parameters — and returns one
+#: value mapping per job, in job order, each identical to what the
+#: scalar evaluator of the same name returns for that job.
+BatchEvaluator = Callable[
+    [list[tuple[Mapping[str, Any], int]]], list[Mapping[str, Any]]
+]
 
 _REGISTRY: dict[str, tuple[Evaluator, str]] = {}
 
@@ -97,6 +109,60 @@ def evaluator_version(name: str) -> str:
 
 def available_evaluators() -> list[str]:
     return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Batch evaluators (the "batched" sweep executor's counterpart)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchEvaluatorSpec:
+    """A batch evaluator plus the grouping contract it requires.
+
+    ``group_by`` names the parameters every job of one batch must
+    agree on (the ones that pin the shared workload — network, density
+    profile, profile seed); ``group_by_seed`` additionally pins the
+    sweep point's own seed, for evaluators whose workload depends on
+    it (``simulate`` builds its profile from the point seed, while
+    ``design-point`` deliberately ignores it in favor of
+    ``profile_seed``).
+    """
+
+    fn: BatchEvaluator
+    group_by: tuple[str, ...]
+    group_by_seed: bool = False
+
+
+_BATCH_REGISTRY: dict[str, BatchEvaluatorSpec] = {}
+
+
+def register_batch(
+    name: str,
+    group_by: tuple[str, ...],
+    group_by_seed: bool = False,
+) -> Callable[[BatchEvaluator], BatchEvaluator]:
+    """Decorator registering the batch form of evaluator ``name``.
+
+    The scalar evaluator of the same name stays the ground truth: the
+    ``batched`` executor hands a batch function only groups of two or
+    more points, and its results must be **identical** to running the
+    scalar evaluator per point (the executor-parity tests enforce
+    this).  Cache keys and versions are always the scalar evaluator's,
+    so batch-computed and serially-computed records interoperate.
+    """
+
+    def deco(fn: BatchEvaluator) -> BatchEvaluator:
+        _BATCH_REGISTRY[name] = BatchEvaluatorSpec(
+            fn=fn, group_by=tuple(group_by), group_by_seed=group_by_seed
+        )
+        return fn
+
+    return deco
+
+
+def get_batch_evaluator(name: str) -> BatchEvaluatorSpec | None:
+    """The batch form of evaluator ``name``, or ``None`` if it has
+    none (the batched executor then degrades to serial evaluation)."""
+    return _BATCH_REGISTRY.get(name)
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +251,84 @@ def simulate_point(
         },
         "array_side": config.pe_rows,
     }
+
+
+@register_batch(
+    "simulate",
+    group_by=("network", "sparse", "sparsity_factor"),
+    group_by_seed=True,
+)
+def simulate_batch(
+    jobs: list[tuple[Mapping[str, Any], int]],
+) -> list[dict[str, Any]]:
+    """Batch form of ``simulate``: one multi-candidate evalcore pass.
+
+    All jobs share (network, sparse, sparsity_factor, seed) — exactly
+    what determines the simulated profile — so the profile is built
+    once and every (mapping, arch, scale, n, balance) variant becomes
+    one :class:`~repro.dataflow.batcheval.MappingCandidate`.  Results
+    are bit-identical to per-job ``simulate_point`` calls.
+    """
+    from repro.dataflow.batcheval import MappingCandidate
+    from repro.dataflow.simulator import simulate_candidates
+    from repro.harness.common import (
+        dense_profile_for,
+        model_entry,
+        sparse_profile_for,
+    )
+    from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+
+    first, seed = jobs[0]
+    network = first["network"]
+    sparse = first.get("sparse", True)
+    sparsity_factor = first.get("sparsity_factor")
+    entry = model_entry(network)
+    profile = (
+        sparse_profile_for(network, seed=seed, sparsity_factor=sparsity_factor)
+        if sparse
+        else dense_profile_for(network)
+    )
+    bases = {"baseline": BASELINE_16x16, "procrustes": PROCRUSTES_16x16}
+    candidates = []
+    for params, job_seed in jobs:
+        arch = params.get("arch")
+        if arch is None:
+            arch = "procrustes" if sparse else "baseline"
+        try:
+            config = bases[arch]
+        except KeyError:
+            raise KeyError(
+                f"unknown arch {arch!r}; choose from {sorted(bases)}"
+            ) from None
+        scale = params.get("scale", 1)
+        if scale != 1:
+            config = config.scaled(scale)
+        n = params.get("n")
+        candidates.append(
+            MappingCandidate(
+                mapping=params.get("mapping", "KN"),
+                arch=config,
+                n=n if n is not None else entry.minibatch,
+                sparse=sparse,
+                balance=params.get("balance", True),
+                seed=job_seed,
+            )
+        )
+    sims = simulate_candidates(profile, candidates)
+    return [
+        {
+            "total_cycles": sim.total_cycles,
+            "total_j": sim.total_energy_j,
+            "cycles_by_phase": sim.cycles_by_phase(),
+            "energy_by_phase": sim.energy_by_phase(),
+            "energy_components_by_phase": {
+                phase: breakdown.as_dict()
+                for phase, breakdown in sim.energy.items()
+            },
+            "array_side": sim.arch.pe_rows,
+        }
+        for sim in sims
+    ]
 
 
 def price_design(
@@ -322,6 +466,108 @@ def design_point(
         "mask_fits": mask_residency_ok(profile, config, n=minibatch),
         "n_pes": config.n_pes,
     }
+
+
+@register_batch(
+    "design-point",
+    group_by=("network", "sparse", "sparsity_factor", "profile_seed"),
+)
+def design_point_batch(
+    jobs: list[tuple[Mapping[str, Any], int]],
+) -> list[dict[str, Any]]:
+    """Batch form of ``design-point``: the explorer's hot path.
+
+    All jobs share the profile-determining parameters (common random
+    numbers make the sweep seed irrelevant to the objective vector, so
+    it does not join the group key).  One
+    :func:`~repro.dataflow.simulator.simulate_candidates` pass covers
+    every (mapping, array_side, glb_kib, rf_bytes, balance) variant —
+    layer builds dedup across candidates that differ only in
+    tiling-irrelevant knobs — and silicon pricing / mask-residency
+    checks are memoized at their true (arch, mapping) granularity.
+    Results are bit-identical to per-job ``design_point`` calls.
+    """
+    from repro.dataflow.batcheval import MappingCandidate
+    from repro.dataflow.simulator import simulate_candidates
+    from repro.harness.common import (
+        dense_profile_for,
+        model_entry,
+        sparse_profile_for,
+    )
+    from repro.hw.capacity import mask_residency_ok
+    from repro.hw.config import arch_from_params
+
+    first, _ = jobs[0]
+    network = first["network"]
+    sparse = first.get("sparse", True)
+    sparsity_factor = first.get("sparsity_factor")
+    profile_seed = first.get("profile_seed", 1)
+    entry = model_entry(network)
+    profile = (
+        sparse_profile_for(
+            network, seed=profile_seed, sparsity_factor=sparsity_factor
+        )
+        if sparse
+        else dense_profile_for(network)
+    )
+    candidates = []
+    configs = []
+    for params, _seed in jobs:
+        config = arch_from_params(
+            {
+                "array_side": params.get("array_side", 16),
+                "glb_kib": params.get("glb_kib", 128),
+                "rf_bytes": params.get("rf_bytes", 1024),
+                "sparse": sparse,
+            }
+        )
+        n = params.get("n")
+        configs.append(config)
+        candidates.append(
+            MappingCandidate(
+                mapping=params.get("mapping", "KN"),
+                arch=config,
+                n=n if n is not None else entry.minibatch,
+                sparse=sparse,
+                balance=params.get("balance", True),
+                seed=profile_seed,
+            )
+        )
+    sims = simulate_candidates(profile, candidates)
+    silicon_cache: dict[tuple, dict[str, Any]] = {}
+    mask_cache: dict[tuple, bool] = {}
+    results = []
+    for (params, _seed), config, cand, sim in zip(
+        jobs, configs, candidates, sims
+    ):
+        glb_kib = params.get("glb_kib", 128)
+        rf_bytes = params.get("rf_bytes", 1024)
+        skey = (config, cand.mapping, sparse, glb_kib, rf_bytes)
+        silicon = silicon_cache.get(skey)
+        if silicon is None:
+            silicon = price_design(
+                config,
+                cand.mapping,
+                sparse=sparse,
+                glb_kib=glb_kib,
+                rf_bytes=rf_bytes,
+            )
+            silicon_cache[skey] = silicon
+        mkey = (config, cand.n)
+        mask_fits = mask_cache.get(mkey)
+        if mask_fits is None:
+            mask_fits = mask_residency_ok(profile, config, n=cand.n)
+            mask_cache[mkey] = mask_fits
+        results.append(
+            {
+                "total_cycles": sim.total_cycles,
+                "total_j": sim.total_energy_j,
+                **silicon,
+                "mask_fits": mask_fits,
+                "n_pes": config.n_pes,
+            }
+        )
+    return results
 
 
 @register("train-mini", version="1")

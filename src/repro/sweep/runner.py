@@ -1,12 +1,33 @@
-"""The sweep runner: evaluate a grid, cached and optionally parallel.
+"""The sweep runner: evaluate a grid, cached and with pluggable fan-out.
 
 ``run_sweep`` (or :class:`SweepRunner` for reuse across specs) walks a
 :class:`SweepSpec`'s points, satisfies what it can from the
-:class:`ResultCache`, and evaluates the misses either inline
-(``executor="serial"``) or fanned out over a ``ProcessPoolExecutor``
-(``executor="process"``).  Every completed point is written to the
-cache *as it finishes*, so an interrupted sweep resumes from its last
-completed point and a warm re-run touches no evaluator at all.
+:class:`ResultCache`, and hands the misses to the configured
+*executor* — a named strategy from an extensible registry:
+
+``"serial"``
+    Evaluate inline, in grid order; easiest to debug.
+``"process"``
+    Fan out over a ``ProcessPoolExecutor`` (``workers`` processes).
+``"batched"``
+    Group points that share a workload (per the evaluator's registered
+    batch contract, :func:`repro.sweep.evaluators.register_batch`) and
+    evaluate each group in one multi-candidate pass through the
+    batched evaluation core; when several groups are pending and
+    ``workers > 1``, the group chunks are submitted to a process pool
+    and run concurrently.  Evaluators without a batch form — and
+    singleton groups — degrade to serial evaluation, so the executor
+    is always safe to select.
+``"distributed"``
+    A stub seam for a future remote backend; selecting it raises
+    ``NotImplementedError`` at run time.
+
+:func:`register_executor` installs additional strategies; unknown
+names raise with the registered names listed.  Whatever the executor,
+every completed point is written to the cache *as it finishes*, so an
+interrupted sweep resumes from its last completed point and a warm
+re-run touches no evaluator at all — and results always come back in
+grid order.
 
 Results come back as a :class:`SweepResult` — an ordered list of
 :class:`PointResult` rows plus timing and cache statistics — with
@@ -24,10 +45,21 @@ from typing import Any, Callable, Mapping
 from repro.report.export import _jsonable as to_jsonable
 from repro.report.export import experiment_record
 from repro.sweep.cache import ResultCache
-from repro.sweep.evaluators import evaluator_version, get_evaluator
+from repro.sweep.evaluators import (
+    evaluator_version,
+    get_batch_evaluator,
+    get_evaluator,
+)
 from repro.sweep.spec import SweepPoint, SweepSpec
 
-__all__ = ["PointResult", "SweepResult", "SweepRunner", "run_sweep"]
+__all__ = [
+    "PointResult",
+    "SweepResult",
+    "SweepRunner",
+    "available_executors",
+    "register_executor",
+    "run_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -185,17 +217,251 @@ def _evaluate_point(
     return values, time.perf_counter() - start
 
 
+def _execute_serial(
+    runner: "SweepRunner",
+    spec: SweepSpec,
+    fn: Callable[..., Mapping[str, Any]],
+    pending: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Built-in ``"serial"`` executor: evaluate inline, in grid order."""
+    for point in pending:
+        values, wall = _evaluate_point(
+            fn, point.params, point.seed, runner.config
+        )
+        finish(point, values, wall)
+
+
+def _execute_process(
+    runner: "SweepRunner",
+    spec: SweepSpec,
+    fn: Callable[..., Mapping[str, Any]],
+    pending: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Built-in ``"process"`` executor: ``ProcessPoolExecutor`` fan-out."""
+    runner._run_pool(fn, pending, finish)
+
+
+def _evaluate_batch_group(
+    batch_fn: Callable[[list], list],
+    jobs: list[tuple[Mapping[str, Any], int]],
+    config=None,
+) -> tuple[list[dict], float]:
+    """Worker body: one batch-evaluator call, timed.
+
+    Module-level so it pickles for the process pool; the batch callable
+    and the config ship by pickle exactly like :func:`_evaluate_point`'s
+    scalar evaluator.
+    """
+    start = time.perf_counter()
+    if config is None:
+        rows = batch_fn(jobs)
+    else:
+        from repro.api.config import config_scope
+
+        with config_scope(config):
+            rows = batch_fn(jobs)
+    return (
+        [to_jsonable(dict(values)) for values in rows],
+        time.perf_counter() - start,
+    )
+
+
+def _finish_batch_group(
+    spec: SweepSpec,
+    group: list[SweepPoint],
+    rows: list[dict],
+    elapsed: float,
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Commit one batch group's results, wall time split evenly."""
+    if len(rows) != len(group):
+        raise ValueError(
+            f"batch evaluator for {spec.evaluator!r} returned "
+            f"{len(rows)} results for {len(group)} points"
+        )
+    wall = elapsed / len(group)
+    for point, values in zip(group, rows):
+        finish(point, values, wall)
+
+
+def _execute_batched(
+    runner: "SweepRunner",
+    spec: SweepSpec,
+    fn: Callable[..., Mapping[str, Any]],
+    pending: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Built-in ``"batched"`` executor: chunked multi-candidate passes.
+
+    Points are grouped by the evaluator's registered batch contract
+    (the parameters pinning the shared workload, plus the point seed
+    when the evaluator's workload depends on it).  Each group of two
+    or more runs through the batch evaluator in one pass; singleton
+    groups — and evaluators with no batch form at all — fall back to
+    serial evaluation.  When several groups are pending and the runner
+    has workers to spare, the group chunks are submitted to a process
+    pool and run concurrently (each group is still one batch pass, and
+    group results are identical wherever they run).  Wall time is
+    attributed evenly across a group's points, and each point's values
+    are cached individually, so batched and serial runs produce
+    interchangeable records.
+    """
+    batch = get_batch_evaluator(spec.evaluator)
+    if batch is None:
+        _execute_serial(runner, spec, fn, pending, finish)
+        return
+    groups: dict[tuple, list[SweepPoint]] = {}
+    for point in pending:
+        key = tuple(
+            repr(point.params.get(name)) for name in batch.group_by
+        )
+        if batch.group_by_seed:
+            key += (point.seed,)
+        groups.setdefault(key, []).append(point)
+    multis: list[list[SweepPoint]] = []
+    for group in groups.values():
+        if len(group) == 1:
+            _execute_serial(runner, spec, fn, group, finish)
+        else:
+            multis.append(group)
+    if len(multis) >= 2 and runner.workers > 1 and _picklable(batch.fn):
+        _run_group_pool(runner, spec, batch.fn, multis, finish)
+        return
+    for group in multis:
+        jobs = [(point.params, point.seed) for point in group]
+        rows, elapsed = _evaluate_batch_group(
+            batch.fn, jobs, runner.config
+        )
+        _finish_batch_group(spec, group, rows, elapsed, finish)
+
+
+def _picklable(obj: Any) -> bool:
+    """Whether ``obj`` survives a round trip to a pool worker.
+
+    Locally-defined batch evaluators (tests, notebooks) don't; they
+    keep the in-process path rather than failing mid-submission.
+    """
+    import pickle
+
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_group_pool(
+    runner: "SweepRunner",
+    spec: SweepSpec,
+    batch_fn: Callable[[list], list],
+    multis: list[list[SweepPoint]],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Fan batch groups over a process pool (chunked submissions).
+
+    Mirrors :meth:`SweepRunner._run_pool`'s failure semantics: on the
+    first error, unstarted groups are cancelled, in-flight ones are
+    drained with their successes committed, and the first error is
+    re-raised with the cache consistent.
+    """
+    workers = min(runner.workers, len(multis))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(
+                _evaluate_batch_group,
+                batch_fn,
+                [(point.params, point.seed) for point in group],
+                runner.config,
+            ): group
+            for group in multis
+        }
+        remaining = set(futures)
+        first_error: BaseException | None = None
+        while remaining and first_error is None:
+            done, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    first_error = first_error or error
+                    continue
+                rows, elapsed = future.result()
+                _finish_batch_group(
+                    spec, futures[future], rows, elapsed, finish
+                )
+        if first_error is not None:
+            in_flight = {f for f in remaining if not f.cancel()}
+            for future in in_flight:
+                if future.exception() is None:
+                    rows, elapsed = future.result()
+                    _finish_batch_group(
+                        spec, futures[future], rows, elapsed, finish
+                    )
+            raise first_error
+
+
+def _execute_distributed(
+    runner: "SweepRunner",
+    spec: SweepSpec,
+    fn: Callable[..., Mapping[str, Any]],
+    pending: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Placeholder ``"distributed"`` backend: the registration seam is
+    real, the transport is not."""
+    raise NotImplementedError(
+        "the 'distributed' executor is a placeholder; register a real "
+        "backend with repro.sweep.runner.register_executor('distributed', fn)"
+    )
+
+
+#: Executor registry: name -> strategy callable taking
+#: ``(runner, spec, evaluator_fn, pending_points, finish)``.
+_EXECUTORS: dict[str, Callable[..., None]] = {
+    "serial": _execute_serial,
+    "process": _execute_process,
+    "batched": _execute_batched,
+    "distributed": _execute_distributed,
+}
+
+
+def register_executor(
+    name: str, execute: Callable[..., None]
+) -> Callable[..., None]:
+    """Register (or replace) a sweep executor strategy.
+
+    ``execute(runner, spec, fn, pending, finish)`` must call
+    ``finish(point, values, wall_seconds)`` exactly once per pending
+    point (in any order — the runner re-sorts into grid order) with
+    JSON-able ``values``.  The name also becomes a valid
+    :class:`repro.api.RuntimeConfig` executor value.
+    """
+    from repro.api.config import register_known_executor
+
+    _EXECUTORS[name] = execute
+    register_known_executor(name)
+    return execute
+
+
+def available_executors() -> list[str]:
+    """Registered executor names (built-ins plus custom backends)."""
+    return sorted(_EXECUTORS)
+
+
 class SweepRunner:
     """Reusable sweep executor (cache + executor policy).
 
-    ``executor`` is ``"serial"`` (evaluate inline, deterministic
-    ordering, easiest to debug) or ``"process"`` (fan misses out over
-    ``workers`` processes; results are still returned in grid order).
+    ``executor`` names a registered strategy — ``"serial"``,
+    ``"process"``, ``"batched"``, the ``"distributed"`` stub, or any
+    backend added via :func:`register_executor`; see the module
+    docstring.  Whatever the strategy, results are returned in grid
+    order.
 
     ``config`` — a :class:`repro.api.RuntimeConfig` — is applied around
-    every evaluator call, serial or pooled: pool workers receive it by
-    pickle, which is how one ``--cache-dir`` serves a whole parallel
-    sweep without any environment mutation.
+    every evaluator call, serial, pooled, or batched: pool workers
+    receive it by pickle, which is how one ``--cache-dir`` serves a
+    whole parallel sweep without any environment mutation.
     """
 
     def __init__(
@@ -205,9 +471,10 @@ class SweepRunner:
         workers: int | None = None,
         config=None,
     ) -> None:
-        if executor not in ("serial", "process"):
+        if executor not in _EXECUTORS:
             raise ValueError(
-                f"executor must be 'serial' or 'process', got {executor!r}"
+                f"unknown executor {executor!r}; registered executors: "
+                f"{available_executors()}"
             )
         self.cache = cache
         self.executor = executor
@@ -260,14 +527,15 @@ class SweepRunner:
             if progress is not None:
                 progress(result)
 
-        if self.executor == "serial" or len(pending) <= 1:
-            for point in pending:
-                values, wall = _evaluate_point(
-                    fn, point.params, point.seed, self.config
-                )
-                finish(point, values, wall)
-        elif pending:
-            self._run_pool(fn, pending, finish)
+        if pending:
+            # A single pending point never benefits from fan-out or
+            # batching — every executor degrades to serial for it.
+            execute = (
+                _execute_serial
+                if len(pending) <= 1
+                else _EXECUTORS[self.executor]
+            )
+            execute(self, spec, fn, pending, finish)
 
         ordered = [results[i] for i in sorted(results)]
         return SweepResult(

@@ -42,7 +42,7 @@ class TestRuntimeConfigPrecedence:
         assert config.campaign_cache_dir is None
         assert config.cache_root is None
         assert config.seed is None
-        assert config.executor == "serial"
+        assert config.executor == "batched"
 
     def test_env_beats_defaults(self):
         config = RuntimeConfig.from_env(
@@ -53,6 +53,8 @@ class TestRuntimeConfigPrecedence:
                 "REPRO_CAMPAIGN_CACHE_DIR": "/tmp/c",
                 "REPRO_EVALCORE_CACHE_DIR": "/tmp/e",
                 "REPRO_CACHE_ROOT": "/tmp/r",
+                "REPRO_EXECUTOR": "serial",
+                "REPRO_WORKERS": "3",
             }
         )
         assert config.evalcore_memo is False
@@ -61,6 +63,8 @@ class TestRuntimeConfigPrecedence:
         assert config.campaign_cache_dir == "/tmp/c"
         assert config.evalcore_cache_dir == "/tmp/e"
         assert config.cache_root == "/tmp/r"
+        assert config.executor == "serial"
+        assert config.workers == 3
 
     def test_explicit_argument_beats_env(self):
         config = RuntimeConfig.from_env(
@@ -395,6 +399,20 @@ class TestCli:
         assert self._main("list", "--family", "tables") == 0
         out = capsys.readouterr().out
         assert "table2" in out and "fig01" not in out
+
+    def test_explore_accepts_executor_and_workers(self, tmp_path, capsys):
+        code = self._main(
+            "explore", "8", "random",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--executor", "serial", "--workers", "1",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor=serial" in out
+
+    def test_explore_rejects_unknown_executor(self, capsys):
+        assert self._main("explore", "--executor", "threads") == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_run_dispatches_through_registry(self, capsys):
         assert self._main("run", "table3") == 0

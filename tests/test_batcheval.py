@@ -1,0 +1,353 @@
+"""Tests for the batched multi-candidate evaluation path.
+
+The contract under test is *bit-identity*: every result
+:func:`~repro.dataflow.batcheval.evaluate_candidates` returns must be
+field-for-field equal to the corresponding per-candidate
+:func:`~repro.dataflow.evalcore.evaluate_network` walk — across
+mappings, phases, balance settings, seeds, arch variants, and both
+sampling modes — plus the memo-sharing contract: batched and looped
+evaluation read and write one digest space, through the LRU, the bulk
+binary segment tier, and the per-record JSON tier alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import sampling
+from repro.dataflow.batcheval import MappingCandidate, evaluate_candidates
+from repro.dataflow.evalcore import (
+    EvalMemo,
+    SegmentStore,
+    evaluate_network,
+    reference_implementation,
+)
+from repro.dataflow.loadbalance import balance_sets, balance_sets_batch
+from repro.dataflow.mapping import MAPPINGS
+from repro.dataflow.simulator import simulate, simulate_candidates
+from repro.dataflow.tiling import (
+    SetStats,
+    build_sets,
+    build_sets_batch,
+)
+from repro.hw.config import BASELINE_16x16, PROCRUSTES_16x16
+from repro.hw.cyclesim import compose_pipeline_batch
+from repro.hw.energy import DEFAULT_ENERGY_TABLE
+from repro.workloads.phases import PHASES, phase_op
+
+SET_FIELDS = ("max_work", "mean_work", "sum_work", "busy_pes", "weight")
+BALANCE_MODES = ("none", "half", "perfect")
+
+
+def assert_sets_identical(a, b, ctx=""):
+    for name in SET_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=f"{ctx} {name}"
+        )
+
+
+def assert_evals_identical(batch_eval, loop_eval, ctx=""):
+    assert batch_eval.layers.keys() == loop_eval.layers.keys()
+    for phase in loop_eval.layers:
+        for a, b in zip(batch_eval.layers[phase], loop_eval.layers[phase]):
+            where = f"{ctx} {phase}/{b.layer_name}"
+            assert a.layer_name == b.layer_name, where
+            assert a.cycles == b.cycles, where
+            assert a.macs == b.macs, where
+            assert_sets_identical(a.sets, b.sets, where)
+            if b.energy is not None:
+                assert a.energy.total_j == b.energy.total_j, where
+
+
+@pytest.fixture(params=[False, True], ids=["fast-sampling", "exact-sampling"])
+def sampling_exact(request):
+    with sampling.sampling_mode(exact=request.param):
+        yield request.param
+
+
+# ----------------------------------------------------------------------
+# batched kernel parity (the candidate-axis primitives)
+# ----------------------------------------------------------------------
+class TestBatchedKernels:
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    @pytest.mark.parametrize("phase", PHASES)
+    @pytest.mark.parametrize("balance", BALANCE_MODES)
+    def test_build_sets_batch_bit_identical(
+        self, small_profile, mapping, phase, balance, sampling_exact
+    ):
+        ls = small_profile.layers[1]
+        op = phase_op(ls.layer, phase, 32)
+        seeds = (3, 11, 19)
+        batch = build_sets_batch(
+            op,
+            mapping,
+            PROCRUSTES_16x16,
+            [(ls, np.random.default_rng(s)) for s in seeds],
+            sparse=True,
+            balance=balance,
+        )
+        for seed, stats in zip(seeds, batch):
+            single = build_sets(
+                op,
+                mapping,
+                PROCRUSTES_16x16,
+                ls,
+                np.random.default_rng(seed),
+                sparse=True,
+                balance=balance,
+            )
+            assert_sets_identical(
+                stats, single, f"{mapping}/{phase}/{balance}/seed={seed}"
+            )
+
+    def test_balance_sets_batch_matches_per_candidate(self):
+        rng = np.random.default_rng(0)
+        work = rng.uniform(1.0, 9.0, size=(4, 6, 8))
+        batch = balance_sets_batch(
+            work, [np.random.default_rng(s) for s in range(4)]
+        )
+        for b in range(4):
+            single = balance_sets(work[b], np.random.default_rng(b))
+            np.testing.assert_array_equal(batch[b], single)
+
+    def test_balance_sets_batch_requires_one_rng_per_slice(self):
+        with pytest.raises(ValueError, match="rng"):
+            balance_sets_batch(
+                np.ones((3, 2, 4)), [np.random.default_rng(0)]
+            )
+
+    @pytest.mark.parametrize("double_buffered", [False, True])
+    def test_compose_pipeline_batch_matches_rows(self, double_buffered):
+        rng = np.random.default_rng(7)
+        fills = rng.uniform(0, 50, size=(5, 9))
+        computes = rng.uniform(0, 50, size=(5, 9))
+        drains = rng.uniform(0, 50, size=(5, 9))
+        totals, compute_totals = compose_pipeline_batch(
+            double_buffered, fills, computes, drains
+        )
+        for b in range(5):
+            row_totals, row_compute = compose_pipeline_batch(
+                double_buffered, fills[b], computes[b], drains[b]
+            )
+            assert totals[b] == row_totals[0]
+            assert compute_totals[b] == row_compute[0]
+
+    def test_build_sets_batch_empty_and_dense_fallback(self, small_profile):
+        ls = small_profile.layers[0]
+        op = phase_op(ls.layer, "fw", 32)
+        assert build_sets_batch(op, "KN", PROCRUSTES_16x16, []) == []
+        jobs = [(ls, np.random.default_rng(s)) for s in (0, 1)]
+        dense = build_sets_batch(
+            op, "KN", PROCRUSTES_16x16, jobs, sparse=False
+        )
+        for seed, stats in zip((0, 1), dense):
+            single = build_sets(
+                op, "KN", PROCRUSTES_16x16, ls,
+                np.random.default_rng(seed), sparse=False,
+            )
+            assert_sets_identical(stats, single)
+
+
+# ----------------------------------------------------------------------
+# evaluate_candidates parity
+# ----------------------------------------------------------------------
+def candidate_grid():
+    cands = []
+    for mapping in MAPPINGS:
+        for arch in (PROCRUSTES_16x16, BASELINE_16x16):
+            for balance in (True, False):
+                cands.append(
+                    MappingCandidate(
+                        mapping, arch, n=32, balance=balance, seed=5
+                    )
+                )
+    cands.append(
+        MappingCandidate("KN", PROCRUSTES_16x16, n=32, seed=9)
+    )
+    cands.append(
+        MappingCandidate("KN", PROCRUSTES_16x16, n=32, sparse=False)
+    )
+    return cands
+
+
+class TestEvaluateCandidates:
+    def test_bit_identical_to_looped_walks(
+        self, small_profile, sampling_exact
+    ):
+        cands = candidate_grid()
+        batch = evaluate_candidates(
+            small_profile, cands, table=DEFAULT_ENERGY_TABLE, memo=None
+        )
+        assert len(batch) == len(cands)
+        for cand, evaluation in zip(cands, batch):
+            loop = evaluate_network(
+                small_profile,
+                cand.mapping,
+                cand.arch,
+                cand.n,
+                table=DEFAULT_ENERGY_TABLE,
+                sparse=cand.sparse,
+                balance=cand.balance,
+                seed=cand.seed,
+                memo=None,
+            )
+            assert_evals_identical(
+                evaluation, loop, f"{cand.mapping}/bal={cand.balance}"
+            )
+
+    def test_reference_mode_parity(self, small_profile):
+        cands = candidate_grid()[:4]
+        with reference_implementation():
+            batch = evaluate_candidates(
+                small_profile, cands, table=DEFAULT_ENERGY_TABLE
+            )
+            for cand, evaluation in zip(cands, batch):
+                loop = evaluate_network(
+                    small_profile,
+                    cand.mapping,
+                    cand.arch,
+                    cand.n,
+                    table=DEFAULT_ENERGY_TABLE,
+                    sparse=cand.sparse,
+                    balance=cand.balance,
+                    seed=cand.seed,
+                )
+                assert_evals_identical(evaluation, loop, "reference")
+
+    def test_simulate_candidates_matches_simulate(self, small_profile):
+        cands = [
+            MappingCandidate("KN", PROCRUSTES_16x16, n=32),
+            MappingCandidate("CK", PROCRUSTES_16x16, n=32),
+            MappingCandidate("CN", BASELINE_16x16, n=32, balance=False),
+        ]
+        sims = simulate_candidates(small_profile, cands)
+        for cand, sim in zip(cands, sims):
+            single = simulate(
+                small_profile,
+                cand.mapping,
+                arch=cand.arch,
+                n=cand.n,
+                sparse=cand.sparse,
+                balance=cand.balance,
+                seed=cand.seed,
+            )
+            assert sim.total_cycles == single.total_cycles
+            assert sim.total_energy_j == single.total_energy_j
+            assert sim.cycles_by_phase() == single.cycles_by_phase()
+            assert sim.energy_by_phase() == single.energy_by_phase()
+
+    def test_empty_candidate_list(self, small_profile):
+        assert evaluate_candidates(small_profile, [], memo=None) == []
+
+
+# ----------------------------------------------------------------------
+# memo sharing: one digest space, all tiers
+# ----------------------------------------------------------------------
+class TestMemoSharing:
+    def test_batched_stores_hit_looped_reads(self, small_profile, tmp_path):
+        cands = candidate_grid()
+        writer = EvalMemo(maxsize=4096, disk_root=tmp_path)
+        batch = evaluate_candidates(
+            small_profile, cands, table=DEFAULT_ENERGY_TABLE, memo=writer
+        )
+        assert writer.stats.stores > 0
+        # A fresh memo over the same directory: only disk (segment)
+        # hits, zero rebuilds.
+        reader = EvalMemo(maxsize=4096, disk_root=tmp_path)
+        for cand, evaluation in zip(cands[:6], batch[:6]):
+            loop = evaluate_network(
+                small_profile,
+                cand.mapping,
+                cand.arch,
+                cand.n,
+                table=DEFAULT_ENERGY_TABLE,
+                sparse=cand.sparse,
+                balance=cand.balance,
+                seed=cand.seed,
+                memo=reader,
+            )
+            assert_evals_identical(evaluation, loop, "segment-share")
+        assert reader.stats.disk_hits > 0
+        assert reader.stats.misses == 0
+
+    def test_looped_stores_hit_batched_reads(self, small_profile, tmp_path):
+        cands = candidate_grid()[:4]
+        writer = EvalMemo(maxsize=4096, disk_root=tmp_path)
+        loops = [
+            evaluate_network(
+                small_profile,
+                cand.mapping,
+                cand.arch,
+                cand.n,
+                table=DEFAULT_ENERGY_TABLE,
+                sparse=cand.sparse,
+                balance=cand.balance,
+                seed=cand.seed,
+                memo=writer,
+            )
+            for cand in cands
+        ]
+        reader = EvalMemo(maxsize=4096, disk_root=tmp_path)
+        batch = evaluate_candidates(
+            small_profile, cands, table=DEFAULT_ENERGY_TABLE, memo=reader
+        )
+        assert reader.stats.disk_hits > 0
+        assert reader.stats.misses == 0
+        for loop, evaluation in zip(loops, batch):
+            assert_evals_identical(evaluation, loop, "json-share")
+
+    def test_warm_batch_is_all_lru_hits(self, small_profile):
+        cands = candidate_grid()
+        memo = EvalMemo(maxsize=4096)
+        evaluate_candidates(small_profile, cands, memo=memo)
+        stores, misses = memo.stats.stores, memo.stats.misses
+        evaluate_candidates(small_profile, cands, memo=memo)
+        assert memo.stats.stores == stores
+        assert memo.stats.misses == misses
+
+    def test_segment_store_roundtrip(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        rng = np.random.default_rng(0)
+        pairs = []
+        for i in range(5):
+            n = int(rng.integers(1, 7))
+            pairs.append(
+                (
+                    f"digest-{i}",
+                    SetStats(
+                        max_work=rng.uniform(0, 9, n),
+                        mean_work=rng.uniform(0, 9, n),
+                        sum_work=rng.uniform(0, 99, n),
+                        busy_pes=rng.integers(1, 256, n).astype(float),
+                        weight=rng.integers(1, 5, n),
+                    ),
+                )
+            )
+        store.put_many(pairs)
+        # A different store instance over the same directory sees the
+        # records (cross-process visibility path).
+        fresh = SegmentStore(tmp_path)
+        hits = fresh.get_many([d for d, _ in pairs] + ["missing"])
+        assert "missing" not in hits
+        for digest, sets in pairs:
+            assert_sets_identical(hits[digest], sets, digest)
+
+    def test_segment_store_ignores_torn_files(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put_many(
+            [
+                (
+                    "good",
+                    SetStats(
+                        max_work=np.ones(2),
+                        mean_work=np.ones(2),
+                        sum_work=np.ones(2),
+                        busy_pes=np.ones(2),
+                        weight=np.ones(2, dtype=np.int64),
+                    ),
+                )
+            ]
+        )
+        (tmp_path / "seg-torn.npz").write_bytes(b"not an npz")
+        fresh = SegmentStore(tmp_path)
+        hits = fresh.get_many(["good"])
+        assert set(hits) == {"good"}

@@ -1,0 +1,283 @@
+"""Tests for the pluggable sweep-executor seam.
+
+Covers the satellite contract: ``executor="batched"`` returns results
+in grid order and bit-identical to serial evaluation, singleton
+batches fall back to the scalar evaluator, evaluators with no batch
+form degrade to serial, unknown executor names raise with the
+registered names listed, and custom backends plug in through
+:func:`repro.sweep.runner.register_executor` (including
+:class:`~repro.api.config.RuntimeConfig` accepting the new name).
+"""
+
+import pytest
+
+from repro.api.config import RuntimeConfig
+from repro.sweep import evaluators as ev
+from repro.sweep.runner import (
+    SweepRunner,
+    available_executors,
+    register_executor,
+    run_sweep,
+)
+from repro.sweep.spec import Axis, SweepSpec
+
+
+@pytest.fixture
+def tracked_evaluator():
+    """A scalar+batch evaluator pair that records which form ran."""
+    calls = {"scalar": [], "batch": []}
+
+    @ev.register("exec-probe", version="1")
+    def probe(*, seed, group, x, **_):
+        calls["scalar"].append((group, x))
+        return {"y": x * 10 + group, "seed": seed}
+
+    @ev.register_batch("exec-probe", group_by=("group",))
+    def probe_batch(jobs):
+        calls["batch"].append([p["x"] for p, _ in jobs])
+        return [
+            {"y": params["x"] * 10 + params["group"], "seed": seed}
+            for params, seed in jobs
+        ]
+
+    try:
+        yield calls
+    finally:
+        ev._REGISTRY.pop("exec-probe", None)
+        ev._BATCH_REGISTRY.pop("exec-probe", None)
+
+
+def probe_spec(xs=(1, 2, 3, 4), groups=(0, 1)):
+    return SweepSpec(
+        name="exec-probe-grid",
+        evaluator="exec-probe",
+        axes=(Axis("group", tuple(groups)), Axis("x", tuple(xs))),
+        base_seed=5,
+    )
+
+
+class TestBatchedExecutor:
+    def test_grid_order_and_values_match_serial(self, tracked_evaluator):
+        spec = probe_spec()
+        serial = run_sweep(spec, executor="serial")
+        batched = run_sweep(spec, executor="batched")
+        assert [p.index for p in batched.points] == list(
+            range(spec.n_points)
+        )
+        for a, b in zip(serial.points, batched.points):
+            assert a.params == b.params
+            assert a.values == b.values
+        # Two groups of four: the batch form ran, the scalar form only
+        # for the serial sweep.
+        assert tracked_evaluator["batch"] == [[1, 2, 3, 4], [1, 2, 3, 4]]
+
+    def test_singleton_groups_fall_back_to_scalar(self, tracked_evaluator):
+        # Four groups of one point each: no batch call should happen.
+        spec = probe_spec(xs=(7,), groups=(0, 1, 2, 3))
+        result = run_sweep(spec, executor="batched")
+        assert [p.values["y"] for p in result.points] == [70, 71, 72, 73]
+        assert tracked_evaluator["batch"] == []
+        assert len(tracked_evaluator["scalar"]) == 4
+
+    def test_evaluator_without_batch_form_runs_serial(self):
+        spec = SweepSpec(
+            name="echo-grid",
+            evaluator="echo",
+            axes=(Axis("x", (1, 2, 3)),),
+        )
+        result = run_sweep(spec, executor="batched")
+        assert [p.values["x"] for p in result.points] == [1, 2, 3]
+
+    def test_batched_points_are_cached_individually(
+        self, tracked_evaluator, tmp_path
+    ):
+        from repro.sweep.cache import ResultCache
+
+        spec = probe_spec()
+        cache = ResultCache(tmp_path)
+        run_sweep(spec, cache=cache, executor="batched")
+        # A warm serial run over the same cache touches no evaluator.
+        warm = run_sweep(spec, cache=cache, executor="serial")
+        assert warm.n_cached == spec.n_points
+        assert len(tracked_evaluator["scalar"]) == 0
+
+    def test_wrong_batch_result_count_raises(self, tracked_evaluator):
+        @ev.register_batch("exec-probe", group_by=("group",))
+        def bad_batch(jobs):
+            return [{"y": 0}]  # one result for many jobs
+
+        spec = probe_spec(groups=(0,))
+        with pytest.raises(ValueError, match="returned"):
+            run_sweep(spec, executor="batched")
+
+
+def _pool_probe(*, seed, group, x, **_):
+    return {"y": x * 10 + group, "seed": seed}
+
+
+def _pool_probe_batch(jobs):
+    return [
+        {"y": params["x"] * 10 + params["group"], "seed": seed}
+        for params, seed in jobs
+    ]
+
+
+def _pool_probe_batch_broken(jobs):
+    raise RuntimeError("worker-side failure")
+
+
+@pytest.fixture
+def pool_evaluator():
+    """A module-level (picklable) evaluator pair for the pool path."""
+    ev.register("exec-pool", version="1")(_pool_probe)
+    ev.register_batch("exec-pool", group_by=("group",))(_pool_probe_batch)
+    try:
+        yield
+    finally:
+        ev._REGISTRY.pop("exec-pool", None)
+        ev._BATCH_REGISTRY.pop("exec-pool", None)
+
+
+class TestPooledBatchGroups:
+    """``executor="batched"`` with ``workers > 1`` fans multi-point
+    groups over a process pool; results stay identical to serial."""
+
+    def pool_spec(self, xs=(1, 2, 3), groups=(0, 1)):
+        return SweepSpec(
+            name="exec-pool-grid",
+            evaluator="exec-pool",
+            axes=(Axis("group", tuple(groups)), Axis("x", tuple(xs))),
+            base_seed=5,
+        )
+
+    def test_pooled_groups_match_serial(self, pool_evaluator):
+        spec = self.pool_spec()
+        serial = run_sweep(spec, executor="serial")
+        pooled = run_sweep(spec, executor="batched", workers=2)
+        assert [p.index for p in pooled.points] == list(range(spec.n_points))
+        for a, b in zip(serial.points, pooled.points):
+            assert a.params == b.params
+            assert a.values == b.values
+
+    def test_pooled_points_are_cached_individually(
+        self, pool_evaluator, tmp_path
+    ):
+        from repro.sweep.cache import ResultCache
+
+        spec = self.pool_spec()
+        cache = ResultCache(tmp_path)
+        run_sweep(spec, cache=cache, executor="batched", workers=2)
+        warm = run_sweep(spec, cache=cache, executor="serial")
+        assert warm.n_cached == spec.n_points
+
+    def test_unpicklable_batch_fn_stays_in_process(self, tracked_evaluator):
+        # The tracked fixture registers closures, which can't cross a
+        # process boundary; the executor must detect that and keep the
+        # in-process group loop (the recorded calls prove it did).
+        spec = probe_spec()
+        result = run_sweep(spec, executor="batched", workers=4)
+        assert [p.values["y"] for p in result.points] == [
+            10, 20, 30, 40, 11, 21, 31, 41
+        ]
+        assert tracked_evaluator["batch"] == [[1, 2, 3, 4], [1, 2, 3, 4]]
+
+    def test_worker_error_propagates(self, pool_evaluator):
+        ev.register_batch("exec-pool", group_by=("group",))(
+            _pool_probe_batch_broken
+        )
+        spec = self.pool_spec()
+        with pytest.raises(RuntimeError, match="worker-side failure"):
+            run_sweep(spec, executor="batched", workers=2)
+
+
+class TestExecutorRegistry:
+    def test_unknown_executor_lists_registered_names(self):
+        with pytest.raises(ValueError, match="executor") as err:
+            SweepRunner(executor="threads")
+        message = str(err.value)
+        for name in ("serial", "process", "batched", "distributed"):
+            assert name in message
+
+    def test_distributed_stub_raises_at_run_time(self):
+        runner = SweepRunner(executor="distributed")  # selectable...
+        spec = SweepSpec(
+            name="stub", evaluator="echo", axes=(Axis("x", (1, 2)),)
+        )
+        with pytest.raises(NotImplementedError, match="register_executor"):
+            runner.run(spec)  # ...but not runnable
+
+    def test_register_executor_plugs_in_and_extends_config(self):
+        ran = []
+
+        def capped_serial(runner, spec, fn, pending, finish):
+            from repro.sweep.runner import _execute_serial
+
+            ran.append(len(pending))
+            _execute_serial(runner, spec, fn, pending, finish)
+
+        register_executor("capped", capped_serial)
+        try:
+            assert "capped" in available_executors()
+            spec = SweepSpec(
+                name="custom", evaluator="echo", axes=(Axis("x", (1, 2)),)
+            )
+            result = run_sweep(spec, executor="capped")
+            assert [p.values["x"] for p in result.points] == [1, 2]
+            assert ran == [2]
+            # The config layer accepts the registered name too.
+            assert RuntimeConfig(executor="capped").executor == "capped"
+        finally:
+            from repro.api.config import _KNOWN_EXECUTORS
+            from repro.sweep.runner import _EXECUTORS
+
+            _EXECUTORS.pop("capped", None)
+            _KNOWN_EXECUTORS.discard("capped")
+
+    def test_single_pending_point_is_always_serial(self):
+        # Even under the distributed stub, one pending point runs
+        # inline rather than reaching the backend.
+        spec = SweepSpec(
+            name="one", evaluator="echo", axes=(Axis("x", (5,)),)
+        )
+        result = run_sweep(spec, executor="distributed")
+        assert result.points[0].values["x"] == 5
+
+
+class TestBuiltinBatchEvaluators:
+    def test_design_point_batched_matches_serial(self):
+        spec = SweepSpec(
+            name="dp",
+            evaluator="design-point",
+            axes=(
+                Axis("mapping", ("KN", "CK")),
+                Axis("glb_kib", (128, 256)),
+            ),
+            fixed={"network": "vgg-s", "sparsity_factor": 4.0},
+            base_seed=3,
+        )
+        serial = run_sweep(spec, executor="serial")
+        batched = run_sweep(spec, executor="batched")
+        for a, b in zip(serial.points, batched.points):
+            assert a.values == b.values, a.params
+
+    def test_simulate_batched_matches_serial(self):
+        spec = SweepSpec(
+            name="sim",
+            evaluator="simulate",
+            axes=(Axis("mapping", ("KN", "CN")),),
+            fixed={"network": "vgg-s"},
+            base_seed=2,
+            seed_mode="fixed",
+        )
+        serial = run_sweep(spec, executor="serial")
+        batched = run_sweep(spec, executor="batched")
+        for a, b in zip(serial.points, batched.points):
+            assert a.values == b.values, a.params
+
+    def test_simulate_groups_pin_the_seed(self):
+        # Derived seeds differ per point, and the simulate profile
+        # depends on the seed — every group must be a singleton.
+        batch = ev.get_batch_evaluator("simulate")
+        assert batch is not None and batch.group_by_seed
+        dp = ev.get_batch_evaluator("design-point")
+        assert dp is not None and not dp.group_by_seed
