@@ -107,6 +107,18 @@ class RuntimeConfig:
         batch evaluator exists), ``"serial"``, ``"process"``, and the
         ``"distributed"`` stub; custom backends registered through
         :func:`repro.sweep.runner.register_executor` are accepted too.
+    retries / point_timeout_s
+        Sweep-runner fault tolerance (``REPRO_RETRIES`` /
+        ``REPRO_POINT_TIMEOUT``): how many times a failed point is
+        re-attempted (with deterministic jittered backoff) and the
+        per-attempt wall-clock deadline in seconds (``None`` = no
+        deadline).  See :mod:`repro.reliability`.
+    faults
+        A deterministic fault-injection plan (``REPRO_FAULTS``),
+        parsed by :class:`repro.reliability.faults.FaultPlan` — seeded
+        injection of worker crashes, point errors/stalls, cache
+        corruption, and slow I/O for chaos testing.  ``None`` (the
+        default) injects nothing.
     """
 
     evalcore_memo: bool = True
@@ -118,12 +130,22 @@ class RuntimeConfig:
     seed: int | None = None
     executor: str = "batched"
     workers: int | None = None
+    retries: int = 0
+    point_timeout_s: float | None = None
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _KNOWN_EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; "
                 f"known executors: {sorted(_KNOWN_EXECUTORS)}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {self.retries})")
+        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be positive "
+                f"(got {self.point_timeout_s})"
             )
 
     # ------------------------------------------------------------------
@@ -168,6 +190,27 @@ class RuntimeConfig:
                     f"REPRO_WORKERS must be an integer "
                     f"(got {raw_workers!r})"
                 ) from None
+        raw_retries = env.get("REPRO_RETRIES")
+        if raw_retries is not None:
+            try:
+                values["retries"] = int(raw_retries)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_RETRIES must be an integer "
+                    f"(got {raw_retries!r})"
+                ) from None
+        raw_timeout = env.get("REPRO_POINT_TIMEOUT")
+        if raw_timeout is not None:
+            try:
+                values["point_timeout_s"] = float(raw_timeout)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_POINT_TIMEOUT must be a number of seconds "
+                    f"(got {raw_timeout!r})"
+                ) from None
+        raw_faults = env.get("REPRO_FAULTS")
+        if raw_faults:
+            values["faults"] = raw_faults
         for var, field_name in _PATH_ENV_VARS.items():
             raw = env.get(var)
             if raw:

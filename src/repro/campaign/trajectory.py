@@ -22,6 +22,7 @@ not a re-train.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Mapping, TYPE_CHECKING
@@ -308,10 +309,30 @@ class TrajectoryStore:
         return self._cache.stats
 
     def get(self, spec: "CampaignSpec") -> Trajectory | None:
-        record = self._cache.get(spec.key_material())
+        """The stored trajectory for ``spec``, or ``None``.
+
+        Torn or bit-rotted records are quarantined by the underlying
+        :class:`ResultCache` checksum check; a record that decodes and
+        verifies but fails trajectory validation (a semantic-corruption
+        case the byte checksum cannot see, e.g. a store written by an
+        incompatible version) is quarantined here the same way — the
+        caller re-trains instead of crashing mid-campaign.
+        """
+        key_material = spec.key_material()
+        record = self._cache.get(key_material)
         if record is None:
             return None
-        return Trajectory.from_values(record["values"])
+        try:
+            return Trajectory.from_values(record["values"])
+        except (KeyError, TypeError, ValueError):
+            self._cache.quarantine(key_material)
+            warnings.warn(
+                f"quarantined undecodable trajectory record for campaign "
+                f"{spec.name!r}; it will be re-trained",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
 
     def put(self, spec: "CampaignSpec", trajectory: Trajectory) -> Path:
         return self._cache.put(spec.key_material(), trajectory.to_values())

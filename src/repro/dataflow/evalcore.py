@@ -52,15 +52,17 @@ import hashlib
 import os
 import tempfile
 import time
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.api.config import RuntimeConfig, get_config
+from repro.reliability import faults as _faults
 from repro.dataflow import sampling
 from repro.dataflow.energy_model import layer_phase_energy
 from repro.dataflow.mapping import allowed_balancing
@@ -135,6 +137,7 @@ class MemoStats:
     misses: int = 0
     disk_hits: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -142,6 +145,7 @@ class MemoStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
 
@@ -186,13 +190,50 @@ class SegmentStore:
     keep a digest index built by scanning the directory lazily (and
     re-scanning once on a miss, which is how records written by other
     processes become visible).
+
+    A segment that fails to load — torn write on a non-atomic
+    filesystem, bit rot, a bad zip CRC mid-read — is *quarantined*:
+    renamed to ``<name>.npz.corrupt``, dropped from the index (its
+    records recompute upstream), counted via :attr:`quarantined` /
+    the owner's ``on_corrupt`` callback, and surfaced as a
+    ``RuntimeWarning`` instead of a silent skip.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        on_corrupt: Callable[[], None] | None = None,
+    ) -> None:
         self.root = Path(root)
         #: digest -> (segment path, record row within the segment)
         self._index: dict[str, tuple[Path, int]] | None = None
         self._scanned: set[Path] = set()
+        #: segments quarantined by this instance.
+        self.quarantined = 0
+        self._on_corrupt = on_corrupt
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad segment aside and purge it from the index."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # a concurrent reader already moved it
+        self.quarantined += 1
+        if self._on_corrupt is not None:
+            self._on_corrupt()
+        if self._index:
+            self._index = {
+                digest: loc
+                for digest, loc in self._index.items()
+                if loc[0] != path
+            }
+        warnings.warn(
+            f"quarantined corrupt segment ({reason}): {path} -> "
+            f"{target.name}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _scan(self) -> dict[str, tuple[Path, int]]:
         if self._index is None:
@@ -205,8 +246,12 @@ class SegmentStore:
                 try:
                     with np.load(path, allow_pickle=False) as record:
                         digests = record["digests"]
-                except (OSError, ValueError, KeyError):
-                    continue  # torn or foreign file: skip, never raise
+                except Exception:
+                    # Anything np.load/zipfile can throw on a torn or
+                    # garbled archive lands here; the file is evidence,
+                    # not data.
+                    self._quarantine(path, "unreadable segment header")
+                    continue
                 for row, digest in enumerate(digests):
                     self._index[str(digest)] = (path, row)
         return self._index
@@ -234,7 +279,10 @@ class SegmentStore:
                         [[0], np.cumsum(lengths)]
                     ).astype(np.int64)
                     fields = {name: record[name] for name in _SET_FIELDS}
-            except (OSError, ValueError, KeyError):
+            except Exception:
+                # The zip CRC catches corruption member-by-member as
+                # arrays are read; any such failure condemns the file.
+                self._quarantine(path, "unreadable segment payload")
                 continue
             for digest, row in wanted:
                 lo, hi = offsets[row], offsets[row + 1]
@@ -275,6 +323,7 @@ class SegmentStore:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+        _faults.maybe_corrupt_file(path, f"segment:{path.name}")
         if self._index is not None:
             self._scanned.add(path)
             for row, (digest, _) in enumerate(pairs):
@@ -309,7 +358,10 @@ class EvalMemo:
             from repro.sweep.cache import ResultCache
 
             self._disk = ResultCache(disk_root)
-            self._segments = SegmentStore(Path(disk_root) / "segments")
+            self._segments = SegmentStore(
+                Path(disk_root) / "segments",
+                on_corrupt=self._count_corrupt,
+            )
         self._disk_nonempty = False
         self.stats = MemoStats()
 
@@ -399,6 +451,14 @@ class EvalMemo:
         if self._segments is not None and pairs:
             self._segments.put_many(pairs)
         self.stats.stores += len(pairs)
+
+    def _count_corrupt(self) -> None:
+        """Segment-tier quarantine callback: one bad segment file.
+
+        The record-per-file JSON tier tracks its own quarantines in
+        its ``ResultCache.stats``; this folds the segment tier's into
+        the memo's counters so ``memo_stats()`` surfaces both."""
+        self.stats.corrupt += 1
 
     def _has_json_records(self) -> bool:
         """Whether the JSON tier holds any record at all.

@@ -235,6 +235,22 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         "--exact-sampling", action="store_true",
         help="use the exact (slow) working-set sampling generators",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-attempt a failing/timed-out sweep point up to N times "
+             "(deterministic jittered backoff; default 0)",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point evaluation deadline; a point exceeding it fails "
+             "(and retries, if --retries allows)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault-injection plan for chaos testing, "
+             "e.g. 'seed=7;worker-crash:p=0.2;cache-corrupt:p=0.1' "
+             "(see docs/reliability.md)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> RuntimeConfig:
@@ -250,6 +266,12 @@ def _config_from_args(args: argparse.Namespace) -> RuntimeConfig:
         overrides["workers"] = args.workers
     if args.exact_sampling:
         overrides["exact_sampling"] = True
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.point_timeout is not None:
+        overrides["point_timeout_s"] = args.point_timeout
+    if args.faults is not None:
+        overrides["faults"] = args.faults
     return RuntimeConfig.from_env(**overrides)
 
 

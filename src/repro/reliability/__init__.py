@@ -1,0 +1,84 @@
+"""repro.reliability — fault tolerance for long-running evaluation jobs.
+
+Four pieces, each usable on its own:
+
+* :mod:`repro.reliability.faults` — a deterministic fault-injection
+  seam: a :class:`~repro.reliability.faults.FaultPlan` (parsed from
+  the ``REPRO_FAULTS`` config field) seeds injection of worker
+  crashes, point errors, point stalls, cache corruption, and slow I/O
+  at well-defined sites, so every failure mode the sweep runner and
+  the cache stack claim to survive is exercised in tests.
+* :mod:`repro.reliability.retry` — :class:`~repro.reliability.retry.
+  RetryPolicy` (bounded retries, deterministic jittered backoff) and
+  the per-point :func:`~repro.reliability.retry.deadline` enforcement
+  the sweep runner wraps around every evaluator call.
+* :mod:`repro.reliability.manifest` — :class:`~repro.reliability.
+  manifest.RunManifest`, the append-only checksummed journal behind
+  ``run_sweep(..., resume=True)``: a killed sweep resumes from its
+  last completed point, even with no result cache configured.
+* :mod:`repro.reliability.locks` — advisory file locking for
+  multi-process writers sharing one journal.
+
+The invariant the whole package serves: a sweep that loses workers,
+hits corrupt cache entries, or is killed outright must — once resumed
+— produce results bit-identical to an uninterrupted run.  See
+``docs/reliability.md``.
+
+Submodules are imported lazily (PEP 562) so that low-level modules
+like :mod:`repro.sweep.cache` can import a single submodule without
+dragging the rest of the package (and its imports) into their own
+import cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedPointError",
+    "InjectedWorkerCrash",
+    "LockTimeout",
+    "PointTimeoutError",
+    "RetryPolicy",
+    "RunManifest",
+    "deadline",
+    "faults",
+    "file_lock",
+    "locks",
+    "manifest",
+    "retry",
+]
+
+_LAZY = {
+    "FaultInjector": ("repro.reliability.faults", "FaultInjector"),
+    "FaultPlan": ("repro.reliability.faults", "FaultPlan"),
+    "FaultRule": ("repro.reliability.faults", "FaultRule"),
+    "InjectedFault": ("repro.reliability.faults", "InjectedFault"),
+    "InjectedPointError": ("repro.reliability.faults", "InjectedPointError"),
+    "InjectedWorkerCrash": ("repro.reliability.faults", "InjectedWorkerCrash"),
+    "LockTimeout": ("repro.reliability.locks", "LockTimeout"),
+    "PointTimeoutError": ("repro.reliability.retry", "PointTimeoutError"),
+    "RetryPolicy": ("repro.reliability.retry", "RetryPolicy"),
+    "RunManifest": ("repro.reliability.manifest", "RunManifest"),
+    "deadline": ("repro.reliability.retry", "deadline"),
+    "file_lock": ("repro.reliability.locks", "file_lock"),
+    "faults": ("repro.reliability.faults", None),
+    "locks": ("repro.reliability.locks", None),
+    "manifest": ("repro.reliability.manifest", None),
+    "retry": ("repro.reliability.retry", None),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.reliability' has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module if attr is None else getattr(module, attr)

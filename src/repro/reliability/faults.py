@@ -1,0 +1,369 @@
+"""Deterministic fault injection: one seam for every failure mode.
+
+A :class:`FaultPlan` is a seed plus an ordered tuple of
+:class:`FaultRule` entries, each naming one fault *kind* and the
+conditions under which it fires.  The plan travels as a plain string
+(the :class:`repro.api.config.RuntimeConfig` ``faults`` field, layered
+in from ``REPRO_FAULTS``), so it crosses process-pool boundaries with
+the rest of the config and a whole chaos scenario fits on a command
+line::
+
+    worker-crash:p=1,match="x":3,max_attempt=1;cache-corrupt:max_fires=1
+
+Fault kinds and the sites that honor them:
+
+``worker-crash``
+    The point-evaluation body dies *hard* — ``os._exit`` inside a pool
+    worker (producing the ``BrokenProcessPool`` the runner must
+    recover from), an :class:`InjectedWorkerCrash` exception when the
+    evaluation runs inline.
+``point-error``
+    The point-evaluation body raises :class:`InjectedPointError` — an
+    ordinary retryable evaluator failure.
+``point-timeout``
+    The point-evaluation body stalls for ``delay`` seconds *inside*
+    the per-point deadline, so a configured timeout fires.
+``cache-corrupt``
+    A just-written cache file (sweep result record or evalcore
+    segment) is garbled in place — the torn-write/bit-rot case the
+    checksum + quarantine machinery exists for.
+``slow-io``
+    Cache reads/writes sleep for ``delay`` seconds first.
+
+Rule fields: ``p`` (firing probability, decided by a seeded hash of
+the site key — deterministic across runs and processes), ``match`` (a
+substring the site key must contain; point sites use the canonical
+parameter JSON, cache sites the entry digest), ``max_attempt`` (only
+fire while the caller's attempt number is at or below this — how a
+test says "crash once, then let the retry succeed"), ``max_fires`` (a
+process-local cap on total firings), and ``delay`` (seconds, for the
+stall/sleep kinds).
+
+Decisions with ``p < 1`` hash ``(seed, kind, key, attempt)`` — no
+global RNG state, so injection is reproducible regardless of
+evaluation order, parallelism, or interleaving.  ``max_fires``
+counters are process-local by construction (each pool worker counts
+its own firings); plans that need cross-process determinism should
+pin rules with ``match``/``max_attempt`` instead.
+
+This module never consults the environment itself: the active plan
+comes from :func:`repro.api.config.get_config`, which is the
+library's single environment read point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedPointError",
+    "InjectedWorkerCrash",
+    "active_injector",
+    "inject_point_faults",
+    "maybe_corrupt_file",
+    "maybe_slow_io",
+    "maybe_stall",
+    "reset_fault_state",
+]
+
+#: The fault kinds the injection sites understand.
+FAULT_KINDS = (
+    "worker-crash",
+    "point-error",
+    "point-timeout",
+    "cache-corrupt",
+    "slow-io",
+)
+
+#: Exit code an injected worker crash dies with (visible in pool logs).
+CRASH_EXIT_CODE = 3
+
+
+class InjectedFault(RuntimeError):
+    """Base class for failures raised by the fault-injection seam."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A ``worker-crash`` fault fired where a hard exit is unsafe."""
+
+
+class InjectedPointError(InjectedFault):
+    """A ``point-error`` fault: an ordinary retryable evaluator failure."""
+
+
+def _unit(text: str) -> float:
+    """Deterministic uniform draw in [0, 1) from a text key."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault kind plus its firing conditions (see module docstring)."""
+
+    kind: str
+    p: float = 1.0
+    match: str = ""
+    max_attempt: int | None = None
+    max_fires: int | None = None
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{list(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1] (got {self.p})")
+        if self.delay_s < 0:
+            raise ValueError(f"fault delay must be >= 0 (got {self.delay_s})")
+
+    def to_spec(self) -> str:
+        """The rule as one ``REPRO_FAULTS`` segment."""
+        parts = []
+        if self.p != 1.0:
+            parts.append(f"p={self.p}")
+        if self.match:
+            parts.append(f"match={self.match}")
+        if self.max_attempt is not None:
+            parts.append(f"max_attempt={self.max_attempt}")
+        if self.max_fires is not None:
+            parts.append(f"max_fires={self.max_fires}")
+        if self.delay_s != 0.05:
+            parts.append(f"delay={self.delay_s}")
+        return self.kind + (":" + ",".join(parts) if parts else "")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault rules."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str | None) -> "FaultPlan | None":
+        """Parse a ``REPRO_FAULTS`` spec string; ``None``/empty -> ``None``.
+
+        Grammar: semicolon-separated segments.  ``seed=N`` sets the
+        plan seed; every other segment is ``kind`` or
+        ``kind:key=value,key=value...`` with keys ``p``, ``match``,
+        ``max_attempt``, ``max_fires``, ``delay``.  Values must not
+        contain ``,`` or ``;``.
+        """
+        if not spec:
+            return None
+        seed = 0
+        rules: list[FaultRule] = []
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                seed = _parse_int(segment[5:], "seed")
+                continue
+            kind, _, args = segment.partition(":")
+            kind = kind.strip()
+            kwargs: dict = {}
+            if args:
+                for pair in args.split(","):
+                    key, eq, value = pair.partition("=")
+                    key = key.strip()
+                    if not eq:
+                        raise ValueError(
+                            f"fault rule argument {pair!r} is not key=value "
+                            f"(in segment {segment!r})"
+                        )
+                    if key == "p":
+                        kwargs["p"] = _parse_float(value, "p")
+                    elif key == "match":
+                        kwargs["match"] = value
+                    elif key == "max_attempt":
+                        kwargs["max_attempt"] = _parse_int(value, "max_attempt")
+                    elif key == "max_fires":
+                        kwargs["max_fires"] = _parse_int(value, "max_fires")
+                    elif key == "delay":
+                        kwargs["delay_s"] = _parse_float(value, "delay")
+                    else:
+                        raise ValueError(
+                            f"unknown fault rule key {key!r} (in segment "
+                            f"{segment!r}); known keys: p, match, "
+                            f"max_attempt, max_fires, delay"
+                        )
+            rules.append(FaultRule(kind=kind, **kwargs))
+        return cls(seed=seed, rules=tuple(rules))
+
+    def to_spec(self) -> str:
+        """The plan as a ``REPRO_FAULTS`` spec string (parse round-trips)."""
+        segments = [rule.to_spec() for rule in self.rules]
+        if self.seed:
+            segments.insert(0, f"seed={self.seed}")
+        return ";".join(segments)
+
+
+def _parse_int(value: str, name: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"fault rule {name} must be an integer (got {value!r})"
+        ) from None
+
+
+def _parse_float(value: str, name: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"fault rule {name} must be a number (got {value!r})"
+        ) from None
+
+
+class FaultInjector:
+    """Runtime state for one plan: per-rule firing counters.
+
+    Counters are process-local; the decision logic itself (``p``,
+    ``match``, ``max_attempt``) is stateless and deterministic.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fires: Counter[int] = Counter()
+
+    def decide(self, kind: str, key: str, attempt: int = 1) -> FaultRule | None:
+        """The first rule firing for this site, or ``None``."""
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind != kind:
+                continue
+            if rule.match and rule.match not in key:
+                continue
+            if rule.max_attempt is not None and attempt > rule.max_attempt:
+                continue
+            if rule.max_fires is not None and self.fires[index] >= rule.max_fires:
+                continue
+            if rule.p < 1.0:
+                draw = _unit(f"{self.plan.seed}|{kind}|{key}|{attempt}")
+                if draw >= rule.p:
+                    continue
+            self.fires[index] += 1
+            return rule
+        return None
+
+
+# ----------------------------------------------------------------------
+# the active injector (derived from the active RuntimeConfig)
+# ----------------------------------------------------------------------
+#: Parsed injectors keyed by spec string, so firing counters persist
+#: across calls for as long as the same plan stays active.
+_injectors: dict[str, FaultInjector] = {}
+
+
+def active_injector() -> FaultInjector | None:
+    """The injector for the active config's ``faults`` spec, or ``None``.
+
+    Cheap when no faults are configured (one config read, no parsing);
+    the common production case pays essentially nothing for the seam.
+    """
+    from repro.api.config import get_config
+
+    spec = get_config().faults
+    if not spec:
+        return None
+    injector = _injectors.get(spec)
+    if injector is None:
+        plan = FaultPlan.parse(spec)
+        if plan is None:
+            return None
+        injector = _injectors[spec] = FaultInjector(plan)
+    return injector
+
+
+def reset_fault_state() -> None:
+    """Drop all firing counters (tests call this between scenarios)."""
+    _injectors.clear()
+
+
+# ----------------------------------------------------------------------
+# injection sites
+# ----------------------------------------------------------------------
+def inject_point_faults(key: str, attempt: int, allow_exit: bool) -> None:
+    """The point-evaluation site: worker crashes and point errors.
+
+    ``allow_exit`` is True only inside pool workers, where dying hard
+    is the realistic failure (the parent sees ``BrokenProcessPool``);
+    inline evaluation raises :class:`InjectedWorkerCrash` instead so
+    the test process survives.
+    """
+    injector = active_injector()
+    if injector is None:
+        return
+    if injector.decide("worker-crash", key, attempt) is not None:
+        if allow_exit:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedWorkerCrash(
+            f"injected worker crash for {key} (attempt {attempt})"
+        )
+    if injector.decide("point-error", key, attempt) is not None:
+        raise InjectedPointError(
+            f"injected point error for {key} (attempt {attempt})"
+        )
+
+
+def maybe_stall(key: str, attempt: int) -> None:
+    """The in-deadline site: a ``point-timeout`` fault stalls here."""
+    injector = active_injector()
+    if injector is None:
+        return
+    rule = injector.decide("point-timeout", key, attempt)
+    if rule is not None:
+        time.sleep(rule.delay_s)
+
+
+def maybe_slow_io(key: str) -> None:
+    """The cache I/O site: a ``slow-io`` fault sleeps before the op."""
+    injector = active_injector()
+    if injector is None:
+        return
+    rule = injector.decide("slow-io", key)
+    if rule is not None:
+        time.sleep(rule.delay_s)
+
+
+def maybe_corrupt_file(path: str | os.PathLike, key: str) -> bool:
+    """The cache write site: a ``cache-corrupt`` fault garbles ``path``.
+
+    The file is truncated to half its length with a garbage prefix —
+    enough to break JSON decoding, npz/zip CRCs, and any content
+    checksum, exactly like a torn write or bit rot at rest.  Returns
+    whether the fault fired.
+    """
+    injector = active_injector()
+    if injector is None:
+        return False
+    if injector.decide("cache-corrupt", key) is None:
+        return False
+    target = Path(path)
+    try:
+        data = target.read_bytes()
+        target.write_bytes(b"\x00<injected-corruption>" + data[: len(data) // 2])
+    except OSError:
+        return False
+    return True
+
+
+def iter_fired(injector: FaultInjector) -> Iterator[tuple[FaultRule, int]]:
+    """(rule, fire count) pairs for rules that fired at least once."""
+    for index, count in sorted(injector.fires.items()):
+        if count:
+            yield injector.plan.rules[index], count

@@ -1,0 +1,79 @@
+"""Advisory file locking for multi-process writers.
+
+The cache tiers themselves are lock-free — every record and segment
+write is a temp-file ``os.replace`` of an immutable, content-named
+file, which POSIX rename atomicity makes safe under any number of
+concurrent writers.  What *does* need a lock is the one mutable,
+append-in-place file in the stack: a sweep run's manifest journal,
+where two appenders interleaving within one line would tear it.
+
+:func:`file_lock` wraps ``fcntl.flock`` on an adjacent ``.lock`` file
+with a bounded, polling acquire (a crashed holder's lock dies with
+its process — flock locks cannot leak past process exit).  On
+platforms without ``fcntl`` the lock degrades to a no-op: single-
+process use stays correct, and the journal's per-line checksums catch
+(and skip) any torn line a concurrent writer could produce.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["LockTimeout", "file_lock", "locking_supported"]
+
+
+class LockTimeout(TimeoutError):
+    """The advisory lock could not be acquired within the timeout."""
+
+
+def locking_supported() -> bool:
+    """Whether :func:`file_lock` actually excludes other processes."""
+    return fcntl is not None
+
+
+@contextmanager
+def file_lock(
+    path: str | os.PathLike,
+    timeout_s: float = 30.0,
+    poll_s: float = 0.01,
+) -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``path`` for the block.
+
+    ``path`` names the lock file itself (created empty if missing,
+    never deleted — deleting would race fresh acquirers).  Acquisition
+    polls with ``LOCK_NB`` so a deadline can be enforced; exceeding
+    ``timeout_s`` raises :class:`LockTimeout`.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - off-POSIX degradation
+        yield
+        return
+    fd = os.open(str(target), os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not lock {target} within {timeout_s}s"
+                    ) from None
+                time.sleep(poll_s)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)

@@ -1,0 +1,160 @@
+"""The sweep run manifest: an append-only, checksummed JSONL journal.
+
+One manifest records one logical sweep run — identified by a *run
+key* hashed from the evaluator, the code-version key, and every
+point's cache digest, so a changed axis value or a code bump
+addresses a fresh journal automatically.  The runner appends one line
+per completed point (digest, grid index, the point's JSON values) plus
+start/end/fault event lines as the run progresses.
+
+Crash safety comes from the format, not from fsync discipline: every
+line carries a checksum over its own canonical JSON, appends go
+through an advisory :func:`~repro.reliability.locks.file_lock` (one
+writer at a time), and :meth:`RunManifest.load` simply *skips* any
+line that is torn, truncated, or fails its checksum.  Losing the tail
+of a journal therefore costs at most the re-evaluation of the points
+whose lines were lost — never a wrong result, because the values
+recorded are exactly the JSON-round-tripped values a result cache
+would have stored, and a resumed run restores them bit-identically.
+
+The manifest deliberately duplicates completed values rather than
+referencing the result cache: ``run_sweep(..., resume=True)`` then
+works even for sweeps configured with *no* cache, and when both
+exist the runner uses the manifest to heal cache entries lost to
+quarantine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.reliability.locks import file_lock
+from repro.sweep.spec import canonical_json
+
+__all__ = ["ManifestState", "RunManifest", "run_key"]
+
+
+def run_key(
+    name: str, evaluator: str, version: str, digests: Iterable[str]
+) -> str:
+    """The journal identity for one (spec, code-version) sweep run."""
+    material = canonical_json(
+        {
+            "sweep": name,
+            "evaluator": evaluator,
+            "version": version,
+            "digests": sorted(digests),
+        }
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+
+def _line_sha(record: Mapping[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(record).encode()).hexdigest()[:16]
+
+
+@dataclass
+class ManifestState:
+    """Everything a journal replay recovered."""
+
+    #: digest -> the completed point's JSON values.
+    points: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: non-point event records, in journal order.
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: lines dropped as torn/corrupt (expected after a hard kill).
+    skipped: int = 0
+
+
+class RunManifest:
+    """One run's journal file (see module docstring)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def reset(self) -> None:
+        """Discard the journal (``resume=False`` starts from scratch)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        line = canonical_json({**record, "sha": _line_sha(record)})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with file_lock(self.lock_path):
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+    def append_point(
+        self, digest: str, index: int, values: Mapping[str, Any]
+    ) -> None:
+        """Journal one completed point (values are JSON-able already)."""
+        self._append(
+            {
+                "t": "point",
+                "digest": digest,
+                "index": index,
+                "values": dict(values),
+            }
+        )
+
+    def append_event(self, kind: str, **details: Any) -> None:
+        """Journal a run-lifecycle or reliability event."""
+        self._append({"t": kind, **details})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def load(self) -> ManifestState:
+        """Replay the journal, skipping torn or checksum-failed lines."""
+        state = ManifestState()
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return state
+        for raw in text.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                state.skipped += 1
+                continue
+            if not isinstance(record, dict) or "sha" not in record:
+                state.skipped += 1
+                continue
+            sha = record.pop("sha")
+            try:
+                expected = _line_sha(record)
+            except TypeError:
+                state.skipped += 1
+                continue
+            if sha != expected:
+                state.skipped += 1
+                continue
+            if record.get("t") == "point":
+                digest = record.get("digest")
+                values = record.get("values")
+                if isinstance(digest, str) and isinstance(values, dict):
+                    state.points[digest] = values
+                else:
+                    state.skipped += 1
+            else:
+                state.events.append(record)
+        return state

@@ -1,0 +1,123 @@
+"""Retry policy, deterministic jittered backoff, per-point deadlines.
+
+:class:`RetryPolicy` carries everything the sweep runner needs to
+decide *whether* and *when* to re-attempt a failed point: a bounded
+retry budget, an optional per-point deadline, and exponential backoff
+with deterministic jitter.  The jitter is a hash of (seed, point key,
+attempt), not a global RNG draw, so two runs of the same sweep back
+off identically — reproducibility extends to the failure path.
+
+:func:`deadline` enforces a wall-clock limit around one evaluator
+call.  On POSIX main threads it arms a real interval timer
+(``SIGALRM``), so a stuck evaluator is *interrupted* — the strong
+form a long-running sweep needs.  Anywhere the timer is unavailable
+(non-POSIX, non-main-thread) the context degrades to a no-op rather
+than killing completed work after the fact; callers can check
+:func:`deadline_enforced` when they need to know.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "PointTimeoutError",
+    "RetryPolicy",
+    "deadline",
+    "deadline_enforced",
+]
+
+
+class PointTimeoutError(TimeoutError):
+    """One sweep point exceeded its per-point deadline."""
+
+
+def _unit(text: str) -> float:
+    """Deterministic uniform draw in [0, 1) from a text key."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic jittered exponential backoff.
+
+    ``retries`` is the number of *re*-attempts after the first failure
+    (0 = fail on the first error, the historical behavior).
+    ``timeout_s`` is the per-attempt deadline, enforced by
+    :func:`deadline`.  Backoff for attempt *n* (1-based failure count)
+    is ``min(backoff_max_s, backoff_base_s * 2**(n-1))`` scaled by a
+    deterministic jitter factor in [0.5, 1.0) derived from
+    ``(seed, key, n)`` — concurrent retries of different points
+    de-synchronize without any shared RNG state.
+    """
+
+    retries: int = 0
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {self.retries})")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive (got {self.timeout_s})"
+            )
+
+    def backoff_s(self, key: str, failure: int) -> float:
+        """Delay before re-attempting ``key`` after its Nth failure."""
+        if failure < 1:
+            return 0.0
+        base = min(
+            self.backoff_max_s, self.backoff_base_s * (2 ** (failure - 1))
+        )
+        jitter = 0.5 + 0.5 * _unit(f"{self.seed}|{key}|{failure}")
+        return base * jitter
+
+    @classmethod
+    def from_config(cls, config, seed: int = 0) -> "RetryPolicy":
+        """Policy from a :class:`repro.api.config.RuntimeConfig`."""
+        return cls(
+            retries=config.retries,
+            timeout_s=config.point_timeout_s,
+            seed=seed,
+        )
+
+
+def deadline_enforced() -> bool:
+    """Whether :func:`deadline` can actually interrupt a stuck call here."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def deadline(seconds: float | None, label: str = "") -> Iterator[None]:
+    """Interrupt the block with :class:`PointTimeoutError` after
+    ``seconds`` of wall time (see module docstring for the platform
+    contract).  ``None`` or non-positive disables enforcement."""
+    if not seconds or seconds <= 0 or not deadline_enforced():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(
+            f"evaluation{f' of {label}' if label else ''} exceeded its "
+            f"{seconds}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

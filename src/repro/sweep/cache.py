@@ -9,9 +9,24 @@ different entry — invalidation is free and stale hits are impossible
 
 Entries are plain JSON files under ``<root>/<aa>/<digest>.json``
 (fan-out over the first byte keeps directories small), written
-atomically via a temp-file rename so an interrupted sweep never leaves
-a truncated record behind; re-running a sweep after an interrupt
-resumes from whatever completed.
+atomically via a temp-file rename, which also makes the cache safe
+for concurrent multi-process writers: a reader only ever sees a
+complete record — the old one or the new one, never a torn mix.
+
+Every record additionally carries a ``checksum`` over its canonical
+key+values JSON.  A record that fails to decode or to verify — bit
+rot, a torn write on a non-atomic filesystem, a partial copy — is
+*quarantined*: renamed to ``<digest>.json.corrupt`` (preserved for
+forensics, invisible to future lookups), counted in
+:attr:`CacheStats.corrupt`, and surfaced as a ``RuntimeWarning``
+rather than a silent miss.  The caller then recomputes and the next
+write repopulates the entry; re-running a sweep after any interrupt
+or corruption resumes from whatever survives intact.
+
+The deterministic chaos suite exercises both properties through the
+:mod:`repro.reliability.faults` hooks in :meth:`ResultCache.get` /
+:meth:`ResultCache.put` (no-ops unless the active
+:class:`~repro.api.config.RuntimeConfig` carries a fault plan).
 """
 
 from __future__ import annotations
@@ -20,13 +35,15 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.reliability import faults as _faults
 from repro.sweep.spec import canonical_json
 
-__all__ = ["CacheStats", "ResultCache", "cache_key"]
+__all__ = ["CacheStats", "ResultCache", "cache_key", "record_checksum"]
 
 
 def cache_key(key_material: Mapping[str, Any]) -> str:
@@ -34,16 +51,28 @@ def cache_key(key_material: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_json(key_material).encode()).hexdigest()
 
 
+def record_checksum(key: Mapping[str, Any], values: Mapping[str, Any]) -> str:
+    """Integrity checksum over one record's canonical key+values JSON."""
+    body = canonical_json({"key": dict(key), "values": dict(values)})
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance."""
+    """Hit/miss/store/quarantine counters for one cache instance."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
 
 
 class ResultCache:
@@ -57,18 +86,42 @@ class ResultCache:
         return self.root / digest[:2] / f"{digest}.json"
 
     def get(self, key_material: Mapping[str, Any]) -> dict[str, Any] | None:
-        """The stored record for this key, or ``None`` on a miss."""
-        path = self._path(cache_key(key_material))
+        """The stored record for this key, or ``None`` on a miss.
+
+        Undecodable or checksum-failing records are quarantined (see
+        module docstring) and count as misses — the re-run recomputes
+        and overwrites them.
+        """
+        digest = cache_key(key_material)
+        path = self._path(digest)
+        _faults.maybe_slow_io(digest)
         try:
             record = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
             return None
         except json.JSONDecodeError:
-            # A corrupt record (e.g. torn write on an old filesystem)
-            # counts as a miss and will be overwritten by the re-run.
+            self._quarantine(path, "undecodable JSON")
             self.stats.misses += 1
             return None
+        if not isinstance(record, dict) or "values" not in record:
+            self._quarantine(path, "malformed record")
+            self.stats.misses += 1
+            return None
+        stored = record.get("checksum")
+        if stored is not None:
+            try:
+                expected = record_checksum(
+                    record.get("key", {}), record["values"]
+                )
+            except (TypeError, AttributeError):
+                expected = None
+            if stored != expected:
+                self._quarantine(path, "checksum mismatch")
+                self.stats.misses += 1
+                return None
+        # Records written before checksums existed carry none; they
+        # stay readable (decode errors above still catch torn JSON).
         self.stats.hits += 1
         return record
 
@@ -78,7 +131,8 @@ class ResultCache:
         """Store a result; returns the path written.
 
         The record keeps the key material alongside the values so cache
-        directories are self-describing and auditable.
+        directories are self-describing and auditable, plus a checksum
+        over both so at-rest corruption is detected on read.
         """
         digest = cache_key(key_material)
         path = self._path(digest)
@@ -87,6 +141,7 @@ class ResultCache:
             {
                 "key": dict(key_material),
                 "values": dict(values),
+                "checksum": record_checksum(key_material, values),
             },
             indent=2,
             sort_keys=True,
@@ -101,8 +156,38 @@ class ResultCache:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+        _faults.maybe_corrupt_file(path, digest)
+        _faults.maybe_slow_io(digest)
         self.stats.stores += 1
         return path
+
+    def quarantine(self, key_material: Mapping[str, Any]) -> bool:
+        """Quarantine one entry by key (callers that detect semantic
+        corruption the checksum cannot — e.g. a record whose decoded
+        values fail domain validation).  Returns whether an entry was
+        moved."""
+        path = self._path(cache_key(key_material))
+        if not path.exists():
+            return False
+        self._quarantine(path, "caller-reported corruption")
+        return True
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad record aside as ``<name>.corrupt`` and count it."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # A concurrent reader already moved (or a writer replaced)
+            # it; either way the bad bytes are gone from the lookup path.
+            pass
+        self.stats.corrupt += 1
+        warnings.warn(
+            f"quarantined corrupt cache entry ({reason}): {path} -> "
+            f"{target.name}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def __contains__(self, key_material: Mapping[str, Any]) -> bool:
         return self._path(cache_key(key_material)).exists()
@@ -111,6 +196,12 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def corrupt_entries(self) -> list[Path]:
+        """Quarantined records currently on disk (forensics helper)."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.json.corrupt"))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

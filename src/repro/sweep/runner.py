@@ -1,9 +1,9 @@
-"""The sweep runner: evaluate a grid, cached and with pluggable fan-out.
+"""The sweep runner: evaluate a grid, cached, fault-tolerant, resumable.
 
 ``run_sweep`` (or :class:`SweepRunner` for reuse across specs) walks a
 :class:`SweepSpec`'s points, satisfies what it can from the
-:class:`ResultCache`, and hands the misses to the configured
-*executor* — a named strategy from an extensible registry:
+:class:`ResultCache` and the run manifest, and hands the misses to the
+configured *executor* — a named strategy from an extensible registry:
 
 ``"serial"``
     Evaluate inline, in grid order; easiest to debug.
@@ -23,34 +23,59 @@
     ``NotImplementedError`` at run time.
 
 :func:`register_executor` installs additional strategies; unknown
-names raise with the registered names listed.  Whatever the executor,
-every completed point is written to the cache *as it finishes*, so an
-interrupted sweep resumes from its last completed point and a warm
-re-run touches no evaluator at all — and results always come back in
-grid order.
+names raise with the registered names listed.
+
+**Fault tolerance** (see :mod:`repro.reliability` and
+``docs/reliability.md``): every evaluator call runs under the runner's
+:class:`~repro.reliability.retry.RetryPolicy` — a per-point deadline
+(``point_timeout_s``) and bounded re-attempts (``retries``) with
+deterministic jittered backoff.  The built-in executors never discard
+finished work on a failure: completed points are committed to the
+cache and the run manifest *as they finish*, a failing point is
+retried and — only once its budget is exhausted — recorded, and the
+first error is raised only after everything completable completed.
+The process executor survives worker death (``BrokenProcessPool``):
+it respawns the pool and requeues only the unfinished points, a
+bounded number of times.  The batched executor degrades a failing
+group to per-point serial evaluation instead of cancelling the sweep.
+A sweep killed outright resumes via :class:`~repro.reliability.
+manifest.RunManifest` (``resume=True``, the default): completed
+points replay from the journal bit-identically, and journal entries
+heal cache records lost to quarantine.
 
 Results come back as a :class:`SweepResult` — an ordered list of
-:class:`PointResult` rows plus timing and cache statistics — with
-helpers to slice, rank, and export through :mod:`repro.report`.
+:class:`PointResult` rows plus timing, cache, and reliability
+statistics — with helpers to slice, rank, and export through
+:mod:`repro.report`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from repro.reliability import faults as _faults
+from repro.reliability.retry import PointTimeoutError, RetryPolicy, deadline
 from repro.report.export import _jsonable as to_jsonable
 from repro.report.export import experiment_record
-from repro.sweep.cache import ResultCache
+from repro.sweep.cache import ResultCache, cache_key
 from repro.sweep.evaluators import (
     evaluator_version,
     get_batch_evaluator,
     get_evaluator,
 )
-from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.spec import SweepPoint, SweepSpec, canonical_json
 
 __all__ = [
     "PointResult",
@@ -60,6 +85,12 @@ __all__ = [
     "register_executor",
     "run_sweep",
 ]
+
+#: Serial fail-fast fuse: with zero successes so far, this many
+#: consecutive exhausted points abort the pass early — a sweep whose
+#: every point fails (a bad evaluator argument, a missing dependency)
+#: should not burn through a thousand-point grid to prove it.
+FAIL_FAST_FUSE = 8
 
 
 @dataclass(frozen=True)
@@ -86,6 +117,10 @@ class SweepResult:
     points: list[PointResult] = field(default_factory=list)
     wall_time_s: float = 0.0
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Reliability counters for this run: retries, timeouts,
+    #: point_errors, worker_crashes, batch_fallbacks, failures,
+    #: manifest_restored — absent keys mean zero events.
+    reliability: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -141,6 +176,7 @@ class SweepResult:
                 "rows": self.rows(),
                 "wall_time_s": self.wall_time_s,
                 "cache": dict(self.cache_stats),
+                "reliability": dict(self.reliability),
             },
             notes=f"sweep over {self.spec.n_points} points",
         )
@@ -189,8 +225,12 @@ def _evaluate_point(
     params: Mapping[str, Any],
     seed: int,
     config=None,
+    attempt: int = 1,
+    timeout_s: float | None = None,
+    crash_mode: str = "raise",
+    delay_s: float = 0.0,
 ) -> tuple[dict[str, Any], float]:
-    """Worker body: run one evaluator call, timed.
+    """Worker body: run one evaluator call, timed and fault-guarded.
 
     Module-level so it pickles for the process pool.  The evaluator is
     shipped as the callable itself (pickled by module+qualname), not
@@ -203,18 +243,66 @@ def _evaluate_point(
     ``config`` — a :class:`repro.api.RuntimeConfig` — is shipped the
     same way (a plain picklable dataclass) and installed for the
     duration of the call, so pool workers share the caller's cache
-    tiers and sampling mode without inheriting mutated environment
-    variables.
+    tiers, sampling mode, and fault plan without inheriting mutated
+    environment variables.
+
+    ``attempt`` (1-based) identifies the retry round to the fault
+    injector; ``timeout_s`` arms the per-point deadline around the
+    evaluator call; ``crash_mode`` is ``"exit"`` inside pool workers
+    (an injected worker crash dies hard, as a real one would) and
+    ``"raise"`` inline; ``delay_s`` executes the scheduler-computed
+    retry backoff worker-side, so the scheduler never blocks.
     """
+    if delay_s > 0:
+        time.sleep(delay_s)
     start = time.perf_counter()
     if config is None:
-        values = to_jsonable(dict(fn(seed=seed, **dict(params))))
+        scope = nullcontext()
     else:
         from repro.api.config import config_scope
 
-        with config_scope(config):
+        scope = config_scope(config)
+    with scope:
+        key = canonical_json(params)
+        _faults.inject_point_faults(
+            key, attempt, allow_exit=(crash_mode == "exit")
+        )
+        with deadline(timeout_s, label=key):
+            _faults.maybe_stall(key, attempt)
             values = to_jsonable(dict(fn(seed=seed, **dict(params))))
     return values, time.perf_counter() - start
+
+
+def _serial_core(
+    runner: "SweepRunner",
+    fn: Callable[..., Mapping[str, Any]],
+    points: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+) -> None:
+    """Evaluate points inline (grid order) with per-point retry.
+
+    Exhausted points are *recorded*, not raised — later points still
+    run, so an interrupted-then-resumed sweep recomputes as little as
+    possible; the caller raises collected failures at the end.  The
+    one exception is the fail-fast fuse (:data:`FAIL_FAST_FUSE`):
+    with zero successes, a run of consecutive exhausted points aborts
+    the pass — every point failing means the sweep itself is broken.
+    """
+    consecutive = 0
+    succeeded = 0
+    for point in points:
+        try:
+            values, wall = runner._attempt_point(fn, point, crash_mode="raise")
+        except Exception as error:
+            runner._record_failure(point, error)
+            consecutive += 1
+            if succeeded == 0 and consecutive >= FAIL_FAST_FUSE:
+                runner._bump("fuse_trips")
+                break
+        else:
+            consecutive = 0
+            succeeded += 1
+            finish(point, values, wall)
 
 
 def _execute_serial(
@@ -225,11 +313,8 @@ def _execute_serial(
     finish: Callable[[SweepPoint, dict, float], None],
 ) -> None:
     """Built-in ``"serial"`` executor: evaluate inline, in grid order."""
-    for point in pending:
-        values, wall = _evaluate_point(
-            fn, point.params, point.seed, runner.config
-        )
-        finish(point, values, wall)
+    _serial_core(runner, fn, pending, finish)
+    runner._raise_failures()
 
 
 def _execute_process(
@@ -275,7 +360,13 @@ def _finish_batch_group(
     elapsed: float,
     finish: Callable[[SweepPoint, dict, float], None],
 ) -> None:
-    """Commit one batch group's results, wall time split evenly."""
+    """Commit one batch group's results, wall time split evenly.
+
+    A row-count mismatch is a *contract violation* in the registered
+    batch evaluator — a programming error, not a runtime fault — so
+    it raises instead of degrading to serial (silently re-running a
+    miscounting evaluator would hide the bug).
+    """
     if len(rows) != len(group):
         raise ValueError(
             f"batch evaluator for {spec.evaluator!r} returned "
@@ -284,6 +375,19 @@ def _finish_batch_group(
     wall = elapsed / len(group)
     for point, values in zip(group, rows):
         finish(point, values, wall)
+
+
+def _fallback_group_serial(
+    runner: "SweepRunner",
+    fn: Callable[..., Mapping[str, Any]],
+    group: list[SweepPoint],
+    finish: Callable[[SweepPoint, dict, float], None],
+    error: BaseException,
+) -> None:
+    """Degrade one failing batch group to per-point serial evaluation."""
+    runner._bump("batch_fallbacks")
+    runner._note_error(error)
+    _serial_core(runner, fn, group, finish)
 
 
 def _execute_batched(
@@ -307,6 +411,10 @@ def _execute_batched(
     attributed evenly across a group's points, and each point's values
     are cached individually, so batched and serial runs produce
     interchangeable records.
+
+    A group whose batch pass *fails* degrades to per-point serial
+    evaluation (with the runner's retry policy) instead of cancelling
+    the sweep; only points that fail serially too count as failures.
     """
     batch = get_batch_evaluator(spec.evaluator)
     if batch is None:
@@ -323,18 +431,23 @@ def _execute_batched(
     multis: list[list[SweepPoint]] = []
     for group in groups.values():
         if len(group) == 1:
-            _execute_serial(runner, spec, fn, group, finish)
+            _serial_core(runner, fn, group, finish)
         else:
             multis.append(group)
     if len(multis) >= 2 and runner.workers > 1 and _picklable(batch.fn):
-        _run_group_pool(runner, spec, batch.fn, multis, finish)
-        return
-    for group in multis:
-        jobs = [(point.params, point.seed) for point in group]
-        rows, elapsed = _evaluate_batch_group(
-            batch.fn, jobs, runner.config
-        )
-        _finish_batch_group(spec, group, rows, elapsed, finish)
+        _run_group_pool(runner, spec, fn, batch.fn, multis, finish)
+    else:
+        for group in multis:
+            jobs = [(point.params, point.seed) for point in group]
+            try:
+                rows, elapsed = _evaluate_batch_group(
+                    batch.fn, jobs, runner.config
+                )
+            except Exception as error:
+                _fallback_group_serial(runner, fn, group, finish, error)
+                continue
+            _finish_batch_group(spec, group, rows, elapsed, finish)
+    runner._raise_failures()
 
 
 def _picklable(obj: Any) -> bool:
@@ -355,50 +468,74 @@ def _picklable(obj: Any) -> bool:
 def _run_group_pool(
     runner: "SweepRunner",
     spec: SweepSpec,
+    fn: Callable[..., Mapping[str, Any]],
     batch_fn: Callable[[list], list],
     multis: list[list[SweepPoint]],
     finish: Callable[[SweepPoint, dict, float], None],
 ) -> None:
     """Fan batch groups over a process pool (chunked submissions).
 
-    Mirrors :meth:`SweepRunner._run_pool`'s failure semantics: on the
-    first error, unstarted groups are cancelled, in-flight ones are
-    drained with their successes committed, and the first error is
-    re-raised with the cache consistent.
+    Completed groups commit as they land.  A group whose worker
+    *raised* degrades straight to per-point serial evaluation.  If the
+    pool itself dies (``BrokenProcessPool``), the unfinished groups —
+    whose batch function was never at fault — are re-run as in-process
+    batch passes, and only if such a pass fails too does that group
+    degrade to serial.  Either way the sweep completes everything
+    completable before any failure is raised.
     """
+    serial_fallback: list[tuple[list[SweepPoint], BaseException]] = []
+    retry_inprocess: list[list[SweepPoint]] = []
+    futures: dict = {}
+    broken = False
     workers = min(runner.workers, len(multis))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(
-                _evaluate_batch_group,
-                batch_fn,
-                [(point.params, point.seed) for point in group],
-                runner.config,
-            ): group
-            for group in multis
-        }
-        remaining = set(futures)
-        first_error: BaseException | None = None
-        while remaining and first_error is None:
-            done, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
-            for future in done:
-                error = future.exception()
-                if error is not None:
-                    first_error = first_error or error
-                    continue
-                rows, elapsed = future.result()
-                _finish_batch_group(
-                    spec, futures[future], rows, elapsed, finish
+        queue = deque(multis)
+        while queue:
+            group = queue.popleft()
+            try:
+                future = pool.submit(
+                    _evaluate_batch_group,
+                    batch_fn,
+                    [(point.params, point.seed) for point in group],
+                    runner.config,
                 )
-        if first_error is not None:
-            in_flight = {f for f in remaining if not f.cancel()}
-            for future in in_flight:
-                if future.exception() is None:
+            except BaseException:
+                retry_inprocess.append(group)
+                retry_inprocess.extend(queue)
+                queue.clear()
+                broken = True
+                break
+            futures[future] = group
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                group = futures.pop(future)
+                error = future.exception()
+                if error is None:
                     rows, elapsed = future.result()
-                    _finish_batch_group(
-                        spec, futures[future], rows, elapsed, finish
-                    )
-            raise first_error
+                    _finish_batch_group(spec, group, rows, elapsed, finish)
+                elif isinstance(error, BrokenProcessPool):
+                    broken = True
+                    retry_inprocess.append(group)
+                else:
+                    serial_fallback.append((group, error))
+    if broken:
+        runner._bump("worker_crashes")
+    for group in retry_inprocess:
+        jobs = [(point.params, point.seed) for point in group]
+        try:
+            rows, elapsed = _evaluate_batch_group(
+                batch_fn, jobs, runner.config
+            )
+        except Exception as error:
+            serial_fallback.append((group, error))
+            continue
+        _finish_batch_group(spec, group, rows, elapsed, finish)
+    for group, error in serial_fallback:
+        _fallback_group_serial(runner, fn, group, finish, error)
 
 
 def _execute_distributed(
@@ -450,7 +587,7 @@ def available_executors() -> list[str]:
 
 
 class SweepRunner:
-    """Reusable sweep executor (cache + executor policy).
+    """Reusable sweep executor (cache + executor + reliability policy).
 
     ``executor`` names a registered strategy — ``"serial"``,
     ``"process"``, ``"batched"``, the ``"distributed"`` stub, or any
@@ -462,6 +599,11 @@ class SweepRunner:
     every evaluator call, serial, pooled, or batched: pool workers
     receive it by pickle, which is how one ``--cache-dir`` serves a
     whole parallel sweep without any environment mutation.
+
+    ``retries`` and ``point_timeout_s`` override the config's
+    fault-tolerance fields (``None`` inherits them); ``manifest_dir``
+    overrides where run manifests live (default: ``manifests/`` under
+    the cache root; no cache and no dir means no manifest).
     """
 
     def __init__(
@@ -470,6 +612,9 @@ class SweepRunner:
         executor: str = "serial",
         workers: int | None = None,
         config=None,
+        retries: int | None = None,
+        point_timeout_s: float | None = None,
+        manifest_dir: str | os.PathLike | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -480,23 +625,165 @@ class SweepRunner:
         self.executor = executor
         self.workers = workers or os.cpu_count() or 1
         self.config = config
+        self.retries = retries
+        self.point_timeout_s = point_timeout_s
+        self.manifest_dir = manifest_dir
+        # Per-run state, reset by run(); initialized here so executor
+        # helpers stay callable on a fresh runner.
+        self._policy = RetryPolicy()
+        self._reliability: dict[str, int] = {}
+        self._failures: dict[int, tuple[SweepPoint, BaseException]] = {}
+        self._manifest_active = None
 
+    # ------------------------------------------------------------------
+    # reliability bookkeeping (shared by all executors)
+    # ------------------------------------------------------------------
+    def _retry_policy(self, spec: SweepSpec) -> RetryPolicy:
+        """Explicit runner args beat the config beats the defaults."""
+        retries = self.retries
+        timeout = self.point_timeout_s
+        if retries is None or timeout is None:
+            source = self.config
+            if source is None:
+                from repro.api.config import get_config
+
+                source = get_config()
+            if retries is None:
+                retries = source.retries
+            if timeout is None:
+                timeout = source.point_timeout_s
+        return RetryPolicy(
+            retries=retries, timeout_s=timeout, seed=spec.base_seed
+        )
+
+    def _bump(self, counter: str, n: int = 1) -> None:
+        self._reliability[counter] = self._reliability.get(counter, 0) + n
+
+    def _note_error(self, error: BaseException) -> None:
+        """Count one observed (possibly retryable) evaluation error."""
+        kind = (
+            "timeouts"
+            if isinstance(error, PointTimeoutError)
+            else "point_errors"
+        )
+        self._bump(kind)
+        if self._manifest_active is not None:
+            try:
+                self._manifest_active.append_event(
+                    "fault", fault=kind, error=str(error)[:200]
+                )
+            except OSError:
+                pass
+
+    def _record_failure(
+        self, point: SweepPoint, error: BaseException
+    ) -> None:
+        """A point exhausted its retry budget; keep the first error."""
+        self._bump("failures")
+        self._failures.setdefault(point.index, (point, error))
+        if self._manifest_active is not None:
+            try:
+                self._manifest_active.append_event(
+                    "point-failed",
+                    index=point.index,
+                    error=str(error)[:200],
+                )
+            except OSError:
+                pass
+
+    def _raise_failures(self) -> None:
+        """Re-raise the first recorded failure, after everything
+        completable committed (the cache and manifest stay maximal)."""
+        for _, (_, error) in self._failures.items():
+            raise error
+
+    def _attempt_point(
+        self,
+        fn: Callable[..., Mapping[str, Any]],
+        point: SweepPoint,
+        crash_mode: str,
+    ) -> tuple[dict[str, Any], float]:
+        """One point through the retry loop (inline evaluation)."""
+        policy = self._policy
+        key = canonical_json(point.params)
+        failures = 0
+        delay = 0.0
+        while True:
+            try:
+                return _evaluate_point(
+                    fn,
+                    point.params,
+                    point.seed,
+                    self.config,
+                    attempt=failures + 1,
+                    timeout_s=policy.timeout_s,
+                    crash_mode=crash_mode,
+                    delay_s=delay,
+                )
+            except Exception as error:
+                failures += 1
+                self._note_error(error)
+                if failures > policy.retries:
+                    raise
+                self._bump("retries")
+                delay = policy.backoff_s(key, failures)
+
+    def _manifest_for(self, spec: SweepSpec, version: str, digests) :
+        """The run's journal, or ``None`` when nowhere to put one."""
+        root = self.manifest_dir
+        if root is None and self.cache is not None:
+            root = self.cache.root / "manifests"
+        if root is None:
+            return None
+        from repro.reliability.manifest import RunManifest, run_key
+
+        key = run_key(spec.name, spec.evaluator, version, digests)
+        return RunManifest(Path(root) / f"{key}.jsonl")
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
     def run(
         self,
         spec: SweepSpec,
         progress: Callable[[PointResult], None] | None = None,
+        resume: bool = True,
     ) -> SweepResult:
-        """Evaluate every point of ``spec``; see class docstring."""
+        """Evaluate every point of ``spec``; see class docstring.
+
+        ``resume`` (default) replays points this run's manifest already
+        journaled as completed — a sweep killed mid-run (power loss,
+        SIGKILL, a crash past the retry budget) picks up where it
+        stopped, bit-identically, even with no result cache configured.
+        ``resume=False`` discards the journal and recomputes.
+        """
         start = time.perf_counter()
         version = _version_key(spec)
         fn = get_evaluator(spec.evaluator)
+        self._policy = self._retry_policy(spec)
+        self._reliability = {}
+        self._failures = {}
+        self._manifest_active = None
+
+        points = list(spec.points())
+        materials = {
+            p.index: p.key_material(spec.evaluator, version) for p in points
+        }
+        digests = {p.index: cache_key(materials[p.index]) for p in points}
+        manifest = self._manifest_for(spec, version, digests.values())
+        journaled: dict[str, dict] = {}
+        if manifest is not None:
+            if not resume:
+                manifest.reset()
+            elif manifest.exists():
+                journaled = manifest.load().points
+
         results: dict[int, PointResult] = {}
         pending: list[SweepPoint] = []
-        for point in spec.points():
+        for point in points:
+            material = materials[point.index]
             record = (
-                self.cache.get(point.key_material(spec.evaluator, version))
-                if self.cache is not None
-                else None
+                self.cache.get(material) if self.cache is not None else None
             )
             if record is not None:
                 results[point.index] = PointResult(
@@ -507,13 +794,32 @@ class SweepRunner:
                     cached=True,
                     wall_time_s=0.0,
                 )
-            else:
-                pending.append(point)
+                continue
+            values = journaled.get(digests[point.index])
+            if values is not None:
+                # The journal outlived the cache entry (quarantine, a
+                # cleared directory, or no cache at all): restore the
+                # point and heal the cache.
+                results[point.index] = PointResult(
+                    index=point.index,
+                    params=point.params,
+                    seed=point.seed,
+                    values=values,
+                    cached=True,
+                    wall_time_s=0.0,
+                )
+                self._bump("manifest_restored")
+                if self.cache is not None:
+                    self.cache.put(material, values)
+                continue
+            pending.append(point)
 
         def finish(point: SweepPoint, values: dict, wall: float) -> None:
             if self.cache is not None:
-                self.cache.put(
-                    point.key_material(spec.evaluator, version), values
+                self.cache.put(materials[point.index], values)
+            if manifest is not None:
+                manifest.append_point(
+                    digests[point.index], point.index, values
                 )
             result = PointResult(
                 index=point.index,
@@ -528,6 +834,15 @@ class SweepRunner:
                 progress(result)
 
         if pending:
+            self._manifest_active = manifest
+            if manifest is not None:
+                manifest.append_event(
+                    "start",
+                    spec=spec.name,
+                    evaluator=spec.evaluator,
+                    n_pending=len(pending),
+                    n_points=spec.n_points,
+                )
             # A single pending point never benefits from fan-out or
             # batching — every executor degrades to serial for it.
             execute = (
@@ -535,7 +850,21 @@ class SweepRunner:
                 if len(pending) <= 1
                 else _EXECUTORS[self.executor]
             )
-            execute(self, spec, fn, pending, finish)
+            try:
+                execute(self, spec, fn, pending, finish)
+            except BaseException as error:
+                if manifest is not None:
+                    try:
+                        manifest.append_event(
+                            "aborted", error=str(error)[:200]
+                        )
+                    except OSError:
+                        pass
+                raise
+            finally:
+                self._manifest_active = None
+            if manifest is not None:
+                manifest.append_event("end", n_completed=len(results))
 
         ordered = [results[i] for i in sorted(results)]
         return SweepResult(
@@ -545,51 +874,134 @@ class SweepRunner:
             cache_stats=(
                 self.cache.stats.as_dict() if self.cache is not None else {}
             ),
+            reliability=dict(self._reliability),
         )
 
+    # ------------------------------------------------------------------
+    # the fault-tolerant process pool
+    # ------------------------------------------------------------------
     def _run_pool(
         self,
         fn: Callable[..., Mapping[str, Any]],
         pending: list[SweepPoint],
         finish: Callable[[SweepPoint, dict, float], None],
     ) -> None:
-        """Fan pending points over a process pool.
+        """Fan pending points over a process pool, surviving failures.
 
-        Completed points are committed to the cache as they land.  On
-        the first failure, queued-but-unstarted futures are cancelled,
-        in-flight ones are drained (their successes still committed —
-        a resume recomputes as little as possible), and the first
-        error is re-raised with the cache left consistent.
+        Completed points are committed as they land.  A failed point
+        is resubmitted up to the retry budget (its backoff executes
+        worker-side, so the scheduler never blocks).  If the pool
+        itself dies (``BrokenProcessPool`` — a worker was OOM-killed,
+        segfaulted, or an injected crash fired), successes computed
+        before the crash are still harvested, the pool is respawned,
+        and only the unfinished points are requeued; pool deaths are
+        bounded separately from per-point retries.  Only after
+        everything completable completed is the first unrecovered
+        error raised — the cache and manifest stay maximal for the
+        resume.
         """
-        workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _evaluate_point, fn, point.params, point.seed, self.config
-                ): point
-                for point in pending
-            }
-            remaining = set(futures)
-            first_error: BaseException | None = None
-            while remaining and first_error is None:
-                done, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
-                for future in done:
-                    error = future.exception()
-                    if error is not None:
-                        first_error = first_error or error
-                        continue
+        policy = self._policy
+        attempts: dict[int, int] = {p.index: 0 for p in pending}
+        failures_seen: dict[int, int] = {p.index: 0 for p in pending}
+        delays: dict[int, float] = {}
+        queue: deque[SweepPoint] = deque(pending)
+        respawns = 0
+        max_respawns = max(2, policy.retries + 1)
+
+        def handle_error(point: SweepPoint, error: BaseException) -> bool:
+            """Count one failure; True means the point retries."""
+            failures_seen[point.index] += 1
+            self._note_error(error)
+            if failures_seen[point.index] > policy.retries:
+                self._record_failure(point, error)
+                return False
+            self._bump("retries")
+            delays[point.index] = policy.backoff_s(
+                canonical_json(point.params), failures_seen[point.index]
+            )
+            return True
+
+        while queue:
+            broken = False
+            workers = min(self.workers, len(queue))
+            futures: dict = {}
+            outstanding: set = set()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+
+                def submit(point: SweepPoint) -> bool:
+                    attempts[point.index] += 1
+                    try:
+                        future = pool.submit(
+                            _evaluate_point,
+                            fn,
+                            point.params,
+                            point.seed,
+                            self.config,
+                            attempt=attempts[point.index],
+                            timeout_s=policy.timeout_s,
+                            crash_mode="exit",
+                            delay_s=delays.pop(point.index, 0.0),
+                        )
+                    except BaseException:
+                        attempts[point.index] -= 1
+                        return False
+                    futures[future] = point
+                    outstanding.add(future)
+                    return True
+
+                while queue:
+                    point = queue.popleft()
+                    if not submit(point):
+                        queue.appendleft(point)
+                        broken = True
+                        break
+                while outstanding and not broken:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        point = futures.pop(future)
+                        error = future.exception()
+                        if error is None:
+                            values, wall = future.result()
+                            finish(point, values, wall)
+                        elif isinstance(error, BrokenProcessPool):
+                            broken = True
+                            queue.append(point)
+                        elif handle_error(point, error):
+                            if not submit(point):
+                                queue.append(point)
+                                broken = True
+            # The with-block shut the pool down, so every future left
+            # in ``futures`` has settled: harvest stragglers that beat
+            # the crash, requeue the rest.
+            for future in list(futures):
+                point = futures.pop(future)
+                if future.cancelled():
+                    queue.append(point)
+                    continue
+                error = future.exception()
+                if error is None:
                     values, wall = future.result()
-                    finish(futures[future], values, wall)
-            if first_error is not None:
-                # cancel() only stops futures still in the queue; the
-                # in-flight ones run to completion anyway, so harvest
-                # their results instead of discarding them.
-                in_flight = {f for f in remaining if not f.cancel()}
-                for future in in_flight:
-                    if future.exception() is None:
-                        values, wall = future.result()
-                        finish(futures[future], values, wall)
-                raise first_error
+                    finish(point, values, wall)
+                elif isinstance(error, BrokenProcessPool):
+                    queue.append(point)
+                elif handle_error(point, error):
+                    queue.append(point)
+            if broken:
+                respawns += 1
+                self._bump("worker_crashes")
+                if respawns > max_respawns:
+                    for point in queue:
+                        self._record_failure(
+                            point,
+                            RuntimeError(
+                                f"worker pool died {respawns} times; "
+                                f"giving up on point {point.index}"
+                            ),
+                        )
+                    queue.clear()
+        self._raise_failures()
 
 
 def run_sweep(
@@ -599,8 +1011,18 @@ def run_sweep(
     workers: int | None = None,
     progress: Callable[[PointResult], None] | None = None,
     config=None,
+    retries: int | None = None,
+    point_timeout_s: float | None = None,
+    manifest_dir: str | os.PathLike | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
-        cache=cache, executor=executor, workers=workers, config=config
-    ).run(spec, progress=progress)
+        cache=cache,
+        executor=executor,
+        workers=workers,
+        config=config,
+        retries=retries,
+        point_timeout_s=point_timeout_s,
+        manifest_dir=manifest_dir,
+    ).run(spec, progress=progress, resume=resume)

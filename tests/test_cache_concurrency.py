@@ -1,0 +1,160 @@
+"""Multi-process stress for the on-disk cache tiers.
+
+Several writer/reader processes hammer one shared cache root.  The
+contract under test: no torn reads (a reader sees a complete record or
+nothing), no lost updates (every key a writer committed is readable
+afterwards with exactly the written value), and zero quarantined
+entries at rest (atomic replace means concurrent writers never leave
+a half-written file behind).
+
+Every worker writes the *same* deterministic value for a given key, so
+any read returning anything else is proof of a torn or mixed record.
+Workers are module-level functions (picklable) run through a
+``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dataflow.evalcore import SegmentStore
+from repro.dataflow.tiling import SetStats
+from repro.sweep.cache import ResultCache
+
+N_WORKERS = 4
+N_OPS = 60
+# Coprime to the op-selection modulus (3) and the key stride (7), so
+# every key sees both writes and reads from every worker.
+N_KEYS = 11
+
+
+def _key(k: int) -> dict:
+    return {"evaluator": "stress", "params": {"k": k}, "seed": 0}
+
+
+def _value(k: int) -> dict:
+    # Big enough that a torn write would be visible mid-record.
+    return {"v": k * 11, "blob": "ab" * 256, "nested": {"k": [k] * 32}}
+
+
+def _cache_worker(root: str, worker_id: int) -> dict:
+    """Interleave puts and gets on shared keys; report anomalies."""
+    cache = ResultCache(root)
+    torn = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for i in range(N_OPS):
+            k = (worker_id * 7 + i) % N_KEYS
+            if (worker_id + i) % 3 == 0:
+                record = cache.get(_key(k))
+                if record is not None and record["values"] != _value(k):
+                    torn += 1
+            else:
+                cache.put(_key(k), _value(k))
+    return {"torn": torn, "corrupt": cache.stats.corrupt}
+
+
+def _sets(k: int) -> SetStats:
+    n = 4 + (k % 3)
+    base = np.arange(n, dtype=np.float64) + k
+    return SetStats(
+        max_work=base * 3.0,
+        mean_work=base * 2.0,
+        sum_work=base * 16.0,
+        busy_pes=np.full(n, 8.0),
+        weight=np.full(n, 2.0),
+    )
+
+
+def _segment_worker(root: str, worker_id: int) -> dict:
+    """Write segments of shared digests, read others back, verify."""
+    store = SegmentStore(root)
+    torn = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for i in range(N_OPS // 4):
+            lo = (worker_id * 5 + i) % N_KEYS
+            digests = [f"d{(lo + j) % N_KEYS}" for j in range(3)]
+            store.put_many(
+                [(d, _sets(int(d[1:]))) for d in sorted(set(digests))]
+            )
+            hits = store.get_many(digests)
+            for digest, sets in hits.items():
+                expect = _sets(int(digest[1:]))
+                if not (
+                    np.array_equal(sets.max_work, expect.max_work)
+                    and np.array_equal(sets.weight, expect.weight)
+                ):
+                    torn += 1
+    return {"torn": torn, "corrupt": store.quarantined}
+
+
+def _run_stress(worker, root) -> list[dict]:
+    with ProcessPoolExecutor(max_workers=N_WORKERS) as pool:
+        futures = [
+            pool.submit(worker, str(root), wid) for wid in range(N_WORKERS)
+        ]
+        return [f.result(timeout=120) for f in futures]
+
+
+class TestResultCacheStress:
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        root = tmp_path / "cache"
+        reports = _run_stress(_cache_worker, root)
+        assert sum(r["torn"] for r in reports) == 0
+        assert sum(r["corrupt"] for r in reports) == 0
+        # Zero quarantined entries at rest (the acceptance bar).
+        assert list(root.glob("*/*.corrupt")) == []
+        # No lost updates: every key is present and verifies.
+        cache = ResultCache(root)
+        for k in range(N_KEYS):
+            record = cache.get(_key(k))
+            assert record is not None, f"key {k} lost"
+            assert record["values"] == _value(k)
+        assert cache.stats.corrupt == 0
+        # No stray temp files leaked by interrupted writers.
+        assert list(root.glob("*/.*.tmp")) == []
+
+
+class TestSegmentStoreStress:
+    def test_concurrent_segment_writers(self, tmp_path):
+        root = tmp_path / "segments"
+        reports = _run_stress(_segment_worker, root)
+        assert sum(r["torn"] for r in reports) == 0
+        assert sum(r["corrupt"] for r in reports) == 0
+        assert list(root.glob("*.corrupt")) == []
+        # Every digest written by any worker reads back bit-exactly.
+        store = SegmentStore(root)
+        hits = store.get_many([f"d{k}" for k in range(N_KEYS)])
+        assert len(hits) == N_KEYS
+        for digest, sets in hits.items():
+            expect = _sets(int(digest[1:]))
+            np.testing.assert_array_equal(sets.max_work, expect.max_work)
+            np.testing.assert_array_equal(sets.sum_work, expect.sum_work)
+        assert store.quarantined == 0
+        # Duplicate-segment writes dedupe by content name, so the
+        # directory holds far fewer files than put_many calls.
+        assert 0 < len(list(root.glob("seg-*.npz"))) <= N_KEYS * 3
+
+
+class TestQuarantineUnderConcurrency:
+    def test_corrupt_entry_quarantined_exactly_once_per_reader(
+        self, tmp_path
+    ):
+        # Two handles racing to quarantine the same bad entry must not
+        # crash or double-move; the file ends up as *.corrupt exactly
+        # once and both handles treat the key as a miss.
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        path = cache.put(_key(1), _value(1))
+        path.write_text("{ torn", encoding="utf-8")
+        a, b = ResultCache(root), ResultCache(root)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert a.get(_key(1)) is None
+        assert b.get(_key(1)) is None  # already moved: plain miss
+        assert len(list(root.glob("*/*.corrupt"))) == 1
+        assert a.stats.corrupt == 1

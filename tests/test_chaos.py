@@ -1,0 +1,343 @@
+"""Deterministic chaos scenarios: faulted sweeps converge bit-identically.
+
+The invariant under test (the reliability layer's reason to exist): a
+sweep that suffers injected worker crashes, point errors, timeouts, or
+cache corruption — or is killed outright and resumed — produces
+results *bit-identical* to an undisturbed serial run.  Bit-identity is
+pinned by comparing canonical JSON of the full row set, not just
+approximate values.
+
+All faults come from :mod:`repro.reliability.faults` via the config
+``faults`` spec, so every scenario is seeded and reproducible; nothing
+here depends on timing races except the SIGKILL test, which only
+requires "the process died somewhere mid-sweep".
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import RuntimeConfig, config_scope
+from repro.reliability.faults import reset_fault_state
+from repro.sweep import (
+    ResultCache,
+    SweepSpec,
+    canonical_json,
+    register,
+    run_sweep,
+)
+from repro.sweep import evaluators as ev
+
+#: Serial-run call log (pool workers append to their own copy, so only
+#: serial scenarios may assert on it).
+CALLS: list[int] = []
+
+
+@register("chaos-square", version="1")
+def _square(*, seed, x):
+    CALLS.append(x)
+    return {"y": x * x + seed}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    reset_fault_state()
+    CALLS.clear()
+    yield
+    reset_fault_state()
+
+
+def spec(n=6, name="chaos", base_seed=3):
+    return SweepSpec.grid(name, "chaos-square", {"x": list(range(n))},
+                          base_seed=base_seed)
+
+
+def rows_json(result):
+    return canonical_json(result.rows())
+
+
+def clean_rows():
+    """The ground truth: an undisturbed serial run, no cache."""
+    return rows_json(run_sweep(spec()))
+
+
+# ----------------------------------------------------------------------
+# single-fault scenarios
+# ----------------------------------------------------------------------
+class TestSingleFaults:
+    def test_point_errors_retried_to_parity(self):
+        config = RuntimeConfig(
+            faults="seed=2;point-error:max_attempt=1", retries=1
+        )
+        result = run_sweep(spec(), config=config)
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["point_errors"] == 6
+        assert result.reliability["retries"] == 6
+
+    def test_inline_worker_crash_retried_to_parity(self):
+        config = RuntimeConfig(
+            faults="worker-crash:max_attempt=1", retries=1
+        )
+        result = run_sweep(spec(), config=config)
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["retries"] == 6
+
+    def test_retry_budget_exhaustion_still_raises(self):
+        from repro.reliability import InjectedPointError
+
+        config = RuntimeConfig(faults="point-error:match=\"x\":5", retries=2)
+        with pytest.raises(InjectedPointError):
+            run_sweep(spec(), config=config)
+
+    def test_pool_worker_crash_recovers_to_parity(self):
+        # Attempt 1 of any point dies hard (os._exit) inside the pool;
+        # the runner must respawn the pool, requeue unfinished points,
+        # and converge on exactly the clean results.
+        config = RuntimeConfig(
+            faults="worker-crash:max_attempt=1", retries=1
+        )
+        result = run_sweep(
+            spec(), executor="process", workers=2, config=config
+        )
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["worker_crashes"] >= 1
+
+    @pytest.mark.skipif(
+        not hasattr(__import__("signal"), "SIGALRM"),
+        reason="deadline needs SIGALRM",
+    )
+    def test_timeout_retried_to_parity(self):
+        # Attempt 1 of every point stalls past its deadline; attempt 2
+        # runs clean.
+        config = RuntimeConfig(
+            faults="point-timeout:max_attempt=1,delay=0.4",
+            retries=1,
+            point_timeout_s=0.1,
+        )
+        result = run_sweep(spec(), config=config)
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["timeouts"] == 6
+        assert result.reliability["retries"] == 6
+
+    def test_env_threading(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=4;point-error:max_attempt=1")
+        monkeypatch.setenv("REPRO_RETRIES", "1")
+        config = RuntimeConfig.from_env()
+        result = run_sweep(spec(), config=config)
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["point_errors"] == 6
+
+
+# ----------------------------------------------------------------------
+# cache corruption
+# ----------------------------------------------------------------------
+class TestCacheCorruption:
+    def test_injected_write_corruption_quarantined_and_recomputed(
+        self, tmp_path
+    ):
+        # Every write is garbled in place; the re-read must quarantine
+        # (never silently miss or return garbage) and recompute.
+        config = RuntimeConfig(faults="cache-corrupt")
+        cache = ResultCache(tmp_path / "cache")
+        with config_scope(config):
+            first = run_sweep(spec(), cache=cache, config=config)
+        assert rows_json(first) == clean_rows()
+        reset_fault_state()
+        cache2 = ResultCache(tmp_path / "cache")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = run_sweep(spec(), cache=cache2)
+        assert rows_json(second) == clean_rows()
+        assert cache2.stats.corrupt == 6
+        assert any("quarantined" in str(w.message) for w in caught)
+        # Quarantined files are preserved for forensics...
+        assert len(cache2.corrupt_entries()) == 6
+        # ...and the recompute repopulated every live entry.
+        assert len(cache2) == 6
+
+    def test_acceptance_chaos_parity(self, tmp_path):
+        """ISSUE acceptance: a sweep under an injected worker crash
+        plus one at-rest-corrupted cache entry, resumed, must be
+        bit-identical to an uninterrupted serial run."""
+        truth = clean_rows()
+        cache = ResultCache(tmp_path / "cache")
+        config = RuntimeConfig(
+            faults="seed=9;worker-crash:max_attempt=1", retries=1
+        )
+        crashed = run_sweep(
+            spec(), cache=cache, executor="process", workers=2,
+            config=config,
+        )
+        assert rows_json(crashed) == truth
+        assert crashed.reliability["worker_crashes"] >= 1
+        # Corrupt one committed entry at rest (bit rot).
+        victim = sorted(cache.root.glob("*/*.json"))[0]
+        victim.write_bytes(b"\x00garbage" + victim.read_bytes()[:40])
+        # Resume with a fresh cache handle, no faults: the corrupt
+        # entry is quarantined, healed from the run manifest, and the
+        # evaluator is never called again.
+        cache2 = ResultCache(tmp_path / "cache")
+        CALLS.clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = run_sweep(spec(), cache=cache2)
+        assert rows_json(resumed) == truth
+        assert CALLS == []  # healed from the manifest, not recomputed
+        assert resumed.reliability["manifest_restored"] == 1
+        assert cache2.stats.corrupt == 1
+        assert len(cache2) == 6  # the healed entry is back on disk
+
+
+# ----------------------------------------------------------------------
+# resume semantics
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_without_cache_uses_manifest(self, tmp_path):
+        config = RuntimeConfig(faults="point-error:match=\"x\":4")
+        with pytest.raises(Exception):
+            run_sweep(
+                spec(), config=config, manifest_dir=tmp_path / "manifests"
+            )
+        # Everything except x=4 was journaled; the re-run (faults
+        # gone) computes only the failed point — with no cache at all.
+        CALLS.clear()
+        result = run_sweep(spec(), manifest_dir=tmp_path / "manifests")
+        assert CALLS == [4]
+        assert rows_json(result) == clean_rows()
+        assert result.reliability["manifest_restored"] == 5
+
+    def test_resume_false_recomputes(self, tmp_path):
+        run_sweep(spec(), manifest_dir=tmp_path / "manifests")
+        CALLS.clear()
+        result = run_sweep(
+            spec(), manifest_dir=tmp_path / "manifests", resume=False
+        )
+        assert sorted(CALLS) == [0, 1, 2, 3, 4, 5]
+        assert rows_json(result) == clean_rows()
+
+    def test_changed_spec_gets_a_fresh_manifest(self, tmp_path):
+        run_sweep(spec(), manifest_dir=tmp_path / "manifests")
+        CALLS.clear()
+        result = run_sweep(
+            spec(base_seed=4), manifest_dir=tmp_path / "manifests"
+        )
+        # Different seed -> different run key -> nothing restored.
+        assert len(CALLS) == 6
+        assert "manifest_restored" not in result.reliability
+
+    def test_sigkill_mid_sweep_then_resume_parity(self, tmp_path):
+        """The hard-interrupt acceptance case: SIGKILL a sweep process
+        mid-run, then resume in a fresh process; the combined result
+        must match an undisturbed run and recompute only the missing
+        points."""
+        cache_dir = tmp_path / "cache"
+        script = """
+import sys, time
+from repro.sweep import ResultCache, SweepSpec, register, run_sweep
+
+@register("chaos-kill", version="1")
+def _ev(*, seed, x):
+    if x >= 2:
+        time.sleep(10.0)  # park until the parent kills us
+    return {"y": x * 7}
+
+spec = SweepSpec.grid("kill", "chaos-kill", {"x": list(range(5))})
+run_sweep(spec, cache=ResultCache(sys.argv[1]))
+"""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(cache_dir)], env=env
+        )
+        deadline = time.monotonic() + 30.0
+        try:
+            # Wait until the first points committed, then kill hard.
+            while time.monotonic() < deadline:
+                if len(list(cache_dir.glob("*/*.json"))) >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("sweep process exited before the kill")
+                time.sleep(0.05)
+            else:
+                pytest.fail("sweep never committed its first points")
+            proc.kill()
+        finally:
+            proc.wait(timeout=30)
+
+        calls: list[int] = []
+
+        @register("chaos-kill", version="1")
+        def _ev(*, seed, x):
+            calls.append(x)
+            return {"y": x * 7}
+
+        try:
+            killed_spec = SweepSpec.grid(
+                "kill", "chaos-kill", {"x": list(range(5))}
+            )
+            resumed = run_sweep(killed_spec, cache=ResultCache(cache_dir))
+            assert resumed.values("y") == [0, 7, 14, 21, 28]
+            assert sorted(calls) == [2, 3, 4]  # only the killed points
+            assert resumed.n_cached == 2
+        finally:
+            ev._REGISTRY.pop("chaos-kill", None)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_failing_batch_group_degrades_to_serial(self):
+        calls: list[str] = []
+
+        @register("chaos-batched", version="1")
+        def _scalar(*, seed, g, x):
+            calls.append(f"scalar:{g}:{x}")
+            return {"y": g * 100 + x}
+
+        @ev.register_batch("chaos-batched", group_by=("g",))
+        def _batch(jobs):
+            raise RuntimeError("batch core is broken today")
+
+        try:
+            grid = SweepSpec.grid(
+                "degrade", "chaos-batched",
+                {"g": [0, 1], "x": [1, 2, 3]},
+            )
+            result = run_sweep(grid, executor="batched")
+            assert result.values("y") == [1, 2, 3, 101, 102, 103]
+            assert result.reliability["batch_fallbacks"] == 2
+            assert len(calls) == 6  # every point re-ran serially
+        finally:
+            ev._REGISTRY.pop("chaos-batched", None)
+            ev._BATCH_REGISTRY.pop("chaos-batched", None)
+
+    def test_serial_fuse_aborts_hopeless_sweeps(self):
+        from repro.sweep.runner import FAIL_FAST_FUSE
+
+        attempts: list[int] = []
+
+        @register("chaos-hopeless", version="1")
+        def _always_fails(*, seed, x):
+            attempts.append(x)
+            raise RuntimeError("nothing works")
+
+        try:
+            grid = SweepSpec.grid(
+                "hopeless", "chaos-hopeless", {"x": list(range(40))}
+            )
+            with pytest.raises(RuntimeError, match="nothing works"):
+                run_sweep(grid)
+            # The fuse stops a 40-point grid after FAIL_FAST_FUSE
+            # consecutive failures with zero successes.
+            assert len(attempts) == FAIL_FAST_FUSE
+        finally:
+            ev._REGISTRY.pop("chaos-hopeless", None)

@@ -1,0 +1,345 @@
+"""Unit tests for the reliability layer: fault plans, retry policy,
+deadlines, file locks, and the run manifest.
+
+These pin the *primitives*; the end-to-end chaos scenarios (faulted
+sweeps resuming bit-identically) live in ``test_chaos.py``, and the
+multi-process cache stress in ``test_cache_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api.config import RuntimeConfig, config_scope
+from repro.reliability import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedPointError,
+    InjectedWorkerCrash,
+    LockTimeout,
+    PointTimeoutError,
+    RetryPolicy,
+    RunManifest,
+    deadline,
+    file_lock,
+)
+from repro.reliability.faults import (
+    active_injector,
+    inject_point_faults,
+    iter_fired,
+    maybe_corrupt_file,
+    reset_fault_state,
+)
+from repro.reliability.locks import locking_supported
+from repro.reliability.manifest import run_key
+from repro.reliability.retry import deadline_enforced
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+# ----------------------------------------------------------------------
+# FaultPlan / FaultRule
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parse_empty_is_none(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=7; worker-crash:p=0.25,match=x,max_attempt=1;"
+            "point-timeout:delay=0.5,max_fires=2; cache-corrupt"
+        )
+        assert plan.seed == 7
+        assert [r.kind for r in plan.rules] == [
+            "worker-crash", "point-timeout", "cache-corrupt",
+        ]
+        crash, stall, corrupt = plan.rules
+        assert (crash.p, crash.match, crash.max_attempt) == (0.25, "x", 1)
+        assert (stall.delay_s, stall.max_fires) == (0.5, 2)
+        assert (corrupt.p, corrupt.match) == (1.0, "")
+
+    def test_spec_round_trips(self):
+        spec = "seed=3;worker-crash:p=0.5,max_attempt=2;slow-io:delay=0.01"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode",                       # unknown kind
+            "worker-crash:p=oops",           # non-numeric probability
+            "worker-crash:p=2.0",            # probability out of range
+            "worker-crash:frequency=1",      # unknown rule key
+            "worker-crash:p",                # not key=value
+            "seed=many",                     # non-integer seed
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan.parse("seed=5;point-error:p=0.5")
+        a = [
+            FaultInjector(plan).decide("point-error", f"k{i}") is not None
+            for i in range(32)
+        ]
+        b = [
+            FaultInjector(plan).decide("point-error", f"k{i}") is not None
+            for i in range(32)
+        ]
+        assert a == b
+        assert True in a and False in a  # p=0.5 actually discriminates
+
+    def test_decisions_depend_on_seed(self):
+        keys = [f"k{i}" for i in range(64)]
+
+        def fires(seed):
+            inj = FaultInjector(FaultPlan.parse(f"seed={seed};point-error:p=0.5"))
+            return [inj.decide("point-error", k) is not None for k in keys]
+
+        assert fires(1) != fires(2)
+
+    def test_max_attempt_gates_retries(self):
+        inj = FaultInjector(FaultPlan.parse("worker-crash:max_attempt=1"))
+        assert inj.decide("worker-crash", "k", attempt=1) is not None
+        assert inj.decide("worker-crash", "k", attempt=2) is None
+
+    def test_max_fires_caps_total(self):
+        inj = FaultInjector(FaultPlan.parse("point-error:max_fires=2"))
+        fired = [
+            inj.decide("point-error", f"k{i}") is not None for i in range(5)
+        ]
+        assert fired == [True, True, False, False, False]
+        assert list(iter_fired(inj)) == [
+            (FaultRule(kind="point-error", max_fires=2), 2)
+        ]
+
+    def test_match_restricts_keys(self):
+        inj = FaultInjector(FaultPlan.parse('point-error:match="x": 3'))
+        assert inj.decide("point-error", '{"x": 3}') is not None
+        assert inj.decide("point-error", '{"x": 4}') is None
+
+
+class TestInjectionSites:
+    def test_inactive_without_config_faults(self):
+        with config_scope(RuntimeConfig()):
+            assert active_injector() is None
+            inject_point_faults("k", 1, allow_exit=False)  # no-op
+
+    def test_point_error_site(self):
+        with config_scope(RuntimeConfig(faults="point-error")):
+            with pytest.raises(InjectedPointError):
+                inject_point_faults("k", 1, allow_exit=False)
+
+    def test_worker_crash_raises_inline(self):
+        # allow_exit=False is the inline path: the process must survive.
+        with config_scope(RuntimeConfig(faults="worker-crash")):
+            with pytest.raises(InjectedWorkerCrash):
+                inject_point_faults("k", 1, allow_exit=False)
+
+    def test_corrupt_file_site_garbles_payload(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_text(json.dumps({"values": {"y": 1}}))
+        with config_scope(RuntimeConfig(faults="cache-corrupt")):
+            assert maybe_corrupt_file(victim, "digest") is True
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(victim.read_text(errors="replace"))
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / deadline
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+
+    def test_backoff_bounded_and_monotone_in_envelope(self):
+        policy = RetryPolicy(
+            retries=5, backoff_base_s=0.1, backoff_max_s=1.0, seed=3
+        )
+        for failure in range(1, 8):
+            envelope = min(1.0, 0.1 * 2 ** (failure - 1))
+            delay = policy.backoff_s("key", failure)
+            assert 0.5 * envelope <= delay < envelope
+
+    def test_backoff_deterministic_but_key_dependent(self):
+        policy = RetryPolicy(seed=9)
+        assert policy.backoff_s("a", 1) == policy.backoff_s("a", 1)
+        assert policy.backoff_s("a", 1) != policy.backoff_s("b", 1)
+
+    def test_from_config(self):
+        config = RuntimeConfig(retries=4, point_timeout_s=2.5)
+        policy = RetryPolicy.from_config(config, seed=11)
+        assert (policy.retries, policy.timeout_s, policy.seed) == (4, 2.5, 11)
+
+
+class TestDeadline:
+    def test_noop_when_disabled(self):
+        with deadline(None):
+            pass
+        with deadline(0):
+            pass
+
+    @pytest.mark.skipif(
+        not deadline_enforced(), reason="no SIGALRM on this platform/thread"
+    )
+    def test_interrupts_a_stuck_call(self):
+        start = time.perf_counter()
+        with pytest.raises(PointTimeoutError, match="deadline"):
+            with deadline(0.1, label="stuck"):
+                time.sleep(5.0)
+        assert time.perf_counter() - start < 2.0
+
+    @pytest.mark.skipif(
+        not deadline_enforced(), reason="no SIGALRM on this platform/thread"
+    )
+    def test_fast_call_unharmed_and_timer_restored(self):
+        import signal
+
+        with deadline(5.0):
+            value = 42
+        assert value == 42
+        # The interval timer must be disarmed on exit.
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# file_lock
+# ----------------------------------------------------------------------
+class TestFileLock:
+    def test_reentrant_sequential_use(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        with file_lock(lock):
+            pass
+        with file_lock(lock):
+            pass
+
+    @pytest.mark.skipif(
+        not locking_supported(), reason="fcntl unavailable"
+    )
+    def test_contention_times_out(self, tmp_path):
+        import fcntl
+        import os
+
+        lock = tmp_path / "x.lock"
+        fd = os.open(lock, os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            with pytest.raises(LockTimeout):
+                with file_lock(lock, timeout_s=0.2):
+                    pass
+        finally:
+            os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# RunManifest
+# ----------------------------------------------------------------------
+class TestRunManifest:
+    def test_append_and_load(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        assert not manifest.exists()
+        assert manifest.load().points == {}
+        manifest.append_event("start", spec="s")
+        manifest.append_point("d0", 0, {"y": 1})
+        manifest.append_point("d1", 1, {"y": 2.5, "nested": {"a": [1, 2]}})
+        state = manifest.load()
+        assert state.points == {
+            "d0": {"y": 1},
+            "d1": {"y": 2.5, "nested": {"a": [1, 2]}},
+        }
+        assert [e["t"] for e in state.events] == ["start"]
+        assert state.skipped == 0
+
+    def test_rewrite_wins_for_duplicate_digests(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.append_point("d0", 0, {"y": 1})
+        manifest.append_point("d0", 0, {"y": 2})
+        assert manifest.load().points == {"d0": {"y": 2}}
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.append_point("d0", 0, {"y": 1})
+        with open(manifest.path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": "point", "digest": "d1", "val')  # SIGKILL here
+        state = manifest.load()
+        assert state.points == {"d0": {"y": 1}}
+        assert state.skipped == 1
+
+    def test_checksum_failure_is_skipped(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.append_point("d0", 0, {"y": 1})
+        manifest.append_point("d1", 1, {"y": 2})
+        lines = manifest.path.read_text().splitlines()
+        assert '"y":1' in lines[0]
+        lines[0] = lines[0].replace('"y":1', '"y":999')  # bit flip
+        manifest.path.write_text("\n".join(lines) + "\n")
+        state = manifest.load()
+        assert state.points == {"d1": {"y": 2}}
+        assert state.skipped == 1
+
+    def test_reset_discards(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.append_point("d0", 0, {"y": 1})
+        manifest.reset()
+        assert not manifest.exists()
+        manifest.reset()  # idempotent
+
+    def test_run_key_sensitivity(self):
+        base = run_key("s", "e", "v1", ["d0", "d1"])
+        assert run_key("s", "e", "v1", ["d1", "d0"]) == base  # order-free
+        assert run_key("s", "e", "v2", ["d0", "d1"]) != base
+        assert run_key("s", "e", "v1", ["d0"]) != base
+        assert run_key("s", "other", "v1", ["d0", "d1"]) != base
+
+
+# ----------------------------------------------------------------------
+# config plumbing for the new knobs
+# ----------------------------------------------------------------------
+class TestReliabilityConfig:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.retries == 0
+        assert config.point_timeout_s is None
+        assert config.faults is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(retries=-1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(point_timeout_s=0)
+
+    def test_env_layering(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_FAULTS", "point-error:p=0.1")
+        config = RuntimeConfig.from_env()
+        assert config.retries == 3
+        assert config.point_timeout_s == 1.5
+        assert config.faults == "point-error:p=0.1"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        monkeypatch.setenv("REPRO_FAULTS", "point-error")
+        config = RuntimeConfig.from_env(retries=1, faults=None)
+        assert config.retries == 1
+        assert config.faults is None
+
+    def test_bad_env_values_raise(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "several")
+        with pytest.raises(ValueError, match="REPRO_RETRIES"):
+            RuntimeConfig.from_env()

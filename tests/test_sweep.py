@@ -182,7 +182,9 @@ class TestCache:
         record = cache.get(self.KEY)
         assert record["values"] == {"y": 42}
         assert record["key"]["params"] == {"x": 1}
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
 
     def test_any_key_component_invalidates(self, cache):
         cache.put(self.KEY, {"y": 42})
@@ -276,22 +278,25 @@ class TestRunner:
         run_sweep(self.spec(version="after-bugfix"), cache=cache)
         assert len(CALLS) == 4
 
-    def test_resume_after_interrupt(self, cache):
-        """An interrupted sweep resumes from its last completed point."""
+    def test_resume_after_failure(self, cache):
+        """A failing point no longer torpedoes the rest of the sweep:
+        every other point completes and commits, the failure is raised
+        at the end, and the re-run recomputes *only* the failed point."""
         FAIL_ON.add(2)
         spec = SweepSpec.grid(
             "flaky", "test-flaky", {"x": list(range(5))}
         )
         with pytest.raises(RuntimeError, match="x=2"):
             run_sweep(spec, cache=cache)
-        assert len(cache) == 2  # x=0 and x=1 committed before the crash
+        assert len(cache) == 4  # everything except x=2 committed
 
         FAIL_ON.clear()  # "fix the bug", re-run the same sweep
         CALLS.clear()
         result = run_sweep(spec, cache=cache)
-        assert [c["x"] for c in CALLS] == [2, 3, 4]
-        assert result.n_cached == 2
+        assert [c["x"] for c in CALLS] == [2]
+        assert result.n_cached == 4
         assert result.values("y") == [0, 1, 4, 9, 16]
+        assert result.reliability == {}
 
     def test_process_executor_matches_serial(self):
         spec = SweepSpec.grid(

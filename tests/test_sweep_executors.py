@@ -181,13 +181,19 @@ class TestPooledBatchGroups:
         ]
         assert tracked_evaluator["batch"] == [[1, 2, 3, 4], [1, 2, 3, 4]]
 
-    def test_worker_error_propagates(self, pool_evaluator):
+    def test_broken_batch_degrades_to_serial(self, pool_evaluator):
+        # A failing batch pass no longer cancels the sweep: the group
+        # degrades to per-point serial evaluation (the scalar evaluator
+        # still works), and the fallback is counted, not hidden.
         ev.register_batch("exec-pool", group_by=("group",))(
             _pool_probe_batch_broken
         )
         spec = self.pool_spec()
-        with pytest.raises(RuntimeError, match="worker-side failure"):
-            run_sweep(spec, executor="batched", workers=2)
+        result = run_sweep(spec, executor="batched", workers=2)
+        serial = run_sweep(spec, executor="serial")
+        assert result.rows() == serial.rows()
+        assert result.reliability["batch_fallbacks"] == 2
+        assert result.reliability["point_errors"] == 2
 
 
 class TestExecutorRegistry:
