@@ -6,7 +6,10 @@ speedup and 2.3x energy savings over the whole network.
 """
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import format_fig01, run_fig01_potential
+from repro.harness import arch_experiments as _arch
+
+format_fig01 = _arch.entry_point("format_fig01")
+run_fig01_potential = _arch.entry_point("run_fig01_potential")
 
 
 def test_fig01_ideal_potential(benchmark):

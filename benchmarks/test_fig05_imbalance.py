@@ -5,10 +5,10 @@ frequently exceed 50% execution overhead, sometimes 100%+.
 """
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_histogram,
-    run_imbalance_histogram,
-)
+from repro.harness import arch_experiments as _arch
+
+format_histogram = _arch.entry_point("format_histogram")
+run_imbalance_histogram = _arch.entry_point("run_imbalance_histogram")
 
 
 def test_fig05_unbalanced_ck_histogram(benchmark):

@@ -8,7 +8,10 @@ computation sparsity (60% of MACs skippable in 99.5% of iterations).
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.training_experiments import format_curves, run_fig06_decay
+from repro.harness import training_experiments as _training
+
+format_curves = _training.entry_point("format_curves")
+run_fig06_decay = _training.entry_point("run_fig06_decay")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

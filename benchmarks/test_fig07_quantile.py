@@ -9,10 +9,10 @@ error only tracks extra weights, relaxing 7.5x requested sparsity to
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.training_experiments import (
-    format_curves,
-    run_fig07_quantile,
-)
+from repro.harness import training_experiments as _training
+
+format_curves = _training.entry_point("format_curves")
+run_fig07_quantile = _training.entry_point("run_fig07_quantile")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

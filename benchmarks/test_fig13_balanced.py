@@ -6,10 +6,10 @@ working sets show <10% overhead with the worst near 30% — versus the
 """
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_histogram,
-    run_imbalance_histogram,
-)
+from repro.harness import arch_experiments as _arch
+
+format_histogram = _arch.entry_point("format_histogram")
+run_imbalance_histogram = _arch.entry_point("run_imbalance_histogram")
 
 
 def test_fig13_balanced_kn_histogram(benchmark):

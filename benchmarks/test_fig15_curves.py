@@ -7,10 +7,10 @@ faster than) the dense baseline while training a pruned model.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.training_experiments import (
-    format_curves,
-    run_fig15_cifar_curves,
-)
+from repro.harness import training_experiments as _training
+
+format_curves = _training.entry_point("format_curves")
+run_fig15_cifar_curves = _training.entry_point("run_fig15_cifar_curves")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

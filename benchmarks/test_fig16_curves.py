@@ -7,10 +7,10 @@ Paper: ResNet18 trains to baseline accuracy at 2.9x/5.8x/11.7x pruning
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.training_experiments import (
-    format_curves,
-    run_fig16_sparsity_sweep,
-)
+from repro.harness import training_experiments as _training
+
+format_curves = _training.entry_point("format_curves")
+run_fig16_sparsity_sweep = _training.entry_point("run_fig16_sparsity_sweep")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

@@ -6,10 +6,10 @@ convolutions limit reuse and DRAM looms larger.
 """
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_fig17,
-    run_fig17_energy_breakdown,
-)
+from repro.harness import arch_experiments as _arch
+
+format_fig17 = _arch.entry_point("format_fig17")
+run_fig17_energy_breakdown = _arch.entry_point("run_fig17_energy_breakdown")
 
 
 def test_fig17_energy_breakdown(benchmark):

@@ -8,10 +8,10 @@ design to pick the mapping by performance alone.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_fig18,
-    run_fig18_fig19_dataflows,
-)
+from repro.harness import arch_experiments as _arch
+
+format_fig18 = _arch.entry_point("format_fig18")
+run_fig18_fig19_dataflows = _arch.entry_point("run_fig18_fig19_dataflows")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

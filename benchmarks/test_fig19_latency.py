@@ -9,10 +9,10 @@ stationary P,Q is slowest overall.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_fig19,
-    run_fig18_fig19_dataflows,
-)
+from repro.harness import arch_experiments as _arch
+
+format_fig19 = _arch.entry_point("format_fig19")
+run_fig18_fig19_dataflows = _arch.entry_point("run_fig18_fig19_dataflows")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

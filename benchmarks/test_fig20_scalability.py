@@ -8,10 +8,10 @@ energy barely moves because the MAC count is unchanged.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import (
-    format_fig20,
-    run_fig20_scalability,
-)
+from repro.harness import arch_experiments as _arch
+
+format_fig20 = _arch.entry_point("format_fig20")
+run_fig20_scalability = _arch.entry_point("run_fig20_scalability")
 
 
 pytestmark = pytest.mark.slow  # trains networks / heavy sweep

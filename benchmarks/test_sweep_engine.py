@@ -20,7 +20,9 @@ import os
 import time
 
 from benchmarks.conftest import run_once
-from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+from repro.harness import arch_experiments as _arch
+
+run_fig18_fig19_dataflows = _arch.entry_point("run_fig18_fig19_dataflows")
 from repro.sweep import ResultCache, SweepSpec, run_sweep
 
 #: 2 networks x dense/sparse x 4 mappings = 16 simulator evaluations.

@@ -19,6 +19,13 @@ Two pieces:
   mutate ``os.environ``; :func:`config_scope` scopes a config (and
   every piece of state derived from it) for tests and the CLI.
 
+* the **request/result envelope** (:mod:`repro.api.envelope`):
+  :class:`EvalRequest` / :class:`EvalResult` / :class:`JobStatus` —
+  the one typed, versioned, canonically-JSON-encoded envelope shared
+  by the evaluation service (:mod:`repro.serve`), the sweep engine's
+  records, and registry runs; :func:`evaluate` answers a request
+  in-process, bit-identically to what the service would stream back.
+
 See ``docs/api.md`` for the full guide.
 """
 
@@ -27,6 +34,16 @@ from repro.api.config import (
     config_scope,
     get_config,
     set_config,
+)
+from repro.api.envelope import (
+    SCHEMA_VERSION,
+    EvalRequest,
+    EvalResult,
+    JobStatus,
+    evaluate,
+    evaluate_requests,
+    experiment_request,
+    point_request,
 )
 from repro.api.registry import (
     Experiment,
@@ -38,14 +55,22 @@ from repro.api.registry import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "EvalRequest",
+    "EvalResult",
     "Experiment",
+    "JobStatus",
     "RuntimeConfig",
     "config_scope",
+    "evaluate",
+    "evaluate_requests",
     "experiment_for_artifact",
     "experiment_ids",
+    "experiment_request",
     "get_config",
     "get_experiment",
     "list_experiments",
+    "point_request",
     "register_experiment",
     "set_config",
 ]

@@ -50,6 +50,7 @@ _PATH_ENV_VARS = {
     "REPRO_EVALCORE_CACHE_DIR": "evalcore_cache_dir",
     "REPRO_CAMPAIGN_CACHE_DIR": "campaign_cache_dir",
     "REPRO_CACHE_ROOT": "cache_root",
+    "REPRO_SERVE_SOCKET": "serve_socket",
 }
 
 #: Executor names :class:`RuntimeConfig` accepts.  The sweep runner's
@@ -119,6 +120,12 @@ class RuntimeConfig:
         injection of worker crashes, point errors/stalls, cache
         corruption, and slow I/O for chaos testing.  ``None`` (the
         default) injects nothing.
+    serve_socket / serve_workers
+        The evaluation service (:mod:`repro.serve`): the Unix-domain
+        socket path the server binds / clients connect to
+        (``REPRO_SERVE_SOCKET``; default ``<cache_root>/serve.sock``)
+        and the server's evaluation worker-pool size
+        (``REPRO_SERVE_WORKERS``; default 2).
     """
 
     evalcore_memo: bool = True
@@ -133,6 +140,8 @@ class RuntimeConfig:
     retries: int = 0
     point_timeout_s: float | None = None
     faults: str | None = None
+    serve_socket: str | None = None
+    serve_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _KNOWN_EXECUTORS:
@@ -146,6 +155,10 @@ class RuntimeConfig:
             raise ValueError(
                 f"point_timeout_s must be positive "
                 f"(got {self.point_timeout_s})"
+            )
+        if self.serve_workers is not None and self.serve_workers < 1:
+            raise ValueError(
+                f"serve_workers must be >= 1 (got {self.serve_workers})"
             )
 
     # ------------------------------------------------------------------
@@ -211,6 +224,15 @@ class RuntimeConfig:
         raw_faults = env.get("REPRO_FAULTS")
         if raw_faults:
             values["faults"] = raw_faults
+        raw_serve_workers = env.get("REPRO_SERVE_WORKERS")
+        if raw_serve_workers is not None:
+            try:
+                values["serve_workers"] = int(raw_serve_workers)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SERVE_WORKERS must be an integer "
+                    f"(got {raw_serve_workers!r})"
+                ) from None
         for var, field_name in _PATH_ENV_VARS.items():
             raw = env.get(var)
             if raw:

@@ -1,0 +1,497 @@
+"""The typed request/result envelope: one schema at every API boundary.
+
+Before this module, each boundary shipped its own ad-hoc dict: the
+sweep runner returned ``PointResult.values`` mappings, ``Experiment.run``
+returned whatever the harness function produced, and there was no wire
+form at all.  :class:`EvalRequest` and :class:`EvalResult` are the one
+envelope shared by the evaluation service (:mod:`repro.serve`), the
+sweep evaluators' records, and registry experiment runs:
+
+* an :class:`EvalRequest` names **what** to evaluate — a registered
+  experiment (``kind="experiment"``, ``target`` a registry id) or one
+  raw sweep/design point (``kind="point"``, ``target`` a registered
+  evaluator) — plus its parameters and seed.  Its canonical JSON is its
+  identity: :meth:`EvalRequest.digest` is the content hash the service
+  deduplicates and caches on.
+* an :class:`EvalResult` carries the JSON-able values (or the error),
+  the request digest it answers, and whether it was served from cache.
+* a :class:`JobStatus` is one progress event for an in-flight request.
+
+All three carry a versioned ``schema`` field and round-trip through
+the canonical-JSON wire codec (:meth:`to_wire` / :meth:`from_wire`),
+so records written today stay decodable — and rejectable with a clear
+error — by future readers.
+
+:func:`evaluate` is the one in-process entry point over the envelope:
+``evaluate(request, config)`` returns the same :class:`EvalResult` the
+service would stream back, bit-identical values included — point
+requests run through the sweep runner (same cache keys, same executor
+seam), experiment requests through the registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.api.config import RuntimeConfig, get_config
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EvalRequest",
+    "EvalResult",
+    "JobStatus",
+    "evaluate",
+    "evaluate_requests",
+    "experiment_request",
+    "point_request",
+]
+
+#: Version of the wire schema these dataclasses encode.  Bump on any
+#: incompatible field change; decoders reject records from a *newer*
+#: schema instead of misreading them.
+SCHEMA_VERSION = 1
+
+#: Request kinds the envelope (and the service) understand.
+REQUEST_KINDS = ("experiment", "point")
+
+#: Terminal and non-terminal job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def _canonical_json(value: Any) -> str:
+    from repro.sweep.spec import canonical_json
+
+    return canonical_json(value)
+
+
+def _check_schema(obj: Mapping[str, Any], what: str) -> int:
+    schema = obj.get("schema", SCHEMA_VERSION)
+    if not isinstance(schema, int) or schema < 1:
+        raise ValueError(f"{what} schema must be a positive int, got {schema!r}")
+    if schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"{what} uses wire schema {schema}, newer than this library's "
+            f"{SCHEMA_VERSION}; upgrade the reader instead of guessing"
+        )
+    return schema
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One evaluation request: an experiment run or a raw sweep point.
+
+    ``kind="experiment"``: ``target`` is a registry id (see
+    ``repro.api.list_experiments``), ``params`` are keyword overrides
+    forwarded to the experiment runner, and ``seed`` (optional)
+    overrides the experiment's canonical seed via the config layer.
+
+    ``kind="point"``: ``target`` is a registered sweep evaluator name,
+    ``params`` the point's full parameter assignment, and ``seed`` the
+    sweep-point seed (default 0) — exactly the identity a
+    ``SweepSpec.explicit`` point with ``seed_mode="fixed"`` would get,
+    so served results share cache entries with direct ``run_sweep``
+    calls point-for-point.
+    """
+
+    kind: str
+    target: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"request kind must be one of {REQUEST_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not self.target:
+            raise ValueError("request target must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+        _canonical_json(self.params)  # validate early, clear message
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValueError(f"request seed must be an int, got {self.seed!r}")
+
+    # -- identity ------------------------------------------------------
+    def canonical(self) -> str:
+        """The canonical JSON this request is content-addressed by."""
+        return _canonical_json(self.to_wire())
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`canonical` — the dedup/cache identity."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    @property
+    def point_seed(self) -> int:
+        """The effective sweep-point seed for ``kind="point"``."""
+        return 0 if self.seed is None else self.seed
+
+    # -- wire codec ----------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {
+            "schema": self.schema,
+            "kind": self.kind,
+            "target": self.target,
+            "params": dict(self.params),
+        }
+        if self.seed is not None:
+            wire["seed"] = self.seed
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "EvalRequest":
+        schema = _check_schema(obj, "EvalRequest")
+        return cls(
+            kind=obj.get("kind", ""),
+            target=obj.get("target", ""),
+            params=obj.get("params", {}),
+            seed=obj.get("seed"),
+            schema=schema,
+        )
+
+
+def experiment_request(
+    experiment_id: str, seed: int | None = None, **overrides: Any
+) -> EvalRequest:
+    """Convenience constructor for an experiment-kind request."""
+    return EvalRequest(
+        kind="experiment", target=experiment_id, params=overrides, seed=seed
+    )
+
+
+def point_request(
+    evaluator: str, params: Mapping[str, Any], seed: int | None = None
+) -> EvalRequest:
+    """Convenience constructor for a sweep/design-point request."""
+    return EvalRequest(kind="point", target=evaluator, params=params, seed=seed)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One evaluation outcome: values on success, an error otherwise.
+
+    ``request_digest`` ties the result to the :class:`EvalRequest` it
+    answers; ``cached`` records whether any tier (result cache, dedup
+    onto an in-flight computation) served it without re-evaluating;
+    ``wall_time_s`` is the evaluation wall time (0.0 for cache hits).
+    ``values`` are JSON-able and deterministic — timing lives in this
+    envelope, never in the payload — so two results for one request
+    compare bit-identically via :meth:`canonical`.
+    """
+
+    request_digest: str
+    status: str
+    values: Mapping[str, Any] | None = None
+    error: str | None = None
+    cached: bool = False
+    wall_time_s: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "error"):
+            raise ValueError(
+                f"result status must be 'ok' or 'error', got {self.status!r}"
+            )
+        if self.status == "ok" and self.values is None:
+            raise ValueError("an ok result must carry values")
+        if self.status == "error" and not self.error:
+            raise ValueError("an error result must carry an error message")
+        if self.values is not None:
+            object.__setattr__(self, "values", dict(self.values))
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def canonical(self) -> str:
+        """Canonical JSON of the deterministic payload (digest, status,
+        values/error — **not** timing or cache provenance), so served
+        and directly-computed results compare bit-for-bit."""
+        return _canonical_json(
+            {
+                "request_digest": self.request_digest,
+                "status": self.status,
+                "values": dict(self.values) if self.values is not None else None,
+                "error": self.error,
+            }
+        )
+
+    # -- wire codec ----------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {
+            "schema": self.schema,
+            "request_digest": self.request_digest,
+            "status": self.status,
+            "cached": self.cached,
+            "wall_time_s": self.wall_time_s,
+        }
+        if self.values is not None:
+            wire["values"] = dict(self.values)
+        if self.error is not None:
+            wire["error"] = self.error
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "EvalResult":
+        schema = _check_schema(obj, "EvalResult")
+        return cls(
+            request_digest=obj.get("request_digest", ""),
+            status=obj.get("status", ""),
+            values=obj.get("values"),
+            error=obj.get("error"),
+            cached=bool(obj.get("cached", False)),
+            wall_time_s=float(obj.get("wall_time_s", 0.0)),
+            schema=schema,
+        )
+
+    def with_provenance(
+        self, cached: bool | None = None, wall_time_s: float | None = None
+    ) -> "EvalResult":
+        """A copy with the non-payload provenance fields replaced."""
+        changes: dict[str, Any] = {}
+        if cached is not None:
+            changes["cached"] = cached
+        if wall_time_s is not None:
+            changes["wall_time_s"] = wall_time_s
+        return replace(self, **changes) if changes else self
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One progress event for an in-flight service job."""
+
+    job_id: str
+    state: str
+    request_digest: str = ""
+    queue_depth: int | None = None
+    detail: str | None = None
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(
+                f"job state must be one of {JOB_STATES}, got {self.state!r}"
+            )
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {
+            "schema": self.schema,
+            "job_id": self.job_id,
+            "state": self.state,
+            "request_digest": self.request_digest,
+        }
+        if self.queue_depth is not None:
+            wire["queue_depth"] = self.queue_depth
+        if self.detail is not None:
+            wire["detail"] = self.detail
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "JobStatus":
+        schema = _check_schema(obj, "JobStatus")
+        return cls(
+            job_id=obj.get("job_id", ""),
+            state=obj.get("state", ""),
+            request_digest=obj.get("request_digest", ""),
+            queue_depth=obj.get("queue_depth"),
+            detail=obj.get("detail"),
+            schema=schema,
+        )
+
+
+# ----------------------------------------------------------------------
+# evaluation over the envelope (shared by repro.serve workers and
+# in-process callers)
+# ----------------------------------------------------------------------
+def _experiment_key_material(request: EvalRequest) -> dict[str, Any]:
+    """Cache key material for an experiment request.
+
+    Mirrors the sweep point's ``key_material`` shape (evaluator /
+    version / params / seed) with the experiment id in the evaluator
+    slot, namespaced so the two families can never collide; the package
+    version invalidates cached experiment payloads on release bumps.
+    """
+    import repro
+
+    return {
+        "evaluator": f"experiment:{request.target}",
+        "version": f"repro={repro.__version__}",
+        "params": dict(request.params),
+        "seed": request.seed,
+    }
+
+
+def _run_experiment(
+    request: EvalRequest, config: RuntimeConfig, cache
+) -> EvalResult:
+    """One experiment request: cache lookup, registry run, cache fill."""
+    import time
+
+    from repro.api.registry import get_experiment
+    from repro.report.export import _jsonable
+
+    material = _experiment_key_material(request)
+    if cache is not None:
+        record = cache.get(material)
+        if record is not None:
+            return EvalResult(
+                request_digest=request.digest(),
+                status="ok",
+                values=record["values"],
+                cached=True,
+            )
+    run_config = (
+        config.with_(seed=request.seed) if request.seed is not None else config
+    )
+    start = time.perf_counter()
+    result = get_experiment(request.target).run(run_config, **request.params)
+    wall = time.perf_counter() - start
+    values = _jsonable(result)
+    if not isinstance(values, Mapping):
+        values = {"result": values}
+    if cache is not None:
+        cache.put(material, values)
+    return EvalResult(
+        request_digest=request.digest(),
+        status="ok",
+        values=values,
+        cached=False,
+        wall_time_s=wall,
+    )
+
+
+def _run_point_group(
+    requests: Sequence[EvalRequest], config: RuntimeConfig, cache
+) -> tuple[list[EvalResult], dict[str, int]]:
+    """One group of point requests sharing (evaluator, seed): a single
+    explicit sweep through the configured executor seam.
+
+    Returns results in request order plus the run's reliability
+    counters.  The spec's identity fields match what a direct
+    ``run_sweep`` over the same points uses, so values — and cache
+    entries — are bit-identical between the two paths.
+    """
+    from repro.sweep.runner import SweepRunner
+    from repro.sweep.spec import SweepSpec
+
+    evaluator = requests[0].target
+    seed = requests[0].point_seed
+    executor = config.executor if config.executor != "distributed" else "batched"
+    spec = SweepSpec.explicit(
+        name=f"serve-{evaluator}",
+        evaluator=evaluator,
+        points=[dict(r.params) for r in requests],
+        base_seed=seed,
+        seed_mode="fixed",
+    )
+    runner = SweepRunner(
+        cache=cache, executor=executor, workers=1, config=config
+    )
+    sweep = runner.run(spec)
+    results = [
+        EvalResult(
+            request_digest=request.digest(),
+            status="ok",
+            values=point.values,
+            cached=point.cached,
+            wall_time_s=point.wall_time_s,
+        )
+        for request, point in zip(requests, sweep.points)
+    ]
+    return results, dict(sweep.reliability)
+
+
+def _merge_counters(into: dict[str, int], new: Mapping[str, int]) -> None:
+    for key, value in new.items():
+        into[key] = into.get(key, 0) + int(value)
+
+
+def evaluate_requests(
+    requests: Sequence[EvalRequest],
+    config: RuntimeConfig | None = None,
+    cache=None,
+) -> tuple[list[EvalResult], dict[str, Any]]:
+    """Evaluate a batch of requests; returns (results, accounting).
+
+    Point requests are grouped by (evaluator, seed) and each group runs
+    as one explicit sweep through the configured executor — under the
+    default ``"batched"`` executor, points sharing a workload collapse
+    into one multi-candidate evaluation pass.  Experiment requests run
+    through the registry, individually.  A failing request yields an
+    ``error`` result; it never aborts its batch (surviving group
+    members fall back to singleton evaluation).
+
+    ``cache`` defaults to ``config.sweep_cache()`` — the content-
+    addressed result tier both request kinds are answered from and
+    written back to.  The accounting dict carries the per-call cache-
+    stats delta (``"sweep_cache"``) and merged reliability counters
+    (``"reliability"``), which is how the service aggregates hit rates
+    across pool workers instead of under-reporting them.
+    """
+    config = config if config is not None else get_config()
+    if cache is None:
+        cache = config.sweep_cache()
+    stats_before = cache.stats.snapshot() if cache is not None else None
+    reliability: dict[str, int] = {}
+    results: dict[int, EvalResult] = {}
+
+    groups: dict[tuple[str, int], list[int]] = {}
+    for index, request in enumerate(requests):
+        if request.kind == "experiment":
+            try:
+                results[index] = _run_experiment(request, config, cache)
+            except Exception as error:
+                results[index] = EvalResult(
+                    request_digest=request.digest(),
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                )
+        else:
+            key = (request.target, request.point_seed)
+            groups.setdefault(key, []).append(index)
+
+    for indices in groups.values():
+        group = [requests[i] for i in indices]
+        try:
+            group_results, counters = _run_point_group(group, config, cache)
+        except Exception:
+            # The group failed as a whole (or raised its first point
+            # failure at the end); re-run each member as a singleton so
+            # completable points still complete — already-committed
+            # ones come straight back from the cache.
+            group_results = []
+            for request in group:
+                try:
+                    singles, counters = _run_point_group(
+                        [request], config, cache
+                    )
+                    group_results.append(singles[0])
+                    _merge_counters(reliability, counters)
+                except Exception as error:
+                    group_results.append(
+                        EvalResult(
+                            request_digest=request.digest(),
+                            status="error",
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    )
+        else:
+            _merge_counters(reliability, counters)
+        for index, result in zip(indices, group_results):
+            results[index] = result
+
+    accounting: dict[str, Any] = {"reliability": reliability}
+    if cache is not None:
+        accounting["sweep_cache"] = cache.stats.diff(stats_before).as_dict()
+    return [results[i] for i in range(len(requests))], accounting
+
+
+def evaluate(
+    request: EvalRequest, config: RuntimeConfig | None = None, cache=None
+) -> EvalResult:
+    """Evaluate one request in-process; the typed little sibling of
+    submitting it to a :class:`repro.serve.Server`."""
+    results, _ = evaluate_requests([request], config=config, cache=cache)
+    return results[0]

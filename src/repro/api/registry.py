@@ -182,8 +182,11 @@ def _seed_kwargs(config: RuntimeConfig) -> dict[str, Any]:
 # the catalogue
 # ----------------------------------------------------------------------
 def _load_fig01():
-    from repro.harness.arch_experiments import format_fig01, run_fig01_potential
+    from repro.harness import arch_experiments as _arch
     from repro.harness.export_all import _export_fig01
+
+    run_fig01_potential = _arch.entry_point("run_fig01_potential")
+    format_fig01 = _arch.entry_point("format_fig01")
 
     def run(config, **kw):
         return run_fig01_potential(**{**_seed_kwargs(config), **kw})
@@ -193,11 +196,11 @@ def _load_fig01():
 
 def _load_histogram(experiment_id: str, mapping: str, balanced: bool,
                     figure: str):
-    from repro.harness.arch_experiments import (
-        format_histogram,
-        run_imbalance_histogram,
-    )
+    from repro.harness import arch_experiments as _arch
     from repro.harness.export_all import _export_histogram
+
+    run_imbalance_histogram = _arch.entry_point("run_imbalance_histogram")
+    format_histogram = _arch.entry_point("format_histogram")
 
     def run(config, **kw):
         params = {"network": "vgg-s", "mapping": mapping,
@@ -222,11 +225,11 @@ def _load_fig13():
 
 
 def _load_fig17():
-    from repro.harness.arch_experiments import (
-        format_fig17,
-        run_fig17_energy_breakdown,
-    )
+    from repro.harness import arch_experiments as _arch
     from repro.harness.export_all import _export_fig17
+
+    run_fig17_energy_breakdown = _arch.entry_point("run_fig17_energy_breakdown")
+    format_fig17 = _arch.entry_point("format_fig17")
 
     def run(config, **kw):
         return run_fig17_energy_breakdown(
@@ -237,12 +240,12 @@ def _load_fig17():
 
 
 def _load_fig18_19():
-    from repro.harness.arch_experiments import (
-        format_fig18,
-        format_fig19,
-        run_fig18_fig19_dataflows,
-    )
+    from repro.harness import arch_experiments as _arch
     from repro.harness.export_all import _export_fig18_19
+
+    run_fig18_fig19_dataflows = _arch.entry_point("run_fig18_fig19_dataflows")
+    format_fig18 = _arch.entry_point("format_fig18")
+    format_fig19 = _arch.entry_point("format_fig19")
 
     def run(config, **kw):
         return run_fig18_fig19_dataflows(
@@ -256,11 +259,11 @@ def _load_fig18_19():
 
 
 def _load_fig20():
-    from repro.harness.arch_experiments import (
-        format_fig20,
-        run_fig20_scalability,
-    )
+    from repro.harness import arch_experiments as _arch
     from repro.harness.export_all import _export_fig20
+
+    run_fig20_scalability = _arch.entry_point("run_fig20_scalability")
+    format_fig20 = _arch.entry_point("format_fig20")
 
     def run(config, **kw):
         return run_fig20_scalability(
@@ -302,7 +305,10 @@ def _load_table3():
 
 
 def _load_fig06():
-    from repro.harness.training_experiments import format_curves, run_fig06_decay
+    from repro.harness import training_experiments as _training
+
+    run_fig06_decay = _training.entry_point("run_fig06_decay")
+    format_curves = _training.entry_point("format_curves")
 
     def run(config, **kw):
         return run_fig06_decay(**{"epochs": 8, **_seed_kwargs(config), **kw})
@@ -314,10 +320,10 @@ def _load_fig06():
 
 
 def _load_fig07():
-    from repro.harness.training_experiments import (
-        format_curves,
-        run_fig07_quantile,
-    )
+    from repro.harness import training_experiments as _training
+
+    run_fig07_quantile = _training.entry_point("run_fig07_quantile")
+    format_curves = _training.entry_point("format_curves")
 
     def run(config, **kw):
         return run_fig07_quantile(**{"epochs": 8, **_seed_kwargs(config), **kw})
@@ -329,10 +335,10 @@ def _load_fig07():
 
 
 def _load_fig15():
-    from repro.harness.training_experiments import (
-        format_curves,
-        run_fig15_cifar_curves,
-    )
+    from repro.harness import training_experiments as _training
+
+    run_fig15_cifar_curves = _training.entry_point("run_fig15_cifar_curves")
+    format_curves = _training.entry_point("format_curves")
 
     def run(config, **kw):
         return run_fig15_cifar_curves(
@@ -349,10 +355,10 @@ def _load_fig15():
 
 
 def _load_fig16():
-    from repro.harness.training_experiments import (
-        format_curves,
-        run_fig16_sparsity_sweep,
-    )
+    from repro.harness import training_experiments as _training
+
+    run_fig16_sparsity_sweep = _training.entry_point("run_fig16_sparsity_sweep")
+    format_curves = _training.entry_point("format_curves")
 
     def run(config, **kw):
         return run_fig16_sparsity_sweep(
@@ -366,11 +372,11 @@ def _load_fig16():
 
 
 def _load_format_costs():
-    from repro.harness.beyond_experiments import (
-        format_format_costs,
-        run_format_costs,
-    )
+    from repro.harness import beyond_experiments as _beyond
     from repro.harness.export_all import _export_format_costs
+
+    run_format_costs = _beyond.entry_point("run_format_costs")
+    format_format_costs = _beyond.entry_point("format_format_costs")
 
     def run(config, **kw):
         return run_format_costs(**{**_seed_kwargs(config), **kw})
@@ -379,11 +385,11 @@ def _load_format_costs():
 
 
 def _load_schedule_survey():
-    from repro.harness.beyond_experiments import (
-        format_schedule_survey,
-        run_schedule_survey,
-    )
+    from repro.harness import beyond_experiments as _beyond
     from repro.harness.export_all import _export_schedule_survey
+
+    run_schedule_survey = _beyond.entry_point("run_schedule_survey")
+    format_schedule_survey = _beyond.entry_point("format_schedule_survey")
 
     def run(config, **kw):
         return run_schedule_survey(**kw)
@@ -392,11 +398,11 @@ def _load_schedule_survey():
 
 
 def _load_fabric_pricing():
-    from repro.harness.beyond_experiments import (
-        format_fabric_pricing,
-        run_fabric_pricing,
-    )
+    from repro.harness import beyond_experiments as _beyond
     from repro.harness.export_all import _export_fabric_pricing
+
+    run_fabric_pricing = _beyond.entry_point("run_fabric_pricing")
+    format_fabric_pricing = _beyond.entry_point("format_fabric_pricing")
 
     def run(config, **kw):
         return run_fabric_pricing(**{**_sweep_kwargs(config), **kw})
@@ -405,10 +411,10 @@ def _load_fabric_pricing():
 
 
 def _load_eager_comparison():
-    from repro.harness.beyond_experiments import (
-        format_eager_comparison,
-        run_eager_comparison,
-    )
+    from repro.harness import beyond_experiments as _beyond
+
+    run_eager_comparison = _beyond.entry_point("run_eager_comparison")
+    format_eager_comparison = _beyond.entry_point("format_eager_comparison")
 
     def run(config, **kw):
         return run_eager_comparison(**{**_seed_kwargs(config), **kw})

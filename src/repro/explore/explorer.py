@@ -197,7 +197,7 @@ class Explorer:
             raise ValueError(f"budget must be >= 1 (got {budget})")
         start = time.perf_counter()
         cache = self.runner.cache
-        stats_before = cache.stats.as_dict() if cache is not None else {}
+        stats_before = cache.stats.snapshot() if cache is not None else None
         rng = random.Random(seed)
         frontier = ParetoFrontier(self.objectives)
         evaluated: dict[str, Mapping[str, Any]] = {}
@@ -244,10 +244,7 @@ class Explorer:
         # This run's cache traffic, not the cache's lifetime counters
         # (the same Explorer may serve several runs).
         cache_stats = (
-            {
-                key: value - stats_before[key]
-                for key, value in cache.stats.as_dict().items()
-            }
+            cache.stats.diff(stats_before).as_dict()
             if cache is not None
             else {}
         )

@@ -1,25 +1,17 @@
 """Experiment drivers: one per table and figure of the paper.
 
-The :mod:`repro.api` experiment registry is the catalogue over these
-drivers — ``repro.api.get_experiment("fig18-19").run(config)``
-dispatches to the same ``run_*`` functions re-exported here, so both
-entry points stay bit-identical.  The direct imports below are kept as
-a stable (legacy) surface; new code should prefer the registry.
+The :mod:`repro.api` experiment registry is the supported catalogue
+over these drivers — ``repro.api.get_experiment("fig18-19").run(config)``
+dispatches to the same entry functions, bit-identically.  The
+historical direct imports (``from repro.harness import
+run_fig01_potential``) still resolve, but lazily and with a
+:class:`DeprecationWarning` — new code should go through the registry.
+The building blocks (:mod:`repro.harness.common`, the tables module,
+``train_mini``) remain plain, warning-free exports.
 """
 
-from repro.harness.arch_experiments import (
-    format_fig01,
-    format_fig17,
-    format_fig18,
-    format_fig19,
-    format_fig20,
-    format_histogram,
-    run_fig01_potential,
-    run_fig17_energy_breakdown,
-    run_fig18_fig19_dataflows,
-    run_fig20_scalability,
-    run_imbalance_histogram,
-)
+import importlib
+
 from repro.harness.common import (
     dense_profile_for,
     histogram_fractions,
@@ -33,27 +25,45 @@ from repro.harness.tables import (
     run_table2,
     run_table3,
 )
-from repro.harness.training_experiments import (
-    format_curves,
-    run_fig06_decay,
-    run_fig07_quantile,
-    run_fig15_cifar_curves,
-    run_fig16_sparsity_sweep,
-    train_mini,
-)
+from repro.harness.training_experiments import train_mini
+
+#: Legacy re-exports, resolved lazily through each owning module's
+#: deprecation shim (importing one from here warns exactly once, at
+#: access time, with the registry alternative in the message).
+_LAZY = {
+    "format_fig01": "repro.harness.arch_experiments",
+    "format_fig17": "repro.harness.arch_experiments",
+    "format_fig18": "repro.harness.arch_experiments",
+    "format_fig19": "repro.harness.arch_experiments",
+    "format_fig20": "repro.harness.arch_experiments",
+    "format_histogram": "repro.harness.arch_experiments",
+    "run_fig01_potential": "repro.harness.arch_experiments",
+    "run_fig17_energy_breakdown": "repro.harness.arch_experiments",
+    "run_fig18_fig19_dataflows": "repro.harness.arch_experiments",
+    "run_fig20_scalability": "repro.harness.arch_experiments",
+    "run_imbalance_histogram": "repro.harness.arch_experiments",
+    "format_curves": "repro.harness.training_experiments",
+    "run_fig06_decay": "repro.harness.training_experiments",
+    "run_fig07_quantile": "repro.harness.training_experiments",
+    "run_fig15_cifar_curves": "repro.harness.training_experiments",
+    "run_fig16_sparsity_sweep": "repro.harness.training_experiments",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module 'repro.harness' has no attribute {name!r}"
+        )
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
-    "format_fig01",
-    "format_fig17",
-    "format_fig18",
-    "format_fig19",
-    "format_fig20",
-    "format_histogram",
-    "run_fig01_potential",
-    "run_fig17_energy_breakdown",
-    "run_fig18_fig19_dataflows",
-    "run_fig20_scalability",
-    "run_imbalance_histogram",
     "dense_profile_for",
     "histogram_fractions",
     "model_entry",
@@ -63,10 +73,5 @@ __all__ = [
     "format_table3",
     "run_table2",
     "run_table3",
-    "format_curves",
-    "run_fig06_decay",
-    "run_fig07_quantile",
-    "run_fig15_cifar_curves",
-    "run_fig16_sparsity_sweep",
     "train_mini",
-]
+] + sorted(_LAZY)

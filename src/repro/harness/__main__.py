@@ -16,6 +16,10 @@ The CLI is generated from the :mod:`repro.api` experiment registry::
                                               # time simulate() per stage
     python -m repro.harness campaign [--smoke] [--model M] [--epochs E]
                                               # train -> trajectory -> replay
+    python -m repro.harness serve [--socket PATH] [--serve-workers N]
+                                              # evaluation service (repro.serve)
+    python -m repro.harness submit <target> [--params JSON] [--stats]
+                                              # submit to a running server
 
 Every subcommand that touches an on-disk cache accepts one
 ``--cache-dir DIR`` flag, which becomes the
@@ -199,6 +203,96 @@ def run_campaign_subcommand(*args: str) -> None:
     run_campaign_cli(list(args))
 
 
+def run_serve_cli(
+    config: RuntimeConfig,
+    socket_path: str | None = None,
+    serve_workers: int | None = None,
+) -> None:
+    """Run the evaluation service until SIGINT/SIGTERM or a client
+    sends ``shutdown``.  Prints one ready line, then blocks."""
+    import signal
+
+    from repro.serve import Server
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    server = Server(config, socket_path=socket_path, workers=serve_workers)
+    server.start()
+    print(
+        f"serving on {server.socket_path} ({server.workers} workers) — "
+        f"submit with: python -m repro.harness submit <experiment-id> "
+        f"--socket {server.socket_path}",
+        flush=True,
+    )
+    try:
+        server.join()
+        print("server stopped (client shutdown)")
+    except KeyboardInterrupt:
+        print("\nshutting down (draining in-flight jobs)...", flush=True)
+        server.stop(drain=True)
+
+
+def run_submit_cli(args: argparse.Namespace) -> int:
+    """Submit one request (or ``--stats``/``--shutdown``) to a running
+    server; prints pure JSON on stdout so output is pipeable."""
+    import json
+    from pathlib import Path
+
+    from repro.api.envelope import EvalRequest
+    from repro.serve import Client, ServeError
+
+    overrides = {"cache_root": args.cache_dir} if args.cache_dir else {}
+    config = RuntimeConfig.from_env(**overrides)
+    socket_path = args.socket or config.serve_socket or (
+        str(Path(config.cache_root) / "serve.sock")
+        if config.cache_root
+        else None
+    )
+    if not socket_path:
+        print(
+            "submit: no socket to connect to (use --socket, "
+            "REPRO_SERVE_SOCKET, or --cache-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with Client(
+            socket_path, timeout=args.timeout, connect_timeout=5.0
+        ) as client:
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                return 0
+            if not args.target:
+                print(
+                    "submit: a target is required unless --stats or "
+                    "--shutdown is given",
+                    file=sys.stderr,
+                )
+                return 2
+            params = json.loads(args.params) if args.params else {}
+            if not isinstance(params, dict):
+                print(
+                    "submit: --params must be a JSON object",
+                    file=sys.stderr,
+                )
+                return 2
+            request = EvalRequest(
+                kind=args.kind, target=args.target,
+                params=params, seed=args.seed,
+            )
+            result = client.submit(request)
+            print(json.dumps(result.to_wire(), indent=2, sort_keys=True))
+            return 0 if result.ok else 1
+    except (ServeError, ValueError, TimeoutError, OSError) as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+
+
 def run_export(root: str = "results") -> None:
     _banner(f"Exporting analytical experiments to {root}/")
     from repro.harness.export_all import export_all
@@ -360,6 +454,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("mappings", nargs="?", default="KN,CN,CK,PQ")
     p_profile.add_argument("--cache-dir", default=None, metavar="DIR")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service (repro.serve) on a Unix socket",
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="Unix socket to listen on (default: REPRO_SERVE_SOCKET, "
+             "else <cache-root>/serve.sock)",
+    )
+    p_serve.add_argument(
+        "--serve-workers", type=int, default=None, metavar="N",
+        help="evaluation worker processes (default: REPRO_SERVE_WORKERS, "
+             "else 2)",
+    )
+    _add_config_flags(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one request to a running server; prints result JSON",
+    )
+    p_submit.add_argument(
+        "target", nargs="?", default=None,
+        help="experiment id (see `list`), or evaluator name with "
+             "--kind point",
+    )
+    p_submit.add_argument(
+        "--kind", choices=("experiment", "point"), default="experiment",
+        help="request kind (default: experiment)",
+    )
+    p_submit.add_argument(
+        "--params", metavar="JSON", default=None,
+        help="request parameters as a JSON object",
+    )
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="server socket (default: REPRO_SERVE_SOCKET, else "
+             "<cache-root>/serve.sock)",
+    )
+    p_submit.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache root, used only to resolve the default socket path",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="how long to wait for the result (default: 600)",
+    )
+    p_submit.add_argument(
+        "--stats", action="store_true",
+        help="print the server's /stats payload instead of submitting",
+    )
+    p_submit.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to stop (drains in-flight jobs first)",
+    )
+
     # campaign keeps its dedicated parser (parse_campaign_args); main()
     # forwards its raw arguments, so it is registered here only for the
     # top-level help listing.
@@ -397,6 +547,22 @@ def main(argv: list[str] | None = None) -> int:
         return code if isinstance(code, int) else 0 if code is None else 2
     if args.command is None:
         args = parser.parse_args(["all"])
+
+    # The service commands own their output shape: serve blocks until
+    # shutdown, submit prints pure (pipeable) JSON — no timing banner.
+    if args.command == "serve":
+        try:
+            run_serve_cli(
+                _config_from_args(args),
+                socket_path=args.socket,
+                serve_workers=args.serve_workers,
+            )
+        except (ValueError, RuntimeError) as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "submit":
+        return run_submit_cli(args)
 
     start = time.time()
     try:

@@ -1,0 +1,68 @@
+"""Deprecation shims for the legacy entry-function import surface.
+
+The registry (:mod:`repro.api.registry`) is the supported way to run
+experiments; the historical ``from repro.harness.arch_experiments
+import run_fig01_potential`` style still works, but through a PEP 562
+module ``__getattr__`` that emits a :class:`DeprecationWarning`.
+Library code (the registry loaders, ``export_all``) goes through each
+module's warning-free ``entry_point(name)`` accessor instead — a grep
+test pins that no library module imports the legacy names directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Iterable
+
+__all__ = ["install_shims"]
+
+
+def install_shims(
+    module_globals: dict[str, Any], entry_points: Iterable[str]
+) -> tuple[dict[str, Any], Callable, Callable, Callable]:
+    """Move ``entry_points`` behind a deprecating module ``__getattr__``.
+
+    Pops each named function out of the module's namespace and returns
+    ``(deprecated_map, entry_point, __getattr__, __dir__)`` for the
+    module to bind::
+
+        _DEPRECATED, entry_point, __getattr__, __dir__ = install_shims(
+            globals(), _ENTRY_POINTS
+        )
+
+    ``entry_point(name)`` hands back the function without a warning
+    (the registry's path); any direct attribute access — including
+    ``from module import name`` — warns and forwards.
+    """
+    module = module_globals["__name__"]
+    deprecated = {name: module_globals.pop(name) for name in entry_points}
+
+    def entry_point(name: str):
+        """The named entry function, without a deprecation warning."""
+        try:
+            return deprecated[name]
+        except KeyError:
+            raise KeyError(
+                f"{module} has no entry point {name!r}; known entry "
+                f"points: {sorted(deprecated)}"
+            ) from None
+
+    def module_getattr(name: str):
+        fn = deprecated.get(name)
+        if fn is None:
+            raise AttributeError(
+                f"module {module!r} has no attribute {name!r}"
+            )
+        warnings.warn(
+            f"importing {name} from {module} is deprecated; run it "
+            f"through the experiment registry instead "
+            f"(repro.api.get_experiment / repro.api.evaluate)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return fn
+
+    def module_dir():
+        return sorted(set(module_globals) | set(deprecated))
+
+    return deprecated, entry_point, module_getattr, module_dir

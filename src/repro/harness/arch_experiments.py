@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.dataflow.latency import network_latency
 from repro.dataflow.simulator import simulate
+from repro.harness._deprecation import install_shims as _install_shims
 from repro.harness.common import (
     dense_profile_for,
     histogram_fractions,
@@ -507,3 +508,27 @@ def format_fig20(result: Fig20Result) -> str:
         f"Figure 20 — scaling 256 -> 1024 PEs (KN)\n{table}\n"
         f"{scaling} (paper: ~3.9x cycles on 4x cores, energy ~unchanged)"
     )
+
+
+# ----------------------------------------------------------------------
+# legacy surface: the entry functions above moved behind the
+# repro.api registry; direct imports still work but warn.  Library
+# code uses ``entry_point(name)`` (warning-free); the result
+# dataclasses stay plain module attributes.
+# ----------------------------------------------------------------------
+_ENTRY_POINTS = (
+    "run_fig01_potential",
+    "format_fig01",
+    "run_imbalance_histogram",
+    "format_histogram",
+    "run_fig17_energy_breakdown",
+    "format_fig17",
+    "run_fig18_fig19_dataflows",
+    "format_fig18",
+    "format_fig19",
+    "run_fig20_scalability",
+    "format_fig20",
+)
+_DEPRECATED, entry_point, __getattr__, __dir__ = _install_shims(
+    globals(), _ENTRY_POINTS
+)

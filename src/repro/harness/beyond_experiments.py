@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.schedules import PAPER_SCHEDULES
 from repro.dataflow.eager_accel import EagerPruningAccelerator, sorting_cycles
+from repro.harness._deprecation import install_shims as _install_shims
 from repro.harness.common import render_table
 from repro.hw.config import PROCRUSTES_16x16
 from repro.hw.cyclesim import CycleLevelSimulator, IDEAL_FABRIC
@@ -206,3 +207,21 @@ def format_eager_comparison(rows, sorting_mcycles) -> str:
         + f"\nunaccounted sort per prune round (VGG-S): "
         f"{sorting_mcycles:.1f} Mcycles"
     )
+
+
+# ----------------------------------------------------------------------
+# legacy surface: registry-era deprecation shims.
+# ----------------------------------------------------------------------
+_ENTRY_POINTS = (
+    "run_format_costs",
+    "format_format_costs",
+    "run_schedule_survey",
+    "format_schedule_survey",
+    "run_fabric_pricing",
+    "format_fabric_pricing",
+    "run_eager_comparison",
+    "format_eager_comparison",
+)
+_DEPRECATED, entry_point, __getattr__, __dir__ = _install_shims(
+    globals(), _ENTRY_POINTS
+)

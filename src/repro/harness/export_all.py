@@ -50,9 +50,9 @@ def _save_rows(
 
 def _export_fig01(results: ResultsDirectory, fig01=None) -> None:
     if fig01 is None:
-        from repro.harness.arch_experiments import run_fig01_potential
+        from repro.harness import arch_experiments as _arch
 
-        fig01 = run_fig01_potential()
+        fig01 = _arch.entry_point("run_fig01_potential")()
     results.save_record(
         experiment_record(
             "fig01",
@@ -96,7 +96,9 @@ def _export_histogram(
 
 
 def _export_histograms(results: ResultsDirectory) -> None:
-    from repro.harness.arch_experiments import run_imbalance_histogram
+    from repro.harness import arch_experiments as _arch
+
+    run_imbalance_histogram = _arch.entry_point("run_imbalance_histogram")
 
     for exp_id, mapping, balanced in (
         ("fig05", "CK", False),
@@ -109,9 +111,9 @@ def _export_histograms(results: ResultsDirectory) -> None:
 
 def _export_fig17(results: ResultsDirectory, fig17=None) -> None:
     if fig17 is None:
-        from repro.harness.arch_experiments import run_fig17_energy_breakdown
+        from repro.harness import arch_experiments as _arch
 
-        fig17 = run_fig17_energy_breakdown()
+        fig17 = _arch.entry_point("run_fig17_energy_breakdown")()
     _save_rows(
         results,
         "fig17",
@@ -123,9 +125,9 @@ def _export_fig17(results: ResultsDirectory, fig17=None) -> None:
 
 def _export_fig18_19(results: ResultsDirectory, sweep=None) -> None:
     if sweep is None:
-        from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+        from repro.harness import arch_experiments as _arch
 
-        sweep = run_fig18_fig19_dataflows()
+        sweep = _arch.entry_point("run_fig18_fig19_dataflows")()
     _save_rows(
         results, "fig18-19", sweep.rows, {},
         notes="dataflow sweep: energy and cycles (Figures 18/19)",
@@ -134,9 +136,9 @@ def _export_fig18_19(results: ResultsDirectory, sweep=None) -> None:
 
 def _export_fig20(results: ResultsDirectory, fig20=None) -> None:
     if fig20 is None:
-        from repro.harness.arch_experiments import run_fig20_scalability
+        from repro.harness import arch_experiments as _arch
 
-        fig20 = run_fig20_scalability()
+        fig20 = _arch.entry_point("run_fig20_scalability")()
     _save_rows(
         results,
         "fig20",
@@ -183,9 +185,9 @@ def _export_tables(results: ResultsDirectory) -> None:
 
 def _export_format_costs(results: ResultsDirectory, costs=None) -> None:
     if costs is None:
-        from repro.harness.beyond_experiments import run_format_costs
+        from repro.harness import beyond_experiments as _beyond
 
-        costs = run_format_costs()
+        costs = _beyond.entry_point("run_format_costs")()
     results.save_record(
         experiment_record(
             "format-costs",
@@ -210,9 +212,9 @@ def _export_format_costs(results: ResultsDirectory, costs=None) -> None:
 
 def _export_schedule_survey(results: ResultsDirectory, survey=None) -> None:
     if survey is None:
-        from repro.harness.beyond_experiments import run_schedule_survey
+        from repro.harness import beyond_experiments as _beyond
 
-        survey = run_schedule_survey()
+        survey = _beyond.entry_point("run_schedule_survey")()
     results.save_record(
         experiment_record(
             "schedule-survey",
@@ -225,9 +227,9 @@ def _export_schedule_survey(results: ResultsDirectory, survey=None) -> None:
 
 def _export_fabric_pricing(results: ResultsDirectory, pricing=None) -> None:
     if pricing is None:
-        from repro.harness.beyond_experiments import run_fabric_pricing
+        from repro.harness import beyond_experiments as _beyond
 
-        pricing = run_fabric_pricing()
+        pricing = _beyond.entry_point("run_fabric_pricing")()
     results.save_record(
         experiment_record(
             "fabric-pricing",

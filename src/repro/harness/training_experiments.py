@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.dropback import DropbackConfig, DropbackOptimizer
+from repro.harness._deprecation import install_shims as _install_shims
 from repro.models.zoo import MINI_MODELS
 from repro.nn.data import Dataset, make_blob_images
 from repro.nn.optim import SGD
@@ -300,3 +301,20 @@ def format_curves(results: list[TrainRunResult], title: str) -> str:
             f"achieved sparsity {r.achieved_sparsity:.2f}x"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# legacy surface: registry-era deprecation shims (``train_mini`` and
+# ``TrainRunResult`` stay plain attributes — they are building blocks,
+# not registry entry points).
+# ----------------------------------------------------------------------
+_ENTRY_POINTS = (
+    "run_fig06_decay",
+    "run_fig07_quantile",
+    "run_fig15_cifar_curves",
+    "run_fig16_sparsity_sweep",
+    "format_curves",
+)
+_DEPRECATED, entry_point, __getattr__, __dir__ = _install_shims(
+    globals(), _ENTRY_POINTS
+)

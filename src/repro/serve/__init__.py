@@ -1,0 +1,45 @@
+"""repro.serve — the concurrent design-evaluation service.
+
+One long-running :class:`Server` answers many clients over a
+Unix-domain socket (JSON-lines protocol, :mod:`repro.serve.protocol`)
+with the typed :mod:`repro.api.envelope` request/result schema:
+submissions are content-hashed, deduplicated onto in-flight
+computations, grouped through the sweep engine's batched executor,
+answered from the tiered caches under the cache root, and streamed
+back as status events plus one terminal result — bit-identical to a
+direct ``repro.api.evaluate()`` of the same request.
+
+Quickstart::
+
+    from repro.api import RuntimeConfig, experiment_request
+    from repro.serve import Client, Server
+
+    with Server(RuntimeConfig(cache_root="/tmp/cache")) as server:
+        with Client(server.socket_path) as client:
+            result = client.submit(experiment_request("table1"))
+            print(result.values, client.stats()["dedup"])
+
+or from the command line::
+
+    python -m repro.harness serve --socket /tmp/repro.sock &
+    python -m repro.harness submit table1 --socket /tmp/repro.sock
+
+See ``docs/serve.md`` for the protocol, dedup semantics, and the
+``/stats`` schema.
+"""
+
+from repro.serve.client import (
+    Client,
+    InProcessClient,
+    ServeError,
+    wait_for_server,
+)
+from repro.serve.server import Server
+
+__all__ = [
+    "Client",
+    "InProcessClient",
+    "ServeError",
+    "Server",
+    "wait_for_server",
+]

@@ -1,0 +1,190 @@
+"""Clients for the evaluation service.
+
+:class:`Client` speaks the JSON-lines protocol over the server's Unix
+socket from any process; :class:`InProcessClient` presents the same
+surface over a :class:`~repro.serve.server.Server` living in the same
+process (tests, notebooks, the CLI's ``serve`` command itself).  Both
+return the typed :class:`~repro.api.envelope.EvalResult` — never raw
+frames — so swapping one for the other changes nothing downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Callable
+
+from repro.api.envelope import EvalRequest, EvalResult, JobStatus
+from repro.serve import protocol
+
+__all__ = ["Client", "InProcessClient", "ServeError", "wait_for_server"]
+
+
+class ServeError(RuntimeError):
+    """The server answered a request with an ``error`` frame."""
+
+
+def wait_for_server(
+    socket_path: str | os.PathLike, timeout: float = 10.0
+) -> None:
+    """Block until a server accepts connections on ``socket_path``
+    (startup polling for scripts and CI); raises ``TimeoutError``."""
+    deadline = time.monotonic() + timeout
+    while True:
+        probe = socket.socket(socket.AF_UNIX)
+        probe.settimeout(0.2)
+        try:
+            probe.connect(str(socket_path))
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no server on {socket_path} after {timeout}s"
+                ) from None
+            time.sleep(0.05)
+        finally:
+            probe.close()
+
+
+class Client:
+    """A synchronous socket client (one connection, sequential requests).
+
+    ``timeout`` bounds each protocol read; ``None`` (the default)
+    blocks until the server answers — evaluations can be long.  The
+    client is a context manager; it is *not* thread-safe (use one per
+    thread, the server handles any number of connections).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        timeout: float | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        wait_for_server(self.socket_path, timeout=connect_timeout)
+        self._socket = socket.socket(socket.AF_UNIX)
+        self._socket.connect(self.socket_path)
+        self._socket.settimeout(timeout)
+        self._reader = self._socket.makefile("rb")
+        self._tags = 0
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+    def _next_tag(self) -> str:
+        self._tags += 1
+        return f"c{self._tags}"
+
+    def _send(self, frame: dict[str, Any]) -> None:
+        self._socket.sendall(protocol.encode(frame))
+
+    def _read_frame(self) -> dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def _frames_for(self, tag: str):
+        """Frames answering ``tag`` (frames for other tags are skipped —
+        this client is sequential, so there are none in practice)."""
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") in (tag, None):
+                yield frame
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: EvalRequest,
+        on_status: Callable[[JobStatus], None] | None = None,
+    ) -> EvalResult:
+        """Submit one request; blocks until its terminal result.
+
+        ``on_status`` receives each streamed :class:`JobStatus`
+        (``queued``, ``running``) as the job progresses.
+        """
+        tag = self._next_tag()
+        self._send({"op": "submit", "id": tag, "request": request.to_wire()})
+        for frame in self._frames_for(tag):
+            op = frame.get("op")
+            if op == "status":
+                if on_status is not None:
+                    on_status(JobStatus.from_wire(frame.get("status", {})))
+            elif op == "result":
+                return EvalResult.from_wire(frame.get("result", {}))
+            elif op == "error":
+                raise ServeError(str(frame.get("error", "unknown error")))
+            # anything else: an op from a newer server — ignore.
+
+    def stats(self) -> dict[str, Any]:
+        """The server's ``/stats`` payload."""
+        tag = self._next_tag()
+        self._send({"op": "stats", "id": tag})
+        for frame in self._frames_for(tag):
+            op = frame.get("op")
+            if op == "stats":
+                return frame.get("stats", {})
+            if op == "error":
+                raise ServeError(str(frame.get("error", "unknown error")))
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Ask the server to stop (``drain=True`` finishes in-flight
+        jobs first); tolerates the server vanishing mid-handshake."""
+        tag = self._next_tag()
+        try:
+            self._send({"op": "shutdown", "id": tag, "drain": drain})
+            for frame in self._frames_for(tag):
+                if frame.get("op") in ("ok", "error"):
+                    return
+        except (ConnectionError, OSError, json.JSONDecodeError):
+            return
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """The same client surface over an in-process server (no socket)."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    def submit(
+        self,
+        request: EvalRequest,
+        on_status: Callable[[JobStatus], None] | None = None,
+    ) -> EvalResult:
+        return self._server.submit(request, on_status=on_status)
+
+    def stats(self) -> dict[str, Any]:
+        return self._server.stats()
+
+    def shutdown(self, drain: bool = True) -> None:
+        self._server.stop(drain=drain)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

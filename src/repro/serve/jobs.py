@@ -1,0 +1,217 @@
+"""Job bookkeeping for the evaluation service.
+
+A :class:`Job` is one unique in-flight request: the first submission of
+a digest creates it, every identical submission while it is in flight
+*attaches* to it (the dedup seam — one computation, many subscribers),
+and completion resolves one shared future plus a ``result`` frame per
+subscriber.  The :class:`JobTable` owns the digest -> job map and the
+service-level counters; :class:`ServeStats` aggregates the per-call
+cache/reliability deltas that pool workers ship back, which is how the
+server reports true hit rates across processes instead of only its own.
+
+Everything here is mutated from the server's event-loop thread only, so
+no locking is needed (the table is handed results by coroutines, never
+by pool threads directly).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.api.envelope import EvalRequest, EvalResult, JobStatus
+from repro.sweep.cache import CacheStats
+
+__all__ = ["Job", "JobTable", "ServeStats"]
+
+#: A job subscriber: receives every protocol frame for the job (status
+#: events and the terminal result).  May be sync or async.
+Subscriber = Callable[[dict], "Awaitable[None] | None"]
+
+
+@dataclass
+class Job:
+    """One unique in-flight request and its subscribers."""
+
+    job_id: str
+    request: EvalRequest
+    digest: str
+    future: asyncio.Future
+    state: str = "queued"
+    subscribers: list[Subscriber] = field(default_factory=list)
+
+    def status(
+        self, queue_depth: int | None = None, detail: str | None = None
+    ) -> JobStatus:
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            request_digest=self.digest,
+            queue_depth=queue_depth,
+            detail=detail,
+        )
+
+    async def notify(self, frame: Mapping[str, Any]) -> None:
+        """Deliver one frame to every subscriber (a dead subscriber —
+        e.g. a disconnected client — never takes the job down)."""
+        for subscriber in list(self.subscribers):
+            try:
+                outcome = subscriber(dict(frame))
+                if outcome is not None:
+                    await outcome
+            except Exception:
+                self.subscribers.remove(subscriber)
+
+
+class JobTable:
+    """Digest -> in-flight job map plus the service job counters.
+
+    ``submitted`` counts every submission (duplicates included);
+    ``evaluated`` counts results that were actually computed
+    (``cached=False``); the gap between them — duplicates absorbed by
+    in-flight dedup or answered from a cache tier — is what
+    :meth:`duplicate_hit_rate` reports.
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._digests_seen: set[str] = set()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.evaluated = 0
+        self.cache_hits = 0
+        self.dedup_in_flight = 0
+
+    def submit(
+        self, request: EvalRequest, loop: asyncio.AbstractEventLoop
+    ) -> tuple[Job, bool]:
+        """Register one submission; returns ``(job, created)``.
+
+        ``created=False`` means an identical request is already in
+        flight and this submission attached to it — the caller must not
+        enqueue the job a second time.
+        """
+        self.submitted += 1
+        digest = request.digest()
+        self._digests_seen.add(digest)
+        job = self._in_flight.get(digest)
+        if job is not None:
+            self.dedup_in_flight += 1
+            return job, False
+        job = Job(
+            job_id=f"job-{next(self._ids)}",
+            request=request,
+            digest=digest,
+            future=loop.create_future(),
+        )
+        self._in_flight[digest] = job
+        return job, True
+
+    def finish(self, job: Job, result: EvalResult) -> None:
+        """Record a terminal result and resolve the job's future."""
+        self._in_flight.pop(job.digest, None)
+        job.state = "done" if result.ok else "failed"
+        if result.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        if result.cached:
+            self.cache_hits += 1
+        else:
+            self.evaluated += 1
+        if not job.future.done():
+            job.future.set_result(result)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def pending_jobs(self) -> list[Job]:
+        """Every job not yet finished (forced-shutdown bookkeeping)."""
+        return list(self._in_flight.values())
+
+    @property
+    def unique(self) -> int:
+        return len(self._digests_seen)
+
+    def duplicate_hit_rate(self) -> float:
+        """Fraction of *duplicate* submissions served without a fresh
+        evaluation — the acceptance metric for the service.
+
+        ``submitted - evaluated`` submissions were answered by some
+        reuse tier (in-flight dedup, result cache); at most
+        ``submitted - unique`` of them were duplicates.  1.0 when no
+        duplicates were ever submitted (nothing to get wrong), and
+        clamped at 1.0 when even unique requests came from a warm
+        cache.
+        """
+        duplicates = self.submitted - self.unique
+        if duplicates <= 0:
+            return 1.0
+        return min(1.0, (self.submitted - self.evaluated) / duplicates)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "evaluated": self.evaluated,
+            "in_flight": self.in_flight,
+        }
+
+
+class ServeStats:
+    """Cross-process aggregation of worker-reported accounting.
+
+    Each pool-worker call returns per-call deltas (sweep
+    :class:`CacheStats` counters, evalcore memo counters, sweep
+    reliability counters); the server merges them here so ``/stats``
+    reflects every process's cache traffic, not just the parent's.
+    The trajectory tier is observed opportunistically from
+    ``trajectory_cached`` flags in campaign-evaluator values.
+    """
+
+    def __init__(self) -> None:
+        self.sweep = CacheStats()
+        self.evalcore: dict[str, int] = {}
+        self.trajectory = {"hits": 0, "misses": 0}
+        self.reliability: dict[str, int] = {}
+        self.worker_crashes = 0
+        self.requeues = 0
+
+    def absorb(self, accounting: Mapping[str, Any]) -> None:
+        """Merge one worker call's accounting payload."""
+        self.sweep.merge(accounting.get("sweep_cache", {}))
+        for key, value in (accounting.get("evalcore") or {}).items():
+            self.evalcore[key] = self.evalcore.get(key, 0) + int(value)
+        for key, value in (accounting.get("reliability") or {}).items():
+            self.reliability[key] = self.reliability.get(key, 0) + int(value)
+
+    def observe_values(self, values: Mapping[str, Any] | None) -> None:
+        """Derive trajectory-tier traffic from evaluator values."""
+        if not isinstance(values, Mapping):
+            return
+        flag = values.get("trajectory_cached")
+        if flag is True:
+            self.trajectory["hits"] += 1
+        elif flag is False:
+            self.trajectory["misses"] += 1
+
+    def cache_payload(self) -> dict[str, Any]:
+        sweep = self.sweep.as_dict()
+        sweep["hit_rate"] = self.sweep.hit_rate()
+        return {
+            "sweep": sweep,
+            "evalcore": dict(self.evalcore),
+            "trajectory": dict(self.trajectory),
+        }
+
+    def reliability_payload(self) -> dict[str, int]:
+        payload = dict(self.reliability)
+        payload["serve_worker_crashes"] = self.worker_crashes
+        payload["serve_requeues"] = self.requeues
+        return payload

@@ -1,0 +1,94 @@
+"""The repro.serve wire protocol: JSON lines over a Unix socket.
+
+Each frame is one JSON object on one line.  Client frames carry an
+``op`` (one of :data:`CLIENT_OPS`) plus an ``id`` tag the client picks;
+the server echoes that tag on every frame it sends back for the
+request, so one connection can interleave work.  Payloads inside the
+frames — requests, results, progress events — are the versioned
+:mod:`repro.api.envelope` wire forms, not a second schema.
+
+Client -> server::
+
+    {"op": "submit",   "id": "...", "request": <EvalRequest.to_wire()>}
+    {"op": "stats",    "id": "..."}
+    {"op": "shutdown", "id": "...", "drain": true}
+
+Server -> client::
+
+    {"op": "status", "id": "...", "status": <JobStatus.to_wire()>}
+    {"op": "result", "id": "...", "result": <EvalResult.to_wire()>}
+    {"op": "stats",  "id": "...", "stats": {...}}
+    {"op": "ok",     "id": "..."}
+    {"op": "error",  "id": "...", "error": "..."}
+
+A ``submit`` streams ``status`` frames (``queued``, then ``running``)
+and terminates with exactly one ``result`` or ``error`` frame.  Frames
+are self-delimiting (``\\n``-terminated, JSON escapes any interior
+newline), so the framing layer is ``readline`` on both sides.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "CLIENT_OPS",
+    "MAX_FRAME_BYTES",
+    "SERVER_OPS",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "error_frame",
+]
+
+#: Ops a client may send.
+CLIENT_OPS = ("submit", "stats", "shutdown")
+
+#: Ops a server may send.
+SERVER_OPS = ("status", "result", "stats", "ok", "error")
+
+#: Stream-reader limit for one frame (a result payload can be large —
+#: asyncio's 64 KiB default readline limit is far too small for
+#: experiment records).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A frame that is not valid protocol JSON."""
+
+
+def encode(frame: Mapping[str, Any]) -> bytes:
+    """One frame as a newline-terminated JSON line.
+
+    ``ensure_ascii`` stays on so the encoded line can never contain a
+    raw newline — the frame boundary is unambiguous by construction.
+    """
+    return (json.dumps(dict(frame), separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on anything that
+    is not a JSON object with a string ``op``."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("frame is missing its 'op' field")
+    return frame
+
+
+def error_frame(tag: Any, message: str) -> dict[str, Any]:
+    """The standard error reply for a tagged client frame."""
+    frame: dict[str, Any] = {"op": "error", "error": message}
+    if tag is not None:
+        frame["id"] = tag
+    return frame

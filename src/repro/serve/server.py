@@ -1,0 +1,575 @@
+"""The evaluation server: one process answering many clients.
+
+A :class:`Server` owns an asyncio event loop on a background thread, a
+Unix-domain protocol socket (:mod:`repro.serve.protocol`), an async job
+queue, and a pool of evaluation worker processes.  Every submission
+flows through the same funnel:
+
+1. **Dedup** — the request's content digest is looked up in the
+   in-flight :class:`~repro.serve.jobs.JobTable`; an identical request
+   already being computed gains a subscriber instead of a second
+   computation.
+2. **Batch** — the dispatcher drains whatever is queued (after a short
+   linger), groups point requests by ``(evaluator, seed)`` and ships
+   each group to a pool worker as *one* call, where the sweep engine's
+   ``"batched"`` executor collapses batchable points further.
+3. **Cache** — workers answer from the tiered caches under the
+   config's cache root (evalcore memo, sweep result cache, campaign
+   trajectory store) before computing, and ship per-call cache-stats
+   deltas back for aggregation — ``/stats`` reports hit rates across
+   every worker process, not just the parent.
+
+Results stream back per subscriber as ``status`` events plus one
+terminal ``result`` frame; the payloads are the versioned
+:mod:`repro.api.envelope` wire forms, bit-identical to what a direct
+``evaluate()``/``run_sweep`` of the same request produces.
+
+A worker process dying hard (``BrokenProcessPool`` — OOM kill, an
+injected ``worker-crash`` fault) costs its in-flight groups nothing
+but a retry: the pool is respawned and the groups requeued, bounded
+by :data:`MAX_GROUP_ATTEMPTS`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket as socket_module
+import tempfile
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.api.config import RuntimeConfig
+from repro.api.envelope import (
+    SCHEMA_VERSION,
+    EvalRequest,
+    EvalResult,
+    JobStatus,
+)
+from repro.serve import protocol
+from repro.serve.jobs import Job, JobTable, ServeStats
+
+__all__ = ["MAX_GROUP_ATTEMPTS", "Server"]
+
+#: How many times one job group is shipped to the pool before its jobs
+#: fail: the first attempt plus recoveries from worker-pool death.
+MAX_GROUP_ATTEMPTS = 3
+
+#: Default worker-pool size when neither the constructor nor the
+#: config's ``serve_workers`` picks one.
+DEFAULT_WORKERS = 2
+
+#: How long the dispatcher lingers after the first dequeued job before
+#: grouping, so near-simultaneous submissions batch together.
+_BATCH_LINGER_S = 0.01
+
+
+def _serve_worker(
+    wire_requests: list[dict], config: RuntimeConfig, attempt: int = 1
+) -> tuple[list[dict], dict[str, Any]]:
+    """One pool-worker call: evaluate a group, report accounting deltas.
+
+    Runs in a worker *process*; everything in and out is wire-form
+    (plain JSON-able) so it crosses the pickle boundary untouched.  The
+    fault seam fires first — site key ``serve|<digests>`` — so a
+    ``worker-crash:match=serve`` plan kills this worker hard
+    (``os._exit``) and exercises the server's pool-respawn/requeue
+    path deterministically.
+    """
+    from repro.api.config import config_scope
+    from repro.api.envelope import evaluate_requests
+    from repro.dataflow import evalcore
+    from repro.reliability import faults as _faults
+
+    requests = [EvalRequest.from_wire(wire) for wire in wire_requests]
+    if config.executor in ("process", "distributed"):
+        # Already inside a pool worker: keep evaluation in-process
+        # (the batched executor preserves grouping) instead of nesting
+        # a second pool per worker.
+        config = config.with_(executor="batched")
+    with config_scope(config):
+        key = "serve|" + ",".join(r.digest()[:12] for r in requests)
+        _faults.inject_point_faults(key, attempt, allow_exit=True)
+        memo = evalcore.get_memo()
+        memo_before = memo.stats.as_dict() if memo is not None else {}
+        results, accounting = evaluate_requests(
+            requests, config=config, cache=config.sweep_cache()
+        )
+        memo = evalcore.get_memo()
+        memo_after = memo.stats.as_dict() if memo is not None else {}
+    accounting["evalcore"] = {
+        key: memo_after.get(key, 0) - memo_before.get(key, 0)
+        for key in sorted(set(memo_before) | set(memo_after))
+    }
+    return [result.to_wire() for result in results], accounting
+
+
+def _group_jobs(batch: Iterable[Job]) -> list[list[Job]]:
+    """Partition a dequeued batch into worker-call groups: experiment
+    jobs run alone, point jobs group by ``(evaluator, seed)``."""
+    groups: list[list[Job]] = []
+    points: dict[tuple[str, int], list[Job]] = {}
+    for job in batch:
+        if job.request.kind == "experiment":
+            groups.append([job])
+        else:
+            key = (job.request.target, job.request.point_seed)
+            if key not in points:
+                points[key] = []
+                groups.append(points[key])
+            points[key].append(job)
+    return groups
+
+
+class Server:
+    """The long-running design-evaluation service (see module docstring).
+
+    ``config`` defaults to the environment layer
+    (:meth:`RuntimeConfig.from_env`); a config without a ``cache_root``
+    gets a private temporary one for the server's lifetime so the
+    cache tiers exist.  ``socket_path`` resolves explicit argument >
+    ``config.serve_socket`` > ``<cache_root>/serve.sock``; ``workers``
+    resolves explicit argument > ``config.serve_workers`` >
+    :data:`DEFAULT_WORKERS`.
+
+    Use as a context manager (``with Server() as server:``) or call
+    :meth:`start` / :meth:`stop` explicitly.  :meth:`submit` and
+    :meth:`stats` are the in-process client surface (thread-safe, used
+    by :class:`repro.serve.client.InProcessClient` and tests); remote
+    clients connect through :class:`repro.serve.client.Client`.
+    """
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        socket_path: str | os.PathLike | None = None,
+        workers: int | None = None,
+    ) -> None:
+        config = config if config is not None else RuntimeConfig.from_env()
+        self._tmp_cache: tempfile.TemporaryDirectory | None = None
+        if not config.cache_root:
+            self._tmp_cache = tempfile.TemporaryDirectory(
+                prefix="repro-serve-cache-"
+            )
+            config = config.with_(cache_root=self._tmp_cache.name)
+        self.config = config
+        self.socket_path = str(
+            socket_path
+            or config.serve_socket
+            or Path(config.cache_root) / "serve.sock"
+        )
+        self.workers = int(
+            workers if workers is not None
+            else (config.serve_workers or DEFAULT_WORKERS)
+        )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {self.workers})")
+
+        self._jobs = JobTable()
+        self._stats = ServeStats()
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue[Job] | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._drain = True
+        self._pool: ProcessPoolExecutor | None = None
+        self._group_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle (called from any thread)
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "Server":
+        """Bind the socket and start serving; returns once ready."""
+        if self._thread is not None:
+            raise RuntimeError("server already started (one-shot lifecycle)")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError(
+                f"server did not come up within {timeout}s"
+            )
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 60.0) -> None:
+        """Stop serving.  ``drain=True`` finishes every in-flight job
+        first; ``drain=False`` fails them with an error result so no
+        client hangs."""
+        thread = self._thread
+        if thread is None:
+            return
+        if thread.is_alive() and self._loop is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._begin_stop(drain), self._loop
+                ).result(timeout=5.0)
+            except Exception:
+                pass
+        thread.join(timeout)
+        if self._tmp_cache is not None:
+            self._tmp_cache.cleanup()
+            self._tmp_cache = None
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the server exits (a client sent ``shutdown``,
+        or :meth:`stop` ran from another thread)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return (
+            self._thread is not None
+            and self._thread.is_alive()
+            and self._ready.is_set()
+            and self._startup_error is None
+        )
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # in-process client surface (thread-safe)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: EvalRequest,
+        on_status=None,
+        timeout: float | None = None,
+    ) -> EvalResult:
+        """Submit one request and block for its result (the in-process
+        twin of ``Client.submit``; dedups and caches identically)."""
+        self._require_running()
+        future = asyncio.run_coroutine_threadsafe(
+            self._submit_local(request, on_status), self._loop
+        )
+        return future.result(timeout)
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` payload (see ``docs/serve.md``)."""
+        self._require_running()
+        future = asyncio.run_coroutine_threadsafe(
+            self._stats_local(), self._loop
+        )
+        return future.result(timeout=10.0)
+
+    def _require_running(self) -> None:
+        if not self.running or self._loop is None:
+            raise RuntimeError("server is not running (call start() first)")
+
+    async def _submit_local(self, request: EvalRequest, on_status):
+        loop = asyncio.get_running_loop()
+        job, created = self._jobs.submit(request, loop)
+        if on_status is not None:
+            def relay(frame: dict) -> None:
+                if frame.get("op") == "status":
+                    on_status(JobStatus.from_wire(frame["status"]))
+            job.subscribers.append(relay)
+            on_status(job.status(queue_depth=self._queue.qsize()))
+        if created:
+            self._queue.put_nowait(job)
+        try:
+            return await asyncio.shield(job.future)
+        except asyncio.CancelledError:
+            # Loop teardown after a forced stop cancels this coroutine
+            # after the job was already failed with its shutdown error
+            # result — hand that result out instead of the cancellation
+            # so waiting client threads always get an EvalResult.
+            if job.future.done() and not job.future.cancelled():
+                return job.future.result()
+            raise
+
+    async def _stats_local(self) -> dict[str, Any]:
+        return self._stats_payload()
+
+    # ------------------------------------------------------------------
+    # event loop (background thread)
+    # ------------------------------------------------------------------
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:
+            self._startup_error = error
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        self._claim_socket_path()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        server = await asyncio.start_unix_server(
+            self._handle_client,
+            path=self.socket_path,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        try:
+            self._ready.set()
+            await self._stop_event.wait()
+            server.close()
+            await server.wait_closed()
+            if self._drain:
+                while (
+                    self._jobs.in_flight
+                    or self._group_tasks
+                    or not self._queue.empty()
+                ):
+                    await asyncio.sleep(0.02)
+            dispatcher.cancel()
+            await asyncio.gather(dispatcher, return_exceptions=True)
+            if not self._drain:
+                for task in list(self._group_tasks):
+                    task.cancel()
+                await asyncio.gather(
+                    *self._group_tasks, return_exceptions=True
+                )
+                for job in self._jobs.pending_jobs():
+                    self._jobs.finish(
+                        job,
+                        EvalResult(
+                            request_digest=job.digest,
+                            status="error",
+                            error="server stopped before this job ran",
+                        ),
+                    )
+        finally:
+            server.close()
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=self._drain, cancel_futures=not self._drain)
+            Path(self.socket_path).unlink(missing_ok=True)
+
+    def _claim_socket_path(self) -> None:
+        """Remove a stale socket file; refuse to displace a live server."""
+        if not os.path.exists(self.socket_path):
+            Path(self.socket_path).parent.mkdir(parents=True, exist_ok=True)
+            return
+        probe = socket_module.socket(socket_module.AF_UNIX)
+        probe.settimeout(0.2)
+        try:
+            probe.connect(self.socket_path)
+        except OSError:
+            os.unlink(self.socket_path)  # stale leftover, safe to replace
+        else:
+            raise RuntimeError(
+                f"another server is already listening on {self.socket_path}"
+            )
+        finally:
+            probe.close()
+
+    async def _begin_stop(self, drain: bool) -> None:
+        self._drain = drain
+        self._stop_event.set()
+
+    # ------------------------------------------------------------------
+    # dispatch and evaluation
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            await asyncio.sleep(_BATCH_LINGER_S)
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for group in _group_jobs(batch):
+                task = asyncio.create_task(self._run_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    async def _run_group(self, group: list[Job], attempt: int = 1) -> None:
+        loop = asyncio.get_running_loop()
+        for job in group:
+            if job.state == "queued":
+                job.state = "running"
+                await job.notify(
+                    {"op": "status", "status": job.status().to_wire()}
+                )
+        wires = [job.request.to_wire() for job in group]
+        pool = self._pool
+        try:
+            payload = await loop.run_in_executor(
+                pool, _serve_worker, wires, self.config, attempt
+            )
+        except BrokenProcessPool:
+            self._stats.worker_crashes += 1
+            self._respawn_pool(pool)
+            if attempt < MAX_GROUP_ATTEMPTS:
+                self._stats.requeues += 1
+                await self._run_group(group, attempt + 1)
+                return
+            for job in group:
+                await self._finish(
+                    job,
+                    EvalResult(
+                        request_digest=job.digest,
+                        status="error",
+                        error=(
+                            f"worker pool died {attempt} times evaluating "
+                            f"this group"
+                        ),
+                    ),
+                )
+            return
+        except Exception as error:
+            for job in group:
+                await self._finish(
+                    job,
+                    EvalResult(
+                        request_digest=job.digest,
+                        status="error",
+                        error=f"{type(error).__name__}: {error}",
+                    ),
+                )
+            return
+        results_wire, accounting = payload
+        self._stats.absorb(accounting)
+        for job, wire in zip(group, results_wire):
+            result = EvalResult.from_wire(wire)
+            self._stats.observe_values(result.values)
+            await self._finish(job, result)
+
+    def _respawn_pool(self, failed_pool: ProcessPoolExecutor | None) -> None:
+        # Several groups can observe the same BrokenProcessPool; only
+        # the first to arrive replaces it.  The broken pool's pending
+        # futures already carry the error, so no cancel_futures here.
+        if self._pool is failed_pool and self._pool is not None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                failed_pool.shutdown(wait=False)
+            except Exception:
+                pass
+
+    async def _finish(self, job: Job, result: EvalResult) -> None:
+        self._jobs.finish(job, result)
+        await job.notify({"op": "result", "result": result.to_wire()})
+
+    # ------------------------------------------------------------------
+    # protocol handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer, protocol.error_frame(None, "frame too large")
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    frame = protocol.decode(line)
+                except protocol.ProtocolError as error:
+                    await self._send(
+                        writer, protocol.error_frame(None, str(error))
+                    )
+                    continue
+                op, tag = frame["op"], frame.get("id")
+                if op == "submit":
+                    await self._handle_submit(frame, writer)
+                elif op == "stats":
+                    await self._send(
+                        writer,
+                        {"op": "stats", "id": tag,
+                         "stats": self._stats_payload()},
+                    )
+                elif op == "shutdown":
+                    await self._send(writer, {"op": "ok", "id": tag})
+                    await self._begin_stop(bool(frame.get("drain", True)))
+                else:
+                    await self._send(
+                        writer,
+                        protocol.error_frame(tag, f"unknown op {op!r}"),
+                    )
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancelled this connection (the client kept
+            # it open across server shutdown) — exit cleanly.
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_submit(
+        self, frame: Mapping[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        tag = frame.get("id")
+        wire = frame.get("request")
+        try:
+            if not isinstance(wire, Mapping):
+                raise ValueError("submit frame is missing its 'request'")
+            request = EvalRequest.from_wire(wire)
+        except Exception as error:
+            await self._send(writer, protocol.error_frame(tag, str(error)))
+            return
+        job, created = self._jobs.submit(request, asyncio.get_running_loop())
+
+        async def deliver(event: dict) -> None:
+            await self._send(writer, {**event, "id": tag})
+
+        job.subscribers.append(deliver)
+        await self._send(
+            writer,
+            {"op": "status", "id": tag,
+             "status": job.status(queue_depth=self._queue.qsize()).to_wire()},
+        )
+        if created:
+            self._queue.put_nowait(job)
+        elif job.state != "queued":
+            # Late subscriber to a running job: tell it the real state.
+            await self._send(
+                writer,
+                {"op": "status", "id": tag, "status": job.status().to_wire()},
+            )
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, frame: Mapping[str, Any]
+    ) -> None:
+        writer.write(protocol.encode(frame))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _stats_payload(self) -> dict[str, Any]:
+        jobs = self._jobs
+        return {
+            "schema": SCHEMA_VERSION,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "workers": self.workers,
+            "jobs": jobs.counters(),
+            "dedup": {
+                "in_flight": jobs.dedup_in_flight,
+                "cache_hits": jobs.cache_hits,
+                "unique": jobs.unique,
+                "duplicate_hit_rate": jobs.duplicate_hit_rate(),
+            },
+            "cache": self._stats.cache_payload(),
+            "reliability": self._stats.reliability_payload(),
+        }

@@ -59,7 +59,15 @@ def record_checksum(key: Mapping[str, Any], values: Mapping[str, Any]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/quarantine counters for one cache instance."""
+    """Hit/miss/store/quarantine counters for one cache instance.
+
+    Counters are per-instance (and therefore per-process): a pool
+    worker's hits land in *its* cache object, not the parent's.
+    :meth:`snapshot` / :meth:`diff` / :meth:`merge` exist so
+    multi-process callers — the sweep runner, the evaluation service —
+    can ship per-run deltas across the process boundary and aggregate
+    them instead of under-reporting hit rates.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -73,6 +81,50 @@ class CacheStats:
             "stores": self.stores,
             "corrupt": self.corrupt,
         }
+
+    @classmethod
+    def from_dict(cls, counters: Mapping[str, Any]) -> "CacheStats":
+        """Rebuild stats from an :meth:`as_dict` payload (unknown keys
+        are ignored so newer writers stay readable)."""
+        return cls(
+            hits=int(counters.get("hits", 0)),
+            misses=int(counters.get("misses", 0)),
+            stores=int(counters.get("stores", 0)),
+            corrupt=int(counters.get("corrupt", 0)),
+        )
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-by-convention copy of the current counters."""
+        return CacheStats(**self.as_dict())
+
+    def diff(self, earlier: "CacheStats | None") -> "CacheStats":
+        """The counter delta since an earlier :meth:`snapshot`
+        (``None`` means "since zero": a copy of the current values)."""
+        if earlier is None:
+            return self.snapshot()
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            stores=self.stores - earlier.stores,
+            corrupt=self.corrupt - earlier.corrupt,
+        )
+
+    def merge(self, other: "CacheStats | Mapping[str, Any]") -> "CacheStats":
+        """Add another instance's (or worker's ``as_dict``) counters
+        into this one, in place; returns ``self`` for chaining."""
+        counters = (
+            other.as_dict() if isinstance(other, CacheStats) else other
+        )
+        self.hits += int(counters.get("hits", 0))
+        self.misses += int(counters.get("misses", 0))
+        self.stores += int(counters.get("stores", 0))
+        self.corrupt += int(counters.get("corrupt", 0))
+        return self
+
+    def hit_rate(self) -> float:
+        """Hits over lookups (1.0 when no lookups happened yet)."""
+        lookups = self.hits + self.misses
+        return 1.0 if lookups == 0 else self.hits / lookups
 
 
 class ResultCache:

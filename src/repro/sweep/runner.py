@@ -759,6 +759,9 @@ class SweepRunner:
         """
         start = time.perf_counter()
         version = _version_key(spec)
+        stats_before = (
+            self.cache.stats.snapshot() if self.cache is not None else None
+        )
         fn = get_evaluator(spec.evaluator)
         self._policy = self._retry_policy(spec)
         self._reliability = {}
@@ -871,8 +874,13 @@ class SweepRunner:
             spec=spec,
             points=ordered,
             wall_time_s=time.perf_counter() - start,
+            # This run's cache traffic, not the instance's lifetime
+            # counters — a reused runner (or a long-lived service)
+            # reports each run's hits honestly.
             cache_stats=(
-                self.cache.stats.as_dict() if self.cache is not None else {}
+                self.cache.stats.diff(stats_before).as_dict()
+                if self.cache is not None
+                else {}
             ),
             reliability=dict(self._reliability),
         )

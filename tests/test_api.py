@@ -126,6 +126,62 @@ class TestRuntimeConfigPrecedence:
 
 
 # ----------------------------------------------------------------------
+# serve knobs
+# ----------------------------------------------------------------------
+class TestServeKnobs:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.serve_socket is None
+        assert config.serve_workers is None
+
+    def test_env_layer(self):
+        config = RuntimeConfig.from_env(
+            environ={
+                "REPRO_SERVE_SOCKET": "/tmp/serve.sock",
+                "REPRO_SERVE_WORKERS": "4",
+            }
+        )
+        assert config.serve_socket == "/tmp/serve.sock"
+        assert config.serve_workers == 4
+
+    def test_explicit_beats_env(self):
+        config = RuntimeConfig.from_env(
+            environ={
+                "REPRO_SERVE_SOCKET": "/tmp/env.sock",
+                "REPRO_SERVE_WORKERS": "4",
+            },
+            serve_socket="/tmp/explicit.sock",
+            serve_workers=2,
+        )
+        assert config.serve_socket == "/tmp/explicit.sock"
+        assert config.serve_workers == 2
+
+    def test_serve_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="serve_workers"):
+            RuntimeConfig(serve_workers=0)
+
+    def test_bad_serve_workers_names_the_variable(self):
+        with pytest.raises(ValueError, match="REPRO_SERVE_WORKERS"):
+            RuntimeConfig.from_env(environ={"REPRO_SERVE_WORKERS": "many"})
+
+    def test_server_resolves_knobs_from_config(self, tmp_path):
+        from repro.serve import Server
+
+        config = RuntimeConfig(
+            cache_root=str(tmp_path),
+            serve_socket=str(tmp_path / "knob.sock"),
+            serve_workers=3,
+        )
+        server = Server(config)
+        assert server.socket_path == str(tmp_path / "knob.sock")
+        assert server.workers == 3
+        # argument beats config, cache_root derives the default socket
+        assert Server(config, workers=1).workers == 1
+        derived = Server(RuntimeConfig(cache_root=str(tmp_path)))
+        assert derived.socket_path == str(tmp_path / "serve.sock")
+
+
+# ----------------------------------------------------------------------
 # config_scope / set_config
 # ----------------------------------------------------------------------
 class TestConfigScope:
@@ -284,8 +340,11 @@ class TestBitIdentity:
     """The acceptance criterion: registry dispatch == direct call."""
 
     def test_fig18_19_bit_identical(self):
-        from repro.harness.arch_experiments import run_fig18_fig19_dataflows
+        from repro.harness import arch_experiments
 
+        run_fig18_fig19_dataflows = arch_experiments.entry_point(
+            "run_fig18_fig19_dataflows"
+        )
         direct = run_fig18_fig19_dataflows(networks=("vgg-s",))
         via_registry = get_experiment("fig18-19").run(
             RuntimeConfig(), networks=("vgg-s",)
@@ -302,8 +361,11 @@ class TestBitIdentity:
         assert via_registry.rows == direct.rows
 
     def test_seed_override_applies(self):
-        from repro.harness.arch_experiments import run_imbalance_histogram
+        from repro.harness import arch_experiments
 
+        run_imbalance_histogram = arch_experiments.entry_point(
+            "run_imbalance_histogram"
+        )
         direct = run_imbalance_histogram("vgg-s", "CK", False, seed=3)
         via_registry = get_experiment("fig05").run(RuntimeConfig(seed=3))
         assert via_registry.fractions == direct.fractions

@@ -2,16 +2,16 @@
 
 import pytest
 
-from repro.harness.beyond_experiments import (
-    format_eager_comparison,
-    format_fabric_pricing,
-    format_format_costs,
-    format_schedule_survey,
-    run_eager_comparison,
-    run_fabric_pricing,
-    run_format_costs,
-    run_schedule_survey,
-)
+from repro.harness import beyond_experiments as _beyond
+
+format_eager_comparison = _beyond.entry_point("format_eager_comparison")
+format_fabric_pricing = _beyond.entry_point("format_fabric_pricing")
+format_format_costs = _beyond.entry_point("format_format_costs")
+format_schedule_survey = _beyond.entry_point("format_schedule_survey")
+run_eager_comparison = _beyond.entry_point("run_eager_comparison")
+run_fabric_pricing = _beyond.entry_point("run_fabric_pricing")
+run_format_costs = _beyond.entry_point("run_format_costs")
+run_schedule_survey = _beyond.entry_point("run_schedule_survey")
 
 
 class TestFormatCostsDriver:

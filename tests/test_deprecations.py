@@ -1,0 +1,168 @@
+"""Deprecation shims for direct experiment-module entry imports.
+
+The supported path to every experiment entry point is the registry
+(``repro.api.get_experiment`` / ``repro.api.evaluate``).  Direct
+imports like ``from repro.harness.arch_experiments import
+run_fig01_potential`` keep working but emit a ``DeprecationWarning``;
+library code itself must never take the legacy path (pinned here by an
+AST scan of the whole package).
+"""
+
+from __future__ import annotations
+
+import ast
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.harness import _deprecation
+from repro.harness import arch_experiments, beyond_experiments, training_experiments
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+SHIM_MODULES = {
+    "arch_experiments": arch_experiments,
+    "training_experiments": training_experiments,
+    "beyond_experiments": beyond_experiments,
+}
+
+#: Every deprecated name, per module — pulled from the shims themselves
+#: so the test can't drift from the source of truth.
+DEPRECATED = {
+    name: sorted(module._DEPRECATED)
+    for name, module in SHIM_MODULES.items()
+}
+
+
+class TestModuleShims:
+    @pytest.mark.parametrize("module_name", sorted(SHIM_MODULES))
+    def test_direct_attribute_access_warns(self, module_name):
+        module = SHIM_MODULES[module_name]
+        name = DEPRECATED[module_name][0]
+        with pytest.warns(DeprecationWarning, match="experiment registry"):
+            func = getattr(module, name)
+        assert callable(func)
+
+    @pytest.mark.parametrize("module_name", sorted(SHIM_MODULES))
+    def test_every_deprecated_name_still_resolves(self, module_name):
+        module = SHIM_MODULES[module_name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in DEPRECATED[module_name]:
+                assert callable(getattr(module, name))
+
+    @pytest.mark.parametrize("module_name", sorted(SHIM_MODULES))
+    def test_entry_point_accessor_is_silent(self, module_name):
+        module = SHIM_MODULES[module_name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in DEPRECATED[module_name]:
+                assert callable(module.entry_point(name))
+
+    def test_entry_point_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="run_fig01_potential"):
+            arch_experiments.entry_point("not_a_real_entry")
+
+    @pytest.mark.parametrize("module_name", sorted(SHIM_MODULES))
+    def test_unknown_attribute_raises_attribute_error(self, module_name):
+        with pytest.raises(AttributeError, match="bogus_name"):
+            getattr(SHIM_MODULES[module_name], "bogus_name")
+
+    @pytest.mark.parametrize("module_name", sorted(SHIM_MODULES))
+    def test_dir_still_lists_deprecated_names(self, module_name):
+        module = SHIM_MODULES[module_name]
+        listed = dir(module)
+        for name in DEPRECATED[module_name]:
+            assert name in listed
+
+    def test_package_level_access_warns_and_resolves(self):
+        import repro.harness as harness
+
+        with pytest.warns(DeprecationWarning, match="experiment registry"):
+            func = harness.run_fig01_potential
+        assert callable(func)
+        assert "run_fig06_decay" in dir(harness)
+        with pytest.raises(AttributeError):
+            harness.not_an_experiment
+
+    def test_package_building_blocks_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.harness import render_table, run_table2, train_mini
+
+            assert callable(render_table)
+            assert callable(run_table2)
+            assert callable(train_mini)
+
+
+class TestRegistryPathIsWarningFree:
+    def test_registry_run_does_not_touch_legacy_path(self, tmp_path):
+        from repro.api import RuntimeConfig, get_experiment
+
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = get_experiment("fig01").run(config)
+        assert result
+
+    def test_registry_resolves_every_deprecated_entry_silently(self):
+        # Loading each experiment's entry function through the registry
+        # must use the entry_point accessor, never the warning path.
+        from repro.api import list_experiments
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for info in list_experiments():
+                pass  # listing alone must not import legacy names
+
+
+class TestNoLegacyImportsInLibrary:
+    """AST scan: library code never imports a deprecated entry name."""
+
+    EXEMPT = {
+        SRC / "harness" / "arch_experiments.py",
+        SRC / "harness" / "training_experiments.py",
+        SRC / "harness" / "beyond_experiments.py",
+        SRC / "harness" / "__init__.py",
+        SRC / "harness" / "_deprecation.py",
+    }
+
+    def test_no_library_module_imports_deprecated_names(self):
+        deprecated = set().union(*DEPRECATED.values())
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path in self.EXEMPT:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                if not (node.module or "").startswith("repro.harness"):
+                    continue
+                for alias in node.names:
+                    if alias.name in deprecated:
+                        offenders.append(
+                            f"{path.relative_to(SRC.parent)}:{node.lineno} "
+                            f"imports {alias.name}"
+                        )
+        assert not offenders, (
+            "library code must use module.entry_point(...) or the "
+            "registry, not direct deprecated imports:\n"
+            + "\n".join(offenders)
+        )
+
+
+def test_install_shims_contract():
+    namespace = {"__name__": "fake.module", "keep": lambda: 1, "gone": lambda: 2}
+    deprecated, entry_point, getattr_, dir_ = _deprecation.install_shims(
+        namespace, ("gone",)
+    )
+    assert "gone" not in namespace and "keep" in namespace
+    assert set(deprecated) == {"gone"}
+    assert entry_point("gone")() == 2
+    with pytest.warns(DeprecationWarning, match="fake.module"):
+        assert getattr_("gone")() == 2
+    with pytest.raises(AttributeError):
+        getattr_("never_existed")
+    assert "gone" in dir_()

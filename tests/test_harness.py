@@ -9,19 +9,19 @@ live in benchmarks/.
 import numpy as np
 import pytest
 
-from repro.harness.arch_experiments import (
-    format_fig01,
-    format_fig17,
-    format_fig18,
-    format_fig19,
-    format_fig20,
-    format_histogram,
-    run_fig01_potential,
-    run_fig17_energy_breakdown,
-    run_fig18_fig19_dataflows,
-    run_fig20_scalability,
-    run_imbalance_histogram,
-)
+from repro.harness import arch_experiments as _arch
+
+format_fig01 = _arch.entry_point("format_fig01")
+format_fig17 = _arch.entry_point("format_fig17")
+format_fig18 = _arch.entry_point("format_fig18")
+format_fig19 = _arch.entry_point("format_fig19")
+format_fig20 = _arch.entry_point("format_fig20")
+format_histogram = _arch.entry_point("format_histogram")
+run_fig01_potential = _arch.entry_point("run_fig01_potential")
+run_fig17_energy_breakdown = _arch.entry_point("run_fig17_energy_breakdown")
+run_fig18_fig19_dataflows = _arch.entry_point("run_fig18_fig19_dataflows")
+run_fig20_scalability = _arch.entry_point("run_fig20_scalability")
+run_imbalance_histogram = _arch.entry_point("run_imbalance_histogram")
 from repro.harness.common import (
     histogram_fractions,
     render_table,

@@ -1,0 +1,593 @@
+"""The evaluation service: envelope, dedup, caching, concurrency, chaos.
+
+Covers the acceptance criteria for ``repro.serve``:
+
+* the typed request/result envelope round-trips through its canonical
+  wire codec and rejects newer schemas;
+* served results are bit-identical (canonical JSON) to direct
+  ``run_sweep`` / registry runs of the same work, and share cache
+  entries with them point-for-point;
+* overlapping submissions from concurrent client *processes* never
+  evaluate the same request twice (``duplicate_hit_rate >= 0.99``);
+* shutdown is clean with jobs in flight (drained or failed, never
+  hung), including under injected worker crashes (both the inline
+  ``InjectedWorkerCrash`` and the hard ``os._exit`` ->
+  ``BrokenProcessPool`` -> respawn/requeue path).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.api import (
+    RuntimeConfig,
+    evaluate,
+    evaluate_requests,
+    experiment_request,
+    get_experiment,
+    point_request,
+)
+from repro.api.envelope import EvalRequest, EvalResult, JobStatus
+from repro.report.export import _jsonable
+from repro.serve import Client, InProcessClient, Server, wait_for_server
+from repro.serve.jobs import JobTable, ServeStats
+from repro.serve.protocol import ProtocolError, decode, encode
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.cache import CacheStats, ResultCache
+from repro.sweep.spec import canonical_json
+
+
+# ----------------------------------------------------------------------
+# the envelope
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    def test_request_round_trips_through_wire(self):
+        request = point_request("echo", {"x": 1, "nested": {"b": [1, 2]}}, seed=3)
+        clone = EvalRequest.from_wire(request.to_wire())
+        assert clone == request
+        assert clone.digest() == request.digest()
+
+    def test_digest_is_canonical_param_order_invariant(self):
+        a = point_request("echo", {"x": 1, "y": 2})
+        b = point_request("echo", {"y": 2, "x": 1})
+        assert a.digest() == b.digest()
+
+    def test_seed_distinguishes_requests(self):
+        assert (
+            point_request("echo", {"x": 1}, seed=0).digest()
+            != point_request("echo", {"x": 1}, seed=1).digest()
+        )
+        # seed=None and seed=0 differ as requests (experiment semantics
+        # differ) even though point_seed coincides.
+        assert (
+            point_request("echo", {"x": 1}).digest()
+            != point_request("echo", {"x": 1}, seed=0).digest()
+        )
+
+    def test_newer_schema_rejected_with_clear_error(self):
+        wire = point_request("echo", {}).to_wire()
+        wire["schema"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            EvalRequest.from_wire(wire)
+        with pytest.raises(ValueError, match="newer"):
+            EvalResult.from_wire({"schema": 99, "status": "ok", "values": {}})
+        with pytest.raises(ValueError, match="newer"):
+            JobStatus.from_wire({"schema": 99, "job_id": "j", "state": "done"})
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            EvalRequest(kind="nope", target="echo")
+        with pytest.raises(ValueError, match="target"):
+            EvalRequest(kind="point", target="")
+        with pytest.raises(ValueError, match="seed"):
+            EvalRequest(kind="point", target="echo", seed="seven")
+
+    def test_result_validation_and_canonical_excludes_provenance(self):
+        with pytest.raises(ValueError, match="values"):
+            EvalResult(request_digest="d", status="ok")
+        with pytest.raises(ValueError, match="error"):
+            EvalResult(request_digest="d", status="error")
+        fresh = EvalResult(request_digest="d", status="ok", values={"a": 1})
+        cached = fresh.with_provenance(cached=True, wall_time_s=4.2)
+        assert cached.cached and cached.wall_time_s == 4.2
+        # cache/timing provenance never breaks bit-identity
+        assert fresh.canonical() == cached.canonical()
+
+    def test_status_round_trip(self):
+        status = JobStatus(job_id="job-1", state="running",
+                           request_digest="d", queue_depth=2)
+        assert JobStatus.from_wire(status.to_wire()) == status
+
+    def test_protocol_frames(self):
+        frame = decode(encode({"op": "submit", "id": "c1"}))
+        assert frame == {"op": "submit", "id": "c1"}
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            decode(b"{}\n")
+
+
+# ----------------------------------------------------------------------
+# CacheStats aggregation API (the per-process accounting fix)
+# ----------------------------------------------------------------------
+class TestCacheStatsAggregation:
+    def test_snapshot_diff(self):
+        stats = CacheStats(hits=3, misses=2, stores=2)
+        before = stats.snapshot()
+        stats.hits += 4
+        stats.stores += 1
+        delta = stats.diff(before)
+        assert delta.as_dict() == {
+            "hits": 4, "misses": 0, "stores": 1, "corrupt": 0,
+        }
+        # diff(None) is "since zero"
+        assert stats.diff(None).as_dict() == stats.as_dict()
+
+    def test_merge_accepts_instances_and_dicts(self):
+        total = CacheStats(hits=1)
+        total.merge(CacheStats(hits=2, misses=5))
+        total.merge({"hits": 3, "corrupt": 1, "unknown_counter": 9})
+        assert total.as_dict() == {
+            "hits": 6, "misses": 5, "stores": 0, "corrupt": 1,
+        }
+
+    def test_round_trip_and_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert CacheStats.from_dict(stats.as_dict()) == stats
+        assert stats.hit_rate() == pytest.approx(0.75)
+        assert CacheStats().hit_rate() == 1.0
+
+
+# ----------------------------------------------------------------------
+# in-process evaluation over the envelope
+# ----------------------------------------------------------------------
+class TestEvaluate:
+    def test_point_request_bit_identical_to_run_sweep(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path / "serve"))
+        points = [{"x": 1}, {"x": 2}, {"x": 3}]
+        requests = [point_request("echo", p, seed=5) for p in points]
+        results, accounting = evaluate_requests(requests, config=config)
+        spec = SweepSpec.explicit(
+            "direct", "echo", points, base_seed=5, seed_mode="fixed"
+        )
+        direct = run_sweep(
+            spec, cache=ResultCache(tmp_path / "direct"),
+            config=RuntimeConfig(cache_root=str(tmp_path / "direct")),
+        )
+        for served, point in zip(results, direct.points):
+            assert served.ok and not served.cached
+            assert canonical_json(dict(served.values)) == canonical_json(
+                dict(point.values)
+            )
+        assert accounting["sweep_cache"]["stores"] == 3
+
+    def test_shares_cache_entries_with_direct_sweeps(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        evaluate(point_request("echo", {"x": 7}, seed=2), config=config)
+        # A direct sweep over the same cache root hits the served entry.
+        spec = SweepSpec.explicit(
+            "direct", "echo", [{"x": 7}], base_seed=2, seed_mode="fixed"
+        )
+        direct = run_sweep(spec, cache=ResultCache(tmp_path), config=config)
+        assert direct.points[0].cached
+        # ...and re-serving hits the entry the sweep would have written.
+        again = evaluate(point_request("echo", {"x": 7}, seed=2), config=config)
+        assert again.cached
+
+    def test_experiment_request_matches_registry_run(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        result = evaluate(experiment_request("table1"), config=config)
+        direct = _jsonable(get_experiment("table1").run(config))
+        assert result.ok and not result.cached
+        assert canonical_json(dict(result.values)) == canonical_json(
+            {"result": direct}
+        )
+        assert evaluate(experiment_request("table1"), config=config).cached
+
+    def test_unknown_target_yields_error_result_not_raise(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        bad_point = evaluate(point_request("no-such-evaluator", {}), config=config)
+        assert not bad_point.ok and "no-such-evaluator" in bad_point.error
+        bad_exp = evaluate(experiment_request("no-such-id"), config=config)
+        assert not bad_exp.ok
+
+    def test_group_failure_does_not_poison_siblings(self, tmp_path):
+        # Two same-evaluator points, one of which always errors: the
+        # survivor still completes via the singleton fallback.
+        config = RuntimeConfig(
+            cache_root=str(tmp_path),
+            faults="point-error:match=13",
+        )
+        requests = [
+            point_request("echo", {"x": 13}),
+            point_request("echo", {"x": 4}),
+        ]
+        results, _ = evaluate_requests(requests, config=config)
+        assert not results[0].ok
+        assert results[1].ok and results[1].values["x"] == 4
+
+
+# ----------------------------------------------------------------------
+# the server: dedup, caching, streaming, stats
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_dedup_and_cache_tiers(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            client = InProcessClient(server)
+            first = client.submit(point_request("echo", {"x": 1}))
+            second = client.submit(point_request("echo", {"x": 1}))
+            assert first.ok and not first.cached
+            assert second.ok and second.cached
+            assert first.canonical() == second.canonical()
+            stats = client.stats()
+            assert stats["jobs"]["evaluated"] == 1
+            assert stats["dedup"]["cache_hits"] == 1
+            assert stats["dedup"]["duplicate_hit_rate"] == 1.0
+            assert stats["cache"]["sweep"]["stores"] == 1
+
+    def test_in_flight_submissions_share_one_computation(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        request = point_request("echo", {"x": 1, "sleep_s": 0.8})
+        results = []
+        with Server(config, workers=2) as server:
+            client = InProcessClient(server)
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(client.submit(request))
+                )
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = client.stats()
+        assert len(results) == 4
+        assert len({r.canonical() for r in results}) == 1
+        assert stats["jobs"]["evaluated"] == 1
+        assert stats["dedup"]["in_flight"] >= 1
+        assert stats["dedup"]["duplicate_hit_rate"] == 1.0
+
+    def test_status_stream_and_result_over_socket(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            with Client(server.socket_path) as client:
+                states = []
+                result = client.submit(
+                    point_request("echo", {"x": 2}),
+                    on_status=lambda s: states.append(s.state),
+                )
+                assert result.ok and result.values["x"] == 2
+                assert states[0] == "queued"
+                assert "running" in states
+
+    def test_experiment_requests_served_and_cached(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            client = InProcessClient(server)
+            first = client.submit(experiment_request("table1"))
+            second = client.submit(experiment_request("table1"))
+        assert first.ok and not first.cached
+        assert second.cached
+        assert first.canonical() == second.canonical()
+
+    def test_bad_request_gets_protocol_error(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            with Client(server.socket_path) as client:
+                client._send(
+                    {"op": "submit", "id": "c1",
+                     "request": {"kind": "bogus", "target": "x"}}
+                )
+                frame = next(client._frames_for("c1"))
+                assert frame["op"] == "error"
+                assert "kind" in frame["error"]
+                # the connection survives a bad frame
+                result = client.submit(point_request("echo", {"x": 1}))
+                assert result.ok
+
+    def test_cache_survives_server_restarts(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        request = point_request("echo", {"x": 5})
+        with Server(config, workers=1) as server:
+            first = InProcessClient(server).submit(request)
+        with Server(config, workers=1) as server:
+            second = InProcessClient(server).submit(request)
+            stats = server.stats()
+        assert not first.cached and second.cached
+        assert stats["jobs"]["evaluated"] == 0
+        assert first.canonical() == second.canonical()
+
+
+class TestServerConcurrentClients:
+    @staticmethod
+    def _client_process(socket_path, wires, queue):
+        from repro.api.envelope import EvalRequest
+        from repro.serve import Client
+
+        with Client(socket_path) as client:
+            queue.put(
+                [
+                    client.submit(EvalRequest.from_wire(wire)).to_wire()
+                    for wire in wires
+                ]
+            )
+
+    def test_overlapping_client_processes_zero_duplicate_evaluations(
+        self, tmp_path
+    ):
+        config = RuntimeConfig(cache_root=str(tmp_path / "serve"))
+        points = [{"x": i} for i in range(4)]
+        wires = [point_request("echo", p, seed=1).to_wire() for p in points]
+        queue = multiprocessing.Queue()
+        with Server(config, workers=2) as server:
+            clients = [
+                multiprocessing.Process(
+                    target=self._client_process,
+                    args=(server.socket_path, wires, queue),
+                )
+                for _ in range(3)
+            ]
+            for p in clients:
+                p.start()
+            batches = [queue.get(timeout=120) for _ in clients]
+            for p in clients:
+                p.join(timeout=30)
+            stats = server.stats()
+
+        # every client saw every result, all bit-identical
+        assert len(batches) == 3
+        for batch in batches:
+            assert [EvalResult.from_wire(w).ok for w in batch] == [True] * 4
+        for i in range(4):
+            assert (
+                len(
+                    {
+                        EvalResult.from_wire(batch[i]).canonical()
+                        for batch in batches
+                    }
+                )
+                == 1
+            )
+        # 12 submissions, 4 unique -> exactly 4 evaluations, >=99% dedup
+        assert stats["jobs"]["submitted"] == 12
+        assert stats["jobs"]["evaluated"] == 4
+        assert stats["dedup"]["duplicate_hit_rate"] >= 0.99
+
+        # bit-identical against a direct sweep in this process
+        spec = SweepSpec.explicit(
+            "direct", "echo", points, base_seed=1, seed_mode="fixed"
+        )
+        direct = run_sweep(
+            spec,
+            cache=ResultCache(tmp_path / "direct"),
+            config=RuntimeConfig(cache_root=str(tmp_path / "direct")),
+        )
+        served = [EvalResult.from_wire(w) for w in batches[0]]
+        for result, point in zip(served, direct.points):
+            assert canonical_json(dict(result.values)) == canonical_json(
+                dict(point.values)
+            )
+
+
+class TestServerShutdown:
+    def test_drain_finishes_in_flight_jobs(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        server = Server(config, workers=1).start()
+        client = InProcessClient(server)
+        box = {}
+
+        def submit():
+            box["result"] = client.submit(
+                point_request("echo", {"x": 1, "sleep_s": 1.0})
+            )
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        import time
+
+        time.sleep(0.3)  # let the job reach the pool
+        server.stop(drain=True)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert box["result"].ok and box["result"].values["x"] == 1
+
+    def test_forced_stop_fails_jobs_instead_of_hanging(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        server = Server(config, workers=1).start()
+        client = InProcessClient(server)
+        box = {}
+
+        def submit():
+            box["result"] = client.submit(
+                point_request("echo", {"x": 1, "sleep_s": 30.0})
+            )
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        import time
+
+        time.sleep(0.3)
+        server.stop(drain=False)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert not box["result"].ok
+
+    def test_refuses_to_displace_a_live_server(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            clash = Server(config, socket_path=server.socket_path, workers=1)
+            with pytest.raises(RuntimeError, match="already listening"):
+                clash.start()
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        socket_path = tmp_path / "serve.sock"
+        socket_path.touch()  # stale leftover, nobody listening
+        with Server(config, socket_path=socket_path, workers=1) as server:
+            result = InProcessClient(server).submit(
+                point_request("echo", {"x": 1})
+            )
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# chaos: injected worker crashes (reuses the test_chaos fault plans)
+# ----------------------------------------------------------------------
+class TestServerChaos:
+    def test_hard_worker_kill_respawns_pool_and_requeues(self, tmp_path):
+        # worker-crash:match=serve fires at the pool-worker entry (key
+        # "serve|<digests>") with allow_exit=True -> os._exit(3) ->
+        # BrokenProcessPool in the server -> respawn + requeue; the
+        # second attempt passes max_attempt=1 and completes.
+        config = RuntimeConfig(
+            cache_root=str(tmp_path),
+            faults="worker-crash:match=serve,max_attempt=1",
+        )
+        with Server(config, workers=1) as server:
+            client = InProcessClient(server)
+            result = client.submit(point_request("echo", {"x": 9}))
+            stats = client.stats()
+        assert result.ok and not result.cached
+        assert result.values["x"] == 9
+        assert stats["reliability"]["serve_worker_crashes"] >= 1
+        assert stats["reliability"]["serve_requeues"] >= 1
+
+    def test_crash_results_stay_bit_identical_to_clean_run(self, tmp_path):
+        request = point_request("echo", {"x": 3, "y": 4}, seed=6)
+        clean = evaluate(
+            request, config=RuntimeConfig(cache_root=str(tmp_path / "clean"))
+        )
+        # Both crash sites at once: the serve pool worker dies hard on
+        # attempt 1, then the inline point evaluation raises
+        # InjectedWorkerCrash on its attempt 1 and retries.
+        config = RuntimeConfig(
+            cache_root=str(tmp_path / "chaos"),
+            faults="worker-crash:max_attempt=1",
+            retries=1,
+        )
+        with Server(config, workers=1) as server:
+            client = InProcessClient(server)
+            chaotic = client.submit(request)
+            stats = client.stats()
+        assert chaotic.ok
+        assert chaotic.canonical() == clean.canonical()
+        assert stats["reliability"]["serve_worker_crashes"] >= 1
+        assert stats["jobs"]["failed"] == 0
+
+
+# ----------------------------------------------------------------------
+# jobs/stats unit coverage
+# ----------------------------------------------------------------------
+class TestJobTable:
+    def test_duplicate_hit_rate_edge_cases(self):
+        table = JobTable()
+        assert table.duplicate_hit_rate() == 1.0  # nothing submitted
+
+        loop = __import__("asyncio").new_event_loop()
+        try:
+            request = point_request("echo", {"x": 1})
+            job, created = table.submit(request, loop)
+            assert created
+            _, created_again = table.submit(request, loop)
+            assert not created_again  # attached in flight
+            table.finish(
+                job,
+                EvalResult(request_digest=job.digest, status="ok",
+                           values={"x": 1}),
+            )
+            assert table.submitted == 2
+            assert table.evaluated == 1
+            assert table.duplicate_hit_rate() == 1.0
+            # a *re*-evaluated duplicate drags the rate below 1
+            job2, _ = table.submit(request, loop)
+            table.finish(
+                job2,
+                EvalResult(request_digest=job2.digest, status="ok",
+                           values={"x": 1}),
+            )
+            assert table.duplicate_hit_rate() == 0.5
+        finally:
+            loop.close()
+
+    def test_serve_stats_absorbs_worker_accounting(self):
+        stats = ServeStats()
+        stats.absorb(
+            {
+                "sweep_cache": {"hits": 2, "misses": 1, "stores": 1},
+                "evalcore": {"hits": 5},
+                "reliability": {"retries": 1},
+            }
+        )
+        stats.absorb({"sweep_cache": {"hits": 1}, "evalcore": {"hits": 2}})
+        stats.observe_values({"trajectory_cached": True})
+        stats.observe_values({"trajectory_cached": False})
+        payload = stats.cache_payload()
+        assert payload["sweep"]["hits"] == 3
+        assert payload["sweep"]["hit_rate"] == pytest.approx(0.75)
+        assert payload["evalcore"]["hits"] == 7
+        assert payload["trajectory"] == {"hits": 1, "misses": 1}
+        assert stats.reliability_payload()["retries"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_parser_accepts_serve_and_submit(self):
+        from repro.harness.__main__ import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--socket", "/tmp/s.sock", "--serve-workers", "3"]
+        )
+        assert args.command == "serve"
+        assert args.socket == "/tmp/s.sock"
+        assert args.serve_workers == 3
+        args = parser.parse_args(
+            ["submit", "table1", "--params", '{"a": 1}', "--stats"]
+        )
+        assert args.command == "submit"
+        assert args.target == "table1"
+        assert json.loads(args.params) == {"a": 1}
+
+    def test_submit_without_socket_fails_cleanly(self, capsys, monkeypatch):
+        from repro.harness.__main__ import main
+
+        for var in ("REPRO_SERVE_SOCKET", "REPRO_CACHE_ROOT"):
+            monkeypatch.delenv(var, raising=False)
+        code = main(["prog", "submit", "table1"])
+        assert code == 2
+        assert "socket" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_live_server(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        config = RuntimeConfig(cache_root=str(tmp_path))
+        with Server(config, workers=1) as server:
+            code = main(
+                ["prog", "submit", "echo", "--kind", "point",
+                 "--params", '{"x": 11}',
+                 "--socket", server.socket_path]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            wire = json.loads(out)
+            assert wire["status"] == "ok" and wire["values"]["x"] == 11
+            code = main(
+                ["prog", "submit", "--stats", "--socket", server.socket_path]
+            )
+            stats = json.loads(capsys.readouterr().out)
+            assert code == 0 and stats["jobs"]["submitted"] == 1
+
+
+def test_wait_for_server_times_out_fast(tmp_path):
+    with pytest.raises(TimeoutError):
+        wait_for_server(tmp_path / "nowhere.sock", timeout=0.3)
