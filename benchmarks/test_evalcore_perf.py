@@ -273,3 +273,67 @@ def _timed(fn, *args, **kwargs) -> float:
     start = time.perf_counter()
     fn(*args, **kwargs)
     return time.perf_counter() - start
+
+
+def test_telemetry_disabled_overhead_within_noise():
+    """Blocking: disabled telemetry costs < 3% of a cold simulate.
+
+    Counts how many spans and counter updates one cold VGG-S simulate
+    emits when telemetry is forced on, times the disabled no-op paths
+    (``span()`` returning the null singleton, guarded ``inc()``) in
+    tight loops, and bounds the product — the per-call no-op cost never
+    re-enters the hot path as a measurable tax.
+    """
+    from repro.api.config import config_scope
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    profile = sparse_profile_for("vgg-s")
+    n = model_entry("vgg-s").minibatch
+
+    previous_memo = evalcore.set_memo(None)
+    try:
+        # How much telemetry would a cold walk emit, were it enabled?
+        with config_scope(metrics=True):
+            before = obs_metrics.registry().snapshot()
+            with obs_trace.capture() as buf:
+                _simulate_all_mappings(profile, n)
+            emitted = obs_metrics.registry().diff(before)
+        n_spans = len(buf)
+        n_counts = sum(emitted.counters.values()) + sum(
+            h["count"] for h in emitted.histograms.values()
+        )
+        assert n_spans > 0  # the walk really is instrumented
+
+        # The same walk, telemetry off (the shipped default).
+        cold_s = min(
+            _timed(_simulate_all_mappings, profile, n) for _ in range(3)
+        )
+    finally:
+        evalcore.set_memo(previous_memo)
+
+    # Per-call cost of the disabled fast paths, measured directly.
+    reps = 100_000
+    assert not obs_trace.tracing_enabled()
+    assert not obs_metrics.metrics_enabled()
+    span_s = _timed(
+        lambda: [obs_trace.span("bench.noop", layer="x") for _ in range(reps)]
+    )
+    inc_s = _timed(
+        lambda: [obs_metrics.inc("bench.noop") for _ in range(reps)]
+    )
+    overhead_s = (n_spans * span_s + n_counts * inc_s) / reps
+    share = overhead_s / cold_s
+    print(
+        f"\ntelemetry-off overhead: {n_spans} spans + {n_counts} counts "
+        f"-> {overhead_s * 1e6:.1f}us over {cold_s:.3f}s cold walk "
+        f"({share * 100:.4f}%)"
+    )
+    _record(
+        telemetry_off_overhead_share=round(share, 6),
+        telemetry_spans_per_cold_walk=n_spans,
+    )
+    assert share < 0.03, (
+        f"disabled telemetry overhead {share * 100:.2f}% >= 3% of a "
+        f"cold VGG-S simulate"
+    )

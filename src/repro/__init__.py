@@ -44,9 +44,21 @@ Subpackages
     artifact as a runnable ``Experiment``) and the layered
     ``RuntimeConfig`` (defaults < ``REPRO_*`` env < explicit argument)
     threaded through the whole stack.
+``repro.obs``
+    Observability: hierarchical trace spans with Chrome-trace export,
+    a cross-process counter/gauge/histogram registry, and the
+    library's structured-logging conventions — all no-ops unless
+    enabled through ``RuntimeConfig``.
 """
 
+import logging as _logging
+
 __version__ = "1.1.0"
+
+# Standard library-logging contract: repro.* loggers stay silent (and
+# warning-free) until an application or repro.obs.configure_logging
+# attaches a real handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.core import (
     DropbackConfig,

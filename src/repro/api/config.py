@@ -51,7 +51,13 @@ _PATH_ENV_VARS = {
     "REPRO_CAMPAIGN_CACHE_DIR": "campaign_cache_dir",
     "REPRO_CACHE_ROOT": "cache_root",
     "REPRO_SERVE_SOCKET": "serve_socket",
+    "REPRO_TRACE_DIR": "trace_dir",
 }
+
+#: Log-level names :class:`RuntimeConfig.log_level` accepts (any
+#: case).  Kept as literals so this module stays import-light — the
+#: :mod:`logging` resolution itself lives in :mod:`repro.obs.logs`.
+_LOG_LEVELS = ("CRITICAL", "ERROR", "WARNING", "INFO", "DEBUG", "NOTSET")
 
 #: Executor names :class:`RuntimeConfig` accepts.  The sweep runner's
 #: built-ins are seeded here (this module stays import-light, so it
@@ -126,6 +132,23 @@ class RuntimeConfig:
         (``REPRO_SERVE_SOCKET``; default ``<cache_root>/serve.sock``)
         and the server's evaluation worker-pool size
         (``REPRO_SERVE_WORKERS``; default 2).
+    trace / trace_dir
+        The observability layer (:mod:`repro.obs`): ``trace=True``
+        (``REPRO_TRACE=1``) records hierarchical spans into the
+        process trace buffer; ``trace_dir`` (``REPRO_TRACE_DIR``;
+        default ``<cache_root>/traces``) is where span JSONL files and
+        the merged Chrome trace land.  Off by default — the disabled
+        path is a guarded no-op.
+    metrics
+        Enable the process-local counter/gauge/histogram registry
+        (:mod:`repro.obs.metrics`; ``REPRO_METRICS=1``).  Pool workers
+        ship their registry deltas back to the parent exactly like
+        cache stats.  Telemetry never changes evaluation results.
+    log_level
+        Level name for :func:`repro.obs.logs.configure_logging`
+        (``REPRO_LOG_LEVEL``; e.g. ``"INFO"``, any case).  ``None``
+        (the default) leaves logging unconfigured — the library's
+        ``repro.*`` loggers stay silent under the ``NullHandler``.
     """
 
     evalcore_memo: bool = True
@@ -142,6 +165,10 @@ class RuntimeConfig:
     faults: str | None = None
     serve_socket: str | None = None
     serve_workers: int | None = None
+    trace: bool = False
+    trace_dir: str | None = None
+    metrics: bool = False
+    log_level: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _KNOWN_EXECUTORS:
@@ -159,6 +186,14 @@ class RuntimeConfig:
         if self.serve_workers is not None and self.serve_workers < 1:
             raise ValueError(
                 f"serve_workers must be >= 1 (got {self.serve_workers})"
+            )
+        if (
+            self.log_level is not None
+            and self.log_level.upper() not in _LOG_LEVELS
+        ):
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; "
+                f"expected one of {list(_LOG_LEVELS)} (any case)"
             )
 
     # ------------------------------------------------------------------
@@ -224,6 +259,13 @@ class RuntimeConfig:
         raw_faults = env.get("REPRO_FAULTS")
         if raw_faults:
             values["faults"] = raw_faults
+        if env.get("REPRO_TRACE", "") == "1":
+            values["trace"] = True
+        if env.get("REPRO_METRICS", "") == "1":
+            values["metrics"] = True
+        raw_log_level = env.get("REPRO_LOG_LEVEL")
+        if raw_log_level:
+            values["log_level"] = raw_log_level
         raw_serve_workers = env.get("REPRO_SERVE_WORKERS")
         if raw_serve_workers is not None:
             try:
@@ -268,6 +310,14 @@ class RuntimeConfig:
             return str(Path(self.cache_root) / "campaign")
         return None
 
+    def effective_trace_dir(self) -> str | None:
+        """Where trace files land: explicit dir, else under the root."""
+        if self.trace_dir:
+            return self.trace_dir
+        if self.cache_root:
+            return str(Path(self.cache_root) / "traces")
+        return None
+
     def sweep_cache(self):
         """A sweep :class:`~repro.sweep.cache.ResultCache` at the cache
         root, or ``None`` when no root is configured."""
@@ -300,6 +350,8 @@ _active: RuntimeConfig | None = None
 _DERIVED_STATE_MODULES = (
     "repro.dataflow.evalcore",
     "repro.dataflow.sampling",
+    "repro.obs.metrics",
+    "repro.obs.trace",
 )
 
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
 from repro.api.config import RuntimeConfig, get_config
+from repro.obs.trace import span as _span
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -441,7 +442,12 @@ def evaluate_requests(
     for index, request in enumerate(requests):
         if request.kind == "experiment":
             try:
-                results[index] = _run_experiment(request, config, cache)
+                with _span(
+                    "envelope.request",
+                    kind="experiment",
+                    target=request.target,
+                ):
+                    results[index] = _run_experiment(request, config, cache)
             except Exception as error:
                 results[index] = EvalResult(
                     request_digest=request.digest(),
@@ -455,7 +461,15 @@ def evaluate_requests(
     for indices in groups.values():
         group = [requests[i] for i in indices]
         try:
-            group_results, counters = _run_point_group(group, config, cache)
+            with _span(
+                "envelope.request",
+                kind="point",
+                target=group[0].target,
+                points=len(group),
+            ):
+                group_results, counters = _run_point_group(
+                    group, config, cache
+                )
         except Exception:
             # The group failed as a whole (or raised its first point
             # failure at the end); re-run each member as a singleton so

@@ -42,6 +42,8 @@ from repro.nn.layers import Conv2d, Layer, Linear, ReLU
 from repro.nn.model import Network
 from repro.nn.optim import SGD
 from repro.nn.trainer import Trainer
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.workloads.layer_spec import LayerSpec
 from repro.workloads.sparsity import profile_from_masks
 
@@ -197,6 +199,8 @@ class _EpochRecorder:
         }
 
     def __call__(self, trainer: Trainer, epoch: int) -> None:
+        _metrics.inc("campaign.epochs")
+        _trace.add_event("campaign.epoch", epoch=epoch)
         optimizer = trainer.optimizer
         if isinstance(optimizer, DropbackOptimizer):
             masks = {
@@ -257,6 +261,27 @@ def run_campaign(
     the spec — so two runs of one spec produce identical trajectories,
     which is what makes the store sound.
     """
+    with _trace.span(
+        "campaign.run",
+        model=spec.model,
+        mode=spec.mode,
+        epochs=spec.epochs,
+    ) as run_span:
+        result = _run_campaign(spec, store, force, config)
+        run_span.set_attribute("cached", result.cached)
+        if result.cached:
+            _metrics.inc("campaign.cache_hits")
+        else:
+            _metrics.inc("campaign.trained")
+        return result
+
+
+def _run_campaign(
+    spec: CampaignSpec,
+    store: TrajectoryStore | None,
+    force: bool,
+    config,
+) -> CampaignResult:
     if store is None and config is not None:
         store = TrajectoryStore.from_config(config)
     if store is not None and not force:

@@ -29,12 +29,15 @@ from typing import Any, Mapping, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.logs import get_logger, log_event
 from repro.sweep.cache import CacheStats, ResultCache
 from repro.workloads.layer_spec import LayerSpec
 from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports sweep)
     from repro.campaign.spec import CampaignSpec
+
+_logger = get_logger("repro.campaign.trajectory")
 
 __all__ = [
     "EpochRecord",
@@ -325,7 +328,16 @@ class TrajectoryStore:
         try:
             return Trajectory.from_values(record["values"])
         except (KeyError, TypeError, ValueError):
+            # ResultCache._quarantine counts the cache.corrupt metric;
+            # this event adds the campaign-level context it can't see.
             self._cache.quarantine(key_material)
+            log_event(
+                _logger,
+                "cache.quarantine",
+                tier="trajectory",
+                campaign=spec.name,
+                reason="semantic validation failed",
+            )
             warnings.warn(
                 f"quarantined undecodable trajectory record for campaign "
                 f"{spec.name!r}; it will be re-trained",

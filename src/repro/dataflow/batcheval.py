@@ -65,6 +65,7 @@ from repro.dataflow.tiling import (
     build_sets_reference,
 )
 from repro.hw.config import ArchConfig
+from repro.obs.trace import span as _span
 from repro.workloads.phases import PHASES, phase_op
 from repro.workloads.sparsity import LayerSparsity, NetworkSparsity
 
@@ -165,7 +166,12 @@ def evaluate_candidates(
         if config is not None and not evalcore.using_reference()
         else nullcontext()
     )
-    with sampling_ctx:
+    batch_span = _span(
+        "evalcore.evaluate_candidates",
+        network=profile.name,
+        candidates=len(candidates),
+    )
+    with batch_span, sampling_ctx:
         start = time.perf_counter()
         # Pass 1: address every (candidate, phase, layer) slot by its
         # content digest; first sight of a digest records its build job.

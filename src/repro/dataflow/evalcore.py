@@ -62,6 +62,9 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.api.config import RuntimeConfig, get_config
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import span as _span
 from repro.reliability import faults as _faults
 from repro.dataflow import sampling
 from repro.dataflow.energy_model import layer_phase_energy
@@ -94,6 +97,8 @@ __all__ = [
 #: Version tag folded into every content key; bump when the working-set
 #: model changes in a way that invalidates cached sets.
 EVALCORE_VERSION = "evalcore-v1"
+
+_logger = get_logger("repro.dataflow.evalcore")
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +233,14 @@ class SegmentStore:
                 for digest, loc in self._index.items()
                 if loc[0] != path
             }
+        _metrics.inc("cache.corrupt")
+        log_event(
+            _logger,
+            "cache.quarantine",
+            tier="evalcore-segment",
+            path=path,
+            reason=reason,
+        )
         warnings.warn(
             f"quarantined corrupt segment ({reason}): {path} -> "
             f"{target.name}",
@@ -373,6 +386,7 @@ class EvalMemo:
         if entry is not None:
             self._entries.move_to_end(digest)
             self.stats.hits += 1
+            _metrics.inc("evalcore.memo.hits")
             return entry
         if self._segments is not None:
             hits = self._segments.get_many([digest])
@@ -380,6 +394,7 @@ class EvalMemo:
                 sets = hits[digest]
                 self._insert(digest, sets)
                 self.stats.disk_hits += 1
+                _metrics.inc("evalcore.memo.disk_hits")
                 return sets
         if self._disk is not None:
             record = self._disk.get({"evalcore": digest})
@@ -387,8 +402,10 @@ class EvalMemo:
                 sets = _sets_from_values(record["values"])
                 self._insert(digest, sets)
                 self.stats.disk_hits += 1
+                _metrics.inc("evalcore.memo.disk_hits")
                 return sets
         self.stats.misses += 1
+        _metrics.inc("evalcore.memo.misses")
         return None
 
     def get_many(self, digests: list[str]) -> dict[str, SetStats]:
@@ -409,12 +426,16 @@ class EvalMemo:
             else:
                 missing.append(digest)
         self.stats.hits += len(results)
+        if results:
+            _metrics.inc("evalcore.memo.hits", len(results))
         if missing and self._segments is not None:
             segment_hits = self._segments.get_many(missing)
             for digest, sets in segment_hits.items():
                 self._insert(digest, sets)
                 results[digest] = sets
             self.stats.disk_hits += len(segment_hits)
+            if segment_hits:
+                _metrics.inc("evalcore.memo.disk_hits", len(segment_hits))
             missing = [d for d in missing if d not in segment_hits]
         if missing and self._disk is not None and self._has_json_records():
             still_missing = []
@@ -425,10 +446,13 @@ class EvalMemo:
                     self._insert(digest, sets)
                     results[digest] = sets
                     self.stats.disk_hits += 1
+                    _metrics.inc("evalcore.memo.disk_hits")
                 else:
                     still_missing.append(digest)
             missing = still_missing
         self.stats.misses += len(missing)
+        if missing:
+            _metrics.inc("evalcore.memo.misses", len(missing))
         return results
 
     def put(self, digest: str, sets: SetStats) -> None:
@@ -436,6 +460,7 @@ class EvalMemo:
         if self._disk is not None:
             self._disk.put({"evalcore": digest}, _sets_to_values(sets))
         self.stats.stores += 1
+        _metrics.inc("evalcore.memo.stores")
 
     def put_many(self, pairs: list[tuple[str, SetStats]]) -> None:
         """Bulk :meth:`put`: one segment write for the whole batch.
@@ -451,6 +476,8 @@ class EvalMemo:
         if self._segments is not None and pairs:
             self._segments.put_many(pairs)
         self.stats.stores += len(pairs)
+        if pairs:
+            _metrics.inc("evalcore.memo.stores", len(pairs))
 
     def _count_corrupt(self) -> None:
         """Segment-tier quarantine callback: one bad segment file.
@@ -804,29 +831,47 @@ def evaluate_network(
         arch=arch,
         seed=seed,
     )
-    with sampling_ctx:
+    network_span = _span(
+        "evalcore.evaluate_network",
+        network=profile.name,
+        mapping=mapping,
+        seed=seed,
+    )
+    with network_span, sampling_ctx:
         for phase in phases:
             mode = allowed_balancing(mapping, phase) if balance else "none"
             rows: list[LayerPhaseEval] = []
             for ls in profile.layers:
-                start = time.perf_counter()
-                sets = layer_phase_sets(
-                    ls, phase, mapping, arch, n,
-                    sparse=sparse, balance_mode=mode, seed=seed, memo=memo,
-                )
-                cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
-                macs = sets.total_macs()
-                if timings is not None:
-                    timings.add("sets", time.perf_counter() - start)
+                with _span(
+                    "evalcore.sets", layer=ls.layer.name, phase=phase
+                ):
+                    start = time.perf_counter()
+                    sets = layer_phase_sets(
+                        ls, phase, mapping, arch, n,
+                        sparse=sparse, balance_mode=mode, seed=seed,
+                        memo=memo,
+                    )
+                    cycles = sets.total_cycles(arch.macs_per_pe_per_cycle)
+                    macs = sets.total_macs()
+                    if timings is not None:
+                        timings.add("sets", time.perf_counter() - start)
                 energy = None
                 if table is not None:
-                    start = time.perf_counter()
-                    op = phase_op(ls.layer, phase, n)
-                    energy = layer_phase_energy(
-                        op, mapping, arch, ls, table, sparse=sparse, macs=macs
-                    )
-                    if timings is not None:
-                        timings.add("energy", time.perf_counter() - start)
+                    with _span(
+                        "evalcore.energy",
+                        layer=ls.layer.name,
+                        phase=phase,
+                    ):
+                        start = time.perf_counter()
+                        op = phase_op(ls.layer, phase, n)
+                        energy = layer_phase_energy(
+                            op, mapping, arch, ls, table,
+                            sparse=sparse, macs=macs,
+                        )
+                        if timings is not None:
+                            timings.add(
+                                "energy", time.perf_counter() - start
+                            )
                 rows.append(
                     LayerPhaseEval(
                         layer_name=ls.layer.name,

@@ -180,6 +180,7 @@ def run_profile_cli(*args: str) -> None:
     from repro.harness.profile_cmd import format_profile, run_profile
 
     rest, cache_dir = _take_flag(list(args), "--cache-dir")
+    rest, trace_out = _take_flag(rest, "--trace-out")
     _reject_unknown_flags(rest, "profile")
     networks = rest[0] if len(rest) > 0 else "vgg-s"
     mappings = rest[1] if len(rest) > 1 else "KN,CN,CK,PQ"
@@ -192,8 +193,11 @@ def run_profile_cli(*args: str) -> None:
         networks=tuple(networks.split(",")),
         mappings=tuple(mappings.split(",")),
         cache_dir=cache_dir,
+        trace_out=trace_out,
     )
     print(format_profile(rows))
+    if trace_out:
+        print(f"\ntrace: wrote {trace_out}")
 
 
 def run_campaign_subcommand(*args: str) -> None:
@@ -345,10 +349,32 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
              "e.g. 'seed=7;worker-crash:p=0.2;cache-corrupt:p=0.1' "
              "(see docs/reliability.md)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record hierarchical spans (repro.obs) and write a "
+             "Chrome-loadable trace.json at the end of the run",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="where span files and trace.json land (default: "
+             "<cache-root>/traces, else results/traces)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="count evaluation-stack metrics (cache traffic, sweep "
+             "points, campaign epochs) and print the snapshot",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        help="emit repro.* structured logs at LEVEL (DEBUG..CRITICAL) "
+             "to stderr",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> RuntimeConfig:
     """defaults < REPRO_* env < explicit CLI flags."""
+    from repro.obs.logs import configure_logging
+
     overrides: dict = {}
     if args.cache_dir is not None:
         overrides["cache_root"] = args.cache_dir
@@ -366,7 +392,51 @@ def _config_from_args(args: argparse.Namespace) -> RuntimeConfig:
         overrides["point_timeout_s"] = args.point_timeout
     if args.faults is not None:
         overrides["faults"] = args.faults
-    return RuntimeConfig.from_env(**overrides)
+    if args.trace:
+        overrides["trace"] = True
+    if args.trace_dir is not None:
+        overrides["trace_dir"] = args.trace_dir
+    if args.metrics:
+        overrides["metrics"] = True
+    if args.log_level is not None:
+        overrides["log_level"] = args.log_level
+    config = RuntimeConfig.from_env(**overrides)
+    if config.trace and not config.effective_trace_dir():
+        # Tracing with nowhere to land (no cache root either) gets the
+        # conventional results directory rather than dropping spans.
+        config = config.with_(trace_dir="results/traces")
+    configure_logging(config=config)
+    return config
+
+
+def _finish_telemetry(config: RuntimeConfig) -> None:
+    """Export what the run collected (a no-op when telemetry is off).
+
+    Called inside the command's ``config_scope``: flushes this
+    process's spans, merges them with every pool worker's per-pid span
+    file, writes one Chrome-loadable ``trace.json``, and prints the
+    metrics snapshot.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    if config.trace:
+        _trace.flush()
+        trace_dir = config.effective_trace_dir()
+        if trace_dir:
+            spans = _trace.load_spans(trace_dir)
+            if spans:
+                path = _trace.write_chrome_trace(
+                    Path(trace_dir) / "trace.json", spans
+                )
+                print(f"\ntrace: {len(spans)} spans -> {path}")
+    if config.metrics:
+        payload = _metrics.registry().as_dict()
+        if payload:
+            print(f"\nmetrics: {json.dumps(payload, sort_keys=True)}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -453,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("networks", nargs="?", default="vgg-s")
     p_profile.add_argument("mappings", nargs="?", default="KN,CN,CK,PQ")
     p_profile.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_profile.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also export every captured span as Chrome trace-event "
+             "JSON (chrome://tracing, Perfetto)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -575,6 +650,7 @@ def main(argv: list[str] | None = None) -> int:
                 run_experiment_cli(
                     args.experiment, config, export_dir=args.export
                 )
+                _finish_telemetry(config)
         elif args.command in ("all", "arch", "training", "tables", "beyond"):
             config = _config_from_args(args)
             families = (
@@ -585,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
             with config_scope(config):
                 for family in families:
                     _run_family(family, config)
+                _finish_telemetry(config)
         elif args.command == "export":
             run_export(args.directory)
         elif args.command == "explore":
@@ -603,6 +680,7 @@ def main(argv: list[str] | None = None) -> int:
                 *(
                     [args.networks, args.mappings]
                     + (["--cache-dir", args.cache_dir] if args.cache_dir else [])
+                    + (["--trace-out", args.trace_out] if args.trace_out else [])
                 )
             )
     except (KeyError, ValueError) as error:

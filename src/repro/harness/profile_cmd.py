@@ -13,15 +13,21 @@ Times one :func:`repro.dataflow.simulator.simulate` call per requested
 * plus the cold wall time, a warm (memoized) re-run, and the memo's
   hit counters — so performance work on the hot path stays observable
   without a profiler in hand.
+
+The stage numbers come from :mod:`repro.obs.trace` spans: each pass
+runs under :func:`repro.obs.trace.capture`, the evaluation core's own
+``evalcore.sets`` / ``evalcore.energy`` spans are summed per stage,
+and ``trace_out`` (CLI ``--trace-out``) exports everything captured as
+one Chrome-loadable trace for ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.harness.common import model_entry, render_table, sparse_profile_for
+from repro.obs import trace as _trace
 
 __all__ = ["run_profile", "format_profile"]
 
@@ -29,18 +35,15 @@ DEFAULT_MAPPINGS = ("KN", "CN", "CK", "PQ")
 
 
 @contextmanager
-def _timed_balance(timings) -> Iterator[None]:
-    """Route tiling's balance_sets calls through a stage timer."""
+def _timed_balance() -> Iterator[None]:
+    """Route tiling's balance_sets calls through their own span."""
     import repro.dataflow.tiling as tiling
 
     original = tiling.balance_sets
 
     def wrapper(work, rng, *args, **kwargs):
-        start = time.perf_counter()
-        try:
+        with _trace.span("evalcore.balance"):
             return original(work, rng, *args, **kwargs)
-        finally:
-            timings.add("balance", time.perf_counter() - start)
 
     tiling.balance_sets = wrapper
     try:
@@ -49,12 +52,17 @@ def _timed_balance(timings) -> Iterator[None]:
         tiling.balance_sets = original
 
 
+def _stage_seconds(spans: list[dict[str, Any]], name: str) -> float:
+    return sum(s["dur"] for s in spans if s["name"] == name)
+
+
 def run_profile(
     networks: tuple[str, ...] = ("vgg-s",),
     mappings: tuple[str, ...] = DEFAULT_MAPPINGS,
     seed: int = 0,
     cache_dir: str | None = None,
     config=None,
+    trace_out: str | None = None,
 ) -> list[dict[str, float | str]]:
     """Profile one ``simulate()`` per (network, mapping); return rows.
 
@@ -65,15 +73,14 @@ def run_profile(
     profiled condition warms future explorer/sweep runs (and vice
     versa; a primed directory shows up here as disk hits on the
     "cold" pass).
+
+    ``trace_out`` additionally writes every captured span (cold and
+    warm passes, all conditions) as one Chrome trace-event JSON file.
     """
     from pathlib import Path
 
     from repro.api.config import get_config
-    from repro.dataflow.evalcore import (
-        EvalMemo,
-        EvalTimings,
-        evaluate_network,
-    )
+    from repro.dataflow.evalcore import EvalMemo, evaluate_network
     from repro.hw.config import PROCRUSTES_16x16
     from repro.hw.energy import DEFAULT_ENERGY_TABLE
 
@@ -87,54 +94,68 @@ def run_profile(
     # sampling mode honor the configuration being profiled.
     memo_size = max(1, active.evalcore_memo_size)
     rows: list[dict[str, float | str]] = []
+    collected: list[dict[str, Any]] = []
     for network in networks:
         profile = sparse_profile_for(network)
         n = model_entry(network).minibatch
         for mapping in mappings:
             # Fresh per condition: the cold/warm split stays meaningful.
             memo = EvalMemo(maxsize=memo_size, disk_root=disk_root)
-            timings = EvalTimings()
-            start = time.perf_counter()
-            with _timed_balance(timings):
-                evaluation = evaluate_network(
-                    profile,
-                    mapping,
-                    PROCRUSTES_16x16,
-                    n,
-                    table=DEFAULT_ENERGY_TABLE,
-                    seed=seed,
-                    memo=memo,
-                    timings=timings,
-                    config=active,
-                )
-            cold_s = time.perf_counter() - start
-            start = time.perf_counter()
-            evaluate_network(
-                profile,
-                mapping,
-                PROCRUSTES_16x16,
-                n,
-                table=DEFAULT_ENERGY_TABLE,
-                seed=seed,
-                memo=memo,
-                config=active,
-            )
-            warm_s = time.perf_counter() - start
-            stages = timings.stages
-            balance_s = stages.get("balance", 0.0)
+            # Cold and warm passes capture into separate buffers so the
+            # stage sums come from the cold walk only (the warm pass
+            # re-enters the same spans, but as memo-served no-ops).
+            with _trace.capture() as cold_buf:
+                with _trace.span(
+                    "profile.cold", network=network, mapping=mapping
+                ), _timed_balance():
+                    evaluation = evaluate_network(
+                        profile,
+                        mapping,
+                        PROCRUSTES_16x16,
+                        n,
+                        table=DEFAULT_ENERGY_TABLE,
+                        seed=seed,
+                        memo=memo,
+                        config=active,
+                    )
+            with _trace.capture() as warm_buf:
+                with _trace.span(
+                    "profile.warm", network=network, mapping=mapping
+                ):
+                    evaluate_network(
+                        profile,
+                        mapping,
+                        PROCRUSTES_16x16,
+                        n,
+                        table=DEFAULT_ENERGY_TABLE,
+                        seed=seed,
+                        memo=memo,
+                        config=active,
+                    )
+            cold_spans = cold_buf.spans()
+            warm_spans = warm_buf.spans()
+            collected.extend(cold_spans)
+            collected.extend(warm_spans)
+            cold_s = _stage_seconds(cold_spans, "profile.cold")
+            balance_s = _stage_seconds(cold_spans, "evalcore.balance")
             rows.append(
                 {
                     "network": network,
                     "mapping": mapping,
                     "cold_s": cold_s,
-                    "sets_s": stages.get("sets", 0.0) - balance_s,
+                    "sets_s": (
+                        _stage_seconds(cold_spans, "evalcore.sets")
+                        - balance_s
+                    ),
                     "balance_s": balance_s,
-                    "energy_s": stages.get("energy", 0.0),
-                    "warm_s": warm_s,
+                    "energy_s": _stage_seconds(cold_spans, "evalcore.energy"),
+                    "warm_s": _stage_seconds(warm_spans, "profile.warm"),
                     "memo_hits": memo.stats.hits,
                     "total_cycles": evaluation.total_cycles,
                 }
             )
+    if trace_out is not None:
+        _trace.write_chrome_trace(trace_out, collected)
     return rows
 
 

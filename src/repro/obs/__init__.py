@@ -1,0 +1,56 @@
+"""Observability for the evaluation stack: traces, metrics, logging.
+
+Three zero-dependency modules, all governed by
+:class:`~repro.api.config.RuntimeConfig` knobs and all guaranteed
+no-ops when disabled (the default):
+
+* :mod:`repro.obs.trace` — hierarchical spans with monotonic timing,
+  attributes, and exceptions; JSONL + Chrome ``chrome://tracing``
+  exporters (config ``trace``/``trace_dir``, env ``REPRO_TRACE`` /
+  ``REPRO_TRACE_DIR``).
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and histograms with ``snapshot/diff/merge`` so pool workers
+  ship deltas back like cache stats (config ``metrics``, env
+  ``REPRO_METRICS``).
+* :mod:`repro.obs.logs` — ``repro.*`` loggers behind a
+  ``NullHandler``, one ``configure_logging()`` opt-in, and structured
+  ``log_event`` records (config ``log_level``, env
+  ``REPRO_LOG_LEVEL``).
+
+See ``docs/observability.md`` for the operator guide.
+"""
+
+from repro.obs.logs import ROOT_LOGGER, configure_logging, get_logger, log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    TraceBuffer,
+    capture,
+    chrome_trace,
+    load_spans,
+    span,
+    start_span,
+    traced,
+    tracing_enabled,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "ROOT_LOGGER",
+    "MetricsRegistry",
+    "Span",
+    "TraceBuffer",
+    "capture",
+    "chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "load_spans",
+    "log_event",
+    "span",
+    "start_span",
+    "traced",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

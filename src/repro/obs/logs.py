@@ -1,0 +1,119 @@
+"""Library-wide logging adoption: ``repro.*`` loggers, one configurer.
+
+The library follows the standard "library" logging contract:
+
+* every module logs through a logger under the ``"repro"`` root
+  (:func:`get_logger` enforces the prefix);
+* ``repro/__init__`` installs a ``NullHandler`` on that root, so an
+  application that never configures logging sees nothing — not even
+  the "no handlers could be found" warning;
+* :func:`configure_logging` is the one opt-in: it attaches a single
+  stream handler at the level from an explicit argument or the active
+  :class:`~repro.api.config.RuntimeConfig` (field ``log_level`` / env
+  ``REPRO_LOG_LEVEL``), and is idempotent — reconfiguring replaces the
+  handler it previously installed rather than stacking duplicates.
+
+Operator-relevant occurrences (a quarantined cache entry, a crashed
+pool worker) are emitted as *structured events* via :func:`log_event`:
+one stable event name followed by sorted ``key=value`` fields, so logs
+stay grep-able without a JSON formatter dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, TextIO
+
+__all__ = [
+    "ROOT_LOGGER",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+#: The library's root logger name; every repro logger hangs under it.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying the handler configure_logging owns.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` root.
+
+    ``get_logger("repro.sweep.cache")`` and ``get_logger("sweep.cache")``
+    return the same logger; unprefixed names are nested automatically.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def _resolve_level(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r}; expected e.g. 'DEBUG', "
+            f"'INFO', 'WARNING', 'ERROR' (any case) or an int"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: int | str | None = None,
+    stream: TextIO | None = None,
+    config: Any = None,
+) -> logging.Logger | None:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    ``level`` resolution: the explicit argument wins, else
+    ``config.log_level`` (``config`` defaults to the process-active
+    config), else ``None`` — in which case nothing is configured and
+    ``None`` is returned (the library stays silent).  Returns the
+    configured root logger otherwise.
+
+    ``stream`` defaults to stderr.  Calling again replaces the handler
+    installed by the previous call, so the harness can invoke this
+    unconditionally per command.
+    """
+    if level is None:
+        if config is None:
+            from repro.api.config import get_config
+
+            config = get_config()
+        level = config.log_level
+    if level is None:
+        return None
+    resolved = _resolve_level(level)
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.WARNING,
+    **fields: Any,
+) -> None:
+    """Emit a structured event: ``event key=value ...`` (sorted keys).
+
+    The early ``isEnabledFor`` check keeps disabled logging cheap —
+    no string formatting happens unless a handler will see it.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    parts = [event]
+    parts.extend(f"{key}={fields[key]}" for key in sorted(fields))
+    logger.log(level, " ".join(parts))

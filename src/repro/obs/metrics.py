@@ -1,0 +1,291 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+Before this module, every layer grew its own ad-hoc stat carrier —
+``CacheStats`` on the sweep cache, ``MemoStats`` on the evalcore memo,
+``ServeStats`` on the service, ``SweepResult.reliability`` on the
+runner — each with a bespoke snapshot/diff/merge story (or none).
+:class:`MetricsRegistry` generalizes the pattern those carriers
+converged on: a named bag of counters, gauges, and histograms with
+
+* :meth:`~MetricsRegistry.snapshot` / :meth:`~MetricsRegistry.diff` —
+  measure exactly what one region of code contributed, the way the
+  sweep runner already brackets a run with ``cache.stats.snapshot()``;
+* :meth:`~MetricsRegistry.merge` / :meth:`~MetricsRegistry.from_dict`
+  — pool workers ship their per-call deltas back over the wire and the
+  parent folds them in, exactly like cache-stats deltas today.
+
+One registry per process
+------------------------
+
+The module holds a single process-global registry (:func:`registry`).
+Counters are *cumulative process state*, like the stats object living
+on a cache instance: a ``config_scope`` entering and leaving must not
+drop what was already counted.  Only the **enabled** flag is derived
+from the active :class:`~repro.api.config.RuntimeConfig` (field
+``metrics`` / env ``REPRO_METRICS=1``) through the same
+``_on_config_change`` / ``_scope_save`` / ``_scope_restore`` hooks the
+evalcore memo uses.  When disabled — the default — :func:`inc`,
+:func:`observe`, and :func:`set_gauge` are guarded no-ops: one cached
+boolean check, nothing allocated (pinned by the telemetry-overhead
+benchmark).
+
+Cross-process protocol: a pool worker snapshots the (worker-local)
+registry on entry, runs the work, and returns
+``delta_dict(snapshot)``; the parent calls ``registry().merge(delta)``.
+In-process calls need no delta — they already landed in the shared
+registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.api.config import get_config
+
+__all__ = [
+    "MetricsRegistry",
+    "delta_dict",
+    "inc",
+    "metrics_enabled",
+    "observe",
+    "registry",
+    "set_gauge",
+    "snapshot",
+]
+
+
+class MetricsRegistry:
+    """A thread-safe bag of named counters, gauges, and histograms.
+
+    Counters are monotonically increasing ints; gauges are
+    last-write-wins floats; histograms keep ``count``/``total``/
+    ``min``/``max`` summaries (enough for means and extremes without
+    unbounded storage).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[str, float]] = {}
+
+    # -- recording -----------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``'s summary."""
+        value = float(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                hist["count"] += 1
+                hist["total"] += value
+                hist["min"] = min(hist["min"], value)
+                hist["max"] = max(hist["max"], value)
+
+    # -- snapshot / diff / merge ---------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able payload; empty sections are omitted, so a registry
+        that recorded nothing serializes as ``{}``."""
+        with self._lock:
+            payload: dict[str, Any] = {}
+            if self.counters:
+                payload["counters"] = dict(self.counters)
+            if self.gauges:
+                payload["gauges"] = dict(self.gauges)
+            if self.histograms:
+                payload["histograms"] = {
+                    name: dict(hist)
+                    for name, hist in self.histograms.items()
+                }
+            return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`as_dict` output."""
+        reg = cls()
+        for name, value in payload.get("counters", {}).items():
+            reg.counters[name] = int(value)
+        for name, value in payload.get("gauges", {}).items():
+            reg.gauges[name] = float(value)
+        for name, hist in payload.get("histograms", {}).items():
+            reg.histograms[name] = {
+                "count": int(hist["count"]),
+                "total": float(hist["total"]),
+                "min": float(hist["min"]),
+                "max": float(hist["max"]),
+            }
+        return reg
+
+    def snapshot(self) -> "MetricsRegistry":
+        """An independent copy, for later :meth:`diff`."""
+        return MetricsRegistry.from_dict(self.as_dict())
+
+    def diff(self, earlier: "MetricsRegistry") -> "MetricsRegistry":
+        """What was recorded since ``earlier`` (a prior snapshot).
+
+        Counters and histogram count/total subtract; gauges and
+        histogram min/max are last-known-state, so the diff keeps the
+        current values.
+        """
+        out = MetricsRegistry()
+        with self._lock:
+            for name, value in self.counters.items():
+                delta = value - earlier.counters.get(name, 0)
+                if delta:
+                    out.counters[name] = delta
+            out.gauges = dict(self.gauges)
+            for name, hist in self.histograms.items():
+                prior = earlier.histograms.get(name)
+                count = hist["count"] - (prior["count"] if prior else 0)
+                if count:
+                    out.histograms[name] = {
+                        "count": count,
+                        "total": hist["total"]
+                        - (prior["total"] if prior else 0.0),
+                        "min": hist["min"],
+                        "max": hist["max"],
+                    }
+        return out
+
+    def merge(
+        self, other: "MetricsRegistry | Mapping[str, Any]"
+    ) -> "MetricsRegistry":
+        """Fold ``other`` (a registry or an :meth:`as_dict` payload —
+        typically a worker's delta) into this registry, in place."""
+        if not isinstance(other, MetricsRegistry):
+            other = MetricsRegistry.from_dict(other)
+        with self._lock:
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(other.gauges)
+            for name, hist in other.histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = dict(hist)
+                else:
+                    mine["count"] += hist["count"]
+                    mine["total"] += hist["total"]
+                    mine["min"] = min(mine["min"], hist["min"])
+                    mine["max"] = max(mine["max"], hist["max"])
+        return self
+
+    def clear(self) -> None:
+        """Drop everything (tests isolating the process registry)."""
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, "
+            f"histograms={len(self.histograms)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the process registry + config-derived enablement
+# ----------------------------------------------------------------------
+_registry = MetricsRegistry()
+
+_UNSET = object()
+
+#: Cached "is metrics collection on" flag, derived lazily from the
+#: active config.  Dropped (back to ``_UNSET``) whenever the active
+#: config changes, exactly like evalcore's derived default memo.
+_enabled: Any = _UNSET
+
+
+def metrics_enabled() -> bool:
+    """Whether the active config enables metrics (cached)."""
+    global _enabled
+    if _enabled is _UNSET:
+        _enabled = bool(get_config().metrics)
+    return _enabled
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (always exists, even disabled)."""
+    return _registry
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Bump counter ``name`` iff metrics are enabled; else a no-op."""
+    if _enabled is True or (_enabled is _UNSET and metrics_enabled()):
+        _registry.inc(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` iff enabled."""
+    if _enabled is True or (_enabled is _UNSET and metrics_enabled()):
+        _registry.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` iff enabled."""
+    if _enabled is True or (_enabled is _UNSET and metrics_enabled()):
+        _registry.set_gauge(name, value)
+
+
+def snapshot() -> MetricsRegistry | None:
+    """A snapshot of the process registry, or ``None`` when disabled.
+
+    Pool workers call this on entry; pairing it with :func:`delta_dict`
+    yields exactly what the worker contributed.
+    """
+    return _registry.snapshot() if metrics_enabled() else None
+
+
+def delta_dict(before: MetricsRegistry | None) -> dict[str, Any] | None:
+    """The registry delta since ``before`` as a wire payload.
+
+    ``None`` when metrics are disabled (``before`` is then ``None``
+    too, from :func:`snapshot`), or ``{}``-free: an empty delta
+    returns ``None`` so callers can skip shipping it.
+    """
+    if before is None or not metrics_enabled():
+        return None
+    delta = _registry.diff(before).as_dict()
+    return delta or None
+
+
+# ----------------------------------------------------------------------
+# config hooks (see repro.api.config._DERIVED_STATE_MODULES)
+# ----------------------------------------------------------------------
+def _on_config_change() -> None:
+    """Forget the cached enabled flag; it re-derives lazily."""
+    global _enabled
+    _enabled = _UNSET
+
+
+def _scope_save() -> Any:
+    """Scope entry: stash the cached flag (the registry itself is
+    cumulative process state and deliberately survives scopes)."""
+    global _enabled
+    state = _enabled
+    _enabled = _UNSET
+    return state
+
+
+def _scope_restore(state: Any) -> None:
+    """Scope exit: exact restore of the cached flag."""
+    global _enabled
+    _enabled = state

@@ -1,0 +1,629 @@
+"""Zero-dependency hierarchical tracing: spans, buffers, exporters.
+
+A *span* is one timed region — an evalcore network walk, a sweep
+point attempt, a serve job's life from enqueue to reply — with a
+name, attributes, optional point-in-time events, and the exception
+that ended it (if one did).  Spans nest: a ``with span(...)`` block
+opened inside another becomes its child via a thread-local stack, so
+an exported trace shows *where inside* a slow request the time went.
+
+Timing is monotonic (``time.perf_counter``) so durations and
+parent/child containment are exact within a process.  For export,
+each process pins a perf-counter epoch to a wall-clock epoch once at
+import, and span timestamps are reported as
+``epoch_unix + (t0 - epoch_perf)`` — roughly aligning spans from pool
+workers with their parent on one timeline without ever mixing clock
+sources inside a process.
+
+Like :mod:`repro.obs.metrics`, the span sink — one process-global
+:class:`TraceBuffer` — survives ``config_scope`` boundaries; only the
+*enabled / trace-dir* state derives from the active
+:class:`~repro.api.config.RuntimeConfig` (field ``trace`` / env
+``REPRO_TRACE=1``).  Disabled tracing is a guarded no-op: ``span()``
+returns a shared :class:`_NullSpan` singleton and records nothing
+(pinned by the telemetry-overhead benchmark).
+
+Export formats:
+
+* **JSONL** — one span record per line, appended per-process to
+  ``<trace_dir>/spans-<pid>.jsonl`` by :func:`flush` (pool workers
+  flush before returning, so no cross-process buffer is needed);
+* **Chrome trace-event JSON** — :func:`chrome_trace` /
+  :func:`write_chrome_trace` emit the ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ ``traceEvents`` format, and
+  :func:`validate_chrome_trace` checks a payload is well-formed (used
+  by both the tests and the CI ``obs-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.api.config import get_config
+
+__all__ = [
+    "Span",
+    "TraceBuffer",
+    "add_event",
+    "capture",
+    "chrome_trace",
+    "current_span",
+    "flush",
+    "get_buffer",
+    "load_spans",
+    "manual_span",
+    "span",
+    "start_span",
+    "traced",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Wall-clock / perf-counter epoch pair, pinned once per process so
+#: exported timestamps from different processes land on one timeline.
+_EPOCH_UNIX = time.time()
+_EPOCH_PERF = time.perf_counter()
+
+_SPAN_IDS = itertools.count(1)
+
+
+def _wall_ts(t_perf: float) -> float:
+    """Map a perf-counter reading onto the process wall-clock epoch."""
+    return _EPOCH_UNIX + (t_perf - _EPOCH_PERF)
+
+
+class TraceBuffer:
+    """A thread-safe, append-only in-memory span sink.
+
+    Finished spans land here as plain JSON-able dicts; the buffer
+    tracks how many have been flushed to disk so :func:`flush` appends
+    only what is new.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[dict[str, Any]] = []
+        self._flushed = 0
+
+    def add(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self) -> list[dict[str, Any]]:
+        """A copy of every span recorded so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._flushed = 0
+
+    def append_jsonl(self, path: str | Path) -> int:
+        """Append spans not yet flushed to ``path``; returns how many."""
+        with self._lock:
+            pending = self._spans[self._flushed :]
+            self._flushed = len(self._spans)
+        if not pending:
+            return 0
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            for record in pending:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(pending)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when tracing is off.
+
+    Supports the full :class:`Span` surface so call sites never
+    branch on enablement.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def finish(self, error: str | None = None) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live timed region; append to a buffer when finished.
+
+    Create via :func:`span` (context manager, parented through the
+    thread-local stack), :func:`start_span` (manual lifecycle, for
+    event-loop code where begin and end live in different callbacks),
+    or :func:`manual_span` (manual lifecycle into an explicit buffer).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "events",
+        "span_id",
+        "parent_id",
+        "_buffer",
+        "_t0",
+        "_pushed",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        buffer: TraceBuffer,
+        parent_id: str | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.events: list[dict[str, Any]] = []
+        self.span_id = f"{os.getpid()}-{next(_SPAN_IDS)}"
+        self.parent_id = parent_id
+        self._buffer = buffer
+        self._t0: float | None = None
+        self._pushed = False
+        self._done = False
+
+    # -- annotation ----------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event (a retry, a requeue) to this
+        span."""
+        event: dict[str, Any] = {
+            "name": name,
+            "ts": _wall_ts(time.perf_counter()),
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self.events.append(event)
+
+    # -- lifecycle -----------------------------------------------------
+    def _start(self, push: bool) -> "Span":
+        if push:
+            stack = _stack()
+            if self.parent_id is None and stack:
+                self.parent_id = stack[-1].span_id
+            stack.append(self)
+            self._pushed = True
+        self._t0 = time.perf_counter()
+        return self
+
+    def __enter__(self) -> "Span":
+        return self._start(push=True)
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        error = None if exc_type is None else f"{exc_type.__name__}: {exc}"
+        self.finish(error=error)
+        return False
+
+    def finish(self, error: str | None = None) -> None:
+        """Stop the clock and append the span record to its buffer."""
+        if self._done or self._t0 is None:
+            return
+        self._done = True
+        t1 = time.perf_counter()
+        if self._pushed:
+            stack = _stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:  # pragma: no cover - defensive
+                stack.remove(self)
+        record: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "ts": _wall_ts(self._t0),
+            "dur": t1 - self._t0,
+            "status": "error" if error else "ok",
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = self.events
+        if error:
+            record["error"] = error
+        self._buffer.add(record)
+
+
+# ----------------------------------------------------------------------
+# process state: global buffer + config-derived enablement
+# ----------------------------------------------------------------------
+_buffer = TraceBuffer()
+
+_UNSET = object()
+
+
+class _Enabled:
+    """Derived per-config enablement: tracing on, spans flushed to
+    ``trace_dir`` (``None`` = in-memory only)."""
+
+    __slots__ = ("trace_dir",)
+
+    def __init__(self, trace_dir: str | None) -> None:
+        self.trace_dir = trace_dir
+
+
+#: ``_UNSET`` (re-derive lazily), ``None`` (disabled), or an
+#: :class:`_Enabled`.  Mirrors evalcore's derived-memo lifecycle.
+_config_state: Any = _UNSET
+
+_tls = threading.local()
+
+
+def _after_fork() -> None:
+    # A forked pool worker inherits a copy of the parent's unflushed
+    # spans; those belong to (and are flushed by) the parent process,
+    # so the child drops them rather than double-writing.  The child
+    # keeps the inherited span *stack*: new worker spans then parent
+    # onto the caller's still-open span, linking the processes in the
+    # assembled trace.
+    _buffer.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork)
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _active_state() -> Any:
+    global _config_state
+    if _config_state is _UNSET:
+        config = get_config()
+        _config_state = (
+            _Enabled(config.effective_trace_dir()) if config.trace else None
+        )
+    return _config_state
+
+
+def tracing_enabled() -> bool:
+    """Whether the active config enables tracing (cached)."""
+    return _active_state() is not None
+
+
+def get_buffer() -> TraceBuffer:
+    """The span sink currently in effect (the process buffer, or a
+    :func:`capture` override)."""
+    return _buffer
+
+
+def current_span() -> Span | None:
+    """The innermost open ``with span(...)`` on this thread, if any."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+# ----------------------------------------------------------------------
+# creating spans
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: Any) -> "Span | _NullSpan":
+    """A context-manager span, parented under the thread's current one.
+
+    ::
+
+        with span("evalcore.sets", layer=spec.name):
+            ...
+
+    Records monotonic duration, the given attributes, and — if the
+    block raises — the exception (``status="error"``) before
+    re-raising.  When tracing is disabled this returns a shared no-op
+    singleton.
+    """
+    if _active_state() is None:
+        return _NULL_SPAN
+    return Span(name, attrs, _buffer)
+
+
+def start_span(
+    name: str, parent: "Span | None" = None, **attrs: Any
+) -> "Span | _NullSpan":
+    """A started span with a manual lifecycle (call ``.finish()``).
+
+    Unlike :func:`span` it does *not* join the thread-local stack —
+    event-loop code (the serve job table) opens and closes these from
+    different callbacks, where a stack would misnest.
+    """
+    if _active_state() is None:
+        return _NULL_SPAN
+    sp = Span(
+        name,
+        attrs,
+        _buffer,
+        parent_id=parent.span_id if isinstance(parent, Span) else None,
+    )
+    return sp._start(push=False)
+
+
+def manual_span(
+    name: str,
+    buffer: TraceBuffer,
+    parent: "Span | None" = None,
+    **attrs: Any,
+) -> Span:
+    """Like :func:`start_span` but into an explicit ``buffer``,
+    regardless of the active config (the serve server owns its own
+    buffer because its event loop runs outside any config scope)."""
+    sp = Span(
+        name,
+        attrs,
+        buffer,
+        parent_id=parent.span_id if isinstance(parent, Span) else None,
+    )
+    return sp._start(push=False)
+
+
+def add_event(name: str, **attrs: Any) -> None:
+    """Attach an event to the current span, if one is open."""
+    if _active_state() is None:
+        return
+    sp = current_span()
+    if sp is not None:
+        sp.add_event(name, **attrs)
+
+
+def traced(
+    name: str | None = None, **attrs: Any
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator form of :func:`span`::
+
+        @traced("campaign.replay")
+        def replay_trajectory(...): ...
+
+    ``name`` defaults to the function's qualified name.
+    """
+    import functools
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+@contextmanager
+def capture(trace_dir: str | None = None) -> Iterator[TraceBuffer]:
+    """Force tracing on into a private buffer for the block.
+
+    The profiler uses this to collect spans for one measured region
+    without touching (or requiring) the configured trace state::
+
+        with capture() as buf:
+            evaluate_network(...)
+        cold = [s for s in buf.spans() if s["name"] == "evalcore.sets"]
+    """
+    global _buffer, _config_state
+    saved = (_buffer, _config_state)
+    buf = TraceBuffer()
+    _buffer = buf
+    _config_state = _Enabled(trace_dir)
+    try:
+        yield buf
+    finally:
+        _buffer, _config_state = saved
+
+
+# ----------------------------------------------------------------------
+# export / import
+# ----------------------------------------------------------------------
+def flush() -> Path | None:
+    """Append unflushed spans to ``<trace_dir>/spans-<pid>.jsonl``.
+
+    No-op (returning ``None``) when tracing is disabled or no trace
+    dir is configured.  Pool workers call this before returning so
+    their spans survive the process; the harness calls it once more at
+    the end of a run, then merges every per-pid file with
+    :func:`load_spans`.
+    """
+    state = _active_state()
+    if state is None or not state.trace_dir:
+        return None
+    path = Path(state.trace_dir) / f"spans-{os.getpid()}.jsonl"
+    if _buffer.append_jsonl(path) == 0 and not path.exists():
+        return None
+    return path
+
+
+def load_spans(source: str | Path) -> list[dict[str, Any]]:
+    """Read span records back from a JSONL file, or from every
+    ``spans-*.jsonl`` under a directory, ordered by timestamp."""
+    source = Path(source)
+    files = (
+        sorted(source.glob("spans-*.jsonl"))
+        if source.is_dir()
+        else [source]
+    )
+    spans: list[dict[str, Any]] = []
+    for path in files:
+        if not path.exists():
+            continue
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+    spans.sort(key=lambda s: s.get("ts", 0.0))
+    return spans
+
+
+def chrome_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Span records -> Chrome trace-event JSON (``chrome://tracing``).
+
+    Each span becomes a complete (``"ph": "X"``) event with
+    microsecond ``ts``/``dur``; span events become instant
+    (``"ph": "i"``) events on the same thread track.
+    """
+    events: list[dict[str, Any]] = []
+    for record in spans:
+        args = dict(record.get("attrs", {}))
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        if record.get("status") == "error":
+            args["error"] = record.get("error", "")
+        events.append(
+            {
+                "ph": "X",
+                "name": record["name"],
+                "cat": "repro",
+                "ts": record["ts"] * 1e6,
+                "dur": record["dur"] * 1e6,
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "args": args,
+            }
+        )
+        for event in record.get("events", ()):
+            events.append(
+                {
+                    "ph": "i",
+                    "name": event["name"],
+                    "cat": "repro",
+                    "s": "t",
+                    "ts": event["ts"] * 1e6,
+                    "pid": record["pid"],
+                    "tid": record["tid"],
+                    "args": dict(event.get("attrs", {})),
+                }
+            )
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, spans: list[dict[str, Any]]
+) -> Path:
+    """Write :func:`chrome_trace` output to ``path``; returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(spans), sort_keys=True), encoding="utf-8"
+    )
+    return path
+
+
+#: Slack (µs) for parent/child containment checks: timestamps are
+#: wall-epoch floats whose rounding can wobble by a fraction of a µs.
+_NEST_SLACK_US = 10.0
+
+
+def validate_chrome_trace(
+    payload: Any, require_nesting: bool = False
+) -> list[str]:
+    """Well-formedness problems in a Chrome trace payload (``[]`` = OK).
+
+    Checks the ``traceEvents`` envelope, per-event required fields,
+    and — for spans carrying ``parent_id`` — that the child interval
+    lies inside its parent's.  With ``require_nesting=True`` an
+    otherwise-valid trace with no nested span at all is reported too
+    (the CI smoke job uses this to prove real hierarchy was emitted).
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload is not a dict with a 'traceEvents' key"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' must be a non-empty list"]
+    by_id: dict[str, dict[str, Any]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("ph", "name", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} missing {key!r}")
+        if event.get("ph") == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                problems.append(f"event {i} ('X') missing numeric 'dur'")
+            elif event["dur"] < 0:
+                problems.append(f"event {i} has negative dur")
+            span_id = event.get("args", {}).get("span_id")
+            if span_id:
+                by_id[span_id] = event
+    nested = 0
+    for span_id, event in by_id.items():
+        parent_id = event.get("args", {}).get("parent_id")
+        if not parent_id:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {span_id} references missing parent {parent_id}"
+            )
+            continue
+        nested += 1
+        if event["ts"] + _NEST_SLACK_US < parent["ts"] or (
+            event["ts"] + event["dur"]
+            > parent["ts"] + parent["dur"] + _NEST_SLACK_US
+        ):
+            problems.append(
+                f"span {span_id} ({event['name']}) is not contained in "
+                f"its parent {parent_id} ({parent['name']})"
+            )
+    if require_nesting and not nested:
+        problems.append("no nested spans (expected real hierarchy)")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# config hooks (see repro.api.config._DERIVED_STATE_MODULES)
+# ----------------------------------------------------------------------
+def _on_config_change() -> None:
+    """Forget the derived enabled/trace-dir state (the buffer — shared
+    cumulative process state — is kept)."""
+    global _config_state
+    _config_state = _UNSET
+
+
+def _scope_save() -> Any:
+    global _config_state
+    state = _config_state
+    _config_state = _UNSET
+    return state
+
+
+def _scope_restore(state: Any) -> None:
+    global _config_state
+    _config_state = state

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Mapping
 
 from repro.api.envelope import EvalRequest, EvalResult, JobStatus
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.cache import CacheStats
 
 __all__ = ["Job", "JobTable", "ServeStats"]
@@ -41,6 +42,10 @@ class Job:
     future: asyncio.Future
     state: str = "queued"
     subscribers: list[Subscriber] = field(default_factory=list)
+    #: The server-side ``serve.job`` trace span (a
+    #: :class:`repro.obs.trace.Span` into the server's own buffer), or
+    #: ``None`` when the server's config has tracing off.
+    span: Any = None
 
     def status(
         self, queue_depth: int | None = None, detail: str | None = None
@@ -182,6 +187,11 @@ class ServeStats:
         self.reliability: dict[str, int] = {}
         self.worker_crashes = 0
         self.requeues = 0
+        #: Server-lifetime :mod:`repro.obs.metrics` aggregate: the
+        #: server's own ``serve.*`` counters plus every worker call's
+        #: shipped registry delta, merged by the same protocol the
+        #: cache stats use.
+        self.metrics = MetricsRegistry()
 
     def absorb(self, accounting: Mapping[str, Any]) -> None:
         """Merge one worker call's accounting payload."""
@@ -190,6 +200,9 @@ class ServeStats:
             self.evalcore[key] = self.evalcore.get(key, 0) + int(value)
         for key, value in (accounting.get("reliability") or {}).items():
             self.reliability[key] = self.reliability.get(key, 0) + int(value)
+        worker_metrics = accounting.get("metrics")
+        if worker_metrics:
+            self.metrics.merge(worker_metrics)
 
     def observe_values(self, values: Mapping[str, Any] | None) -> None:
         """Derive trajectory-tier traffic from evaluator values."""
@@ -209,6 +222,11 @@ class ServeStats:
             "evalcore": dict(self.evalcore),
             "trajectory": dict(self.trajectory),
         }
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The merged counters/gauges/histograms for ``/stats``
+        (``{}`` when nothing was ever counted)."""
+        return self.metrics.as_dict()
 
     def reliability_payload(self) -> dict[str, int]:
         payload = dict(self.reliability)

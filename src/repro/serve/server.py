@@ -49,10 +49,15 @@ from repro.api.envelope import (
     EvalResult,
     JobStatus,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.logs import get_logger
 from repro.serve import protocol
 from repro.serve.jobs import Job, JobTable, ServeStats
 
 __all__ = ["MAX_GROUP_ATTEMPTS", "Server"]
+
+_logger = get_logger("repro.serve.server")
 
 #: How many times one job group is shipped to the pool before its jobs
 #: fail: the first attempt plus recoveries from worker-pool death.
@@ -92,18 +97,30 @@ def _serve_worker(
         config = config.with_(executor="batched")
     with config_scope(config):
         key = "serve|" + ",".join(r.digest()[:12] for r in requests)
-        _faults.inject_point_faults(key, attempt, allow_exit=True)
-        memo = evalcore.get_memo()
-        memo_before = memo.stats.as_dict() if memo is not None else {}
-        results, accounting = evaluate_requests(
-            requests, config=config, cache=config.sweep_cache()
-        )
-        memo = evalcore.get_memo()
-        memo_after = memo.stats.as_dict() if memo is not None else {}
+        metrics_before = _metrics.snapshot()
+        try:
+            with _trace.span(
+                "serve.worker", requests=len(requests), attempt=attempt
+            ):
+                _faults.inject_point_faults(key, attempt, allow_exit=True)
+                memo = evalcore.get_memo()
+                memo_before = memo.stats.as_dict() if memo is not None else {}
+                results, accounting = evaluate_requests(
+                    requests, config=config, cache=config.sweep_cache()
+                )
+                memo = evalcore.get_memo()
+                memo_after = memo.stats.as_dict() if memo is not None else {}
+        finally:
+            # Worker spans reach disk per call (the worker can't know
+            # which call is its last); the server assembles the files.
+            _trace.flush()
+        metrics_delta = _metrics.delta_dict(metrics_before)
     accounting["evalcore"] = {
         key: memo_after.get(key, 0) - memo_before.get(key, 0)
         for key in sorted(set(memo_before) | set(memo_after))
     }
+    if metrics_delta:
+        accounting["metrics"] = metrics_delta
     return [result.to_wire() for result in results], accounting
 
 
@@ -170,6 +187,12 @@ class Server:
 
         self._jobs = JobTable()
         self._stats = ServeStats()
+        # The server's own span buffer: the event loop runs outside any
+        # config scope, so per-job spans bypass the config-gated global
+        # buffer and land here (None keeps tracing a no-op).
+        self._trace_buffer = (
+            _trace.TraceBuffer() if self.config.trace else None
+        )
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
@@ -271,9 +294,31 @@ class Server:
         if not self.running or self._loop is None:
             raise RuntimeError("server is not running (call start() first)")
 
+    def _register_submit(
+        self, request: EvalRequest, loop: asyncio.AbstractEventLoop
+    ) -> tuple[Job, bool]:
+        """One funnel for both client surfaces: register the submission
+        and attach its telemetry (counters always; a ``serve.job`` span
+        when the server config traces)."""
+        job, created = self._jobs.submit(request, loop)
+        counters = self._stats.metrics
+        counters.inc("serve.jobs.submitted")
+        if not created:
+            counters.inc("serve.dedup.in_flight")
+        elif self._trace_buffer is not None:
+            job.span = _trace.manual_span(
+                "serve.job",
+                self._trace_buffer,
+                target=request.target,
+                kind=request.kind,
+                digest=job.digest[:12],
+            )
+            job.span.add_event("queued")
+        return job, created
+
     async def _submit_local(self, request: EvalRequest, on_status):
         loop = asyncio.get_running_loop()
-        job, created = self._jobs.submit(request, loop)
+        job, created = self._register_submit(request, loop)
         if on_status is not None:
             def relay(frame: dict) -> None:
                 if frame.get("op") == "status":
@@ -353,7 +398,33 @@ class Server:
             pool, self._pool = self._pool, None
             if pool is not None:
                 pool.shutdown(wait=self._drain, cancel_futures=not self._drain)
+            self._export_trace()
             Path(self.socket_path).unlink(missing_ok=True)
+
+    def _export_trace(self) -> None:
+        """Flush the server's spans and assemble the session trace.
+
+        Runs at shutdown, after the pool drained: the server's
+        ``serve.job`` spans join the per-pid JSONL files the workers
+        flushed, and everything merges into one Chrome-loadable
+        ``trace.json`` under the config's trace directory.
+        """
+        if self._trace_buffer is None:
+            return
+        trace_dir = self.config.effective_trace_dir()
+        if not trace_dir:
+            return
+        try:
+            directory = Path(trace_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._trace_buffer.append_jsonl(
+                directory / f"spans-{os.getpid()}.jsonl"
+            )
+            _trace.write_chrome_trace(
+                directory / "trace.json", _trace.load_spans(directory)
+            )
+        except OSError as error:
+            _logger.warning("could not export serve trace: %s", error)
 
     def _claim_socket_path(self) -> None:
         """Remove a stale socket file; refuse to displace a live server."""
@@ -399,9 +470,13 @@ class Server:
         for job in group:
             if job.state == "queued":
                 job.state = "running"
+                if job.span is not None:
+                    job.span.add_event("running", attempt=attempt)
                 await job.notify(
                     {"op": "status", "status": job.status().to_wire()}
                 )
+            elif job.span is not None and attempt > 1:
+                job.span.add_event("requeued", attempt=attempt)
         wires = [job.request.to_wire() for job in group]
         pool = self._pool
         try:
@@ -459,6 +534,19 @@ class Server:
 
     async def _finish(self, job: Job, result: EvalResult) -> None:
         self._jobs.finish(job, result)
+        counters = self._stats.metrics
+        counters.inc(
+            "serve.jobs.completed" if result.ok else "serve.jobs.failed"
+        )
+        counters.inc(
+            "serve.jobs.cache_hits" if result.cached
+            else "serve.jobs.evaluated"
+        )
+        if job.span is not None:
+            job.span.set_attribute("cached", result.cached)
+            job.span.finish(
+                error=None if result.ok else (result.error or "failed")
+            )
         await job.notify({"op": "result", "result": result.to_wire()})
 
     # ------------------------------------------------------------------
@@ -528,7 +616,9 @@ class Server:
         except Exception as error:
             await self._send(writer, protocol.error_frame(tag, str(error)))
             return
-        job, created = self._jobs.submit(request, asyncio.get_running_loop())
+        job, created = self._register_submit(
+            request, asyncio.get_running_loop()
+        )
 
         async def deliver(event: dict) -> None:
             await self._send(writer, {**event, "id": tag})
@@ -559,6 +649,9 @@ class Server:
     # ------------------------------------------------------------------
     def _stats_payload(self) -> dict[str, Any]:
         jobs = self._jobs
+        self._stats.metrics.set_gauge(
+            "serve.queue_depth", self._queue.qsize() if self._queue else 0
+        )
         return {
             "schema": SCHEMA_VERSION,
             "queue_depth": self._queue.qsize() if self._queue else 0,
@@ -572,4 +665,5 @@ class Server:
             },
             "cache": self._stats.cache_payload(),
             "reliability": self._stats.reliability_payload(),
+            "metrics": self._stats.metrics_payload(),
         }

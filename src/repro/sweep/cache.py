@@ -40,10 +40,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger, log_event
 from repro.reliability import faults as _faults
 from repro.sweep.spec import canonical_json
 
 __all__ = ["CacheStats", "ResultCache", "cache_key", "record_checksum"]
+
+_logger = get_logger("repro.sweep.cache")
 
 
 def cache_key(key_material: Mapping[str, Any]) -> str:
@@ -151,14 +155,17 @@ class ResultCache:
             record = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
+            _metrics.inc("cache.misses")
             return None
         except json.JSONDecodeError:
             self._quarantine(path, "undecodable JSON")
             self.stats.misses += 1
+            _metrics.inc("cache.misses")
             return None
         if not isinstance(record, dict) or "values" not in record:
             self._quarantine(path, "malformed record")
             self.stats.misses += 1
+            _metrics.inc("cache.misses")
             return None
         stored = record.get("checksum")
         if stored is not None:
@@ -175,6 +182,7 @@ class ResultCache:
         # Records written before checksums existed carry none; they
         # stay readable (decode errors above still catch torn JSON).
         self.stats.hits += 1
+        _metrics.inc("cache.hits")
         return record
 
     def put(
@@ -211,6 +219,7 @@ class ResultCache:
         _faults.maybe_corrupt_file(path, digest)
         _faults.maybe_slow_io(digest)
         self.stats.stores += 1
+        _metrics.inc("cache.stores")
         return path
 
     def quarantine(self, key_material: Mapping[str, Any]) -> bool:
@@ -234,6 +243,14 @@ class ResultCache:
             # it; either way the bad bytes are gone from the lookup path.
             pass
         self.stats.corrupt += 1
+        _metrics.inc("cache.corrupt")
+        log_event(
+            _logger,
+            "cache.quarantine",
+            tier="result-cache",
+            path=path,
+            reason=reason,
+        )
         warnings.warn(
             f"quarantined corrupt cache entry ({reason}): {path} -> "
             f"{target.name}",

@@ -65,6 +65,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.reliability import faults as _faults
 from repro.reliability.retry import PointTimeoutError, RetryPolicy, deadline
 from repro.report.export import _jsonable as to_jsonable
@@ -121,6 +123,10 @@ class SweepResult:
     #: point_errors, worker_crashes, batch_fallbacks, failures,
     #: manifest_restored — absent keys mean zero events.
     reliability: dict[str, int] = field(default_factory=dict)
+    #: This run's :mod:`repro.obs.metrics` delta (counters/gauges/
+    #: histograms), merged across pool workers; ``{}`` unless the
+    #: config enables metrics.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -169,15 +175,18 @@ class SweepResult:
             params["explicit_points"] = [
                 dict(p) for p in self.spec.explicit_points
             ]
+        results: dict[str, Any] = {
+            "rows": self.rows(),
+            "wall_time_s": self.wall_time_s,
+            "cache": dict(self.cache_stats),
+            "reliability": dict(self.reliability),
+        }
+        if self.metrics:
+            results["metrics"] = dict(self.metrics)
         return experiment_record(
             self.spec.name,
             params,
-            {
-                "rows": self.rows(),
-                "wall_time_s": self.wall_time_s,
-                "cache": dict(self.cache_stats),
-                "reliability": dict(self.reliability),
-            },
+            results,
             notes=f"sweep over {self.spec.n_points} points",
         )
 
@@ -264,13 +273,52 @@ def _evaluate_point(
         scope = config_scope(config)
     with scope:
         key = canonical_json(params)
-        _faults.inject_point_faults(
-            key, attempt, allow_exit=(crash_mode == "exit")
-        )
-        with deadline(timeout_s, label=key):
-            _faults.maybe_stall(key, attempt)
-            values = to_jsonable(dict(fn(seed=seed, **dict(params))))
+        # The span is created inside the scope so the scoped config's
+        # trace setting (not the ambient one) governs it.
+        with _trace.span(
+            "sweep.point",
+            evaluator=getattr(fn, "__name__", repr(fn)),
+            seed=seed,
+            attempt=attempt,
+        ):
+            _faults.inject_point_faults(
+                key, attempt, allow_exit=(crash_mode == "exit")
+            )
+            with deadline(timeout_s, label=key):
+                _faults.maybe_stall(key, attempt)
+                values = to_jsonable(dict(fn(seed=seed, **dict(params))))
     return values, time.perf_counter() - start
+
+
+def _pool_evaluate_point(
+    fn: Callable[..., Mapping[str, Any]],
+    params: Mapping[str, Any],
+    seed: int,
+    config=None,
+    **kwargs: Any,
+) -> tuple[dict[str, Any], float, dict[str, Any] | None]:
+    """Pool worker body: :func:`_evaluate_point` plus telemetry export.
+
+    Opens the worker's config scope here (rather than inside
+    :func:`_evaluate_point`) so the worker's metrics delta can be
+    snapshotted under the caller's config and shipped back alongside
+    the values — the same protocol cache stats use — and so buffered
+    spans are flushed to the per-pid JSONL file before the result
+    crosses the process boundary.
+    """
+    if config is None:
+        values, wall = _evaluate_point(fn, params, seed, None, **kwargs)
+        return values, wall, None
+    from repro.api.config import config_scope
+
+    with config_scope(config):
+        before = _metrics.snapshot()
+        try:
+            values, wall = _evaluate_point(fn, params, seed, None, **kwargs)
+        finally:
+            _trace.flush()
+        delta = _metrics.delta_dict(before)
+    return values, wall, delta
 
 
 def _serial_core(
@@ -341,16 +389,40 @@ def _evaluate_batch_group(
     """
     start = time.perf_counter()
     if config is None:
-        rows = batch_fn(jobs)
+        scope = nullcontext()
     else:
         from repro.api.config import config_scope
 
-        with config_scope(config):
+        scope = config_scope(config)
+    with scope:
+        with _trace.span("sweep.batch_group", points=len(jobs)):
             rows = batch_fn(jobs)
     return (
         [to_jsonable(dict(values)) for values in rows],
         time.perf_counter() - start,
     )
+
+
+def _pool_evaluate_batch_group(
+    batch_fn: Callable[[list], list],
+    jobs: list[tuple[Mapping[str, Any], int]],
+    config=None,
+) -> tuple[list[dict], float, dict[str, Any] | None]:
+    """Pool worker body: one batch pass plus the worker's telemetry
+    delta and trace flush (see :func:`_pool_evaluate_point`)."""
+    if config is None:
+        rows, elapsed = _evaluate_batch_group(batch_fn, jobs, None)
+        return rows, elapsed, None
+    from repro.api.config import config_scope
+
+    with config_scope(config):
+        before = _metrics.snapshot()
+        try:
+            rows, elapsed = _evaluate_batch_group(batch_fn, jobs, None)
+        finally:
+            _trace.flush()
+        delta = _metrics.delta_dict(before)
+    return rows, elapsed, delta
 
 
 def _finish_batch_group(
@@ -494,7 +566,7 @@ def _run_group_pool(
             group = queue.popleft()
             try:
                 future = pool.submit(
-                    _evaluate_batch_group,
+                    _pool_evaluate_batch_group,
                     batch_fn,
                     [(point.params, point.seed) for point in group],
                     runner.config,
@@ -515,7 +587,8 @@ def _run_group_pool(
                 group = futures.pop(future)
                 error = future.exception()
                 if error is None:
-                    rows, elapsed = future.result()
+                    rows, elapsed, obs = future.result()
+                    runner._absorb_obs(obs)
                     _finish_batch_group(spec, group, rows, elapsed, finish)
                 elif isinstance(error, BrokenProcessPool):
                     broken = True
@@ -549,7 +622,19 @@ def _execute_distributed(
     real, the transport is not."""
     raise NotImplementedError(
         "the 'distributed' executor is a placeholder; register a real "
-        "backend with repro.sweep.runner.register_executor('distributed', fn)"
+        "backend first, e.g.:\n"
+        "\n"
+        "    from repro.sweep.runner import register_executor\n"
+        "\n"
+        "    def execute(runner, spec, fn, pending, finish):\n"
+        "        # ship each point to your cluster, then commit it:\n"
+        "        #     finish(point, values, wall_seconds)\n"
+        "        ...\n"
+        "\n"
+        "    register_executor('distributed', execute)\n"
+        "\n"
+        "Once registered, executor='distributed' is accepted by "
+        "RuntimeConfig and this stub is replaced."
     )
 
 
@@ -634,6 +719,7 @@ class SweepRunner:
         self._reliability: dict[str, int] = {}
         self._failures: dict[int, tuple[SweepPoint, BaseException]] = {}
         self._manifest_active = None
+        self._metrics_on = False
 
     # ------------------------------------------------------------------
     # reliability bookkeeping (shared by all executors)
@@ -658,6 +744,14 @@ class SweepRunner:
 
     def _bump(self, counter: str, n: int = 1) -> None:
         self._reliability[counter] = self._reliability.get(counter, 0) + n
+        if self._metrics_on:
+            _metrics.registry().inc(f"sweep.{counter}", n)
+
+    def _absorb_obs(self, delta: Mapping[str, Any] | None) -> None:
+        """Fold a pool worker's metrics delta into this process's
+        registry (no-op when metrics are off or the delta is empty)."""
+        if delta and self._metrics_on:
+            _metrics.registry().merge(delta)
 
     def _note_error(self, error: BaseException) -> None:
         """Count one observed (possibly retryable) evaluation error."""
@@ -667,6 +761,9 @@ class SweepRunner:
             else "point_errors"
         )
         self._bump(kind)
+        _trace.add_event(
+            "sweep.point_error", kind=kind, error=str(error)[:120]
+        )
         if self._manifest_active is not None:
             try:
                 self._manifest_active.append_event(
@@ -726,6 +823,7 @@ class SweepRunner:
                 if failures > policy.retries:
                     raise
                 self._bump("retries")
+                _trace.add_event("sweep.retry", attempt=failures + 1)
                 delay = policy.backoff_s(key, failures)
 
     def _manifest_for(self, spec: SweepSpec, version: str, digests) :
@@ -757,6 +855,21 @@ class SweepRunner:
         stopped, bit-identically, even with no result cache configured.
         ``resume=False`` discards the journal and recomputes.
         """
+        with _trace.span(
+            "sweep.run",
+            sweep=spec.name,
+            evaluator=spec.evaluator,
+            executor=self.executor,
+            points=spec.n_points,
+        ):
+            return self._run(spec, progress, resume)
+
+    def _run(
+        self,
+        spec: SweepSpec,
+        progress: Callable[[PointResult], None] | None,
+        resume: bool,
+    ) -> SweepResult:
         start = time.perf_counter()
         version = _version_key(spec)
         stats_before = (
@@ -767,6 +880,15 @@ class SweepRunner:
         self._reliability = {}
         self._failures = {}
         self._manifest_active = None
+        # Runner-side telemetry follows the evaluator-side config: an
+        # explicit runner config wins, else the process-active one.
+        if self.config is not None:
+            self._metrics_on = bool(self.config.metrics)
+        else:
+            self._metrics_on = _metrics.metrics_enabled()
+        metrics_before = (
+            _metrics.registry().snapshot() if self._metrics_on else None
+        )
 
         points = list(spec.points())
         materials = {
@@ -833,6 +955,9 @@ class SweepRunner:
                 wall_time_s=wall,
             )
             results[point.index] = result
+            if self._metrics_on:
+                _metrics.registry().inc("sweep.points_evaluated")
+                _metrics.registry().observe("sweep.point_wall_s", wall)
             if progress is not None:
                 progress(result)
 
@@ -883,6 +1008,15 @@ class SweepRunner:
                 else {}
             ),
             reliability=dict(self._reliability),
+            # Same per-run honesty for the telemetry counters: the
+            # registry is process-cumulative, the result reports the
+            # delta this run produced (including absorbed worker
+            # deltas).  Empty when metrics are off.
+            metrics=(
+                _metrics.registry().diff(metrics_before).as_dict()
+                if metrics_before is not None
+                else {}
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -940,7 +1074,7 @@ class SweepRunner:
                     attempts[point.index] += 1
                     try:
                         future = pool.submit(
-                            _evaluate_point,
+                            _pool_evaluate_point,
                             fn,
                             point.params,
                             point.seed,
@@ -971,7 +1105,8 @@ class SweepRunner:
                         point = futures.pop(future)
                         error = future.exception()
                         if error is None:
-                            values, wall = future.result()
+                            values, wall, obs = future.result()
+                            self._absorb_obs(obs)
                             finish(point, values, wall)
                         elif isinstance(error, BrokenProcessPool):
                             broken = True
@@ -990,7 +1125,8 @@ class SweepRunner:
                     continue
                 error = future.exception()
                 if error is None:
-                    values, wall = future.result()
+                    values, wall, obs = future.result()
+                    self._absorb_obs(obs)
                     finish(point, values, wall)
                 elif isinstance(error, BrokenProcessPool):
                     queue.append(point)

@@ -1,0 +1,501 @@
+"""Unit tests for the :mod:`repro.obs` telemetry layer.
+
+Covers tracing (span nesting, exception capture, manual lifecycles,
+JSONL flush/load, Chrome-trace export and validation), the metrics
+registry (snapshot/diff/merge — the cross-process delta protocol),
+structured logging (logger prefixing, idempotent configuration,
+``log_event`` formatting), and the :class:`RuntimeConfig` knobs that
+switch it all on (``trace`` / ``metrics`` / ``log_level`` and their
+``REPRO_*`` variables).
+"""
+
+import json
+import logging
+from io import StringIO
+
+import pytest
+
+from repro.api.config import RuntimeConfig, config_scope
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.logs import configure_logging, get_logger, log_event
+from repro.obs.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# tracing: spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nested_spans_link_parent_and_time_monotonically(self):
+        with _trace.capture() as buf:
+            with _trace.span("outer", kind="test"):
+                with _trace.span("inner"):
+                    pass
+        spans = buf.spans()
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert outer["attrs"] == {"kind": "test"}
+        assert 0 <= inner["dur"] <= outer["dur"]
+        assert outer["status"] == "ok"
+
+    def test_exception_recorded_and_reraised(self):
+        with _trace.capture() as buf:
+            with pytest.raises(ValueError, match="boom"):
+                with _trace.span("failing"):
+                    raise ValueError("boom")
+        (record,) = buf.spans()
+        assert record["status"] == "error"
+        assert record["error"] == "ValueError: boom"
+
+    def test_events_and_attributes_attach_to_open_span(self):
+        with _trace.capture() as buf:
+            with _trace.span("job") as sp:
+                sp.add_event("retry", attempt=2)
+                _trace.add_event("requeued")
+                sp.set_attribute("points", 7)
+        (record,) = buf.spans()
+        names = [e["name"] for e in record["events"]]
+        assert names == ["retry", "requeued"]
+        assert record["events"][0]["attrs"] == {"attempt": 2}
+        assert record["attrs"]["points"] == 7
+
+    def test_start_span_skips_the_stack(self):
+        # Event-loop style: the manual span stays open across other
+        # stack-managed spans without capturing them as children.
+        with _trace.capture() as buf:
+            manual = _trace.start_span("serve.job", target="fig9")
+            with _trace.span("stacked"):
+                assert _trace.current_span().name == "stacked"
+            manual.finish()
+        stacked, job = buf.spans()
+        assert stacked["parent_id"] is None
+        assert job["name"] == "serve.job"
+
+    def test_manual_span_writes_to_explicit_buffer_when_disabled(self):
+        # No config scope, tracing off: manual_span still records into
+        # the buffer it was handed (the serve server owns its own).
+        assert not _trace.tracing_enabled()
+        buf = _trace.TraceBuffer()
+        sp = _trace.manual_span("serve.job", buf, digest="abc")
+        sp.finish(error="failed")
+        (record,) = buf.spans()
+        assert record["status"] == "error"
+        assert record["error"] == "failed"
+
+    def test_disabled_span_is_shared_noop_singleton(self):
+        assert not _trace.tracing_enabled()
+        a = _trace.span("x")
+        b = _trace.span("y", attr=1)
+        assert a is b
+        with a:
+            a.add_event("ignored")
+            a.set_attribute("k", "v")
+        assert _trace.start_span("z") is a
+        assert len(_trace.get_buffer()) == 0
+
+    def test_traced_decorator_names_default_to_qualname(self):
+        @_trace.traced()
+        def sample():
+            return 42
+
+        @_trace.traced("custom.name", tag="t")
+        def other():
+            return 1
+
+        with _trace.capture() as buf:
+            assert sample() == 42
+            assert other() == 1
+        names = [s["name"] for s in buf.spans()]
+        assert names[1] == "custom.name"
+        assert "sample" in names[0]
+
+    def test_capture_restores_outer_buffer_and_state(self):
+        outer = _trace.get_buffer()
+        with _trace.capture() as buf:
+            assert _trace.tracing_enabled()
+            assert _trace.get_buffer() is buf
+        assert _trace.get_buffer() is outer
+        assert not _trace.tracing_enabled()
+
+
+# ----------------------------------------------------------------------
+# tracing: export / import
+# ----------------------------------------------------------------------
+class TestTraceExport:
+    def make_spans(self):
+        with _trace.capture() as buf:
+            with _trace.span("outer", network="vgg-s") as sp:
+                sp.add_event("checkpoint", step=1)
+                with _trace.span("inner"):
+                    pass
+        return buf
+
+    def test_flush_and_load_roundtrip(self, tmp_path):
+        with _trace.capture(trace_dir=str(tmp_path)):
+            with _trace.span("a"):
+                pass
+            first = _trace.flush()
+            with _trace.span("b"):
+                pass
+            second = _trace.flush()
+            # Incremental: the second flush appends only the new span
+            # to the same per-pid file.
+            assert first == second
+        loaded = _trace.load_spans(tmp_path)
+        assert [s["name"] for s in loaded] == ["a", "b"]
+        # Loading the file directly matches loading the directory.
+        assert _trace.load_spans(first) == loaded
+
+    def test_flush_without_trace_dir_is_none(self):
+        with _trace.capture():
+            with _trace.span("a"):
+                pass
+            assert _trace.flush() is None
+
+    def test_chrome_trace_events(self):
+        buf = self.make_spans()
+        payload = _trace.chrome_trace(buf.spans())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert [e["name"] for e in instants] == ["checkpoint"]
+        outer = next(e for e in complete if e["name"] == "outer")
+        inner = next(e for e in complete if e["name"] == "inner")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["network"] == "vgg-s"
+
+    def test_write_chrome_trace_is_loadable_and_valid(self, tmp_path):
+        buf = self.make_spans()
+        path = _trace.write_chrome_trace(
+            tmp_path / "trace.json", buf.spans()
+        )
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert (
+            _trace.validate_chrome_trace(payload, require_nesting=True)
+            == []
+        )
+
+    def test_validate_rejects_malformed_payloads(self):
+        assert _trace.validate_chrome_trace([]) != []
+        assert _trace.validate_chrome_trace({"traceEvents": []}) != []
+        missing_dur = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "ts": 0, "pid": 1, "tid": 1}
+            ]
+        }
+        assert any(
+            "dur" in p for p in _trace.validate_chrome_trace(missing_dur)
+        )
+        orphan = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "a",
+                    "ts": 0,
+                    "dur": 1,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": "1-1", "parent_id": "1-999"},
+                }
+            ]
+        }
+        assert any(
+            "missing parent" in p
+            for p in _trace.validate_chrome_trace(orphan)
+        )
+
+    def test_validate_flags_child_escaping_parent(self):
+        payload = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "parent",
+                    "ts": 0.0,
+                    "dur": 100.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": "1-1"},
+                },
+                {
+                    "ph": "X",
+                    "name": "child",
+                    "ts": 50.0,
+                    "dur": 500.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": "1-2", "parent_id": "1-1"},
+                },
+            ]
+        }
+        problems = _trace.validate_chrome_trace(payload)
+        assert any("not contained" in p for p in problems)
+
+    def test_require_nesting_flags_flat_traces(self):
+        flat = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "only",
+                    "ts": 0.0,
+                    "dur": 1.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": "1-1"},
+                }
+            ]
+        }
+        assert _trace.validate_chrome_trace(flat) == []
+        problems = _trace.validate_chrome_trace(flat, require_nesting=True)
+        assert problems == ["no nested spans (expected real hierarchy)"]
+
+
+# ----------------------------------------------------------------------
+# tracing: config wiring
+# ----------------------------------------------------------------------
+class TestTraceConfig:
+    def test_config_scope_enables_and_restores(self, tmp_path):
+        assert not _trace.tracing_enabled()
+        with config_scope(trace=True, trace_dir=str(tmp_path)):
+            assert _trace.tracing_enabled()
+            with _trace.span("scoped"):
+                pass
+        assert not _trace.tracing_enabled()
+        # The process buffer is cumulative state: the span recorded
+        # inside the scope survives scope exit.
+        names = [s["name"] for s in _trace.get_buffer().spans()]
+        assert "scoped" in names
+        _trace.get_buffer().clear()
+
+    def test_span_outside_any_scope_records_nothing(self):
+        before = len(_trace.get_buffer())
+        with _trace.span("ignored"):
+            pass
+        assert len(_trace.get_buffer()) == before
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 2)
+        reg.set_gauge("depth", 4)
+        reg.set_gauge("depth", 2)
+        reg.observe("wall_s", 1.0)
+        reg.observe("wall_s", 3.0)
+        payload = reg.as_dict()
+        assert payload["counters"] == {"hits": 3}
+        assert payload["gauges"] == {"depth": 2.0}
+        assert payload["histograms"]["wall_s"] == {
+            "count": 2,
+            "total": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+    def test_empty_registry_serializes_as_empty_dict(self):
+        assert MetricsRegistry().as_dict() == {}
+
+    def test_from_dict_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 5)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 2.0)
+        clone = MetricsRegistry.from_dict(reg.as_dict())
+        assert clone.as_dict() == reg.as_dict()
+
+    def test_diff_subtracts_counts_and_keeps_current_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 2)
+        reg.observe("wall_s", 1.0)
+        before = reg.snapshot()
+        reg.inc("hits", 3)
+        reg.inc("misses")
+        reg.set_gauge("depth", 9)
+        reg.observe("wall_s", 5.0)
+        delta = reg.diff(before).as_dict()
+        # Unchanged counters drop out entirely.
+        assert delta["counters"] == {"hits": 3, "misses": 1}
+        assert delta["gauges"] == {"depth": 9.0}
+        assert delta["histograms"]["wall_s"]["count"] == 1
+        assert delta["histograms"]["wall_s"]["total"] == 5.0
+
+    def test_diff_of_nothing_is_empty(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        assert reg.diff(reg.snapshot()).as_dict() == {}
+
+    def test_merge_folds_worker_deltas(self):
+        parent = MetricsRegistry()
+        parent.inc("points", 2)
+        parent.observe("wall_s", 2.0)
+        delta = {
+            "counters": {"points": 3},
+            "gauges": {"depth": 1.0},
+            "histograms": {
+                "wall_s": {
+                    "count": 1,
+                    "total": 7.0,
+                    "min": 7.0,
+                    "max": 7.0,
+                }
+            },
+        }
+        parent.merge(delta)  # wire-format mapping
+        parent.merge(MetricsRegistry.from_dict(delta))  # registry form
+        assert parent.counters["points"] == 8
+        assert parent.histograms["wall_s"] == {
+            "count": 3,
+            "total": 16.0,
+            "min": 2.0,
+            "max": 7.0,
+        }
+
+
+class TestMetricsModule:
+    def test_disabled_module_calls_are_noops(self):
+        base = _metrics.registry().as_dict()
+        assert not _metrics.metrics_enabled()
+        _metrics.inc("ignored")
+        _metrics.observe("ignored", 1.0)
+        _metrics.set_gauge("ignored", 1.0)
+        assert _metrics.registry().as_dict() == base
+        assert _metrics.snapshot() is None
+        assert _metrics.delta_dict(None) is None
+
+    def test_scope_enables_and_registry_survives_exit(self):
+        with config_scope(metrics=True):
+            assert _metrics.metrics_enabled()
+            before = _metrics.snapshot()
+            assert before is not None
+            _metrics.inc("obs.test.counter", 2)
+            delta = _metrics.delta_dict(before)
+            assert delta == {"counters": {"obs.test.counter": 2}}
+        assert not _metrics.metrics_enabled()
+        # Cumulative process state: the count survives the scope.
+        assert _metrics.registry().counters["obs.test.counter"] >= 2
+        with _metrics.registry()._lock:
+            _metrics.registry().counters.pop("obs.test.counter", None)
+
+    def test_empty_delta_ships_as_none(self):
+        with config_scope(metrics=True):
+            before = _metrics.snapshot()
+            assert _metrics.delta_dict(before) is None
+
+
+# ----------------------------------------------------------------------
+# logging
+# ----------------------------------------------------------------------
+class TestLogs:
+    def teardown_method(self):
+        # Drop any handler a test installed.
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_get_logger_prefixes_under_repro(self):
+        assert (
+            get_logger("sweep.cache")
+            is get_logger("repro.sweep.cache")
+        )
+        assert get_logger("repro").name == "repro"
+        assert get_logger("serve").name == "repro.serve"
+
+    def test_configure_logging_is_idempotent(self):
+        stream = StringIO()
+        root = configure_logging(level="INFO", stream=stream)
+        configure_logging(level="DEBUG", stream=stream)
+        owned = [
+            h
+            for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(owned) == 1
+        assert root.level == logging.DEBUG
+
+    def test_configure_logging_without_level_stays_silent(self):
+        with config_scope(log_level=None):
+            assert configure_logging() is None
+
+    def test_configure_logging_reads_config_level(self):
+        stream = StringIO()
+        root = configure_logging(
+            config=RuntimeConfig(log_level="warning"), stream=stream
+        )
+        assert root.level == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="LOUD")
+
+    def test_log_event_formats_sorted_fields(self):
+        stream = StringIO()
+        configure_logging(level="INFO", stream=stream)
+        logger = get_logger("obs.test")
+        log_event(
+            logger, "cache.quarantined", level=logging.WARNING,
+            path="/tmp/x", reason="corrupt",
+        )
+        line = stream.getvalue()
+        assert "cache.quarantined path=/tmp/x reason=corrupt" in line
+        assert "repro.obs.test" in line
+
+    def test_log_event_below_level_emits_nothing(self):
+        stream = StringIO()
+        configure_logging(level="ERROR", stream=stream)
+        log_event(
+            get_logger("obs.test"), "noise", level=logging.INFO, k=1
+        )
+        assert stream.getvalue() == ""
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+class TestObsConfig:
+    def test_defaults_are_off(self):
+        config = RuntimeConfig.from_env(environ={})
+        assert config.trace is False
+        assert config.metrics is False
+        assert config.trace_dir is None
+        assert config.log_level is None
+
+    def test_env_parsing(self):
+        config = RuntimeConfig.from_env(
+            environ={
+                "REPRO_TRACE": "1",
+                "REPRO_METRICS": "1",
+                "REPRO_TRACE_DIR": "/tmp/traces",
+                "REPRO_LOG_LEVEL": "debug",
+            }
+        )
+        assert config.trace is True
+        assert config.metrics is True
+        assert config.trace_dir == "/tmp/traces"
+        assert config.log_level == "debug"
+
+    def test_env_zero_means_off(self):
+        config = RuntimeConfig.from_env(
+            environ={"REPRO_TRACE": "0", "REPRO_METRICS": "0"}
+        )
+        assert config.trace is False
+        assert config.metrics is False
+
+    def test_effective_trace_dir_falls_back_to_cache_root(self):
+        explicit = RuntimeConfig(trace_dir="/tmp/t")
+        assert explicit.effective_trace_dir() == "/tmp/t"
+        rooted = RuntimeConfig(cache_root="/tmp/root")
+        assert rooted.effective_trace_dir() == "/tmp/root/traces"
+        assert RuntimeConfig().effective_trace_dir() is None
+
+    def test_bad_log_level_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="log_level"):
+            RuntimeConfig(log_level="LOUD")

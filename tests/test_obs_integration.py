@@ -1,0 +1,253 @@
+"""Cross-process integration tests for :mod:`repro.obs`.
+
+The telemetry contract the PR pins end-to-end:
+
+* pool workers ship metric deltas back to the parent (the cache-stats
+  protocol generalized), so merged counters reconcile with the sum of
+  per-worker contributions;
+* forked workers flush their spans to per-pid JSONL files that merge
+  into one valid Chrome trace, parented across the process boundary;
+* a serve session exposes a merged ``metrics`` section in ``/stats``
+  and exports its trace at shutdown;
+* result payloads are bit-identical with telemetry on and off;
+* a quarantined cache entry is counted, logged, and warned about.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.api.config import RuntimeConfig, config_scope
+from repro.api.envelope import evaluate_requests, point_request
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.serve import Client, Server
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep import evaluators as ev
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import Axis, canonical_json
+
+
+def _counting_probe(*, seed, x, **_):
+    """Module-level (picklable) evaluator that bumps a worker-side
+    counter — the delta must come home through the pool protocol."""
+    _metrics.inc("obs.itest.worker_points")
+    return {"y": x * 2, "seed": seed}
+
+
+@pytest.fixture
+def counting_evaluator():
+    ev.register("obs-count", version="1")(_counting_probe)
+    try:
+        yield
+    finally:
+        ev._REGISTRY.pop("obs-count", None)
+
+
+def count_spec(n=4):
+    return SweepSpec(
+        name="obs-count-grid",
+        evaluator="obs-count",
+        axes=(Axis("x", tuple(range(n))),),
+        base_seed=3,
+    )
+
+
+class TestSweepMetricsReconcile:
+    def test_worker_deltas_merge_into_run_metrics(
+        self, counting_evaluator
+    ):
+        spec = count_spec(4)
+        result = run_sweep(
+            spec,
+            executor="process",
+            workers=2,
+            config=RuntimeConfig(metrics=True),
+        )
+        counters = result.metrics["counters"]
+        # The parent counted the points it finished; the workers each
+        # counted the points they ran.  Both views must agree.
+        assert counters["sweep.points_evaluated"] == spec.n_points
+        assert counters["obs.itest.worker_points"] == spec.n_points
+        hist = result.metrics["histograms"]["sweep.point_wall_s"]
+        assert hist["count"] == spec.n_points
+        # ...and the metrics section rides home in the record payload.
+        record = result.to_record()
+        assert (
+            record["series"]["metrics"]["counters"][
+                "obs.itest.worker_points"
+            ]
+            == spec.n_points
+        )
+
+    def test_serial_run_counts_match_process_run(self, counting_evaluator):
+        spec = count_spec(3)
+        serial = run_sweep(
+            spec, executor="serial", config=RuntimeConfig(metrics=True)
+        )
+        pooled = run_sweep(
+            spec,
+            executor="process",
+            workers=2,
+            config=RuntimeConfig(metrics=True),
+        )
+        key = "obs.itest.worker_points"
+        assert (
+            serial.metrics["counters"][key]
+            == pooled.metrics["counters"][key]
+            == spec.n_points
+        )
+
+
+class TestSweepTraceAcrossProcesses:
+    def test_worker_spans_flush_and_parent_across_the_fork(
+        self, tmp_path
+    ):
+        _trace.get_buffer().clear()
+        config = RuntimeConfig(trace=True, trace_dir=str(tmp_path))
+        spec = SweepSpec(
+            name="traced-grid",
+            evaluator="echo",
+            axes=(Axis("x", (1, 2, 3, 4)),),
+        )
+        with config_scope(config):
+            run_sweep(spec, executor="process", workers=2, config=config)
+            parent_file = _trace.flush()
+        assert parent_file is not None
+        worker_files = [
+            p for p in tmp_path.glob("spans-*.jsonl") if p != parent_file
+        ]
+        assert worker_files
+        # The fork hook cleared inherited spans: worker files hold the
+        # workers' own sweep.point spans, never the parent's sweep.run.
+        for path in worker_files:
+            names = {s["name"] for s in _trace.load_spans(path)}
+            assert names == {"sweep.point"}
+        spans = _trace.load_spans(tmp_path)
+        run_spans = [s for s in spans if s["name"] == "sweep.run"]
+        points = [s for s in spans if s["name"] == "sweep.point"]
+        assert len(run_spans) == 1 and len(points) == spec.n_points
+        # Cross-process parentage: every worker span hangs off the
+        # parent's sweep.run span, and the merged trace validates.
+        assert {s["parent_id"] for s in points} == {
+            run_spans[0]["span_id"]
+        }
+        payload = _trace.chrome_trace(spans)
+        assert (
+            _trace.validate_chrome_trace(payload, require_nesting=True)
+            == []
+        )
+        _trace.get_buffer().clear()
+
+
+class TestTelemetryParity:
+    def test_sweep_values_identical_with_telemetry_on(self, tmp_path):
+        spec = SweepSpec(
+            name="parity-grid",
+            evaluator="echo",
+            axes=(Axis("x", (1, 2, 3)), Axis("mode", ("a", "b"))),
+            base_seed=7,
+        )
+        off = run_sweep(spec, config=RuntimeConfig())
+        on_config = RuntimeConfig(
+            trace=True, trace_dir=str(tmp_path), metrics=True
+        )
+        with config_scope(on_config):
+            on = run_sweep(spec, config=on_config)
+        for a, b in zip(off.points, on.points):
+            assert a.params == b.params
+            assert canonical_json(dict(a.values)) == canonical_json(
+                dict(b.values)
+            )
+        # Telemetry is additive: off-runs carry no metrics section.
+        assert off.metrics == {}
+        assert "metrics" not in off.to_record()["series"]
+        assert on.metrics["counters"]["sweep.points_evaluated"] == 6
+        _trace.get_buffer().clear()
+
+    def test_served_results_identical_with_telemetry_on(self, tmp_path):
+        requests = [point_request("echo", {"x": i}, seed=2) for i in (1, 2)]
+        off_config = RuntimeConfig(cache_root=str(tmp_path / "off"))
+        on_config = RuntimeConfig(
+            cache_root=str(tmp_path / "on"), trace=True, metrics=True
+        )
+        off_results, _ = evaluate_requests(requests, config=off_config)
+        on_results, accounting = evaluate_requests(
+            requests, config=on_config
+        )
+        for a, b in zip(off_results, on_results):
+            assert a.canonical() == b.canonical()
+        _trace.get_buffer().clear()
+
+
+class TestServeSessionTelemetry:
+    def test_two_client_session_reconciles_and_exports_trace(
+        self, tmp_path
+    ):
+        config = RuntimeConfig(
+            cache_root=str(tmp_path), trace=True, metrics=True
+        )
+        points = [{"x": i} for i in (1, 2, 3)]
+        requests = [point_request("echo", p, seed=4) for p in points]
+        with Server(config, workers=2) as server:
+            batches = []
+            for _ in range(2):  # two sequential client connections
+                with Client(server.socket_path) as client:
+                    batches.append(
+                        [client.submit(r) for r in requests]
+                    )
+            stats = server.stats()
+
+        # Both clients saw identical, successful results.
+        for first, second in zip(*batches):
+            assert first.ok and second.ok
+            assert first.canonical() == second.canonical()
+        counters = stats["metrics"]["counters"]
+        # Session-level accounting: 6 submissions, 3 unique.
+        assert counters["serve.jobs.submitted"] == 6
+        assert counters["serve.jobs.completed"] == 6
+        assert counters["serve.jobs.evaluated"] == 3
+        assert (
+            counters["serve.jobs.cache_hits"]
+            + counters["serve.jobs.evaluated"]
+            == counters["serve.jobs.completed"]
+        )
+        # Worker deltas came home: the pool evaluated exactly the
+        # unique points and stored each one in the sweep cache.
+        assert counters["sweep.points_evaluated"] == 3
+        assert counters["cache.stores"] == 3
+        assert "serve.queue_depth" in stats["metrics"]["gauges"]
+
+        # Shutdown exported a merged, loadable Chrome trace.
+        trace_path = tmp_path / "traces" / "trace.json"
+        assert trace_path.exists()
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert _trace.validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "serve.job" in names
+        assert "serve.worker" in names
+
+
+class TestCacheQuarantineTelemetry:
+    def test_corrupt_entry_counts_logs_and_warns(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        key = {"evaluator": "echo", "params": {"x": 1}, "seed": 0}
+        path = cache.put(key, {"y": 1.0})
+        path.write_text("{ definitely not json", encoding="utf-8")
+        with config_scope(metrics=True):
+            before = _metrics.registry().snapshot()
+            with caplog.at_level(
+                logging.WARNING, logger="repro.sweep.cache"
+            ):
+                with pytest.warns(RuntimeWarning, match="quarantined"):
+                    assert cache.get(key) is None
+            delta = _metrics.registry().diff(before).as_dict()
+        assert delta["counters"]["cache.corrupt"] == 1
+        assert cache.stats.corrupt == 1
+        quarantined = [
+            r for r in caplog.records if "cache.quarantine" in r.message
+        ]
+        assert quarantined and "undecodable JSON" in quarantined[0].message
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert not path.exists()

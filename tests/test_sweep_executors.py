@@ -212,6 +212,47 @@ class TestExecutorRegistry:
         with pytest.raises(NotImplementedError, match="register_executor"):
             runner.run(spec)  # ...but not runnable
 
+    def test_distributed_stub_message_shows_registration_example(self):
+        runner = SweepRunner(executor="distributed")
+        spec = SweepSpec(
+            name="stub-msg", evaluator="echo", axes=(Axis("x", (1, 2)),)
+        )
+        with pytest.raises(NotImplementedError) as err:
+            runner.run(spec)
+        message = str(err.value)
+        assert "register_executor('distributed', execute)" in message
+        assert "finish(point, values, wall_seconds)" in message
+        assert "RuntimeConfig" in message
+
+    def test_register_executor_overrides_distributed_stub(self):
+        from repro.sweep.runner import (
+            _execute_distributed,
+            _execute_serial,
+            _EXECUTORS,
+        )
+
+        ran = []
+
+        def execute(runner, spec, fn, pending, finish):
+            ran.append(len(pending))
+            _execute_serial(runner, spec, fn, pending, finish)
+
+        register_executor("distributed", execute)
+        try:
+            spec = SweepSpec(
+                name="dist-real", evaluator="echo", axes=(Axis("x", (1, 2)),)
+            )
+            result = run_sweep(spec, executor="distributed")
+            assert [p.values["x"] for p in result.points] == [1, 2]
+            assert ran == [2]
+            # The (now backed) name stays accepted by the config layer.
+            assert (
+                RuntimeConfig(executor="distributed").executor
+                == "distributed"
+            )
+        finally:
+            _EXECUTORS["distributed"] = _execute_distributed
+
     def test_register_executor_plugs_in_and_extends_config(self):
         ran = []
 
